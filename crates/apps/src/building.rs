@@ -1,0 +1,207 @@
+//! The smart-building application from the paper's introduction: "monitor
+//! room occupancy, alert building managers about overcrowding during a
+//! pandemic, or predictively adjust lighting".
+
+use std::collections::BTreeMap;
+
+use digibox_broker::QoS;
+use digibox_core::{topics, AppClient, AppEvent, Testbed};
+use digibox_model::{Model, Value};
+use digibox_net::{ServiceHandle, SimDuration};
+
+/// An alert raised by the app.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildingAlert {
+    /// More people in `room` than its configured limit.
+    Overcrowded { room: String, count: i64, limit: i64 },
+    /// A device stopped reporting (its last-will fired).
+    DeviceOffline { device: String },
+}
+
+#[derive(Debug, Default, Clone)]
+struct RoomState {
+    /// room-level (ceiling) occupancy sensors
+    ceiling: Vec<String>,
+    /// per-desk occupancy sensors
+    desks: Vec<String>,
+    occupants: i64,
+    occupied: bool,
+}
+
+/// App logic: estimates occupancy per room from sensor messages and reacts.
+pub struct SmartBuildingApp {
+    client: ServiceHandle<AppClient>,
+    /// room → state; sensor→room routing is configured by the developer
+    /// (apps know their deployment, not the scene internals).
+    rooms: BTreeMap<String, RoomState>,
+    sensor_to_room: BTreeMap<String, String>,
+    lamp_of_room: BTreeMap<String, String>,
+    /// latest raw sensor readings
+    readings: BTreeMap<String, bool>,
+    occupant_limit: i64,
+    alerts: Vec<BuildingAlert>,
+    lamp_commands: u64,
+}
+
+impl SmartBuildingApp {
+    /// Create the app on the broker's node and subscribe to all digi
+    /// models + last-wills.
+    pub fn new(tb: &mut Testbed, occupant_limit: i64) -> SmartBuildingApp {
+        let node = tb.broker_addr().node;
+        let client = tb.app_with_mqtt(node, "app/smart-building");
+        client.borrow_mut().subscribe(
+            tb.sim(),
+            &[("digibox/digi/+/model", QoS::AtMostOnce), ("digibox/lwt/+", QoS::AtMostOnce)],
+        );
+        tb.run_for(SimDuration::from_millis(50));
+        SmartBuildingApp {
+            client,
+            rooms: BTreeMap::new(),
+            sensor_to_room: BTreeMap::new(),
+            lamp_of_room: BTreeMap::new(),
+            readings: BTreeMap::new(),
+            occupant_limit,
+            alerts: Vec::new(),
+            lamp_commands: 0,
+        }
+    }
+
+    /// Declare a room with its ceiling sensors, desk sensors and
+    /// (optional) lamp. The split matters: a desk may legally be empty in
+    /// an occupied room, but never occupied in an empty one (paper §2).
+    pub fn add_room(&mut self, room: &str, ceiling: &[&str], desks: &[&str], lamp: Option<&str>) {
+        let state = RoomState {
+            ceiling: ceiling.iter().map(|s| s.to_string()).collect(),
+            desks: desks.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        };
+        self.rooms.insert(room.to_string(), state);
+        for s in ceiling.iter().chain(desks) {
+            self.sensor_to_room.insert(s.to_string(), room.to_string());
+        }
+        if let Some(lamp) = lamp {
+            self.lamp_of_room.insert(room.to_string(), lamp.to_string());
+        }
+    }
+
+    /// Drain device messages and update estimates; issue lamp commands.
+    /// Call between `run_for` steps.
+    pub fn step(&mut self, tb: &mut Testbed) {
+        let events = self.client.borrow_mut().poll_all();
+        let mut dirty_rooms: Vec<String> = Vec::new();
+        for ev in events {
+            match ev {
+                AppEvent::Message { topic, payload } => {
+                    if let Some(device) = topic.strip_prefix("digibox/lwt/") {
+                        self.alerts
+                            .push(BuildingAlert::DeviceOffline { device: device.to_string() });
+                        continue;
+                    }
+                    let Some(device) = topics::digi_of(&topic) else {
+                        continue;
+                    };
+                    let Ok(model) = serde_json::from_slice::<Model>(&payload) else {
+                        continue;
+                    };
+                    if let Some(t) =
+                        model.fields().get("triggered").and_then(Value::as_bool)
+                    {
+                        self.readings.insert(device.to_string(), t);
+                        if let Some(room) = self.sensor_to_room.get(device) {
+                            dirty_rooms.push(room.clone());
+                        }
+                    }
+                }
+                AppEvent::MqttConnected | AppEvent::Response { .. } | AppEvent::RequestFailed { .. } => {}
+            }
+        }
+        dirty_rooms.sort();
+        dirty_rooms.dedup();
+        for room in dirty_rooms {
+            self.recompute_room(tb, &room);
+        }
+    }
+
+    fn recompute_room(&mut self, tb: &mut Testbed, room: &str) {
+        let Some(state) = self.rooms.get(room) else {
+            return;
+        };
+        // occupancy estimate: desk sensors count people; the ceiling
+        // sensor alone contributes presence (≥1 person)
+        let desks_occupied: i64 = state
+            .desks
+            .iter()
+            .filter(|s| self.readings.get(*s).copied().unwrap_or(false))
+            .count() as i64;
+        let ceiling_triggered = state
+            .ceiling
+            .iter()
+            .any(|s| self.readings.get(s).copied().unwrap_or(false));
+        let occupied = ceiling_triggered || desks_occupied > 0;
+        let triggered = desks_occupied.max(i64::from(ceiling_triggered));
+        let was_occupied = state.occupied;
+        let state = self.rooms.get_mut(room).expect("room exists");
+        state.occupants = triggered;
+        state.occupied = occupied;
+        if triggered > self.occupant_limit {
+            self.alerts.push(BuildingAlert::Overcrowded {
+                room: room.to_string(),
+                count: triggered,
+                limit: self.occupant_limit,
+            });
+        }
+        // lighting: follow occupancy transitions
+        if occupied != was_occupied {
+            if let Some(lamp) = self.lamp_of_room.get(room).cloned() {
+                let cmd = digibox_model::vmap! {
+                    "power" => if occupied { "on" } else { "off" }
+                };
+                let payload = serde_json::to_vec(&cmd.to_json()).expect("values serialize");
+                let topic = topics::intent(&lamp);
+                self.client.borrow_mut().publish(tb.sim(), &topic, payload, QoS::AtLeastOnce);
+                self.lamp_commands += 1;
+            }
+        }
+    }
+
+    /// Current occupancy estimate for a room.
+    pub fn occupancy(&self, room: &str) -> Option<(bool, i64)> {
+        self.rooms.get(room).map(|r| (r.occupied, r.occupants))
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[BuildingAlert] {
+        &self.alerts
+    }
+
+    pub fn lamp_commands(&self) -> u64 {
+        self.lamp_commands
+    }
+
+    /// Consistency check used by the fidelity experiment: the room's
+    /// ensemble is consistent when (a) every ceiling sensor agrees with the
+    /// others and (b) no desk is occupied while the ceiling sensors say the
+    /// room is empty. Scene-centric simulation maintains this invariant;
+    /// device-centric simulation (independent sensors) breaks it constantly
+    /// — the "impossible states" the paper's §2 example describes.
+    pub fn sensors_consistent(&self, room: &str) -> Option<bool> {
+        let state = self.rooms.get(room)?;
+        let ceiling: Vec<bool> = state
+            .ceiling
+            .iter()
+            .filter_map(|s| self.readings.get(s).copied())
+            .collect();
+        let desks: Vec<bool> = state
+            .desks
+            .iter()
+            .filter_map(|s| self.readings.get(s).copied())
+            .collect();
+        if ceiling.is_empty() || (ceiling.len() < 2 && desks.is_empty()) {
+            return None;
+        }
+        let ceiling_agree = ceiling.iter().all(|v| *v) || ceiling.iter().all(|v| !*v);
+        let room_occupied = ceiling.iter().any(|v| *v);
+        let desks_legal = room_occupied || desks.iter().all(|v| !*v);
+        Some(ceiling_agree && desks_legal)
+    }
+}

@@ -1,0 +1,97 @@
+//! The supply-chain application (paper §1: "track cargo and inventory
+//! conditions to audit, automate, and optimize operational logistics").
+
+use std::collections::BTreeMap;
+
+use digibox_broker::QoS;
+use digibox_core::{topics, AppClient, AppEvent, Testbed};
+use digibox_model::{Model, Value};
+use digibox_net::{ServiceHandle, SimDuration, SimTime};
+
+/// One excursion found in the audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExcursionReport {
+    pub shipment: String,
+    pub first_seen: SimTime,
+    pub peak_temp_c: f64,
+}
+
+/// Watches cargo-condition monitors across shipments, alerts on cold-chain
+/// excursions and keeps an audit trail.
+pub struct ColdChainApp {
+    client: ServiceHandle<AppClient>,
+    /// shipment (cargo monitor name) → latest reading
+    temps: BTreeMap<String, f64>,
+    excursions: BTreeMap<String, ExcursionReport>,
+    /// shipments we are responsible for
+    shipments: Vec<String>,
+    pub max_safe_c: f64,
+}
+
+impl ColdChainApp {
+    pub fn new(tb: &mut Testbed, max_safe_c: f64) -> ColdChainApp {
+        let node = tb.broker_addr().node;
+        let client = tb.app_with_mqtt(node, "app/cold-chain");
+        client
+            .borrow_mut()
+            .subscribe(tb.sim(), &[("digibox/digi/+/model", QoS::AtLeastOnce)]);
+        tb.run_for(SimDuration::from_millis(50));
+        ColdChainApp {
+            client,
+            temps: BTreeMap::new(),
+            excursions: BTreeMap::new(),
+            shipments: Vec::new(),
+            max_safe_c,
+        }
+    }
+
+    pub fn track(&mut self, shipment: &str) {
+        self.shipments.push(shipment.to_string());
+    }
+
+    pub fn step(&mut self, tb: &mut Testbed) {
+        let now = tb.now();
+        let events = self.client.borrow_mut().poll_all();
+        for ev in events {
+            let AppEvent::Message { topic, payload } = ev else {
+                continue;
+            };
+            let Some(device) = topics::digi_of(&topic) else {
+                continue;
+            };
+            if !self.shipments.iter().any(|s| s == device) {
+                continue;
+            }
+            let Ok(model) = serde_json::from_slice::<Model>(&payload) else {
+                continue;
+            };
+            let Some(temp) = model.fields().get("temp_c").and_then(Value::as_float) else {
+                continue;
+            };
+            self.temps.insert(device.to_string(), temp);
+            if temp > self.max_safe_c {
+                let entry =
+                    self.excursions.entry(device.to_string()).or_insert(ExcursionReport {
+                        shipment: device.to_string(),
+                        first_seen: now,
+                        peak_temp_c: temp,
+                    });
+                entry.peak_temp_c = entry.peak_temp_c.max(temp);
+            }
+        }
+    }
+
+    /// Latest temperature per tracked shipment.
+    pub fn temperature(&self, shipment: &str) -> Option<f64> {
+        self.temps.get(shipment).copied()
+    }
+
+    /// The audit report: every excursion seen, ordered by shipment.
+    pub fn audit(&self) -> Vec<ExcursionReport> {
+        self.excursions.values().cloned().collect()
+    }
+
+    pub fn is_compliant(&self, shipment: &str) -> bool {
+        !self.excursions.contains_key(shipment)
+    }
+}

@@ -1,0 +1,27 @@
+//! # digibox-apps
+//!
+//! Three complete IoT applications written *against* Digibox testbeds, the
+//! way the paper intends (§2: "developers build the application using IoT
+//! frameworks while building scenes using Digibox to test the
+//! functionalities and performance of the application"):
+//!
+//! * [`SmartBuildingApp`] — computes room occupancy from heterogeneous
+//!   sensors, drives lighting, and alerts on overcrowding (the paper's §1
+//!   motivating app).
+//! * [`ColdChainApp`] — audits a refrigerated supply chain: watches cargo
+//!   monitors for excursions and produces an audit report.
+//! * [`UrbanSensingApp`] — aggregates mobile air-quality readings per
+//!   street block into a city view.
+//!
+//! Each app is deliberately *app logic only*: it consumes device messages
+//! (MQTT) and the REST device API; all scene logic lives in
+//! `digibox-devices`. That separation is the paper's central design claim,
+//! and it is what the fidelity-ablation experiment (E4) measures.
+
+mod building;
+mod coldchain;
+mod urban;
+
+pub use building::{BuildingAlert, SmartBuildingApp};
+pub use coldchain::{ColdChainApp, ExcursionReport};
+pub use urban::{BlockStats, UrbanSensingApp};

@@ -1,0 +1,88 @@
+//! The urban-sensing application (paper §5: mobile devices collect
+//! environmental data, "aggregated across users to provide insights").
+
+use std::collections::BTreeMap;
+
+use digibox_broker::QoS;
+use digibox_core::{topics, AppClient, AppEvent, Testbed};
+use digibox_model::{Model, Value};
+use digibox_net::{ServiceHandle, SimDuration};
+
+/// Aggregated statistics for one street block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockStats {
+    pub samples: u64,
+    pub mean_pm25: f64,
+    pub max_pm25: f64,
+}
+
+/// Aggregates mobile air-quality readings per block. The app learns which
+/// block a sensor is in from its *assignment map*, which the operator
+/// updates as sensors re-attach (in a real deployment this comes from the
+/// phone's GPS).
+pub struct UrbanSensingApp {
+    client: ServiceHandle<AppClient>,
+    sensor_block: BTreeMap<String, String>,
+    stats: BTreeMap<String, BlockStats>,
+}
+
+impl UrbanSensingApp {
+    pub fn new(tb: &mut Testbed) -> UrbanSensingApp {
+        let node = tb.broker_addr().node;
+        let client = tb.app_with_mqtt(node, "app/urban-sensing");
+        client
+            .borrow_mut()
+            .subscribe(tb.sim(), &[("digibox/digi/+/model", QoS::AtMostOnce)]);
+        tb.run_for(SimDuration::from_millis(50));
+        UrbanSensingApp { client, sensor_block: BTreeMap::new(), stats: BTreeMap::new() }
+    }
+
+    /// Record that `sensor` is currently in `block`.
+    pub fn assign(&mut self, sensor: &str, block: &str) {
+        self.sensor_block.insert(sensor.to_string(), block.to_string());
+    }
+
+    pub fn step(&mut self, _tb: &mut Testbed) {
+        let events = self.client.borrow_mut().poll_all();
+        for ev in events {
+            let AppEvent::Message { topic, payload } = ev else {
+                continue;
+            };
+            let Some(device) = topics::digi_of(&topic) else {
+                continue;
+            };
+            let Some(block) = self.sensor_block.get(device).cloned() else {
+                continue;
+            };
+            let Ok(model) = serde_json::from_slice::<Model>(&payload) else {
+                continue;
+            };
+            let Some(pm) = model.fields().get("pm25_ugm3").and_then(Value::as_float) else {
+                continue;
+            };
+            let s = self.stats.entry(block).or_default();
+            // online mean
+            s.samples += 1;
+            s.mean_pm25 += (pm - s.mean_pm25) / s.samples as f64;
+            s.max_pm25 = s.max_pm25.max(pm);
+        }
+    }
+
+    pub fn block_stats(&self, block: &str) -> Option<&BlockStats> {
+        self.stats.get(block)
+    }
+
+    /// The city view: per-block stats, sorted by block name.
+    pub fn city_view(&self) -> Vec<(String, BlockStats)> {
+        self.stats.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Blocks whose mean PM2.5 exceeds a threshold (the "insight").
+    pub fn hotspots(&self, threshold: f64) -> Vec<String> {
+        self.stats
+            .iter()
+            .filter(|(_, s)| s.mean_pm25 > threshold)
+            .map(|(b, _)| b.clone())
+            .collect()
+    }
+}

@@ -1,0 +1,48 @@
+//! E1 — paper §4, local microbenchmark: "we run Digibox in a MacBook Air
+//! M1 laptop where we are able to run 50 occupancy sensors in 2 room
+//! scenes with average request latency (the time it takes for a REST GET
+//! to return a mock's status) under 20 ms."
+//!
+//! The report line gives the reproduced (simulated) latency; the Criterion
+//! measurement gives the substrate's wall cost per GET round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digibox_bench::{build_deployment, laptop, measure_gets, report};
+use digibox_net::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    // ---- reproduce the paper's row ----
+    let mut tb = laptop(1);
+    build_deployment(&mut tb, 50, 2, 0);
+    let app = measure_gets(&mut tb, 50, 200);
+    {
+        let app = app.borrow();
+        let h = app.latencies();
+        report(
+            "E1 local (50 sensors, 2 rooms, laptop)",
+            &format!(
+                "avg GET latency = {} (paper: < 20 ms)  p50={} p99={} n={}",
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.count()
+            ),
+        );
+        assert!(h.mean() < SimDuration::from_millis(20), "E1 must land under the paper bound");
+    }
+
+    // ---- substrate cost of the same operation ----
+    let mut group = c.benchmark_group("e1_local");
+    group.sample_size(20);
+    let server = tb.digi_addr("O0").unwrap();
+    group.bench_function("rest_get_roundtrip_wall", |b| {
+        b.iter(|| {
+            app.borrow_mut().get(tb.sim(), server, "/model");
+            tb.run_for(SimDuration::from_millis(30));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E2 — paper §4, cloud microbenchmark: "It's able to run 1000 occupancy
+//! sensors across 100 rooms and 5 buildings with 2 m5.xlarge EC2
+//! instances, with the average request latency (network delay included)
+//! under 60 ms."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digibox_bench::{build_deployment, cluster, measure_gets, report};
+use digibox_net::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut tb = cluster(2, 2);
+    build_deployment(&mut tb, 1000, 100, 5);
+    let app = measure_gets(&mut tb, 1000, 300);
+    {
+        let app = app.borrow();
+        let h = app.latencies();
+        report(
+            "E2 cloud (1000 sensors, 100 rooms, 5 buildings, 2x m5.xlarge)",
+            &format!(
+                "avg GET latency = {} (paper: < 60 ms, network delay included)  p50={} p99={} n={}",
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.count()
+            ),
+        );
+        assert!(h.mean() < SimDuration::from_millis(60), "E2 must land under the paper bound");
+    }
+
+    let mut group = c.benchmark_group("e2_cluster");
+    group.sample_size(10);
+    let server = tb.digi_addr("O0").unwrap();
+    group.bench_function("rest_get_roundtrip_wall_1000_mocks", |b| {
+        b.iter(|| {
+            app.borrow_mut().get(tb.sim(), server, "/model");
+            tb.run_for(SimDuration::from_millis(60));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E3 — Table 1: per-operation cost of the dbox API (`run`, `check`,
+//! `edit`, `attach`, `commit`). The functional coverage lives in
+//! `tests/cli_table1.rs`; this bench reports how expensive each verb is on
+//! the in-process runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digibox_bench::{laptop, no_params, report};
+use digibox_model::vmap;
+use digibox_net::SimDuration;
+use digibox_registry::Repository;
+
+fn bench(c: &mut Criterion) {
+    report("E3 api ops (Table 1)", "wall-clock cost per dbox verb below");
+    let mut group = c.benchmark_group("e3_api_ops");
+    group.sample_size(20);
+
+    // dbox run + stop (full container lifecycle)
+    group.bench_function("run_stop_mock", |b| {
+        let mut tb = laptop(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            let name = format!("bench-{i}");
+            i += 1;
+            tb.run("Lamp", &name).unwrap();
+            tb.run_for(SimDuration::from_millis(500));
+            tb.stop(&name).unwrap();
+        })
+    });
+
+    // dbox check
+    group.bench_function("check", |b| {
+        let mut tb = laptop(2);
+        tb.run("Lamp", "L1").unwrap();
+        tb.run_for(SimDuration::from_secs(1));
+        b.iter(|| tb.check("L1").unwrap())
+    });
+
+    // dbox edit (through the real MQTT path)
+    group.bench_function("edit_roundtrip", |b| {
+        let mut tb = laptop(3);
+        tb.run("Lamp", "L1").unwrap();
+        tb.run_for(SimDuration::from_secs(1));
+        let mut on = false;
+        b.iter(|| {
+            on = !on;
+            tb.edit("L1", vmap! { "power" => if on { "on" } else { "off" } }).unwrap();
+            tb.run_for(SimDuration::from_millis(200));
+        })
+    });
+
+    // dbox attach/detach
+    group.bench_function("attach_detach", |b| {
+        let mut tb = laptop(4);
+        tb.run_with("Occupancy", "O1", no_params(), true).unwrap();
+        tb.run("Room", "R1").unwrap();
+        tb.run_for(SimDuration::from_secs(1));
+        b.iter(|| {
+            tb.attach("O1", "R1").unwrap();
+            tb.run_for(SimDuration::from_millis(100));
+            tb.detach("O1", "R1").unwrap();
+            tb.run_for(SimDuration::from_millis(100));
+        })
+    });
+
+    // dbox commit (snapshot + hash + store)
+    group.bench_function("commit_setup", |b| {
+        let mut tb = laptop(5);
+        for i in 0..20 {
+            tb.run_with("Occupancy", &format!("O{i}"), no_params(), true).unwrap();
+        }
+        tb.run("Room", "R1").unwrap();
+        tb.run_for(SimDuration::from_secs(1));
+        let mut repo = Repository::new();
+        b.iter(|| tb.commit(&mut repo, "bench", "msg", "bench").unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

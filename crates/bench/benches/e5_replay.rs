@@ -1,0 +1,79 @@
+//! E5 — §3.5 logging and replay: record → archive → replay. Reports the
+//! archive size and replay fidelity; benches archive encode/decode and the
+//! replay itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digibox_bench::{no_params, report};
+use digibox_core::{Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::SimDuration;
+use digibox_trace::{archive, ReplaySchedule, TraceRecord};
+
+fn record_run(seed: u64, secs: u64) -> Vec<TraceRecord> {
+    let mut tb =
+        Testbed::laptop(full_catalog(), TestbedConfig { seed, ..Default::default() });
+    tb.run_with("Occupancy", "O1", no_params(), true).unwrap();
+    tb.run("Lamp", "L1").unwrap();
+    tb.run("Room", "R1").unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("O1", "R1").unwrap();
+    tb.attach("L1", "R1").unwrap();
+    tb.run_for(SimDuration::from_secs(secs));
+    tb.log().records()
+}
+
+fn fresh_replay_target() -> Testbed {
+    let mut tb =
+        Testbed::laptop(full_catalog(), TestbedConfig { seed: 999, ..Default::default() });
+    tb.run_with("Occupancy", "O1", no_params(), true).unwrap();
+    tb.run_with("Lamp", "L1", no_params(), true).unwrap();
+    tb.run_with("Room", "R1", no_params(), true).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    tb
+}
+
+fn bench(c: &mut Criterion) {
+    let records = record_run(7, 30);
+    let bytes = archive::write(&records);
+    let schedule = ReplaySchedule::from_records(&records);
+    report(
+        "E5 replay (§3.5)",
+        &format!(
+            "{} records → {} byte archive; schedule: {} steps over {} digis, {} of virtual time",
+            records.len(),
+            bytes.len(),
+            schedule.len(),
+            schedule.sources().len(),
+            schedule.duration()
+        ),
+    );
+
+    // fidelity: replay ends in the recorded final states
+    let mut tb = fresh_replay_target();
+    tb.replay(&schedule).unwrap();
+    tb.run_for(SimDuration::from_nanos(schedule.duration().as_nanos() + 1_000_000_000));
+    for (name, fields) in schedule.final_states() {
+        assert_eq!(tb.check(&name).unwrap().fields(), &fields, "{name} diverged");
+    }
+    report("E5 replay (§3.5)", "replayed final states identical to recording ✓");
+
+    let mut group = c.benchmark_group("e5_replay");
+    group.sample_size(20);
+    group.bench_function("archive_write", |b| b.iter(|| archive::write(&records)));
+    group.bench_function("archive_read", |b| b.iter(|| archive::read(&bytes).unwrap()));
+    group.bench_function("schedule_extract", |b| {
+        b.iter(|| ReplaySchedule::from_records(&records))
+    });
+    group.sample_size(10);
+    group.bench_function("full_replay_30s_trace", |b| {
+        b.iter(|| {
+            let mut tb = fresh_replay_target();
+            tb.replay(&schedule).unwrap();
+            tb.run_for(SimDuration::from_nanos(schedule.duration().as_nanos() + 1_000_000));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

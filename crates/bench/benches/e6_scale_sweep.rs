@@ -1,0 +1,68 @@
+//! E6 — §4 scalability sweep ("easy to run a few and tens of simulated
+//! devices in a laptop to thousands and more in cloud"): request latency
+//! as the deployment grows, and as nodes are added. Prints the full series
+//! (the figure the paper sketches in prose), then benches event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digibox_bench::{build_deployment, cluster, laptop, measure_gets, no_params, report};
+use digibox_net::SimDuration;
+
+fn latency_at(nodes: u32, sensors: usize) -> (f64, f64) {
+    let rooms = (sensors / 10).max(1);
+    let mut tb = if nodes == 0 { laptop(42) } else { cluster(nodes, 42) };
+    build_deployment(&mut tb, sensors, rooms, 0);
+    let app = measure_gets(&mut tb, sensors, 150);
+    let app = app.borrow();
+    let h = app.latencies();
+    (h.mean().as_millis_f64(), h.p99().as_millis_f64())
+}
+
+fn bench(c: &mut Criterion) {
+    // ---- series 1: mocks vs latency on one laptop ----
+    report("E6 sweep", "series 1: latency vs #mocks (single laptop)");
+    let mut last = 0.0;
+    for sensors in [10usize, 50, 100, 200, 400] {
+        let (mean, p99) = latency_at(0, sensors);
+        report(
+            "E6 sweep",
+            &format!("  laptop  sensors={sensors:<5} mean={mean:>8.2}ms p99={p99:>8.2}ms"),
+        );
+        assert!(mean >= last * 0.8, "latency should not collapse as load grows");
+        last = mean;
+    }
+
+    // ---- series 2: nodes vs latency at 800 mocks ----
+    report("E6 sweep", "series 2: latency vs #nodes (800 mocks)");
+    let mut prev = f64::MAX;
+    let mut means = Vec::new();
+    for nodes in [2u32, 4, 8] {
+        let (mean, p99) = latency_at(nodes, 800);
+        report(
+            "E6 sweep",
+            &format!("  cluster nodes={nodes:<3} sensors=800  mean={mean:>8.2}ms p99={p99:>8.2}ms"),
+        );
+        means.push(mean);
+        prev = prev.min(mean);
+    }
+    // adding nodes spreads the mocks → per-node load falls → latency falls
+    assert!(
+        means.last().unwrap() < means.first().unwrap(),
+        "adding nodes should reduce latency: {means:?}"
+    );
+
+    // ---- substrate: event throughput at scale ----
+    let mut group = c.benchmark_group("e6_scale");
+    group.sample_size(10);
+    group.bench_function("advance_1s_200_unmanaged_mocks", |b| {
+        let mut tb = laptop(7);
+        for i in 0..200 {
+            tb.run_with("Occupancy", &format!("O{i}"), no_params(), false).unwrap();
+        }
+        tb.run_for(SimDuration::from_secs(2));
+        b.iter(|| tb.run_for(SimDuration::from_secs(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

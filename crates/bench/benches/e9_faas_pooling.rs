@@ -1,0 +1,95 @@
+//! E9 — paper §6 "efficient simulation" (extension): FaaS-style pooling
+//! vs one-microservice-per-mock.
+//!
+//! > "an open question is how to make these large-scale simulations more
+//! > efficient, i.e., running a higher number of mocks/scenes with a fixed
+//! > amount of compute resource budget"
+//!
+//! Both modes run the same 500 occupancy mocks for the same virtual time;
+//! the report compares runtime footprint (broker sessions, kernel events,
+//! wall time), and Criterion measures steady-state advancement cost.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digibox_bench::report;
+use digibox_core::{Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::SimDuration;
+
+const MOCKS: usize = 500;
+
+fn microservice_testbed() -> Testbed {
+    let mut tb = Testbed::laptop(
+        full_catalog(),
+        TestbedConfig { seed: 1, logging: false, ..Default::default() },
+    );
+    for i in 0..MOCKS {
+        tb.run_with("Occupancy", &format!("O{i}"), BTreeMap::new(), false).unwrap();
+    }
+    tb.run_for(SimDuration::from_secs(2));
+    tb
+}
+
+fn pooled_testbed() -> Testbed {
+    let mut tb = Testbed::laptop(
+        full_catalog(),
+        TestbedConfig { seed: 1, logging: false, ..Default::default() },
+    );
+    let names: Vec<String> = (0..MOCKS).map(|i| format!("O{i}")).collect();
+    tb.run_pool("Occupancy", &names, BTreeMap::new(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(2));
+    tb
+}
+
+fn footprint(label: &str, tb: &mut Testbed) -> (u64, u64) {
+    let sessions = tb.broker().borrow().session_count();
+    let (pods, cpu_used, cpu_cap) = tb.cluster_utilization();
+    let events_before = tb.sim().events_processed();
+    let wall = std::time::Instant::now();
+    tb.run_for(SimDuration::from_secs(10));
+    let wall = wall.elapsed();
+    let events = tb.sim().events_processed() - events_before;
+    report(
+        "E9 faas pooling (§6)",
+        &format!(
+            "{label:<15} mocks={MOCKS} pods={pods:<4} cpu_requested={cpu_used}/{cpu_cap}m \
+broker_sessions={sessions:<4} kernel_events/10s={events:<7} wall={wall:.2?}"
+        ),
+    );
+    (events, cpu_used)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut micro = microservice_testbed();
+    let mut pooled = pooled_testbed();
+    let (micro_events, micro_cpu) = footprint("microservices", &mut micro);
+    let (pool_events, pool_cpu) = footprint("pooled (FaaS)", &mut pooled);
+    report(
+        "E9 faas pooling (§6)",
+        &format!(
+            "consolidation: {:.1}x less cpu budget, {}x fewer broker sessions, {:.2}x fewer kernel events",
+            micro_cpu as f64 / pool_cpu.max(1) as f64,
+            MOCKS,
+            micro_events as f64 / pool_events.max(1) as f64,
+        ),
+    );
+    assert!(
+        pool_events < micro_events,
+        "pooling must reduce kernel event load ({pool_events} vs {micro_events})"
+    );
+    assert!(pool_cpu * 5 < micro_cpu, "pooling must shrink the requested compute budget");
+
+    let mut group = c.benchmark_group("e9_faas");
+    group.sample_size(10);
+    group.bench_function("advance_1s_500_mocks_microservices", |b| {
+        b.iter(|| micro.run_for(SimDuration::from_secs(1)))
+    });
+    group.bench_function("advance_1s_500_mocks_pooled", |b| {
+        b.iter(|| pooled.run_for(SimDuration::from_secs(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

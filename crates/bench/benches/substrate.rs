@@ -1,0 +1,188 @@
+//! Substrate microbenchmarks: the building blocks every experiment rides
+//! on — MQTT codec, topic matching, broker routing, HTTP codec, model
+//! diffing, the DES kernel, SHA-256, DML parsing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use digibox_broker::{packet::Packet, MqttConn, QoS, TopicTrie};
+use digibox_model::{diff, dml, vmap, Value};
+use digibox_net::httpx::{Method, Request};
+use digibox_net::{
+    Addr, Datagram, NodeSpec, Prng, Service, Sim, SimConfig, TimerToken, Topology,
+};
+
+fn mqtt_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqtt_codec");
+    let pkt = Packet::Publish {
+        dup: false,
+        qos: QoS::AtLeastOnce,
+        retain: true,
+        topic: "digibox/digi/O1/model".into(),
+        packet_id: Some(42),
+        payload: Bytes::from(vec![0x7B; 256]),
+    };
+    let encoded = pkt.encode();
+    group.bench_function("encode_publish_256b", |b| b.iter(|| pkt.encode()));
+    group.bench_function("decode_publish_256b", |b| b.iter(|| Packet::decode(&encoded).unwrap()));
+    group.finish();
+}
+
+fn topic_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_trie");
+    let mut trie = TopicTrie::new();
+    for i in 0..1000 {
+        trie.insert(&format!("digibox/digi/D{i}/model"), i);
+        if i % 10 == 0 {
+            trie.insert(&format!("digibox/digi/D{i}/+"), i);
+        }
+    }
+    trie.insert("digibox/#", 9999);
+    group.bench_function("lookup_1000_filters", |b| {
+        b.iter(|| trie.lookup("digibox/digi/D500/model").len())
+    });
+    group.finish();
+}
+
+fn http_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http_codec");
+    let req = Request::new(Method::Post, "/intent")
+        .with_body("application/json", r#"{"power":"on","intensity":0.7}"#.as_bytes().to_vec());
+    let encoded = req.encode();
+    group.bench_function("encode_request", |b| b.iter(|| req.encode()));
+    group.bench_function("decode_request", |b| b.iter(|| Request::decode(&encoded).unwrap()));
+    group.finish();
+}
+
+fn model_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    let from = vmap! {
+        "power" => vmap! { "intent" => "on", "status" => "off" },
+        "intensity" => vmap! { "intent" => 0.7, "status" => 0.0 },
+        "temp_c" => 21.5, "triggered" => false, "count" => 3,
+    };
+    let mut to = from.clone();
+    if let Value::Map(m) = &mut to {
+        m.insert("triggered".into(), Value::Bool(true));
+    }
+    group.bench_function("diff_small_model", |b| b.iter(|| diff(&from, &to)));
+    let doc = "\
+meta:
+  type: Room
+  version: v2
+  name: MeetingRoom
+  managed: true
+  attach: [L1, O1, D1]
+human_presence: true
+num_occupants: 4
+temp_c: 21.5
+";
+    group.bench_function("dml_parse", |b| b.iter(|| dml::parse(doc).unwrap()));
+    let parsed = dml::parse(doc).unwrap();
+    group.bench_function("dml_print", |b| b.iter(|| dml::to_string(&parsed)));
+    group.finish();
+}
+
+struct Echo {
+    addr: Addr,
+}
+impl Service for Echo {
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+        sim.send(self.addr, dg.src, dg.payload);
+    }
+}
+
+fn kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.bench_function("event_dispatch_ping_pong", |b| {
+        let mut topo = Topology::new();
+        let n = topo.add_node(NodeSpec::laptop());
+        let mut sim = Sim::new(topo, SimConfig::default());
+        let a = Addr::new(n, 1);
+        let e = Addr::new(n, 2);
+        sim.bind(e, Rc::new(RefCell::new(Echo { addr: e })));
+        b.iter(|| {
+            sim.send(a, e, Bytes::from_static(b"ping"));
+            sim.run_to_completion();
+        })
+    });
+    group.bench_function("prng_next_u64", |b| {
+        let mut rng = Prng::new(1);
+        b.iter(|| rng.next_u64())
+    });
+    group.finish();
+}
+
+/// Broker routing throughput at fan-out: one publish → 100 subscribers.
+struct Sink {
+    conn: MqttConn,
+    received: u64,
+}
+impl Service for Sink {
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+        self.conn.on_datagram(sim, dg);
+        while let Some(ev) = self.conn.poll() {
+            if matches!(ev, digibox_broker::ClientEvent::Message { .. }) {
+                self.received += 1;
+            }
+        }
+    }
+    fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
+        self.conn.on_timer(sim, token);
+    }
+}
+
+fn broker_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    group.sample_size(20);
+    group.bench_function("publish_fanout_100_subscribers", |b| {
+        let mut topo = Topology::new();
+        let n = topo.add_node(NodeSpec::laptop());
+        let mut sim = Sim::new(topo, SimConfig::default());
+        let broker_addr = Addr::new(n, 1883);
+        let broker = digibox_broker::Broker::new(broker_addr);
+        sim.bind(broker_addr, broker);
+        let mut sinks = Vec::new();
+        for i in 0..100u16 {
+            let addr = Addr::new(n, 10_000 + i);
+            let sink = Rc::new(RefCell::new(Sink {
+                conn: MqttConn::new(addr, broker_addr, &format!("s{i}")),
+                received: 0,
+            }));
+            sim.bind(addr, sink.clone());
+            sink.borrow_mut().conn.connect(&mut sim, None);
+            sinks.push(sink);
+        }
+        sim.run_to_completion();
+        for s in &sinks {
+            let mut s = s.borrow_mut();
+            s.conn.subscribe(&mut sim, &[("bench/topic", QoS::AtMostOnce)]);
+        }
+        sim.run_to_completion();
+        let pub_addr = Addr::new(n, 20_000);
+        let publisher = Rc::new(RefCell::new(Sink {
+            conn: MqttConn::new(pub_addr, broker_addr, "pub"),
+            received: 0,
+        }));
+        sim.bind(pub_addr, publisher.clone());
+        publisher.borrow_mut().conn.connect(&mut sim, None);
+        sim.run_to_completion();
+        b.iter(|| {
+            publisher.borrow_mut().conn.publish(
+                &mut sim,
+                "bench/topic",
+                &b"payload"[..],
+                QoS::AtMostOnce,
+                false,
+            );
+            sim.run_to_completion();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mqtt_codec, topic_matching, http_codec, model_ops, kernel, broker_fanout);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Shared workload builders for the experiment benches.
+//!
+//! Every bench in `benches/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). Benches print the paper-style rows
+//! (simulated quantities: request latency, detection rates) once at startup
+//! and then let Criterion measure the *substrate's* wall-clock cost for the
+//! same operations, so `cargo bench` yields both the reproduced results
+//! and the performance of this implementation.
+
+use std::collections::BTreeMap;
+
+use digibox_core::{AppClient, FidelityMode, Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_model::Value;
+use digibox_net::{ServiceHandle, SimDuration};
+
+/// Empty params.
+pub fn no_params() -> BTreeMap<String, Value> {
+    BTreeMap::new()
+}
+
+/// Build the paper's deployment shape: `sensors` occupancy mocks over
+/// `rooms` rooms over `buildings` buildings on the given testbed, all
+/// managed (the microbenchmark measures the request path, not event load).
+pub fn build_deployment(tb: &mut Testbed, sensors: usize, rooms: usize, buildings: usize) {
+    for b in 0..buildings {
+        tb.run_with("Building", &format!("B{b}"), no_params(), true).unwrap();
+    }
+    for r in 0..rooms {
+        tb.run_with("Room", &format!("R{r}"), no_params(), true).unwrap();
+    }
+    for s in 0..sensors {
+        tb.run_with("Occupancy", &format!("O{s}"), no_params(), true).unwrap();
+    }
+    tb.run_for(SimDuration::from_secs(2));
+    for r in 0..rooms {
+        if buildings > 0 {
+            tb.attach(&format!("R{r}"), &format!("B{}", r % buildings)).unwrap();
+        }
+    }
+    for s in 0..sensors {
+        tb.attach(&format!("O{s}"), &format!("R{}", s % rooms)).unwrap();
+    }
+    tb.run_for(SimDuration::from_secs(2));
+}
+
+/// Issue `gets` REST GETs round-robin over the sensors and return the app
+/// client (whose histogram holds the simulated latencies).
+pub fn measure_gets(tb: &mut Testbed, sensors: usize, gets: usize) -> ServiceHandle<AppClient> {
+    let client_node = tb.broker_addr().node;
+    let app = tb.app(client_node);
+    let targets: Vec<_> = (0..sensors).map(|s| tb.digi_addr(&format!("O{s}")).unwrap()).collect();
+    for i in 0..gets {
+        let target = targets[i % targets.len()];
+        app.borrow_mut().get(tb.sim(), target, "/model");
+        tb.run_for(SimDuration::from_millis(30));
+    }
+    tb.run_for(SimDuration::from_secs(1));
+    app
+}
+
+/// A laptop testbed (§4 local environment), logging off for benches.
+pub fn laptop(seed: u64) -> Testbed {
+    Testbed::laptop(
+        full_catalog(),
+        TestbedConfig { seed, logging: false, ..Default::default() },
+    )
+}
+
+/// An EC2 cluster testbed (§4 cloud environment).
+pub fn cluster(nodes: u32, seed: u64) -> Testbed {
+    Testbed::ec2(
+        nodes,
+        full_catalog(),
+        TestbedConfig { seed, logging: false, ..Default::default() },
+    )
+}
+
+/// A testbed with a chosen fidelity mode (logging on: E4/E8 read traces).
+pub fn with_fidelity(fidelity: FidelityMode, seed: u64) -> Testbed {
+    Testbed::laptop(full_catalog(), TestbedConfig { seed, fidelity, ..Default::default() })
+}
+
+/// Run one testbed experiment per seed on its own OS thread and collect
+/// the results in seed order. Testbeds are fully independent (each owns
+/// its kernel), so multi-seed sweeps parallelize trivially — this is the
+/// sharded driver DESIGN.md §4 describes.
+pub fn parallel_sweep<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync + Send,
+{
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> =
+            seeds.iter().map(|&seed| scope.spawn(move |_| f(seed))).collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Paper-style one-line report, printed by each bench before measuring.
+pub fn report(experiment: &str, row: &str) {
+    eprintln!("[{experiment}] {row}");
+}

@@ -1,0 +1,603 @@
+//! The broker service: session management, subscription routing, retained
+//! messages, last-will handling.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use digibox_net::transport::{ReliableEndpoint, TransportEvent};
+use digibox_net::{Addr, Datagram, Service, ServiceHandle, Sim, TimerToken};
+
+use crate::packet::{Packet, QoS};
+use crate::topic::{validate_filter, validate_topic, TopicTrie};
+
+/// Application publishes between `$SYS` refreshes (change-driven rather
+/// than timer-driven so a quiesced testbed's event queue can drain).
+const SYS_EVERY_PUBLISHES: u64 = 64;
+
+/// Broker counters (exposed for the scalability benchmarks).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BrokerStats {
+    pub connects: u64,
+    pub publishes_in: u64,
+    pub publishes_out: u64,
+    pub subscribes: u64,
+    pub retained_served: u64,
+    pub wills_fired: u64,
+    pub malformed: u64,
+}
+
+#[derive(Debug)]
+struct Session {
+    #[allow(dead_code)] // kept for debugging/$SYS-style introspection
+    client_id: String,
+    /// Filters this session holds (mirror of the trie, for cleanup).
+    filters: Vec<String>,
+    will: Option<(String, Bytes)>,
+}
+
+/// The MQTT broker, bound at one address of the simulated network.
+pub struct Broker {
+    addr: Addr,
+    ep: ReliableEndpoint,
+    sessions: HashMap<Addr, Session>,
+    /// filter → (subscriber address, granted qos)
+    subs: TopicTrie<(Addr, QoS)>,
+    /// topic → retained (qos, payload)
+    retained: BTreeMap<String, (QoS, Bytes)>,
+    next_pid: u16,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    pub fn new(addr: Addr) -> ServiceHandle<Broker> {
+        Rc::new(RefCell::new(Broker {
+            addr,
+            ep: ReliableEndpoint::new(addr),
+            sessions: HashMap::new(),
+            subs: TopicTrie::new(),
+            retained: BTreeMap::new(),
+            next_pid: 1,
+            stats: BrokerStats::default(),
+        }))
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> &BrokerStats {
+        &self.stats
+    }
+
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Application-level retained messages (excludes the broker's own
+    /// `$SYS` entries).
+    pub fn retained_count(&self) -> usize {
+        self.retained.keys().filter(|t| !t.starts_with("$SYS")).count()
+    }
+
+    fn next_pid(&mut self) -> u16 {
+        let pid = self.next_pid;
+        self.next_pid = self.next_pid.checked_add(1).unwrap_or(1);
+        pid
+    }
+
+    fn send_packet(&mut self, sim: &mut Sim, to: Addr, pkt: &Packet) {
+        self.ep.send(sim, to, pkt.encode());
+    }
+
+    fn handle_packet(&mut self, sim: &mut Sim, from: Addr, pkt: Packet) {
+        match pkt {
+            Packet::Connect { client_id, flags } => {
+                self.stats.connects += 1;
+                self.sessions.insert(
+                    from,
+                    Session { client_id, filters: Vec::new(), will: flags.will },
+                );
+                self.send_packet(sim, from, &Packet::ConnAck { session_present: false, code: 0 });
+                self.publish_sys(sim);
+            }
+            Packet::Publish { qos, retain, topic, packet_id, payload, .. } => {
+                self.stats.publishes_in += 1;
+                if !validate_topic(&topic) {
+                    self.stats.malformed += 1;
+                    return;
+                }
+                if qos == QoS::AtLeastOnce {
+                    if let Some(pid) = packet_id {
+                        self.send_packet(sim, from, &Packet::PubAck { packet_id: pid });
+                    }
+                }
+                if retain {
+                    if payload.is_empty() {
+                        self.retained.remove(&topic); // empty retained payload clears
+                    } else {
+                        self.retained.insert(topic.clone(), (qos, payload.clone()));
+                    }
+                }
+                self.route(sim, &topic, qos, payload, false);
+                if self.stats.publishes_in % SYS_EVERY_PUBLISHES == 0 {
+                    self.publish_sys(sim);
+                }
+            }
+            Packet::Subscribe { packet_id, filters } => {
+                self.stats.subscribes += 1;
+                let mut codes = Vec::with_capacity(filters.len());
+                let mut granted: Vec<(String, QoS)> = Vec::new();
+                for (filter, qos) in filters {
+                    if validate_filter(&filter) {
+                        codes.push(qos as u8);
+                        granted.push((filter, qos));
+                    } else {
+                        codes.push(0x80); // failure return code
+                    }
+                }
+                // Register before SUBACK so routing is live immediately.
+                for (filter, qos) in &granted {
+                    self.subs.insert(filter, (from, *qos));
+                    if let Some(s) = self.sessions.get_mut(&from) {
+                        s.filters.push(filter.clone());
+                    }
+                }
+                self.send_packet(sim, from, &Packet::SubAck { packet_id, codes });
+                self.publish_sys(sim);
+                // Deliver matching retained messages (retain flag set).
+                let matching: Vec<(String, QoS, Bytes)> = self
+                    .retained
+                    .iter()
+                    .filter(|(topic, _)| {
+                        granted.iter().any(|(f, _)| crate::topic::matches(f, topic))
+                    })
+                    .map(|(t, (q, p))| (t.clone(), *q, p.clone()))
+                    .collect();
+                for (topic, pub_qos, payload) in matching {
+                    let sub_qos = granted
+                        .iter()
+                        .filter(|(f, _)| crate::topic::matches(f, &topic))
+                        .map(|(_, q)| *q)
+                        .max()
+                        .unwrap_or(QoS::AtMostOnce);
+                    let qos = pub_qos.min(sub_qos);
+                    self.stats.retained_served += 1;
+                    self.deliver(sim, from, &topic, qos, payload, true);
+                }
+            }
+            Packet::Unsubscribe { packet_id, filters } => {
+                for filter in &filters {
+                    self.subs.remove_where(filter, |(addr, _)| *addr == from);
+                    if let Some(s) = self.sessions.get_mut(&from) {
+                        s.filters.retain(|f| f != filter);
+                    }
+                }
+                self.send_packet(sim, from, &Packet::UnsubAck { packet_id });
+            }
+            Packet::PubAck { .. } => {
+                // QoS-1 broker→client delivery confirmed. Delivery itself is
+                // guaranteed by the reliable transport; nothing to clean up.
+            }
+            Packet::PingReq => self.send_packet(sim, from, &Packet::PingResp),
+            Packet::Disconnect => {
+                // Graceful close: the will is discarded (spec §3.14).
+                self.drop_session(sim, from, false);
+            }
+            // Server-to-client packets arriving at the broker are protocol
+            // violations from a confused peer; drop them.
+            _ => self.stats.malformed += 1,
+        }
+    }
+
+    /// Route a publication to every matching subscriber.
+    fn route(&mut self, sim: &mut Sim, topic: &str, pub_qos: QoS, payload: Bytes, retain: bool) {
+        let targets: Vec<(Addr, QoS)> = self.subs.lookup(topic).into_iter().copied().collect();
+        // A session subscribed via several matching filters gets one copy at
+        // the highest granted qos.
+        let mut best: HashMap<Addr, QoS> = HashMap::new();
+        for (addr, q) in targets {
+            let e = best.entry(addr).or_insert(q);
+            *e = (*e).max(q);
+        }
+        let mut sorted: Vec<(Addr, QoS)> = best.into_iter().collect();
+        sorted.sort_unstable_by_key(|(a, _)| *a);
+        for (addr, sub_qos) in sorted {
+            let qos = pub_qos.min(sub_qos);
+            self.deliver(sim, addr, topic, qos, payload.clone(), retain);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        sim: &mut Sim,
+        to: Addr,
+        topic: &str,
+        qos: QoS,
+        payload: Bytes,
+        retain: bool,
+    ) {
+        let packet_id = match qos {
+            QoS::AtMostOnce => None,
+            QoS::AtLeastOnce => Some(self.next_pid()),
+        };
+        self.stats.publishes_out += 1;
+        let pkt = Packet::Publish {
+            dup: false,
+            qos,
+            retain,
+            topic: topic.to_string(),
+            packet_id,
+            payload,
+        };
+        self.send_packet(sim, to, &pkt);
+    }
+
+    /// Publish broker statistics on retained `$SYS/broker/...` topics
+    /// (the introspection surface EMQX exposes; `$`-topics are shielded
+    /// from wildcard subscriptions per the MQTT spec, so only clients that
+    /// subscribe explicitly see them). Refreshed on session/subscription
+    /// changes and every [`SYS_EVERY_PUBLISHES`] application publishes.
+    fn publish_sys(&mut self, sim: &mut Sim) {
+        let entries = [
+            ("$SYS/broker/clients/connected", self.sessions.len() as u64),
+            ("$SYS/broker/messages/received", self.stats.publishes_in),
+            ("$SYS/broker/messages/sent", self.stats.publishes_out),
+            ("$SYS/broker/subscriptions/count", self.subs.len() as u64),
+            ("$SYS/broker/retained/count", self.retained_count() as u64),
+        ];
+        for (topic, value) in entries {
+            let payload = Bytes::from(value.to_string());
+            self.retained.insert(topic.to_string(), (QoS::AtMostOnce, payload.clone()));
+            self.route(sim, topic, QoS::AtMostOnce, payload, true);
+        }
+    }
+
+    fn drop_session(&mut self, sim: &mut Sim, addr: Addr, fire_will: bool) {
+        let Some(session) = self.sessions.remove(&addr) else {
+            return;
+        };
+        for filter in &session.filters {
+            self.subs.remove_where(filter, |(a, _)| *a == addr);
+        }
+        if fire_will {
+            if let Some((topic, payload)) = session.will {
+                self.stats.wills_fired += 1;
+                self.route(sim, &topic, QoS::AtMostOnce, payload, false);
+            }
+        }
+    }
+}
+
+impl Service for Broker {
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+        let from = dg.src;
+        if !self.ep.on_datagram(sim, dg) {
+            self.stats.malformed += 1;
+            return;
+        }
+        let _ = from;
+        self.pump(sim);
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
+        self.ep.on_timer(sim, token);
+        self.pump(sim);
+    }
+}
+
+impl Broker {
+    fn pump(&mut self, sim: &mut Sim) {
+        while let Some(ev) = self.ep.poll() {
+            match ev {
+                TransportEvent::Delivered { peer, payload } => match Packet::decode(&payload) {
+                    Ok(pkt) => self.handle_packet(sim, peer, pkt),
+                    Err(_) => self.stats.malformed += 1,
+                },
+                TransportEvent::PeerFailed { peer } => {
+                    // Ungraceful death: fire the last-will (paper §6 lists
+                    // device faults as a fidelity dimension; this is how an
+                    // app observes a mock dying).
+                    self.drop_session(sim, peer, true);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientEvent, MqttConn};
+    use digibox_net::{NodeSpec, SimConfig, Topology};
+
+    /// A service wrapping MqttConn that records every event.
+    struct TestClient {
+        conn: MqttConn,
+        events: Vec<ClientEvent>,
+    }
+
+    impl TestClient {
+        fn new(local: Addr, broker: Addr, id: &str) -> ServiceHandle<TestClient> {
+            Rc::new(RefCell::new(TestClient { conn: MqttConn::new(local, broker, id), events: Vec::new() }))
+        }
+        fn drain(&mut self) {
+            while let Some(ev) = self.conn.poll() {
+                self.events.push(ev);
+            }
+        }
+        fn messages(&self) -> Vec<(String, Vec<u8>)> {
+            self.events
+                .iter()
+                .filter_map(|e| match e {
+                    ClientEvent::Message { topic, payload, .. } => {
+                        Some((topic.clone(), payload.to_vec()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    impl Service for TestClient {
+        fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+            self.conn.on_datagram(sim, dg);
+            self.drain();
+        }
+        fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
+            self.conn.on_timer(sim, token);
+            self.drain();
+        }
+    }
+
+    struct Rig {
+        sim: Sim,
+        broker: ServiceHandle<Broker>,
+        broker_addr: Addr,
+        next_port: u16,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            let mut topo = Topology::new();
+            let n = topo.add_node(NodeSpec::laptop());
+            let mut sim = Sim::new(topo, SimConfig::default());
+            let broker_addr = Addr::new(n, 1883);
+            let broker = Broker::new(broker_addr);
+            sim.bind(broker_addr, broker.clone());
+            Rig { sim, broker, broker_addr, next_port: 10_000 }
+        }
+
+        fn client(&mut self, id: &str) -> (ServiceHandle<TestClient>, Addr) {
+            let node = self.broker_addr.node;
+            let addr = Addr::new(node, self.next_port);
+            self.next_port += 1;
+            let c = TestClient::new(addr, self.broker_addr, id);
+            self.sim.bind(addr, c.clone());
+            c.borrow_mut().conn.connect(&mut self.sim, None);
+            self.sim.run_to_completion();
+            assert!(c.borrow().conn.is_connected(), "client {id} failed to connect");
+            (c, addr)
+        }
+    }
+
+    #[test]
+    fn connect_and_connack() {
+        let mut rig = Rig::new();
+        let (c, _) = rig.client("c1");
+        assert!(matches!(c.borrow().events[0], ClientEvent::Connected { .. }));
+        assert_eq!(rig.broker.borrow().session_count(), 1);
+        assert_eq!(rig.broker.borrow().stats().connects, 1);
+    }
+
+    #[test]
+    fn publish_routes_to_subscribers() {
+        let mut rig = Rig::new();
+        let (sub1, _) = rig.client("sub1");
+        let (sub2, _) = rig.client("sub2");
+        let (publisher, _) = rig.client("pub");
+        sub1.borrow_mut().conn.subscribe(&mut rig.sim, &[("digibox/mock/+/status", QoS::AtMostOnce)]);
+        sub2.borrow_mut().conn.subscribe(&mut rig.sim, &[("digibox/#", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(
+            &mut rig.sim,
+            "digibox/mock/O1/status",
+            &b"{\"triggered\":true}"[..],
+            QoS::AtMostOnce,
+            false,
+        );
+        rig.sim.run_to_completion();
+        assert_eq!(sub1.borrow().messages().len(), 1);
+        assert_eq!(sub2.borrow().messages().len(), 1);
+        assert_eq!(sub1.borrow().messages()[0].0, "digibox/mock/O1/status");
+    }
+
+    #[test]
+    fn qos1_publish_gets_puback() {
+        let mut rig = Rig::new();
+        let (c, _) = rig.client("c");
+        let pid = c.borrow_mut().conn.publish(&mut rig.sim, "a/b", &b"x"[..], QoS::AtLeastOnce, false);
+        rig.sim.run_to_completion();
+        let c = c.borrow();
+        assert_eq!(c.conn.unacked_publishes(), 0);
+        assert!(c.events.iter().any(|e| *e == ClientEvent::PubAck { packet_id: pid.unwrap() }));
+    }
+
+    #[test]
+    fn qos1_subscriber_receives_and_acks() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("t", QoS::AtLeastOnce)]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "t", &b"m"[..], QoS::AtLeastOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub.borrow().messages(), vec![("t".to_string(), b"m".to_vec())]);
+    }
+
+    #[test]
+    fn retained_message_served_on_subscribe() {
+        let mut rig = Rig::new();
+        let (publisher, _) = rig.client("pub");
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "status/L1", &b"on"[..], QoS::AtMostOnce, true);
+        rig.sim.run_to_completion();
+        assert_eq!(rig.broker.borrow().retained_count(), 1);
+        // late subscriber still sees it
+        let (sub, _) = rig.client("sub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("status/+", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        let msgs = sub.borrow().messages();
+        assert_eq!(msgs, vec![("status/L1".to_string(), b"on".to_vec())]);
+        assert!(sub
+            .borrow()
+            .events
+            .iter()
+            .any(|e| matches!(e, ClientEvent::Message { retain: true, .. })));
+    }
+
+    #[test]
+    fn empty_retained_payload_clears() {
+        let mut rig = Rig::new();
+        let (p, _) = rig.client("p");
+        p.borrow_mut().conn.publish(&mut rig.sim, "s", &b"v"[..], QoS::AtMostOnce, true);
+        rig.sim.run_to_completion();
+        assert_eq!(rig.broker.borrow().retained_count(), 1);
+        p.borrow_mut().conn.publish(&mut rig.sim, "s", Bytes::new(), QoS::AtMostOnce, true);
+        rig.sim.run_to_completion();
+        assert_eq!(rig.broker.borrow().retained_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("t", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        sub.borrow_mut().conn.unsubscribe(&mut rig.sim, &["t"]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "t", &b"m"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert!(sub.borrow().messages().is_empty());
+    }
+
+    #[test]
+    fn overlapping_filters_deliver_once() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut()
+            .conn
+            .subscribe(&mut rig.sim, &[("a/#", QoS::AtMostOnce), ("a/+", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "a/b", &b"m"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub.borrow().messages().len(), 1, "no duplicate deliveries");
+    }
+
+    #[test]
+    fn invalid_filter_gets_failure_code_and_no_delivery() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("bad/#/filter", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "bad/x/filter", &b"m"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert!(sub.borrow().messages().is_empty());
+    }
+
+    #[test]
+    fn graceful_disconnect_discards_will() {
+        let mut rig = Rig::new();
+        let (watcher, _) = rig.client("watcher");
+        watcher.borrow_mut().conn.subscribe(&mut rig.sim, &[("lwt/#", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        // client with a will, disconnecting cleanly
+        let node = rig.broker_addr.node;
+        let addr = Addr::new(node, 20_000);
+        let c = TestClient::new(addr, rig.broker_addr, "mortal");
+        rig.sim.bind(addr, c.clone());
+        c.borrow_mut()
+            .conn
+            .connect(&mut rig.sim, Some(("lwt/mortal".into(), Bytes::from_static(b"gone"))));
+        rig.sim.run_to_completion();
+        c.borrow_mut().conn.disconnect(&mut rig.sim);
+        rig.sim.run_to_completion();
+        assert!(watcher.borrow().messages().is_empty());
+        assert_eq!(rig.broker.borrow().session_count(), 1, "mortal's session dropped");
+    }
+
+    #[test]
+    fn publisher_also_subscribed_receives_own_message() {
+        let mut rig = Rig::new();
+        let (c, _) = rig.client("c");
+        c.borrow_mut().conn.subscribe(&mut rig.sim, &[("loop", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        c.borrow_mut().conn.publish(&mut rig.sim, "loop", &b"echo"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(c.borrow().messages().len(), 1);
+    }
+
+    #[test]
+    fn sys_topics_published_and_shielded_from_wildcards() {
+        let mut rig = Rig::new();
+        let (wildcard, _) = rig.client("wildcard");
+        wildcard.borrow_mut().conn.subscribe(&mut rig.sim, &[("#", QoS::AtMostOnce)]);
+        let (sys_watcher, _) = rig.client("sys");
+        sys_watcher
+            .borrow_mut()
+            .conn
+            .subscribe(&mut rig.sim, &[("$SYS/broker/clients/connected", QoS::AtMostOnce)]);
+        // a new connection refreshes $SYS
+        let (_extra, _) = rig.client("extra");
+        rig.sim.run_to_completion();
+        let sys_msgs = sys_watcher.borrow().messages();
+        assert!(!sys_msgs.is_empty(), "explicit $SYS subscriber sees stats");
+        let connected: u64 =
+            String::from_utf8(sys_msgs.last().unwrap().1.clone()).unwrap().parse().unwrap();
+        assert_eq!(connected, 3);
+        // the root wildcard must NOT receive $SYS traffic (spec §4.7.2)
+        assert!(
+            wildcard.borrow().messages().iter().all(|(t, _)| !t.starts_with("$SYS")),
+            "wildcard subscriber leaked $SYS messages"
+        );
+    }
+
+    #[test]
+    fn sys_retained_served_to_late_subscriber() {
+        let mut rig = Rig::new();
+        let (_first, _) = rig.client("first"); // triggers a $SYS refresh
+        let (late, _) = rig.client("late");
+        late.borrow_mut()
+            .conn
+            .subscribe(&mut rig.sim, &[("$SYS/broker/retained/count", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        assert!(!late.borrow().messages().is_empty(), "retained $SYS stat served");
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("t/#", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        for i in 0..10 {
+            publisher.borrow_mut().conn.publish(
+                &mut rig.sim,
+                &format!("t/{i}"),
+                &b"m"[..],
+                QoS::AtMostOnce,
+                false,
+            );
+        }
+        rig.sim.run_to_completion();
+        let b = rig.broker.borrow();
+        assert_eq!(b.stats().publishes_in, 10);
+        assert_eq!(b.stats().publishes_out, 10);
+        assert_eq!(b.stats().subscribes, 1);
+    }
+}

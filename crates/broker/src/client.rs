@@ -1,0 +1,232 @@
+//! Client-side MQTT connection state machine, embedded by mocks, scenes
+//! and applications (they own the [`digibox_net::Service`] binding and
+//! forward datagrams/timers here).
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use digibox_net::transport::{ReliableEndpoint, TransportEvent};
+use digibox_net::{Addr, Datagram, Sim, TimerToken};
+
+use crate::packet::{ConnectFlags, Packet, QoS};
+
+/// Events surfaced to the owner of an [`MqttConn`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// CONNACK received; the session is live.
+    Connected { session_present: bool },
+    /// An application message arrived on a subscribed topic.
+    Message { topic: String, payload: Bytes, retain: bool },
+    /// The broker acknowledged a subscribe request.
+    SubAck { packet_id: u16 },
+    /// The broker acknowledged a QoS-1 publish.
+    PubAck { packet_id: u16 },
+    /// The link to the broker failed (retries exhausted).
+    BrokerLost,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Idle,
+    Connecting,
+    Connected,
+}
+
+/// An MQTT client connection to one broker.
+pub struct MqttConn {
+    broker: Addr,
+    client_id: String,
+    ep: ReliableEndpoint,
+    state: State,
+    next_pid: u16,
+    /// QoS-1 publishes awaiting PUBACK: pid → packet (for observability).
+    unacked: HashMap<u16, String>,
+    events: VecDeque<ClientEvent>,
+}
+
+impl MqttConn {
+    pub fn new(local: Addr, broker: Addr, client_id: &str) -> MqttConn {
+        MqttConn {
+            broker,
+            client_id: client_id.to_string(),
+            ep: ReliableEndpoint::new(local).with_space(1),
+            state: State::Idle,
+            next_pid: 1,
+            unacked: HashMap::new(),
+            events: VecDeque::new(),
+        }
+    }
+
+    pub fn client_id(&self) -> &str {
+        &self.client_id
+    }
+
+    /// The broker address this connection points at.
+    pub fn broker(&self) -> Addr {
+        self.broker
+    }
+
+    pub fn is_connected(&self) -> bool {
+        self.state == State::Connected
+    }
+
+    /// Number of QoS-1 publishes not yet acknowledged.
+    pub fn unacked_publishes(&self) -> usize {
+        self.unacked.len()
+    }
+
+    fn next_pid(&mut self) -> u16 {
+        let pid = self.next_pid;
+        self.next_pid = self.next_pid.checked_add(1).unwrap_or(1);
+        pid
+    }
+
+    fn send_packet(&mut self, sim: &mut Sim, pkt: &Packet) {
+        let broker = self.broker;
+        self.ep.send(sim, broker, pkt.encode());
+    }
+
+    /// Open the session (CONNECT). `will` is the optional last-will message.
+    pub fn connect(&mut self, sim: &mut Sim, will: Option<(String, Bytes)>) {
+        self.state = State::Connecting;
+        let pkt = Packet::Connect {
+            client_id: self.client_id.clone(),
+            flags: ConnectFlags { clean_session: true, will, keep_alive_secs: 60 },
+        };
+        self.send_packet(sim, &pkt);
+    }
+
+    /// Subscribe to topic filters; returns the packet id to correlate the
+    /// eventual [`ClientEvent::SubAck`].
+    pub fn subscribe(&mut self, sim: &mut Sim, filters: &[(&str, QoS)]) -> u16 {
+        let pid = self.next_pid();
+        let pkt = Packet::Subscribe {
+            packet_id: pid,
+            filters: filters.iter().map(|(f, q)| (f.to_string(), *q)).collect(),
+        };
+        self.send_packet(sim, &pkt);
+        pid
+    }
+
+    pub fn unsubscribe(&mut self, sim: &mut Sim, filters: &[&str]) -> u16 {
+        let pid = self.next_pid();
+        let pkt = Packet::Unsubscribe {
+            packet_id: pid,
+            filters: filters.iter().map(|s| s.to_string()).collect(),
+        };
+        self.send_packet(sim, &pkt);
+        pid
+    }
+
+    /// Publish. Returns the packet id for QoS-1 publishes.
+    pub fn publish(
+        &mut self,
+        sim: &mut Sim,
+        topic: &str,
+        payload: impl Into<Bytes>,
+        qos: QoS,
+        retain: bool,
+    ) -> Option<u16> {
+        let packet_id = match qos {
+            QoS::AtMostOnce => None,
+            QoS::AtLeastOnce => Some(self.next_pid()),
+        };
+        if let Some(pid) = packet_id {
+            self.unacked.insert(pid, topic.to_string());
+        }
+        let pkt = Packet::Publish {
+            dup: false,
+            qos,
+            retain,
+            topic: topic.to_string(),
+            packet_id,
+            payload: payload.into(),
+        };
+        self.send_packet(sim, &pkt);
+        packet_id
+    }
+
+    pub fn ping(&mut self, sim: &mut Sim) {
+        self.send_packet(sim, &Packet::PingReq);
+    }
+
+    /// Graceful teardown (broker discards the last-will).
+    pub fn disconnect(&mut self, sim: &mut Sim) {
+        self.send_packet(sim, &Packet::Disconnect);
+        self.state = State::Idle;
+    }
+
+    /// Feed a datagram from the owning service. Returns true when consumed.
+    pub fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) -> bool {
+        if dg.src != self.broker {
+            return false;
+        }
+        if !self.ep.on_datagram(sim, dg) {
+            return false;
+        }
+        self.pump(sim);
+        true
+    }
+
+    /// Feed a timer token. Returns true when it belonged to the transport.
+    pub fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) -> bool {
+        let mine = self.ep.on_timer(sim, token);
+        if mine {
+            self.pump(sim);
+        }
+        mine
+    }
+
+    fn pump(&mut self, sim: &mut Sim) {
+        while let Some(ev) = self.ep.poll() {
+            match ev {
+                TransportEvent::Delivered { payload, .. } => match Packet::decode(&payload) {
+                    Ok(pkt) => self.handle_packet(sim, pkt),
+                    Err(_) => { /* count and drop malformed broker frames */ }
+                },
+                TransportEvent::PeerFailed { .. } => {
+                    self.state = State::Idle;
+                    self.events.push_back(ClientEvent::BrokerLost);
+                }
+            }
+        }
+    }
+
+    fn handle_packet(&mut self, sim: &mut Sim, pkt: Packet) {
+        match pkt {
+            Packet::ConnAck { session_present, code: 0 } => {
+                self.state = State::Connected;
+                self.events.push_back(ClientEvent::Connected { session_present });
+            }
+            Packet::ConnAck { .. } => {
+                self.state = State::Idle;
+                self.events.push_back(ClientEvent::BrokerLost);
+            }
+            Packet::Publish { topic, payload, retain, qos, packet_id, .. } => {
+                // QoS-1 inbound: acknowledge before surfacing.
+                if qos == QoS::AtLeastOnce {
+                    if let Some(pid) = packet_id {
+                        self.send_packet(sim, &Packet::PubAck { packet_id: pid });
+                    }
+                }
+                self.events.push_back(ClientEvent::Message { topic, payload, retain });
+            }
+            Packet::PubAck { packet_id } => {
+                self.unacked.remove(&packet_id);
+                self.events.push_back(ClientEvent::PubAck { packet_id });
+            }
+            Packet::SubAck { packet_id, .. } => {
+                self.events.push_back(ClientEvent::SubAck { packet_id });
+            }
+            Packet::UnsubAck { .. } | Packet::PingResp => {}
+            // Packets only a client sends — ignore if a confused peer sends them.
+            _ => {}
+        }
+    }
+
+    /// Pop the next pending event.
+    pub fn poll(&mut self) -> Option<ClientEvent> {
+        self.events.pop_front()
+    }
+}

@@ -1,0 +1,24 @@
+//! # digibox-broker
+//!
+//! An MQTT-subset message broker for Digibox testbeds — the stand-in for
+//! EMQX in the paper's deployment (§4). Mocks publish status updates and
+//! applications publish commands through a [`Broker`] service bound on the
+//! simulated network; both sides speak real MQTT 3.1.1 packets
+//! ([`packet`]) over the reliable transport, so messages round-trip through
+//! an actual wire encoding rather than function calls.
+//!
+//! Supported: CONNECT/CONNACK (with last-will), PUBLISH QoS 0 and 1 (with
+//! PUBACK, DUP redelivery), SUBSCRIBE/SUBACK with `+`/`#` wildcards,
+//! UNSUBSCRIBE, retained messages, PINGREQ/PINGRESP, DISCONNECT.
+//! Not supported (out of scope for the testbed): QoS 2, persistent session
+//! resumption, auth.
+
+mod broker;
+mod client;
+pub mod packet;
+mod topic;
+
+pub use broker::{Broker, BrokerStats};
+pub use client::{ClientEvent, MqttConn};
+pub use packet::{ConnectFlags, Packet, PacketError, QoS};
+pub use topic::{matches, validate_filter, validate_topic, TopicTrie};

@@ -1,0 +1,557 @@
+//! MQTT 3.1.1-subset packet codec.
+//!
+//! Wire format follows the OASIS spec for the packet types Digibox uses:
+//! fixed header (type + flags, varint remaining length), UTF-8 length-
+//! prefixed strings, u16 packet identifiers.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Quality of service for a publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QoS {
+    /// Fire and forget.
+    AtMostOnce = 0,
+    /// Acknowledged via PUBACK; may be redelivered with DUP.
+    AtLeastOnce = 1,
+}
+
+impl QoS {
+    pub fn from_bits(bits: u8) -> Option<QoS> {
+        match bits {
+            0 => Some(QoS::AtMostOnce),
+            1 => Some(QoS::AtLeastOnce),
+            _ => None, // QoS 2 unsupported
+        }
+    }
+}
+
+/// CONNECT options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConnectFlags {
+    pub clean_session: bool,
+    /// Last-will: published by the broker when the session dies unexpectedly.
+    pub will: Option<(String, Bytes)>,
+    pub keep_alive_secs: u16,
+}
+
+/// The MQTT packets Digibox speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    Connect { client_id: String, flags: ConnectFlags },
+    ConnAck { session_present: bool, code: u8 },
+    Publish { dup: bool, qos: QoS, retain: bool, topic: String, packet_id: Option<u16>, payload: Bytes },
+    PubAck { packet_id: u16 },
+    Subscribe { packet_id: u16, filters: Vec<(String, QoS)> },
+    SubAck { packet_id: u16, codes: Vec<u8> },
+    Unsubscribe { packet_id: u16, filters: Vec<String> },
+    UnsubAck { packet_id: u16 },
+    PingReq,
+    PingResp,
+    Disconnect,
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketError {
+    Truncated,
+    BadPacketType(u8),
+    BadFlags { packet_type: u8, flags: u8 },
+    BadRemainingLength,
+    BadUtf8,
+    BadQoS(u8),
+    BadProtocol,
+    /// A QoS>0 publish without a packet id (or vice versa).
+    MissingPacketId,
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet truncated"),
+            PacketError::BadPacketType(t) => write!(f, "unknown packet type {t}"),
+            PacketError::BadFlags { packet_type, flags } => {
+                write!(f, "invalid flags {flags:#06b} for packet type {packet_type}")
+            }
+            PacketError::BadRemainingLength => write!(f, "invalid remaining-length encoding"),
+            PacketError::BadUtf8 => write!(f, "string field is not valid utf-8"),
+            PacketError::BadQoS(q) => write!(f, "unsupported qos {q}"),
+            PacketError::BadProtocol => write!(f, "unsupported protocol name/level"),
+            PacketError::MissingPacketId => write!(f, "qos>0 publish requires a packet id"),
+            PacketError::TrailingBytes(n) => write!(f, "{n} unexpected trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+const TYPE_CONNECT: u8 = 1;
+const TYPE_CONNACK: u8 = 2;
+const TYPE_PUBLISH: u8 = 3;
+const TYPE_PUBACK: u8 = 4;
+const TYPE_SUBSCRIBE: u8 = 8;
+const TYPE_SUBACK: u8 = 9;
+const TYPE_UNSUBSCRIBE: u8 = 10;
+const TYPE_UNSUBACK: u8 = 11;
+const TYPE_PINGREQ: u8 = 12;
+const TYPE_PINGRESP: u8 = 13;
+const TYPE_DISCONNECT: u8 = 14;
+
+const CONNECT_FLAG_CLEAN: u8 = 0x02;
+const CONNECT_FLAG_WILL: u8 = 0x04;
+
+impl Packet {
+    /// Encode into a standalone byte buffer (fixed header + body).
+    pub fn encode(&self) -> Bytes {
+        let body = self.encode_body();
+        let (ptype, flags) = self.type_and_flags();
+        let mut out = BytesMut::with_capacity(body.len() + 5);
+        out.put_u8((ptype << 4) | flags);
+        put_remaining_length(&mut out, body.len());
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    fn type_and_flags(&self) -> (u8, u8) {
+        match self {
+            Packet::Connect { .. } => (TYPE_CONNECT, 0),
+            Packet::ConnAck { .. } => (TYPE_CONNACK, 0),
+            Packet::Publish { dup, qos, retain, .. } => {
+                let mut f = 0u8;
+                if *dup {
+                    f |= 0b1000;
+                }
+                f |= (*qos as u8) << 1;
+                if *retain {
+                    f |= 0b0001;
+                }
+                (TYPE_PUBLISH, f)
+            }
+            Packet::PubAck { .. } => (TYPE_PUBACK, 0),
+            Packet::Subscribe { .. } => (TYPE_SUBSCRIBE, 0b0010),
+            Packet::SubAck { .. } => (TYPE_SUBACK, 0),
+            Packet::Unsubscribe { .. } => (TYPE_UNSUBSCRIBE, 0b0010),
+            Packet::UnsubAck { .. } => (TYPE_UNSUBACK, 0),
+            Packet::PingReq => (TYPE_PINGREQ, 0),
+            Packet::PingResp => (TYPE_PINGRESP, 0),
+            Packet::Disconnect => (TYPE_DISCONNECT, 0),
+        }
+    }
+
+    fn encode_body(&self) -> BytesMut {
+        let mut b = BytesMut::new();
+        match self {
+            Packet::Connect { client_id, flags } => {
+                put_string(&mut b, "MQTT");
+                b.put_u8(4); // protocol level 3.1.1
+                let mut cf = 0u8;
+                if flags.clean_session {
+                    cf |= CONNECT_FLAG_CLEAN;
+                }
+                if flags.will.is_some() {
+                    cf |= CONNECT_FLAG_WILL;
+                }
+                b.put_u8(cf);
+                b.put_u16(flags.keep_alive_secs);
+                put_string(&mut b, client_id);
+                if let Some((topic, payload)) = &flags.will {
+                    put_string(&mut b, topic);
+                    b.put_u16(payload.len() as u16);
+                    b.put_slice(payload);
+                }
+            }
+            Packet::ConnAck { session_present, code } => {
+                b.put_u8(u8::from(*session_present));
+                b.put_u8(*code);
+            }
+            Packet::Publish { topic, packet_id, payload, qos, .. } => {
+                put_string(&mut b, topic);
+                if *qos != QoS::AtMostOnce {
+                    b.put_u16(packet_id.expect("qos>0 publish needs a packet id"));
+                }
+                b.put_slice(payload);
+            }
+            Packet::PubAck { packet_id } | Packet::UnsubAck { packet_id } => {
+                b.put_u16(*packet_id);
+            }
+            Packet::Subscribe { packet_id, filters } => {
+                b.put_u16(*packet_id);
+                for (f, q) in filters {
+                    put_string(&mut b, f);
+                    b.put_u8(*q as u8);
+                }
+            }
+            Packet::SubAck { packet_id, codes } => {
+                b.put_u16(*packet_id);
+                for c in codes {
+                    b.put_u8(*c);
+                }
+            }
+            Packet::Unsubscribe { packet_id, filters } => {
+                b.put_u16(*packet_id);
+                for f in filters {
+                    put_string(&mut b, f);
+                }
+            }
+            Packet::PingReq | Packet::PingResp | Packet::Disconnect => {}
+        }
+        b
+    }
+
+    /// Decode a standalone packet; the buffer must contain exactly one
+    /// packet (our transport preserves message boundaries).
+    pub fn decode(buf: &[u8]) -> Result<Packet, PacketError> {
+        let mut cur = buf;
+        if cur.remaining() < 2 {
+            return Err(PacketError::Truncated);
+        }
+        let first = cur.get_u8();
+        let ptype = first >> 4;
+        let flags = first & 0x0F;
+        let remaining = get_remaining_length(&mut cur)?;
+        if cur.remaining() < remaining {
+            return Err(PacketError::Truncated);
+        }
+        if cur.remaining() > remaining {
+            return Err(PacketError::TrailingBytes(cur.remaining() - remaining));
+        }
+        let mut body = &cur[..remaining];
+        let pkt = match ptype {
+            TYPE_CONNECT => {
+                expect_flags(ptype, flags, 0)?;
+                let proto = get_string(&mut body)?;
+                let level = get_u8(&mut body)?;
+                if proto != "MQTT" || level != 4 {
+                    return Err(PacketError::BadProtocol);
+                }
+                let cf = get_u8(&mut body)?;
+                let keep_alive_secs = get_u16(&mut body)?;
+                let client_id = get_string(&mut body)?;
+                let will = if cf & CONNECT_FLAG_WILL != 0 {
+                    let topic = get_string(&mut body)?;
+                    let len = get_u16(&mut body)? as usize;
+                    if body.remaining() < len {
+                        return Err(PacketError::Truncated);
+                    }
+                    let payload = Bytes::copy_from_slice(&body[..len]);
+                    body.advance(len);
+                    Some((topic, payload))
+                } else {
+                    None
+                };
+                Packet::Connect {
+                    client_id,
+                    flags: ConnectFlags {
+                        clean_session: cf & CONNECT_FLAG_CLEAN != 0,
+                        will,
+                        keep_alive_secs,
+                    },
+                }
+            }
+            TYPE_CONNACK => {
+                expect_flags(ptype, flags, 0)?;
+                let sp = get_u8(&mut body)?;
+                let code = get_u8(&mut body)?;
+                Packet::ConnAck { session_present: sp != 0, code }
+            }
+            TYPE_PUBLISH => {
+                let dup = flags & 0b1000 != 0;
+                let retain = flags & 0b0001 != 0;
+                let qos = QoS::from_bits((flags >> 1) & 0b11)
+                    .ok_or(PacketError::BadQoS((flags >> 1) & 0b11))?;
+                let topic = get_string(&mut body)?;
+                let packet_id = if qos != QoS::AtMostOnce {
+                    Some(get_u16(&mut body)?)
+                } else {
+                    None
+                };
+                let payload = Bytes::copy_from_slice(body);
+                body = &body[body.len()..];
+                Packet::Publish { dup, qos, retain, topic, packet_id, payload }
+            }
+            TYPE_PUBACK => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::PubAck { packet_id: get_u16(&mut body)? }
+            }
+            TYPE_SUBSCRIBE => {
+                expect_flags(ptype, flags, 0b0010)?;
+                let packet_id = get_u16(&mut body)?;
+                let mut filters = Vec::new();
+                while body.has_remaining() {
+                    let f = get_string(&mut body)?;
+                    let q = get_u8(&mut body)?;
+                    filters.push((f, QoS::from_bits(q).ok_or(PacketError::BadQoS(q))?));
+                }
+                Packet::Subscribe { packet_id, filters }
+            }
+            TYPE_SUBACK => {
+                expect_flags(ptype, flags, 0)?;
+                let packet_id = get_u16(&mut body)?;
+                let codes = body.to_vec();
+                body = &body[body.len()..];
+                Packet::SubAck { packet_id, codes }
+            }
+            TYPE_UNSUBSCRIBE => {
+                expect_flags(ptype, flags, 0b0010)?;
+                let packet_id = get_u16(&mut body)?;
+                let mut filters = Vec::new();
+                while body.has_remaining() {
+                    filters.push(get_string(&mut body)?);
+                }
+                Packet::Unsubscribe { packet_id, filters }
+            }
+            TYPE_UNSUBACK => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::UnsubAck { packet_id: get_u16(&mut body)? }
+            }
+            TYPE_PINGREQ => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::PingReq
+            }
+            TYPE_PINGRESP => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::PingResp
+            }
+            TYPE_DISCONNECT => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::Disconnect
+            }
+            other => return Err(PacketError::BadPacketType(other)),
+        };
+        if body.has_remaining() {
+            return Err(PacketError::TrailingBytes(body.remaining()));
+        }
+        Ok(pkt)
+    }
+}
+
+fn expect_flags(packet_type: u8, flags: u8, expected: u8) -> Result<(), PacketError> {
+    if flags == expected {
+        Ok(())
+    } else {
+        Err(PacketError::BadFlags { packet_type, flags })
+    }
+}
+
+fn put_remaining_length(b: &mut BytesMut, mut len: usize) {
+    loop {
+        let mut byte = (len % 128) as u8;
+        len /= 128;
+        if len > 0 {
+            byte |= 0x80;
+        }
+        b.put_u8(byte);
+        if len == 0 {
+            break;
+        }
+    }
+}
+
+fn get_remaining_length(cur: &mut &[u8]) -> Result<usize, PacketError> {
+    let mut multiplier = 1usize;
+    let mut value = 0usize;
+    for _ in 0..4 {
+        if !cur.has_remaining() {
+            return Err(PacketError::Truncated);
+        }
+        let byte = cur.get_u8();
+        value += (byte & 0x7F) as usize * multiplier;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        multiplier *= 128;
+    }
+    Err(PacketError::BadRemainingLength)
+}
+
+fn put_string(b: &mut BytesMut, s: &str) {
+    b.put_u16(s.len() as u16);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_string(cur: &mut &[u8]) -> Result<String, PacketError> {
+    let len = get_u16(cur)? as usize;
+    if cur.remaining() < len {
+        return Err(PacketError::Truncated);
+    }
+    let s = std::str::from_utf8(&cur[..len]).map_err(|_| PacketError::BadUtf8)?.to_string();
+    cur.advance(len);
+    Ok(s)
+}
+
+fn get_u8(cur: &mut &[u8]) -> Result<u8, PacketError> {
+    if !cur.has_remaining() {
+        return Err(PacketError::Truncated);
+    }
+    Ok(cur.get_u8())
+}
+
+fn get_u16(cur: &mut &[u8]) -> Result<u16, PacketError> {
+    if cur.remaining() < 2 {
+        return Err(PacketError::Truncated);
+    }
+    Ok(cur.get_u16())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(p: Packet) {
+        let enc = p.encode();
+        let back = Packet::decode(&enc).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn connect_roundtrip() {
+        roundtrip(Packet::Connect {
+            client_id: "mock/O1".into(),
+            flags: ConnectFlags { clean_session: true, will: None, keep_alive_secs: 30 },
+        });
+        roundtrip(Packet::Connect {
+            client_id: "mock/L1".into(),
+            flags: ConnectFlags {
+                clean_session: false,
+                will: Some(("digibox/lwt/L1".into(), Bytes::from_static(b"offline"))),
+                keep_alive_secs: 0,
+            },
+        });
+    }
+
+    #[test]
+    fn publish_roundtrip_qos0_and_1() {
+        roundtrip(Packet::Publish {
+            dup: false,
+            qos: QoS::AtMostOnce,
+            retain: true,
+            topic: "digibox/mock/O1/status".into(),
+            packet_id: None,
+            payload: Bytes::from_static(b"{\"triggered\":true}"),
+        });
+        roundtrip(Packet::Publish {
+            dup: true,
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            topic: "digibox/scene/room/event".into(),
+            packet_id: Some(77),
+            payload: Bytes::from_static(b"x"),
+        });
+    }
+
+    #[test]
+    fn subscribe_suback_roundtrip() {
+        roundtrip(Packet::Subscribe {
+            packet_id: 3,
+            filters: vec![
+                ("digibox/mock/+/status".into(), QoS::AtLeastOnce),
+                ("digibox/#".into(), QoS::AtMostOnce),
+            ],
+        });
+        roundtrip(Packet::SubAck { packet_id: 3, codes: vec![1, 0] });
+        roundtrip(Packet::Unsubscribe { packet_id: 4, filters: vec!["a/b".into()] });
+        roundtrip(Packet::UnsubAck { packet_id: 4 });
+    }
+
+    #[test]
+    fn control_packets_roundtrip() {
+        roundtrip(Packet::PingReq);
+        roundtrip(Packet::PingResp);
+        roundtrip(Packet::Disconnect);
+        roundtrip(Packet::ConnAck { session_present: true, code: 0 });
+        roundtrip(Packet::PubAck { packet_id: 65535 });
+    }
+
+    #[test]
+    fn remaining_length_encoding() {
+        // spec examples: 0 → [0], 127 → [127], 128 → [0x80, 1], 16383 → [0xFF, 0x7F]
+        for (n, expect) in [
+            (0usize, vec![0u8]),
+            (127, vec![127]),
+            (128, vec![0x80, 1]),
+            (16383, vec![0xFF, 0x7F]),
+            (16384, vec![0x80, 0x80, 1]),
+        ] {
+            let mut b = BytesMut::new();
+            put_remaining_length(&mut b, n);
+            assert_eq!(b.to_vec(), expect, "encoding {n}");
+            let mut cur: &[u8] = &b;
+            assert_eq!(get_remaining_length(&mut cur).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(Packet::decode(&[]), Err(PacketError::Truncated));
+        assert_eq!(Packet::decode(&[0xF0, 0]), Err(PacketError::BadPacketType(15)));
+        // SUBSCRIBE with wrong flags
+        assert!(matches!(
+            Packet::decode(&[0x80, 2, 0, 1]),
+            Err(PacketError::BadFlags { .. })
+        ));
+        // PUBLISH with QoS 3
+        assert!(matches!(Packet::decode(&[0x36, 0]), Err(PacketError::BadQoS(3))));
+        // truncated body
+        let enc = Packet::PubAck { packet_id: 7 }.encode();
+        assert_eq!(Packet::decode(&enc[..enc.len() - 1]), Err(PacketError::Truncated));
+        // trailing garbage
+        let mut with_garbage = enc.to_vec();
+        with_garbage.push(0xAA);
+        assert!(matches!(Packet::decode(&with_garbage), Err(PacketError::TrailingBytes(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_protocol() {
+        // handcraft a CONNECT with protocol level 3
+        let mut body = BytesMut::new();
+        put_string(&mut body, "MQTT");
+        body.put_u8(3);
+        body.put_u8(0);
+        body.put_u16(0);
+        put_string(&mut body, "c");
+        let mut pkt = BytesMut::new();
+        pkt.put_u8(TYPE_CONNECT << 4);
+        put_remaining_length(&mut pkt, body.len());
+        pkt.put_slice(&body);
+        assert_eq!(Packet::decode(&pkt), Err(PacketError::BadProtocol));
+    }
+
+    proptest! {
+        #[test]
+        fn publish_roundtrip_prop(
+            topic in "[a-z0-9/]{1,40}",
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            retain in any::<bool>(),
+            dup in any::<bool>(),
+            qos1 in any::<bool>(),
+            pid in any::<u16>(),
+        ) {
+            let p = Packet::Publish {
+                dup,
+                qos: if qos1 { QoS::AtLeastOnce } else { QoS::AtMostOnce },
+                retain,
+                topic,
+                packet_id: if qos1 { Some(pid) } else { None },
+                payload: Bytes::from(payload),
+            };
+            let back = Packet::decode(&p.encode()).unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Packet::decode(&data);
+        }
+
+        #[test]
+        fn remaining_length_roundtrip_prop(n in 0usize..268_435_455) {
+            let mut b = BytesMut::new();
+            put_remaining_length(&mut b, n);
+            let mut cur: &[u8] = &b;
+            prop_assert_eq!(get_remaining_length(&mut cur).unwrap(), n);
+        }
+    }
+}

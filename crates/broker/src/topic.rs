@@ -1,0 +1,277 @@
+//! MQTT topic names, filters, matching rules, and a subscription trie.
+//!
+//! Semantics follow MQTT 3.1.1 §4.7: `/`-separated levels, `+` matches
+//! exactly one level, `#` matches any suffix (must be last), and wildcard
+//! filters do not match topics starting with `$`.
+
+use std::collections::BTreeMap;
+
+/// Is `topic` a valid topic *name* (publishable)? No wildcards allowed.
+pub fn validate_topic(topic: &str) -> bool {
+    !topic.is_empty()
+        && topic.len() <= 65_535
+        && !topic.contains(['+', '#'])
+        && !topic.contains('\0')
+}
+
+/// Is `filter` a valid topic *filter* (subscribable)?
+pub fn validate_filter(filter: &str) -> bool {
+    if filter.is_empty() || filter.len() > 65_535 || filter.contains('\0') {
+        return false;
+    }
+    let levels: Vec<&str> = filter.split('/').collect();
+    for (i, level) in levels.iter().enumerate() {
+        match *level {
+            "#" => {
+                if i != levels.len() - 1 {
+                    return false; // '#' only at the end
+                }
+            }
+            "+" => {}
+            l => {
+                if l.contains(['+', '#']) {
+                    return false; // wildcards must stand alone in a level
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Does `filter` match `topic` under MQTT rules?
+pub fn matches(filter: &str, topic: &str) -> bool {
+    // Wildcard filters don't match $-topics (spec §4.7.2).
+    if topic.starts_with('$') && (filter.starts_with('+') || filter.starts_with('#')) {
+        return false;
+    }
+    let mut f = filter.split('/');
+    let mut t = topic.split('/');
+    loop {
+        match (f.next(), t.next()) {
+            (Some("#"), _) => return true,
+            (Some("+"), Some(_)) => {}
+            (Some(fl), Some(tl)) if fl == tl => {}
+            (None, None) => return true,
+            // "a/#" also matches "a" (the parent level)
+            _ => {
+                return false;
+            }
+        }
+    }
+}
+
+/// A subscription trie: filters map to values; `lookup(topic)` collects the
+/// values of every matching filter in one pass. Used by the broker to route
+/// a publish to its subscribers without scanning all sessions.
+#[derive(Debug, Clone)]
+pub struct TopicTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: BTreeMap<String, Node<T>>,
+    /// Values registered on the exact filter ending at this node.
+    values: Vec<T>,
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node { children: BTreeMap::new(), values: Vec::new() }
+    }
+}
+
+impl<T> Default for TopicTrie<T> {
+    fn default() -> Self {
+        TopicTrie::new()
+    }
+}
+
+impl<T> TopicTrie<T> {
+    pub fn new() -> TopicTrie<T> {
+        TopicTrie { root: Node::default(), len: 0 }
+    }
+
+    /// Number of stored values (not distinct filters).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Register `value` under `filter` (assumed pre-validated).
+    pub fn insert(&mut self, filter: &str, value: T) {
+        let mut node = &mut self.root;
+        for level in filter.split('/') {
+            node = node.children.entry(level.to_string()).or_default();
+        }
+        node.values.push(value);
+        self.len += 1;
+    }
+
+    /// Remove every value under `filter` for which `pred` returns true.
+    /// Returns how many were removed.
+    pub fn remove_where(&mut self, filter: &str, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut node = &mut self.root;
+        for level in filter.split('/') {
+            match node.children.get_mut(level) {
+                Some(n) => node = n,
+                None => return 0,
+            }
+        }
+        let before = node.values.len();
+        node.values.retain(|v| !pred(v));
+        let removed = before - node.values.len();
+        self.len -= removed;
+        removed
+    }
+
+    /// Collect references to every value whose filter matches `topic`.
+    pub fn lookup(&self, topic: &str) -> Vec<&T> {
+        let levels: Vec<&str> = topic.split('/').collect();
+        let mut out = Vec::new();
+        let skip_wildcards_at_root = topic.starts_with('$');
+        Self::walk(&self.root, &levels, 0, skip_wildcards_at_root, &mut out);
+        out
+    }
+
+    fn walk<'a>(
+        node: &'a Node<T>,
+        levels: &[&str],
+        depth: usize,
+        dollar_guard: bool,
+        out: &mut Vec<&'a T>,
+    ) {
+        // '#' at this level matches everything below (including the parent).
+        if let Some(hash) = node.children.get("#") {
+            if !(dollar_guard && depth == 0) {
+                out.extend(hash.values.iter());
+            }
+        }
+        if depth == levels.len() {
+            out.extend(node.values.iter());
+            return;
+        }
+        let level = levels[depth];
+        if let Some(child) = node.children.get(level) {
+            Self::walk(child, levels, depth + 1, dollar_guard, out);
+        }
+        if let Some(plus) = node.children.get("+") {
+            if !(dollar_guard && depth == 0) {
+                Self::walk(plus, levels, depth + 1, dollar_guard, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_validation() {
+        assert!(validate_topic("a/b/c"));
+        assert!(validate_topic("digibox/mock/O1/status"));
+        assert!(!validate_topic(""));
+        assert!(!validate_topic("a/+/c"));
+        assert!(!validate_topic("a/#"));
+    }
+
+    #[test]
+    fn filter_validation() {
+        assert!(validate_filter("a/b/c"));
+        assert!(validate_filter("a/+/c"));
+        assert!(validate_filter("a/#"));
+        assert!(validate_filter("#"));
+        assert!(validate_filter("+/+"));
+        assert!(!validate_filter(""));
+        assert!(!validate_filter("a/#/c")); // '#' not last
+        assert!(!validate_filter("a/b+")); // wildcard not alone
+        assert!(!validate_filter("a/#b"));
+    }
+
+    #[test]
+    fn matching_rules() {
+        assert!(matches("a/b", "a/b"));
+        assert!(!matches("a/b", "a/c"));
+        assert!(matches("a/+", "a/b"));
+        assert!(!matches("a/+", "a/b/c"));
+        assert!(matches("a/#", "a/b/c"));
+        assert!(matches("a/#", "a"));
+        assert!(matches("#", "anything/at/all"));
+        assert!(matches("+/+", "a/b"));
+        assert!(!matches("+", "a/b"));
+        // $-topics are protected from root wildcards
+        assert!(!matches("#", "$SYS/stats"));
+        assert!(!matches("+/stats", "$SYS/stats"));
+        assert!(matches("$SYS/stats", "$SYS/stats"));
+        assert!(matches("$SYS/#", "$SYS/stats"));
+    }
+
+    #[test]
+    fn empty_levels_are_significant() {
+        assert!(matches("a//b", "a//b"));
+        assert!(!matches("a/b", "a//b"));
+        assert!(matches("a/+/b", "a//b")); // '+' matches the empty level
+    }
+
+    #[test]
+    fn trie_lookup_matches_linear_scan() {
+        let filters = [
+            "digibox/mock/O1/status",
+            "digibox/mock/+/status",
+            "digibox/#",
+            "digibox/scene/+/event",
+            "#",
+            "other/topic",
+        ];
+        let mut trie = TopicTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        let topics = [
+            "digibox/mock/O1/status",
+            "digibox/mock/O2/status",
+            "digibox/scene/room/event",
+            "other/topic",
+            "unrelated",
+            "$SYS/internal",
+        ];
+        for topic in topics {
+            let mut expect: Vec<usize> =
+                filters.iter().enumerate().filter(|(_, f)| matches(f, topic)).map(|(i, _)| i).collect();
+            let mut got: Vec<usize> = trie.lookup(topic).into_iter().copied().collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "topic {topic}");
+        }
+    }
+
+    #[test]
+    fn trie_remove() {
+        let mut trie = TopicTrie::new();
+        trie.insert("a/+", 1);
+        trie.insert("a/+", 2);
+        trie.insert("a/#", 3);
+        assert_eq!(trie.len(), 3);
+        assert_eq!(trie.remove_where("a/+", |v| *v == 1), 1);
+        assert_eq!(trie.len(), 2);
+        let got: Vec<i32> = trie.lookup("a/b").into_iter().copied().collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&2) && got.contains(&3));
+        // removing from a filter that was never inserted is a no-op
+        assert_eq!(trie.remove_where("z/z", |_| true), 0);
+    }
+
+    #[test]
+    fn hash_matches_parent_level_in_trie() {
+        let mut trie = TopicTrie::new();
+        trie.insert("a/#", 1);
+        assert_eq!(trie.lookup("a").len(), 1);
+        assert_eq!(trie.lookup("a/b/c").len(), 1);
+        assert_eq!(trie.lookup("b").len(), 0);
+    }
+}

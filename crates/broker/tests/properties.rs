@@ -1,0 +1,98 @@
+//! Property-based tests on MQTT topic semantics: the trie agrees with the
+//! reference matcher on arbitrary filters/topics, and validation is
+//! internally consistent.
+
+use proptest::prelude::*;
+
+use digibox_broker::{matches, validate_filter, validate_topic, TopicTrie};
+
+/// Strategy: topic levels (may be empty — MQTT allows empty levels).
+fn level() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[a-z0-9]{1,6}".prop_map(|s| s),
+    ]
+}
+
+/// Strategy: a topic name (no wildcards).
+fn topic() -> impl Strategy<Value = String> {
+    prop::collection::vec(level(), 1..5).prop_map(|ls| ls.join("/"))
+        .prop_filter("topic must be non-empty", |t| !t.is_empty())
+}
+
+/// Strategy: a filter (levels may be wildcards).
+fn filter() -> impl Strategy<Value = String> {
+    let wild_level = prop_oneof![
+        level().prop_map(|l| l),
+        Just("+".to_string()),
+    ];
+    (prop::collection::vec(wild_level, 1..5), any::<bool>()).prop_map(|(mut ls, hash)| {
+        if hash {
+            ls.push("#".to_string());
+        }
+        ls.join("/")
+    })
+    .prop_filter("filter must be non-empty", |f| !f.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_filters_validate(f in filter()) {
+        prop_assert!(validate_filter(&f), "generated filter {f:?} should validate");
+    }
+
+    #[test]
+    fn generated_topics_validate(t in topic()) {
+        prop_assert!(validate_topic(&t), "generated topic {t:?} should validate");
+    }
+
+    #[test]
+    fn trie_agrees_with_reference_matcher(
+        filters in prop::collection::vec(filter(), 1..12),
+        topics in prop::collection::vec(topic(), 1..8),
+    ) {
+        let mut trie = TopicTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        for t in &topics {
+            let mut expect: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| matches(f, t))
+                .map(|(i, _)| i)
+                .collect();
+            let mut got: Vec<usize> = trie.lookup(t).into_iter().copied().collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "trie disagrees with matcher on topic {:?}", t);
+        }
+    }
+
+    #[test]
+    fn exact_filter_matches_its_own_topic(t in topic()) {
+        prop_assert!(matches(&t, &t));
+    }
+
+    #[test]
+    fn hash_filter_matches_everything_not_dollar(t in topic()) {
+        prop_assume!(!t.starts_with('$'));
+        prop_assert!(matches("#", &t));
+    }
+
+    #[test]
+    fn removal_is_exact(filters in prop::collection::vec(filter(), 1..8)) {
+        let mut trie = TopicTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        let total = trie.len();
+        // remove the first filter's entries only
+        let removed = trie.remove_where(&filters[0], |_| true);
+        let dupes = filters.iter().filter(|f| *f == &filters[0]).count();
+        prop_assert_eq!(removed, dupes);
+        prop_assert_eq!(trie.len(), total - dupes);
+    }
+}

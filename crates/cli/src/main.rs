@@ -1,0 +1,13 @@
+//! The `dbox` binary: parse argv, run one command against the workspace in
+//! the current directory, print the outcome.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("error: cannot determine working directory: {e}");
+        std::process::exit(1);
+    });
+    let outcome = digibox_cli::invoke(&dir, &args);
+    print!("{}", outcome.stdout);
+    std::process::exit(outcome.code);
+}

@@ -1,0 +1,225 @@
+//! The application side: an endpoint that IoT applications (or test
+//! drivers) use to talk to mocks exactly as they would talk to real
+//! devices — REST requests to the device API and MQTT pub/sub through the
+//! broker (paper, Fig. 2).
+//!
+//! `AppClient` also keeps a latency histogram of completed REST requests;
+//! the §4 microbenchmarks read their numbers from here.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use digibox_broker::{ClientEvent, MqttConn, QoS};
+use digibox_net::httpx::{Method, Request, Response};
+use digibox_net::stats::LatencyHistogram;
+use digibox_net::transport::{ReliableEndpoint, TransportEvent};
+use digibox_net::{Addr, Datagram, Service, ServiceHandle, Sim, SimDuration, SimTime, TimerToken};
+
+const HTTP_TOKEN_SPACE: u16 = 2;
+
+/// Events surfaced to application logic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppEvent {
+    /// A REST response arrived.
+    Response { request_id: u64, status: u16, body: Bytes, latency: SimDuration },
+    /// A REST request failed at the transport level.
+    RequestFailed { request_id: u64 },
+    /// An MQTT message arrived on a subscribed topic.
+    Message { topic: String, payload: Bytes },
+    /// The MQTT session is live.
+    MqttConnected,
+}
+
+struct PendingRequest {
+    request_id: u64,
+    sent_at: SimTime,
+}
+
+/// An application endpoint: REST client + MQTT client with latency
+/// accounting.
+pub struct AppClient {
+    addr: Addr,
+    conn: Option<MqttConn>,
+    broker: Option<Addr>,
+    http: ReliableEndpoint,
+    /// In-flight REST requests per server, FIFO (responses are ordered by
+    /// the reliable channel).
+    pending: HashMap<Addr, VecDeque<PendingRequest>>,
+    next_request_id: u64,
+    latencies: LatencyHistogram,
+    events: VecDeque<AppEvent>,
+}
+
+impl AppClient {
+    /// A REST-only client.
+    pub fn new(addr: Addr) -> ServiceHandle<AppClient> {
+        Rc::new(RefCell::new(AppClient {
+            addr,
+            conn: None,
+            broker: None,
+            http: ReliableEndpoint::new(addr).with_space(HTTP_TOKEN_SPACE),
+            pending: HashMap::new(),
+            next_request_id: 0,
+            latencies: LatencyHistogram::new(),
+            events: VecDeque::new(),
+        }))
+    }
+
+    /// A client that also opens an MQTT session to `broker` (call after
+    /// binding; connection happens in `on_start`).
+    pub fn with_mqtt(addr: Addr, broker: Addr, client_id: &str) -> ServiceHandle<AppClient> {
+        let client = AppClient::new(addr);
+        {
+            let mut c = client.borrow_mut();
+            c.conn = Some(MqttConn::new(addr, broker, client_id));
+            c.broker = Some(broker);
+        }
+        client
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Completed-request latency distribution.
+    pub fn latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+
+    pub fn reset_latencies(&mut self) {
+        self.latencies = LatencyHistogram::new();
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum()
+    }
+
+    /// Issue `GET <path>` against the digi at `server`. Returns a request
+    /// id matched by the eventual [`AppEvent::Response`].
+    pub fn get(&mut self, sim: &mut Sim, server: Addr, path: &str) -> u64 {
+        self.request(sim, server, Request::new(Method::Get, path))
+    }
+
+    /// Issue `POST <path>` with a JSON body.
+    pub fn post_json(&mut self, sim: &mut Sim, server: Addr, path: &str, body: &str) -> u64 {
+        self.request(
+            sim,
+            server,
+            Request::new(Method::Post, path).with_body("application/json", body.as_bytes().to_vec()),
+        )
+    }
+
+    /// Issue an arbitrary request.
+    pub fn request(&mut self, sim: &mut Sim, server: Addr, req: Request) -> u64 {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.pending
+            .entry(server)
+            .or_default()
+            .push_back(PendingRequest { request_id, sent_at: sim.now() });
+        self.http.send(sim, server, req.encode());
+        request_id
+    }
+
+    /// Subscribe to MQTT topics (requires `with_mqtt`).
+    pub fn subscribe(&mut self, sim: &mut Sim, filters: &[(&str, QoS)]) {
+        if let Some(conn) = self.conn.as_mut() {
+            conn.subscribe(sim, filters);
+        }
+    }
+
+    /// Publish an MQTT message (requires `with_mqtt`).
+    pub fn publish(&mut self, sim: &mut Sim, topic: &str, payload: impl Into<Bytes>, qos: QoS) {
+        if let Some(conn) = self.conn.as_mut() {
+            conn.publish(sim, topic, payload, qos, false);
+        }
+    }
+
+    /// Pop the next application event.
+    pub fn poll(&mut self) -> Option<AppEvent> {
+        self.events.pop_front()
+    }
+
+    /// Drain every pending event.
+    pub fn poll_all(&mut self) -> Vec<AppEvent> {
+        self.events.drain(..).collect()
+    }
+
+    fn pump(&mut self, sim: &mut Sim) {
+        while let Some(ev) = self.http.poll() {
+            match ev {
+                TransportEvent::Delivered { peer, payload } => {
+                    let Some(pending) = self.pending.get_mut(&peer).and_then(|q| q.pop_front())
+                    else {
+                        continue; // unsolicited response; drop
+                    };
+                    let latency = sim.now() - pending.sent_at;
+                    self.latencies.record(latency);
+                    match Response::decode(&payload) {
+                        Ok(resp) => self.events.push_back(AppEvent::Response {
+                            request_id: pending.request_id,
+                            status: resp.status,
+                            body: resp.body,
+                            latency,
+                        }),
+                        Err(_) => self
+                            .events
+                            .push_back(AppEvent::RequestFailed { request_id: pending.request_id }),
+                    }
+                }
+                TransportEvent::PeerFailed { peer } => {
+                    if let Some(q) = self.pending.remove(&peer) {
+                        for p in q {
+                            self.events.push_back(AppEvent::RequestFailed { request_id: p.request_id });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(conn) = self.conn.as_mut() {
+            while let Some(ev) = conn.poll() {
+                match ev {
+                    ClientEvent::Message { topic, payload, .. } => {
+                        self.events.push_back(AppEvent::Message { topic, payload });
+                    }
+                    ClientEvent::Connected { .. } => self.events.push_back(AppEvent::MqttConnected),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+impl Service for AppClient {
+    fn on_start(&mut self, sim: &mut Sim) {
+        if let Some(conn) = self.conn.as_mut() {
+            conn.connect(sim, None);
+        }
+    }
+
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+        if Some(dg.src) == self.broker {
+            if let Some(conn) = self.conn.as_mut() {
+                conn.on_datagram(sim, dg);
+            }
+        } else {
+            self.http.on_datagram(sim, dg);
+        }
+        self.pump(sim);
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
+        let mut handled = self.http.on_timer(sim, token);
+        if !handled {
+            if let Some(conn) = self.conn.as_mut() {
+                handled = conn.on_timer(sim, token);
+            }
+        }
+        if handled {
+            self.pump(sim);
+        }
+    }
+}

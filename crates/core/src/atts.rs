@@ -1,0 +1,237 @@
+//! The scene's view of its attached digis.
+//!
+//! A scene controller coordinates the mocks (and nested scenes) attached to
+//! it by reading and writing their model fields (paper, Fig. 5: the room
+//! scene sets `triggered` on each attached occupancy sensor). At run time
+//! each digi publishes its model on a retained MQTT topic; the parent scene
+//! mirrors those here. Writes made by the scene's simulation handler are
+//! buffered and sent back out as `set` patches — but only for values that
+//! actually differ from the mirror, which is what makes scene/mock
+//! coordination converge instead of ping-ponging.
+
+use std::collections::BTreeMap;
+
+use digibox_model::{diff, Patch, Path, Value};
+
+/// Mirror entry for one attached digi.
+#[derive(Debug, Clone)]
+struct AttEntry {
+    kind: String,
+    /// Last model fields seen from the digi (via its retained model topic).
+    fields: Value,
+    /// Fields as modified by the scene handler during the current pass.
+    staged: Value,
+}
+
+/// The attachment view passed to scene simulation handlers.
+#[derive(Debug, Clone, Default)]
+pub struct Atts {
+    entries: BTreeMap<String, AttEntry>,
+}
+
+impl Atts {
+    pub fn new() -> Atts {
+        Atts::default()
+    }
+
+    /// Register an attachment (runtime-internal; scenes receive a populated
+    /// view).
+    pub fn attach(&mut self, name: &str, kind: &str) {
+        self.entries.insert(
+            name.to_string(),
+            AttEntry { kind: kind.to_string(), fields: Value::map(), staged: Value::map() },
+        );
+    }
+
+    pub fn detach(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Update the mirror from a digi's published model (runtime-internal).
+    /// Also resets the staged copy to match.
+    pub fn observe(&mut self, name: &str, kind: &str, fields: Value) {
+        let entry = self.entries.entry(name.to_string()).or_insert_with(|| AttEntry {
+            kind: kind.to_string(),
+            fields: Value::map(),
+            staged: Value::map(),
+        });
+        entry.kind = kind.to_string();
+        entry.fields = fields.clone();
+        entry.staged = fields;
+    }
+
+    /// Names of attached digis, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Names of attached digis of one type, sorted (the paper's
+    /// `atts.get("Occupancy")`).
+    pub fn of_type(&self, kind: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.kind == kind)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// The type of an attached digi.
+    pub fn kind_of(&self, name: &str) -> Option<&str> {
+        self.entries.get(name).map(|e| e.kind.as_str())
+    }
+
+    /// Read a field of an attached digi (staged view: reads see the scene's
+    /// own writes within a pass).
+    pub fn get(&self, name: &str, path: &str) -> Option<&Value> {
+        let entry = self.entries.get(name)?;
+        Path::parse(path).ok()?.lookup(&entry.staged)
+    }
+
+    /// Read the whole (staged) field tree of an attached digi.
+    pub fn fields(&self, name: &str) -> Option<&Value> {
+        self.entries.get(name).map(|e| &e.staged)
+    }
+
+    /// Write a field of an attached digi. The write is staged; the runtime
+    /// turns staged-vs-observed differences into `set` patches after the
+    /// handler returns. Unknown names are ignored (the digi may have been
+    /// detached concurrently).
+    pub fn set(&mut self, name: &str, path: &str, value: impl Into<Value>) {
+        if let Some(entry) = self.entries.get_mut(name) {
+            if let Ok(p) = Path::parse(path) {
+                let _ = p.set(&mut entry.staged, value.into());
+            }
+        }
+    }
+
+    /// Convenience: write `path.status` (scenes usually drive status).
+    pub fn set_status(&mut self, name: &str, field: &str, value: impl Into<Value>) {
+        self.set(name, &format!("{field}.status"), value);
+    }
+
+    /// Drain staged writes: per-digi patches for every attached digi whose
+    /// staged tree differs from the observed one. Mirrors are advanced
+    /// optimistically so the same write is not re-sent while the child's
+    /// echo is in flight.
+    pub fn take_patches(&mut self) -> Vec<(String, Patch)> {
+        let mut out = Vec::new();
+        for (name, entry) in &mut self.entries {
+            let patch = diff(&entry.fields, &entry.staged);
+            if !patch.is_empty() {
+                entry.fields = entry.staged.clone();
+                out.push((name.clone(), patch));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::vmap;
+
+    fn room_atts() -> Atts {
+        let mut atts = Atts::new();
+        atts.attach("O1", "Occupancy");
+        atts.attach("O2", "Occupancy");
+        atts.attach("D1", "Underdesk");
+        atts.observe("O1", "Occupancy", vmap! { "triggered" => false });
+        atts.observe("O2", "Occupancy", vmap! { "triggered" => false });
+        atts.observe("D1", "Underdesk", vmap! { "triggered" => true });
+        atts
+    }
+
+    #[test]
+    fn type_queries() {
+        let atts = room_atts();
+        assert_eq!(atts.of_type("Occupancy"), ["O1", "O2"]);
+        assert_eq!(atts.of_type("Underdesk"), ["D1"]);
+        assert!(atts.of_type("Lamp").is_empty());
+        assert_eq!(atts.kind_of("D1"), Some("Underdesk"));
+        assert_eq!(atts.len(), 3);
+    }
+
+    #[test]
+    fn writes_become_patches_only_when_different() {
+        let mut atts = room_atts();
+        // the paper's room-scene logic: force all occupancy triggered=true
+        for name in atts.of_type("Occupancy").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            atts.set(&name, "triggered", true);
+        }
+        // D1 already true → writing true produces no patch
+        atts.set("D1", "triggered", true);
+        let patches = atts.take_patches();
+        assert_eq!(patches.len(), 2);
+        let names: Vec<&str> = patches.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["O1", "O2"]);
+    }
+
+    #[test]
+    fn patches_not_resent_while_echo_in_flight() {
+        let mut atts = room_atts();
+        atts.set("O1", "triggered", true);
+        assert_eq!(atts.take_patches().len(), 1);
+        // handler runs again with the same staged write before the child
+        // echoed: no duplicate patch
+        atts.set("O1", "triggered", true);
+        assert!(atts.take_patches().is_empty());
+        // child echoes the new model: mirror refreshed, still no patch
+        atts.observe("O1", "Occupancy", vmap! { "triggered" => true });
+        atts.set("O1", "triggered", true);
+        assert!(atts.take_patches().is_empty());
+    }
+
+    #[test]
+    fn staged_reads_see_own_writes() {
+        let mut atts = room_atts();
+        atts.set("O1", "triggered", true);
+        assert_eq!(atts.get("O1", "triggered"), Some(&Value::Bool(true)));
+        // observe() resets staging
+        atts.observe("O1", "Occupancy", vmap! { "triggered" => false });
+        assert_eq!(atts.get("O1", "triggered"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn unknown_names_ignored() {
+        let mut atts = room_atts();
+        atts.set("ghost", "triggered", true);
+        assert!(atts.take_patches().is_empty());
+        assert_eq!(atts.get("ghost", "triggered"), None);
+    }
+
+    #[test]
+    fn detach_removes() {
+        let mut atts = room_atts();
+        atts.detach("O1");
+        assert!(!atts.contains("O1"));
+        assert_eq!(atts.of_type("Occupancy"), ["O2"]);
+    }
+
+    #[test]
+    fn nested_path_writes() {
+        let mut atts = Atts::new();
+        atts.attach("L1", "Lamp");
+        atts.observe(
+            "L1",
+            "Lamp",
+            vmap! { "power" => vmap! { "intent" => "off", "status" => "off" } },
+        );
+        atts.set_status("L1", "power", "on");
+        let patches = atts.take_patches();
+        assert_eq!(patches.len(), 1);
+        assert_eq!(patches[0].1.ops.len(), 1);
+    }
+}

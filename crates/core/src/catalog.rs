@@ -1,0 +1,175 @@
+//! The program catalog: program id → factory.
+//!
+//! The catalog is the run-time resolver behind "container images": a shared
+//! setup references types by program id (e.g. `builtin/lamp`); the
+//! receiving Digibox instantiates them from its catalog (paper §3.5:
+//! recreating a setup "includes pulling the container images"). The
+//! `digibox-devices` crate registers the 20 built-in mocks and 18 scenes
+//! here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use digibox_registry::TypePackage;
+
+use crate::program::DigiProgram;
+
+type Factory = Box<dyn Fn() -> Box<dyn DigiProgram>>;
+
+/// Catalog errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogError {
+    UnknownKind(String),
+    UnknownProgram(String),
+    DuplicateKind(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownKind(k) => write!(f, "no program registered for type {k:?}"),
+            CatalogError::UnknownProgram(p) => write!(f, "no program with id {p:?}"),
+            CatalogError::DuplicateKind(k) => write!(f, "type {k:?} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A registry of digi programs, indexed by type name and by program id.
+#[derive(Default)]
+pub struct Catalog {
+    by_kind: BTreeMap<String, Factory>,
+    kind_to_program: BTreeMap<String, String>,
+    program_to_kind: BTreeMap<String, String>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a program type via its factory. The factory is probed once
+    /// to learn kind/version/program-id.
+    pub fn register<F>(&mut self, factory: F) -> Result<(), CatalogError>
+    where
+        F: Fn() -> Box<dyn DigiProgram> + 'static,
+    {
+        let probe = factory();
+        let kind = probe.kind().to_string();
+        let program = probe.program_id().to_string();
+        if self.by_kind.contains_key(&kind) {
+            return Err(CatalogError::DuplicateKind(kind));
+        }
+        self.kind_to_program.insert(kind.clone(), program.clone());
+        self.program_to_kind.insert(program, kind.clone());
+        self.by_kind.insert(kind, Box::new(factory));
+        Ok(())
+    }
+
+    /// Instantiate a program for a type name.
+    pub fn make(&self, kind: &str) -> Result<Box<dyn DigiProgram>, CatalogError> {
+        self.by_kind
+            .get(kind)
+            .map(|f| f())
+            .ok_or_else(|| CatalogError::UnknownKind(kind.to_string()))
+    }
+
+    /// Instantiate by program id (used when recreating pulled setups).
+    pub fn make_by_program(&self, program: &str) -> Result<Box<dyn DigiProgram>, CatalogError> {
+        let kind = self
+            .program_to_kind
+            .get(program)
+            .ok_or_else(|| CatalogError::UnknownProgram(program.to_string()))?;
+        self.make(kind)
+    }
+
+    pub fn contains_kind(&self, kind: &str) -> bool {
+        self.by_kind.contains_key(kind)
+    }
+
+    /// All registered type names, sorted.
+    pub fn kinds(&self) -> Vec<&str> {
+        self.by_kind.keys().map(String::as_str).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_kind.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_kind.is_empty()
+    }
+
+    /// Build the shareable [`TypePackage`] for a registered type — what
+    /// `dbox commit` stores in the repository for each type in a setup.
+    pub fn package(&self, kind: &str) -> Result<TypePackage, CatalogError> {
+        let program = self.make(kind)?;
+        let schema = program.schema();
+        Ok(TypePackage {
+            kind: program.kind().to_string(),
+            version: program.version().to_string(),
+            program: program.program_id().to_string(),
+            schema_json: serde_json::to_string(&schema).expect("schemas serialize"),
+            default_params: BTreeMap::new(),
+            notes: program.describe(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{LoopCtx, SimCtx};
+    use digibox_model::{FieldKind, Schema};
+
+    struct Dummy;
+    impl DigiProgram for Dummy {
+        fn kind(&self) -> &str {
+            "Dummy"
+        }
+        fn version(&self) -> &str {
+            "v1"
+        }
+        fn program_id(&self) -> &str {
+            "test/dummy"
+        }
+        fn schema(&self) -> Schema {
+            Schema::new("Dummy", "v1").field("x", FieldKind::int())
+        }
+        fn on_loop(&mut self, _ctx: &mut LoopCtx) {}
+        fn on_model(&mut self, _ctx: &mut SimCtx) {}
+    }
+
+    #[test]
+    fn register_and_make() {
+        let mut c = Catalog::new();
+        c.register(|| Box::new(Dummy)).unwrap();
+        assert!(c.contains_kind("Dummy"));
+        assert_eq!(c.kinds(), ["Dummy"]);
+        let p = c.make("Dummy").unwrap();
+        assert_eq!(p.kind(), "Dummy");
+        let p2 = c.make_by_program("test/dummy").unwrap();
+        assert_eq!(p2.kind(), "Dummy");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_errors() {
+        let mut c = Catalog::new();
+        c.register(|| Box::new(Dummy)).unwrap();
+        assert!(matches!(c.register(|| Box::new(Dummy)), Err(CatalogError::DuplicateKind(_))));
+        assert!(matches!(c.make("Nope"), Err(CatalogError::UnknownKind(_))));
+        assert!(matches!(c.make_by_program("no/prog"), Err(CatalogError::UnknownProgram(_))));
+    }
+
+    #[test]
+    fn package_carries_schema() {
+        let mut c = Catalog::new();
+        c.register(|| Box::new(Dummy)).unwrap();
+        let pkg = c.package("Dummy").unwrap();
+        assert_eq!(pkg.kind, "Dummy");
+        assert_eq!(pkg.program, "test/dummy");
+        let schema: Schema = serde_json::from_str(&pkg.schema_json).unwrap();
+        assert!(schema.fields.contains_key("x"));
+    }
+}

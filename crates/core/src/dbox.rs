@@ -1,0 +1,153 @@
+//! `Dbox` — the Table-1 command API as a façade over [`Testbed`] and a
+//! [`Repository`].
+//!
+//! | API                        | Functionality                              |
+//! |----------------------------|--------------------------------------------|
+//! | `dbox run/stop type name`  | Run/stop a mock or scene                    |
+//! | `dbox check/watch name`    | Display model changes in console            |
+//! | `dbox attach name name`    | Attach a mock or scene to a scene           |
+//! | `dbox commit type name`    | Update or create a mock or scene type       |
+//! | `dbox pull/push type`      | Up/download a mock or scene                 |
+//! | `dbox replay name`         | Replay the scene trace                      |
+//!
+//! The CLI binary (`digibox-cli`) parses argv and calls these; tests and
+//! examples call them directly.
+
+use digibox_model::{dml, Model, Value};
+use digibox_net::SimDuration;
+use digibox_registry::{Repository, SetupManifest};
+use digibox_trace::{archive, ReplaySchedule, TraceRecord};
+
+use crate::testbed::{Testbed, TestbedError};
+
+/// A watch cursor handed back by [`Dbox::watch`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WatchHandle {
+    cursor: Option<u64>,
+}
+
+/// The developer-facing command surface.
+pub struct Dbox {
+    testbed: Testbed,
+    repo: Repository,
+}
+
+impl Dbox {
+    pub fn new(testbed: Testbed) -> Dbox {
+        Dbox { testbed, repo: Repository::new() }
+    }
+
+    pub fn with_repo(testbed: Testbed, repo: Repository) -> Dbox {
+        Dbox { testbed, repo }
+    }
+
+    pub fn testbed(&mut self) -> &mut Testbed {
+        &mut self.testbed
+    }
+
+    pub fn repo(&mut self) -> &mut Repository {
+        &mut self.repo
+    }
+
+    pub fn into_parts(self) -> (Testbed, Repository) {
+        (self.testbed, self.repo)
+    }
+
+    /// `dbox run <Type> <name>`.
+    pub fn run(&mut self, kind: &str, name: &str) -> crate::Result<()> {
+        self.testbed.run(kind, name)?;
+        // Let the container start so subsequent commands see it live.
+        self.testbed.run_for(SimDuration::from_millis(500));
+        Ok(())
+    }
+
+    /// `dbox stop <name>`.
+    pub fn stop(&mut self, name: &str) -> crate::Result<()> {
+        self.testbed.stop(name)
+    }
+
+    /// `dbox check <name>` — the model, rendered as DML (what the console
+    /// prints) plus the parsed form.
+    pub fn check(&mut self, name: &str) -> crate::Result<(Model, String)> {
+        let model = self.testbed.check(name)?;
+        let meta_json = serde_json::to_value(&model.meta).expect("meta serializes");
+        let doc = digibox_model::vmap! {
+            "meta" => Value::from_json(&meta_json),
+            "fields" => model.fields().clone(),
+        };
+        Ok((model.clone(), dml::to_string(&doc)))
+    }
+
+    /// `dbox watch <name>` — start a watch; poll with [`Dbox::watch_poll`].
+    pub fn watch(&mut self, name: &str) -> crate::Result<WatchHandle> {
+        self.testbed.digi_addr(name)?; // existence check
+        let records = self.testbed.log().since(None);
+        Ok(WatchHandle { cursor: records.last().map(|r| r.seq) })
+    }
+
+    /// Drain new trace records for `name` since the handle's cursor.
+    pub fn watch_poll(&mut self, name: &str, handle: &mut WatchHandle) -> Vec<TraceRecord> {
+        let records = self.testbed.log().since(handle.cursor);
+        if let Some(last) = records.last() {
+            handle.cursor = Some(last.seq);
+        }
+        records.into_iter().filter(|r| r.source == name).collect()
+    }
+
+    /// `dbox attach <child> <parent>` (and `-d` via [`Dbox::detach`]).
+    pub fn attach(&mut self, child: &str, parent: &str) -> crate::Result<()> {
+        self.testbed.attach(child, parent)?;
+        self.testbed.run_for(SimDuration::from_millis(200));
+        Ok(())
+    }
+
+    pub fn detach(&mut self, child: &str, parent: &str) -> crate::Result<()> {
+        self.testbed.detach(child, parent)
+    }
+
+    /// `dbox edit <name>` — set intents from a DML/JSON-ish map, e.g.
+    /// `power: on`.
+    pub fn edit(&mut self, name: &str, updates: Value) -> crate::Result<()> {
+        self.testbed.edit(name, updates)?;
+        self.testbed.run_for(SimDuration::from_millis(200));
+        Ok(())
+    }
+
+    /// `dbox commit <setup> [ref]` — snapshot the setup into the repo.
+    pub fn commit(&mut self, setup_name: &str, message: &str) -> crate::Result<String> {
+        let digest = self.testbed.commit(&mut self.repo, setup_name, message, setup_name)?;
+        Ok(digest.short())
+    }
+
+    /// `dbox push <setup>` into a remote repository.
+    pub fn push(&mut self, remote: &mut Repository, setup_name: &str) -> crate::Result<usize> {
+        self.repo.push(remote, setup_name).map_err(TestbedError::Registry)
+    }
+
+    /// `dbox pull <setup>` from a remote repository and recreate it on the
+    /// (empty) testbed.
+    pub fn pull(&mut self, remote: &Repository, setup_name: &str) -> crate::Result<SetupManifest> {
+        self.repo.pull(remote, setup_name).map_err(TestbedError::Registry)?;
+        let head = self.repo.resolve(setup_name).map_err(TestbedError::Registry)?;
+        let commit = self.repo.load_commit(&head).map_err(TestbedError::Registry)?;
+        let manifest = self.repo.load_setup(&commit).map_err(TestbedError::Registry)?;
+        self.testbed.recreate(&manifest)?;
+        Ok(manifest)
+    }
+
+    /// Export the current trace as a shareable archive (paper: "traces are
+    /// shared as a zip file").
+    pub fn export_trace(&mut self) -> Vec<u8> {
+        archive::write(&self.testbed.log().records())
+    }
+
+    /// `dbox replay <trace>` — parse an archive and replay it on this
+    /// testbed (the digis in the trace must be running).
+    pub fn replay(&mut self, archive_bytes: &[u8]) -> crate::Result<ReplaySchedule> {
+        let records = archive::read(archive_bytes)
+            .map_err(|e| TestbedError::Setup(format!("bad trace archive: {e}")))?;
+        let schedule = ReplaySchedule::from_records(&records);
+        self.testbed.replay(&schedule)?;
+        Ok(schedule)
+    }
+}

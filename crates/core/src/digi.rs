@@ -1,0 +1,300 @@
+//! The digi microservice: one mock or scene running as its own service on
+//! the simulated network — the paper's deployment model (every digi is a
+//! pod). The digi logic itself lives in [`DigiCell`]; this host owns the
+//! MQTT session, the REST endpoint, and all timing (loop ticks, actuation
+//! delays, load-dependent service overhead).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use digibox_broker::{ClientEvent, MqttConn, QoS};
+use digibox_model::{Model, Path, Value};
+use digibox_net::httpx::{Request, Response};
+use digibox_net::transport::{ReliableEndpoint, TransportEvent};
+use digibox_net::{Addr, Datagram, Prng, Service, ServiceHandle, Sim, SimDuration, TimerToken};
+use digibox_trace::TraceLog;
+
+use crate::cell::{DigiCell, Outbox};
+use crate::program::DigiProgram;
+use crate::topics;
+
+/// Timer token for the event-generation loop.
+const TOKEN_LOOP: TimerToken = 1;
+/// Namespace bit for delayed-actuation timers.
+const TOKEN_ACTUATION_BIT: TimerToken = 1 << 61;
+/// Namespace bit for delayed REST responses (service overhead).
+const TOKEN_RESPONSE_BIT: TimerToken = 1 << 60;
+/// Token space of the HTTP reliable endpoint (MQTT conn uses space 1).
+const HTTP_TOKEN_SPACE: u16 = 2;
+
+/// Per-digi counters (cell counters + service-level REST count).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DigiStats {
+    pub loops_run: u64,
+    pub events_emitted: u64,
+    pub model_publishes: u64,
+    pub intents_applied: u64,
+    pub set_patches_applied: u64,
+    pub set_patches_sent: u64,
+    pub rest_requests: u64,
+    pub sim_handler_runs: u64,
+}
+
+/// The service hosting one digi.
+pub struct DigiService {
+    cell: DigiCell,
+    addr: Addr,
+    conn: MqttConn,
+    http: ReliableEndpoint,
+    /// Per-message processing overhead of this digi's node (scaled by node
+    /// load at request time).
+    service_overhead: SimDuration,
+    overhead_rng: Prng,
+    pending_actuations: HashMap<TimerToken, Vec<(Path, Value)>>,
+    next_actuation_token: u64,
+    pending_responses: HashMap<TimerToken, (Addr, Bytes)>,
+    next_response_token: u64,
+    rest_requests: u64,
+}
+
+impl DigiService {
+    /// Build a digi service. `model` should be freshly instantiated from
+    /// the program's schema (plus meta overrides).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        addr: Addr,
+        broker: Addr,
+        model: Model,
+        program: Box<dyn DigiProgram>,
+        rng: Prng,
+        log: TraceLog,
+        scene_logic_enabled: bool,
+        service_overhead: SimDuration,
+    ) -> ServiceHandle<DigiService> {
+        let name = model.meta.name.clone();
+        let overhead_rng = rng.split_str("service-overhead");
+        Rc::new(RefCell::new(DigiService {
+            conn: MqttConn::new(addr, broker, &format!("digi/{name}")),
+            http: ReliableEndpoint::new(addr).with_space(HTTP_TOKEN_SPACE),
+            cell: DigiCell::new(model, program, rng, log, scene_logic_enabled),
+            addr,
+            service_overhead,
+            overhead_rng,
+            pending_actuations: HashMap::new(),
+            next_actuation_token: 0,
+            pending_responses: HashMap::new(),
+            next_response_token: 0,
+            rest_requests: 0,
+        }))
+    }
+
+    pub fn name(&self) -> &str {
+        self.cell.name()
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    pub fn model(&self) -> &Model {
+        self.cell.model()
+    }
+
+    pub fn stats(&self) -> DigiStats {
+        let c = self.cell.stats();
+        DigiStats {
+            loops_run: c.loops_run,
+            events_emitted: c.events_emitted,
+            model_publishes: c.model_publishes,
+            intents_applied: c.intents_applied,
+            set_patches_applied: c.set_patches_applied,
+            set_patches_sent: c.set_patches_sent,
+            rest_requests: self.rest_requests,
+            sim_handler_runs: c.sim_handler_runs,
+        }
+    }
+
+    pub fn is_scene(&self) -> bool {
+        self.cell.is_scene()
+    }
+
+    pub fn kind(&self) -> &str {
+        self.cell.kind()
+    }
+
+    /// Pause/resume event generation (used by replay and test cases; the
+    /// paper's way is setting `managed`, which this complements).
+    pub fn set_generation_enabled(&mut self, enabled: bool) {
+        self.cell.set_generation_enabled(enabled);
+    }
+
+    /// Toggle the `managed` flag (paper §3.3: "pause event generation in
+    /// the scene, e.g. setting building's managed field").
+    pub fn set_managed(&mut self, managed: bool) {
+        self.cell.set_managed(managed);
+    }
+
+    /// Direct model mutation for replay: force fields and reprocess.
+    pub fn force_fields(&mut self, sim: &mut Sim, fields: Value) {
+        let mut out = Outbox::new();
+        self.cell.force_fields(sim.now(), fields, &mut out);
+        self.flush(sim, out);
+    }
+
+    /// Attach a child digi: mirror it and subscribe to its model topic.
+    pub fn attach_child(&mut self, sim: &mut Sim, child: &str, kind: &str) {
+        let topic = self.cell.attach_child(sim.now(), child, kind);
+        self.conn.subscribe(sim, &[(&topic, QoS::AtMostOnce)]);
+        // The child's retained model will arrive and trigger coordination.
+    }
+
+    /// Detach a child digi.
+    pub fn detach_child(&mut self, sim: &mut Sim, child: &str) {
+        let topic = self.cell.detach_child(sim.now(), child);
+        self.conn.unsubscribe(sim, &[&topic]);
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::from_millis(self.cell.interval_ms())
+    }
+
+    fn flush(&mut self, sim: &mut Sim, out: Outbox) {
+        for (topic, payload, retain) in out.messages {
+            self.conn.publish(sim, &topic, payload, QoS::AtMostOnce, retain);
+        }
+    }
+
+    fn handle_mqtt_message(&mut self, sim: &mut Sim, topic: &str, payload: &[u8]) {
+        let now = sim.now();
+        let mut out = Outbox::new();
+        if topic == topics::intent(self.cell.name()) {
+            self.cell.log_message_in(now, topic, payload);
+            let updates = DigiCell::parse_intents(payload);
+            let delay_ms = self.cell.actuation_delay_ms();
+            if delay_ms == 0 {
+                self.cell.apply_intents(now, updates, &mut out);
+            } else {
+                // Hardware actuation latency (paper §6): the intent lands
+                // after the configured delay.
+                let token = TOKEN_ACTUATION_BIT | self.next_actuation_token;
+                self.next_actuation_token += 1;
+                self.pending_actuations.insert(token, updates);
+                sim.set_timer(self.addr, SimDuration::from_millis(delay_ms), token);
+            }
+        } else if topic == topics::set(self.cell.name()) {
+            self.cell.log_message_in(now, topic, payload);
+            self.cell.handle_set(now, payload, &mut out);
+        } else if let Some(child) = topics::digi_of(topic) {
+            if topics::channel_of(topic) == Some("model") && self.cell.has_child(child) {
+                let child = child.to_string();
+                self.cell.observe_child(now, &child, payload, &mut out);
+            }
+        }
+        self.flush(sim, out);
+    }
+
+    /// Serve the REST device API with load-dependent service time.
+    fn handle_http(&mut self, sim: &mut Sim, peer: Addr, payload: &Bytes) {
+        self.rest_requests += 1;
+        let mut out = Outbox::new();
+        let response = match Request::decode(payload) {
+            Ok(req) => self.cell.route_http(sim.now(), &req, &mut out),
+            Err(e) => Response::bad_request(&e.to_string()),
+        };
+        self.flush(sim, out);
+        let bytes = response.encode();
+        if self.service_overhead == SimDuration::ZERO {
+            self.http.send(sim, peer, bytes);
+        } else {
+            // Request-processing time grows with node load: a node crowded
+            // with mock containers serves each request more slowly (the
+            // effect behind the paper's 20 ms → 60 ms growth from the
+            // 50-mock laptop to the 1000-mock cluster).
+            let load = sim.node_load(self.addr.node) as f64;
+            let factor = (1.0 + load / 64.0) * self.overhead_rng.range_f64(0.85, 1.25);
+            let delay = SimDuration::from_nanos(
+                (self.service_overhead.as_nanos() as f64 * factor) as u64,
+            );
+            let token = TOKEN_RESPONSE_BIT | self.next_response_token;
+            self.next_response_token += 1;
+            self.pending_responses.insert(token, (peer, bytes));
+            sim.set_timer(self.addr, delay, token);
+        }
+    }
+
+    fn pump(&mut self, sim: &mut Sim) {
+        while let Some(ev) = self.conn.poll() {
+            match ev {
+                ClientEvent::Message { topic, payload, .. } => {
+                    self.handle_mqtt_message(sim, &topic, &payload);
+                }
+                ClientEvent::Connected { .. } | ClientEvent::BrokerLost => {}
+                ClientEvent::SubAck { .. } | ClientEvent::PubAck { .. } => {}
+            }
+        }
+        while let Some(ev) = self.http.poll() {
+            match ev {
+                TransportEvent::Delivered { peer, payload } => {
+                    self.handle_http(sim, peer, &payload);
+                }
+                TransportEvent::PeerFailed { .. } => {}
+            }
+        }
+    }
+}
+
+impl Service for DigiService {
+    fn on_start(&mut self, sim: &mut Sim) {
+        // Session with last-will so watchers learn about crashes.
+        let will = Some((topics::lwt(self.cell.name()), Bytes::from_static(b"offline")));
+        self.conn.connect(sim, will);
+        let [intent_topic, set_topic] = self.cell.command_topics();
+        self.conn.subscribe(
+            sim,
+            &[(&intent_topic, QoS::AtLeastOnce), (&set_topic, QoS::AtLeastOnce)],
+        );
+        let mut out = Outbox::new();
+        self.cell.start(sim.now(), &mut out);
+        self.flush(sim, out);
+        sim.set_timer(self.addr, self.interval(), TOKEN_LOOP);
+    }
+
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+        if dg.src == self.conn.broker() {
+            self.conn.on_datagram(sim, dg);
+        } else {
+            self.http.on_datagram(sim, dg);
+        }
+        self.pump(sim);
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
+        if self.conn.on_timer(sim, token) {
+            self.pump(sim);
+            return;
+        }
+        if self.http.on_timer(sim, token) {
+            self.pump(sim);
+            return;
+        }
+        if token == TOKEN_LOOP {
+            let mut out = Outbox::new();
+            self.cell.tick(sim.now(), &mut out);
+            self.flush(sim, out);
+            sim.set_timer(self.addr, self.interval(), TOKEN_LOOP);
+        } else if token & TOKEN_ACTUATION_BIT != 0 {
+            if let Some(updates) = self.pending_actuations.remove(&token) {
+                let mut out = Outbox::new();
+                self.cell.apply_intents(sim.now(), updates, &mut out);
+                self.flush(sim, out);
+            }
+        } else if token & TOKEN_RESPONSE_BIT != 0 {
+            if let Some((peer, bytes)) = self.pending_responses.remove(&token) {
+                self.http.send(sim, peer, bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # digibox-core
+//!
+//! **Digibox**: a scene-centric prototyping environment for IoT
+//! applications (Fu et al., HotNets'22), reimplemented as a deterministic
+//! in-process system in Rust.
+//!
+//! Digibox's two core abstractions are the **mock** (a simulated device:
+//! model + event generator + simulator + logger) and the **scene** (a
+//! controller that *ensembles* attached mocks and nested scenes, generating
+//! scene-level events and keeping the mocks' correlated state consistent).
+//! Applications talk to mocks over MQTT and REST exactly as they would talk
+//! to real devices, which is what makes prototypes transferable.
+//!
+//! The crate layers:
+//!
+//! * [`DigiProgram`] — the programming model for device and scene logic
+//!   (the Rust equivalent of the paper's Python `dbox` library, Fig. 4/5):
+//!   an event-generation handler run on a configurable loop and a
+//!   simulation handler run on model change.
+//! * [`DigiService`] — the microservice wrapper: each digi runs as its own
+//!   service on the simulated network, speaking MQTT to the broker and
+//!   HTTP to applications.
+//! * [`Testbed`] — the runtime: simulated cluster + control plane + broker
+//!   + trace log, orchestrating digi pods (paper §4).
+//! * [`Dbox`] — the Table-1 command API (`run`, `stop`, `check`, `watch`,
+//!   `attach`, `edit`, `commit`, `push`, `pull`, `replay`).
+//! * [`properties`] — scene properties: disallowed-state invariants and
+//!   bounded temporal operators, checked online against the trace.
+//! * [`AppClient`] — the application side: a REST/MQTT client endpoint
+//!   with latency accounting, used by example apps and the §4
+//!   microbenchmarks.
+
+mod appclient;
+mod atts;
+mod catalog;
+pub mod cell;
+mod dbox;
+mod digi;
+pub mod pool;
+pub mod program;
+pub mod properties;
+mod testbed;
+pub mod topics;
+
+pub use appclient::{AppClient, AppEvent};
+pub use atts::Atts;
+pub use cell::{CellStats, DigiCell, Outbox};
+pub use catalog::{Catalog, CatalogError};
+pub use dbox::Dbox;
+pub use digi::{DigiService, DigiStats};
+pub use pool::{DigiPool, PoolStats};
+pub use program::{DigiProgram, LoopCtx, SimCtx};
+pub use properties::{Condition, PropertyChecker, SceneProperty, Temporal};
+pub use testbed::{FidelityMode, Testbed, TestbedConfig, TestbedError};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, TestbedError>;

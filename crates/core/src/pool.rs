@@ -1,0 +1,348 @@
+//! `DigiPool` — many digis behind one service: the paper's §6 open
+//! question made concrete.
+//!
+//! > "an open question is how to make these large-scale simulations more
+//! > efficient, i.e., running a higher number of mocks/scenes with a fixed
+//! > amount of compute resource budget. E.g., given the event-driven
+//! > nature of IoT apps, whether/how we can leverage Function-as-a-Service
+//! > (FaaS) to run the simulator logic of mocks and scenes."
+//!
+//! A pool is the FaaS executor: it hosts N [`DigiCell`]s behind **one**
+//! network endpoint, **one** MQTT session and **one** timer wheel, invoking
+//! each cell's handlers only when its events are due or its messages
+//! arrive. Compared to one-microservice-per-mock this removes the per-digi
+//! broker session, per-digi loop timer and per-digi endpoint — the
+//! fixed-cost floor that dominates at thousands of mostly-idle mocks. The
+//! `e9_faas_pooling` bench quantifies the difference.
+//!
+//! Semantics are unchanged: pooled digis publish/subscribe the same topics
+//! and serve the same REST API (routed as `/digi/<name>/...`), so
+//! applications and parent scenes cannot tell a pooled mock from a
+//! dedicated one. Scenes can be pooled too, but the intended use is large
+//! fleets of mocks (the paper's 1000-sensor experiment).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use digibox_broker::{ClientEvent, MqttConn, QoS};
+use digibox_model::Model;
+use digibox_net::httpx::{Request, Response};
+use digibox_net::transport::{ReliableEndpoint, TransportEvent};
+use digibox_net::{Addr, Datagram, Prng, Service, ServiceHandle, Sim, SimDuration, SimTime, TimerToken};
+use digibox_trace::TraceLog;
+
+use crate::cell::{DigiCell, Outbox};
+use crate::program::DigiProgram;
+use crate::topics;
+
+/// Timer token for the shared wheel.
+const TOKEN_WHEEL: TimerToken = 1;
+/// Token space of the HTTP endpoint.
+const HTTP_TOKEN_SPACE: u16 = 2;
+
+/// Pool-level counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    pub cells: usize,
+    pub ticks_dispatched: u64,
+    pub wheel_wakeups: u64,
+    pub rest_requests: u64,
+    pub messages_in: u64,
+}
+
+/// A FaaS-style executor hosting many digis behind one service.
+pub struct DigiPool {
+    addr: Addr,
+    conn: MqttConn,
+    http: ReliableEndpoint,
+    cells: BTreeMap<String, DigiCell>,
+    /// Next tick due-time per cell (the timer wheel's entries).
+    next_tick: BTreeMap<String, SimTime>,
+    /// Due-time the armed wheel timer fires at (None = not armed).
+    armed_at: Option<SimTime>,
+    service_overhead: SimDuration,
+    overhead_rng: Prng,
+    pending_responses: HashMap<TimerToken, (Addr, Bytes)>,
+    next_response_token: u64,
+    stats: PoolStats,
+}
+
+impl DigiPool {
+    pub fn new(addr: Addr, broker: Addr, service_overhead: SimDuration) -> ServiceHandle<DigiPool> {
+        Rc::new(RefCell::new(DigiPool {
+            conn: MqttConn::new(addr, broker, &format!("pool/{addr}")),
+            http: ReliableEndpoint::new(addr).with_space(HTTP_TOKEN_SPACE),
+            addr,
+            cells: BTreeMap::new(),
+            next_tick: BTreeMap::new(),
+            armed_at: None,
+            service_overhead,
+            overhead_rng: Prng::new(addr.port as u64 ^ 0xF445),
+            pending_responses: HashMap::new(),
+            next_response_token: 0,
+            stats: PoolStats::default(),
+        }))
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        PoolStats { cells: self.cells.len(), ..self.stats.clone() }
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.cells.keys().map(String::as_str).collect()
+    }
+
+    pub fn model(&self, name: &str) -> Option<&Model> {
+        self.cells.get(name).map(DigiCell::model)
+    }
+
+    pub fn cell(&self, name: &str) -> Option<&DigiCell> {
+        self.cells.get(name)
+    }
+
+    /// Host a digi in this pool. Must be called *after* the pool is bound
+    /// (it subscribes and announces through the live session).
+    pub fn host(
+        &mut self,
+        sim: &mut Sim,
+        model: Model,
+        program: Box<dyn DigiProgram>,
+        rng: Prng,
+        log: TraceLog,
+        scene_logic_enabled: bool,
+    ) {
+        let mut cell = DigiCell::new(model, program, rng, log, scene_logic_enabled);
+        let name = cell.name().to_string();
+        let [intent_topic, set_topic] = cell.command_topics();
+        self.conn.subscribe(
+            sim,
+            &[(&intent_topic, QoS::AtLeastOnce), (&set_topic, QoS::AtLeastOnce)],
+        );
+        let mut out = Outbox::new();
+        cell.start(sim.now(), &mut out);
+        self.flush(sim, out);
+        let due = sim.now() + SimDuration::from_millis(cell.interval_ms());
+        self.next_tick.insert(name.clone(), due);
+        self.cells.insert(name, cell);
+        self.rearm(sim);
+    }
+
+    /// Remove a hosted digi.
+    pub fn evict(&mut self, sim: &mut Sim, name: &str) -> bool {
+        let Some(cell) = self.cells.remove(name) else {
+            return false;
+        };
+        self.next_tick.remove(name);
+        let [intent_topic, set_topic] = cell.command_topics();
+        self.conn.unsubscribe(sim, &[&intent_topic, &set_topic]);
+        true
+    }
+
+    /// Attach `child` to the hosted scene `parent` (both may live in this
+    /// pool or elsewhere; only the parent must be hosted here).
+    pub fn attach_child(&mut self, sim: &mut Sim, parent: &str, child: &str, kind: &str) -> bool {
+        let Some(cell) = self.cells.get_mut(parent) else {
+            return false;
+        };
+        let topic = cell.attach_child(sim.now(), child, kind);
+        self.conn.subscribe(sim, &[(&topic, QoS::AtMostOnce)]);
+        true
+    }
+
+    fn flush(&mut self, sim: &mut Sim, out: Outbox) {
+        for (topic, payload, retain) in out.messages {
+            self.conn.publish(sim, &topic, payload, QoS::AtMostOnce, retain);
+        }
+    }
+
+    /// Arm (or re-arm) the single wheel timer for the earliest due tick.
+    fn rearm(&mut self, sim: &mut Sim) {
+        let Some(&earliest) = self.next_tick.values().min() else {
+            self.armed_at = None;
+            return;
+        };
+        if self.armed_at.is_some_and(|at| at <= earliest) {
+            return; // an earlier-or-equal wakeup is already scheduled
+        }
+        self.armed_at = Some(earliest);
+        let delay = earliest.since(sim.now());
+        sim.set_timer(self.addr, delay, TOKEN_WHEEL);
+    }
+
+    /// Run every cell whose tick is due; reschedule them.
+    fn run_wheel(&mut self, sim: &mut Sim) {
+        self.stats.wheel_wakeups += 1;
+        self.armed_at = None;
+        let now = sim.now();
+        let due: Vec<String> = self
+            .next_tick
+            .iter()
+            .filter(|(_, at)| **at <= now)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in due {
+            if let Some(cell) = self.cells.get_mut(&name) {
+                let mut out = Outbox::new();
+                cell.tick(now, &mut out);
+                self.stats.ticks_dispatched += 1;
+                let next = now + SimDuration::from_millis(
+                    self.cells.get(&name).expect("cell exists").interval_ms(),
+                );
+                self.next_tick.insert(name, next);
+                self.flush(sim, out);
+            }
+        }
+        self.rearm(sim);
+    }
+
+    fn handle_mqtt_message(&mut self, sim: &mut Sim, topic: &str, payload: &[u8]) {
+        self.stats.messages_in += 1;
+        let now = sim.now();
+        let Some(digi) = topics::digi_of(topic) else {
+            return;
+        };
+        let digi = digi.to_string();
+        match topics::channel_of(topic) {
+            Some("intent") => {
+                if let Some(cell) = self.cells.get_mut(&digi) {
+                    cell.log_message_in(now, topic, payload);
+                    let updates = DigiCell::parse_intents(payload);
+                    let mut out = Outbox::new();
+                    // NOTE: pooled digis apply intents immediately; per-digi
+                    // actuation delay is a dedicated-service feature.
+                    cell.apply_intents(now, updates, &mut out);
+                    self.flush(sim, out);
+                }
+            }
+            Some("set") => {
+                if let Some(cell) = self.cells.get_mut(&digi) {
+                    cell.log_message_in(now, topic, payload);
+                    let mut out = Outbox::new();
+                    cell.handle_set(now, payload, &mut out);
+                    self.flush(sim, out);
+                }
+            }
+            Some("model") => {
+                // fan the child model to every hosted scene mirroring it
+                let parents: Vec<String> = self
+                    .cells
+                    .iter()
+                    .filter(|(_, c)| c.has_child(&digi))
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                for parent in parents {
+                    if let Some(cell) = self.cells.get_mut(&parent) {
+                        let mut out = Outbox::new();
+                        cell.observe_child(now, &digi, payload, &mut out);
+                        self.flush(sim, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_http(&mut self, sim: &mut Sim, peer: Addr, payload: &Bytes) {
+        self.stats.rest_requests += 1;
+        let response = match Request::decode(payload) {
+            Ok(req) => {
+                // pooled routing: /digi/<name>/...
+                let target = {
+                    let segs = req.path_segments();
+                    match segs.as_slice() {
+                        ["digi", name, ..] => Some(name.to_string()),
+                        _ => None,
+                    }
+                };
+                match target.and_then(|t| self.cells.get_mut(&t).map(|c| (t, c))) {
+                    Some((_, cell)) => {
+                        let mut out = Outbox::new();
+                        let resp = cell.route_http(sim.now(), &req, &mut out);
+                        self.flush(sim, out);
+                        resp
+                    }
+                    None => Response::not_found("no such digi in this pool"),
+                }
+            }
+            Err(e) => Response::bad_request(&e.to_string()),
+        };
+        let bytes = response.encode();
+        if self.service_overhead == SimDuration::ZERO {
+            self.http.send(sim, peer, bytes);
+        } else {
+            let load = sim.node_load(self.addr.node) as f64;
+            let factor = (1.0 + load / 64.0) * self.overhead_rng.range_f64(0.85, 1.25);
+            let delay = SimDuration::from_nanos(
+                (self.service_overhead.as_nanos() as f64 * factor) as u64,
+            );
+            let token = (1 << 60) | self.next_response_token;
+            self.next_response_token += 1;
+            self.pending_responses.insert(token, (peer, bytes));
+            sim.set_timer(self.addr, delay, token);
+        }
+    }
+
+    fn pump(&mut self, sim: &mut Sim) {
+        while let Some(ev) = self.conn.poll() {
+            if let ClientEvent::Message { topic, payload, .. } = ev {
+                self.handle_mqtt_message(sim, &topic, &payload);
+            }
+        }
+        while let Some(ev) = self.http.poll() {
+            match ev {
+                TransportEvent::Delivered { peer, payload } => {
+                    self.handle_http(sim, peer, &payload)
+                }
+                TransportEvent::PeerFailed { .. } => {}
+            }
+        }
+    }
+}
+
+impl Service for DigiPool {
+    fn on_start(&mut self, sim: &mut Sim) {
+        self.conn.connect(sim, None);
+    }
+
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+        if dg.src == self.conn.broker() {
+            self.conn.on_datagram(sim, dg);
+        } else {
+            self.http.on_datagram(sim, dg);
+        }
+        self.pump(sim);
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
+        if self.conn.on_timer(sim, token) {
+            self.pump(sim);
+            return;
+        }
+        if self.http.on_timer(sim, token) {
+            self.pump(sim);
+            return;
+        }
+        if token == TOKEN_WHEEL {
+            self.run_wheel(sim);
+        } else if token & (1 << 60) != 0 {
+            if let Some((peer, bytes)) = self.pending_responses.remove(&token) {
+                self.http.send(sim, peer, bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The digi programming model — the Rust counterpart of the paper's Python
+//! `dbox` library (§3.2, Fig. 4/5).
+//!
+//! A digi program supplies:
+//!
+//! * a **schema** for its model;
+//! * an **event-generation handler** ([`DigiProgram::on_loop`]) run
+//!   periodically (the `@dbox.loop` decorator) while the digi is *not*
+//!   `managed` — mocks generate sensor readings here, scenes generate
+//!   scene-level events (human presence, arrivals, weather);
+//! * a **simulation handler** ([`DigiProgram::on_model`]) run whenever the
+//!   model changes (the `@on.model` decorator) — mocks implement device
+//!   behaviour (intent → status), scenes coordinate their attached digis
+//!   through [`Atts`].
+//!
+//! Example, the paper's mock lamp (Fig. 4, lines 14–26) ported 1:1:
+//!
+//! ```
+//! use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+//! use digibox_model::{FieldKind, Schema};
+//!
+//! struct Lamp;
+//!
+//! impl DigiProgram for Lamp {
+//!     fn kind(&self) -> &str { "Lamp" }
+//!     fn version(&self) -> &str { "v1" }
+//!     fn program_id(&self) -> &str { "example/lamp" }
+//!     fn schema(&self) -> Schema {
+//!         Schema::new("Lamp", "v1")
+//!             .field("power", FieldKind::pair(FieldKind::enumeration(["off", "on"])))
+//!             .field("intensity", FieldKind::pair(FieldKind::float_range(0.0, 1.0)))
+//!     }
+//!     fn on_loop(&mut self, _ctx: &mut LoopCtx) {} // actuators generate no events
+//!     fn on_model(&mut self, ctx: &mut SimCtx) {
+//!         let power = ctx.status_str("power").unwrap_or_default();
+//!         if power == "off" {
+//!             ctx.set_status("intensity", 0.0);
+//!         } else {
+//!             let want = ctx.intent("intensity").cloned().unwrap_or(0.0f64.into());
+//!             ctx.set_status("intensity", want);
+//!         }
+//!         // power follows intent directly
+//!         if let Some(want) = ctx.intent("power").cloned() {
+//!             ctx.set_status("power", want);
+//!         }
+//!     }
+//! }
+//! ```
+
+use digibox_model::{Model, Path, Schema, Value};
+use digibox_net::{Prng, SimTime};
+
+use crate::atts::Atts;
+
+/// Context for event-generation handlers (`@dbox.loop`).
+pub struct LoopCtx<'a> {
+    /// The digi's model (mutate status fields to emit an event).
+    pub model: &'a mut Model,
+    /// Per-digi reproducible random stream.
+    pub rng: &'a mut Prng,
+    /// Virtual time of this tick.
+    pub now: SimTime,
+    /// Event data recorded to the trace and published on the event topic;
+    /// handlers fill this via [`LoopCtx::emit`].
+    pub emitted: Vec<Value>,
+}
+
+impl LoopCtx<'_> {
+    /// Record an event (it is logged and published on
+    /// `digibox/digi/<name>/event`).
+    pub fn emit(&mut self, data: Value) {
+        self.emitted.push(data);
+    }
+
+    /// Shorthand for `model.update` + `emit` — the idiom of the paper's
+    /// `gen_event` handlers (`dbox.model.update({"triggered": motion})`).
+    pub fn update(&mut self, data: Value) {
+        let _ = self.model.update(data.clone());
+        self.emit(data);
+    }
+
+    /// Read a meta parameter (generation knobs live in `meta.params`).
+    pub fn param_f64(&self, key: &str, default: f64) -> f64 {
+        self.model.meta.param_float(key).unwrap_or(default)
+    }
+
+    pub fn param_i64(&self, key: &str, default: i64) -> i64 {
+        self.model.meta.param_int(key).unwrap_or(default)
+    }
+}
+
+/// Context for simulation handlers (`@on.model`).
+pub struct SimCtx<'a> {
+    /// The digi's own model.
+    pub model: &'a mut Model,
+    /// Attached digis (scenes; empty for mocks).
+    pub atts: &'a mut Atts,
+    pub rng: &'a mut Prng,
+    pub now: SimTime,
+    /// Messages to publish on the digi's event topic.
+    pub emitted: Vec<Value>,
+}
+
+impl SimCtx<'_> {
+    pub fn emit(&mut self, data: Value) {
+        self.emitted.push(data);
+    }
+
+    /// Read `field.intent`.
+    pub fn intent(&self, field: &str) -> Option<&Value> {
+        Path::parse(field).ok()?.child("intent").lookup(self.model.fields())
+    }
+
+    /// Read `field.status`.
+    pub fn status(&self, field: &str) -> Option<&Value> {
+        Path::parse(field).ok()?.child("status").lookup(self.model.fields())
+    }
+
+    pub fn status_str(&self, field: &str) -> Option<String> {
+        self.status(field)?.as_str().map(str::to_string)
+    }
+
+    pub fn status_f64(&self, field: &str) -> Option<f64> {
+        self.status(field)?.as_float()
+    }
+
+    pub fn status_bool(&self, field: &str) -> Option<bool> {
+        self.status(field)?.as_bool()
+    }
+
+    pub fn intent_str(&self, field: &str) -> Option<String> {
+        self.intent(field)?.as_str().map(str::to_string)
+    }
+
+    pub fn intent_f64(&self, field: &str) -> Option<f64> {
+        self.intent(field)?.as_float()
+    }
+
+    /// Write `field.status` (no-op if unchanged, so handlers can be written
+    /// declaratively without causing change storms).
+    pub fn set_status(&mut self, field: &str, value: impl Into<Value>) {
+        let value = value.into();
+        if self.status(field) == Some(&value) {
+            return;
+        }
+        if let Ok(p) = Path::parse(field) {
+            let _ = self.model.set(&p.child("status"), value);
+        }
+    }
+
+    /// Write a plain (non-pair) field, also change-guarded.
+    pub fn set_field(&mut self, path: &str, value: impl Into<Value>) {
+        let value = value.into();
+        if let Ok(p) = Path::parse(path) {
+            if p.lookup(self.model.fields()) == Some(&value) {
+                return;
+            }
+            let _ = self.model.set(&p, value);
+        }
+    }
+
+    /// Read a plain field.
+    pub fn field(&self, path: &str) -> Option<&Value> {
+        Path::parse(path).ok()?.lookup(self.model.fields())
+    }
+
+    pub fn field_bool(&self, path: &str) -> Option<bool> {
+        self.field(path)?.as_bool()
+    }
+
+    pub fn field_i64(&self, path: &str) -> Option<i64> {
+        self.field(path)?.as_int()
+    }
+
+    pub fn field_f64(&self, path: &str) -> Option<f64> {
+        self.field(path)?.as_float()
+    }
+
+    pub fn field_str(&self, path: &str) -> Option<String> {
+        self.field(path)?.as_str().map(str::to_string)
+    }
+
+    pub fn param_f64(&self, key: &str, default: f64) -> f64 {
+        self.model.meta.param_float(key).unwrap_or(default)
+    }
+
+    pub fn param_i64(&self, key: &str, default: i64) -> i64 {
+        self.model.meta.param_int(key).unwrap_or(default)
+    }
+}
+
+/// A digi program: the device or scene logic for one type.
+///
+/// Programs must be deterministic functions of (model, atts, rng) — all
+/// randomness through the provided [`Prng`], no wall clock, no global
+/// state — so that seeded runs and replays are bit-identical (paper goal:
+/// reproducibility).
+pub trait DigiProgram {
+    /// Type name (`Lamp`, `Room`, ...).
+    fn kind(&self) -> &str;
+    /// Type version (`v1`, ...).
+    fn version(&self) -> &str;
+    /// Program identifier used as the "container image" reference in
+    /// shared setups (e.g. `builtin/lamp`).
+    fn program_id(&self) -> &str;
+    /// The model schema.
+    fn schema(&self) -> Schema;
+
+    /// Whether this is a scene controller (scenes accept attachments and
+    /// their `on_model` coordinates `atts`).
+    fn is_scene(&self) -> bool {
+        false
+    }
+
+    /// Initialize a freshly-instantiated model (defaults beyond the
+    /// schema's `default_value`s).
+    fn init(&mut self, _model: &mut Model) {}
+
+    /// Event generation, run every `meta.interval_ms` while the digi is not
+    /// `managed`.
+    fn on_loop(&mut self, _ctx: &mut LoopCtx) {}
+
+    /// Simulation, run when the model (or, for scenes, an attached model)
+    /// changes.
+    fn on_model(&mut self, _ctx: &mut SimCtx) {}
+
+    /// A one-line description for `dbox pull` listings.
+    fn describe(&self) -> String {
+        format!("{} {} ({})", self.kind(), self.version(), self.program_id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::{vmap, FieldKind, Meta};
+
+    struct Probe;
+
+    impl DigiProgram for Probe {
+        fn kind(&self) -> &str {
+            "Probe"
+        }
+        fn version(&self) -> &str {
+            "v1"
+        }
+        fn program_id(&self) -> &str {
+            "test/probe"
+        }
+        fn schema(&self) -> Schema {
+            Schema::new("Probe", "v1")
+                .field("reading", FieldKind::pair(FieldKind::float()))
+                .field("count", FieldKind::int())
+        }
+        fn on_loop(&mut self, ctx: &mut LoopCtx) {
+            let n = ctx.model.lookup(&Path::from("count")).and_then(Value::as_int).unwrap_or(0);
+            ctx.update(vmap! { "count" => n + 1 });
+        }
+        fn on_model(&mut self, ctx: &mut SimCtx) {
+            let n = ctx.field_i64("count").unwrap_or(0);
+            ctx.set_status("reading", n as f64 * 2.0);
+        }
+    }
+
+    fn fresh_model() -> Model {
+        let mut p = Probe;
+        let mut m = p.schema().instantiate("probe-1");
+        p.init(&mut m);
+        m
+    }
+
+    #[test]
+    fn loop_ctx_update_emits_and_mutates() {
+        let mut model = fresh_model();
+        let mut rng = Prng::new(1);
+        let mut ctx = LoopCtx { model: &mut model, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        Probe.on_loop(&mut ctx);
+        assert_eq!(ctx.emitted.len(), 1);
+        assert_eq!(model.lookup(&Path::from("count")), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn sim_ctx_accessors_and_change_guard() {
+        let mut model = fresh_model();
+        model.set(&Path::from("count"), 3).unwrap();
+        let mut rng = Prng::new(1);
+        let mut atts = Atts::new();
+        let mut ctx = SimCtx {
+            model: &mut model,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        Probe.on_model(&mut ctx);
+        assert_eq!(ctx.status_f64("reading"), Some(6.0));
+        let rev = ctx.model.revision();
+        // same write again: guarded, no revision bump
+        Probe.on_model(&mut ctx);
+        assert_eq!(ctx.model.revision(), rev);
+    }
+
+    #[test]
+    fn params_fall_back_to_defaults() {
+        let mut model = Model::new(Meta::new("Probe", "v1", "p").with_param("rate", 2.5));
+        let mut rng = Prng::new(1);
+        let ctx = LoopCtx { model: &mut model, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        assert_eq!(ctx.param_f64("rate", 1.0), 2.5);
+        assert_eq!(ctx.param_f64("missing", 1.0), 1.0);
+        assert_eq!(ctx.param_i64("missing", 9), 9);
+    }
+}

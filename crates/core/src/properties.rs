@@ -1,0 +1,449 @@
+//! Scene properties: run-time checked conditions over model states
+//! (paper §3.3: "developers can specify scene properties, conditions that
+//! should be met in the scene ... expressed as k-v pairs, which Digibox
+//! checks at run-time and reports any violations").
+//!
+//! A [`SceneProperty`] names a set of digis and a [`Temporal`] condition:
+//!
+//! * `Never(cond)` — the disallowed-state form from the paper: `cond` must
+//!   not hold in any reachable state;
+//! * `Always(cond)` — dual convenience form;
+//! * `LeadsTo { premise, conclusion, within }` — the bounded temporal
+//!   operator from the paper's future-work list (§3.3 cites AutoTap's LTL):
+//!   whenever `premise` becomes true, `conclusion` must become true within
+//!   the window, e.g. "when the room is occupied the lamp turns on within
+//!   2 s".
+//!
+//! The checker is driven by the testbed on every model change and logs
+//! violations to the trace.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use digibox_model::{Path, Value};
+use digibox_net::{SimDuration, SimTime};
+
+/// A comparison on one model field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Dotted path into the digi's fields, e.g. `power.status`.
+    pub path: String,
+    pub op: Op,
+    pub value: Value,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Op {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Condition {
+    pub fn eq(path: &str, value: impl Into<Value>) -> Condition {
+        Condition { path: path.to_string(), op: Op::Eq, value: value.into() }
+    }
+
+    pub fn ne(path: &str, value: impl Into<Value>) -> Condition {
+        Condition { path: path.to_string(), op: Op::Ne, value: value.into() }
+    }
+
+    pub fn gt(path: &str, value: impl Into<Value>) -> Condition {
+        Condition { path: path.to_string(), op: Op::Gt, value: value.into() }
+    }
+
+    pub fn lt(path: &str, value: impl Into<Value>) -> Condition {
+        Condition { path: path.to_string(), op: Op::Lt, value: value.into() }
+    }
+
+    /// Evaluate against a field tree. Missing paths make the condition
+    /// false (a device that hasn't reported yet violates nothing).
+    pub fn holds(&self, fields: &Value) -> bool {
+        let Ok(path) = Path::parse(&self.path) else {
+            return false;
+        };
+        let Some(actual) = path.lookup(fields) else {
+            return false;
+        };
+        match self.op {
+            Op::Eq => actual.loose_eq(&self.value),
+            Op::Ne => !actual.loose_eq(&self.value),
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                let (Some(a), Some(b)) = (actual.as_float(), self.value.as_float()) else {
+                    return false;
+                };
+                match self.op {
+                    Op::Lt => a < b,
+                    Op::Le => a <= b,
+                    Op::Gt => a > b,
+                    Op::Ge => a >= b,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// A condition over a *named* digi's fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigiCondition {
+    pub digi: String,
+    #[serde(flatten)]
+    pub cond: Condition,
+}
+
+impl DigiCondition {
+    pub fn new(digi: &str, cond: Condition) -> DigiCondition {
+        DigiCondition { digi: digi.to_string(), cond }
+    }
+
+    fn holds(&self, states: &BTreeMap<String, Value>) -> bool {
+        states.get(&self.digi).map(|f| self.cond.holds(f)).unwrap_or(false)
+    }
+}
+
+/// The temporal shape of a property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Temporal {
+    /// All conditions must never hold simultaneously (disallowed state).
+    Never(Vec<DigiCondition>),
+    /// All conditions must always hold simultaneously.
+    Always(Vec<DigiCondition>),
+    /// Whenever all premises hold, all conclusions must hold within the
+    /// window (checked at the end of the window).
+    LeadsTo {
+        premise: Vec<DigiCondition>,
+        conclusion: Vec<DigiCondition>,
+        within: SimDuration,
+    },
+}
+
+/// A named property over the testbed state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneProperty {
+    pub name: String,
+    pub temporal: Temporal,
+}
+
+impl SceneProperty {
+    /// The paper's example: "the lamp should always be turned off when the
+    /// occupancy sensor is not triggered" is expressed as the disallowed
+    /// state {lamp on, sensor untriggered}.
+    pub fn never(name: &str, conds: Vec<DigiCondition>) -> SceneProperty {
+        SceneProperty { name: name.to_string(), temporal: Temporal::Never(conds) }
+    }
+
+    pub fn always(name: &str, conds: Vec<DigiCondition>) -> SceneProperty {
+        SceneProperty { name: name.to_string(), temporal: Temporal::Always(conds) }
+    }
+
+    pub fn leads_to(
+        name: &str,
+        premise: Vec<DigiCondition>,
+        conclusion: Vec<DigiCondition>,
+        within: SimDuration,
+    ) -> SceneProperty {
+        SceneProperty { name: name.to_string(), temporal: Temporal::LeadsTo { premise, conclusion, within } }
+    }
+}
+
+/// A detected violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub property: String,
+    pub at: SimTime,
+    pub detail: String,
+}
+
+/// Tracks pending `LeadsTo` obligations.
+#[derive(Debug, Clone)]
+struct Obligation {
+    property_index: usize,
+    deadline: SimTime,
+}
+
+/// Evaluates properties against the evolving testbed state.
+///
+/// The testbed feeds it `(digi, fields)` updates; the checker keeps the
+/// latest state per digi and reports violations. `LeadsTo` obligations are
+/// armed when premises become true and resolved either by the conclusion
+/// becoming true or by the deadline passing (checked on
+/// [`PropertyChecker::advance`]).
+#[derive(Debug, Clone, Default)]
+pub struct PropertyChecker {
+    properties: Vec<SceneProperty>,
+    states: BTreeMap<String, Value>,
+    obligations: Vec<Obligation>,
+    /// Rising-edge tracking for premises.
+    premise_was_true: Vec<bool>,
+    violations: Vec<Violation>,
+}
+
+impl PropertyChecker {
+    pub fn new() -> PropertyChecker {
+        PropertyChecker::default()
+    }
+
+    pub fn add(&mut self, property: SceneProperty) {
+        self.properties.push(property);
+        self.premise_was_true.push(false);
+    }
+
+    pub fn properties(&self) -> &[SceneProperty] {
+        &self.properties
+    }
+
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Feed a state update and evaluate immediate (`Never`/`Always`)
+    /// properties; arm or discharge `LeadsTo` obligations.
+    pub fn observe(&mut self, now: SimTime, digi: &str, fields: Value) {
+        self.states.insert(digi.to_string(), fields);
+        self.evaluate(now);
+    }
+
+    /// Advance the clock: expire `LeadsTo` deadlines.
+    pub fn advance(&mut self, now: SimTime) {
+        let mut expired = Vec::new();
+        self.obligations.retain(|ob| {
+            if ob.deadline <= now {
+                expired.push(ob.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for ob in expired {
+            let prop = &self.properties[ob.property_index];
+            if let Temporal::LeadsTo { conclusion, .. } = &prop.temporal {
+                if !conclusion.iter().all(|c| c.holds(&self.states)) {
+                    self.violations.push(Violation {
+                        property: prop.name.clone(),
+                        at: now,
+                        detail: format!(
+                            "conclusion not reached within window (deadline {})",
+                            ob.deadline
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn evaluate(&mut self, now: SimTime) {
+        for (i, prop) in self.properties.iter().enumerate() {
+            match &prop.temporal {
+                Temporal::Never(conds) => {
+                    if !conds.is_empty() && conds.iter().all(|c| c.holds(&self.states)) {
+                        self.violations.push(Violation {
+                            property: prop.name.clone(),
+                            at: now,
+                            detail: format!("disallowed state reached: {}", describe(conds)),
+                        });
+                    }
+                }
+                Temporal::Always(conds) => {
+                    // Only meaningful once every referenced digi has
+                    // reported at least once.
+                    let all_known = conds.iter().all(|c| self.states.contains_key(&c.digi));
+                    if all_known && !conds.iter().all(|c| c.holds(&self.states)) {
+                        self.violations.push(Violation {
+                            property: prop.name.clone(),
+                            at: now,
+                            detail: format!("invariant broken: {}", describe(conds)),
+                        });
+                    }
+                }
+                Temporal::LeadsTo { premise, conclusion, within } => {
+                    let premise_true = !premise.is_empty() && premise.iter().all(|c| c.holds(&self.states));
+                    let was = self.premise_was_true[i];
+                    if premise_true && !was {
+                        // Rising edge: either already satisfied or arm an
+                        // obligation.
+                        if !conclusion.iter().all(|c| c.holds(&self.states)) {
+                            self.obligations.push(Obligation {
+                                property_index: i,
+                                deadline: now + *within,
+                            });
+                        }
+                    }
+                    self.premise_was_true[i] = premise_true;
+                    // Discharge satisfied obligations for this property.
+                    if conclusion.iter().all(|c| c.holds(&self.states)) {
+                        self.obligations.retain(|ob| ob.property_index != i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn describe(conds: &[DigiCondition]) -> String {
+    conds
+        .iter()
+        .map(|c| format!("{}.{} {:?} {}", c.digi, c.cond.path, c.cond.op, c.cond.value))
+        .collect::<Vec<_>>()
+        .join(" && ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::vmap;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn lamp_on() -> Value {
+        vmap! { "power" => vmap! { "status" => "on" } }
+    }
+
+    fn lamp_off() -> Value {
+        vmap! { "power" => vmap! { "status" => "off" } }
+    }
+
+    fn sensor(triggered: bool) -> Value {
+        vmap! { "triggered" => triggered }
+    }
+
+    /// The paper's example property.
+    fn lamp_off_when_empty() -> SceneProperty {
+        SceneProperty::never(
+            "lamp-off-when-empty",
+            vec![
+                DigiCondition::new("L1", Condition::eq("power.status", "on")),
+                DigiCondition::new("O1", Condition::eq("triggered", false)),
+            ],
+        )
+    }
+
+    #[test]
+    fn never_property_fires_on_disallowed_state() {
+        let mut pc = PropertyChecker::new();
+        pc.add(lamp_off_when_empty());
+        pc.observe(at(1), "L1", lamp_off());
+        pc.observe(at(2), "O1", sensor(false));
+        assert!(pc.violations().is_empty(), "lamp off + empty room is fine");
+        pc.observe(at(3), "L1", lamp_on());
+        assert_eq!(pc.violations().len(), 1);
+        assert_eq!(pc.violations()[0].property, "lamp-off-when-empty");
+    }
+
+    #[test]
+    fn never_property_quiet_when_occupied() {
+        let mut pc = PropertyChecker::new();
+        pc.add(lamp_off_when_empty());
+        pc.observe(at(1), "O1", sensor(true));
+        pc.observe(at(2), "L1", lamp_on());
+        assert!(pc.violations().is_empty());
+    }
+
+    #[test]
+    fn always_property_waits_for_all_digis() {
+        let mut pc = PropertyChecker::new();
+        pc.add(SceneProperty::always(
+            "sensor-present",
+            vec![DigiCondition::new("O1", Condition::ne("triggered", Value::Null))],
+        ));
+        // O1 never reported: no violation yet
+        pc.observe(at(1), "L1", lamp_on());
+        assert!(pc.violations().is_empty());
+        pc.observe(at(2), "O1", sensor(true));
+        assert!(pc.violations().is_empty());
+    }
+
+    #[test]
+    fn leads_to_satisfied_in_time() {
+        let mut pc = PropertyChecker::new();
+        pc.add(SceneProperty::leads_to(
+            "light-follows-presence",
+            vec![DigiCondition::new("O1", Condition::eq("triggered", true))],
+            vec![DigiCondition::new("L1", Condition::eq("power.status", "on"))],
+            SimDuration::from_millis(2000),
+        ));
+        pc.observe(at(0), "L1", lamp_off());
+        pc.observe(at(100), "O1", sensor(true)); // premise rises, obligation armed
+        pc.observe(at(900), "L1", lamp_on()); // conclusion reached in time
+        pc.advance(at(5000));
+        assert!(pc.violations().is_empty());
+    }
+
+    #[test]
+    fn leads_to_violated_on_deadline() {
+        let mut pc = PropertyChecker::new();
+        pc.add(SceneProperty::leads_to(
+            "light-follows-presence",
+            vec![DigiCondition::new("O1", Condition::eq("triggered", true))],
+            vec![DigiCondition::new("L1", Condition::eq("power.status", "on"))],
+            SimDuration::from_millis(2000),
+        ));
+        pc.observe(at(0), "L1", lamp_off());
+        pc.observe(at(100), "O1", sensor(true));
+        pc.advance(at(2100));
+        assert_eq!(pc.violations().len(), 1);
+        assert_eq!(pc.violations()[0].property, "light-follows-presence");
+    }
+
+    #[test]
+    fn leads_to_rearms_on_next_rising_edge() {
+        let mut pc = PropertyChecker::new();
+        pc.add(SceneProperty::leads_to(
+            "p",
+            vec![DigiCondition::new("O1", Condition::eq("triggered", true))],
+            vec![DigiCondition::new("L1", Condition::eq("power.status", "on"))],
+            SimDuration::from_millis(1000),
+        ));
+        pc.observe(at(0), "L1", lamp_off());
+        pc.observe(at(0), "O1", sensor(true));
+        pc.advance(at(1500)); // first violation
+        pc.observe(at(1600), "O1", sensor(false)); // premise falls
+        pc.observe(at(1700), "O1", sensor(true)); // rises again
+        pc.advance(at(3000)); // second violation
+        assert_eq!(pc.violations().len(), 2);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let c = Condition::gt("temp.status", 30.0);
+        assert!(c.holds(&vmap! { "temp" => vmap! { "status" => 31.5 } }));
+        assert!(!c.holds(&vmap! { "temp" => vmap! { "status" => 29 } }));
+        // int/float interop
+        let c = Condition::eq("n", 3);
+        assert!(c.holds(&vmap! { "n" => 3.0 }));
+        // missing path is false
+        assert!(!c.holds(&Value::map()));
+        // non-numeric against numeric op is false
+        let c = Condition::lt("s", 5);
+        assert!(!c.holds(&vmap! { "s" => "str" }));
+    }
+
+    #[test]
+    fn take_violations_drains() {
+        let mut pc = PropertyChecker::new();
+        pc.add(lamp_off_when_empty());
+        pc.observe(at(1), "L1", lamp_on());
+        pc.observe(at(2), "O1", sensor(false));
+        assert_eq!(pc.take_violations().len(), 1);
+        assert!(pc.violations().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = lamp_off_when_empty();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SceneProperty = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,801 @@
+//! The testbed runtime (paper §4): a simulated cluster running the broker
+//! and every digi as a microservice, plus the control plane, trace log and
+//! property checker.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use digibox_broker::Broker;
+use digibox_model::{Meta, Model, Value};
+use digibox_net::{Addr, NodeId, ServiceHandle, Sim, SimConfig, SimDuration, SimTime, Topology};
+use digibox_orchestrator::{ControlPlane, ControlPlaneConfig, PodAction, PodPhase, PodSpec};
+use digibox_registry::{InstanceDecl, Repository, SetupManifest};
+use digibox_trace::{ReplaySchedule, TraceLog};
+
+use crate::appclient::AppClient;
+use crate::catalog::{Catalog, CatalogError};
+use crate::digi::DigiService;
+use crate::properties::{PropertyChecker, SceneProperty};
+use crate::topics;
+
+/// Simulation fidelity (paper, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FidelityMode {
+    /// Each device simulated in isolation — scene controllers do not
+    /// coordinate (today's device simulators).
+    DeviceCentric,
+    /// Scenes ensemble their mocks (Digibox's contribution).
+    #[default]
+    SceneCentric,
+    /// Scene-centric plus simple physical models (thermal, light) in the
+    /// device programs that support them.
+    Physical,
+}
+
+/// Testbed construction parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Master seed: RNG streams for links, control plane and every digi
+    /// split from it.
+    pub seed: u64,
+    pub fidelity: FidelityMode,
+    /// Whether the trace log records (disable only in overhead benches).
+    pub logging: bool,
+    /// Kernel event-storm watchdog threshold (events per virtual
+    /// millisecond; 0 disables). See `digibox_net::SimConfig`.
+    pub storm_threshold: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 42,
+            fidelity: FidelityMode::SceneCentric,
+            logging: true,
+            storm_threshold: digibox_net::SimConfig::default().storm_threshold,
+        }
+    }
+}
+
+/// Testbed errors.
+#[derive(Debug)]
+pub enum TestbedError {
+    Catalog(CatalogError),
+    UnknownDigi(String),
+    NotAScene(String),
+    Orchestrator(digibox_orchestrator::StoreError),
+    Registry(digibox_registry::RegistryError),
+    Model(digibox_model::ModelError),
+    Setup(String),
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::Catalog(e) => write!(f, "{e}"),
+            TestbedError::UnknownDigi(n) => write!(f, "no digi named {n:?}"),
+            TestbedError::NotAScene(n) => write!(f, "{n:?} is not a scene"),
+            TestbedError::Orchestrator(e) => write!(f, "{e}"),
+            TestbedError::Registry(e) => write!(f, "{e}"),
+            TestbedError::Model(e) => write!(f, "{e}"),
+            TestbedError::Setup(m) => write!(f, "setup error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {}
+
+impl From<CatalogError> for TestbedError {
+    fn from(e: CatalogError) -> Self {
+        TestbedError::Catalog(e)
+    }
+}
+impl From<digibox_orchestrator::StoreError> for TestbedError {
+    fn from(e: digibox_orchestrator::StoreError) -> Self {
+        TestbedError::Orchestrator(e)
+    }
+}
+impl From<digibox_registry::RegistryError> for TestbedError {
+    fn from(e: digibox_registry::RegistryError) -> Self {
+        TestbedError::Registry(e)
+    }
+}
+impl From<digibox_model::ModelError> for TestbedError {
+    fn from(e: digibox_model::ModelError) -> Self {
+        TestbedError::Model(e)
+    }
+}
+
+struct DigiEntry {
+    handle: ServiceHandle<DigiService>,
+    addr: Addr,
+    pod: String,
+    kind: String,
+    version: String,
+    managed: bool,
+    params: BTreeMap<String, Value>,
+}
+
+/// The Digibox testbed.
+pub struct Testbed {
+    sim: Sim,
+    control: Rc<RefCell<ControlPlane>>,
+    broker: ServiceHandle<Broker>,
+    broker_addr: Addr,
+    catalog: Catalog,
+    log: TraceLog,
+    digis: BTreeMap<String, DigiEntry>,
+    checker: PropertyChecker,
+    /// Trace cursor for feeding the property checker.
+    checker_cursor: Option<u64>,
+    next_digi_port: u16,
+    next_app_port: u16,
+    /// The developer-console MQTT session used by `edit`/`replay`.
+    operator: Option<ServiceHandle<AppClient>>,
+    /// Crashed digis awaiting restart: (due, name, kind, params, managed,
+    /// previous attach list).
+    pending_restarts: Vec<(SimTime, String, String, BTreeMap<String, Value>, bool, Vec<String>)>,
+    storm_logged: bool,
+    config: TestbedConfig,
+}
+
+impl Testbed {
+    /// Build a testbed over an explicit topology; the broker binds on the
+    /// first node (port 1883, like EMQX).
+    pub fn new(topology: Topology, catalog: Catalog, config: TestbedConfig) -> Testbed {
+        assert!(!topology.is_empty(), "testbed needs at least one node");
+        let nodes: Vec<(NodeId, _)> = topology
+            .node_ids()
+            .into_iter()
+            .map(|id| (id, topology.node(id).expect("listed node exists").clone()))
+            .collect();
+        let broker_node = nodes[0].0;
+        let mut sim = Sim::new(
+            topology,
+            SimConfig {
+                seed: config.seed,
+                storm_threshold: config.storm_threshold,
+                ..Default::default()
+            },
+        );
+        let control = Rc::new(RefCell::new(ControlPlane::new(
+            &nodes,
+            ControlPlaneConfig { seed: config.seed ^ 0x5EED, ..Default::default() },
+        )));
+        let broker_addr = Addr::new(broker_node, 1883);
+        let broker = Broker::new(broker_addr);
+        sim.bind(broker_addr, broker.clone());
+        let log = if config.logging { TraceLog::new() } else { TraceLog::disabled() };
+        Testbed {
+            sim,
+            control,
+            broker,
+            broker_addr,
+            catalog,
+            log,
+            digis: BTreeMap::new(),
+            checker: PropertyChecker::new(),
+            checker_cursor: None,
+            next_digi_port: 10_000,
+            next_app_port: 50_000,
+            operator: None,
+            pending_restarts: Vec::new(),
+            storm_logged: false,
+            config,
+        }
+    }
+
+    /// The paper's local environment: one laptop node.
+    pub fn laptop(catalog: Catalog, config: TestbedConfig) -> Testbed {
+        Testbed::new(Topology::single_laptop(), catalog, config)
+    }
+
+    /// The paper's cloud environment: `n` m5.xlarge nodes in one VPC.
+    pub fn ec2(n: u32, catalog: Catalog, config: TestbedConfig) -> Testbed {
+        Testbed::new(Topology::ec2_cluster(n), catalog, config)
+    }
+
+    // ---- accessors ----
+
+    pub fn sim(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    pub fn broker_addr(&self) -> Addr {
+        self.broker_addr
+    }
+
+    pub fn broker(&self) -> &ServiceHandle<Broker> {
+        &self.broker
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    pub fn digi_names(&self) -> Vec<String> {
+        self.digis.keys().cloned().collect()
+    }
+
+    pub fn digi_count(&self) -> usize {
+        self.digis.len()
+    }
+
+    /// The service address of a digi's REST API.
+    pub fn digi_addr(&self, name: &str) -> crate::Result<Addr> {
+        self.digis
+            .get(name)
+            .map(|d| d.addr)
+            .ok_or_else(|| TestbedError::UnknownDigi(name.to_string()))
+    }
+
+    /// Borrow a digi's service handle (tests, advanced drivers).
+    pub fn digi(&self, name: &str) -> crate::Result<ServiceHandle<DigiService>> {
+        self.digis
+            .get(name)
+            .map(|d| d.handle.clone())
+            .ok_or_else(|| TestbedError::UnknownDigi(name.to_string()))
+    }
+
+    /// Cluster utilization: (pods, requested cpu millis, cpu capacity
+    /// millis) across all nodes — the "compute resource budget" of the
+    /// paper's §6 efficiency question.
+    pub fn cluster_utilization(&self) -> (u32, u64, u64) {
+        let control = self.control.borrow();
+        let sched = control.scheduler();
+        let mut pods = 0;
+        let mut used = 0;
+        let mut cap = 0;
+        for (_, alloc) in sched.nodes() {
+            pods += alloc.pods;
+            used += alloc.cpu_allocated;
+            cap += alloc.spec.cpu_millis;
+        }
+        (pods, used, cap)
+    }
+
+    /// Pod phase of a digi (orchestrator view).
+    pub fn pod_phase(&self, name: &str) -> Option<PodPhase> {
+        let pod = self.digis.get(name)?.pod.clone();
+        self.control.borrow().phase(&pod)
+    }
+
+    // ---- dbox run/stop ----
+
+    /// `dbox run <Type> <name>` — create and start a digi.
+    pub fn run(&mut self, kind: &str, name: &str) -> crate::Result<()> {
+        self.run_with(kind, name, BTreeMap::new(), false)
+    }
+
+    /// `dbox run` with meta params and managed flag.
+    pub fn run_with(
+        &mut self,
+        kind: &str,
+        name: &str,
+        params: BTreeMap<String, Value>,
+        managed: bool,
+    ) -> crate::Result<()> {
+        if self.digis.contains_key(name) {
+            return Err(TestbedError::Setup(format!("digi {name:?} already running")));
+        }
+        let mut program = self.catalog.make(kind)?;
+        let schema = program.schema();
+        let mut model = schema.instantiate(name);
+        model.meta = Meta {
+            kind: kind.to_string(),
+            version: program.version().to_string(),
+            name: name.to_string(),
+            managed: match self.config.fidelity {
+                // Device-centric: every mock generates independently.
+                FidelityMode::DeviceCentric => managed && program.is_scene(),
+                _ => managed,
+            },
+            attach: Vec::new(),
+            params: {
+                let mut p = params.clone();
+                if self.config.fidelity == FidelityMode::Physical {
+                    p.entry("fidelity".to_string()).or_insert(Value::from("physical"));
+                }
+                p
+            },
+        };
+        program.init(&mut model);
+
+        // Pod through the control plane.
+        let pod_name = format!("digi-{}", name.to_lowercase());
+        let pod_spec = if program.is_scene() {
+            PodSpec::scene(&pod_name, program.program_id())
+        } else {
+            PodSpec::mock(&pod_name, program.program_id())
+        };
+        self.control.borrow_mut().create_pod(pod_spec)?;
+        let actions = self.control.borrow_mut().reconcile();
+        let mut placed_node = None;
+        let mut start_delay = SimDuration::ZERO;
+        for action in actions {
+            match action {
+                PodAction::Start { pod, node, delay, .. } if pod == pod_name => {
+                    placed_node = Some(node);
+                    start_delay = delay;
+                }
+                PodAction::MarkUnschedulable { pod } if pod == pod_name => {
+                    return Err(TestbedError::Setup(format!(
+                        "pod {pod} unschedulable: cluster is full"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        let node = placed_node
+            .ok_or_else(|| TestbedError::Setup(format!("pod {pod_name} was not placed")))?;
+
+        let addr = Addr::new(node, self.next_digi_port);
+        self.next_digi_port = self.next_digi_port.checked_add(1).expect("port space exhausted");
+        let overhead = self
+            .sim
+            .topology()
+            .node(node)
+            .map(|n| n.service_overhead)
+            .unwrap_or(SimDuration::ZERO);
+        let scene_logic = self.config.fidelity != FidelityMode::DeviceCentric;
+        let rng = self.sim.rng_for(&format!("digi/{name}/{}", model.meta.seed()));
+        let handle = DigiService::new(
+            addr,
+            self.broker_addr,
+            model,
+            program,
+            rng,
+            self.log.clone(),
+            scene_logic,
+            overhead,
+        );
+        self.digis.insert(
+            name.to_string(),
+            DigiEntry {
+                handle: handle.clone(),
+                addr,
+                pod: pod_name.clone(),
+                kind: kind.to_string(),
+                version: handle.borrow().model().meta.version.clone(),
+                managed,
+                params,
+            },
+        );
+        // Container start: bind after the startup delay.
+        let control = self.control.clone();
+        self.sim.call_after(start_delay, move |sim| {
+            sim.bind(addr, handle);
+            control.borrow_mut().mark_running(&pod_name);
+        });
+        Ok(())
+    }
+
+    /// `dbox stop <name>` — stop and remove a digi.
+    pub fn stop(&mut self, name: &str) -> crate::Result<()> {
+        let entry = self
+            .digis
+            .remove(name)
+            .ok_or_else(|| TestbedError::UnknownDigi(name.to_string()))?;
+        self.control.borrow_mut().delete_pod(&entry.pod)?;
+        self.sim.unbind(entry.addr);
+        self.log.lifecycle(self.sim.now(), name, "stopped", "");
+        // Detach from any scene that references it.
+        let parents: Vec<String> = self
+            .digis
+            .iter()
+            .filter(|(_, e)| e.handle.borrow().model().meta.attach.iter().any(|c| c == name))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for parent in parents {
+            let handle = self.digis[&parent].handle.clone();
+            handle.borrow_mut().detach_child(&mut self.sim, name);
+        }
+        Ok(())
+    }
+
+    /// Kill a digi's process without deleting the pod (fault injection).
+    /// The control plane restarts it per its policy, with fresh state —
+    /// like a crashed container.
+    pub fn kill(&mut self, name: &str) -> crate::Result<()> {
+        let entry = self
+            .digis
+            .get(name)
+            .ok_or_else(|| TestbedError::UnknownDigi(name.to_string()))?;
+        let addr = entry.addr;
+        let pod = entry.pod.clone();
+        let kind = entry.kind.clone();
+        let params = entry.params.clone();
+        let managed = entry.managed;
+        self.sim.unbind(addr);
+        self.log.lifecycle(self.sim.now(), name, "killed", "");
+        self.control.borrow_mut().report_exit(&pod);
+        let restart_delay = self.control.borrow().restart_delay();
+        // Remove and re-run after the restart delay (fresh container state).
+        let attach: Vec<String> =
+            self.digis[name].handle.borrow().model().meta.attach.clone();
+        self.digis.remove(name);
+        self.control.borrow_mut().delete_pod(&pod)?;
+        let name = name.to_string();
+        // Rebuild outside the event (deterministic order): schedule a
+        // testbed-level restart marker the driver must apply.
+        self.pending_restarts.push((self.sim.now() + restart_delay, name, kind, params, managed, attach));
+        Ok(())
+    }
+
+    // ---- attach / edit / check ----
+
+    /// `dbox attach <child> <parent>` — attach a digi to a scene.
+    pub fn attach(&mut self, child: &str, parent: &str) -> crate::Result<()> {
+        let child_kind = self
+            .digis
+            .get(child)
+            .ok_or_else(|| TestbedError::UnknownDigi(child.to_string()))?
+            .kind
+            .clone();
+        let parent_entry = self
+            .digis
+            .get(parent)
+            .ok_or_else(|| TestbedError::UnknownDigi(parent.to_string()))?;
+        if !parent_entry.handle.borrow().is_scene() {
+            return Err(TestbedError::NotAScene(parent.to_string()));
+        }
+        let handle = parent_entry.handle.clone();
+        handle.borrow_mut().attach_child(&mut self.sim, child, &child_kind);
+        Ok(())
+    }
+
+    /// `dbox attach -d` — detach.
+    pub fn detach(&mut self, child: &str, parent: &str) -> crate::Result<()> {
+        let handle = self
+            .digis
+            .get(parent)
+            .ok_or_else(|| TestbedError::UnknownDigi(parent.to_string()))?
+            .handle
+            .clone();
+        handle.borrow_mut().detach_child(&mut self.sim, child);
+        Ok(())
+    }
+
+    /// `dbox check <name>` — snapshot a digi's model.
+    pub fn check(&mut self, name: &str) -> crate::Result<Model> {
+        Ok(self.digi(name)?.borrow().model().clone())
+    }
+
+    /// `dbox edit <name>` — set intent fields through the real message
+    /// path (MQTT publish to the digi's intent topic).
+    pub fn edit(&mut self, name: &str, updates: Value) -> crate::Result<()> {
+        self.digi_addr(name)?; // existence check
+        let topic = topics::intent(name);
+        let payload = serde_json::to_vec(&updates.to_json()).expect("values serialize");
+        // Publish directly through the broker service (the testbed acts as
+        // the developer's console, which in the paper is a CLI process with
+        // its own MQTT session).
+        self.publish_as_operator(&topic, payload);
+        Ok(())
+    }
+
+    /// Toggle a digi's `managed` flag (pausing/resuming its own event
+    /// generation).
+    pub fn set_managed(&mut self, name: &str, managed: bool) -> crate::Result<()> {
+        let handle = self.digi(name)?;
+        handle.borrow_mut().set_managed(managed);
+        if let Some(e) = self.digis.get_mut(name) {
+            e.managed = managed;
+        }
+        Ok(())
+    }
+
+    fn publish_as_operator(&mut self, topic: &str, payload: Vec<u8>) {
+        // Route through the broker like any client: a lightweight operator
+        // session bound lazily at a reserved port on the broker's node.
+        let op_addr = Addr::new(self.broker_addr.node, 65_000);
+        if !self.sim.is_bound(op_addr) {
+            let client = AppClient::with_mqtt(op_addr, self.broker_addr, "dbox-operator");
+            self.sim.bind(op_addr, client.clone());
+            self.operator = Some(client);
+            self.sim.run_for(SimDuration::from_millis(5)); // let CONNECT settle
+        }
+        let client = self.operator.clone().expect("operator bound above");
+        client.borrow_mut().publish(&mut self.sim, topic, payload, digibox_broker::QoS::AtLeastOnce);
+    }
+
+    // ---- pooled (FaaS-style) execution, paper §6 ----
+
+    /// Run `names` instances of `kind` inside **one** pooled executor
+    /// service (one pod, one broker session, one timer wheel) instead of
+    /// one microservice each — the consolidation the paper's §6 "efficient
+    /// simulation" question asks about. Pooled digis speak the same topics
+    /// and REST routes (`/digi/<name>/...`) as dedicated ones, but are not
+    /// addressable through `check`/`edit`/`attach` (use the returned
+    /// handle). The `e9_faas_pooling` bench compares both modes.
+    pub fn run_pool(
+        &mut self,
+        kind: &str,
+        names: &[String],
+        params: BTreeMap<String, Value>,
+        managed: bool,
+    ) -> crate::Result<(ServiceHandle<crate::DigiPool>, Addr)> {
+        // One pod for the whole pool; resources scale sub-linearly with
+        // occupancy (the whole point of consolidation).
+        let pod_name = format!("pool-{}", self.next_digi_port);
+        let pod_spec = PodSpec::scene(&pod_name, "faas/pool")
+            .with_resources(10 + names.len() as u64 / 4, 16 + names.len() as u64 / 8);
+        self.control.borrow_mut().create_pod(pod_spec)?;
+        let actions = self.control.borrow_mut().reconcile();
+        let mut placed = None;
+        let mut start_delay = SimDuration::ZERO;
+        for action in actions {
+            match action {
+                PodAction::Start { pod, node, delay, .. } if pod == pod_name => {
+                    placed = Some(node);
+                    start_delay = delay;
+                }
+                PodAction::MarkUnschedulable { pod } if pod == pod_name => {
+                    return Err(TestbedError::Setup(format!("pool pod {pod} unschedulable")));
+                }
+                _ => {}
+            }
+        }
+        let node =
+            placed.ok_or_else(|| TestbedError::Setup(format!("pool pod {pod_name} not placed")))?;
+        let addr = Addr::new(node, self.next_digi_port);
+        self.next_digi_port = self.next_digi_port.checked_add(1).expect("port space exhausted");
+        let overhead = self
+            .sim
+            .topology()
+            .node(node)
+            .map(|n| n.service_overhead)
+            .unwrap_or(SimDuration::ZERO);
+        let pool = crate::DigiPool::new(addr, self.broker_addr, overhead);
+
+        // Materialize the cells' models/programs now; host them at start.
+        let mut members = Vec::new();
+        for name in names {
+            let mut program = self.catalog.make(kind)?;
+            let schema = program.schema();
+            let mut model = schema.instantiate(name);
+            model.meta = Meta {
+                kind: kind.to_string(),
+                version: program.version().to_string(),
+                name: name.clone(),
+                managed,
+                attach: Vec::new(),
+                params: params.clone(),
+            };
+            program.init(&mut model);
+            let rng = self.sim.rng_for(&format!("digi/{name}/{}", model.meta.seed()));
+            members.push((model, program, rng));
+        }
+        let scene_logic = self.config.fidelity != FidelityMode::DeviceCentric;
+        let log = self.log.clone();
+        let control = self.control.clone();
+        let handle = pool.clone();
+        self.sim.call_after(start_delay, move |sim| {
+            sim.bind(addr, handle.clone());
+            for (model, program, rng) in members {
+                handle.borrow_mut().host(sim, model, program, rng, log.clone(), scene_logic);
+            }
+            control.borrow_mut().mark_running(&pod_name);
+        });
+        Ok((pool, addr))
+    }
+
+    // ---- applications ----
+
+    /// Create an application endpoint on `node` (REST only).
+    pub fn app(&mut self, node: NodeId) -> ServiceHandle<AppClient> {
+        let addr = Addr::new(node, self.next_app_port);
+        self.next_app_port = self.next_app_port.checked_add(1).expect("app port space exhausted");
+        let client = AppClient::new(addr);
+        self.sim.bind(addr, client.clone());
+        client
+    }
+
+    /// Create an application endpoint with an MQTT session.
+    pub fn app_with_mqtt(&mut self, node: NodeId, client_id: &str) -> ServiceHandle<AppClient> {
+        let addr = Addr::new(node, self.next_app_port);
+        self.next_app_port = self.next_app_port.checked_add(1).expect("app port space exhausted");
+        let client = AppClient::with_mqtt(addr, self.broker_addr, client_id);
+        self.sim.bind(addr, client.clone());
+        client
+    }
+
+    // ---- time ----
+
+    /// Advance virtual time, then feed new model changes to the property
+    /// checker and apply due restarts.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.sim.now() + span;
+        loop {
+            let next_restart = self.pending_restarts.iter().map(|(t, ..)| *t).min();
+            match next_restart {
+                Some(t) if t <= deadline => {
+                    self.sim.run_until(t);
+                    self.apply_due_restarts();
+                }
+                _ => {
+                    self.sim.run_until(deadline);
+                    break;
+                }
+            }
+        }
+        self.poll_storm();
+        self.poll_properties();
+    }
+
+    /// Drain the event queue completely.
+    pub fn run_to_quiescence(&mut self) {
+        loop {
+            self.sim.run_to_completion();
+            if self.pending_restarts.is_empty() {
+                break;
+            }
+            let t = self.pending_restarts.iter().map(|(t, ..)| *t).min().expect("nonempty");
+            self.sim.run_until(t);
+            self.apply_due_restarts();
+        }
+        self.poll_storm();
+        self.poll_properties();
+    }
+
+    fn apply_due_restarts(&mut self) {
+        let now = self.sim.now();
+        let due: Vec<_> = {
+            let (due, rest): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut self.pending_restarts).into_iter().partition(|(t, ..)| *t <= now);
+            self.pending_restarts = rest;
+            due
+        };
+        for (_, name, kind, params, managed, attach) in due {
+            if self.run_with(&kind, &name, params, managed).is_ok() {
+                self.log.lifecycle(now, &name, "restarted", "");
+                for child in attach {
+                    let _ = self.attach(&child, &name);
+                }
+            }
+        }
+    }
+
+    // ---- properties ----
+
+    /// Register a scene property, checked online.
+    pub fn add_property(&mut self, property: SceneProperty) {
+        self.checker.add(property);
+    }
+
+    /// All violations detected so far.
+    pub fn violations(&self) -> Vec<digibox_trace::TraceRecord> {
+        self.log.violations()
+    }
+
+    /// Whether the kernel's event-storm watchdog tripped — almost always a
+    /// scene whose coordination never converges (see
+    /// `digibox_net::SimConfig::storm_threshold`).
+    pub fn storm_detected(&self) -> bool {
+        self.sim.storm_detected()
+    }
+
+    fn poll_storm(&mut self) {
+        if !self.storm_logged && self.sim.storm_detected() {
+            self.storm_logged = true;
+            self.log.violation(
+                self.sim.now(),
+                "testbed",
+                "kernel/event-storm",
+                "event storm detected: a coordination loop is not converging                  (check that scene handlers are pure functions of their model state)",
+            );
+        }
+    }
+
+    fn poll_properties(&mut self) {
+        if self.checker.properties().is_empty() {
+            return;
+        }
+        let records = self.log.since(self.checker_cursor);
+        if let Some(last) = records.last() {
+            self.checker_cursor = Some(last.seq);
+        }
+        for r in &records {
+            if let digibox_trace::RecordKind::ModelChange { fields, .. } = &r.kind {
+                self.checker.observe(r.ts, &r.source, fields.clone());
+            }
+        }
+        self.checker.advance(self.sim.now());
+        for v in self.checker.take_violations() {
+            self.log.violation(v.at, "testbed", &v.property, &v.detail);
+        }
+    }
+
+    // ---- commit / push / pull / recreate ----
+
+    /// `dbox commit` — snapshot the current setup as a manifest plus the
+    /// type packages it needs.
+    pub fn snapshot(&self, setup_name: &str) -> crate::Result<SetupManifest> {
+        let mut manifest = SetupManifest::new(setup_name, self.config.seed);
+        for (name, entry) in &self.digis {
+            manifest.instances.push(InstanceDecl {
+                name: name.clone(),
+                kind: entry.kind.clone(),
+                version: entry.version.clone(),
+                managed: entry.managed,
+                params: entry.params.clone(),
+            });
+            for child in &entry.handle.borrow().model().meta.attach {
+                manifest.attachments.push((child.clone(), name.clone()));
+            }
+        }
+        manifest.attachments.sort();
+        manifest.validate().map_err(TestbedError::Setup)?;
+        Ok(manifest)
+    }
+
+    /// `dbox commit <setup> <ref>` into a repository.
+    pub fn commit(
+        &self,
+        repo: &mut Repository,
+        ref_name: &str,
+        message: &str,
+        setup_name: &str,
+    ) -> crate::Result<digibox_registry::Digest> {
+        let manifest = self.snapshot(setup_name)?;
+        let mut packages = Vec::new();
+        let mut kinds: Vec<&String> = self.digis.values().map(|e| &e.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        for kind in kinds {
+            packages.push(self.catalog.package(kind)?);
+        }
+        Ok(repo.commit(ref_name, message, &manifest, &packages))
+    }
+
+    /// `dbox pull` + recreate: run every instance and attachment of a
+    /// manifest on this (empty) testbed.
+    pub fn recreate(&mut self, manifest: &SetupManifest) -> crate::Result<()> {
+        manifest.validate().map_err(TestbedError::Setup)?;
+        for inst in &manifest.instances {
+            self.run_with(&inst.kind, &inst.name, inst.params.clone(), inst.managed)?;
+        }
+        // Let containers start before wiring attachments.
+        self.run_for(SimDuration::from_millis(500));
+        for (child, parent) in &manifest.attachments {
+            self.attach(child, parent)?;
+        }
+        Ok(())
+    }
+
+    // ---- replay ----
+
+    /// `dbox replay` — pause generation on the digis the schedule drives
+    /// and force their recorded model states at the recorded (shifted)
+    /// times.
+    pub fn replay(&mut self, schedule: &ReplaySchedule) -> crate::Result<()> {
+        let base = self.sim.now();
+        for source in schedule.sources() {
+            let handle = self.digi(&source)?;
+            handle.borrow_mut().set_generation_enabled(false);
+        }
+        for step in schedule.steps() {
+            let handle = self.digi(&step.source)?;
+            let fields = step.fields.clone();
+            let at = base + SimDuration::from_nanos(step.ts.as_nanos());
+            self.sim.call_at(at, move |sim| {
+                handle.borrow_mut().force_fields(sim, fields);
+            });
+        }
+        Ok(())
+    }
+}

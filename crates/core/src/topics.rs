@@ -1,0 +1,73 @@
+//! MQTT topic conventions for digi traffic.
+//!
+//! Every digi `<name>` owns a topic subtree:
+//!
+//! * `digibox/digi/<name>/model` — retained; full model (meta + fields) as
+//!   JSON, republished on every change. Scenes mirror their attached
+//!   children from here; applications subscribe here for status.
+//! * `digibox/digi/<name>/intent` — inbound commands: a JSON map of
+//!   `path → value` applied to the `intent` halves (what `dbox edit` and
+//!   applications send).
+//! * `digibox/digi/<name>/set` — inbound coordination: a serialized
+//!   [`digibox_model::Patch`] applied verbatim to the fields (what parent
+//!   scenes send).
+//! * `digibox/digi/<name>/event` — event-generator output, for
+//!   observability and app triggers.
+//! * `digibox/lwt/<name>` — last-will: fired by the broker when the digi
+//!   dies unexpectedly.
+
+pub fn model(name: &str) -> String {
+    format!("digibox/digi/{name}/model")
+}
+
+pub fn intent(name: &str) -> String {
+    format!("digibox/digi/{name}/intent")
+}
+
+pub fn set(name: &str) -> String {
+    format!("digibox/digi/{name}/set")
+}
+
+pub fn event(name: &str) -> String {
+    format!("digibox/digi/{name}/event")
+}
+
+pub fn lwt(name: &str) -> String {
+    format!("digibox/lwt/{name}")
+}
+
+/// Extract the digi name from any `digibox/digi/<name>/...` topic.
+pub fn digi_of(topic: &str) -> Option<&str> {
+    let rest = topic.strip_prefix("digibox/digi/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name)
+}
+
+/// Which channel a `digibox/digi/...` topic addresses.
+pub fn channel_of(topic: &str) -> Option<&str> {
+    let rest = topic.strip_prefix("digibox/digi/")?;
+    let (_, channel) = rest.split_once('/')?;
+    Some(channel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_shapes() {
+        assert_eq!(model("L1"), "digibox/digi/L1/model");
+        assert_eq!(intent("L1"), "digibox/digi/L1/intent");
+        assert_eq!(set("Room"), "digibox/digi/Room/set");
+        assert_eq!(event("O1"), "digibox/digi/O1/event");
+        assert_eq!(lwt("O1"), "digibox/lwt/O1");
+    }
+
+    #[test]
+    fn parse_back() {
+        assert_eq!(digi_of("digibox/digi/L1/model"), Some("L1"));
+        assert_eq!(channel_of("digibox/digi/L1/model"), Some("model"));
+        assert_eq!(digi_of("digibox/lwt/L1"), None);
+        assert_eq!(digi_of("unrelated"), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Pooled (FaaS-style) execution: pooled digis behave like dedicated ones
+//! from an application's point of view, at a fraction of the runtime cost.
+
+use std::collections::BTreeMap;
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_core::{AppEvent, Catalog, Testbed, TestbedConfig};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+use digibox_net::SimDuration;
+
+struct Counter;
+impl DigiProgram for Counter {
+    fn kind(&self) -> &str {
+        "Counter"
+    }
+    fn version(&self) -> &str {
+        "v1"
+    }
+    fn program_id(&self) -> &str {
+        "test/counter"
+    }
+    fn schema(&self) -> Schema {
+        Schema::new("Counter", "v1")
+            .field("n", FieldKind::int())
+            .field("limit", FieldKind::pair(FieldKind::int()))
+    }
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let n = ctx.model.lookup(&"n".into()).and_then(Value::as_int).unwrap_or(0);
+        ctx.update(vmap! { "n" => n + 1 });
+    }
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("limit").cloned() {
+            ctx.set_status("limit", want);
+        }
+    }
+}
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(|| Box::new(Counter)).unwrap();
+    c
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("C{i}")).collect()
+}
+
+#[test]
+fn pooled_digis_tick_and_publish() {
+    let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
+    let (pool, _) = tb.run_pool("Counter", &names(10), BTreeMap::new(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(5));
+    let p = pool.borrow();
+    assert_eq!(p.len(), 10);
+    let stats = p.stats();
+    assert!(stats.ticks_dispatched >= 30, "ticks: {}", stats.ticks_dispatched);
+    // the wheel consolidates: far fewer wakeups than (cells × ticks)
+    assert!(stats.wheel_wakeups <= stats.ticks_dispatched);
+    for name in p.names() {
+        let n = p.model(name).unwrap().lookup(&"n".into()).and_then(Value::as_int).unwrap();
+        assert!(n >= 3, "{name} only ticked {n} times");
+    }
+    // the trace logged pooled digi events like any other digi's
+    assert!(tb.log().view().source("C0").tag("event").count() >= 3);
+}
+
+#[test]
+fn pooled_rest_api_is_indistinguishable() {
+    let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
+    let (_pool, pool_addr) = tb.run_pool("Counter", &names(3), BTreeMap::new(), true).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    let app = tb.app(pool_addr.node);
+    app.borrow_mut().get(tb.sim(), pool_addr, "/digi/C1/model");
+    tb.run_for(SimDuration::from_millis(200));
+    let events = app.borrow_mut().poll_all();
+    let AppEvent::Response { status, body, .. } = &events[0] else {
+        panic!("expected response, got {events:?}");
+    };
+    assert_eq!(*status, 200);
+    let json: serde_json::Value = serde_json::from_slice(body).unwrap();
+    assert_eq!(json["meta"]["name"], "C1");
+    // unknown digi in the pool → 404
+    app.borrow_mut().get(tb.sim(), pool_addr, "/digi/ghost/model");
+    tb.run_for(SimDuration::from_millis(200));
+    let events = app.borrow_mut().poll_all();
+    assert!(matches!(events[0], AppEvent::Response { status: 404, .. }));
+}
+
+#[test]
+fn pooled_intents_arrive_over_mqtt() {
+    let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
+    let (pool, _) = tb.run_pool("Counter", &names(3), BTreeMap::new(), true).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    // publish an intent through the broker, exactly like `dbox edit`
+    let app = tb.app_with_mqtt(tb.broker_addr().node, "editor");
+    tb.run_for(SimDuration::from_millis(100));
+    app.borrow_mut().publish(
+        tb.sim(),
+        "digibox/digi/C2/intent",
+        &br#"{"limit": 99}"#[..],
+        digibox_broker::QoS::AtLeastOnce,
+    );
+    tb.run_for(SimDuration::from_millis(500));
+    let p = pool.borrow();
+    let limit = p
+        .model("C2")
+        .unwrap()
+        .status(&"limit".into())
+        .unwrap()
+        .as_int();
+    assert_eq!(limit, Some(99));
+    // only the addressed cell changed
+    assert_eq!(
+        p.model("C1").unwrap().status(&"limit".into()).unwrap().as_int(),
+        Some(0)
+    );
+}
+
+#[test]
+fn pool_uses_one_broker_session_for_all_cells() {
+    let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
+    let sessions_before = tb.broker().borrow().session_count();
+    let (_pool, _) = tb.run_pool("Counter", &names(50), BTreeMap::new(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(2));
+    let sessions_after = tb.broker().borrow().session_count();
+    assert_eq!(
+        sessions_after - sessions_before,
+        1,
+        "50 pooled digis must share one broker session"
+    );
+}
+
+#[test]
+fn evicted_cell_stops_ticking() {
+    let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
+    let (pool, _) = tb.run_pool("Counter", &names(2), BTreeMap::new(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(2));
+    {
+        let pool = pool.clone();
+        let mut p = pool.borrow_mut();
+        assert!(p.evict(tb.sim(), "C0"));
+        assert!(!p.evict(tb.sim(), "C0"), "double evict is a no-op");
+    }
+    tb.run_for(SimDuration::from_secs(3));
+    let p = pool.borrow();
+    assert_eq!(p.len(), 1);
+    assert!(p.model("C0").is_none());
+    // C1 keeps running
+    let n = p.model("C1").unwrap().lookup(&"n".into()).and_then(Value::as_int).unwrap();
+    assert!(n >= 4);
+}

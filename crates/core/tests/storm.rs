@@ -1,0 +1,103 @@
+//! The kernel's event-storm watchdog catches non-converging scene
+//! coordination — the bug class where a simulation handler re-randomizes
+//! its writes on every run and the scene↔mock loop chases its own tail.
+
+use std::collections::BTreeMap;
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_core::{Catalog, Testbed, TestbedConfig};
+use digibox_model::{vmap, FieldKind, Schema};
+use digibox_net::SimDuration;
+
+struct Sensor;
+impl DigiProgram for Sensor {
+    fn kind(&self) -> &str {
+        "Sensor"
+    }
+    fn version(&self) -> &str {
+        "v1"
+    }
+    fn program_id(&self) -> &str {
+        "test/sensor"
+    }
+    fn schema(&self) -> Schema {
+        Schema::new("Sensor", "v1").field("level", FieldKind::float())
+    }
+    fn on_loop(&mut self, _ctx: &mut LoopCtx) {}
+}
+
+/// A deliberately broken scene: every simulation-handler run writes a
+/// *fresh random* value to its child, so coordination never converges.
+struct BadScene;
+impl DigiProgram for BadScene {
+    fn kind(&self) -> &str {
+        "BadScene"
+    }
+    fn version(&self) -> &str {
+        "v1"
+    }
+    fn program_id(&self) -> &str {
+        "test/bad-scene"
+    }
+    fn is_scene(&self) -> bool {
+        true
+    }
+    fn schema(&self) -> Schema {
+        Schema::new("BadScene", "v1").field("noise", FieldKind::float())
+    }
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let noise = ctx.rng.f64();
+        ctx.update(vmap! { "noise" => noise });
+    }
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        // WRONG: fresh draw per handler run (see scenes::det_rng for the
+        // correct pattern) — the child echo re-triggers this handler with
+        // a different value forever.
+        let v = ctx.rng.f64();
+        for child in ctx.atts.of_type("Sensor").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&child, "level", v);
+        }
+    }
+}
+
+#[test]
+fn watchdog_flags_non_converging_scene() {
+    let mut catalog = Catalog::new();
+    catalog.register(|| Box::new(Sensor)).unwrap();
+    catalog.register(|| Box::new(BadScene)).unwrap();
+    let mut tb = Testbed::laptop(
+        catalog,
+        TestbedConfig { storm_threshold: 50, ..Default::default() },
+    );
+    tb.run_with("Sensor", "S1", BTreeMap::new(), true).unwrap();
+    tb.run("BadScene", "Bad").unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("S1", "Bad").unwrap();
+    // a short window is plenty: the storm saturates within milliseconds
+    tb.run_for(SimDuration::from_millis(300));
+    assert!(tb.storm_detected(), "the broken scene must trip the watchdog");
+    // and it is reported in the trace like any other violation
+    let violations = tb.violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(&v.kind, digibox_trace::RecordKind::Violation { property, .. }
+                if property == "kernel/event-storm")),
+        "storm should be logged as a violation"
+    );
+}
+
+#[test]
+fn watchdog_quiet_on_healthy_scenes() {
+    let mut tb = Testbed::laptop(
+        digibox_devices::full_catalog(),
+        TestbedConfig { storm_threshold: 5_000, ..Default::default() },
+    );
+    tb.run_with("Occupancy", "O1", BTreeMap::new(), true).unwrap();
+    tb.run("Room", "R1").unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("O1", "R1").unwrap();
+    tb.run_for(SimDuration::from_secs(20));
+    assert!(!tb.storm_detected());
+    assert!(tb.violations().is_empty());
+}

@@ -1,0 +1,313 @@
+//! Climate mocks: HVAC, thermostat, and environmental sensors.
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use crate::physics;
+
+use super::digi_identity;
+
+/// Heating/cooling unit. Intent: `mode` (off/heat/cool/auto) and
+/// `setpoint_c`; the simulator reports the achieved mode and the heat it
+/// injects (`heat_output_c_per_s`, signed), which room scenes at the
+/// physical fidelity tier feed into their thermal model.
+#[derive(Default)]
+pub struct Hvac;
+
+impl DigiProgram for Hvac {
+    digi_identity!("Hvac", "v1", "builtin/hvac");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Hvac", "v1")
+            .field("mode", FieldKind::pair(FieldKind::enumeration(["off", "heat", "cool", "auto"])))
+            .field("setpoint_c", FieldKind::pair(FieldKind::float_range(10.0, 35.0)))
+            .field("room_temp_c", FieldKind::float_range(-20.0, 60.0))
+            .field("heat_output_c_per_s", FieldKind::float_range(-1.0, 1.0))
+            .doc("room_temp_c", "temperature reported by the unit's return-air sensor; scenes write this")
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"room_temp_c".into(), 21.0);
+        let _ = model.set_intent(&"setpoint_c".into(), 21.0);
+        let _ = model.set_status(&"setpoint_c".into(), 21.0);
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("mode").cloned() {
+            ctx.set_status("mode", want);
+        }
+        if let Some(want) = ctx.intent("setpoint_c").cloned() {
+            ctx.set_status("setpoint_c", want);
+        }
+        let mode = ctx.status_str("mode").unwrap_or_else(|| "off".into());
+        let setpoint = ctx.status_f64("setpoint_c").unwrap_or(21.0);
+        let temp = ctx.field_f64("room_temp_c").unwrap_or(21.0);
+        let gain = ctx.param_f64("heat_gain_c_per_s", 0.02);
+        // Thermostatic control with a 0.5 °C deadband.
+        let output = match mode.as_str() {
+            "heat" if temp < setpoint - 0.5 => gain,
+            "cool" if temp > setpoint + 0.5 => -gain,
+            "auto" if temp < setpoint - 0.5 => gain,
+            "auto" if temp > setpoint + 0.5 => -gain,
+            _ => 0.0,
+        };
+        ctx.set_field("heat_output_c_per_s", output);
+    }
+}
+
+/// Wall thermostat: reports temperature (driven by a scene or random walk)
+/// and exposes a target setpoint intent that building apps adjust.
+#[derive(Default)]
+pub struct Thermostat;
+
+impl DigiProgram for Thermostat {
+    digi_identity!("Thermostat", "v1", "builtin/thermostat");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Thermostat", "v1")
+            .field("temp_c", FieldKind::float_range(-20.0, 60.0))
+            .field("target_c", FieldKind::pair(FieldKind::float_range(10.0, 35.0)))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"temp_c".into(), 21.0);
+        let _ = model.set_intent(&"target_c".into(), 21.0);
+        let _ = model.set_status(&"target_c".into(), 21.0);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let temp = ctx.model.lookup(&"temp_c".into()).and_then(Value::as_float).unwrap_or(21.0);
+        let next = temp + ctx.rng.range_f64(-0.2, 0.2);
+        ctx.update(vmap! { "temp_c" => (next * 10.0).round() / 10.0 });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("target_c").cloned() {
+            ctx.set_status("target_c", want);
+        }
+    }
+}
+
+/// Random-walk temperature sensor with configurable baseline and drift
+/// (params: `baseline_c`, `walk_c`).
+#[derive(Default)]
+pub struct Temperature;
+
+impl DigiProgram for Temperature {
+    digi_identity!("Temperature", "v1", "builtin/temperature");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Temperature", "v1").field("temp_c", FieldKind::float_range(-40.0, 85.0))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let baseline = model.meta.param_float("baseline_c").unwrap_or(21.0);
+        let _ = model.set(&"temp_c".into(), baseline);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let baseline = ctx.param_f64("baseline_c", 21.0);
+        let walk = ctx.param_f64("walk_c", 0.3);
+        let temp = ctx.model.lookup(&"temp_c".into()).and_then(Value::as_float).unwrap_or(baseline);
+        // mean-reverting walk so unmanaged sensors stay plausible
+        let pulled = physics::approach(temp, baseline, 600.0, 10.0);
+        let next = pulled + ctx.rng.range_f64(-walk, walk);
+        ctx.update(vmap! { "temp_c" => (next * 100.0).round() / 100.0 });
+    }
+}
+
+/// Relative-humidity sensor (%RH, mean-reverting walk).
+#[derive(Default)]
+pub struct Humidity;
+
+impl DigiProgram for Humidity {
+    digi_identity!("Humidity", "v1", "builtin/humidity");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Humidity", "v1").field("rh_pct", FieldKind::float_range(0.0, 100.0))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"rh_pct".into(), model.meta.param_float("baseline_pct").unwrap_or(45.0));
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let baseline = ctx.param_f64("baseline_pct", 45.0);
+        let rh = ctx.model.lookup(&"rh_pct".into()).and_then(Value::as_float).unwrap_or(baseline);
+        let next = (physics::approach(rh, baseline, 900.0, 10.0) + ctx.rng.range_f64(-1.0, 1.0))
+            .clamp(0.0, 100.0);
+        ctx.update(vmap! { "rh_pct" => (next * 10.0).round() / 10.0 });
+    }
+}
+
+/// CO₂ concentration sensor (ppm). Scenes write `occupant_equiv` (how many
+/// people's worth of CO₂ sources are present); the sensor mixes toward the
+/// implied equilibrium.
+#[derive(Default)]
+pub struct Co2;
+
+impl DigiProgram for Co2 {
+    digi_identity!("Co2", "v1", "builtin/co2");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Co2", "v1")
+            .field("ppm", FieldKind::float_range(300.0, 10_000.0))
+            .field("occupant_equiv", FieldKind::float_range(0.0, 1000.0))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"ppm".into(), 420.0);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let occupants = ctx
+            .model
+            .lookup(&"occupant_equiv".into())
+            .and_then(Value::as_float)
+            .unwrap_or(0.0);
+        let equilibrium = 420.0 + occupants * ctx.param_f64("ppm_per_person", 350.0);
+        let ppm = ctx.model.lookup(&"ppm".into()).and_then(Value::as_float).unwrap_or(420.0);
+        let mixed = physics::approach(ppm, equilibrium, ctx.param_f64("mix_tau_s", 300.0), 10.0);
+        let next = (mixed + ctx.rng.range_f64(-5.0, 5.0)).clamp(300.0, 10_000.0);
+        ctx.update(vmap! { "ppm" => next.round() });
+    }
+}
+
+/// PM2.5 air-quality sensor with occasional pollution spikes.
+#[derive(Default)]
+pub struct AirQuality;
+
+impl DigiProgram for AirQuality {
+    digi_identity!("AirQuality", "v1", "builtin/air-quality");
+
+    fn schema(&self) -> Schema {
+        Schema::new("AirQuality", "v1")
+            .field("pm25_ugm3", FieldKind::float_range(0.0, 1000.0))
+            .field("spike", FieldKind::Bool)
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"pm25_ugm3".into(), 8.0);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let baseline = ctx.param_f64("baseline_ugm3", 8.0);
+        let spike = ctx.rng.chance(ctx.param_f64("spike_prob", 0.02));
+        let current =
+            ctx.model.lookup(&"pm25_ugm3".into()).and_then(Value::as_float).unwrap_or(baseline);
+        let next = if spike {
+            current + ctx.rng.range_f64(30.0, 120.0)
+        } else {
+            physics::approach(current, baseline, 200.0, 10.0) + ctx.rng.range_f64(-0.5, 0.5)
+        };
+        ctx.update(vmap! {
+            "pm25_ugm3" => (next.max(0.0) * 10.0).round() / 10.0,
+            "spike" => spike,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimTime};
+
+    fn sim_once(p: &mut dyn DigiProgram, m: &mut digibox_model::Model) {
+        let mut rng = Prng::new(1);
+        let mut atts = Atts::new();
+        let mut ctx =
+            SimCtx { model: m, atts: &mut atts, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_model(&mut ctx);
+    }
+
+    fn loop_n(p: &mut dyn DigiProgram, m: &mut digibox_model::Model, n: usize, seed: u64) {
+        let mut rng = Prng::new(seed);
+        for _ in 0..n {
+            let mut ctx =
+                LoopCtx { model: m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn hvac_heats_when_below_setpoint() {
+        let mut p = Hvac;
+        let mut m = p.schema().instantiate("H1");
+        p.init(&mut m);
+        m.set_intent(&"mode".into(), "heat").unwrap();
+        m.set_intent(&"setpoint_c".into(), 24.0).unwrap();
+        m.set(&"room_temp_c".into(), 18.0).unwrap();
+        sim_once(&mut p, &mut m);
+        let out = m.lookup(&"heat_output_c_per_s".into()).unwrap().as_float().unwrap();
+        assert!(out > 0.0, "heating output expected, got {out}");
+        // at setpoint: deadband → zero output
+        m.set(&"room_temp_c".into(), 24.0).unwrap();
+        sim_once(&mut p, &mut m);
+        assert_eq!(m.lookup(&"heat_output_c_per_s".into()).unwrap().as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn hvac_auto_cools_when_hot() {
+        let mut p = Hvac;
+        let mut m = p.schema().instantiate("H1");
+        p.init(&mut m);
+        m.set_intent(&"mode".into(), "auto").unwrap();
+        m.set(&"room_temp_c".into(), 30.0).unwrap();
+        sim_once(&mut p, &mut m);
+        let out = m.lookup(&"heat_output_c_per_s".into()).unwrap().as_float().unwrap();
+        assert!(out < 0.0, "cooling output expected, got {out}");
+    }
+
+    #[test]
+    fn temperature_stays_near_baseline() {
+        let mut p = Temperature;
+        let mut m = p.schema().instantiate("T1");
+        m.meta.params.insert("baseline_c".into(), 5.0.into());
+        p.init(&mut m);
+        loop_n(&mut p, &mut m, 500, 2);
+        let t = m.lookup(&"temp_c".into()).unwrap().as_float().unwrap();
+        assert!((t - 5.0).abs() < 5.0, "drifted to {t}");
+    }
+
+    #[test]
+    fn co2_rises_with_occupants() {
+        let mut p = Co2;
+        let mut m = p.schema().instantiate("C1");
+        p.init(&mut m);
+        m.set(&"occupant_equiv".into(), 4.0).unwrap();
+        loop_n(&mut p, &mut m, 200, 3);
+        let ppm = m.lookup(&"ppm".into()).unwrap().as_float().unwrap();
+        assert!(ppm > 1200.0, "occupied room ppm = {ppm}");
+        // emptying the room pulls it back down
+        m.set(&"occupant_equiv".into(), 0.0).unwrap();
+        loop_n(&mut p, &mut m, 300, 4);
+        let ppm = m.lookup(&"ppm".into()).unwrap().as_float().unwrap();
+        assert!(ppm < 600.0, "vacated room ppm = {ppm}");
+    }
+
+    #[test]
+    fn air_quality_spikes_decay() {
+        let mut p = AirQuality;
+        let mut m = p.schema().instantiate("A1");
+        p.init(&mut m);
+        m.meta.params.insert("spike_prob".into(), 1.0.into());
+        loop_n(&mut p, &mut m, 3, 5);
+        let high = m.lookup(&"pm25_ugm3".into()).unwrap().as_float().unwrap();
+        assert!(high > 30.0);
+        m.meta.params.insert("spike_prob".into(), 0.0.into());
+        loop_n(&mut p, &mut m, 300, 6);
+        let low = m.lookup(&"pm25_ugm3".into()).unwrap().as_float().unwrap();
+        assert!(low < 15.0, "spike did not decay: {low}");
+    }
+
+    #[test]
+    fn thermostat_target_follows_intent() {
+        let mut p = Thermostat;
+        let mut m = p.schema().instantiate("TS1");
+        p.init(&mut m);
+        m.set_intent(&"target_c".into(), 25.5).unwrap();
+        sim_once(&mut p, &mut m);
+        assert_eq!(m.status(&"target_c".into()).unwrap().as_float(), Some(25.5));
+    }
+}

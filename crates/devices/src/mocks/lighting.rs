@@ -1,0 +1,127 @@
+//! Lighting mocks.
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema};
+
+use crate::physics;
+
+use super::digi_identity;
+
+/// Dimmable lamp (paper, Fig. 4 bottom): `power` and `intensity` are
+/// intent/status pairs; intensity collapses to 0 while the power status is
+/// off.
+#[derive(Default)]
+pub struct Lamp;
+
+impl DigiProgram for Lamp {
+    digi_identity!("Lamp", "v1", "builtin/lamp");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Lamp", "v1")
+            .field("power", FieldKind::pair(FieldKind::enumeration(["off", "on"])))
+            .field("intensity", FieldKind::pair(FieldKind::float_range(0.0, 1.0)))
+            .doc("intensity", "dimming level; status forced to 0.0 while off")
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("power").cloned() {
+            ctx.set_status("power", want);
+        }
+        if ctx.status_str("power").as_deref() == Some("off") {
+            ctx.set_status("intensity", 0.0);
+        } else if let Some(want) = ctx.intent("intensity").cloned() {
+            ctx.set_status("intensity", want);
+        }
+    }
+}
+
+/// Ambient light sensor reporting lux. Unmanaged it follows a day/night
+/// curve (`physics::light_level`) using the virtual clock as time-of-day
+/// (`hours_per_day_secs` params compress a day); managed, its scene drives
+/// it (e.g. a street block at night).
+#[derive(Default)]
+pub struct LightLevel;
+
+impl DigiProgram for LightLevel {
+    digi_identity!("LightLevel", "v1", "builtin/light-level");
+
+    fn schema(&self) -> Schema {
+        Schema::new("LightLevel", "v1")
+            .field("lux", FieldKind::float_range(0.0, 200_000.0))
+            .field("artificial_lux", FieldKind::float_range(0.0, 100_000.0))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        // One simulated day compressed into `day_secs` virtual seconds
+        // (default: 24 virtual minutes per day).
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        let artificial = ctx
+            .model
+            .lookup(&"artificial_lux".into())
+            .and_then(|v| v.as_float())
+            .unwrap_or(0.0);
+        let noise = ctx.rng.range_f64(0.95, 1.05);
+        let lux = (physics::light_level(hour, artificial) * noise).round();
+        ctx.update(vmap! { "lux" => lux });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimDuration, SimTime};
+
+    #[test]
+    fn lamp_power_gates_intensity() {
+        let mut p = Lamp;
+        let mut m = p.schema().instantiate("L1");
+        m.set_intent(&"power".into(), "on").unwrap();
+        m.set_intent(&"intensity".into(), 0.8).unwrap();
+        let mut rng = Prng::new(1);
+        let mut atts = Atts::new();
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        p.on_model(&mut ctx); // idempotent second pass
+        assert_eq!(m.status(&"power".into()).unwrap().as_str(), Some("on"));
+        assert_eq!(m.status(&"intensity".into()).unwrap().as_float(), Some(0.8));
+
+        m.set_intent(&"power".into(), "off").unwrap();
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        p.on_model(&mut ctx);
+        assert_eq!(m.status(&"intensity".into()).unwrap().as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn light_level_tracks_day_cycle() {
+        let mut p = LightLevel;
+        let mut m = p.schema().instantiate("LL1");
+        m.meta.params.insert("day_secs".into(), 240.0.into()); // 4-minute days
+        let mut rng = Prng::new(2);
+        // midnight (t = 0)
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let midnight = m.lookup(&"lux".into()).unwrap().as_float().unwrap();
+        // midday (t = day/2)
+        let noon_t = SimTime::ZERO + SimDuration::from_secs(120);
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: noon_t, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let noon = m.lookup(&"lux".into()).unwrap().as_float().unwrap();
+        assert_eq!(midnight, 0.0);
+        assert!(noon > 5_000.0, "noon lux = {noon}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Supply-chain mocks (paper §5: cargo/inventory condition tracking across
+//! locations and administrative domains).
+
+use digibox_core::program::{DigiProgram, LoopCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use crate::physics;
+
+use super::digi_identity;
+
+/// GPS tracker that advances along a route at `speed_kmh`. The route is a
+/// simple parameterized line between `(lat0, lon0)` and `(lat1, lon1)`;
+/// scenes (e.g. `SupplyChainRoute`) set the endpoints when legs change.
+#[derive(Default)]
+pub struct GpsTracker;
+
+impl DigiProgram for GpsTracker {
+    digi_identity!("GpsTracker", "v1", "builtin/gps-tracker");
+
+    fn schema(&self) -> Schema {
+        Schema::new("GpsTracker", "v1")
+            .field("lat", FieldKind::float_range(-90.0, 90.0))
+            .field("lon", FieldKind::float_range(-180.0, 180.0))
+            .field("progress", FieldKind::float_range(0.0, 1.0))
+            .field("moving", FieldKind::Bool)
+            .doc("progress", "fraction of the current leg completed")
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let lat0 = model.meta.param_float("lat0").unwrap_or(37.87);
+        let lon0 = model.meta.param_float("lon0").unwrap_or(-122.27);
+        let _ = model.set(&"lat".into(), lat0);
+        let _ = model.set(&"lon".into(), lon0);
+        let _ = model.set(&"moving".into(), true);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let moving = ctx.model.lookup(&"moving".into()).and_then(Value::as_bool).unwrap_or(true);
+        if !moving {
+            return;
+        }
+        let (lat0, lon0) = (ctx.param_f64("lat0", 37.87), ctx.param_f64("lon0", -122.27));
+        let (lat1, lon1) = (ctx.param_f64("lat1", 34.05), ctx.param_f64("lon1", -118.24));
+        let leg_secs = ctx.param_f64("leg_secs", 600.0);
+        let step = ctx.model.meta.interval_ms() as f64 / 1000.0 / leg_secs;
+        let progress = (ctx
+            .model
+            .lookup(&"progress".into())
+            .and_then(Value::as_float)
+            .unwrap_or(0.0)
+            + step * ctx.rng.range_f64(0.8, 1.2))
+        .min(1.0);
+        let lat = lat0 + (lat1 - lat0) * progress;
+        let lon = lon0 + (lon1 - lon0) * progress;
+        ctx.update(vmap! {
+            "progress" => (progress * 1000.0).round() / 1000.0,
+            "lat" => (lat * 1e5).round() / 1e5,
+            "lon" => (lon * 1e5).round() / 1e5,
+            "moving" => progress < 1.0,
+        });
+    }
+}
+
+/// In-transit cargo condition monitor: temperature pulls toward the
+/// container's `ambient_c` (written by the truck scene), shocks occur while
+/// moving, and an `excursion` flag latches when the cold chain is broken.
+#[derive(Default)]
+pub struct CargoCondition;
+
+impl DigiProgram for CargoCondition {
+    digi_identity!("CargoCondition", "v1", "builtin/cargo-condition");
+
+    fn schema(&self) -> Schema {
+        Schema::new("CargoCondition", "v1")
+            .field("temp_c", FieldKind::float_range(-40.0, 60.0))
+            .field("ambient_c", FieldKind::float_range(-40.0, 60.0))
+            .field("shock_g", FieldKind::float_range(0.0, 50.0))
+            .field("excursion", FieldKind::Bool)
+            .doc("excursion", "latched true once temp_c leaves the safe band")
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let start = model.meta.param_float("start_temp_c").unwrap_or(4.0);
+        let _ = model.set(&"temp_c".into(), start);
+        let _ = model.set(&"ambient_c".into(), start);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let ambient =
+            ctx.model.lookup(&"ambient_c".into()).and_then(Value::as_float).unwrap_or(4.0);
+        let temp = ctx.model.lookup(&"temp_c".into()).and_then(Value::as_float).unwrap_or(4.0);
+        let tau = ctx.param_f64("thermal_tau_s", 1800.0);
+        let dt = ctx.model.meta.interval_ms() as f64 / 1000.0;
+        let next = physics::approach(temp, ambient, tau, dt) + ctx.rng.range_f64(-0.05, 0.05);
+        let max_safe = ctx.param_f64("max_safe_c", 8.0);
+        let excursion = ctx
+            .model
+            .lookup(&"excursion".into())
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+            || next > max_safe;
+        let shock = if ctx.rng.chance(ctx.param_f64("shock_prob", 0.05)) {
+            ctx.rng.range_f64(2.0, 12.0)
+        } else {
+            0.0
+        };
+        ctx.update(vmap! {
+            "temp_c" => (next * 100.0).round() / 100.0,
+            "shock_g" => (shock * 10.0).round() / 10.0,
+            "excursion" => excursion,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_net::{Prng, SimTime};
+
+    fn loop_n(p: &mut dyn DigiProgram, m: &mut digibox_model::Model, n: usize, seed: u64) {
+        let mut rng = Prng::new(seed);
+        for _ in 0..n {
+            let mut ctx =
+                LoopCtx { model: m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn tracker_reaches_destination() {
+        let mut p = GpsTracker;
+        let mut m = p.schema().instantiate("G1");
+        m.meta.params.insert("leg_secs".into(), 10.0.into()); // fast leg
+        p.init(&mut m);
+        loop_n(&mut p, &mut m, 30, 1);
+        assert_eq!(m.lookup(&"progress".into()).unwrap().as_float(), Some(1.0));
+        assert_eq!(m.lookup(&"moving".into()).unwrap().as_bool(), Some(false));
+        // arrived at (lat1, lon1) defaults
+        let lat = m.lookup(&"lat".into()).unwrap().as_float().unwrap();
+        assert!((lat - 34.05).abs() < 0.01, "lat = {lat}");
+    }
+
+    #[test]
+    fn tracker_stops_when_not_moving() {
+        let mut p = GpsTracker;
+        let mut m = p.schema().instantiate("G1");
+        p.init(&mut m);
+        m.set(&"moving".into(), false).unwrap();
+        loop_n(&mut p, &mut m, 10, 2);
+        assert_eq!(m.lookup(&"progress".into()).unwrap().as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn cargo_excursion_latches() {
+        let mut p = CargoCondition;
+        let mut m = p.schema().instantiate("C1");
+        p.init(&mut m);
+        // door open: ambient jumps to 25 °C with a fast pull
+        m.set(&"ambient_c".into(), 25.0).unwrap();
+        m.meta.params.insert("thermal_tau_s".into(), 5.0.into());
+        loop_n(&mut p, &mut m, 50, 3);
+        assert_eq!(m.lookup(&"excursion".into()).unwrap().as_bool(), Some(true));
+        // cooling back down does not clear the latch
+        m.set(&"ambient_c".into(), 2.0).unwrap();
+        loop_n(&mut p, &mut m, 50, 4);
+        assert_eq!(m.lookup(&"excursion".into()).unwrap().as_bool(), Some(true));
+        let temp = m.lookup(&"temp_c".into()).unwrap().as_float().unwrap();
+        assert!(temp < 8.0, "cooled back to {temp}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The 20 built-in device mocks.
+
+mod climate;
+mod lighting;
+mod logistics;
+mod occupancy;
+mod power;
+mod security;
+
+pub use climate::{AirQuality, Co2, Humidity, Hvac, Temperature, Thermostat};
+pub use lighting::{Lamp, LightLevel};
+pub use logistics::{CargoCondition, GpsTracker};
+pub use occupancy::{MotionCamera, Occupancy, Underdesk};
+pub use power::{Fan, SmartMeter, SmartPlug};
+pub use security::{DoorLock, Leak, Speaker, Window};
+
+use digibox_core::Catalog;
+
+/// Identity boilerplate shared by every built-in program.
+macro_rules! digi_identity {
+    ($kind:literal, $version:literal, $program:literal) => {
+        fn kind(&self) -> &str {
+            $kind
+        }
+        fn version(&self) -> &str {
+            $version
+        }
+        fn program_id(&self) -> &str {
+            $program
+        }
+    };
+}
+pub(crate) use digi_identity;
+
+/// Register the 20 mocks.
+pub fn register(catalog: &mut Catalog) {
+    crate::must_register(catalog, || Box::new(Occupancy::default()));
+    crate::must_register(catalog, || Box::new(Underdesk::default()));
+    crate::must_register(catalog, || Box::new(MotionCamera::default()));
+    crate::must_register(catalog, || Box::new(Lamp::default()));
+    crate::must_register(catalog, || Box::new(LightLevel::default()));
+    crate::must_register(catalog, || Box::new(Fan::default()));
+    crate::must_register(catalog, || Box::new(Hvac::default()));
+    crate::must_register(catalog, || Box::new(Thermostat::default()));
+    crate::must_register(catalog, || Box::new(Temperature::default()));
+    crate::must_register(catalog, || Box::new(Humidity::default()));
+    crate::must_register(catalog, || Box::new(Co2::default()));
+    crate::must_register(catalog, || Box::new(AirQuality::default()));
+    crate::must_register(catalog, || Box::new(SmartPlug::default()));
+    crate::must_register(catalog, || Box::new(SmartMeter::default()));
+    crate::must_register(catalog, || Box::new(DoorLock::default()));
+    crate::must_register(catalog, || Box::new(Window::default()));
+    crate::must_register(catalog, || Box::new(Leak::default()));
+    crate::must_register(catalog, || Box::new(Speaker::default()));
+    crate::must_register(catalog, || Box::new(GpsTracker::default()));
+    crate::must_register(catalog, || Box::new(CargoCondition::default()));
+}

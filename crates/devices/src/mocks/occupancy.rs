@@ -1,0 +1,154 @@
+//! Presence-sensing mocks: the paper's walkthrough devices.
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema};
+
+use super::digi_identity;
+
+/// Ceiling PIR occupancy sensor (paper, Fig. 4 top).
+///
+/// Unmanaged, it flips `triggered` at random each tick (the paper's
+/// `random.choice([True, False])`); managed, its room scene drives it.
+/// Params: `trigger_prob` (default 0.5).
+#[derive(Default)]
+pub struct Occupancy;
+
+impl DigiProgram for Occupancy {
+    digi_identity!("Occupancy", "v1", "builtin/occupancy");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Occupancy", "v1")
+            .field("triggered", FieldKind::Bool)
+            .doc("triggered", "motion detected in the sensor's zone")
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let p = ctx.param_f64("trigger_prob", 0.5);
+        let motion = ctx.rng.chance(p);
+        ctx.update(vmap! { "triggered" => motion });
+    }
+}
+
+/// Under-desk occupancy sensor (the paper's second sensor type, whose
+/// readings a room scene must keep consistent with the ceiling sensor:
+/// a desk can only be occupied when the room is).
+#[derive(Default)]
+pub struct Underdesk;
+
+impl DigiProgram for Underdesk {
+    digi_identity!("Underdesk", "v1", "builtin/underdesk");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Underdesk", "v1")
+            .field("triggered", FieldKind::Bool)
+            .field("desk_id", FieldKind::int())
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        // Desks are empty more often than rooms.
+        let p = ctx.param_f64("trigger_prob", 0.3);
+        let motion = ctx.rng.chance(p);
+        ctx.update(vmap! { "triggered" => motion });
+    }
+}
+
+/// A motion camera: emits motion detections with a confidence score and
+/// keeps a rolling detection count (a richer signal than a PIR, used by
+/// security-style apps).
+#[derive(Default)]
+pub struct MotionCamera;
+
+impl DigiProgram for MotionCamera {
+    digi_identity!("MotionCamera", "v1", "builtin/motion-camera");
+
+    fn schema(&self) -> Schema {
+        Schema::new("MotionCamera", "v1")
+            .field("motion", FieldKind::Bool)
+            .field("confidence", FieldKind::float_range(0.0, 1.0))
+            .field("detections_total", FieldKind::int())
+            .field("recording", FieldKind::pair(FieldKind::Bool))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let p = ctx.param_f64("motion_prob", 0.2);
+        let motion = ctx.rng.chance(p);
+        let confidence = if motion { ctx.rng.range_f64(0.5, 1.0) } else { ctx.rng.range_f64(0.0, 0.3) };
+        let total = ctx.model.lookup(&"detections_total".into()).and_then(|v| v.as_int()).unwrap_or(0);
+        ctx.update(vmap! {
+            "motion" => motion,
+            "confidence" => (confidence * 100.0).round() / 100.0,
+            "detections_total" => total + i64::from(motion),
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        // recording follows intent (an actuatable camera)
+        if let Some(want) = ctx.intent("recording").cloned() {
+            ctx.set_status("recording", want);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimTime};
+
+    fn loop_once(program: &mut dyn DigiProgram, model: &mut digibox_model::Model, seed: u64) {
+        let mut rng = Prng::new(seed);
+        let mut ctx = LoopCtx { model, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        program.on_loop(&mut ctx);
+    }
+
+    #[test]
+    fn occupancy_sets_triggered() {
+        let mut p = Occupancy;
+        let mut m = p.schema().instantiate("O1");
+        loop_once(&mut p, &mut m, 1);
+        assert!(m.lookup(&"triggered".into()).unwrap().as_bool().is_some());
+    }
+
+    #[test]
+    fn occupancy_trigger_prob_respected() {
+        let mut p = Occupancy;
+        let mut m = p.schema().instantiate("O1");
+        m.meta.params.insert("trigger_prob".into(), 1.0.into());
+        for seed in 0..20 {
+            loop_once(&mut p, &mut m, seed);
+            assert_eq!(m.lookup(&"triggered".into()).unwrap().as_bool(), Some(true));
+        }
+    }
+
+    #[test]
+    fn camera_counts_detections_monotonically() {
+        let mut p = MotionCamera;
+        let mut m = p.schema().instantiate("C1");
+        m.meta.params.insert("motion_prob".into(), 1.0.into());
+        let mut rng = Prng::new(3);
+        for i in 1..=5i64 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+            assert_eq!(m.lookup(&"detections_total".into()).unwrap().as_int(), Some(i));
+        }
+    }
+
+    #[test]
+    fn camera_recording_follows_intent() {
+        let mut p = MotionCamera;
+        let mut m = p.schema().instantiate("C1");
+        m.set_intent(&"recording".into(), true).unwrap();
+        let mut rng = Prng::new(1);
+        let mut atts = Atts::new();
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        assert_eq!(m.status(&"recording".into()).unwrap().as_bool(), Some(true));
+    }
+}

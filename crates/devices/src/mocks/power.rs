@@ -1,0 +1,160 @@
+//! Power and airflow mocks.
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use super::digi_identity;
+
+/// Multi-speed fan: intent `speed` 0–3; airflow and power draw follow.
+#[derive(Default)]
+pub struct Fan;
+
+impl DigiProgram for Fan {
+    digi_identity!("Fan", "v1", "builtin/fan");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Fan", "v1")
+            .field("speed", FieldKind::pair(FieldKind::int_range(0, 3)))
+            .field("airflow_cfm", FieldKind::float_range(0.0, 500.0))
+            .field("power_w", FieldKind::float_range(0.0, 120.0))
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("speed").cloned() {
+            ctx.set_status("speed", want);
+        }
+        let speed = ctx.status("speed").and_then(Value::as_int).unwrap_or(0);
+        ctx.set_field("airflow_cfm", speed as f64 * 110.0);
+        ctx.set_field("power_w", match speed {
+            0 => 0.0,
+            1 => 18.0,
+            2 => 35.0,
+            _ => 62.0,
+        });
+    }
+}
+
+/// Switchable smart plug that meters the active power of whatever is
+/// plugged into it. Scenes (or apps) write `load_w`; switching the plug
+/// off cuts the measured power.
+#[derive(Default)]
+pub struct SmartPlug;
+
+impl DigiProgram for SmartPlug {
+    digi_identity!("SmartPlug", "v1", "builtin/smart-plug");
+
+    fn schema(&self) -> Schema {
+        Schema::new("SmartPlug", "v1")
+            .field("power", FieldKind::pair(FieldKind::enumeration(["off", "on"])))
+            .field("load_w", FieldKind::float_range(0.0, 3600.0))
+            .field("measured_w", FieldKind::float_range(0.0, 3600.0))
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("power").cloned() {
+            ctx.set_status("power", want);
+        }
+        let on = ctx.status_str("power").as_deref() == Some("on");
+        let load = ctx.field_f64("load_w").unwrap_or(0.0);
+        ctx.set_field("measured_w", if on { load } else { 0.0 });
+    }
+}
+
+/// Cumulative energy meter: integrates `demand_w` (written by a scene or
+/// defaulted by its own generator) into `energy_kwh` every tick.
+#[derive(Default)]
+pub struct SmartMeter;
+
+impl DigiProgram for SmartMeter {
+    digi_identity!("SmartMeter", "v1", "builtin/smart-meter");
+
+    fn schema(&self) -> Schema {
+        Schema::new("SmartMeter", "v1")
+            .field("demand_w", FieldKind::float_range(0.0, 100_000.0))
+            .field("energy_kwh", FieldKind::float())
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let base = ctx.param_f64("base_demand_w", 250.0);
+        let managed_demand =
+            ctx.model.lookup(&"demand_w".into()).and_then(Value::as_float).unwrap_or(base);
+        // Unmanaged meters jitter around the base demand; managed meters
+        // keep whatever the scene wrote.
+        let demand = if ctx.model.meta.params.contains_key("base_demand_w") || managed_demand == 0.0
+        {
+            base * ctx.rng.range_f64(0.7, 1.3)
+        } else {
+            managed_demand * ctx.rng.range_f64(0.95, 1.05)
+        };
+        let tick_hours = ctx.model.meta.interval_ms() as f64 / 3_600_000.0;
+        let energy = ctx
+            .model
+            .lookup(&"energy_kwh".into())
+            .and_then(Value::as_float)
+            .unwrap_or(0.0)
+            + demand / 1000.0 * tick_hours;
+        ctx.update(vmap! {
+            "demand_w" => demand.round(),
+            "energy_kwh" => (energy * 1e6).round() / 1e6,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimTime};
+
+    fn sim_once(p: &mut dyn DigiProgram, m: &mut digibox_model::Model) {
+        let mut rng = Prng::new(1);
+        let mut atts = Atts::new();
+        let mut ctx =
+            SimCtx { model: m, atts: &mut atts, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_model(&mut ctx);
+    }
+
+    #[test]
+    fn fan_speed_drives_airflow_and_power() {
+        let mut p = Fan;
+        let mut m = p.schema().instantiate("F1");
+        m.set_intent(&"speed".into(), 2).unwrap();
+        sim_once(&mut p, &mut m);
+        assert_eq!(m.status(&"speed".into()).unwrap().as_int(), Some(2));
+        assert_eq!(m.lookup(&"airflow_cfm".into()).unwrap().as_float(), Some(220.0));
+        assert_eq!(m.lookup(&"power_w".into()).unwrap().as_float(), Some(35.0));
+        m.set_intent(&"speed".into(), 0).unwrap();
+        sim_once(&mut p, &mut m);
+        assert_eq!(m.lookup(&"power_w".into()).unwrap().as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn plug_cuts_load_when_off() {
+        let mut p = SmartPlug;
+        let mut m = p.schema().instantiate("P1");
+        m.set(&"load_w".into(), 1200.0).unwrap();
+        m.set_intent(&"power".into(), "on").unwrap();
+        sim_once(&mut p, &mut m);
+        assert_eq!(m.lookup(&"measured_w".into()).unwrap().as_float(), Some(1200.0));
+        m.set_intent(&"power".into(), "off").unwrap();
+        sim_once(&mut p, &mut m);
+        sim_once(&mut p, &mut m);
+        assert_eq!(m.lookup(&"measured_w".into()).unwrap().as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn meter_accumulates_energy() {
+        let mut p = SmartMeter;
+        let mut m = p.schema().instantiate("M1");
+        let mut rng = Prng::new(2);
+        let mut last = 0.0;
+        for _ in 0..10 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+            let e = m.lookup(&"energy_kwh".into()).unwrap().as_float().unwrap();
+            assert!(e > last, "energy must be monotonically increasing");
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Safety and security mocks, plus the speaker.
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use super::digi_identity;
+
+/// Electronic door lock. Locking can fail (param `fail_prob`), modelling
+/// the flaky actuators that reliability papers like SafeHome test against.
+#[derive(Default)]
+pub struct DoorLock;
+
+impl DigiProgram for DoorLock {
+    digi_identity!("DoorLock", "v1", "builtin/door-lock");
+
+    fn schema(&self) -> Schema {
+        Schema::new("DoorLock", "v1")
+            .field("locked", FieldKind::pair(FieldKind::Bool))
+            .field("last_actuation", FieldKind::enumeration(["none", "ok", "failed"]))
+            .field("battery_pct", FieldKind::float_range(0.0, 100.0))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"battery_pct".into(), 100.0);
+        let _ = model.set(&"last_actuation".into(), "none");
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        // battery drains slowly
+        let batt =
+            ctx.model.lookup(&"battery_pct".into()).and_then(Value::as_float).unwrap_or(100.0);
+        let drain = ctx.param_f64("battery_drain_pct", 0.01);
+        ctx.update(vmap! { "battery_pct" => ((batt - drain).max(0.0) * 100.0).round() / 100.0 });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let want = ctx.intent("locked").and_then(Value::as_bool);
+        let have = ctx.status_bool("locked");
+        if let Some(want) = want {
+            if Some(want) != have {
+                let fail = ctx.rng.chance(ctx.param_f64("fail_prob", 0.0));
+                if fail {
+                    ctx.set_field("last_actuation", "failed");
+                } else {
+                    ctx.set_status("locked", want);
+                    ctx.set_field("last_actuation", "ok");
+                }
+            }
+        }
+    }
+}
+
+/// Window contact sensor + actuator (motorized windows exist; manual ones
+/// are driven by scene events writing `open.status`).
+#[derive(Default)]
+pub struct Window;
+
+impl DigiProgram for Window {
+    digi_identity!("Window", "v1", "builtin/window");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Window", "v1")
+            .field("open", FieldKind::pair(FieldKind::Bool))
+            .field("tamper", FieldKind::Bool)
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let tamper = ctx.rng.chance(ctx.param_f64("tamper_prob", 0.001));
+        if tamper {
+            ctx.update(vmap! { "tamper" => true });
+        }
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        if let Some(want) = ctx.intent("open").cloned() {
+            ctx.set_status("open", want);
+        }
+    }
+}
+
+/// Water-leak sensor: rare leak events that latch until reset via intent.
+#[derive(Default)]
+pub struct Leak;
+
+impl DigiProgram for Leak {
+    digi_identity!("Leak", "v1", "builtin/leak");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Leak", "v1")
+            .field("wet", FieldKind::Bool)
+            .field("reset", FieldKind::pair(FieldKind::Bool))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let already_wet =
+            ctx.model.lookup(&"wet".into()).and_then(Value::as_bool).unwrap_or(false);
+        if !already_wet && ctx.rng.chance(ctx.param_f64("leak_prob", 0.005)) {
+            ctx.update(vmap! { "wet" => true });
+        }
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        // app writes reset intent to clear a latched alarm
+        if ctx.intent("reset").and_then(Value::as_bool) == Some(true) {
+            ctx.set_field("wet", false);
+            ctx.set_status("reset", true);
+        }
+    }
+}
+
+/// Networked speaker: volume and playback state follow intent; reports
+/// what it is "playing".
+#[derive(Default)]
+pub struct Speaker;
+
+impl DigiProgram for Speaker {
+    digi_identity!("Speaker", "v1", "builtin/speaker");
+
+    fn schema(&self) -> Schema {
+        Schema::new("Speaker", "v1")
+            .field("volume", FieldKind::pair(FieldKind::int_range(0, 100)))
+            .field("playing", FieldKind::pair(FieldKind::Bool))
+            .field("track", FieldKind::pair(FieldKind::Str))
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        for field in ["volume", "playing", "track"] {
+            if let Some(want) = ctx.intent(field).cloned() {
+                ctx.set_status(field, want);
+            }
+        }
+        // a speaker at volume 0 is effectively paused
+        if ctx.status("volume").and_then(Value::as_int) == Some(0) {
+            ctx.set_status("playing", false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimTime};
+
+    fn sim_once_seeded(p: &mut dyn DigiProgram, m: &mut digibox_model::Model, seed: u64) {
+        let mut rng = Prng::new(seed);
+        let mut atts = Atts::new();
+        let mut ctx =
+            SimCtx { model: m, atts: &mut atts, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_model(&mut ctx);
+    }
+
+    #[test]
+    fn lock_actuates_and_reports() {
+        let mut p = DoorLock;
+        let mut m = p.schema().instantiate("D1");
+        p.init(&mut m);
+        m.set_intent(&"locked".into(), true).unwrap();
+        sim_once_seeded(&mut p, &mut m, 1);
+        assert_eq!(m.status(&"locked".into()).unwrap().as_bool(), Some(true));
+        assert_eq!(m.lookup(&"last_actuation".into()).unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn lock_failure_injection() {
+        let mut p = DoorLock;
+        let mut m = p.schema().instantiate("D1");
+        p.init(&mut m);
+        m.meta.params.insert("fail_prob".into(), 1.0.into());
+        m.set_intent(&"locked".into(), true).unwrap();
+        sim_once_seeded(&mut p, &mut m, 2);
+        assert_eq!(m.status(&"locked".into()).unwrap().as_bool(), Some(false), "actuation failed");
+        assert_eq!(m.lookup(&"last_actuation".into()).unwrap().as_str(), Some("failed"));
+    }
+
+    #[test]
+    fn lock_battery_drains() {
+        let mut p = DoorLock;
+        let mut m = p.schema().instantiate("D1");
+        p.init(&mut m);
+        let mut rng = Prng::new(3);
+        for _ in 0..10 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+        let batt = m.lookup(&"battery_pct".into()).unwrap().as_float().unwrap();
+        assert!(batt < 100.0 && batt > 99.0);
+    }
+
+    #[test]
+    fn leak_latches_until_reset() {
+        let mut p = Leak;
+        let mut m = p.schema().instantiate("W1");
+        m.meta.params.insert("leak_prob".into(), 1.0.into());
+        let mut rng = Prng::new(4);
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        assert_eq!(m.lookup(&"wet".into()).unwrap().as_bool(), Some(true));
+        // reset via intent
+        m.set_intent(&"reset".into(), true).unwrap();
+        sim_once_seeded(&mut p, &mut m, 5);
+        assert_eq!(m.lookup(&"wet".into()).unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn speaker_volume_zero_pauses() {
+        let mut p = Speaker;
+        let mut m = p.schema().instantiate("S1");
+        m.set_intent(&"playing".into(), true).unwrap();
+        m.set_intent(&"volume".into(), 40).unwrap();
+        m.set_intent(&"track".into(), "rain sounds").unwrap();
+        sim_once_seeded(&mut p, &mut m, 6);
+        assert_eq!(m.status(&"playing".into()).unwrap().as_bool(), Some(true));
+        assert_eq!(m.status(&"track".into()).unwrap().as_str(), Some("rain sounds"));
+        m.set_intent(&"volume".into(), 0).unwrap();
+        sim_once_seeded(&mut p, &mut m, 7);
+        assert_eq!(m.status(&"playing".into()).unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn window_follows_intent() {
+        let mut p = Window;
+        let mut m = p.schema().instantiate("W1");
+        m.set_intent(&"open".into(), true).unwrap();
+        sim_once_seeded(&mut p, &mut m, 8);
+        assert_eq!(m.status(&"open".into()).unwrap().as_bool(), Some(true));
+    }
+}

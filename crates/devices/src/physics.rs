@@ -1,0 +1,111 @@
+//! Small physical models used at the `Physical` fidelity tier
+//! (paper Fig. 7, third level: "simulate physical world"; §6 lists this as
+//! the extension direction).
+//!
+//! These are deliberately first-order — lumped-parameter RC thermal
+//! dynamics and exponential mixing — enough for an application to observe
+//! *physically plausible* trajectories (a heater warms a room gradually, a
+//! truck door spike decays) without a physics engine.
+
+/// One step of a lumped RC thermal model.
+///
+/// `temp` pulls toward `ambient` with time constant `tau_s`, plus a direct
+/// heat input `heat_c_per_s` (°C/s, signed: negative = cooling).
+/// `dt_s` is the step in seconds. Uses the exact exponential decay so big
+/// steps stay stable.
+pub fn thermal_step(temp: f64, ambient: f64, heat_c_per_s: f64, tau_s: f64, dt_s: f64) -> f64 {
+    let decay = (-dt_s / tau_s.max(1e-9)).exp();
+    let relaxed = ambient + (temp - ambient) * decay;
+    relaxed + heat_c_per_s * dt_s
+}
+
+/// Exponential approach of `value` toward `target` with time constant
+/// `tau_s` over `dt_s` seconds (CO₂ mixing, humidity, queue decay).
+pub fn approach(value: f64, target: f64, tau_s: f64, dt_s: f64) -> f64 {
+    let decay = (-dt_s / tau_s.max(1e-9)).exp();
+    target + (value - target) * decay
+}
+
+/// Light superposition: ambient daylight (by hour-of-day, 0–24) plus the
+/// contribution of artificial sources, in lux.
+pub fn light_level(hour_of_day: f64, artificial_lux: f64) -> f64 {
+    // Daylight: a half-sine between 6:00 and 20:00 peaking ~10000 lux
+    // (overcast-window scale, not direct sun).
+    let h = hour_of_day.rem_euclid(24.0);
+    let daylight = if (6.0..20.0).contains(&h) {
+        let phase = (h - 6.0) / 14.0 * std::f64::consts::PI;
+        10_000.0 * phase.sin().max(0.0)
+    } else {
+        0.0
+    };
+    daylight + artificial_lux
+}
+
+/// Simple M/M/1-ish queue step: arrivals and departures over `dt_s`
+/// seconds, returning the new queue length (≥ 0).
+pub fn queue_step(len: f64, arrival_rate_per_s: f64, service_rate_per_s: f64, dt_s: f64) -> f64 {
+    (len + (arrival_rate_per_s - service_rate_per_s) * dt_s).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_relaxes_to_ambient() {
+        let mut t = 30.0;
+        for _ in 0..1000 {
+            t = thermal_step(t, 20.0, 0.0, 600.0, 10.0);
+        }
+        assert!((t - 20.0).abs() < 0.05, "t = {t}");
+    }
+
+    #[test]
+    fn thermal_heating_raises_temperature() {
+        let t0 = 20.0;
+        let t1 = thermal_step(t0, 20.0, 0.01, 600.0, 10.0);
+        assert!(t1 > t0);
+        // cooling lowers
+        let t2 = thermal_step(t0, 20.0, -0.01, 600.0, 10.0);
+        assert!(t2 < t0);
+    }
+
+    #[test]
+    fn thermal_is_stable_for_large_steps() {
+        // explicit-Euler would oscillate; the exponential form must not
+        let t = thermal_step(40.0, 20.0, 0.0, 10.0, 1000.0);
+        assert!((t - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approach_moves_monotonically() {
+        let mut v: f64 = 400.0;
+        let mut prev = v;
+        for _ in 0..50 {
+            v = approach(v, 1200.0, 300.0, 10.0);
+            assert!(v >= prev, "must rise toward target");
+            assert!(v <= 1200.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn light_day_night_cycle() {
+        assert_eq!(light_level(0.0, 0.0), 0.0);
+        assert_eq!(light_level(23.0, 0.0), 0.0);
+        assert!(light_level(13.0, 0.0) > 9000.0, "midday peak");
+        assert!(light_level(7.0, 0.0) > 0.0);
+        // artificial light adds on top
+        assert_eq!(light_level(0.0, 350.0), 350.0);
+        // wraps around
+        assert_eq!(light_level(24.0, 0.0), light_level(0.0, 0.0));
+    }
+
+    #[test]
+    fn queue_never_negative() {
+        let len = queue_step(1.0, 0.0, 10.0, 60.0);
+        assert_eq!(len, 0.0);
+        let len = queue_step(0.0, 2.0, 1.0, 10.0);
+        assert_eq!(len, 10.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Building-scale scenes (the paper's Fig. 5 bottom / Fig. 6 hierarchy).
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema};
+
+use super::digi_identity;
+
+/// Multi-room building: generates the number of humans present and assigns
+/// them to attached room scenes (which should run `managed`).
+#[derive(Default)]
+pub struct Building;
+
+impl DigiProgram for Building {
+    digi_identity!("Building", "v3", "builtin/building");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Building", "v3").field("num_human", FieldKind::int_range(0, 100_000))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let max = ctx.param_i64("max_human", 2);
+        let num_human = ctx.rng.range_i64(0, max + 1);
+        ctx.update(vmap! { "num_human" => num_human });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let rooms: Vec<String> = room_like(ctx);
+        if rooms.is_empty() {
+            return;
+        }
+        let num = ctx.field_i64("num_human").unwrap_or(0) as usize;
+        // paper Fig. 5: random.choices(names, k=num_human) — sampling with
+        // replacement, then presence per room. The draw must be a pure
+        // function of the model state (not a fresh draw per handler run),
+        // or the scene↔mock coordination loop never converges.
+        let mut det = super::det_rng(ctx.model, num as u64);
+        let mut picked = std::collections::BTreeSet::new();
+        for _ in 0..num {
+            if let Some(r) = det.choice(&rooms) {
+                picked.insert(r.clone());
+            }
+        }
+        for room in rooms {
+            let presence = picked.contains(&room);
+            ctx.atts.set(&room, "human_presence", presence);
+            // also divide headcount roughly evenly among occupied rooms
+            let share = if presence {
+                (num as i64 / picked.len().max(1) as i64).max(1)
+            } else {
+                0
+            };
+            ctx.atts.set(&room, "num_occupants", share);
+        }
+    }
+}
+
+/// Campus: shifts a population among attached buildings over a day cycle
+/// (lecture halls by day, dorms by night).
+#[derive(Default)]
+pub struct Campus;
+
+impl DigiProgram for Campus {
+    digi_identity!("Campus", "v1", "builtin/campus");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Campus", "v1")
+            .field("population", FieldKind::int_range(0, 1_000_000))
+            .field("daytime", FieldKind::Bool)
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        let daytime = (8.0..18.0).contains(&hour);
+        let base = ctx.param_i64("population", 200);
+        let jitter = (base as f64 * ctx.rng.range_f64(-0.1, 0.1)) as i64;
+        ctx.update(vmap! { "population" => (base + jitter).max(0), "daytime" => daytime });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let buildings: Vec<String> =
+            ctx.atts.of_type("Building").into_iter().map(str::to_string).collect();
+        if buildings.is_empty() {
+            return;
+        }
+        let population = ctx.field_i64("population").unwrap_or(0);
+        let daytime = ctx.field_bool("daytime").unwrap_or(true);
+        // day: population spreads over all buildings; night: concentrated
+        // in the first (the "dorm")
+        for (i, b) in buildings.iter().enumerate() {
+            let share = if daytime {
+                population / buildings.len() as i64
+            } else if i == 0 {
+                population * 4 / 5
+            } else {
+                population / (5 * buildings.len().max(1) as i64)
+            };
+            ctx.atts.set(b, "num_human", share.max(0));
+        }
+    }
+}
+
+fn room_like(ctx: &mut SimCtx) -> Vec<String> {
+    let mut out = Vec::new();
+    for kind in ["Room", "Kitchen", "OpenOffice", "Classroom", "Lobby"] {
+        out.extend(ctx.atts.of_type(kind).into_iter().map(str::to_string));
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_model::Value;
+    use digibox_net::{Prng, SimTime};
+
+    fn sim(p: &mut dyn DigiProgram, m: &mut digibox_model::Model, atts: &mut Atts, seed: u64) {
+        let mut rng = Prng::new(seed);
+        let mut ctx = SimCtx { model: m, atts, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_model(&mut ctx);
+    }
+
+    fn rooms_atts(names: &[&str]) -> Atts {
+        let mut atts = Atts::new();
+        for n in names {
+            atts.attach(n, "Room");
+            atts.observe(n, "Room", vmap! { "human_presence" => false, "num_occupants" => 0 });
+        }
+        atts
+    }
+
+    #[test]
+    fn building_assigns_presence_to_some_room() {
+        let mut p = Building;
+        let mut m = p.schema().instantiate("B1");
+        m.set(&"num_human".into(), 2).unwrap();
+        let mut atts = rooms_atts(&["MeetingRoom", "Kitchen2"]);
+        sim(&mut p, &mut m, &mut atts, 1);
+        let present = ["MeetingRoom", "Kitchen2"]
+            .iter()
+            .filter(|r| atts.get(r, "human_presence") == Some(&Value::Bool(true)))
+            .count();
+        assert!(present >= 1, "2 humans must occupy at least one room");
+    }
+
+    #[test]
+    fn building_with_zero_humans_clears_rooms() {
+        let mut p = Building;
+        let mut m = p.schema().instantiate("B1");
+        m.set(&"num_human".into(), 0).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("R1", "Room");
+        atts.observe("R1", "Room", vmap! { "human_presence" => true, "num_occupants" => 3 });
+        sim(&mut p, &mut m, &mut atts, 2);
+        assert_eq!(atts.get("R1", "human_presence"), Some(&Value::Bool(false)));
+        assert_eq!(atts.get("R1", "num_occupants"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn building_without_rooms_is_noop() {
+        let mut p = Building;
+        let mut m = p.schema().instantiate("B1");
+        m.set(&"num_human".into(), 5).unwrap();
+        let mut atts = Atts::new();
+        sim(&mut p, &mut m, &mut atts, 3);
+        assert!(atts.take_patches().is_empty());
+    }
+
+    #[test]
+    fn campus_splits_population_between_buildings() {
+        let mut p = Campus;
+        let mut m = p.schema().instantiate("C1");
+        m.set(&"population".into(), 100).unwrap();
+        m.set(&"daytime".into(), true).unwrap();
+        let mut atts = Atts::new();
+        for b in ["B1", "B2"] {
+            atts.attach(b, "Building");
+            atts.observe(b, "Building", vmap! { "num_human" => 0 });
+        }
+        sim(&mut p, &mut m, &mut atts, 4);
+        assert_eq!(atts.get("B1", "num_human"), Some(&Value::Int(50)));
+        assert_eq!(atts.get("B2", "num_human"), Some(&Value::Int(50)));
+        // night: concentration in B1
+        m.set(&"daytime".into(), false).unwrap();
+        sim(&mut p, &mut m, &mut atts, 5);
+        assert_eq!(atts.get("B1", "num_human"), Some(&Value::Int(80)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Industrial scenes (paper §1: industrial automation).
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use super::digi_identity;
+
+/// A machine cell on a factory floor: machines cycle through duty phases;
+/// anomalies raise vibration and power draw — the signal predictive-
+/// maintenance apps look for.
+#[derive(Default)]
+pub struct FactoryCell;
+
+impl DigiProgram for FactoryCell {
+    digi_identity!("FactoryCell", "v1", "builtin/factory-cell");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("FactoryCell", "v1")
+            .field("phase", FieldKind::enumeration(["idle", "running", "changeover"]))
+            .field("anomaly", FieldKind::Bool)
+            .field("vibration_mm_s", FieldKind::float_range(0.0, 100.0))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let phase = ctx
+            .model
+            .lookup(&"phase".into())
+            .and_then(Value::as_str)
+            .unwrap_or("idle")
+            .to_string();
+        let next_phase = match phase.as_str() {
+            "idle" if ctx.rng.chance(0.5) => "running",
+            "running" if ctx.rng.chance(0.1) => "changeover",
+            "changeover" if ctx.rng.chance(0.6) => "running",
+            "running" if ctx.rng.chance(0.05) => "idle",
+            s => s,
+        };
+        let anomaly = next_phase == "running" && ctx.rng.chance(ctx.param_f64("anomaly_prob", 0.03));
+        let vibration = match next_phase {
+            "running" if anomaly => ctx.rng.range_f64(18.0, 40.0),
+            "running" => ctx.rng.range_f64(2.0, 6.0),
+            _ => ctx.rng.range_f64(0.0, 0.5),
+        };
+        ctx.update(vmap! {
+            "phase" => next_phase,
+            "anomaly" => anomaly,
+            "vibration_mm_s" => (vibration * 10.0).round() / 10.0,
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let phase = ctx.field_str("phase").unwrap_or_else(|| "idle".into());
+        let anomaly = ctx.field_bool("anomaly").unwrap_or(false);
+        let running = phase == "running";
+        // machine load on plugs/meters; anomalies draw extra current
+        let load = if running { 2400.0 * if anomaly { 1.4 } else { 1.0 } } else { 150.0 };
+        for p in ctx.atts.of_type("SmartPlug").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&p, "load_w", load);
+        }
+        for m in ctx.atts.of_type("SmartMeter").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&m, "demand_w", load);
+        }
+        // operators present only while the machine runs or changes over
+        for occ in ctx.atts.of_type("Occupancy").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&occ, "triggered", phase != "idle");
+        }
+    }
+}
+
+/// Greenhouse climate: sunlight warms it, vents/heaters (HVAC) regulate,
+/// humidity follows irrigation — supports the physical fidelity tier with
+/// a full thermal loop.
+#[derive(Default)]
+pub struct Greenhouse;
+
+impl DigiProgram for Greenhouse {
+    digi_identity!("Greenhouse", "v1", "builtin/greenhouse");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Greenhouse", "v1")
+            .field("temp_c", FieldKind::float_range(-20.0, 70.0))
+            .field("outside_c", FieldKind::float_range(-30.0, 50.0))
+            .field("irrigating", FieldKind::Bool)
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"temp_c".into(), 22.0);
+        let _ = model.set(&"outside_c".into(), 12.0);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        let outside = 10.0 + 8.0 * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        // solar gain by day
+        let solar = crate::physics::light_level(hour, 0.0) / 10_000.0 * 0.01;
+        let hvac = ctx.param_f64("hvac_heat_c_per_s", 0.0);
+        let temp = ctx.model.lookup(&"temp_c".into()).and_then(Value::as_float).unwrap_or(22.0);
+        let dt = ctx.model.meta.interval_ms() as f64 / 1000.0;
+        let next = crate::physics::thermal_step(temp, outside, solar + hvac, 1800.0, dt);
+        let irrigating = ctx.rng.chance(ctx.param_f64("irrigation_prob", 0.1));
+        ctx.update(vmap! {
+            "temp_c" => (next * 100.0).round() / 100.0,
+            "outside_c" => (outside * 10.0).round() / 10.0,
+            "irrigating" => irrigating,
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let temp = ctx.field_f64("temp_c").unwrap_or(22.0);
+        let irrigating = ctx.field_bool("irrigating").unwrap_or(false);
+        let mut hvac_heat = 0.0;
+        for h in ctx.atts.of_type("Hvac").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&h, "room_temp_c", temp);
+            hvac_heat +=
+                ctx.atts.get(&h, "heat_output_c_per_s").and_then(Value::as_float).unwrap_or(0.0);
+        }
+        ctx.model.meta.params.insert("hvac_heat_c_per_s".into(), hvac_heat.into());
+        for t in ctx.atts.of_type("Temperature").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&t, "temp_c", temp);
+        }
+        for h in ctx.atts.of_type("Humidity").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            let target = if irrigating { 85.0 } else { 60.0 };
+            ctx.atts.set(&h, "rh_pct", target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimTime};
+
+    #[test]
+    fn factory_anomaly_shows_in_vibration_and_load() {
+        let mut p = FactoryCell;
+        let mut m = p.schema().instantiate("F1");
+        m.set(&"phase".into(), "running").unwrap();
+        m.set(&"anomaly".into(), true).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("P1", "SmartPlug");
+        atts.observe("P1", "SmartPlug", vmap! { "load_w" => 0.0 });
+        let mut rng = Prng::new(1);
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        let load = atts.get("P1", "load_w").and_then(Value::as_float).unwrap();
+        assert!((load - 3360.0).abs() < 1.0, "anomalous load = {load}");
+    }
+
+    #[test]
+    fn factory_phases_eventually_cycle() {
+        let mut p = FactoryCell;
+        let mut m = p.schema().instantiate("F1");
+        let mut rng = Prng::new(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+            seen.insert(m.lookup(&"phase".into()).unwrap().as_str().unwrap().to_string());
+        }
+        assert!(seen.contains("running"));
+        assert!(seen.len() >= 2, "phases never changed: {seen:?}");
+    }
+
+    #[test]
+    fn greenhouse_feeds_sensors_and_hvac_loop() {
+        let mut p = Greenhouse;
+        let mut m = p.schema().instantiate("G1");
+        p.init(&mut m);
+        m.set(&"temp_c".into(), 28.0).unwrap();
+        m.set(&"irrigating".into(), true).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("H1", "Hvac");
+        atts.observe(
+            "H1",
+            "Hvac",
+            vmap! { "room_temp_c" => 0.0, "heat_output_c_per_s" => -0.02 },
+        );
+        atts.attach("HU1", "Humidity");
+        atts.observe("HU1", "Humidity", vmap! { "rh_pct" => 45.0 });
+        let mut rng = Prng::new(3);
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        assert_eq!(atts.get("H1", "room_temp_c").and_then(Value::as_float), Some(28.0));
+        assert_eq!(atts.get("HU1", "rh_pct").and_then(Value::as_float), Some(85.0));
+        // the HVAC's cooling output is picked up as a param for the loop
+        assert_eq!(m.meta.param_float("hvac_heat_c_per_s"), Some(-0.02));
+    }
+
+    #[test]
+    fn greenhouse_cooling_pulls_temperature_down() {
+        let mut p = Greenhouse;
+        let mut m = p.schema().instantiate("G1");
+        p.init(&mut m);
+        m.set(&"temp_c".into(), 35.0).unwrap();
+        m.meta.params.insert("hvac_heat_c_per_s".into(), (-0.05).into());
+        m.meta.params.insert("irrigation_prob".into(), 0.0.into());
+        let mut rng = Prng::new(4);
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let t = m.lookup(&"temp_c".into()).unwrap().as_float().unwrap();
+        assert!(t < 35.0, "cooling must reduce temperature: {t}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Retail scenes (paper §1/§5: smart retail).
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use super::{correlate_presence, digi_identity};
+
+/// A retail store: shopper flow (diurnal + bursty) driving occupancy
+/// sensors, cameras and the checkout zones attached to it.
+#[derive(Default)]
+pub struct RetailStore;
+
+impl DigiProgram for RetailStore {
+    digi_identity!("RetailStore", "v1", "builtin/retail-store");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("RetailStore", "v1")
+            .field("shoppers", FieldKind::float_range(0.0, 1_000_000.0))
+            .field("arrival_rate_per_min", FieldKind::float_range(0.0, 1000.0))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        // closed at night, lunchtime and after-work peaks
+        let base = ctx.param_f64("peak_rate", 12.0);
+        let rate = if !(9.0..21.0).contains(&hour) {
+            0.0
+        } else {
+            let lunch = (-((hour - 12.5f64).powi(2)) / 2.0).exp();
+            let evening = (-((hour - 18.0f64).powi(2)) / 3.0).exp();
+            base * (0.3 + lunch + evening) * ctx.rng.range_f64(0.7, 1.3)
+        };
+        let shoppers =
+            ctx.model.lookup(&"shoppers".into()).and_then(Value::as_float).unwrap_or(0.0);
+        // Rates are in simulated-day minutes; the compressed virtual day
+        // (`day_secs` of wall time per 86400 s of scene time) scales them.
+        let compression = 86_400.0 / day_secs;
+        let dt_min = ctx.model.meta.interval_ms() as f64 / 60_000.0 * compression;
+        let arrivals = rate * dt_min;
+        let departures = shoppers * dt_min / 20.0; // ~20-minute visits
+        let next = (shoppers + arrivals - departures).max(0.0);
+        ctx.update(vmap! {
+            "shoppers" => (next * 10.0).round() / 10.0,
+            "arrival_rate_per_min" => (rate * 10.0).round() / 10.0,
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let shoppers = ctx.field_f64("shoppers").unwrap_or(0.0);
+        correlate_presence(ctx, shoppers > 0.5);
+        let cams: Vec<String> =
+            ctx.atts.of_type("MotionCamera").into_iter().map(str::to_string).collect();
+        for cam in cams {
+            ctx.atts.set(&cam, "motion", shoppers > 0.5);
+        }
+        // a fraction of shoppers is checking out at any time
+        let zones: Vec<String> =
+            ctx.atts.of_type("CheckoutZone").into_iter().map(str::to_string).collect();
+        let n = zones.len().max(1) as f64;
+        for z in zones {
+            ctx.atts.set(&z, "arrivals_per_min", (shoppers / (10.0 * n)).round().max(0.0) as i64);
+        }
+    }
+}
+
+/// A checkout zone: a queue fed by the store, served by open lanes;
+/// attached occupancy sensors see the queue, smart plugs power the lanes.
+#[derive(Default)]
+pub struct CheckoutZone;
+
+impl DigiProgram for CheckoutZone {
+    digi_identity!("CheckoutZone", "v1", "builtin/checkout-zone");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("CheckoutZone", "v1")
+            .field("queue_len", FieldKind::float_range(0.0, 10_000.0))
+            .field("arrivals_per_min", FieldKind::int_range(0, 100_000))
+            .field("open_lanes", FieldKind::pair(FieldKind::int_range(0, 50)))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set_intent(&"open_lanes".into(), 1);
+        let _ = model.set_status(&"open_lanes".into(), 1);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let arrivals = ctx
+            .model
+            .lookup(&"arrivals_per_min".into())
+            .and_then(Value::as_int)
+            .unwrap_or(0) as f64
+            / 60.0;
+        let lanes = ctx
+            .model
+            .lookup(&"open_lanes".into())
+            .and_then(|v| v.get("status"))
+            .and_then(Value::as_int)
+            .unwrap_or(1) as f64;
+        let service = lanes * ctx.param_f64("lane_rate_per_s", 0.05);
+        let q = ctx.model.lookup(&"queue_len".into()).and_then(Value::as_float).unwrap_or(0.0);
+        let dt = ctx.model.meta.interval_ms() as f64 / 1000.0;
+        let next = crate::physics::queue_step(q, arrivals, service, dt);
+        ctx.update(vmap! { "queue_len" => (next * 10.0).round() / 10.0 });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        // the store app opens/closes lanes via intent
+        if let Some(want) = ctx.intent("open_lanes").cloned() {
+            ctx.set_status("open_lanes", want);
+        }
+        let q = ctx.field_f64("queue_len").unwrap_or(0.0);
+        correlate_presence(ctx, q > 0.5);
+        let lanes = ctx.status("open_lanes").and_then(Value::as_int).unwrap_or(1);
+        let plugs: Vec<String> =
+            ctx.atts.of_type("SmartPlug").into_iter().map(str::to_string).collect();
+        for p in plugs {
+            ctx.atts.set(&p, "load_w", lanes as f64 * 200.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimDuration, SimTime};
+
+    #[test]
+    fn store_closed_at_night_empties() {
+        let mut p = RetailStore;
+        let mut m = p.schema().instantiate("S1");
+        m.set(&"shoppers".into(), 50.0).unwrap();
+        m.meta.params.insert("day_secs".into(), 240.0.into());
+        let mut rng = Prng::new(1);
+        // t=0 is midnight → closed, shoppers decay
+        for _ in 0..100 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+        let shoppers = m.lookup(&"shoppers".into()).unwrap().as_float().unwrap();
+        assert!(shoppers < 0.5, "store should empty overnight: {shoppers}");
+    }
+
+    #[test]
+    fn store_fills_at_lunch() {
+        let mut p = RetailStore;
+        let mut m = p.schema().instantiate("S1");
+        m.meta.params.insert("day_secs".into(), 240.0.into());
+        let mut rng = Prng::new(2);
+        // 12:30 on the compressed clock = 125 s
+        let lunch = SimTime::ZERO + SimDuration::from_millis(125_000);
+        for _ in 0..60 {
+            let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: lunch, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+        let shoppers = m.lookup(&"shoppers".into()).unwrap().as_float().unwrap();
+        assert!(shoppers > 10.0, "lunch rush should fill the store: {shoppers}");
+    }
+
+    #[test]
+    fn checkout_queue_grows_then_drains_with_more_lanes() {
+        let mut p = CheckoutZone;
+        let mut m = p.schema().instantiate("CZ1");
+        p.init(&mut m);
+        m.set(&"arrivals_per_min".into(), 30).unwrap();
+        let mut rng = Prng::new(3);
+        for _ in 0..30 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+        let q1 = m.lookup(&"queue_len".into()).unwrap().as_float().unwrap();
+        assert!(q1 > 5.0, "one lane cannot keep up: queue = {q1}");
+        // open 10 lanes and stop arrivals → drains
+        m.set_status(&"open_lanes".into(), 10).unwrap();
+        m.set(&"arrivals_per_min".into(), 0).unwrap();
+        for _ in 0..60 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+        }
+        let q2 = m.lookup(&"queue_len".into()).unwrap().as_float().unwrap();
+        assert_eq!(q2, 0.0, "queue should drain: {q2}");
+    }
+
+    #[test]
+    fn checkout_lanes_follow_intent_and_load_plugs() {
+        let mut p = CheckoutZone;
+        let mut m = p.schema().instantiate("CZ1");
+        p.init(&mut m);
+        m.set_intent(&"open_lanes".into(), 4).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("P1", "SmartPlug");
+        atts.observe("P1", "SmartPlug", vmap! { "load_w" => 0.0 });
+        let mut rng = Prng::new(4);
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        assert_eq!(m.status(&"open_lanes".into()).unwrap().as_int(), Some(4));
+        assert_eq!(atts.get("P1", "load_w").and_then(Value::as_float), Some(800.0));
+    }
+}

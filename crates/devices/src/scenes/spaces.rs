@@ -1,0 +1,550 @@
+//! Smart-space scenes: rooms, kitchens, offices, homes.
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use super::{correlate_presence, digi_identity, drive_co2};
+
+/// The paper's meeting-room scene (Fig. 5 top): generates human presence
+/// and keeps attached occupancy/under-desk sensors consistent with it;
+/// also drives CO₂ and, at physical fidelity, a thermal model via attached
+/// HVAC/Temperature mocks.
+#[derive(Default)]
+pub struct Room;
+
+impl DigiProgram for Room {
+    digi_identity!("Room", "v2", "builtin/room");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Room", "v2")
+            .field("human_presence", FieldKind::Bool)
+            .field("num_occupants", FieldKind::int_range(0, 100))
+            .field("temp_c", FieldKind::float_range(-20.0, 60.0))
+            .field("ambient_c", FieldKind::float_range(-20.0, 60.0))
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let _ = model.set(&"temp_c".into(), 21.0);
+        let _ = model.set(&"ambient_c".into(), model.meta.param_float("ambient_c").unwrap_or(15.0));
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let presence = ctx.rng.chance(ctx.param_f64("presence_prob", 0.5));
+        let occupants = if presence { ctx.rng.range_i64(1, ctx.param_i64("capacity", 8) + 1) } else { 0 };
+        ctx.update(vmap! { "human_presence" => presence, "num_occupants" => occupants });
+
+        // Physical tier: evolve room temperature with the thermal model.
+        if ctx.model.meta.param_str("fidelity") == Some("physical") {
+            let temp =
+                ctx.model.lookup(&"temp_c".into()).and_then(Value::as_float).unwrap_or(21.0);
+            let ambient =
+                ctx.model.lookup(&"ambient_c".into()).and_then(Value::as_float).unwrap_or(15.0);
+            let heat = ctx.param_f64("hvac_heat_c_per_s", 0.0) + occupants as f64 * 0.0005;
+            let dt = ctx.model.meta.interval_ms() as f64 / 1000.0;
+            let next = crate::physics::thermal_step(temp, ambient, heat, 3600.0, dt);
+            let _ = ctx.model.set(&"temp_c".into(), (next * 100.0).round() / 100.0);
+        }
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let presence = ctx.field_bool("human_presence").unwrap_or(false);
+        correlate_presence(ctx, presence);
+        let occupants = ctx.field_i64("num_occupants").unwrap_or(0) as f64;
+        drive_co2(ctx, occupants);
+        // feed room temperature into attached HVACs and thermostats, and
+        // their output back into our params
+        let temp = ctx.field_f64("temp_c").unwrap_or(21.0);
+        let mut hvac_heat = 0.0;
+        let hvacs: Vec<String> = ctx.atts.of_type("Hvac").into_iter().map(str::to_string).collect();
+        for h in hvacs {
+            ctx.atts.set(&h, "room_temp_c", temp);
+            hvac_heat += ctx
+                .atts
+                .get(&h, "heat_output_c_per_s")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0);
+        }
+        ctx.model.meta.params.insert("hvac_heat_c_per_s".into(), hvac_heat.into());
+        let thermostats: Vec<String> =
+            ctx.atts.of_type("Thermostat").into_iter().map(str::to_string).collect();
+        for t in thermostats {
+            ctx.atts.set(&t, "temp_c", temp);
+        }
+        let temps: Vec<String> =
+            ctx.atts.of_type("Temperature").into_iter().map(str::to_string).collect();
+        for t in temps {
+            ctx.atts.set(&t, "temp_c", temp);
+        }
+    }
+}
+
+/// Shared kitchen: presence plus appliance usage bursts that load attached
+/// smart plugs and meters.
+#[derive(Default)]
+pub struct Kitchen;
+
+impl DigiProgram for Kitchen {
+    digi_identity!("Kitchen", "v1", "builtin/kitchen");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Kitchen", "v1")
+            .field("human_presence", FieldKind::Bool)
+            .field("appliance_in_use", FieldKind::Bool)
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let presence = ctx.rng.chance(ctx.param_f64("presence_prob", 0.35));
+        // appliances only run when someone is around
+        let cooking = presence && ctx.rng.chance(0.6);
+        ctx.update(vmap! { "human_presence" => presence, "appliance_in_use" => cooking });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let presence = ctx.field_bool("human_presence").unwrap_or(false);
+        correlate_presence(ctx, presence);
+        let cooking = ctx.field_bool("appliance_in_use").unwrap_or(false);
+        let load = if cooking { 1800.0 } else { 3.0 }; // kettle vs standby
+        let plugs: Vec<String> =
+            ctx.atts.of_type("SmartPlug").into_iter().map(str::to_string).collect();
+        for p in plugs {
+            ctx.atts.set(&p, "load_w", load);
+        }
+        let meters: Vec<String> =
+            ctx.atts.of_type("SmartMeter").into_iter().map(str::to_string).collect();
+        for m in meters {
+            ctx.atts.set(&m, "demand_w", load + 150.0);
+        }
+    }
+}
+
+/// Open-plan office: a workday population curve drives how many desks are
+/// occupied; under-desk sensors get individually consistent assignments.
+#[derive(Default)]
+pub struct OpenOffice;
+
+impl DigiProgram for OpenOffice {
+    digi_identity!("OpenOffice", "v1", "builtin/open-office");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("OpenOffice", "v1")
+            .field("population", FieldKind::int_range(0, 1000))
+            .field("workday_phase", FieldKind::enumeration(["night", "morning", "core", "evening"]))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        let (phase, fill) = match hour {
+            h if !(7.0..20.0).contains(&h) => ("night", 0.02),
+            h if h < 9.5 => ("morning", 0.4),
+            h if h < 17.0 => ("core", 0.85),
+            _ => ("evening", 0.25),
+        };
+        let desks = ctx.param_i64("desks", 24) as f64;
+        let mean = desks * fill;
+        let population = (mean + ctx.rng.range_f64(-0.15, 0.15) * desks).round().clamp(0.0, desks);
+        ctx.update(vmap! { "population" => population as i64, "workday_phase" => phase });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let population = ctx.field_i64("population").unwrap_or(0) as usize;
+        let mut desks: Vec<String> =
+            ctx.atts.of_type("Underdesk").into_iter().map(str::to_string).collect();
+        // assignment must be a pure function of the population (see
+        // `det_rng`): same population → same desks, so coordination settles
+        let mut det = super::det_rng(ctx.model, population as u64);
+        det.shuffle(&mut desks);
+        let n = desks.len();
+        for (i, desk) in desks.into_iter().enumerate() {
+            ctx.atts.set(&desk, "triggered", i < population.min(n));
+        }
+        // room-level sensors see anyone at all
+        let occs: Vec<String> =
+            ctx.atts.of_type("Occupancy").into_iter().map(str::to_string).collect();
+        for occ in occs {
+            ctx.atts.set(&occ, "triggered", population > 0);
+        }
+        drive_co2(ctx, population as f64);
+    }
+}
+
+/// Lobby: arrival bursts, with attached cameras seeing motion and door
+/// locks cycling.
+#[derive(Default)]
+pub struct Lobby;
+
+impl DigiProgram for Lobby {
+    digi_identity!("Lobby", "v1", "builtin/lobby");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Lobby", "v1")
+            .field("arrivals_per_min", FieldKind::float_range(0.0, 100.0))
+            .field("busy", FieldKind::Bool)
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        // bursty arrivals: exponential with occasional rush
+        let base = ctx.param_f64("base_rate", 2.0);
+        let rush = ctx.rng.chance(0.1);
+        let rate = base * if rush { 5.0 } else { 1.0 } * ctx.rng.range_f64(0.5, 1.5);
+        ctx.update(vmap! {
+            "arrivals_per_min" => (rate * 10.0).round() / 10.0,
+            "busy" => rate > base * 2.0,
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let rate = ctx.field_f64("arrivals_per_min").unwrap_or(0.0);
+        let busy = rate > 0.5;
+        correlate_presence(ctx, busy);
+        let cams: Vec<String> =
+            ctx.atts.of_type("MotionCamera").into_iter().map(str::to_string).collect();
+        for cam in cams {
+            ctx.atts.set(&cam, "motion", busy);
+        }
+    }
+}
+
+/// Classroom: lectures are scheduled blocks — occupancy is all-or-nothing
+/// on a period boundary (a sharply correlated pattern device-centric
+/// simulators cannot produce).
+#[derive(Default)]
+pub struct Classroom;
+
+impl DigiProgram for Classroom {
+    digi_identity!("Classroom", "v1", "builtin/classroom");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Classroom", "v1")
+            .field("in_session", FieldKind::Bool)
+            .field("students", FieldKind::int_range(0, 500))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let period_secs = ctx.param_f64("period_secs", 60.0);
+        let slot = (ctx.now.as_secs_f64() / period_secs) as i64;
+        // alternate lecture/break deterministically, with a small chance a
+        // lecture is cancelled
+        let mut slot_rng = digibox_net::Prng::new(ctx.model.meta.seed() ^ slot as u64);
+        let in_session = slot % 2 == 0 && !slot_rng.chance(0.1);
+        let students =
+            if in_session { slot_rng.range_i64(10, ctx.param_i64("capacity", 40)) } else { 0 };
+        ctx.update(vmap! { "in_session" => in_session, "students" => students });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let in_session = ctx.field_bool("in_session").unwrap_or(false);
+        correlate_presence(ctx, in_session);
+        drive_co2(ctx, ctx.field_i64("students").unwrap_or(0) as f64);
+    }
+}
+
+/// Bedroom: a sleep/wake cycle correlating the lamp, plug and presence —
+/// lights off while sleeping.
+#[derive(Default)]
+pub struct Bedroom;
+
+impl DigiProgram for Bedroom {
+    digi_identity!("Bedroom", "v1", "builtin/bedroom");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Bedroom", "v1")
+            .field("occupant_state", FieldKind::enumeration(["away", "awake", "asleep"]))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        let state = match hour {
+            h if !(7.0..23.0).contains(&h) => "asleep",
+            h if (9.0..21.0).contains(&h) && ctx.rng.chance(0.8) => "away",
+            _ => "awake",
+        };
+        ctx.update(vmap! { "occupant_state" => state });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let state = ctx.field_str("occupant_state").unwrap_or_else(|| "away".into());
+        let present = state != "away";
+        correlate_presence(ctx, present);
+        // lamps: on only while awake and present
+        let lamps: Vec<String> = ctx.atts.of_type("Lamp").into_iter().map(str::to_string).collect();
+        for lamp in lamps {
+            ctx.atts.set_status(&lamp, "power", if state == "awake" { "on" } else { "off" });
+        }
+    }
+}
+
+/// Whole home: a top-level scene that sets an away/home state and pushes
+/// presence down into attached room-scenes (rooms are `managed` under it).
+#[derive(Default)]
+pub struct Home;
+
+impl DigiProgram for Home {
+    digi_identity!("Home", "v1", "builtin/home");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("Home", "v1")
+            .field("mode", FieldKind::enumeration(["home", "away", "vacation"]))
+            .field("residents_present", FieldKind::int_range(0, 20))
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let residents = ctx.param_i64("residents", 2);
+        let away = ctx.rng.chance(ctx.param_f64("away_prob", 0.3));
+        let present = if away { 0 } else { ctx.rng.range_i64(1, residents + 1) };
+        ctx.update(vmap! {
+            "mode" => if away { "away" } else { "home" },
+            "residents_present" => present,
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let present = ctx.field_i64("residents_present").unwrap_or(0);
+        let rooms: Vec<String> = ["Room", "Kitchen", "Bedroom"]
+            .iter()
+            .flat_map(|k| ctx.atts.of_type(k).into_iter().map(str::to_string).collect::<Vec<_>>())
+            .collect();
+        if rooms.is_empty() {
+            return;
+        }
+        // distribute residents over rooms (pure function of `present`)
+        let mut det = super::det_rng(ctx.model, present as u64);
+        let mut occupied = std::collections::BTreeSet::new();
+        for _ in 0..present {
+            if let Some(r) = det.choice(&rooms) {
+                occupied.insert(r.clone());
+            }
+        }
+        for room in rooms {
+            let has_people = occupied.contains(&room);
+            ctx.atts.set(&room, "human_presence", has_people);
+        }
+        // locks: lock up when nobody is home
+        let locks: Vec<String> =
+            ctx.atts.of_type("DoorLock").into_iter().map(str::to_string).collect();
+        for lock in locks {
+            if present == 0 {
+                ctx.atts.set(&lock, "locked.status", true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimDuration, SimTime};
+
+    fn sim(p: &mut dyn DigiProgram, m: &mut digibox_model::Model, atts: &mut Atts, seed: u64) {
+        let mut rng = Prng::new(seed);
+        let mut ctx = SimCtx { model: m, atts, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_model(&mut ctx);
+    }
+
+    #[test]
+    fn room_correlates_sensors_and_co2() {
+        let mut p = Room;
+        let mut m = p.schema().instantiate("R1");
+        p.init(&mut m);
+        m.set(&"human_presence".into(), true).unwrap();
+        m.set(&"num_occupants".into(), 3).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("O1", "Occupancy");
+        atts.observe("O1", "Occupancy", vmap! { "triggered" => false });
+        atts.attach("C1", "Co2");
+        atts.observe("C1", "Co2", vmap! { "ppm" => 420.0, "occupant_equiv" => 0.0 });
+        sim(&mut p, &mut m, &mut atts, 1);
+        let patches = atts.take_patches();
+        assert_eq!(patches.len(), 2);
+        assert!(patches.iter().any(|(n, _)| n == "O1"));
+        assert!(patches.iter().any(|(n, _)| n == "C1"));
+    }
+
+    #[test]
+    fn room_empty_clears_desk_sensors() {
+        let mut p = Room;
+        let mut m = p.schema().instantiate("R1");
+        p.init(&mut m);
+        m.set(&"human_presence".into(), false).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("D1", "Underdesk");
+        atts.observe("D1", "Underdesk", vmap! { "triggered" => true });
+        sim(&mut p, &mut m, &mut atts, 1);
+        let patches = atts.take_patches();
+        assert_eq!(patches.len(), 1, "desk must be forced empty");
+    }
+
+    #[test]
+    fn room_physical_temperature_warms_with_hvac() {
+        let mut p = Room;
+        let mut m = p.schema().instantiate("R1");
+        m.meta.params.insert("fidelity".into(), "physical".into());
+        m.meta.params.insert("hvac_heat_c_per_s".into(), 0.05.into());
+        p.init(&mut m);
+        m.set(&"temp_c".into(), 18.0).unwrap();
+        let mut rng = Prng::new(2);
+        let mut ctx =
+            LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let t = m.lookup(&"temp_c".into()).unwrap().as_float().unwrap();
+        assert!(t > 18.0, "heated room should warm: {t}");
+    }
+
+    #[test]
+    fn open_office_assigns_exactly_population_desks() {
+        let mut p = OpenOffice;
+        let mut m = p.schema().instantiate("OO1");
+        m.set(&"population".into(), 2).unwrap();
+        let mut atts = Atts::new();
+        for d in ["D1", "D2", "D3", "D4"] {
+            atts.attach(d, "Underdesk");
+            atts.observe(d, "Underdesk", vmap! { "triggered" => false });
+        }
+        sim(&mut p, &mut m, &mut atts, 3);
+        let occupied = ["D1", "D2", "D3", "D4"]
+            .iter()
+            .filter(|d| atts.get(d, "triggered") == Some(&Value::Bool(true)))
+            .count();
+        assert_eq!(occupied, 2);
+    }
+
+    #[test]
+    fn classroom_schedule_is_all_or_nothing() {
+        let mut p = Classroom;
+        let mut m = p.schema().instantiate("CL1");
+        let mut rng = Prng::new(4);
+        // slot 0 (t = 0): lecture (unless cancelled); slot 1: break
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let break_t = SimTime::ZERO + SimDuration::from_secs(60);
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: break_t, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        assert_eq!(m.lookup(&"in_session".into()).unwrap().as_bool(), Some(false));
+        assert_eq!(m.lookup(&"students".into()).unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn home_away_locks_doors() {
+        let mut p = Home;
+        let mut m = p.schema().instantiate("H1");
+        m.set(&"mode".into(), "away").unwrap();
+        m.set(&"residents_present".into(), 0).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("R1", "Room");
+        atts.observe("R1", "Room", vmap! { "human_presence" => true });
+        atts.attach("DL1", "DoorLock");
+        atts.observe(
+            "DL1",
+            "DoorLock",
+            vmap! { "locked" => vmap! { "intent" => false, "status" => false } },
+        );
+        sim(&mut p, &mut m, &mut atts, 5);
+        let patches = atts.take_patches();
+        // room presence cleared and door locked
+        assert!(patches.iter().any(|(n, _)| n == "R1"));
+        assert!(patches.iter().any(|(n, _)| n == "DL1"));
+    }
+
+    #[test]
+    fn bedroom_sleep_turns_lamp_off() {
+        let mut p = Bedroom;
+        let mut m = p.schema().instantiate("B1");
+        m.set(&"occupant_state".into(), "asleep").unwrap();
+        let mut atts = Atts::new();
+        atts.attach("L1", "Lamp");
+        atts.observe(
+            "L1",
+            "Lamp",
+            vmap! { "power" => vmap! { "intent" => "on", "status" => "on" } },
+        );
+        atts.attach("O1", "Occupancy");
+        atts.observe("O1", "Occupancy", vmap! { "triggered" => false });
+        sim(&mut p, &mut m, &mut atts, 7);
+        assert_eq!(
+            atts.get("L1", "power.status").and_then(Value::as_str),
+            Some("off"),
+            "sleeping occupant: lamp off"
+        );
+        // asleep = present: the sensor sees them
+        assert_eq!(atts.get("O1", "triggered"), Some(&Value::Bool(true)));
+        // awake → lamp on
+        m.set(&"occupant_state".into(), "awake").unwrap();
+        sim(&mut p, &mut m, &mut atts, 8);
+        assert_eq!(atts.get("L1", "power.status").and_then(Value::as_str), Some("on"));
+    }
+
+    #[test]
+    fn bedroom_daynight_states() {
+        let mut p = Bedroom;
+        let mut m = p.schema().instantiate("B1");
+        m.meta.params.insert("day_secs".into(), 240.0.into());
+        let mut rng = Prng::new(9);
+        // midnight → asleep
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        assert_eq!(m.lookup(&"occupant_state".into()).unwrap().as_str(), Some("asleep"));
+    }
+
+    #[test]
+    fn lobby_busy_drives_cameras_and_sensors() {
+        let mut p = Lobby;
+        let mut m = p.schema().instantiate("Lob");
+        m.set(&"arrivals_per_min".into(), 12.0).unwrap();
+        m.set(&"busy".into(), true).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("Cam", "MotionCamera");
+        atts.observe("Cam", "MotionCamera", vmap! { "motion" => false });
+        atts.attach("O1", "Occupancy");
+        atts.observe("O1", "Occupancy", vmap! { "triggered" => false });
+        sim(&mut p, &mut m, &mut atts, 10);
+        assert_eq!(atts.get("Cam", "motion"), Some(&Value::Bool(true)));
+        assert_eq!(atts.get("O1", "triggered"), Some(&Value::Bool(true)));
+        // quiet lobby clears them
+        m.set(&"arrivals_per_min".into(), 0.0).unwrap();
+        sim(&mut p, &mut m, &mut atts, 11);
+        assert_eq!(atts.get("Cam", "motion"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn kitchen_cooking_loads_plugs() {
+        let mut p = Kitchen;
+        let mut m = p.schema().instantiate("K1");
+        m.set(&"human_presence".into(), true).unwrap();
+        m.set(&"appliance_in_use".into(), true).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("P1", "SmartPlug");
+        atts.observe("P1", "SmartPlug", vmap! { "load_w" => 0.0 });
+        sim(&mut p, &mut m, &mut atts, 6);
+        assert_eq!(atts.get("P1", "load_w").and_then(Value::as_float), Some(1800.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Urban-sensing scenes (paper §5: phones and mobile devices aggregating
+//! environmental data across a city).
+
+use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+use digibox_model::{vmap, FieldKind, Schema, Value};
+
+use super::digi_identity;
+
+/// One urban street block: pedestrian density over the day drives noise,
+/// air quality and ambient light for the sensors attached to it (typically
+/// mobile — the urban-sensing workflow re-attaches phone mocks between
+/// blocks as they "move").
+#[derive(Default)]
+pub struct StreetBlock;
+
+impl DigiProgram for StreetBlock {
+    digi_identity!("StreetBlock", "v1", "builtin/street-block");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("StreetBlock", "v1")
+            .field("pedestrians", FieldKind::int_range(0, 100_000))
+            .field("noise_db", FieldKind::float_range(20.0, 120.0))
+            .field("streetlights_on", FieldKind::Bool)
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let day_secs = ctx.param_f64("day_secs", 1440.0);
+        let hour = (ctx.now.as_secs_f64() / day_secs).fract() * 24.0;
+        let base = ctx.param_i64("peak_pedestrians", 120) as f64;
+        // two rush peaks
+        let morning = (-((hour - 8.5f64).powi(2)) / 2.0).exp();
+        let evening = (-((hour - 17.5f64).powi(2)) / 3.0).exp();
+        let level = (0.05 + morning + evening).min(1.2);
+        let pedestrians = (base * level * ctx.rng.range_f64(0.8, 1.2)).round() as i64;
+        let noise = 35.0 + 25.0 * (pedestrians as f64 / base).min(1.5) + ctx.rng.range_f64(-2.0, 2.0);
+        let dark = !(6.5..19.5).contains(&hour);
+        ctx.update(vmap! {
+            "pedestrians" => pedestrians,
+            "noise_db" => (noise * 10.0).round() / 10.0,
+            "streetlights_on" => dark,
+        });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let pedestrians = ctx.field_i64("pedestrians").unwrap_or(0);
+        let lights = ctx.field_bool("streetlights_on").unwrap_or(false);
+        for cam in ctx.atts.of_type("MotionCamera").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&cam, "motion", pedestrians > 5);
+        }
+        for ll in ctx.atts.of_type("LightLevel").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            ctx.atts.set(&ll, "artificial_lux", if lights { 40.0 } else { 0.0 });
+        }
+        // traffic-correlated pollution
+        for aq in ctx.atts.of_type("AirQuality").into_iter().map(str::to_string).collect::<Vec<_>>() {
+            let extra = pedestrians as f64 * 0.05;
+            ctx.atts.set(&aq, "pm25_ugm3", 8.0 + extra);
+        }
+    }
+}
+
+/// Parking lot: stall occupancy under arrival/departure flow; occupancy
+/// mocks attached to it play individual stalls.
+#[derive(Default)]
+pub struct ParkingLot;
+
+impl DigiProgram for ParkingLot {
+    digi_identity!("ParkingLot", "v1", "builtin/parking-lot");
+
+    fn is_scene(&self) -> bool {
+        true
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::new("ParkingLot", "v1")
+            .field("cars", FieldKind::int_range(0, 100_000))
+            .field("capacity", FieldKind::int_range(1, 100_000))
+            .field("full", FieldKind::Bool)
+    }
+
+    fn init(&mut self, model: &mut digibox_model::Model) {
+        let cap = model.meta.param_int("capacity").unwrap_or(20);
+        let _ = model.set(&"capacity".into(), cap);
+    }
+
+    fn on_loop(&mut self, ctx: &mut LoopCtx) {
+        let cap = ctx.model.lookup(&"capacity".into()).and_then(Value::as_int).unwrap_or(20);
+        let cars = ctx.model.lookup(&"cars".into()).and_then(Value::as_int).unwrap_or(0);
+        let arrivals = ctx.rng.range_i64(0, 4);
+        let departures = if cars > 0 { ctx.rng.range_i64(0, (cars / 4).max(1) + 1) } else { 0 };
+        let next = (cars + arrivals - departures).clamp(0, cap);
+        ctx.update(vmap! { "cars" => next, "full" => next == cap });
+    }
+
+    fn on_model(&mut self, ctx: &mut SimCtx) {
+        let cars = ctx.field_i64("cars").unwrap_or(0) as usize;
+        // stalls fill in a fixed order (front stalls first — realistic
+        // enough and deterministic)
+        let stalls: Vec<String> =
+            ctx.atts.of_type("Occupancy").into_iter().map(str::to_string).collect();
+        for (i, stall) in stalls.iter().enumerate() {
+            ctx.atts.set(stall, "triggered", i < cars);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::Atts;
+    use digibox_net::{Prng, SimDuration, SimTime};
+
+    #[test]
+    fn street_block_rush_hour_vs_night() {
+        let mut p = StreetBlock;
+        let mut m = p.schema().instantiate("SB1");
+        m.meta.params.insert("day_secs".into(), 240.0.into());
+        let mut rng = Prng::new(1);
+        // 8:30 ≈ 85 s on the compressed clock
+        let rush = SimTime::ZERO + SimDuration::from_millis(85_000);
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: rush, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let rush_peds = m.lookup(&"pedestrians".into()).unwrap().as_int().unwrap();
+        let mut ctx = LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+        p.on_loop(&mut ctx);
+        let night_peds = m.lookup(&"pedestrians".into()).unwrap().as_int().unwrap();
+        assert!(rush_peds > night_peds * 3, "rush {rush_peds} vs night {night_peds}");
+        assert_eq!(m.lookup(&"streetlights_on".into()).unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn street_block_drives_attached_sensors() {
+        let mut p = StreetBlock;
+        let mut m = p.schema().instantiate("SB1");
+        m.set(&"pedestrians".into(), 100).unwrap();
+        m.set(&"streetlights_on".into(), true).unwrap();
+        let mut atts = Atts::new();
+        atts.attach("LL1", "LightLevel");
+        atts.observe("LL1", "LightLevel", vmap! { "artificial_lux" => 0.0 });
+        atts.attach("AQ1", "AirQuality");
+        atts.observe("AQ1", "AirQuality", vmap! { "pm25_ugm3" => 8.0 });
+        let mut rng = Prng::new(2);
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        assert_eq!(atts.get("LL1", "artificial_lux").and_then(Value::as_float), Some(40.0));
+        assert_eq!(atts.get("AQ1", "pm25_ugm3").and_then(Value::as_float), Some(13.0));
+    }
+
+    #[test]
+    fn parking_lot_never_exceeds_capacity() {
+        let mut p = ParkingLot;
+        let mut m = p.schema().instantiate("PL1");
+        m.meta.params.insert("capacity".into(), 5.into());
+        p.init(&mut m);
+        let mut rng = Prng::new(3);
+        for _ in 0..200 {
+            let mut ctx =
+                LoopCtx { model: &mut m, rng: &mut rng, now: SimTime::ZERO, emitted: vec![] };
+            p.on_loop(&mut ctx);
+            let cars = m.lookup(&"cars".into()).unwrap().as_int().unwrap();
+            assert!((0..=5).contains(&cars));
+        }
+    }
+
+    #[test]
+    fn parking_stalls_match_car_count() {
+        let mut p = ParkingLot;
+        let mut m = p.schema().instantiate("PL1");
+        p.init(&mut m);
+        m.set(&"cars".into(), 2).unwrap();
+        let mut atts = Atts::new();
+        for s in ["S1", "S2", "S3"] {
+            atts.attach(s, "Occupancy");
+            atts.observe(s, "Occupancy", vmap! { "triggered" => false });
+        }
+        let mut rng = Prng::new(4);
+        let mut ctx = SimCtx {
+            model: &mut m,
+            atts: &mut atts,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: vec![],
+        };
+        p.on_model(&mut ctx);
+        let occupied = ["S1", "S2", "S3"]
+            .iter()
+            .filter(|s| atts.get(s, "triggered") == Some(&Value::Bool(true)))
+            .count();
+        assert_eq!(occupied, 2);
+    }
+}

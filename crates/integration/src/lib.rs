@@ -1,0 +1,17 @@
+//! Shared helpers for the workspace-level integration tests in `/tests`.
+
+use std::collections::BTreeMap;
+
+use digibox_core::{Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_model::Value;
+
+/// A laptop testbed with the full device library.
+pub fn laptop(seed: u64) -> Testbed {
+    Testbed::laptop(full_catalog(), TestbedConfig { seed, ..Default::default() })
+}
+
+/// Empty params shorthand.
+pub fn no_params() -> BTreeMap<String, Value> {
+    BTreeMap::new()
+}

@@ -1,0 +1,296 @@
+//! Schema inference — the paper's §6 maintenance story:
+//!
+//! > "the IoT market is highly fragmented today: devices from different
+//! > vendors may differ in the command/message schema, format, and
+//! > behaviors … We are investigating technical solutions such as schema
+//! > inference [35] … to simplify/automate the generation and maintenance
+//! > of mocks and scenes."
+//!
+//! [`infer_schema`] derives a [`Schema`] from observed model samples (e.g.
+//! the `model` messages of a real device captured with the paper's
+//! "logging with real devices" workflow, §3.5): field kinds are unioned
+//! across samples, numeric ranges widened to what was seen, small closed
+//! string sets become enums, and `{intent, status}` maps become pair
+//! fields. A mock generated from the inferred schema then validates
+//! against every sample it was learned from (tested as an invariant).
+
+use std::collections::BTreeSet;
+
+use crate::{FieldKind, Schema, Value};
+
+/// Max distinct strings that still infer as an enum (beyond this: `Str`).
+const ENUM_LIMIT: usize = 6;
+/// Minimum samples of a string field before we dare call it an enum.
+const ENUM_MIN_SAMPLES: usize = 3;
+
+/// Infer the schema of a model type from observed field trees.
+///
+/// Fields missing from some samples are inferred `optional`; fields
+/// present in every sample are `required`. Returns a lenient (non-strict)
+/// schema: unseen vendor extras should not fail validation.
+pub fn infer_schema(kind: &str, version: &str, samples: &[Value]) -> Schema {
+    let mut schema = Schema::new(kind, version);
+    // collect field names across all samples
+    let mut names: BTreeSet<&String> = BTreeSet::new();
+    for sample in samples {
+        if let Some(map) = sample.as_map() {
+            names.extend(map.keys());
+        }
+    }
+    for name in names {
+        let observed: Vec<&Value> = samples.iter().filter_map(|s| s.get(name)).collect();
+        if observed.is_empty() {
+            continue;
+        }
+        let kind = infer_kind(&observed);
+        let required = observed.len() == samples.len();
+        if required {
+            schema = schema.field(name, kind);
+        } else {
+            schema = schema.optional(name, kind);
+        }
+    }
+    schema
+}
+
+/// Infer the kind of one field from its observed values.
+fn infer_kind(observed: &[&Value]) -> FieldKind {
+    // pair detection: every observation is a map with exactly intent+status
+    let all_pairs = observed.iter().all(|v| {
+        v.as_map()
+            .map(|m| m.len() == 2 && m.contains_key("intent") && m.contains_key("status"))
+            .unwrap_or(false)
+    });
+    if all_pairs {
+        let halves: Vec<&Value> = observed
+            .iter()
+            .flat_map(|v| {
+                let m = v.as_map().expect("checked above");
+                [m.get("intent").expect("checked"), m.get("status").expect("checked")]
+            })
+            .collect();
+        return FieldKind::pair(infer_kind(&halves));
+    }
+
+    // list detection
+    if observed.iter().all(|v| v.as_list().is_some()) {
+        let elements: Vec<&Value> =
+            observed.iter().flat_map(|v| v.as_list().expect("checked").iter()).collect();
+        let inner = if elements.is_empty() { FieldKind::Str } else { infer_kind(&elements) };
+        return FieldKind::list(inner);
+    }
+
+    // scalar union
+    let mut any_bool = false;
+    let mut any_int = false;
+    let mut any_float = false;
+    let mut strings: BTreeSet<&str> = BTreeSet::new();
+    let mut any_other = false;
+    let mut any_null = false;
+    let mut string_count = 0usize;
+    let (mut min_f, mut max_f) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_i, mut max_i) = (i64::MAX, i64::MIN);
+    for v in observed {
+        match v {
+            Value::Bool(_) => any_bool = true,
+            Value::Int(i) => {
+                any_int = true;
+                min_i = min_i.min(*i);
+                max_i = max_i.max(*i);
+                min_f = min_f.min(*i as f64);
+                max_f = max_f.max(*i as f64);
+            }
+            Value::Float(x) => {
+                any_float = true;
+                min_f = min_f.min(*x);
+                max_f = max_f.max(*x);
+            }
+            Value::Str(s) => {
+                string_count += 1;
+                strings.insert(s);
+            }
+            Value::Null => any_null = true,
+            _ => any_other = true,
+        }
+    }
+    let any_string = string_count > 0;
+    let numeric = any_int || any_float;
+    let type_count = any_bool as u8 + numeric as u8 + any_string as u8;
+    // nulls alongside a concrete type force Any: a null observation must
+    // keep validating
+    if any_other || type_count > 1 || (any_null && type_count > 0) {
+        // mixed types: accept anything (the invariant is that every
+        // observed sample validates against the inferred schema)
+        return FieldKind::Any;
+    }
+    if any_bool {
+        return FieldKind::Bool;
+    }
+    if any_float {
+        return FieldKind::float_range(widen_min(min_f), widen_max(max_f));
+    }
+    if any_int {
+        return FieldKind::int_range(widen_i(min_i, -1), widen_i(max_i, 1));
+    }
+    if any_string {
+        if strings.len() <= ENUM_LIMIT
+            && string_count >= ENUM_MIN_SAMPLES
+            && string_count > strings.len()
+        {
+            // a small set seen repeatedly: a closed vocabulary
+            return FieldKind::enumeration(strings.into_iter().map(str::to_string));
+        }
+        return FieldKind::Str;
+    }
+    // only nulls observed
+    FieldKind::Any
+}
+
+/// Widen an observed bound by 10 % (plus a unit floor) so natural variance
+/// beyond the samples does not immediately violate the schema.
+fn widen_min(x: f64) -> f64 {
+    x - (x.abs() * 0.1).max(1.0)
+}
+
+fn widen_max(x: f64) -> f64 {
+    x + (x.abs() * 0.1).max(1.0)
+}
+
+fn widen_i(x: i64, dir: i64) -> i64 {
+    x.saturating_add(dir * ((x.abs() / 10).max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vmap, Meta, Model};
+
+    fn lamp_samples() -> Vec<Value> {
+        vec![
+            vmap! {
+                "power" => vmap! { "intent" => "on", "status" => "on" },
+                "intensity" => vmap! { "intent" => 0.2, "status" => 0.4 },
+                "vendor_fw" => "2.1.0",
+            },
+            vmap! {
+                "power" => vmap! { "intent" => "off", "status" => "off" },
+                "intensity" => vmap! { "intent" => 0.0, "status" => 0.0 },
+                "vendor_fw" => "2.1.0",
+            },
+            vmap! {
+                "power" => vmap! { "intent" => "on", "status" => "off" },
+                "intensity" => vmap! { "intent" => 0.9, "status" => 0.9 },
+            },
+        ]
+    }
+
+    #[test]
+    fn infers_pairs_enums_and_ranges() {
+        let schema = infer_schema("Lamp", "v1", &lamp_samples());
+        // power: pair of enum{off,on}
+        let power = &schema.fields["power"];
+        assert!(power.required);
+        match &power.kind {
+            FieldKind::Pair { inner } => match inner.as_ref() {
+                FieldKind::Enum { variants } => {
+                    assert_eq!(variants, &vec!["off".to_string(), "on".to_string()]);
+                }
+                other => panic!("power inner should be enum, got {other:?}"),
+            },
+            other => panic!("power should be a pair, got {other:?}"),
+        }
+        // intensity: pair of float with widened range
+        match &schema.fields["intensity"].kind {
+            FieldKind::Pair { inner } => match inner.as_ref() {
+                FieldKind::Float { min, max } => {
+                    assert!(min.unwrap() <= 0.0);
+                    assert!(max.unwrap() >= 0.9);
+                }
+                other => panic!("intensity inner should be float, got {other:?}"),
+            },
+            other => panic!("intensity should be a pair, got {other:?}"),
+        }
+        // vendor_fw appeared in 2/3 samples → optional
+        assert!(!schema.fields["vendor_fw"].required);
+    }
+
+    #[test]
+    fn every_sample_validates_against_inferred_schema() {
+        let samples = lamp_samples();
+        let schema = infer_schema("Lamp", "v1", &samples);
+        for (i, s) in samples.iter().enumerate() {
+            let model = Model::with_fields(Meta::new("Lamp", "v1", "probe"), s.clone());
+            schema
+                .validate(&model)
+                .unwrap_or_else(|e| panic!("sample {i} does not validate: {e}"));
+        }
+    }
+
+    #[test]
+    fn instantiated_mock_validates() {
+        let schema = infer_schema("Lamp", "v1", &lamp_samples());
+        let model = schema.instantiate("L-generated");
+        schema.validate(&model).unwrap();
+    }
+
+    #[test]
+    fn int_fields_get_widened_ranges() {
+        let samples = vec![vmap! { "n" => 10 }, vmap! { "n" => 20 }];
+        let schema = infer_schema("T", "v1", &samples);
+        match &schema.fields["n"].kind {
+            FieldKind::Int { min, max } => {
+                assert!(min.unwrap() < 10);
+                assert!(max.unwrap() > 20);
+            }
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn few_strings_seen_once_stay_strings() {
+        // 2 samples, 2 distinct values: not enough evidence for an enum
+        let samples = vec![vmap! { "s" => "a" }, vmap! { "s" => "b" }];
+        let schema = infer_schema("T", "v1", &samples);
+        assert!(matches!(schema.fields["s"].kind, FieldKind::Str));
+    }
+
+    #[test]
+    fn mixed_types_fall_back_to_any() {
+        let samples = vec![vmap! { "x" => 1 }, vmap! { "x" => "one" }];
+        let schema = infer_schema("T", "v1", &samples);
+        assert!(matches!(schema.fields["x"].kind, FieldKind::Any));
+        // and both samples validate
+        for s in &samples {
+            let model = Model::with_fields(Meta::new("T", "v1", "p"), s.clone());
+            schema.validate(&model).unwrap();
+        }
+    }
+
+    #[test]
+    fn lists_infer_element_kind() {
+        let samples = vec![
+            vmap! { "xs" => vec![1i64, 2, 3] },
+            vmap! { "xs" => vec![4i64] },
+        ];
+        let schema = infer_schema("T", "v1", &samples);
+        match &schema.fields["xs"].kind {
+            FieldKind::List { inner } => assert!(matches!(**inner, FieldKind::Int { .. })),
+            other => panic!("expected list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bools_and_nulls() {
+        let samples = vec![vmap! { "b" => true, "n" => Value::Null }, vmap! { "b" => false }];
+        let schema = infer_schema("T", "v1", &samples);
+        assert!(matches!(schema.fields["b"].kind, FieldKind::Bool));
+        assert!(matches!(schema.fields["n"].kind, FieldKind::Any));
+        assert!(!schema.fields["n"].required);
+    }
+
+    #[test]
+    fn empty_samples_give_empty_schema() {
+        let schema = infer_schema("T", "v1", &[]);
+        assert!(schema.fields.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Result, Value};
+
+/// A dotted path into a model's field tree, e.g. `power.status`.
+///
+/// Paths are the addressing scheme used by patches, schemas, scene
+/// properties and the `dbox edit` command. Segments may not be empty; the
+/// empty path (`Path::root()`) addresses the whole field tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Path {
+    segments: Vec<String>,
+}
+
+impl Path {
+    /// The root path (addresses the whole tree).
+    pub fn root() -> Path {
+        Path { segments: Vec::new() }
+    }
+
+    /// Parse a dotted path literal. Rejects empty segments (`a..b`).
+    pub fn parse(s: &str) -> Result<Path> {
+        if s.is_empty() {
+            return Ok(Path::root());
+        }
+        let segments: Vec<String> = s.split('.').map(str::to_string).collect();
+        if segments.iter().any(String::is_empty) {
+            return Err(ModelError::BadPath(s.to_string()));
+        }
+        Ok(Path { segments })
+    }
+
+    /// Build a path from pre-split segments.
+    pub fn from_segments<I, S>(segs: I) -> Path
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Path { segments: segs.into_iter().map(Into::into).collect() }
+    }
+
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Append a segment, returning the extended path.
+    pub fn child(&self, seg: &str) -> Path {
+        let mut segments = self.segments.clone();
+        segments.push(seg.to_string());
+        Path { segments }
+    }
+
+    /// The parent path and final segment, or `None` at the root.
+    pub fn split_last(&self) -> Option<(Path, &str)> {
+        let (last, rest) = self.segments.split_last()?;
+        Some((Path { segments: rest.to_vec() }, last))
+    }
+
+    /// Whether `self` is a prefix of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.segments.len() >= self.segments.len()
+            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+    }
+
+    /// Resolve this path against a value tree (read).
+    pub fn get<'v>(&self, root: &'v Value) -> Result<&'v Value> {
+        let mut cur = root;
+        for (i, seg) in self.segments.iter().enumerate() {
+            match cur {
+                Value::Map(m) => {
+                    cur = m.get(seg).ok_or_else(|| {
+                        ModelError::MissingField(self.segments[..=i].join("."))
+                    })?;
+                }
+                _ => return Err(ModelError::NotAContainer(self.segments[..i].join("."))),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolve this path against a value tree (read, returns `None` on any
+    /// missing step instead of an error).
+    pub fn lookup<'v>(&self, root: &'v Value) -> Option<&'v Value> {
+        let mut cur = root;
+        for seg in &self.segments {
+            cur = cur.as_map()?.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Set the value at this path, creating intermediate maps as needed.
+    /// Fails when the path traverses through an existing scalar.
+    pub fn set(&self, root: &mut Value, value: Value) -> Result<()> {
+        if self.is_root() {
+            *root = value;
+            return Ok(());
+        }
+        let mut cur = root;
+        for (i, seg) in self.segments.iter().enumerate() {
+            let last = i + 1 == self.segments.len();
+            let map = match cur {
+                Value::Map(m) => m,
+                _ => return Err(ModelError::NotAContainer(self.segments[..i].join("."))),
+            };
+            if last {
+                map.insert(seg.clone(), value);
+                return Ok(());
+            }
+            cur = map.entry(seg.clone()).or_insert_with(Value::map);
+        }
+        unreachable!("non-root path always has a final segment")
+    }
+
+    /// Remove the value at this path. Returns the removed value, or an error
+    /// if it does not exist.
+    pub fn remove(&self, root: &mut Value) -> Result<Value> {
+        let (parent, last) = self
+            .split_last()
+            .ok_or_else(|| ModelError::BadPath("cannot remove root".into()))?;
+        let mut cur = root;
+        for (i, seg) in parent.segments.iter().enumerate() {
+            match cur {
+                Value::Map(m) => {
+                    cur = m.get_mut(seg).ok_or_else(|| {
+                        ModelError::MissingField(parent.segments[..=i].join("."))
+                    })?;
+                }
+                _ => return Err(ModelError::NotAContainer(parent.segments[..i].join("."))),
+            }
+        }
+        match cur {
+            Value::Map(m) => m
+                .remove(last)
+                .ok_or_else(|| ModelError::MissingField(self.to_string())),
+            _ => Err(ModelError::NotAContainer(parent.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.segments.join("."))
+    }
+}
+
+impl From<&str> for Path {
+    /// Panicking conversion for path literals in code; use [`Path::parse`]
+    /// for untrusted input.
+    fn from(s: &str) -> Path {
+        Path::parse(s).expect("invalid path literal")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmap;
+
+    #[test]
+    fn parse_and_display() {
+        let p = Path::parse("power.status").unwrap();
+        assert_eq!(p.segments(), ["power", "status"]);
+        assert_eq!(p.to_string(), "power.status");
+        assert!(Path::parse("a..b").is_err());
+        assert!(Path::parse("").unwrap().is_root());
+    }
+
+    #[test]
+    fn get_set_remove() {
+        let mut v = vmap! { "power" => vmap! { "status" => "on" } };
+        let p = Path::from("power.status");
+        assert_eq!(p.get(&v).unwrap().as_str(), Some("on"));
+        p.set(&mut v, Value::from("off")).unwrap();
+        assert_eq!(p.get(&v).unwrap().as_str(), Some("off"));
+        let removed = p.remove(&mut v).unwrap();
+        assert_eq!(removed.as_str(), Some("off"));
+        assert!(p.get(&v).is_err());
+    }
+
+    #[test]
+    fn set_creates_intermediates() {
+        let mut v = Value::map();
+        Path::from("a.b.c").set(&mut v, Value::Int(1)).unwrap();
+        assert_eq!(Path::from("a.b.c").get(&v).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn set_through_scalar_fails() {
+        let mut v = vmap! { "a" => 1 };
+        assert!(Path::from("a.b").set(&mut v, Value::Int(2)).is_err());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = Path::from("a.b");
+        let b = Path::from("a.b.c");
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(Path::root().is_prefix_of(&a));
+    }
+
+    #[test]
+    fn lookup_vs_get() {
+        let v = vmap! { "a" => 1 };
+        assert!(Path::from("b").lookup(&v).is_none());
+        assert!(Path::from("b").get(&v).is_err());
+        assert_eq!(Path::from("a").lookup(&v), Some(&Value::Int(1)));
+    }
+}

@@ -1,0 +1,373 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Model, ModelError, Path, Result, Value};
+
+/// The declared type of one model field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FieldKind {
+    /// Accepts any value (used by schema inference when observations mix
+    /// types; hand-written schemas should prefer a concrete kind).
+    Any,
+    Bool,
+    Int {
+        #[serde(skip_serializing_if = "Option::is_none")]
+        min: Option<i64>,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        max: Option<i64>,
+    },
+    Float {
+        #[serde(skip_serializing_if = "Option::is_none")]
+        min: Option<f64>,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        max: Option<f64>,
+    },
+    Str,
+    /// A string constrained to one of the listed variants (e.g. "on"/"off").
+    Enum { variants: Vec<String> },
+    /// An intent/status pair whose halves both have the inner kind.
+    Pair { inner: Box<FieldKind> },
+    /// A list whose elements all have the inner kind.
+    List { inner: Box<FieldKind> },
+}
+
+impl FieldKind {
+    pub fn int() -> FieldKind {
+        FieldKind::Int { min: None, max: None }
+    }
+
+    pub fn int_range(min: i64, max: i64) -> FieldKind {
+        FieldKind::Int { min: Some(min), max: Some(max) }
+    }
+
+    pub fn float() -> FieldKind {
+        FieldKind::Float { min: None, max: None }
+    }
+
+    pub fn float_range(min: f64, max: f64) -> FieldKind {
+        FieldKind::Float { min: Some(min), max: Some(max) }
+    }
+
+    pub fn enumeration<S: Into<String>>(variants: impl IntoIterator<Item = S>) -> FieldKind {
+        FieldKind::Enum { variants: variants.into_iter().map(Into::into).collect() }
+    }
+
+    pub fn pair(inner: FieldKind) -> FieldKind {
+        FieldKind::Pair { inner: Box::new(inner) }
+    }
+
+    pub fn list(inner: FieldKind) -> FieldKind {
+        FieldKind::List { inner: Box::new(inner) }
+    }
+
+    /// Check a value against this kind.
+    fn check(&self, path: &Path, v: &Value) -> Result<()> {
+        let violation = |reason: String| {
+            Err(ModelError::SchemaViolation { path: path.to_string(), reason })
+        };
+        match self {
+            FieldKind::Any => Ok(()),
+            FieldKind::Bool => match v {
+                Value::Bool(_) => Ok(()),
+                other => violation(format!("expected bool, found {}", other.type_name())),
+            },
+            FieldKind::Int { min, max } => match v {
+                Value::Int(i) => {
+                    if min.is_some_and(|m| *i < m) || max.is_some_and(|m| *i > m) {
+                        violation(format!("{i} outside [{min:?}, {max:?}]"))
+                    } else {
+                        Ok(())
+                    }
+                }
+                other => violation(format!("expected int, found {}", other.type_name())),
+            },
+            FieldKind::Float { min, max } => match v.as_float() {
+                Some(x) => {
+                    if min.is_some_and(|m| x < m) || max.is_some_and(|m| x > m) {
+                        violation(format!("{x} outside [{min:?}, {max:?}]"))
+                    } else {
+                        Ok(())
+                    }
+                }
+                None => violation(format!("expected float, found {}", v.type_name())),
+            },
+            FieldKind::Str => match v {
+                Value::Str(_) => Ok(()),
+                other => violation(format!("expected string, found {}", other.type_name())),
+            },
+            FieldKind::Enum { variants } => match v {
+                Value::Str(s) if variants.iter().any(|x| x == s) => Ok(()),
+                Value::Str(s) => violation(format!("{s:?} not in {variants:?}")),
+                other => violation(format!("expected enum string, found {}", other.type_name())),
+            },
+            FieldKind::Pair { inner } => {
+                let m = match v.as_map() {
+                    Some(m) => m,
+                    None => {
+                        return violation(format!(
+                            "expected intent/status pair, found {}",
+                            v.type_name()
+                        ))
+                    }
+                };
+                for half in ["intent", "status"] {
+                    match m.get(half) {
+                        Some(hv) => inner.check(&path.child(half), hv)?,
+                        None => return violation(format!("pair missing `{half}`")),
+                    }
+                }
+                for key in m.keys() {
+                    if key != "intent" && key != "status" {
+                        return violation(format!("unexpected pair member `{key}`"));
+                    }
+                }
+                Ok(())
+            }
+            FieldKind::List { inner } => match v {
+                Value::List(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        inner.check(&path.child(&i.to_string()), item)?;
+                    }
+                    Ok(())
+                }
+                other => violation(format!("expected list, found {}", other.type_name())),
+            },
+        }
+    }
+
+    /// A reasonable default value for this kind (used to materialize new
+    /// instances of a mock/scene type).
+    pub fn default_value(&self) -> Value {
+        match self {
+            FieldKind::Any => Value::Null,
+            FieldKind::Bool => Value::Bool(false),
+            FieldKind::Int { min, .. } => Value::Int(min.unwrap_or(0)),
+            FieldKind::Float { min, .. } => Value::Float(min.unwrap_or(0.0)),
+            FieldKind::Str => Value::Str(String::new()),
+            FieldKind::Enum { variants } => {
+                Value::Str(variants.first().cloned().unwrap_or_default())
+            }
+            FieldKind::Pair { inner } => {
+                let v = inner.default_value();
+                crate::vmap! { "intent" => v.clone(), "status" => v }
+            }
+            FieldKind::List { .. } => Value::List(Vec::new()),
+        }
+    }
+}
+
+/// Declaration of one top-level model field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    pub kind: FieldKind,
+    /// Required fields must be present for the model to validate.
+    #[serde(default)]
+    pub required: bool,
+    /// Human-oriented description (shown by `dbox check --schema`).
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub doc: String,
+}
+
+/// The schema of a mock/scene type: its name, version, and field specs
+/// (paper §3.2 — "developers first define the schema of its model").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    pub kind: String,
+    pub version: String,
+    pub fields: BTreeMap<String, FieldSpec>,
+    /// Whether unknown top-level fields are allowed (lenient by default:
+    /// real devices often carry vendor extras; strict schemas are used in
+    /// tests).
+    #[serde(default)]
+    pub strict: bool,
+}
+
+impl Schema {
+    pub fn new(kind: &str, version: &str) -> Schema {
+        Schema {
+            kind: kind.to_string(),
+            version: version.to_string(),
+            fields: BTreeMap::new(),
+            strict: false,
+        }
+    }
+
+    /// Add a required field (builder style).
+    pub fn field(mut self, name: &str, kind: FieldKind) -> Schema {
+        self.fields.insert(
+            name.to_string(),
+            FieldSpec { kind, required: true, doc: String::new() },
+        );
+        self
+    }
+
+    /// Add an optional field (builder style).
+    pub fn optional(mut self, name: &str, kind: FieldKind) -> Schema {
+        self.fields.insert(
+            name.to_string(),
+            FieldSpec { kind, required: false, doc: String::new() },
+        );
+        self
+    }
+
+    /// Attach a doc string to the most natural target: the named field.
+    pub fn doc(mut self, name: &str, doc: &str) -> Schema {
+        if let Some(f) = self.fields.get_mut(name) {
+            f.doc = doc.to_string();
+        }
+        self
+    }
+
+    pub fn strict(mut self) -> Schema {
+        self.strict = true;
+        self
+    }
+
+    /// Validate `model` against this schema: kind/version match, required
+    /// fields present, every declared field well-typed, and (in strict
+    /// mode) no undeclared fields.
+    pub fn validate(&self, model: &Model) -> Result<()> {
+        if model.meta.kind != self.kind {
+            return Err(ModelError::SchemaViolation {
+                path: "meta.type".into(),
+                reason: format!("model is {}, schema is {}", model.meta.kind, self.kind),
+            });
+        }
+        let root = model.fields().as_map().expect("model fields are a map");
+        for (name, spec) in &self.fields {
+            match root.get(name) {
+                Some(v) => spec.kind.check(&Path::from_segments([name.clone()]), v)?,
+                None if spec.required => {
+                    return Err(ModelError::SchemaViolation {
+                        path: name.clone(),
+                        reason: "required field missing".into(),
+                    })
+                }
+                None => {}
+            }
+        }
+        if self.strict {
+            for key in root.keys() {
+                if !self.fields.contains_key(key) {
+                    return Err(ModelError::SchemaViolation {
+                        path: key.clone(),
+                        reason: "undeclared field in strict schema".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize a fresh model instance with every declared field set to
+    /// its default value.
+    pub fn instantiate(&self, name: &str) -> Model {
+        let mut fields = Value::map();
+        for (fname, spec) in &self.fields {
+            Path::from_segments([fname.clone()])
+                .set(&mut fields, spec.kind.default_value())
+                .expect("fresh tree accepts all top-level sets");
+        }
+        Model::with_fields(crate::Meta::new(&self.kind, &self.version, name), fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vmap, Meta};
+
+    fn lamp_schema() -> Schema {
+        Schema::new("Lamp", "v1")
+            .field("power", FieldKind::pair(FieldKind::enumeration(["off", "on"])))
+            .field("intensity", FieldKind::pair(FieldKind::float_range(0.0, 1.0)))
+            .optional("label", FieldKind::Str)
+            .doc("power", "lamp power switch")
+            .strict()
+    }
+
+    #[test]
+    fn validates_good_model() {
+        let schema = lamp_schema();
+        let m = schema.instantiate("L1");
+        schema.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn instantiate_defaults() {
+        let m = lamp_schema().instantiate("L1");
+        assert_eq!(m.status(&Path::from("power")).unwrap().as_str(), Some("off"));
+        assert_eq!(m.status(&Path::from("intensity")).unwrap().as_float(), Some(0.0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let schema = lamp_schema();
+        let mut m = schema.instantiate("L1");
+        m.set_status(&Path::from("intensity"), 1.5).unwrap();
+        assert!(schema.validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_enum() {
+        let schema = lamp_schema();
+        let mut m = schema.instantiate("L1");
+        m.set_intent(&Path::from("power"), "dim").unwrap();
+        assert!(schema.validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        let schema = lamp_schema();
+        let m = Model::new(Meta::new("Lamp", "v1", "L1"));
+        assert!(schema.validate(&m).is_err());
+    }
+
+    #[test]
+    fn strict_rejects_undeclared() {
+        let schema = lamp_schema();
+        let mut m = schema.instantiate("L1");
+        m.update(vmap! { "vendor_extra" => 1 }).unwrap();
+        assert!(schema.validate(&m).is_err());
+    }
+
+    #[test]
+    fn lenient_allows_undeclared() {
+        let mut schema = lamp_schema();
+        schema.strict = false;
+        let mut m = schema.instantiate("L1");
+        m.update(vmap! { "vendor_extra" => 1 }).unwrap();
+        schema.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let schema = lamp_schema();
+        let m = Model::new(Meta::new("Fan", "v1", "F1"));
+        assert!(schema.validate(&m).is_err());
+    }
+
+    #[test]
+    fn pair_extra_member_rejected() {
+        let kind = FieldKind::pair(FieldKind::Bool);
+        let v = vmap! { "intent" => true, "status" => false, "bogus" => 1 };
+        assert!(kind.check(&Path::from("p"), &v).is_err());
+    }
+
+    #[test]
+    fn list_kind_checks_elements() {
+        let kind = FieldKind::list(FieldKind::int_range(0, 10));
+        assert!(kind.check(&Path::from("xs"), &Value::from(vec![1i64, 2])).is_ok());
+        assert!(kind.check(&Path::from("xs"), &Value::from(vec![1i64, 99])).is_err());
+    }
+
+    #[test]
+    fn schema_serde_roundtrip() {
+        let schema = lamp_schema();
+        let json = serde_json::to_string(&schema).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(schema, back);
+    }
+}

@@ -1,0 +1,336 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed value in a model tree.
+///
+/// `Value` is the universal currency of Digibox: model fields, MQTT message
+/// payloads, trace records and IaC manifests all carry `Value` trees. Maps
+/// use [`BTreeMap`] so serialization is deterministic — a property the
+/// reproducibility machinery (content hashes, trace diffs) relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    List(Vec<Value>),
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// An empty map value.
+    pub fn map() -> Value {
+        Value::Map(BTreeMap::new())
+    }
+
+    /// The name of this value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to floats.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_map_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when the value is a scalar (not list/map).
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Value::List(_) | Value::Map(_))
+    }
+
+    /// Get a direct child of a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// Deep equality that treats `Int(x)` and `Float(x as f64)` as equal,
+    /// which matters when values round-trip through formats that do not
+    /// preserve the int/float distinction.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.loose_eq(y))
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
+            }
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build a `Value::Map` from `key => value` pairs.
+///
+/// ```
+/// use digibox_model::{vmap, Value};
+/// let v = vmap! { "power" => "on", "level" => 3 };
+/// assert_eq!(v.get("level"), Some(&Value::Int(3)));
+/// ```
+#[macro_export]
+macro_rules! vmap {
+    () => { $crate::Value::map() };
+    ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
+        let mut m = ::std::collections::BTreeMap::new();
+        $( m.insert(::std::string::String::from($k), $crate::Value::from($v)); )+
+        $crate::Value::Map(m)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(42i64).as_int(), Some(42));
+        assert_eq!(Value::from(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(7i64).as_float(), Some(7.0));
+    }
+
+    #[test]
+    fn vmap_builds_sorted_map() {
+        let v = vmap! { "b" => 2, "a" => 1 };
+        let keys: Vec<_> = v.as_map().unwrap().keys().cloned().collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn loose_eq_int_float() {
+        assert!(Value::Int(3).loose_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).loose_eq(&Value::Float(3.5)));
+        let a = vmap! { "x" => 1 };
+        let b = vmap! { "x" => 1.0 };
+        assert!(a.loose_eq(&b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(vmap! {"a" => 1, "b" => "x"}.to_string(), "{a: 1, b: x}");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::map().type_name(), "map");
+        assert!(Value::Null.is_scalar());
+        assert!(!Value::map().is_scalar());
+    }
+}
+
+impl Value {
+    /// Convert from a `serde_json::Value` (numbers become `Int` when they
+    /// are exactly representable as `i64`, otherwise `Float`).
+    pub fn from_json(j: &serde_json::Value) -> Value {
+        match j {
+            serde_json::Value::Null => Value::Null,
+            serde_json::Value::Bool(b) => Value::Bool(*b),
+            serde_json::Value::Number(n) => {
+                if let Some(i) = n.as_i64() {
+                    Value::Int(i)
+                } else {
+                    Value::Float(n.as_f64().unwrap_or(f64::NAN))
+                }
+            }
+            serde_json::Value::String(s) => Value::Str(s.clone()),
+            serde_json::Value::Array(a) => Value::List(a.iter().map(Value::from_json).collect()),
+            serde_json::Value::Object(o) => {
+                Value::Map(o.iter().map(|(k, v)| (k.clone(), Value::from_json(v))).collect())
+            }
+        }
+    }
+
+    /// Convert into a `serde_json::Value`.
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            Value::Null => serde_json::Value::Null,
+            Value::Bool(b) => serde_json::Value::Bool(*b),
+            Value::Int(i) => serde_json::Value::Number((*i).into()),
+            Value::Float(x) => serde_json::Number::from_f64(*x)
+                .map(serde_json::Value::Number)
+                .unwrap_or(serde_json::Value::Null),
+            Value::Str(s) => serde_json::Value::String(s.clone()),
+            Value::List(l) => serde_json::Value::Array(l.iter().map(Value::to_json).collect()),
+            Value::Map(m) => serde_json::Value::Object(
+                m.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod json_interop_tests {
+    use super::*;
+    use crate::vmap as _;
+
+    #[test]
+    fn json_roundtrip() {
+        let v = vmap! {
+            "a" => 1, "b" => 1.5, "c" => true, "d" => "s",
+            "e" => vec![1i64, 2], "f" => Value::Null,
+        };
+        let j = v.to_json();
+        assert_eq!(Value::from_json(&j), v);
+    }
+
+    #[test]
+    fn json_string_parse() {
+        let j: serde_json::Value = serde_json::from_str(r#"{"x": [1, 2.5, "y"]}"#).unwrap();
+        let v = Value::from_json(&j);
+        let xs = v.get("x").unwrap().as_list().unwrap();
+        assert_eq!(xs[0], Value::Int(1));
+        assert_eq!(xs[1], Value::Float(2.5));
+        assert_eq!(xs[2], Value::Str("y".into()));
+    }
+
+    #[test]
+    fn nan_float_becomes_null() {
+        assert_eq!(Value::Float(f64::NAN).to_json(), serde_json::Value::Null);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the model layer's core invariants: arbitrary
+//! value trees survive DML and JSON round-trips, diff/apply converges, and
+//! path operations are consistent.
+
+use proptest::prelude::*;
+
+use digibox_model::{diff, dml, Path, Value};
+
+/// Strategy: DML-representable scalar values.
+///
+/// Floats are drawn from a fixed-point grid (the DML printer renders
+/// decimal; exotic floats like 1e-300 would need scientific-notation
+/// support that DML deliberately omits).
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1_000_000i64..1_000_000, 0u32..4).prop_map(|(mantissa, scale)| {
+            Value::Float(mantissa as f64 / 10f64.powi(scale as i32))
+        }),
+        // strings: printable, no control characters (DML is line-oriented)
+        "[ -~]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+/// Strategy: map keys (non-empty, printable, no '.' so paths stay unambiguous).
+fn key() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_-]{0,12}"
+}
+
+/// Strategy: arbitrary value trees up to depth 3.
+fn value_tree() -> impl Strategy<Value = Value> {
+    scalar().prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            prop::collection::btree_map(key(), inner, 0..6).prop_map(Value::Map),
+        ]
+    })
+}
+
+/// Strategy: a map-rooted tree (models are always maps at the root).
+fn map_tree() -> impl Strategy<Value = Value> {
+    prop::collection::btree_map(key(), value_tree(), 0..6).prop_map(Value::Map)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dml_roundtrip(v in map_tree()) {
+        let text = dml::to_string(&v);
+        let back = dml::parse(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n--- doc ---\n{text}"));
+        // DML does not distinguish Int(k) from Float(k.0) in all positions;
+        // loose equality tolerates exactly that
+        prop_assert!(v.loose_eq(&back), "roundtrip mismatch:\n{v:?}\n{back:?}\n--- doc ---\n{text}");
+    }
+
+    #[test]
+    fn json_roundtrip_exact(v in map_tree()) {
+        let j = v.to_json();
+        let back = Value::from_json(&j);
+        prop_assert!(v.loose_eq(&back));
+    }
+
+    #[test]
+    fn diff_apply_converges(from in map_tree(), to in map_tree()) {
+        let patch = diff(&from, &to);
+        let mut v = from.clone();
+        patch.apply_to_value(&mut v).unwrap();
+        prop_assert_eq!(&v, &to);
+        // and a second diff is empty
+        prop_assert!(diff(&v, &to).is_empty());
+    }
+
+    #[test]
+    fn diff_is_minimal_for_identity(v in map_tree()) {
+        prop_assert!(diff(&v, &v).is_empty());
+    }
+
+    #[test]
+    fn patch_serde_roundtrip(from in map_tree(), to in map_tree()) {
+        let patch = diff(&from, &to);
+        let json = serde_json::to_string(&patch).unwrap();
+        let back: digibox_model::Patch = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(patch, back);
+    }
+
+    #[test]
+    fn path_set_then_get(segments in prop::collection::vec(key(), 1..4), v in scalar()) {
+        let path = Path::from_segments(segments);
+        let mut root = Value::map();
+        path.set(&mut root, v.clone()).unwrap();
+        prop_assert_eq!(path.lookup(&root), Some(&v));
+        // removing it yields the same value and empties the location
+        let removed = path.remove(&mut root).unwrap();
+        prop_assert_eq!(removed, v);
+        prop_assert!(path.lookup(&root).is_none());
+    }
+
+    #[test]
+    fn path_parse_display_roundtrip(segments in prop::collection::vec("[a-z0-9_]{1,8}", 1..5)) {
+        let path = Path::from_segments(segments);
+        let parsed = Path::parse(&path.to_string()).unwrap();
+        prop_assert_eq!(path, parsed);
+    }
+
+    #[test]
+    fn inferred_schema_validates_its_samples(
+        samples in prop::collection::vec(map_tree(), 1..8)
+    ) {
+        let schema = digibox_model::infer_schema("T", "v1", &samples);
+        for (i, s) in samples.iter().enumerate() {
+            let model = digibox_model::Model::with_fields(
+                digibox_model::Meta::new("T", "v1", "probe"),
+                s.clone(),
+            );
+            if let Err(e) = schema.validate(&model) {
+                prop_assert!(false, "sample {i} does not validate: {e}\nsample: {s:?}");
+            }
+        }
+        // and the generated default mock also validates
+        let model = schema.instantiate("generated");
+        prop_assert!(schema.validate(&model).is_ok());
+    }
+
+    #[test]
+    fn leaves_cover_every_scalar(v in map_tree()) {
+        let model = digibox_model::Model::with_fields(
+            digibox_model::Meta::new("T", "v1", "t"),
+            v.clone(),
+        );
+        for (path, leaf) in model.leaves() {
+            prop_assert_eq!(path.lookup(&v), Some(&leaf));
+        }
+    }
+}

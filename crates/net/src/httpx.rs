@@ -1,0 +1,327 @@
+//! An HTTP/1.1-subset codec for the REST device API (paper, Fig. 2:
+//! applications talk to mocks over "REST/MQTT").
+//!
+//! Supports request lines, status lines, headers, and `Content-Length`
+//! bodies — enough to express the device API (`GET /model/<name>`,
+//! `POST /model/<name>/intent`, ...). Chunked encoding, pipelining and
+//! connection management are out of scope: each request/response rides one
+//! reliable transport message.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// HTTP request methods used by the device API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Put,
+    Post,
+    Delete,
+}
+
+impl Method {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Put => "PUT",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "PUT" => Some(Method::Put),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HttpError {
+    Malformed(&'static str),
+    BodyLengthMismatch { declared: usize, actual: usize },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed http message: {what}"),
+            HttpError::BodyLengthMismatch { declared, actual } => {
+                write!(f, "content-length {declared} but body has {actual} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub method: Method,
+    pub path: String,
+    pub headers: BTreeMap<String, String>,
+    pub body: Bytes,
+}
+
+impl Request {
+    pub fn new(method: Method, path: &str) -> Request {
+        Request { method, path: path.to_string(), headers: BTreeMap::new(), body: Bytes::new() }
+    }
+
+    pub fn with_body(mut self, content_type: &str, body: impl Into<Bytes>) -> Request {
+        self.headers.insert("content-type".into(), content_type.into());
+        self.body = body.into();
+        self
+    }
+
+    pub fn header(mut self, key: &str, value: &str) -> Request {
+        self.headers.insert(key.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Split the path into non-empty segments: `/model/L1` → `["model","L1"]`.
+    pub fn path_segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64 + self.body.len());
+        b.put_slice(self.method.as_str().as_bytes());
+        b.put_u8(b' ');
+        b.put_slice(self.path.as_bytes());
+        b.put_slice(b" HTTP/1.1\r\n");
+        encode_headers(&self.headers, self.body.len(), &mut b);
+        b.put_slice(&self.body);
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Request, HttpError> {
+        let (head, body) = split_head(buf)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or(HttpError::Malformed("bad method"))?;
+        let path = parts.next().ok_or(HttpError::Malformed("missing path"))?.to_string();
+        match parts.next() {
+            Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+            _ => return Err(HttpError::Malformed("bad http version")),
+        }
+        let mut headers = decode_headers(lines)?;
+        let body = check_body(&headers, body)?;
+        headers.remove("content-length"); // derived on encode
+        Ok(Request { method, path, headers, body })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Bytes,
+}
+
+impl Response {
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: BTreeMap::new(), body: Bytes::new() }
+    }
+
+    pub fn ok_json(body: impl Into<Bytes>) -> Response {
+        Response::new(200).with_body("application/json", body)
+    }
+
+    pub fn not_found(msg: &str) -> Response {
+        Response::new(404).with_body("text/plain", msg.as_bytes().to_vec())
+    }
+
+    pub fn bad_request(msg: &str) -> Response {
+        Response::new(400).with_body("text/plain", msg.as_bytes().to_vec())
+    }
+
+    pub fn error(msg: &str) -> Response {
+        Response::new(500).with_body("text/plain", msg.as_bytes().to_vec())
+    }
+
+    pub fn with_body(mut self, content_type: &str, body: impl Into<Bytes>) -> Response {
+        self.headers.insert("content-type".into(), content_type.into());
+        self.body = body.into();
+        self
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            409 => "Conflict",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64 + self.body.len());
+        b.put_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).as_bytes());
+        encode_headers(&self.headers, self.body.len(), &mut b);
+        b.put_slice(&self.body);
+        b.freeze()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Response, HttpError> {
+        let (head, body) = split_head(buf)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        match parts.next() {
+            Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+            _ => return Err(HttpError::Malformed("bad http version")),
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(HttpError::Malformed("bad status code"))?;
+        let mut headers = decode_headers(lines)?;
+        let body = check_body(&headers, body)?;
+        headers.remove("content-length"); // derived on encode
+        Ok(Response { status, headers, body })
+    }
+}
+
+fn encode_headers(headers: &BTreeMap<String, String>, body_len: usize, b: &mut BytesMut) {
+    for (k, v) in headers {
+        b.put_slice(k.as_bytes());
+        b.put_slice(b": ");
+        b.put_slice(v.as_bytes());
+        b.put_slice(b"\r\n");
+    }
+    b.put_slice(format!("content-length: {body_len}\r\n\r\n").as_bytes());
+}
+
+fn split_head(buf: &[u8]) -> Result<(&str, &[u8]), HttpError> {
+    let sep = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(HttpError::Malformed("missing head/body separator"))?;
+    let head =
+        std::str::from_utf8(&buf[..sep]).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    Ok((head, &buf[sep + 4..]))
+}
+
+fn decode_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or(HttpError::Malformed("bad header line"))?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+    Ok(headers)
+}
+
+fn check_body(headers: &BTreeMap<String, String>, body: &[u8]) -> Result<Bytes, HttpError> {
+    let declared: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or(HttpError::Malformed("missing content-length"))?;
+    if declared != body.len() {
+        return Err(HttpError::BodyLengthMismatch { declared, actual: body.len() });
+    }
+    Ok(Bytes::copy_from_slice(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Method::Get, "/model/L1").header("x-trace", "abc");
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(back.path_segments(), ["model", "L1"]);
+    }
+
+    #[test]
+    fn request_with_body_roundtrip() {
+        let req = Request::new(Method::Post, "/model/L1/intent")
+            .with_body("application/json", r#"{"power":"on"}"#.as_bytes().to_vec());
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back.body, Bytes::from_static(br#"{"power":"on"}"#));
+        assert_eq!(back.headers["content-type"], "application/json");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok_json(r#"{"ok":true}"#.as_bytes().to_vec());
+        let back = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(resp, back);
+        assert!(back.is_success());
+    }
+
+    #[test]
+    fn error_statuses() {
+        for (resp, code) in [
+            (Response::not_found("x"), 404),
+            (Response::bad_request("x"), 400),
+            (Response::error("x"), 500),
+        ] {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(back.status, code);
+            assert!(!back.is_success());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Request::decode(b"GET /x HTTP/1.1").is_err()); // no separator
+        assert!(Request::decode(b"BREW /x HTTP/1.1\r\ncontent-length: 0\r\n\r\n").is_err());
+        assert!(Request::decode(b"GET /x SPDY/9\r\ncontent-length: 0\r\n\r\n").is_err());
+        assert!(Response::decode(b"HTTP/1.1 abc OK\r\ncontent-length: 0\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = Request::decode(b"GET /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nabc").unwrap_err();
+        assert_eq!(err, HttpError::BodyLengthMismatch { declared: 5, actual: 3 });
+    }
+
+    #[test]
+    fn header_names_case_insensitive() {
+        let back =
+            Request::decode(b"GET /x HTTP/1.1\r\nX-Trace: T\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(back.headers["x-trace"], "T");
+    }
+
+    #[test]
+    fn path_segments_ignore_empties() {
+        let req = Request::new(Method::Get, "//model//L1/");
+        assert_eq!(req.path_segments(), ["model", "L1"]);
+    }
+}

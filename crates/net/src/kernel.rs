@@ -1,0 +1,510 @@
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::stats::NetStats;
+use crate::{Addr, Prng, SimDuration, SimTime, Topology};
+
+/// A message in flight between two service endpoints.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    pub src: Addr,
+    pub dst: Addr,
+    pub payload: Bytes,
+}
+
+/// Opaque timer identity, chosen by the service that sets the timer.
+pub type TimerToken = u64;
+
+/// A simulated process bound to an [`Addr`]: mocks, scenes, brokers, REST
+/// servers and applications all implement `Service`.
+///
+/// Handlers receive `&mut Sim` and may send datagrams or set timers, but
+/// never call other services directly — all interaction is via messages,
+/// which is what keeps the simulation deterministic and lets the same code
+/// run at laptop scale or cluster scale (paper §4).
+pub trait Service {
+    /// Called once when the service is bound.
+    fn on_start(&mut self, _sim: &mut Sim) {}
+    /// A datagram addressed to this service arrived.
+    fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram);
+    /// A timer set via [`Sim::set_timer`] fired.
+    fn on_timer(&mut self, _sim: &mut Sim, _token: TimerToken) {}
+}
+
+/// Shared, inspectable handle to a concrete service (tests and the testbed
+/// keep the typed `Rc` while the kernel holds it as `dyn Service`).
+pub type ServiceHandle<T> = Rc<RefCell<T>>;
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; every per-link/per-service stream splits from it.
+    pub seed: u64,
+    /// Safety valve: `run_*` stops after this many events (0 = unlimited).
+    pub max_events: u64,
+    /// Storm watchdog: flag [`Sim::storm_detected`] when more than this
+    /// many events execute within one virtual millisecond (0 = disabled).
+    /// A storm almost always means a coordination loop that never
+    /// converges (e.g. a scene handler that re-randomizes its writes on
+    /// every run) — the failure mode is "simulation runs forever", and the
+    /// flag turns it into a checkable condition.
+    pub storm_threshold: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0xD161_B0B0, max_events: 0, storm_threshold: 250_000 }
+    }
+}
+
+enum EventKind {
+    Deliver(Datagram),
+    Timer { addr: Addr, token: TimerToken },
+    Call(Box<dyn FnOnce(&mut Sim)>),
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Order events by (time, insertion sequence) — FIFO among simultaneous
+// events, which pins down execution order completely.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event kernel: virtual clock, event queue, topology, bound
+/// services, and network statistics.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    topology: Topology,
+    services: HashMap<Addr, Rc<RefCell<dyn Service>>>,
+    services_per_node: HashMap<crate::NodeId, usize>,
+    link_rng: Prng,
+    root_rng: Prng,
+    stats: NetStats,
+    storm_bucket_ms: u64,
+    storm_count: u64,
+    storm_detected: bool,
+    config: SimConfig,
+}
+
+impl Sim {
+    pub fn new(topology: Topology, config: SimConfig) -> Sim {
+        let root = Prng::new(config.seed);
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            queue: BinaryHeap::new(),
+            topology,
+            services: HashMap::new(),
+            services_per_node: HashMap::new(),
+            link_rng: root.split_str("links"),
+            root_rng: root,
+            stats: NetStats::default(),
+            storm_bucket_ms: 0,
+            storm_count: 0,
+            storm_detected: false,
+            config,
+        }
+    }
+
+    /// True once an event storm was observed (see
+    /// [`SimConfig::storm_threshold`]).
+    pub fn storm_detected(&self) -> bool {
+        self.storm_detected
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Derive a reproducible RNG stream for a named component.
+    pub fn rng_for(&self, label: &str) -> Prng {
+        self.root_rng.split_str(label)
+    }
+
+    /// Bind a service at `addr`. Replaces any previous binding (the old
+    /// service stops receiving). Runs the service's `on_start` hook.
+    pub fn bind<T: Service + 'static>(&mut self, addr: Addr, service: ServiceHandle<T>) {
+        if self.services.insert(addr, service.clone()).is_none() {
+            *self.services_per_node.entry(addr.node).or_insert(0) += 1;
+        }
+        service.borrow_mut().on_start(self);
+    }
+
+    /// Remove the binding at `addr`; in-flight datagrams to it are dropped
+    /// on delivery (counted as unreachable).
+    pub fn unbind(&mut self, addr: Addr) {
+        if self.services.remove(&addr).is_some() {
+            if let Some(n) = self.services_per_node.get_mut(&addr.node) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Number of services currently bound on `node` — the load proxy used
+    /// by load-proportional service-time models (a node crowded with mock
+    /// containers serves each request more slowly, which is what makes the
+    /// paper's 1000-mock deployment slower than the 50-mock one).
+    pub fn node_load(&self, node: crate::NodeId) -> usize {
+        self.services_per_node.get(&node).copied().unwrap_or(0)
+    }
+
+    pub fn is_bound(&self, addr: Addr) -> bool {
+        self.services.contains_key(&addr)
+    }
+
+    /// Send a datagram. Delay and loss come from the topology's link model;
+    /// the datagram is delivered (or dropped) asynchronously.
+    pub fn send(&mut self, src: Addr, dst: Addr, payload: Bytes) {
+        let size = payload.len();
+        let link = self.topology.link(src.node, dst.node).clone();
+        self.stats.sent(size);
+        if link.loss > 0.0 && self.link_rng.chance(link.loss) {
+            self.stats.lost(size);
+            return;
+        }
+        let delay = link.sample_delay(size, &mut self.link_rng);
+        let at = self.now + delay;
+        self.push(at, EventKind::Deliver(Datagram { src, dst, payload }));
+    }
+
+    /// Set a timer for the service at `addr`, firing after `delay` with the
+    /// given token.
+    pub fn set_timer(&mut self, addr: Addr, delay: SimDuration, token: TimerToken) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { addr, token });
+    }
+
+    /// Schedule an arbitrary closure at an absolute virtual time (test
+    /// drivers, workload generators).
+    pub fn call_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Schedule a closure after a relative delay.
+    pub fn call_after(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + 'static) {
+        self.push(self.now + delay, EventKind::Call(Box::new(f)));
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Process one event. Returns `false` when the queue is empty or the
+    /// event budget is exhausted.
+    pub fn step(&mut self) -> bool {
+        if self.config.max_events > 0 && self.events_processed >= self.config.max_events {
+            return false;
+        }
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time must be monotonic");
+        self.now = ev.at;
+        self.events_processed += 1;
+        if self.config.storm_threshold > 0 {
+            let bucket = self.now.as_millis();
+            if bucket == self.storm_bucket_ms {
+                self.storm_count += 1;
+                if self.storm_count > self.config.storm_threshold {
+                    self.storm_detected = true;
+                }
+            } else {
+                self.storm_bucket_ms = bucket;
+                self.storm_count = 1;
+            }
+        }
+        match ev.kind {
+            EventKind::Deliver(dg) => {
+                let service = self.services.get(&dg.dst).cloned();
+                match service {
+                    Some(s) => {
+                        self.stats.delivered(dg.payload.len());
+                        s.borrow_mut().on_datagram(self, dg);
+                    }
+                    None => self.stats.unreachable(dg.payload.len()),
+                }
+            }
+            EventKind::Timer { addr, token } => {
+                if let Some(s) = self.services.get(&addr).cloned() {
+                    s.borrow_mut().on_timer(self, token);
+                }
+            }
+            EventKind::Call(f) => f(self),
+        }
+        true
+    }
+
+    /// Run until the virtual clock reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run for a span of virtual time from now.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Drain the queue completely (or until the event budget runs out).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkSpec, NodeSpec, SimDuration};
+
+    struct Echo {
+        addr: Addr,
+        received: Vec<(SimTime, Vec<u8>)>,
+        echo_to: Option<Addr>,
+        timers: Vec<TimerToken>,
+    }
+
+    impl Echo {
+        fn new(addr: Addr) -> ServiceHandle<Echo> {
+            Rc::new(RefCell::new(Echo { addr, received: Vec::new(), echo_to: None, timers: Vec::new() }))
+        }
+    }
+
+    impl Service for Echo {
+        fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram) {
+            self.received.push((sim.now(), dg.payload.to_vec()));
+            if let Some(to) = self.echo_to {
+                sim.send(self.addr, to, dg.payload);
+            }
+        }
+        fn on_timer(&mut self, _sim: &mut Sim, token: TimerToken) {
+            self.timers.push(token);
+        }
+    }
+
+    fn two_node_sim() -> (Sim, Addr, Addr) {
+        let mut topo = Topology::new();
+        let n0 = topo.add_node(NodeSpec::laptop());
+        let n1 = topo.add_node(NodeSpec::m5_xlarge(0));
+        let sim = Sim::new(topo, SimConfig::default());
+        (sim, Addr::new(n0, 1), Addr::new(n1, 1))
+    }
+
+    #[test]
+    fn delivery_advances_clock_by_link_delay() {
+        let (mut sim, a, b) = two_node_sim();
+        let svc = Echo::new(b);
+        sim.bind(b, svc.clone());
+        sim.send(a, b, Bytes::from_static(b"hi"));
+        sim.run_to_completion();
+        let svc = svc.borrow();
+        assert_eq!(svc.received.len(), 1);
+        let (t, payload) = &svc.received[0];
+        assert_eq!(payload, b"hi");
+        // ec2 link: >= 250us base delay
+        assert!(t.as_micros() >= 250, "delivered at {t}");
+    }
+
+    #[test]
+    fn unbound_destination_counts_unreachable() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.send(a, b, Bytes::from_static(b"x"));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().datagrams_unreachable, 1);
+        assert_eq!(sim.stats().datagrams_delivered, 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.topology_mut().set_link(a.node, b.node, LinkSpec::lossy_wireless(0.5));
+        let svc = Echo::new(b);
+        sim.bind(b, svc.clone());
+        for _ in 0..1000 {
+            sim.send(a, b, Bytes::from_static(b"p"));
+        }
+        sim.run_to_completion();
+        let got = svc.borrow().received.len();
+        assert!((350..650).contains(&got), "delivered {got}/1000 at loss 0.5");
+        assert_eq!(sim.stats().datagrams_lost as usize, 1000 - got);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut sim, _a, b) = two_node_sim();
+        let svc = Echo::new(b);
+        sim.bind(b, svc.clone());
+        sim.set_timer(b, SimDuration::from_millis(20), 2);
+        sim.set_timer(b, SimDuration::from_millis(10), 1);
+        sim.set_timer(b, SimDuration::from_millis(30), 3);
+        sim.run_to_completion();
+        assert_eq!(svc.borrow().timers, vec![1, 2, 3]);
+        assert_eq!(sim.now().as_millis(), 30);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, _a, b) = two_node_sim();
+        let svc = Echo::new(b);
+        sim.bind(b, svc.clone());
+        sim.set_timer(b, SimDuration::from_millis(5), 1);
+        sim.set_timer(b, SimDuration::from_millis(50), 2);
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(svc.borrow().timers, vec![1]);
+        assert_eq!(sim.now().as_millis(), 10);
+        sim.run_to_completion();
+        assert_eq!(svc.borrow().timers, vec![1, 2]);
+    }
+
+    #[test]
+    fn ping_pong_via_echo() {
+        let (mut sim, a, b) = two_node_sim();
+        let sa = Echo::new(a);
+        let sb = Echo::new(b);
+        sb.borrow_mut().echo_to = Some(a);
+        sim.bind(a, sa.clone());
+        sim.bind(b, sb.clone());
+        sim.send(a, b, Bytes::from_static(b"ping"));
+        sim.run_to_completion();
+        assert_eq!(sa.borrow().received.len(), 1);
+        assert_eq!(sa.borrow().received[0].1, b"ping");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (mut sim, a, b) = two_node_sim();
+            let svc = Echo::new(b);
+            sim.bind(b, svc.clone());
+            for _ in 0..100 {
+                sim.send(a, b, Bytes::from_static(b"x"));
+            }
+            sim.run_to_completion();
+            let times: Vec<u64> =
+                svc.borrow().received.iter().map(|(t, _)| t.as_nanos()).collect();
+            times
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn max_events_budget_respected() {
+        let mut topo = Topology::new();
+        let n = topo.add_node(NodeSpec::laptop());
+        let mut sim = Sim::new(topo, SimConfig { max_events: 5, ..Default::default() });
+        let addr = Addr::new(n, 1);
+        let svc = Echo::new(addr);
+        svc.borrow_mut().echo_to = Some(addr); // infinite self-echo loop
+        sim.bind(addr, svc);
+        sim.send(addr, addr, Bytes::from_static(b"loop"));
+        sim.run_to_completion();
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn storm_watchdog_flags_hot_loops() {
+        let mut topo = Topology::new();
+        let n = topo.add_node(NodeSpec::laptop());
+        // zero-latency loopback so the self-echo stays in one millisecond
+        topo.set_loopback(LinkSpec {
+            base_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            bandwidth_bps: 0,
+        });
+        let mut sim = Sim::new(
+            topo,
+            SimConfig { storm_threshold: 10, max_events: 1000, ..Default::default() },
+        );
+        let addr = Addr::new(n, 1);
+        let svc = Echo::new(addr);
+        svc.borrow_mut().echo_to = Some(addr);
+        sim.bind(addr, svc);
+        sim.send(addr, addr, Bytes::from_static(b"hot"));
+        sim.run_to_completion();
+        assert!(sim.storm_detected(), "self-echo loop must trip the watchdog");
+    }
+
+    #[test]
+    fn storm_watchdog_quiet_on_normal_traffic() {
+        let (mut sim, a, b) = two_node_sim();
+        let svc = Echo::new(b);
+        sim.bind(b, svc);
+        for _ in 0..100 {
+            sim.send(a, b, Bytes::from_static(b"x"));
+        }
+        sim.run_to_completion();
+        assert!(!sim.storm_detected());
+    }
+
+    #[test]
+    fn call_at_in_past_is_clamped_to_now() {
+        let (mut sim, _a, b) = two_node_sim();
+        sim.set_timer(b, SimDuration::from_millis(10), 1);
+        sim.run_to_completion();
+        let fired = Rc::new(RefCell::new(None));
+        let fired2 = fired.clone();
+        sim.call_at(SimTime::ZERO, move |s| {
+            *fired2.borrow_mut() = Some(s.now());
+        });
+        sim.run_to_completion();
+        assert_eq!(*fired.borrow(), Some(SimTime::ZERO + SimDuration::from_millis(10)));
+    }
+}

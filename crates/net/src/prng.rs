@@ -1,0 +1,226 @@
+/// A small, fast, *stable* pseudo-random generator (xoshiro256\*\*, seeded
+/// through SplitMix64).
+///
+/// Digibox promises reproducible experiments, so the random streams that
+/// drive event generators and link jitter must be stable across library
+/// versions and platforms — which rules out depending on `rand`'s
+/// unspecified `StdRng` algorithm for anything that lands in a shared trace.
+/// `Prng` is ~60 lines, fully specified, and splittable: [`Prng::split`]
+/// derives an independent child stream, which is how every mock, scene and
+/// link gets its own stream from one testbed seed.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Seed via SplitMix64 (never yields the all-zero state).
+    pub fn new(seed: u64) -> Prng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Prng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Derive an independent child stream, keyed by `label` so siblings
+    /// differ. Deterministic: does not advance `self`.
+    pub fn split(&self, label: u64) -> Prng {
+        // Mix the parent state and the label through SplitMix64 again.
+        let mix = self.s[0] ^ self.s[1].rotate_left(17) ^ self.s[2].rotate_left(31) ^ self.s[3];
+        Prng::new(mix ^ label.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Derive a child stream keyed by a string label (FNV-1a).
+    pub fn split_str(&self, label: &str) -> Prng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.split(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (`lo < hi`). Uses Lemire-style
+    /// widening reduction; slight modulo bias is irrelevant here.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64 requires lo < hi");
+        let span = hi - lo;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "range_i64 requires lo < hi");
+        lo.wrapping_add(self.range_u64(0, (hi - lo) as u64) as i64)
+    }
+
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fair coin (the paper's `random.choice([True, False])`).
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Pick a uniform element from a slice (`None` when empty).
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range_usize(0, items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Exponential sample with the given mean (inter-arrival times).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the pair's twin
+    /// is discarded for simplicity).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_stable() {
+        let parent = Prng::new(7);
+        let mut c1 = parent.split(1);
+        let mut c1_again = parent.split(1);
+        let mut c2 = parent.split(2);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        let mut s1 = parent.split_str("O1");
+        let mut s2 = parent.split_str("O2");
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Prng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = Prng::new(4);
+        for _ in 0..10_000 {
+            let v = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_rate_roughly_correct() {
+        let mut rng = Prng::new(5);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate was {rate}");
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut rng = Prng::new(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = Prng::new(8);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var was {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Prng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choice_on_empty_is_none() {
+        let mut rng = Prng::new(10);
+        assert!(rng.choice::<u8>(&[]).is_none());
+    }
+}

@@ -1,0 +1,304 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Prng, SimDuration};
+
+/// Identifier of a simulated machine (a "node" in the Kubernetes sense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A network address: node + port, the endpoint granularity at which
+/// services (mocks, scenes, brokers, API servers, apps) are bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    pub node: NodeId,
+    pub port: u16,
+}
+
+impl Addr {
+    pub fn new(node: NodeId, port: u16) -> Addr {
+        Addr { node, port }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// Capacity and behaviour of one simulated machine.
+///
+/// The defaults model the paper's two environments: a laptop (Docker
+/// Desktop's single-node Kubernetes on a MacBook Air M1) and `m5.xlarge`
+/// EC2 instances (4 vCPU / 16 GiB).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Human-readable label, e.g. `laptop`, `m5.xlarge-1`.
+    pub label: String,
+    /// Schedulable CPU in millicores (k8s-style).
+    pub cpu_millis: u64,
+    /// Schedulable memory in MiB.
+    pub mem_mib: u64,
+    /// Per-message service overhead for processes on this node (container
+    /// networking + protocol handling), applied by services that opt in.
+    pub service_overhead: SimDuration,
+}
+
+impl NodeSpec {
+    /// A MacBook-class laptop running Docker Desktop Kubernetes: 8 cores,
+    /// 16 GiB, and a noticeable per-request overhead from the Docker VM's
+    /// network path (the paper observes up to ~20 ms at 50 mocks).
+    pub fn laptop() -> NodeSpec {
+        NodeSpec {
+            label: "laptop".into(),
+            cpu_millis: 8_000,
+            mem_mib: 16_384,
+            // Docker Desktop VM network path + kube-proxy + Python handler
+            service_overhead: SimDuration::from_millis(4),
+        }
+    }
+
+    /// An `m5.xlarge` EC2 instance: 4 vCPU, 16 GiB, lighter per-request
+    /// overhead (no Docker Desktop VM hop) but real network RTTs.
+    pub fn m5_xlarge(index: u32) -> NodeSpec {
+        NodeSpec {
+            label: format!("m5.xlarge-{index}"),
+            cpu_millis: 4_000,
+            mem_mib: 16_384,
+            // no VM hop, but kube networking + handler remain
+            service_overhead: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Latency/jitter/loss/bandwidth model of one directed link class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Fixed propagation + switching delay.
+    pub base_delay: SimDuration,
+    /// Uniform jitter added on top: `U(0, jitter)`.
+    pub jitter: SimDuration,
+    /// Probability that a datagram is silently dropped.
+    pub loss: f64,
+    /// Serialization rate in bytes per second (0 = infinite).
+    pub bandwidth_bps: u64,
+}
+
+impl LinkSpec {
+    /// In-process loopback: ~25 µs one-way with small jitter, lossless.
+    pub fn loopback() -> LinkSpec {
+        LinkSpec {
+            base_delay: SimDuration::from_micros(25),
+            jitter: SimDuration::from_micros(10),
+            loss: 0.0,
+            bandwidth_bps: 0,
+        }
+    }
+
+    /// Same-VPC EC2 link: ~250 µs one-way, mild jitter, effectively
+    /// lossless, 1.25 GB/s (10 Gbit).
+    pub fn ec2_same_vpc() -> LinkSpec {
+        LinkSpec {
+            base_delay: SimDuration::from_micros(250),
+            jitter: SimDuration::from_micros(100),
+            loss: 0.0,
+            bandwidth_bps: 1_250_000_000,
+        }
+    }
+
+    /// Client→cloud WAN link (developer laptop to EC2): ~15 ms one-way.
+    pub fn wan() -> LinkSpec {
+        LinkSpec {
+            base_delay: SimDuration::from_millis(15),
+            jitter: SimDuration::from_millis(3),
+            loss: 0.0,
+            bandwidth_bps: 125_000_000,
+        }
+    }
+
+    /// A deliberately unreliable wireless-ish link for fault-injection
+    /// tests (paper §6: "network connectivity between devices").
+    pub fn lossy_wireless(loss: f64) -> LinkSpec {
+        LinkSpec {
+            base_delay: SimDuration::from_millis(2),
+            jitter: SimDuration::from_millis(4),
+            loss,
+            bandwidth_bps: 6_250_000,
+        }
+    }
+
+    /// Sample the one-way delay for a datagram of `bytes` bytes.
+    pub fn sample_delay(&self, bytes: usize, rng: &mut Prng) -> SimDuration {
+        let mut d = self.base_delay;
+        if self.jitter > SimDuration::ZERO {
+            d = d + SimDuration::from_nanos(rng.range_u64(0, self.jitter.as_nanos().max(1)));
+        }
+        if self.bandwidth_bps > 0 {
+            d = d + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps as f64);
+        }
+        d
+    }
+}
+
+/// The simulated cluster: nodes plus the link model between them.
+///
+/// Links are looked up most-specific-first: an explicit `(from, to)` pair,
+/// then the node-local loopback (when `from == to`), then the default
+/// inter-node link.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: BTreeMap<NodeId, NodeSpec>,
+    links: BTreeMap<(NodeId, NodeId), LinkSpec>,
+    loopback: LinkSpec,
+    default_link: LinkSpec,
+    next_node: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::new()
+    }
+}
+
+impl Topology {
+    pub fn new() -> Topology {
+        Topology {
+            nodes: BTreeMap::new(),
+            links: BTreeMap::new(),
+            loopback: LinkSpec::loopback(),
+            default_link: LinkSpec::ec2_same_vpc(),
+            next_node: 0,
+        }
+    }
+
+    /// Single laptop node — the paper's local environment.
+    pub fn single_laptop() -> Topology {
+        let mut t = Topology::new();
+        t.add_node(NodeSpec::laptop());
+        t
+    }
+
+    /// `n` EC2 instances in one VPC — the paper's cloud environment.
+    pub fn ec2_cluster(n: u32) -> Topology {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(NodeSpec::m5_xlarge(i));
+        }
+        t
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(id, spec);
+        id
+    }
+
+    pub fn node(&self, id: NodeId) -> Option<&NodeSpec> {
+        self.nodes.get(&id)
+    }
+
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Override the link class for a specific directed pair.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.links.insert((from, to), spec);
+    }
+
+    /// Override the loopback model (same-node messages).
+    pub fn set_loopback(&mut self, spec: LinkSpec) {
+        self.loopback = spec;
+    }
+
+    /// Override the default inter-node link model.
+    pub fn set_default_link(&mut self, spec: LinkSpec) {
+        self.default_link = spec;
+    }
+
+    /// Resolve the link class used from `from` to `to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> &LinkSpec {
+        if let Some(l) = self.links.get(&(from, to)) {
+            return l;
+        }
+        if from == to {
+            &self.loopback
+        } else {
+            &self.default_link
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_are_sequential() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::laptop());
+        let b = t.add_node(NodeSpec::m5_xlarge(0));
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn link_resolution_precedence() {
+        let mut t = Topology::ec2_cluster(2);
+        let ids = t.node_ids();
+        // default inter-node
+        assert_eq!(t.link(ids[0], ids[1]), &LinkSpec::ec2_same_vpc());
+        // loopback
+        assert_eq!(t.link(ids[0], ids[0]), &LinkSpec::loopback());
+        // explicit override wins
+        t.set_link(ids[0], ids[1], LinkSpec::wan());
+        assert_eq!(t.link(ids[0], ids[1]), &LinkSpec::wan());
+        // but only in that direction
+        assert_eq!(t.link(ids[1], ids[0]), &LinkSpec::ec2_same_vpc());
+    }
+
+    #[test]
+    fn delay_sampling_includes_serialization() {
+        let mut rng = Prng::new(1);
+        let link = LinkSpec {
+            base_delay: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            bandwidth_bps: 1_000_000, // 1 MB/s
+        };
+        // 1000 bytes at 1 MB/s = 1 ms serialization + 1 ms base
+        let d = link.sample_delay(1000, &mut rng);
+        assert_eq!(d.as_millis(), 2);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut rng = Prng::new(2);
+        let link = LinkSpec::loopback();
+        for _ in 0..1000 {
+            let d = link.sample_delay(100, &mut rng);
+            assert!(d >= link.base_delay);
+            assert!(d <= link.base_delay + link.jitter);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The control plane: desired pods → scheduled, started, restarted pods.
+//!
+//! `ControlPlane` is deliberately *pure with respect to time*: `reconcile`
+//! makes decisions and returns [`PodAction`]s with relative delays; the
+//! testbed applies them on the simulation kernel and reports back via
+//! `mark_running` / `report_exit`. This keeps the orchestrator unit-testable
+//! without a kernel and mirrors the controller/apiserver split in
+//! Kubernetes.
+
+use std::collections::BTreeMap;
+
+use digibox_model::Value;
+use digibox_net::{NodeId, NodeSpec, Prng, SimDuration};
+
+use crate::object::{ObjectStore, StoreError};
+use crate::pod::{PodPhase, PodSpec, RestartPolicy};
+use crate::scheduler::{ScheduleError, Scheduler};
+
+/// Startup/behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneConfig {
+    /// Container cold-start delay: base + U(0, jitter). Defaults model a
+    /// warm-image `docker run` (the paper's mocks are tiny Python images).
+    pub startup_base: SimDuration,
+    pub startup_jitter: SimDuration,
+    /// Delay before a crashed pod restarts (k8s backoff start point).
+    pub restart_delay: SimDuration,
+    /// RNG seed for startup jitter.
+    pub seed: u64,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            startup_base: SimDuration::from_millis(150),
+            startup_jitter: SimDuration::from_millis(250),
+            restart_delay: SimDuration::from_millis(500),
+            seed: 0xC0_FFEE,
+        }
+    }
+}
+
+/// An instruction to the testbed runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PodAction {
+    /// Start the pod's process on `node` after `delay` (container start).
+    Start { pod: String, image: String, node: NodeId, delay: SimDuration },
+    /// Stop the pod's process now (delete or eviction).
+    Stop { pod: String, node: NodeId },
+    /// The pod cannot be placed; surfaced so tests/CLI can report it.
+    MarkUnschedulable { pod: String },
+}
+
+#[derive(Debug, Clone)]
+struct PodRecord {
+    spec: PodSpec,
+    phase: PodPhase,
+    restarts: u32,
+}
+
+/// The control plane.
+pub struct ControlPlane {
+    store: ObjectStore,
+    scheduler: Scheduler,
+    pods: BTreeMap<String, PodRecord>,
+    rng: Prng,
+    config: ControlPlaneConfig,
+}
+
+impl ControlPlane {
+    pub fn new(nodes: &[(NodeId, NodeSpec)], config: ControlPlaneConfig) -> ControlPlane {
+        let mut scheduler = Scheduler::new();
+        let mut store = ObjectStore::new();
+        for (id, spec) in nodes {
+            scheduler.add_node(*id, spec.clone());
+            let spec_val = Value::from_json(
+                &serde_json::to_value(spec).expect("node spec serializes"),
+            );
+            store
+                .create("Node", &spec.label, spec_val)
+                .expect("node labels are unique");
+        }
+        let rng = Prng::new(config.seed).split_str("control-plane");
+        ControlPlane { store, scheduler, pods: BTreeMap::new(), rng, config }
+    }
+
+    /// The backing object store (pods and nodes are visible here, which is
+    /// what `dbox check` inspects for runtime state).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    pub fn phase(&self, pod: &str) -> Option<PodPhase> {
+        self.pods.get(pod).map(|p| p.phase)
+    }
+
+    pub fn running_count(&self) -> usize {
+        self.pods.values().filter(|p| p.phase.is_running()).count()
+    }
+
+    pub fn pod_names(&self) -> Vec<String> {
+        self.pods.keys().cloned().collect()
+    }
+
+    /// Declare a pod (desired state). It becomes `Pending` until the next
+    /// `reconcile`.
+    pub fn create_pod(&mut self, spec: PodSpec) -> Result<(), StoreError> {
+        let spec_val = Value::from_json(&serde_json::to_value(&spec).expect("pod spec serializes"));
+        self.store.create("Pod", &spec.name, spec_val)?;
+        self.store.modify("Pod", &spec.name, |_, status| {
+            *status = digibox_model::vmap! { "phase" => "Pending" };
+        })?;
+        self.pods.insert(
+            spec.name.clone(),
+            PodRecord { spec, phase: PodPhase::Pending, restarts: 0 },
+        );
+        Ok(())
+    }
+
+    /// Remove a pod (desired deletion). Returns the stop action when it was
+    /// placed.
+    pub fn delete_pod(&mut self, name: &str) -> Result<Vec<PodAction>, StoreError> {
+        let record = self.pods.remove(name).ok_or_else(|| StoreError::NotFound {
+            kind: "Pod".into(),
+            name: name.into(),
+        })?;
+        self.store.delete("Pod", name)?;
+        let mut actions = Vec::new();
+        if let Some(node) = record.phase.node() {
+            self.scheduler.unplace(node, &record.spec);
+            actions.push(PodAction::Stop { pod: name.to_string(), node });
+        }
+        Ok(actions)
+    }
+
+    /// One reconcile pass: place every `Pending` pod, emit start actions.
+    pub fn reconcile(&mut self) -> Vec<PodAction> {
+        let mut actions = Vec::new();
+        let pending: Vec<String> = self
+            .pods
+            .iter()
+            .filter(|(_, p)| matches!(p.phase, PodPhase::Pending))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in pending {
+            let record = self.pods.get(&name).expect("pod exists");
+            match self.scheduler.place(&record.spec) {
+                Ok(node) => {
+                    let delay = self.config.startup_base
+                        + SimDuration::from_nanos(
+                            self.rng
+                                .range_u64(0, self.config.startup_jitter.as_nanos().max(1)),
+                        );
+                    let record = self.pods.get_mut(&name).expect("pod exists");
+                    record.phase = PodPhase::Starting { node };
+                    let image = record.spec.image.clone();
+                    self.set_status_phase(&name, &format!("Starting on {node}"));
+                    actions.push(PodAction::Start { pod: name, image, node, delay });
+                }
+                Err(ScheduleError::Unschedulable { .. }) | Err(ScheduleError::UnknownNode(_)) => {
+                    let record = self.pods.get_mut(&name).expect("pod exists");
+                    record.phase = PodPhase::Unschedulable;
+                    self.set_status_phase(&name, "Unschedulable");
+                    actions.push(PodAction::MarkUnschedulable { pod: name });
+                }
+            }
+        }
+        actions
+    }
+
+    /// The testbed reports the container finished starting.
+    pub fn mark_running(&mut self, name: &str) {
+        if let Some(record) = self.pods.get_mut(name) {
+            if let PodPhase::Starting { node } = record.phase {
+                record.phase = PodPhase::Running { node };
+                self.set_status_phase(name, "Running");
+            }
+        }
+    }
+
+    /// The testbed reports the pod's process exited (crash or node fault).
+    /// Returns follow-up actions (restart after delay, per policy).
+    pub fn report_exit(&mut self, name: &str) -> Vec<PodAction> {
+        let Some(record) = self.pods.get_mut(name) else {
+            return Vec::new();
+        };
+        let Some(node) = record.phase.node() else {
+            return Vec::new();
+        };
+        let spec = record.spec.clone();
+        self.scheduler.unplace(node, &spec);
+        match record.spec.restart {
+            RestartPolicy::Always => {
+                record.restarts += 1;
+                record.phase = PodPhase::Pending;
+                self.set_status_phase(name, "Pending (restarting)");
+                // Re-placement happens on the next reconcile; the caller
+                // should reconcile after `restart_delay`.
+                Vec::new()
+            }
+            RestartPolicy::Never => {
+                let restarts = record.restarts;
+                record.phase = PodPhase::Terminated { restarts };
+                self.set_status_phase(name, "Terminated");
+                Vec::new()
+            }
+        }
+    }
+
+    /// Drain a failed node: every pod on it exits (and restarts elsewhere
+    /// per policy). Returns the names of affected pods.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<String> {
+        let affected: Vec<String> = self
+            .pods
+            .iter()
+            .filter(|(_, p)| p.phase.node() == Some(node))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let _ = self.scheduler.cordon(node, true);
+        for name in &affected {
+            self.report_exit(name);
+        }
+        affected
+    }
+
+    /// Restore a failed node.
+    pub fn restore_node(&mut self, node: NodeId) {
+        let _ = self.scheduler.cordon(node, false);
+    }
+
+    pub fn restart_delay(&self) -> SimDuration {
+        self.config.restart_delay
+    }
+
+    fn set_status_phase(&mut self, pod: &str, phase: &str) {
+        let _ = self.store.modify("Pod", pod, |_, status| {
+            *status = digibox_model::vmap! { "phase" => phase };
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(n_nodes: u32) -> ControlPlane {
+        let nodes: Vec<(NodeId, NodeSpec)> =
+            (0..n_nodes).map(|i| (NodeId(i), NodeSpec::m5_xlarge(i))).collect();
+        ControlPlane::new(&nodes, ControlPlaneConfig::default())
+    }
+
+    #[test]
+    fn create_reconcile_start_run() {
+        let mut cp = plane(1);
+        cp.create_pod(PodSpec::mock("digi-lamp-L1", "mock/Lamp:v1")).unwrap();
+        assert_eq!(cp.phase("digi-lamp-L1"), Some(PodPhase::Pending));
+        let actions = cp.reconcile();
+        assert_eq!(actions.len(), 1);
+        let PodAction::Start { pod, node, delay, .. } = &actions[0] else {
+            panic!("expected start action");
+        };
+        assert_eq!(pod, "digi-lamp-L1");
+        assert!(delay.as_millis() >= 150);
+        assert_eq!(cp.phase(pod), Some(PodPhase::Starting { node: *node }));
+        cp.mark_running(pod);
+        assert!(cp.phase(pod).unwrap().is_running());
+        assert_eq!(cp.running_count(), 1);
+        // store reflects the phase
+        let status = &cp.store().get("Pod", pod).unwrap().status;
+        assert_eq!(status.get("phase").unwrap().as_str(), Some("Running"));
+    }
+
+    #[test]
+    fn duplicate_pod_rejected() {
+        let mut cp = plane(1);
+        cp.create_pod(PodSpec::mock("a", "img")).unwrap();
+        assert!(matches!(
+            cp.create_pod(PodSpec::mock("a", "img")),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn unschedulable_when_full() {
+        let mut cp = plane(1);
+        // m5.xlarge = 4000 millis; 5 per mock → 800 fit
+        for i in 0..801 {
+            cp.create_pod(PodSpec::mock(&format!("p{i}"), "img")).unwrap();
+        }
+        let actions = cp.reconcile();
+        let unsched: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, PodAction::MarkUnschedulable { .. }))
+            .collect();
+        assert_eq!(unsched.len(), 1);
+        let starts = actions.iter().filter(|a| matches!(a, PodAction::Start { .. })).count();
+        assert_eq!(starts, 800);
+    }
+
+    #[test]
+    fn delete_emits_stop_and_frees_capacity() {
+        let mut cp = plane(1);
+        cp.create_pod(PodSpec::mock("a", "img")).unwrap();
+        cp.reconcile();
+        cp.mark_running("a");
+        let actions = cp.delete_pod("a").unwrap();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], PodAction::Stop { .. }));
+        assert_eq!(cp.scheduler().total_pods(), 0);
+        assert!(cp.store().get("Pod", "a").is_none());
+    }
+
+    #[test]
+    fn crash_restarts_with_always_policy() {
+        let mut cp = plane(1);
+        cp.create_pod(PodSpec::mock("a", "img")).unwrap();
+        cp.reconcile();
+        cp.mark_running("a");
+        cp.report_exit("a");
+        assert_eq!(cp.phase("a"), Some(PodPhase::Pending));
+        let actions = cp.reconcile();
+        assert!(matches!(actions[0], PodAction::Start { .. }));
+    }
+
+    #[test]
+    fn crash_terminates_with_never_policy() {
+        let mut cp = plane(1);
+        let mut spec = PodSpec::mock("job", "img");
+        spec.restart = RestartPolicy::Never;
+        cp.create_pod(spec).unwrap();
+        cp.reconcile();
+        cp.mark_running("job");
+        cp.report_exit("job");
+        assert_eq!(cp.phase("job"), Some(PodPhase::Terminated { restarts: 0 }));
+        assert!(cp.reconcile().is_empty());
+    }
+
+    #[test]
+    fn node_failure_reschedules_to_survivor() {
+        let mut cp = plane(2);
+        for i in 0..10 {
+            cp.create_pod(PodSpec::mock(&format!("p{i}"), "img")).unwrap();
+        }
+        for a in cp.reconcile() {
+            if let PodAction::Start { pod, .. } = a {
+                cp.mark_running(&pod);
+            }
+        }
+        let victim = NodeId(0);
+        let affected = cp.fail_node(victim);
+        assert_eq!(affected.len(), 5, "spread placement put half on each node");
+        let actions = cp.reconcile();
+        for a in &actions {
+            if let PodAction::Start { node, .. } = a {
+                assert_eq!(*node, NodeId(1), "rescheduled off the failed node");
+            }
+        }
+        assert_eq!(
+            actions.iter().filter(|a| matches!(a, PodAction::Start { .. })).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn startup_delays_are_deterministic_per_seed() {
+        let delays = |seed| {
+            let mut cp = ControlPlane::new(
+                &[(NodeId(0), NodeSpec::laptop())],
+                ControlPlaneConfig { seed, ..Default::default() },
+            );
+            for i in 0..5 {
+                cp.create_pod(PodSpec::mock(&format!("p{i}"), "img")).unwrap();
+            }
+            cp.reconcile()
+                .into_iter()
+                .filter_map(|a| match a {
+                    PodAction::Start { delay, .. } => Some(delay.as_nanos()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(delays(1), delays(1));
+        assert_ne!(delays(1), delays(2));
+    }
+}

@@ -1,0 +1,309 @@
+//! The object store: the API-server analogue.
+//!
+//! Objects are `(kind, name)`-addressed [`Value`] documents with a
+//! monotonically increasing per-object resource version. Writers use
+//! compare-and-swap on the version (optimistic concurrency, exactly like
+//! the Kubernetes API); readers either get snapshots or follow an ordered
+//! watch stream from any cursor.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use digibox_model::Value;
+
+/// One stored object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredObject {
+    pub kind: String,
+    pub name: String,
+    /// Unique for the lifetime of the store, survives spec updates, changes
+    /// on delete + recreate.
+    pub uid: u64,
+    /// Bumped on every mutation.
+    pub resource_version: u64,
+    pub spec: Value,
+    pub status: Value,
+}
+
+/// Store errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    AlreadyExists { kind: String, name: String },
+    NotFound { kind: String, name: String },
+    /// CAS failure: the caller's base version is stale.
+    Conflict { kind: String, name: String, expected: u64, actual: u64 },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::AlreadyExists { kind, name } => write!(f, "{kind}/{name} already exists"),
+            StoreError::NotFound { kind, name } => write!(f, "{kind}/{name} not found"),
+            StoreError::Conflict { kind, name, expected, actual } => {
+                write!(f, "conflict on {kind}/{name}: version {expected} is stale (now {actual})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A watch stream entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchEvent {
+    Added(StoredObject),
+    Modified(StoredObject),
+    Deleted(StoredObject),
+}
+
+impl WatchEvent {
+    pub fn object(&self) -> &StoredObject {
+        match self {
+            WatchEvent::Added(o) | WatchEvent::Modified(o) | WatchEvent::Deleted(o) => o,
+        }
+    }
+}
+
+/// An opaque position in the watch log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatchCursor(usize);
+
+/// The object store.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<(String, String), StoredObject>,
+    log: Vec<WatchEvent>,
+    next_uid: u64,
+}
+
+impl ObjectStore {
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Create an object; fails when `(kind, name)` exists.
+    pub fn create(&mut self, kind: &str, name: &str, spec: Value) -> Result<StoredObject, StoreError> {
+        let key = (kind.to_string(), name.to_string());
+        if self.objects.contains_key(&key) {
+            return Err(StoreError::AlreadyExists { kind: kind.into(), name: name.into() });
+        }
+        self.next_uid += 1;
+        let obj = StoredObject {
+            kind: kind.into(),
+            name: name.into(),
+            uid: self.next_uid,
+            resource_version: 1,
+            spec,
+            status: Value::map(),
+        };
+        self.objects.insert(key, obj.clone());
+        self.log.push(WatchEvent::Added(obj.clone()));
+        Ok(obj)
+    }
+
+    pub fn get(&self, kind: &str, name: &str) -> Option<&StoredObject> {
+        self.objects.get(&(kind.to_string(), name.to_string()))
+    }
+
+    /// All objects of one kind, name-ordered.
+    pub fn list(&self, kind: &str) -> Vec<&StoredObject> {
+        self.objects.values().filter(|o| o.kind == kind).collect()
+    }
+
+    /// Replace spec and/or status via compare-and-swap on
+    /// `base_resource_version`.
+    pub fn update(
+        &mut self,
+        kind: &str,
+        name: &str,
+        base_resource_version: u64,
+        spec: Option<Value>,
+        status: Option<Value>,
+    ) -> Result<StoredObject, StoreError> {
+        let key = (kind.to_string(), name.to_string());
+        let obj = self
+            .objects
+            .get_mut(&key)
+            .ok_or_else(|| StoreError::NotFound { kind: kind.into(), name: name.into() })?;
+        if obj.resource_version != base_resource_version {
+            return Err(StoreError::Conflict {
+                kind: kind.into(),
+                name: name.into(),
+                expected: base_resource_version,
+                actual: obj.resource_version,
+            });
+        }
+        if let Some(s) = spec {
+            obj.spec = s;
+        }
+        if let Some(s) = status {
+            obj.status = s;
+        }
+        obj.resource_version += 1;
+        let snapshot = obj.clone();
+        self.log.push(WatchEvent::Modified(snapshot.clone()));
+        Ok(snapshot)
+    }
+
+    /// Unconditional read-modify-write (retrying CAS internally); `f` may
+    /// mutate spec and status.
+    pub fn modify(
+        &mut self,
+        kind: &str,
+        name: &str,
+        f: impl FnOnce(&mut Value, &mut Value),
+    ) -> Result<StoredObject, StoreError> {
+        let key = (kind.to_string(), name.to_string());
+        let obj = self
+            .objects
+            .get_mut(&key)
+            .ok_or_else(|| StoreError::NotFound { kind: kind.into(), name: name.into() })?;
+        f(&mut obj.spec, &mut obj.status);
+        obj.resource_version += 1;
+        let snapshot = obj.clone();
+        self.log.push(WatchEvent::Modified(snapshot.clone()));
+        Ok(snapshot)
+    }
+
+    pub fn delete(&mut self, kind: &str, name: &str) -> Result<StoredObject, StoreError> {
+        let key = (kind.to_string(), name.to_string());
+        let obj = self
+            .objects
+            .remove(&key)
+            .ok_or_else(|| StoreError::NotFound { kind: kind.into(), name: name.into() })?;
+        self.log.push(WatchEvent::Deleted(obj.clone()));
+        Ok(obj)
+    }
+
+    /// A cursor at the current end of the watch log (only future events).
+    pub fn watch_from_now(&self) -> WatchCursor {
+        WatchCursor(self.log.len())
+    }
+
+    /// A cursor at the start of the log (replays everything).
+    pub fn watch_from_start(&self) -> WatchCursor {
+        WatchCursor(0)
+    }
+
+    /// Events since the cursor (optionally filtered by kind), advancing it.
+    pub fn poll_watch(&self, cursor: &mut WatchCursor, kind: Option<&str>) -> Vec<WatchEvent> {
+        let events: Vec<WatchEvent> = self.log[cursor.0..]
+            .iter()
+            .filter(|e| kind.is_none_or(|k| e.object().kind == k))
+            .cloned()
+            .collect();
+        cursor.0 = self.log.len();
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::vmap;
+
+    #[test]
+    fn create_get_list() {
+        let mut s = ObjectStore::new();
+        s.create("Pod", "a", vmap! { "image" => "mock/lamp" }).unwrap();
+        s.create("Pod", "b", Value::map()).unwrap();
+        s.create("Node", "n0", Value::map()).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.list("Pod").len(), 2);
+        assert_eq!(s.get("Pod", "a").unwrap().spec.get("image").unwrap().as_str(), Some("mock/lamp"));
+        assert!(matches!(
+            s.create("Pod", "a", Value::map()),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn cas_update_detects_conflict() {
+        let mut s = ObjectStore::new();
+        let o = s.create("Pod", "a", Value::map()).unwrap();
+        let updated = s.update("Pod", "a", o.resource_version, Some(vmap! { "x" => 1 }), None).unwrap();
+        assert_eq!(updated.resource_version, 2);
+        // stale write
+        let err = s.update("Pod", "a", o.resource_version, Some(vmap! { "x" => 2 }), None).unwrap_err();
+        assert!(matches!(err, StoreError::Conflict { expected: 1, actual: 2, .. }));
+        // object unchanged by failed CAS
+        assert_eq!(s.get("Pod", "a").unwrap().spec, vmap! { "x" => 1 });
+    }
+
+    #[test]
+    fn modify_bumps_version() {
+        let mut s = ObjectStore::new();
+        s.create("Pod", "a", vmap! { "n" => 1 }).unwrap();
+        s.modify("Pod", "a", |spec, status| {
+            *spec = vmap! { "n" => 2 };
+            *status = vmap! { "phase" => "Running" };
+        })
+        .unwrap();
+        let o = s.get("Pod", "a").unwrap();
+        assert_eq!(o.resource_version, 2);
+        assert_eq!(o.status.get("phase").unwrap().as_str(), Some("Running"));
+    }
+
+    #[test]
+    fn uid_changes_on_recreate() {
+        let mut s = ObjectStore::new();
+        let first = s.create("Pod", "a", Value::map()).unwrap();
+        s.delete("Pod", "a").unwrap();
+        let second = s.create("Pod", "a", Value::map()).unwrap();
+        assert_ne!(first.uid, second.uid);
+    }
+
+    #[test]
+    fn watch_replays_and_follows() {
+        let mut s = ObjectStore::new();
+        s.create("Pod", "a", Value::map()).unwrap();
+        let mut from_start = s.watch_from_start();
+        let mut from_now = s.watch_from_now();
+        s.modify("Pod", "a", |_, _| {}).unwrap();
+        s.delete("Pod", "a").unwrap();
+
+        let all = s.poll_watch(&mut from_start, None);
+        assert_eq!(all.len(), 3);
+        assert!(matches!(all[0], WatchEvent::Added(_)));
+        assert!(matches!(all[1], WatchEvent::Modified(_)));
+        assert!(matches!(all[2], WatchEvent::Deleted(_)));
+
+        let new_only = s.poll_watch(&mut from_now, None);
+        assert_eq!(new_only.len(), 2, "cursor from now sees only later events");
+
+        // cursor is advanced: polling again yields nothing
+        assert!(s.poll_watch(&mut from_start, None).is_empty());
+    }
+
+    #[test]
+    fn watch_kind_filter() {
+        let mut s = ObjectStore::new();
+        let mut cur = s.watch_from_start();
+        s.create("Pod", "a", Value::map()).unwrap();
+        s.create("Node", "n", Value::map()).unwrap();
+        let pods = s.poll_watch(&mut cur, Some("Pod"));
+        assert_eq!(pods.len(), 1);
+        assert_eq!(pods[0].object().kind, "Pod");
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let mut s = ObjectStore::new();
+        assert!(matches!(s.delete("Pod", "x"), Err(StoreError::NotFound { .. })));
+        assert!(matches!(
+            s.update("Pod", "x", 1, None, None),
+            Err(StoreError::NotFound { .. })
+        ));
+        assert!(matches!(s.modify("Pod", "x", |_, _| {}), Err(StoreError::NotFound { .. })));
+    }
+}

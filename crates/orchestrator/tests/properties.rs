@@ -1,0 +1,140 @@
+//! Property-based tests on the control plane: arbitrary interleavings of
+//! create/reconcile/run/crash/delete/node-failure never violate the
+//! scheduler's accounting invariants.
+
+use proptest::prelude::*;
+
+use digibox_net::{NodeId, NodeSpec, SimDuration};
+use digibox_orchestrator::{ControlPlane, ControlPlaneConfig, PodAction, PodPhase, PodSpec};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Reconcile,
+    MarkRunning(u8),
+    Crash(u8),
+    Delete(u8),
+    FailNode(u8),
+    RestoreNode(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..40).prop_map(Op::Create),
+        Just(Op::Reconcile),
+        (0u8..40).prop_map(Op::MarkRunning),
+        (0u8..40).prop_map(Op::Crash),
+        (0u8..40).prop_map(Op::Delete),
+        (0u8..3).prop_map(Op::FailNode),
+        (0u8..3).prop_map(Op::RestoreNode),
+    ]
+}
+
+fn node_spec(i: u32) -> NodeSpec {
+    NodeSpec {
+        label: format!("n{i}"),
+        cpu_millis: 100, // 20 mocks fit per node
+        mem_mib: 10_000,
+        service_overhead: SimDuration::ZERO,
+    }
+}
+
+fn check_invariants(cp: &ControlPlane) {
+    let mut per_node_pods = std::collections::BTreeMap::new();
+    for name in cp.pod_names() {
+        if let Some(phase) = cp.phase(&name) {
+            if let Some(node) = phase.node() {
+                *per_node_pods.entry(node).or_insert(0u32) += 1;
+            }
+            // store agrees that the pod exists
+            assert!(
+                cp.store().get("Pod", &name).is_some(),
+                "pod {name} tracked but not in the store"
+            );
+        }
+    }
+    for (id, alloc) in cp.scheduler().nodes() {
+        // never over capacity
+        assert!(
+            alloc.cpu_allocated <= alloc.spec.cpu_millis,
+            "{id}: cpu over-allocated ({}/{})",
+            alloc.cpu_allocated,
+            alloc.spec.cpu_millis
+        );
+        assert!(alloc.mem_allocated <= alloc.spec.mem_mib, "{id}: memory over-allocated");
+        // scheduler's pod count matches the placed pods we can see
+        let seen = per_node_pods.get(id).copied().unwrap_or(0);
+        assert_eq!(alloc.pods, seen, "{id}: scheduler count {} != placed {seen}", alloc.pods);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn control_plane_invariants_hold_under_arbitrary_ops(
+        ops in prop::collection::vec(op(), 1..80)
+    ) {
+        let nodes: Vec<(NodeId, NodeSpec)> =
+            (0..3).map(|i| (NodeId(i), node_spec(i))).collect();
+        let mut cp = ControlPlane::new(&nodes, ControlPlaneConfig::default());
+        let pod_name = |i: u8| format!("p{i}");
+        for op in ops {
+            match op {
+                Op::Create(i) => {
+                    let _ = cp.create_pod(PodSpec::mock(&pod_name(i), "img"));
+                }
+                Op::Reconcile => {
+                    for action in cp.reconcile() {
+                        // every start action names a pod the plane knows,
+                        // now in Starting phase on the named node
+                        if let PodAction::Start { pod, node, .. } = action {
+                            prop_assert_eq!(
+                                cp.phase(&pod),
+                                Some(PodPhase::Starting { node })
+                            );
+                        }
+                    }
+                }
+                Op::MarkRunning(i) => cp.mark_running(&pod_name(i)),
+                Op::Crash(i) => {
+                    let _ = cp.report_exit(&pod_name(i));
+                }
+                Op::Delete(i) => {
+                    let _ = cp.delete_pod(&pod_name(i));
+                }
+                Op::FailNode(n) => {
+                    cp.fail_node(NodeId(n as u32));
+                }
+                Op::RestoreNode(n) => {
+                    cp.restore_node(NodeId(n as u32));
+                }
+            }
+            check_invariants(&cp);
+        }
+        // terminal sanity: a final reconcile still keeps the invariants
+        cp.reconcile();
+        check_invariants(&cp);
+    }
+
+    #[test]
+    fn delete_everything_returns_to_empty(
+        n_pods in 1u8..30,
+    ) {
+        let nodes: Vec<(NodeId, NodeSpec)> =
+            (0..2).map(|i| (NodeId(i), node_spec(i))).collect();
+        let mut cp = ControlPlane::new(&nodes, ControlPlaneConfig::default());
+        for i in 0..n_pods {
+            cp.create_pod(PodSpec::mock(&format!("p{i}"), "img")).unwrap();
+        }
+        cp.reconcile();
+        for i in 0..n_pods {
+            let _ = cp.delete_pod(&format!("p{i}"));
+        }
+        prop_assert_eq!(cp.scheduler().total_pods(), 0, "all resources must be returned");
+        for (_, alloc) in cp.scheduler().nodes() {
+            prop_assert_eq!(alloc.cpu_allocated, 0);
+            prop_assert_eq!(alloc.mem_allocated, 0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # digibox-registry
+//!
+//! Sharing and reproducing testbed setups (paper §3.4–3.5, §4
+//! "Infrastructure-as-Code").
+//!
+//! In the paper, `dbox commit` turns the current setup into declarative
+//! configuration files that point at mock/scene configs, which point at
+//! container images; files live in Git/GitHub, images in Docker Hub. Here
+//! both stores collapse into one [`Repository`]: a content-addressed object
+//! store (SHA-256, [`hash`]) plus named refs and commit objects, with
+//! push/pull between repositories transferring exactly the missing objects.
+//!
+//! The shareable units are:
+//! * [`TypePackage`] — one mock/scene *type*: program id, schema, defaults
+//!   (the "container image" equivalent; programs themselves are resolved
+//!   from the device catalog at run time).
+//! * [`SetupManifest`] — one testbed *setup*: instances, attachments, seed
+//!   (the IaC file `dbox pull` recreates a testbed from).
+
+pub mod hash;
+mod manifest;
+mod repo;
+
+pub use hash::{sha256, Digest};
+pub use manifest::{InstanceDecl, SetupManifest, TypePackage};
+pub use repo::{Commit, RegistryError, Repository};

@@ -1,0 +1,326 @@
+//! The shareable IaC documents.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use digibox_model::{dml, Value};
+
+use crate::hash::{sha256, Digest};
+
+/// One mock/scene *type*, the "container image" equivalent: which program
+/// implements it, its model schema, and default simulation parameters.
+/// Content-addressed; two developers who build the same package get the
+/// same digest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypePackage {
+    /// Type name, e.g. `Lamp`, `Room`.
+    pub kind: String,
+    /// Type version, e.g. `v1`.
+    pub version: String,
+    /// Program identifier resolved by the device catalog at run time,
+    /// e.g. `builtin/lamp`.
+    pub program: String,
+    /// JSON-encoded `digibox_model::Schema` for the model.
+    pub schema_json: String,
+    /// Default `meta.params` applied to new instances.
+    #[serde(default)]
+    pub default_params: BTreeMap<String, Value>,
+    /// Free-form notes shown by `dbox pull`.
+    #[serde(default)]
+    pub notes: String,
+}
+
+impl TypePackage {
+    /// Canonical byte encoding (deterministic JSON) used for hashing and
+    /// storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("type packages always serialize")
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<TypePackage, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+
+    /// The package's content digest — its "image id".
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+/// One declared instance in a setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceDecl {
+    /// Instance name, e.g. `L1`, `MeetingRoom`.
+    pub name: String,
+    /// Type name (must resolve to a `TypePackage` in the same commit).
+    pub kind: String,
+    pub version: String,
+    /// Whether the instance starts `managed` (event generation paused).
+    #[serde(default)]
+    pub managed: bool,
+    /// Per-instance overrides of the package's default params.
+    #[serde(default)]
+    pub params: BTreeMap<String, Value>,
+}
+
+/// A complete testbed setup — what `dbox commit` emits and `dbox pull`
+/// recreates (paper §3.4: "a set of shareable configuration files
+/// describing all the mocks and scenes ... and how they are attached to
+/// one another").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SetupManifest {
+    /// Setup name, e.g. `smart-building`.
+    pub name: String,
+    pub instances: Vec<InstanceDecl>,
+    /// `(child, parent)` attachment pairs; parents must be scenes.
+    pub attachments: Vec<(String, String)>,
+    /// Master seed; a recreated setup with the same seed reproduces the
+    /// same event streams.
+    pub seed: u64,
+}
+
+impl SetupManifest {
+    pub fn new(name: &str, seed: u64) -> SetupManifest {
+        SetupManifest { name: name.to_string(), seed, ..Default::default() }
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("setup manifests always serialize")
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<SetupManifest, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+
+    pub fn digest(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+
+    /// Render as a human-readable DML document (the file a developer would
+    /// check into version control).
+    pub fn to_dml(&self) -> String {
+        let instances: Vec<Value> = self
+            .instances
+            .iter()
+            .map(|i| {
+                let mut m = BTreeMap::new();
+                m.insert("name".into(), Value::from(i.name.clone()));
+                m.insert("type".into(), Value::from(i.kind.clone()));
+                m.insert("version".into(), Value::from(i.version.clone()));
+                if i.managed {
+                    m.insert("managed".into(), Value::Bool(true));
+                }
+                if !i.params.is_empty() {
+                    m.insert("params".into(), Value::Map(i.params.clone()));
+                }
+                Value::Map(m)
+            })
+            .collect();
+        let attachments: Vec<Value> = self
+            .attachments
+            .iter()
+            .map(|(c, p)| Value::from(vec![c.clone(), p.clone()]))
+            .collect();
+        let doc = digibox_model::vmap! {
+            "setup" => self.name.clone(),
+            "seed" => self.seed as i64,
+            "instances" => Value::List(instances),
+            "attachments" => Value::List(attachments),
+        };
+        dml::to_string(&doc)
+    }
+
+    /// Parse the DML form back.
+    pub fn from_dml(text: &str) -> Result<SetupManifest, String> {
+        let doc = dml::parse(text).map_err(|e| e.to_string())?;
+        let name = doc
+            .get("setup")
+            .and_then(Value::as_str)
+            .ok_or("missing `setup` name")?
+            .to_string();
+        let seed = doc.get("seed").and_then(Value::as_int).unwrap_or(0) as u64;
+        let mut manifest = SetupManifest::new(&name, seed);
+        if let Some(instances) = doc.get("instances").and_then(Value::as_list) {
+            for inst in instances {
+                let get_str = |k: &str| inst.get(k).and_then(Value::as_str).map(str::to_string);
+                manifest.instances.push(InstanceDecl {
+                    name: get_str("name").ok_or("instance missing name")?,
+                    kind: get_str("type").ok_or("instance missing type")?,
+                    version: get_str("version").unwrap_or_else(|| "v1".into()),
+                    managed: inst.get("managed").and_then(Value::as_bool).unwrap_or(false),
+                    params: inst
+                        .get("params")
+                        .and_then(Value::as_map)
+                        .cloned()
+                        .unwrap_or_default(),
+                });
+            }
+        }
+        if let Some(atts) = doc.get("attachments").and_then(Value::as_list) {
+            for att in atts {
+                let pair = att.as_list().ok_or("attachment must be a [child, parent] pair")?;
+                if pair.len() != 2 {
+                    return Err("attachment must be a [child, parent] pair".into());
+                }
+                manifest.attachments.push((
+                    pair[0].as_str().ok_or("attachment child must be a string")?.to_string(),
+                    pair[1].as_str().ok_or("attachment parent must be a string")?.to_string(),
+                ));
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Basic structural validation: unique instance names, attachments
+    /// reference declared instances, no self-attachment, no attachment
+    /// cycles.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut names = std::collections::BTreeSet::new();
+        for i in &self.instances {
+            if !names.insert(&i.name) {
+                return Err(format!("duplicate instance name {:?}", i.name));
+            }
+        }
+        let mut parent_of: BTreeMap<&str, &str> = BTreeMap::new();
+        for (child, parent) in &self.attachments {
+            if child == parent {
+                return Err(format!("{child:?} attached to itself"));
+            }
+            for end in [child, parent] {
+                if !names.contains(end) {
+                    return Err(format!("attachment references undeclared instance {end:?}"));
+                }
+            }
+            if parent_of.insert(child, parent).is_some() {
+                return Err(format!("{child:?} attached to multiple parents"));
+            }
+        }
+        // cycle check: follow parent chains
+        for start in parent_of.keys() {
+            let mut cur = *start;
+            let mut hops = 0;
+            while let Some(next) = parent_of.get(cur) {
+                cur = next;
+                hops += 1;
+                if cur == *start || hops > self.attachments.len() {
+                    return Err(format!("attachment cycle involving {start:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::vmap;
+
+    fn sample() -> SetupManifest {
+        let mut m = SetupManifest::new("smart-building", 42);
+        for (name, kind) in [
+            ("O1", "Occupancy"),
+            ("L1", "Lamp"),
+            ("MeetingRoom", "Room"),
+            ("ConfCenter", "Building"),
+        ] {
+            m.instances.push(InstanceDecl {
+                name: name.into(),
+                kind: kind.into(),
+                version: "v1".into(),
+                managed: kind == "Room",
+                params: if name == "O1" {
+                    [("interval_ms".to_string(), Value::Int(500))].into_iter().collect()
+                } else {
+                    BTreeMap::new()
+                },
+            });
+        }
+        m.attachments.push(("O1".into(), "MeetingRoom".into()));
+        m.attachments.push(("L1".into(), "MeetingRoom".into()));
+        m.attachments.push(("MeetingRoom".into(), "ConfCenter".into()));
+        m
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_stable_digest() {
+        let m = sample();
+        let back = SetupManifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(m.digest(), back.digest());
+        // digest changes with content
+        let mut m2 = m.clone();
+        m2.seed = 43;
+        assert_ne!(m.digest(), m2.digest());
+    }
+
+    #[test]
+    fn dml_roundtrip() {
+        let m = sample();
+        let text = m.to_dml();
+        let back = SetupManifest::from_dml(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn validate_accepts_good_setup() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_bad_refs() {
+        let mut m = sample();
+        m.instances.push(m.instances[0].clone());
+        assert!(m.validate().unwrap_err().contains("duplicate"));
+
+        let mut m = sample();
+        m.attachments.push(("ghost".into(), "MeetingRoom".into()));
+        assert!(m.validate().unwrap_err().contains("undeclared"));
+
+        let mut m = sample();
+        m.attachments.push(("ConfCenter".into(), "ConfCenter".into()));
+        assert!(m.validate().unwrap_err().contains("itself"));
+    }
+
+    #[test]
+    fn validate_rejects_cycles_and_multi_parent() {
+        let mut m = sample();
+        m.attachments.push(("ConfCenter".into(), "MeetingRoom".into()));
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("cycle") || err.contains("multiple"), "{err}");
+
+        let mut m = sample();
+        m.attachments.push(("O1".into(), "ConfCenter".into()));
+        assert!(m.validate().unwrap_err().contains("multiple parents"));
+    }
+
+    #[test]
+    fn type_package_digest_is_content_addressed() {
+        let p1 = TypePackage {
+            kind: "Lamp".into(),
+            version: "v1".into(),
+            program: "builtin/lamp".into(),
+            schema_json: "{}".into(),
+            default_params: [("interval_ms".to_string(), Value::Int(1000))].into_iter().collect(),
+            notes: String::new(),
+        };
+        let p2 = p1.clone();
+        assert_eq!(p1.digest(), p2.digest());
+        let mut p3 = p1.clone();
+        p3.version = "v2".into();
+        assert_ne!(p1.digest(), p3.digest());
+        let back = TypePackage::from_bytes(&p1.to_bytes()).unwrap();
+        assert_eq!(p1, back);
+    }
+
+    #[test]
+    fn instance_params_survive_dml() {
+        let m = sample();
+        let text = m.to_dml();
+        let back = SetupManifest::from_dml(&text).unwrap();
+        let o1 = back.instances.iter().find(|i| i.name == "O1").unwrap();
+        assert_eq!(o1.params.get("interval_ms"), Some(&Value::Int(500)));
+        let _ = vmap! {}; // keep the import used in both cfg branches
+    }
+}

@@ -1,0 +1,356 @@
+//! The repository: content-addressed objects + refs + commits, with
+//! push/pull and optional directory persistence.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{sha256, Digest};
+use crate::manifest::{SetupManifest, TypePackage};
+
+/// Repository errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    ObjectMissing(Digest),
+    RefMissing(String),
+    Corrupt(String),
+    Io(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::ObjectMissing(d) => write!(f, "object {} not in repository", d.short()),
+            RegistryError::RefMissing(r) => write!(f, "ref {r:?} not found"),
+            RegistryError::Corrupt(m) => write!(f, "repository corrupt: {m}"),
+            RegistryError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A commit: one shareable snapshot of a setup plus the type packages it
+/// references, linked to its parent (history).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Commit {
+    pub parent: Option<Digest>,
+    pub message: String,
+    /// Digest of the `SetupManifest` object.
+    pub setup: Digest,
+    /// kind@version → `TypePackage` object digest.
+    pub packages: BTreeMap<String, Digest>,
+}
+
+impl Commit {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("commits always serialize")
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> Result<Commit, RegistryError> {
+        serde_json::from_slice(bytes).map_err(|e| RegistryError::Corrupt(e.to_string()))
+    }
+}
+
+/// A content-addressed repository with named refs. Acts as both the "scene
+/// repository" (GitHub) and the image registry (Docker Hub) of the paper.
+#[derive(Debug, Default)]
+pub struct Repository {
+    objects: HashMap<Digest, Vec<u8>>,
+    refs: BTreeMap<String, Digest>,
+}
+
+impl Repository {
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn refs(&self) -> &BTreeMap<String, Digest> {
+        &self.refs
+    }
+
+    /// Store raw bytes, returning their digest (idempotent).
+    pub fn put(&mut self, bytes: Vec<u8>) -> Digest {
+        let digest = sha256(&bytes);
+        self.objects.entry(digest).or_insert(bytes);
+        digest
+    }
+
+    pub fn get(&self, digest: &Digest) -> Result<&[u8], RegistryError> {
+        self.objects
+            .get(digest)
+            .map(Vec::as_slice)
+            .ok_or(RegistryError::ObjectMissing(*digest))
+    }
+
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.objects.contains_key(digest)
+    }
+
+    pub fn set_ref(&mut self, name: &str, digest: Digest) {
+        self.refs.insert(name.to_string(), digest);
+    }
+
+    pub fn resolve(&self, name: &str) -> Result<Digest, RegistryError> {
+        self.refs.get(name).copied().ok_or_else(|| RegistryError::RefMissing(name.to_string()))
+    }
+
+    /// Commit a setup and its packages under `ref_name`, chaining to the
+    /// ref's previous commit as parent. Returns the commit digest.
+    pub fn commit(
+        &mut self,
+        ref_name: &str,
+        message: &str,
+        setup: &SetupManifest,
+        packages: &[TypePackage],
+    ) -> Digest {
+        let parent = self.refs.get(ref_name).copied();
+        let setup_digest = self.put(setup.to_bytes());
+        let mut package_map = BTreeMap::new();
+        for p in packages {
+            let d = self.put(p.to_bytes());
+            package_map.insert(format!("{}@{}", p.kind, p.version), d);
+        }
+        let commit = Commit { parent, message: message.to_string(), setup: setup_digest, packages: package_map };
+        let commit_digest = self.put(commit.to_bytes());
+        self.set_ref(ref_name, commit_digest);
+        commit_digest
+    }
+
+    pub fn load_commit(&self, digest: &Digest) -> Result<Commit, RegistryError> {
+        Commit::from_bytes(self.get(digest)?)
+    }
+
+    pub fn load_setup(&self, commit: &Commit) -> Result<SetupManifest, RegistryError> {
+        SetupManifest::from_bytes(self.get(&commit.setup)?).map_err(RegistryError::Corrupt)
+    }
+
+    pub fn load_package(&self, digest: &Digest) -> Result<TypePackage, RegistryError> {
+        TypePackage::from_bytes(self.get(digest)?).map_err(RegistryError::Corrupt)
+    }
+
+    /// History of a ref, newest first.
+    pub fn log(&self, ref_name: &str) -> Result<Vec<(Digest, Commit)>, RegistryError> {
+        let mut out = Vec::new();
+        let mut cursor = Some(self.resolve(ref_name)?);
+        while let Some(d) = cursor {
+            let commit = self.load_commit(&d)?;
+            cursor = commit.parent;
+            out.push((d, commit));
+        }
+        Ok(out)
+    }
+
+    /// All objects reachable from a commit (the commit itself, its setup,
+    /// its packages, and its ancestry).
+    fn reachable(&self, from: Digest) -> Result<Vec<Digest>, RegistryError> {
+        let mut out = Vec::new();
+        let mut cursor = Some(from);
+        while let Some(d) = cursor {
+            let commit = self.load_commit(&d)?;
+            out.push(d);
+            out.push(commit.setup);
+            out.extend(commit.packages.values().copied());
+            cursor = commit.parent;
+        }
+        Ok(out)
+    }
+
+    /// Push `ref_name` to `remote`: transfer missing reachable objects and
+    /// update the remote ref (`dbox push`). Returns objects transferred.
+    pub fn push(&self, remote: &mut Repository, ref_name: &str) -> Result<usize, RegistryError> {
+        let head = self.resolve(ref_name)?;
+        let mut transferred = 0;
+        for d in self.reachable(head)? {
+            if !remote.contains(&d) {
+                remote.objects.insert(d, self.get(&d)?.to_vec());
+                transferred += 1;
+            }
+        }
+        remote.set_ref(ref_name, head);
+        Ok(transferred)
+    }
+
+    /// Pull `ref_name` from `remote` (`dbox pull`).
+    pub fn pull(&mut self, remote: &Repository, ref_name: &str) -> Result<usize, RegistryError> {
+        remote.push(self, ref_name)
+    }
+
+    // ---- directory persistence (the CLI's on-disk state) ----
+
+    /// Save to a directory: `objects/<hex>` files plus a `refs.json`.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), RegistryError> {
+        let objects = dir.join("objects");
+        std::fs::create_dir_all(&objects).map_err(io_err)?;
+        for (digest, bytes) in &self.objects {
+            let path = objects.join(digest.to_string());
+            if !path.exists() {
+                std::fs::write(path, bytes).map_err(io_err)?;
+            }
+        }
+        let refs_json = serde_json::to_vec_pretty(&self.refs).map_err(|e| RegistryError::Io(e.to_string()))?;
+        std::fs::write(dir.join("refs.json"), refs_json).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Load from a directory written by [`Repository::save_to_dir`].
+    /// Verifies every object against its file name.
+    pub fn load_from_dir(dir: &Path) -> Result<Repository, RegistryError> {
+        let mut repo = Repository::new();
+        let objects_dir = dir.join("objects");
+        if objects_dir.is_dir() {
+            for entry in std::fs::read_dir(&objects_dir).map_err(io_err)? {
+                let entry = entry.map_err(io_err)?;
+                let name = entry.file_name().to_string_lossy().to_string();
+                let Some(expected) = Digest::parse(&name) else {
+                    continue; // ignore stray files
+                };
+                let bytes = std::fs::read(entry.path()).map_err(io_err)?;
+                let actual = sha256(&bytes);
+                if actual != expected {
+                    return Err(RegistryError::Corrupt(format!(
+                        "object file {name} hashes to {actual}"
+                    )));
+                }
+                repo.objects.insert(expected, bytes);
+            }
+        }
+        let refs_path = dir.join("refs.json");
+        if refs_path.exists() {
+            let bytes = std::fs::read(refs_path).map_err(io_err)?;
+            repo.refs = serde_json::from_slice(&bytes)
+                .map_err(|e| RegistryError::Corrupt(e.to_string()))?;
+        }
+        Ok(repo)
+    }
+
+    /// Convenience: the default on-disk location under a workspace dir.
+    pub fn default_dir(workspace: &Path) -> PathBuf {
+        workspace.join(".dbox").join("registry")
+    }
+}
+
+fn io_err(e: std::io::Error) -> RegistryError {
+    RegistryError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::InstanceDecl;
+
+    fn lamp_package() -> TypePackage {
+        TypePackage {
+            kind: "Lamp".into(),
+            version: "v1".into(),
+            program: "builtin/lamp".into(),
+            schema_json: "{}".into(),
+            default_params: BTreeMap::new(),
+            notes: "a lamp".into(),
+        }
+    }
+
+    fn setup(name: &str) -> SetupManifest {
+        let mut m = SetupManifest::new(name, 7);
+        m.instances.push(InstanceDecl {
+            name: "L1".into(),
+            kind: "Lamp".into(),
+            version: "v1".into(),
+            managed: false,
+            params: BTreeMap::new(),
+        });
+        m
+    }
+
+    #[test]
+    fn commit_and_load() {
+        let mut repo = Repository::new();
+        let digest = repo.commit("home", "first", &setup("home"), &[lamp_package()]);
+        let commit = repo.load_commit(&digest).unwrap();
+        assert_eq!(commit.message, "first");
+        assert!(commit.parent.is_none());
+        let s = repo.load_setup(&commit).unwrap();
+        assert_eq!(s.name, "home");
+        let pkg = repo.load_package(&commit.packages["Lamp@v1"]).unwrap();
+        assert_eq!(pkg.program, "builtin/lamp");
+    }
+
+    #[test]
+    fn history_chains() {
+        let mut repo = Repository::new();
+        repo.commit("home", "first", &setup("home"), &[]);
+        let mut s2 = setup("home");
+        s2.seed = 99;
+        repo.commit("home", "second", &s2, &[]);
+        let log = repo.log("home").unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].1.message, "second");
+        assert_eq!(log[1].1.message, "first");
+    }
+
+    #[test]
+    fn push_pull_transfers_missing_only() {
+        let mut local = Repository::new();
+        let mut remote = Repository::new();
+        local.commit("home", "first", &setup("home"), &[lamp_package()]);
+        let n = local.push(&mut remote, "home").unwrap();
+        assert_eq!(n, 3); // commit + setup + package
+        // pushing again transfers nothing
+        assert_eq!(local.push(&mut remote, "home").unwrap(), 0);
+
+        // a third party pulls and can reconstruct the setup
+        let mut third = Repository::new();
+        third.pull(&remote, "home").unwrap();
+        let head = third.resolve("home").unwrap();
+        let commit = third.load_commit(&head).unwrap();
+        assert_eq!(third.load_setup(&commit).unwrap().name, "home");
+    }
+
+    #[test]
+    fn identical_content_deduplicates() {
+        let mut repo = Repository::new();
+        let a = repo.put(b"same".to_vec());
+        let b = repo.put(b"same".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(repo.object_count(), 1);
+    }
+
+    #[test]
+    fn missing_objects_and_refs_error() {
+        let repo = Repository::new();
+        assert!(matches!(repo.resolve("nope"), Err(RegistryError::RefMissing(_))));
+        let ghost = sha256(b"ghost");
+        assert!(matches!(repo.get(&ghost), Err(RegistryError::ObjectMissing(_))));
+    }
+
+    #[test]
+    fn disk_roundtrip_with_verification() {
+        let dir = std::env::temp_dir().join(format!("dbox-repo-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut repo = Repository::new();
+        repo.commit("home", "first", &setup("home"), &[lamp_package()]);
+        repo.save_to_dir(&dir).unwrap();
+
+        let loaded = Repository::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.object_count(), repo.object_count());
+        assert_eq!(loaded.refs(), repo.refs());
+        let head = loaded.resolve("home").unwrap();
+        assert_eq!(loaded.load_commit(&head).unwrap().message, "first");
+
+        // corrupt one object file → load fails
+        let objects = dir.join("objects");
+        let victim = std::fs::read_dir(&objects).unwrap().next().unwrap().unwrap().path();
+        std::fs::write(&victim, b"tampered").unwrap();
+        assert!(matches!(
+            Repository::load_from_dir(&dir),
+            Err(RegistryError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

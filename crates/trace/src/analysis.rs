@@ -1,0 +1,227 @@
+//! Trace analytics: summaries a developer reads after a run (paper §3.3:
+//! "developers can also analyze Digibox logs to validate whether the
+//! application behaves as expected").
+
+use std::collections::BTreeMap;
+
+use digibox_net::{SimDuration, SimTime};
+
+use crate::record::{Direction, RecordKind, TraceRecord};
+
+/// Per-digi activity counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceSummary {
+    pub events: u64,
+    pub model_changes: u64,
+    pub messages_sent: u64,
+    pub messages_received: u64,
+    pub lifecycle: u64,
+    pub violations: u64,
+    pub first: Option<SimTime>,
+    pub last: Option<SimTime>,
+}
+
+impl SourceSummary {
+    pub fn total(&self) -> u64 {
+        self.events + self.model_changes + self.messages_sent + self.messages_received
+            + self.lifecycle
+            + self.violations
+    }
+
+    /// Event rate over the source's active span (events per simulated
+    /// second; 0 when the span is empty).
+    pub fn event_rate(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) if b > a => self.events as f64 / (b - a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Whole-trace analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    pub records: u64,
+    pub span: SimDuration,
+    pub sources: BTreeMap<String, SourceSummary>,
+}
+
+impl TraceSummary {
+    /// Analyze a trace.
+    pub fn analyze(records: &[TraceRecord]) -> TraceSummary {
+        let mut summary = TraceSummary { records: records.len() as u64, ..Default::default() };
+        let mut min_ts: Option<SimTime> = None;
+        let mut max_ts: Option<SimTime> = None;
+        for r in records {
+            min_ts = Some(min_ts.map_or(r.ts, |m| m.min(r.ts)));
+            max_ts = Some(max_ts.map_or(r.ts, |m| m.max(r.ts)));
+            let s = summary.sources.entry(r.source.clone()).or_default();
+            s.first = Some(s.first.map_or(r.ts, |f| f.min(r.ts)));
+            s.last = Some(s.last.map_or(r.ts, |l| l.max(r.ts)));
+            match &r.kind {
+                RecordKind::Event { .. } => s.events += 1,
+                RecordKind::ModelChange { .. } => s.model_changes += 1,
+                RecordKind::Message { direction: Direction::Sent, .. } => s.messages_sent += 1,
+                RecordKind::Message { direction: Direction::Received, .. } => {
+                    s.messages_received += 1
+                }
+                RecordKind::Lifecycle { .. } => s.lifecycle += 1,
+                RecordKind::Violation { .. } => s.violations += 1,
+            }
+        }
+        if let (Some(a), Some(b)) = (min_ts, max_ts) {
+            summary.span = b - a;
+        }
+        summary
+    }
+
+    /// The chattiest sources, by total records, descending.
+    pub fn top_talkers(&self, n: usize) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> =
+            self.sources.iter().map(|(name, s)| (name.as_str(), s.total())).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Render as an aligned console table (what `dbox log --summary`
+    /// prints).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} records over {} of virtual time, {} sources\n",
+            self.records,
+            self.span,
+            self.sources.len()
+        );
+        out.push_str(&format!(
+            "{:<20} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9}\n",
+            "source", "events", "models", "sent", "recvd", "viols", "ev/s"
+        ));
+        for (name, s) in &self.sources {
+            out.push_str(&format!(
+                "{:<20} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9.2}\n",
+                name,
+                s.events,
+                s.model_changes,
+                s.messages_sent,
+                s.messages_received,
+                s.violations,
+                s.event_rate()
+            ));
+        }
+        out
+    }
+}
+
+/// Extract the model-change snapshots of one digi, in order — the samples
+/// `dbox infer` feeds to schema inference.
+pub fn model_samples(records: &[TraceRecord], source: &str) -> Vec<digibox_model::Value> {
+    records
+        .iter()
+        .filter(|r| r.source == source)
+        .filter_map(|r| match &r.kind {
+            RecordKind::ModelChange { fields, .. } => Some(fields.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::{vmap, Patch, Value};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                seq: 0,
+                ts: at(0),
+                source: "O1".into(),
+                kind: RecordKind::Event { data: vmap! { "t" => true } },
+            },
+            TraceRecord {
+                seq: 1,
+                ts: at(500),
+                source: "O1".into(),
+                kind: RecordKind::Event { data: vmap! { "t" => false } },
+            },
+            TraceRecord {
+                seq: 2,
+                ts: at(1000),
+                source: "O1".into(),
+                kind: RecordKind::ModelChange {
+                    patch: Patch::new(),
+                    fields: vmap! { "t" => false },
+                },
+            },
+            TraceRecord {
+                seq: 3,
+                ts: at(2000),
+                source: "L1".into(),
+                kind: RecordKind::Message {
+                    direction: Direction::Sent,
+                    topic: "x".into(),
+                    payload: Value::Null,
+                },
+            },
+            TraceRecord {
+                seq: 4,
+                ts: at(2500),
+                source: "room".into(),
+                kind: RecordKind::Violation { property: "p".into(), detail: "d".into() },
+            },
+        ]
+    }
+
+    #[test]
+    fn analyze_counts_and_span() {
+        let s = TraceSummary::analyze(&sample_records());
+        assert_eq!(s.records, 5);
+        assert_eq!(s.span, SimDuration::from_millis(2500));
+        assert_eq!(s.sources.len(), 3);
+        let o1 = &s.sources["O1"];
+        assert_eq!(o1.events, 2);
+        assert_eq!(o1.model_changes, 1);
+        assert_eq!(o1.total(), 3);
+        // O1 active for 1s with 2 events
+        assert!((o1.event_rate() - 2.0).abs() < 1e-9);
+        assert_eq!(s.sources["room"].violations, 1);
+    }
+
+    #[test]
+    fn top_talkers_ordering() {
+        let s = TraceSummary::analyze(&sample_records());
+        let top = s.top_talkers(2);
+        assert_eq!(top[0], ("O1", 3));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn render_is_table_shaped() {
+        let s = TraceSummary::analyze(&sample_records());
+        let text = s.render();
+        assert!(text.contains("5 records"));
+        assert!(text.contains("O1"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn model_samples_extracts_snapshots() {
+        let samples = model_samples(&sample_records(), "O1");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0], vmap! { "t" => false });
+        assert!(model_samples(&sample_records(), "nobody").is_empty());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceSummary::analyze(&[]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.span, SimDuration::ZERO);
+        assert!(s.top_talkers(5).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Single-file trace archives.
+//!
+//! The paper shares traces as zip files; Digibox-RS uses its own small
+//! container so recipients need nothing but this crate:
+//!
+//! ```text
+//! magic "DBXT" | version: u16 | record_count: u64
+//! repeat record_count times:
+//!     len: u32 | json bytes (one TraceRecord)
+//! crc32: u32 over everything after the magic
+//! ```
+//!
+//! All integers little-endian. The CRC is IEEE 802.3 (same polynomial as
+//! zip), table-driven.
+
+use std::fmt;
+
+use crate::record::TraceRecord;
+
+const MAGIC: &[u8; 4] = b"DBXT";
+const VERSION: u16 = 1;
+
+/// Archive errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchiveError {
+    BadMagic,
+    UnsupportedVersion(u16),
+    Truncated,
+    CrcMismatch { expected: u32, actual: u32 },
+    BadRecord(String),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::BadMagic => write!(f, "not a digibox trace archive"),
+            ArchiveError::UnsupportedVersion(v) => write!(f, "unsupported archive version {v}"),
+            ArchiveError::Truncated => write!(f, "archive truncated"),
+            ArchiveError::CrcMismatch { expected, actual } => {
+                write!(f, "archive corrupt: crc {actual:#010x} != {expected:#010x}")
+            }
+            ArchiveError::BadRecord(e) => write!(f, "bad record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// Serialize records into archive bytes.
+pub fn write(records: &[TraceRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 128 + 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for r in records {
+        let json = serde_json::to_vec(r).expect("trace records always serialize");
+        out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        out.extend_from_slice(&json);
+    }
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parse archive bytes back into records, verifying the checksum.
+pub fn read(data: &[u8]) -> Result<Vec<TraceRecord>, ArchiveError> {
+    if data.len() < 4 + 2 + 8 + 4 {
+        return Err(if data.starts_with(MAGIC) || data.len() < 4 {
+            ArchiveError::Truncated
+        } else {
+            ArchiveError::BadMagic
+        });
+    }
+    if &data[..4] != MAGIC {
+        return Err(ArchiveError::BadMagic);
+    }
+    let body = &data[4..data.len() - 4];
+    let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let actual = crc32(body);
+    if stored_crc != actual {
+        return Err(ArchiveError::CrcMismatch { expected: stored_crc, actual });
+    }
+    let mut cur = body;
+    let version = u16::from_le_bytes(take(&mut cur, 2)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(ArchiveError::UnsupportedVersion(version));
+    }
+    let count = u64::from_le_bytes(take(&mut cur, 8)?.try_into().unwrap());
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(&mut cur, 4)?.try_into().unwrap()) as usize;
+        let json = take(&mut cur, len)?;
+        let record: TraceRecord =
+            serde_json::from_slice(json).map_err(|e| ArchiveError::BadRecord(e.to_string()))?;
+        records.push(record);
+    }
+    if !cur.is_empty() {
+        return Err(ArchiveError::BadRecord(format!("{} trailing bytes", cur.len())));
+    }
+    Ok(records)
+}
+
+fn take<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8], ArchiveError> {
+    if cur.len() < n {
+        return Err(ArchiveError::Truncated);
+    }
+    let (head, rest) = cur.split_at(n);
+    *cur = rest;
+    Ok(head)
+}
+
+/// IEEE CRC-32 (polynomial 0xEDB88320), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use digibox_model::vmap;
+    use digibox_net::{SimDuration, SimTime};
+
+    fn sample() -> Vec<TraceRecord> {
+        (0..10)
+            .map(|i| TraceRecord {
+                seq: i,
+                ts: SimTime::ZERO + SimDuration::from_millis(i * 100),
+                source: format!("O{i}"),
+                kind: RecordKind::Event { data: vmap! { "triggered" => (i % 2 == 0) } },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let bytes = write(&records);
+        let back = read(&bytes).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = write(&[]);
+        assert_eq!(read(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut bytes = write(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(read(&bytes), Err(ArchiveError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = write(&sample());
+        // truncation breaks either the CRC or the framing, both are errors
+        assert!(read(&bytes[..bytes.len() - 5]).is_err());
+        assert!(read(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut bytes = write(&sample());
+        bytes[0] = b'X';
+        assert_eq!(read(&bytes).unwrap_err(), ArchiveError::BadMagic);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+}

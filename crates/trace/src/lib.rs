@@ -1,0 +1,25 @@
+//! # digibox-trace
+//!
+//! Logging, sharing and replaying test runs (paper §3.5).
+//!
+//! Digibox logs *everything a testbed does* — scene/mock events, model
+//! changes, messages, lifecycle transitions, property violations — as
+//! [`TraceRecord`]s into a [`TraceLog`]. A finished log can be:
+//!
+//! * inspected and filtered (debugging, `dbox watch`-style views);
+//! * serialized into a single-file [`archive`] (the paper shares traces as
+//!   zip files; we use a CRC-checked length-prefixed container) and shared;
+//! * turned into a [`ReplaySchedule`] that re-drives mocks and scenes so a
+//!   recipient reproduces the exact run (`dbox replay`);
+//! * diffed against another trace to validate that a replay or a
+//!   re-execution matches ([`diff_traces`]).
+
+pub mod analysis;
+pub mod archive;
+mod log;
+mod record;
+mod replay;
+
+pub use log::{TraceLog, TraceView};
+pub use record::{Direction, RecordKind, TraceRecord};
+pub use replay::{diff_traces, ReplaySchedule, ReplayStep, TraceDivergence};

@@ -1,0 +1,192 @@
+use serde::{Deserialize, Serialize};
+
+use digibox_model::{Patch, Value};
+use digibox_net::SimTime;
+
+/// Direction of a logged message, from the perspective of the source digi.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Direction {
+    Sent,
+    Received,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum RecordKind {
+    /// An event generator fired and produced `data` (paper: "generates
+    /// events").
+    Event { data: Value },
+    /// The digi's model changed; `patch` transforms the previous field tree
+    /// into the new one, `fields` snapshots the result for replay seeks.
+    ModelChange { patch: Patch, fields: Value },
+    /// An MQTT/REST message was sent or received.
+    Message { direction: Direction, topic: String, payload: Value },
+    /// Lifecycle transition: created, started, stopped, attached, detached...
+    Lifecycle { action: String, detail: String },
+    /// A scene property (invariant) was violated.
+    Violation { property: String, detail: String },
+}
+
+impl RecordKind {
+    /// Short tag for filters and display.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordKind::Event { .. } => "event",
+            RecordKind::ModelChange { .. } => "model",
+            RecordKind::Message { .. } => "message",
+            RecordKind::Lifecycle { .. } => "lifecycle",
+            RecordKind::Violation { .. } => "violation",
+        }
+    }
+}
+
+/// One line in a Digibox trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Global sequence number (total order, breaks timestamp ties).
+    pub seq: u64,
+    /// Virtual-clock timestamp.
+    pub ts: SimTime,
+    /// Which digi (mock or scene) produced the record.
+    pub source: String,
+    #[serde(flatten)]
+    pub kind: RecordKind,
+}
+
+impl TraceRecord {
+    /// The paper's compact display form, e.g.
+    /// `{name:meetingroom,human_presence:false,ts:00:03}`.
+    pub fn paper_line(&self) -> String {
+        let middle = match &self.kind {
+            RecordKind::Event { data } => compact_kv(data),
+            RecordKind::ModelChange { patch, .. } => patch
+                .ops
+                .iter()
+                .map(|op| match op {
+                    digibox_model::PatchOp::Set { path, value } => format!("{path}:{value}"),
+                    digibox_model::PatchOp::Remove { path } => format!("{path}:-"),
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+            RecordKind::Message { direction, topic, .. } => format!(
+                "{}:{topic}",
+                match direction {
+                    Direction::Sent => "send",
+                    Direction::Received => "recv",
+                }
+            ),
+            RecordKind::Lifecycle { action, .. } => format!("lifecycle:{action}"),
+            RecordKind::Violation { property, .. } => format!("violation:{property}"),
+        };
+        format!("{{name:{},{},ts:{}}}", self.source.to_lowercase(), middle, self.ts)
+    }
+}
+
+fn compact_kv(v: &Value) -> String {
+    match v {
+        Value::Map(m) => m
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::vmap;
+    use digibox_net::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn paper_line_for_event_matches_paper_format() {
+        let r = TraceRecord {
+            seq: 1,
+            ts: at(1000),
+            source: "ConfCenter".into(),
+            kind: RecordKind::Event { data: vmap! { "num_human" => 1 } },
+        };
+        assert_eq!(r.paper_line(), "{name:confcenter,num_human:1,ts:00:01.000}");
+    }
+
+    #[test]
+    fn paper_line_for_model_change() {
+        let r = TraceRecord {
+            seq: 2,
+            ts: at(3000),
+            source: "MeetingRoom".into(),
+            kind: RecordKind::ModelChange {
+                patch: Patch::new().set("human_presence", false),
+                fields: vmap! { "human_presence" => false },
+            },
+        };
+        assert_eq!(r.paper_line(), "{name:meetingroom,human_presence:false,ts:00:03.000}");
+    }
+
+    #[test]
+    fn serde_roundtrip_all_kinds() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                ts: at(1),
+                source: "O1".into(),
+                kind: RecordKind::Event { data: vmap! { "triggered" => true } },
+            },
+            TraceRecord {
+                seq: 1,
+                ts: at(2),
+                source: "L1".into(),
+                kind: RecordKind::ModelChange {
+                    patch: Patch::new().set("power.status", "on"),
+                    fields: vmap! { "power" => vmap! { "status" => "on" } },
+                },
+            },
+            TraceRecord {
+                seq: 2,
+                ts: at(3),
+                source: "L1".into(),
+                kind: RecordKind::Message {
+                    direction: Direction::Sent,
+                    topic: "digibox/mock/L1/status".into(),
+                    payload: vmap! { "power" => "on" },
+                },
+            },
+            TraceRecord {
+                seq: 3,
+                ts: at(4),
+                source: "room".into(),
+                kind: RecordKind::Lifecycle { action: "attach".into(), detail: "L1".into() },
+            },
+            TraceRecord {
+                seq: 4,
+                ts: at(5),
+                source: "room".into(),
+                kind: RecordKind::Violation {
+                    property: "lamp-off-when-empty".into(),
+                    detail: "power.status=on while triggered=false".into(),
+                },
+            },
+        ];
+        for r in records {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: TraceRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(RecordKind::Event { data: Value::Null }.tag(), "event");
+        assert_eq!(
+            RecordKind::Lifecycle { action: "run".into(), detail: String::new() }.tag(),
+            "lifecycle"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Turning traces into replayable schedules, and validating replays.
+
+use std::collections::BTreeMap;
+
+use digibox_model::Value;
+use digibox_net::SimTime;
+
+use crate::record::{RecordKind, TraceRecord};
+
+/// One step of a replay: at virtual time `ts`, force digi `source`'s model
+/// fields to `fields`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStep {
+    pub ts: SimTime,
+    pub source: String,
+    pub fields: Value,
+}
+
+/// An ordered schedule of model states extracted from a trace
+/// (`dbox replay <trace>` drives the testbed with one of these).
+///
+/// Replay uses the *snapshots* recorded with each model change rather than
+/// re-applying patches, so a replay can start at any point and cannot
+/// drift.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplaySchedule {
+    steps: Vec<ReplayStep>,
+}
+
+impl ReplaySchedule {
+    /// Extract the schedule from a trace (model-change records only).
+    pub fn from_records(records: &[TraceRecord]) -> ReplaySchedule {
+        let mut steps: Vec<ReplayStep> = records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                RecordKind::ModelChange { fields, .. } => Some(ReplayStep {
+                    ts: r.ts,
+                    source: r.source.clone(),
+                    fields: fields.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        steps.sort_by(|a, b| a.ts.cmp(&b.ts));
+        ReplaySchedule { steps }
+    }
+
+    pub fn steps(&self) -> &[ReplayStep] {
+        &self.steps
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The set of digi names the schedule drives.
+    pub fn sources(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.steps.iter().map(|s| s.source.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Final model state per digi (what the testbed should look like when
+    /// the replay finishes).
+    pub fn final_states(&self) -> BTreeMap<String, Value> {
+        let mut out = BTreeMap::new();
+        for step in &self.steps {
+            out.insert(step.source.clone(), step.fields.clone());
+        }
+        out
+    }
+
+    /// Total virtual duration of the schedule.
+    pub fn duration(&self) -> SimTime {
+        self.steps.last().map(|s| s.ts).unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// A point where two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceDivergence {
+    /// Same position, different content.
+    Mismatch { index: usize, left: Box<TraceRecord>, right: Box<TraceRecord> },
+    /// One trace is a strict prefix of the other.
+    LengthMismatch { left: usize, right: usize },
+}
+
+/// Compare two traces on their *semantic* content: (source, kind) pairs in
+/// order, ignoring seq numbers and exact timestamps (two runs of the same
+/// seeded workload have identical timestamps, but a replay legitimately
+/// shifts them).
+pub fn diff_traces(left: &[TraceRecord], right: &[TraceRecord]) -> Option<TraceDivergence> {
+    for (i, (l, r)) in left.iter().zip(right.iter()).enumerate() {
+        if l.source != r.source || l.kind != r.kind {
+            return Some(TraceDivergence::Mismatch {
+                index: i,
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            });
+        }
+    }
+    if left.len() != right.len() {
+        return Some(TraceDivergence::LengthMismatch { left: left.len(), right: right.len() });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_model::{vmap, Patch};
+    use digibox_net::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn change(seq: u64, ms: u64, source: &str, fields: Value) -> TraceRecord {
+        TraceRecord {
+            seq,
+            ts: at(ms),
+            source: source.into(),
+            kind: RecordKind::ModelChange { patch: Patch::new(), fields },
+        }
+    }
+
+    fn event(seq: u64, ms: u64, source: &str) -> TraceRecord {
+        TraceRecord {
+            seq,
+            ts: at(ms),
+            source: source.into(),
+            kind: RecordKind::Event { data: Value::Null },
+        }
+    }
+
+    #[test]
+    fn schedule_extracts_only_model_changes_in_time_order() {
+        let records = vec![
+            event(0, 5, "O1"),
+            change(1, 30, "L1", vmap! { "p" => 2 }),
+            change(2, 10, "O1", vmap! { "t" => true }),
+            event(3, 40, "L1"),
+        ];
+        let sched = ReplaySchedule::from_records(&records);
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched.steps()[0].source, "O1");
+        assert_eq!(sched.steps()[1].source, "L1");
+        assert_eq!(sched.sources(), vec!["L1".to_string(), "O1".to_string()]);
+        assert_eq!(sched.duration(), at(30));
+    }
+
+    #[test]
+    fn final_states_take_last_change() {
+        let records = vec![
+            change(0, 1, "O1", vmap! { "t" => true }),
+            change(1, 2, "O1", vmap! { "t" => false }),
+        ];
+        let sched = ReplaySchedule::from_records(&records);
+        assert_eq!(sched.final_states()["O1"], vmap! { "t" => false });
+    }
+
+    #[test]
+    fn diff_detects_mismatch_and_ignores_timestamps() {
+        let a = vec![change(0, 1, "O1", vmap! { "t" => true })];
+        // same content, shifted time and different seq: equal
+        let mut b = a.clone();
+        b[0].ts = at(999);
+        b[0].seq = 42;
+        assert_eq!(diff_traces(&a, &b), None);
+        // different content: mismatch at 0
+        let c = vec![change(0, 1, "O1", vmap! { "t" => false })];
+        assert!(matches!(diff_traces(&a, &c), Some(TraceDivergence::Mismatch { index: 0, .. })));
+        // prefix: length mismatch
+        let d: Vec<TraceRecord> = Vec::new();
+        assert_eq!(
+            diff_traces(&a, &d),
+            Some(TraceDivergence::LengthMismatch { left: 1, right: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let sched = ReplaySchedule::from_records(&[]);
+        assert!(sched.is_empty());
+        assert_eq!(sched.duration(), SimTime::ZERO);
+        assert!(sched.final_states().is_empty());
+    }
+}

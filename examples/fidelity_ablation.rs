@@ -1,0 +1,76 @@
+//! Fidelity ablation (paper, Fig. 7 / experiment E4): the same smart-
+//! building application tested under device-centric vs scene-centric
+//! simulation.
+//!
+//! Device-centric simulators generate each sensor independently, so the
+//! app constantly observes *impossible* states (desk occupied, room empty)
+//! and its occupancy estimate is garbage; the scene-centric testbed
+//! produces coherent ensembles. The gap is the paper's core argument.
+//!
+//! Run with: `cargo run --example fidelity_ablation`
+
+use std::collections::BTreeMap;
+
+use digibox_apps::SmartBuildingApp;
+use digibox_core::{FidelityMode, Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::SimDuration;
+
+/// Run the app against a testbed at the given fidelity and measure how
+/// often the room's sensor ensemble is consistent.
+fn run_mode(fidelity: FidelityMode, seed: u64) -> (u32, u32) {
+    let mut tb =
+        Testbed::laptop(full_catalog(), TestbedConfig { seed, fidelity, ..Default::default() });
+    let managed = BTreeMap::new;
+    for s in ["O1", "O2", "D1"] {
+        let kind = if s == "D1" { "Underdesk" } else { "Occupancy" };
+        tb.run_with(kind, s, managed(), true).unwrap();
+    }
+    tb.run_with("Room", "MeetingRoom", managed(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    for s in ["O1", "O2", "D1"] {
+        tb.attach(s, "MeetingRoom").unwrap();
+    }
+
+    let mut app = SmartBuildingApp::new(&mut tb, 10);
+    app.add_room("MeetingRoom", &["O1", "O2"], &["D1"], None);
+
+    let mut consistent = 0u32;
+    let mut samples = 0u32;
+    for _ in 0..120 {
+        tb.run_for(SimDuration::from_millis(500));
+        app.step(&mut tb);
+        if let Some(ok) = app.sensors_consistent("MeetingRoom") {
+            samples += 1;
+            consistent += u32::from(ok);
+        }
+    }
+    (consistent, samples)
+}
+
+fn main() {
+    println!("=== E4: fidelity ablation (paper Fig. 7) ===");
+    println!("app-visible sensor-ensemble consistency over 60 simulated seconds\n");
+    println!("{:<16} {:>12} {:>12} {:>14}", "mode", "consistent", "samples", "consistency");
+    for (label, mode) in [
+        ("device-centric", FidelityMode::DeviceCentric),
+        ("scene-centric", FidelityMode::SceneCentric),
+    ] {
+        let mut total_c = 0;
+        let mut total_s = 0;
+        for seed in [1, 2, 3] {
+            let (c, s) = run_mode(mode, seed);
+            total_c += c;
+            total_s += s;
+        }
+        println!(
+            "{label:<16} {total_c:>12} {total_s:>12} {:>13.1}%",
+            100.0 * total_c as f64 / total_s.max(1) as f64
+        );
+    }
+    println!(
+        "\nthe device-centric rows show the correlation bugs (impossible sensor\n\
+         combinations) that the paper argues device simulators cannot avoid;\n\
+         scene-centric simulation holds the ensemble invariant."
+    );
+}

@@ -1,0 +1,96 @@
+//! Scalability — the paper's §4 microbenchmarks, runnable as an example:
+//!
+//! * local: 50 occupancy sensors in 2 rooms on one laptop node; average
+//!   REST GET latency (paper: < 20 ms);
+//! * cloud: 1000 sensors, 100 rooms, 5 buildings on 2 m5.xlarge nodes
+//!   (paper: < 60 ms, network delay included).
+//!
+//! Run with: `cargo run --release --example scalability`
+
+use std::collections::BTreeMap;
+
+use digibox_core::{Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::SimDuration;
+
+/// Build `sensors` occupancy mocks spread over `rooms` room scenes (and
+/// optionally buildings), then measure REST GETs from an app endpoint.
+fn run(
+    label: &str,
+    mut tb: Testbed,
+    sensors: usize,
+    rooms: usize,
+    buildings: usize,
+    gets: usize,
+) {
+    let managed = BTreeMap::new;
+    for b in 0..buildings {
+        tb.run_with("Building", &format!("B{b}"), managed(), true).unwrap();
+    }
+    for r in 0..rooms {
+        tb.run_with("Room", &format!("R{r}"), managed(), true).unwrap();
+    }
+    for s in 0..sensors {
+        tb.run_with("Occupancy", &format!("O{s}"), managed(), true).unwrap();
+    }
+    tb.run_for(SimDuration::from_secs(2)); // containers start
+    for r in 0..rooms {
+        if buildings > 0 {
+            tb.attach(&format!("R{r}"), &format!("B{}", r % buildings)).unwrap();
+        }
+    }
+    for s in 0..sensors {
+        tb.attach(&format!("O{s}"), &format!("R{}", s % rooms)).unwrap();
+    }
+    tb.run_for(SimDuration::from_secs(2));
+
+    // the client runs on the first node, like the paper's curl/driver
+    let client_node = tb.broker_addr().node;
+    let app = tb.app(client_node);
+    let targets: Vec<_> =
+        (0..sensors).map(|s| tb.digi_addr(&format!("O{s}")).unwrap()).collect();
+    let wall = std::time::Instant::now();
+    for i in 0..gets {
+        let target = targets[i % targets.len()];
+        app.borrow_mut().get(tb.sim(), target, "/model");
+        tb.run_for(SimDuration::from_millis(25));
+    }
+    tb.run_for(SimDuration::from_secs(1));
+    let wall_elapsed = wall.elapsed();
+
+    let app_ref = app.borrow();
+    let h = app_ref.latencies();
+    println!(
+        "{label:<28} sensors={sensors:<5} rooms={rooms:<4} n={} mean={} p50={} p99={} max={}  (wall: {:.2?})",
+        h.count(),
+        h.mean(),
+        h.p50(),
+        h.p99(),
+        h.max(),
+        wall_elapsed,
+    );
+}
+
+fn main() {
+    println!("=== paper §4 microbenchmarks (simulated deployments) ===\n");
+    let catalog = full_catalog;
+    // E1 — local: MacBook-class laptop, 50 sensors / 2 rooms
+    run(
+        "E1 local (laptop)",
+        Testbed::laptop(catalog(), TestbedConfig { seed: 1, logging: false, ..Default::default() }),
+        50,
+        2,
+        0,
+        200,
+    );
+    // E2 — cloud: 2× m5.xlarge, 1000 sensors / 100 rooms / 5 buildings
+    run(
+        "E2 cloud (2x m5.xlarge)",
+        Testbed::ec2(2, catalog(), TestbedConfig { seed: 2, logging: false, ..Default::default() }),
+        1000,
+        100,
+        5,
+        300,
+    );
+    println!("\npaper reference points: local < 20 ms, cloud < 60 ms average GET latency");
+}

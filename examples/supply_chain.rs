@@ -1,0 +1,81 @@
+//! Supply chain — a cold-chain audit app (paper §1/§5): a shipment rides a
+//! refrigerated truck across a multi-leg route; the app watches cargo
+//! monitors for temperature excursions and produces an audit report.
+//!
+//! Run with: `cargo run --example supply_chain`
+
+use std::collections::BTreeMap;
+
+use digibox_apps::ColdChainApp;
+use digibox_core::{Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_model::Value;
+use digibox_net::SimDuration;
+
+fn main() {
+    let mut tb = Testbed::laptop(full_catalog(), TestbedConfig { seed: 11, ..Default::default() });
+
+    // shipment = cargo monitor + GPS tracker, riding a truck on a route
+    // The pallet's monitor and the tracker run *unmanaged*: their own
+    // simulation loops (thermal pull toward ambient, movement along the
+    // leg) keep running, while the scenes write the inputs (ambient
+    // temperature from the truck, leg endpoints from the route).
+    let mut pallet_params: BTreeMap<String, Value> = BTreeMap::new();
+    pallet_params.insert("interval_ms".into(), Value::Int(500));
+    pallet_params.insert("thermal_tau_s".into(), Value::Float(60.0));
+    tb.run_with("CargoCondition", "Pallet1", pallet_params, false).unwrap();
+    let mut gps_params: BTreeMap<String, Value> = BTreeMap::new();
+    gps_params.insert("leg_secs".into(), Value::Float(30.0));
+    tb.run_with("GpsTracker", "Tracker1", gps_params, false).unwrap();
+    tb.run("ColdChainTruck", "Truck1").unwrap();
+    let mut route_params: BTreeMap<String, Value> = BTreeMap::new();
+    route_params.insert("legs".into(), Value::Int(3));
+    tb.run_with("SupplyChainRoute", "Route-SFO-LAX", route_params, true).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("Pallet1", "Truck1").unwrap();
+    tb.attach("Tracker1", "Route-SFO-LAX").unwrap();
+
+    // the auditing application
+    let mut app = ColdChainApp::new(&mut tb, 8.0);
+    app.track("Pallet1");
+
+    println!("=== cold-chain run (simulated 2 minutes) ===");
+    for minute_half in 0..24 {
+        tb.run_for(SimDuration::from_secs(5));
+        app.step(&mut tb);
+        if minute_half % 4 == 0 {
+            let truck = tb.check("Truck1").unwrap();
+            let state = truck.lookup(&"state".into()).and_then(Value::as_str).unwrap_or("?");
+            let box_c =
+                truck.lookup(&"box_c".into()).and_then(Value::as_float).unwrap_or(f64::NAN);
+            let pallet = app.temperature("Pallet1").unwrap_or(f64::NAN);
+            println!(
+                "t={:>4}s truck={state:<10} box={box_c:>6.2}°C pallet={pallet:>6.2}°C compliant={}",
+                (minute_half + 1) * 5,
+                app.is_compliant("Pallet1"),
+            );
+        }
+    }
+
+    println!("\n=== audit report ===");
+    let audit = app.audit();
+    if audit.is_empty() {
+        println!("no cold-chain excursions — shipment compliant");
+    } else {
+        for e in audit {
+            println!(
+                "EXCURSION shipment={} first_seen={} peak={:.2}°C",
+                e.shipment, e.first_seen, e.peak_temp_c
+            );
+        }
+    }
+
+    // route progress
+    let route = tb.check("Route-SFO-LAX").unwrap();
+    println!(
+        "route leg {}/{} delivered={}",
+        route.lookup(&"leg".into()).and_then(Value::as_int).unwrap_or(0),
+        route.lookup(&"legs_total".into()).and_then(Value::as_int).unwrap_or(0),
+        route.lookup(&"delivered".into()).and_then(Value::as_bool).unwrap_or(false),
+    );
+}

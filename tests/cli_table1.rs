@@ -1,0 +1,127 @@
+//! E3 — Table 1 coverage: every `dbox` API verb exercised end-to-end
+//! through the CLI layer (the same code path the binary runs).
+
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbox-e3-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dbox(dir: &Path, args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let out = digibox_cli::invoke(dir, &args);
+    (out.code, out.stdout)
+}
+
+/// The complete Table 1 workflow, in order, against one workspace.
+#[test]
+fn table1_full_workflow() {
+    let home = tmpdir("home");
+    let remote = tmpdir("remote");
+    let away = tmpdir("away");
+
+    // dbox run type name — a mock and a scene
+    let (code, out) = dbox(&home, &["run", "Occupancy", "O1", "--managed"]);
+    assert_eq!(code, 0, "{out}");
+    let (code, _) = dbox(&home, &["run", "Lamp", "L1"]);
+    assert_eq!(code, 0);
+    let (code, _) = dbox(&home, &["run", "Room", "MeetingRoom"]);
+    assert_eq!(code, 0);
+
+    // dbox attach name name
+    let (code, _) = dbox(&home, &["attach", "O1", "MeetingRoom"]);
+    assert_eq!(code, 0);
+    let (code, _) = dbox(&home, &["attach", "L1", "MeetingRoom"]);
+    assert_eq!(code, 0);
+
+    // dbox watch name — model changes appear in the console
+    let (code, out) = dbox(&home, &["watch", "MeetingRoom", "5"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("meetingroom"), "watch output:\n{out}");
+
+    // interacting with mocks: dbox edit
+    let (code, _) = dbox(&home, &["edit", "L1", "power=on", "intensity=0.4"]);
+    assert_eq!(code, 0);
+
+    // dbox check name — model state in the console
+    let (code, out) = dbox(&home, &["check", "L1"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("intent: on") || out.contains("intent: \"on\""), "{out}");
+
+    // dbox commit type name — create/update a shareable setup
+    let (code, out) = dbox(&home, &["commit", "smart-building", "-m", "walkthrough"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("committed"));
+
+    // dbox push — upload to the scene repository
+    let (code, out) = dbox(&home, &["push", "smart-building", "--to", remote.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+
+    // dbox pull — another developer recreates the setup
+    let (code, out) = dbox(&away, &["pull", "smart-building", "--from", remote.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    let (_, listing) = dbox(&away, &["list"]);
+    for name in ["O1", "L1", "MeetingRoom"] {
+        assert!(listing.contains(name), "pulled setup missing {name}:\n{listing}");
+    }
+
+    // dbox replay name — export a trace here, replay it there
+    let trace = home.join("run.dbxt");
+    let (code, _) = dbox(&home, &["export-trace", trace.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    let (code, out) = dbox(&away, &["replay", trace.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("replayed"));
+
+    // dbox stop name
+    let (code, _) = dbox(&home, &["stop", "O1"]);
+    assert_eq!(code, 0);
+    let (code, _) = dbox(&home, &["check", "O1"]);
+    assert_eq!(code, 1, "stopped digi must be gone");
+
+    for d in [home, remote, away] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+/// Errors are reported, not panicked.
+#[test]
+fn table1_error_paths() {
+    let dir = tmpdir("errors");
+    // unknown type
+    let (code, out) = dbox(&dir, &["run", "Nonexistent", "X"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("error"));
+    // unknown digi
+    let (code, _) = dbox(&dir, &["check", "ghost"]);
+    assert_eq!(code, 1);
+    let (code, _) = dbox(&dir, &["stop", "ghost"]);
+    assert_eq!(code, 1);
+    // attach to a non-scene
+    dbox(&dir, &["run", "Lamp", "L1"]);
+    dbox(&dir, &["run", "Fan", "F1"]);
+    let (code, out) = dbox(&dir, &["attach", "F1", "L1"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("not a scene"), "{out}");
+    // duplicate name
+    let (code, _) = dbox(&dir, &["run", "Lamp", "L1"]);
+    assert_eq!(code, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `check` and `list` are read-only: they do not grow the journal.
+#[test]
+fn reads_do_not_mutate_session() {
+    let dir = tmpdir("readonly");
+    dbox(&dir, &["run", "Fan", "F1"]);
+    let before = std::fs::read_to_string(digibox_cli::Session::state_path(&dir)).unwrap();
+    dbox(&dir, &["check", "F1"]);
+    dbox(&dir, &["list"]);
+    dbox(&dir, &["log"]);
+    let after = std::fs::read_to_string(digibox_cli::Session::state_path(&dir)).unwrap();
+    assert_eq!(before, after);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,113 @@
+//! The paper's end-to-end walkthrough as one integration test: scenes from
+//! the device library, an application from `digibox-apps`, properties,
+//! logging — everything the Fig. 1 workflow touches, across every crate.
+
+use digibox_apps::SmartBuildingApp;
+use digibox_core::properties::DigiCondition;
+use digibox_core::{Condition, SceneProperty};
+use digibox_integration::{laptop, no_params};
+use digibox_model::Value;
+use digibox_net::SimDuration;
+
+#[test]
+fn fig1_workflow_with_application() {
+    let mut tb = laptop(2026);
+
+    // ② write/reuse scenes: pull types from the built-in library
+    for s in ["O1", "O2"] {
+        tb.run_with("Occupancy", s, no_params(), true).unwrap();
+    }
+    tb.run_with("Underdesk", "D1", no_params(), true).unwrap();
+    tb.run("Lamp", "L1").unwrap();
+    tb.run_with("Room", "MeetingRoom", no_params(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    for s in ["O1", "O2", "D1", "L1"] {
+        tb.attach(s, "MeetingRoom").unwrap();
+    }
+
+    // scene property: desks may not be occupied in an empty room
+    tb.add_property(SceneProperty::never(
+        "no-desk-in-empty-room",
+        vec![
+            DigiCondition::new("D1", Condition::eq("triggered", true)),
+            DigiCondition::new("O1", Condition::eq("triggered", false)),
+        ],
+    ));
+
+    // ④ run the application against the scene
+    let mut app = SmartBuildingApp::new(&mut tb, 5);
+    app.add_room("MeetingRoom", &["O1", "O2"], &["D1"], Some("L1"));
+
+    for _ in 0..120 {
+        tb.run_for(SimDuration::from_millis(500));
+        app.step(&mut tb);
+    }
+
+    // the app tracked occupancy and controlled the lamp
+    let (occupied, _) = app.occupancy("MeetingRoom").unwrap();
+    let lamp_status = tb
+        .check("L1")
+        .unwrap()
+        .status(&"power".into())
+        .unwrap()
+        .as_str()
+        .map(str::to_string)
+        .unwrap();
+    // after the last step the lamp follows the occupancy the app saw most
+    // recently — allow one transition of slack by checking the command
+    // count instead of exact equality
+    assert!(app.lamp_commands() > 0, "app should have driven the lamp");
+    let _ = (occupied, lamp_status);
+
+    // ⑤ debug/analyze with the logs: the scene maintained the invariant
+    assert!(
+        tb.violations().is_empty(),
+        "scene-centric simulation must not produce impossible states: {:?}",
+        tb.violations().iter().map(|v| v.paper_line()).collect::<Vec<_>>()
+    );
+
+    // the app saw a coherent ensemble throughout
+    assert_eq!(app.sensors_consistent("MeetingRoom"), Some(true));
+
+    // the trace captured the full conversation
+    let log = tb.log();
+    assert!(log.view().source("MeetingRoom").tag("event").count() > 5, "scene generated events");
+    assert!(log.view().source("L1").tag("model").count() > 0, "lamp state changes logged");
+    assert!(log.view().tag("message").count() > 10, "messages logged");
+}
+
+#[test]
+fn device_mobility_changes_aggregation() {
+    // §5 urban sensing through the public API only
+    let mut tb = laptop(8);
+    tb.run_with("AirQuality", "Phone", no_params(), true).unwrap();
+    tb.run_with("StreetBlock", "Busy", no_params(), true).unwrap();
+    tb.run_with("StreetBlock", "Quiet", no_params(), true).unwrap();
+    tb.run_for(SimDuration::from_secs(1));
+    tb.digi("Busy").unwrap().borrow_mut().force_fields(
+        tb.sim(),
+        digibox_model::vmap! { "pedestrians" => 300, "noise_db" => 75.0, "streetlights_on" => false },
+    );
+    tb.digi("Quiet").unwrap().borrow_mut().force_fields(
+        tb.sim(),
+        digibox_model::vmap! { "pedestrians" => 0, "noise_db" => 35.0, "streetlights_on" => false },
+    );
+    tb.attach("Phone", "Quiet").unwrap();
+    tb.run_for(SimDuration::from_secs(3));
+    let quiet = tb
+        .check("Phone")
+        .unwrap()
+        .lookup(&"pm25_ugm3".into())
+        .and_then(Value::as_float)
+        .unwrap();
+    tb.detach("Phone", "Quiet").unwrap();
+    tb.attach("Phone", "Busy").unwrap();
+    tb.run_for(SimDuration::from_secs(3));
+    let busy = tb
+        .check("Phone")
+        .unwrap()
+        .lookup(&"pm25_ugm3".into())
+        .and_then(Value::as_float)
+        .unwrap();
+    assert!(busy > quiet, "re-attached sensor must pick up the new scene's environment");
+}
