@@ -1,0 +1,228 @@
+//! Frozen pre-overhaul implementations of the two hot-path data structures
+//! the substrate overhaul replaced, kept verbatim so `substrate_hotpath`
+//! and `bench_smoke` can measure old-vs-new on the same machine in the
+//! same process.
+//!
+//! * [`OldEventQueue`] — the kernel's original event queue: one global
+//!   `BinaryHeap<Reverse<Event>>` ordered by `(at, seq)`. Every push is an
+//!   O(log n) sift through the whole queue; periodic timers pay that cost
+//!   on every re-arm. The replacement is `digibox_net::EventWheel`
+//!   (hierarchical timer wheel + far-future overflow heap).
+//!
+//! * [`OldTopicTrie`] — the broker's original subscription trie:
+//!   `BTreeMap<String, Node>` children keyed by owned level strings, and a
+//!   `lookup` that collects `topic.split('/')` into a fresh `Vec<&str>`
+//!   per publish. The replacement interns levels to `u32` symbols and
+//!   walks the split iterator directly; the broker additionally caches
+//!   resolved routes per topic behind a trie epoch.
+//!
+//! Nothing outside the bench crate should use these types.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// An event in the old queue: `(at, seq)` total order, payload `T`.
+struct OldEvent<T> {
+    at: u64,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for OldEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for OldEvent<T> {}
+impl<T> PartialOrd for OldEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OldEvent<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The kernel's original single binary-heap event queue.
+pub struct OldEventQueue<T> {
+    heap: BinaryHeap<Reverse<OldEvent<T>>>,
+}
+
+impl<T> Default for OldEventQueue<T> {
+    fn default() -> Self {
+        OldEventQueue::new()
+    }
+}
+
+impl<T> OldEventQueue<T> {
+    pub fn new() -> OldEventQueue<T> {
+        OldEventQueue { heap: BinaryHeap::new() }
+    }
+
+    pub fn push(&mut self, at: u64, seq: u64, value: T) {
+        self.heap.push(Reverse(OldEvent { at, seq, value }));
+    }
+
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.seq, e.value))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The broker's original subscription trie (string-keyed, allocating
+/// lookup), copied from the pre-overhaul `digibox_broker::topic`.
+#[derive(Debug, Clone)]
+pub struct OldTopicTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: BTreeMap<String, Node<T>>,
+    values: Vec<T>,
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node { children: BTreeMap::new(), values: Vec::new() }
+    }
+}
+
+impl<T> Default for OldTopicTrie<T> {
+    fn default() -> Self {
+        OldTopicTrie::new()
+    }
+}
+
+impl<T> OldTopicTrie<T> {
+    pub fn new() -> OldTopicTrie<T> {
+        OldTopicTrie { root: Node::default(), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn insert(&mut self, filter: &str, value: T) {
+        let mut node = &mut self.root;
+        for level in filter.split('/') {
+            node = node.children.entry(level.to_string()).or_default();
+        }
+        node.values.push(value);
+        self.len += 1;
+    }
+
+    pub fn remove_where(&mut self, filter: &str, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut node = &mut self.root;
+        for level in filter.split('/') {
+            match node.children.get_mut(level) {
+                Some(n) => node = n,
+                None => return 0,
+            }
+        }
+        let before = node.values.len();
+        node.values.retain(|v| !pred(v));
+        let removed = before - node.values.len();
+        self.len -= removed;
+        removed
+    }
+
+    pub fn lookup(&self, topic: &str) -> Vec<&T> {
+        let levels: Vec<&str> = topic.split('/').collect();
+        let mut out = Vec::new();
+        let skip_wildcards_at_root = topic.starts_with('$');
+        Self::walk(&self.root, &levels, 0, skip_wildcards_at_root, &mut out);
+        out
+    }
+
+    fn walk<'a>(
+        node: &'a Node<T>,
+        levels: &[&str],
+        depth: usize,
+        dollar_guard: bool,
+        out: &mut Vec<&'a T>,
+    ) {
+        if let Some(hash) = node.children.get("#") {
+            if !(dollar_guard && depth == 0) {
+                out.extend(hash.values.iter());
+            }
+        }
+        if depth == levels.len() {
+            out.extend(node.values.iter());
+            return;
+        }
+        let level = levels[depth];
+        if let Some(child) = node.children.get(level) {
+            Self::walk(child, levels, depth + 1, dollar_guard, out);
+        }
+        if let Some(plus) = node.children.get("+") {
+            if !(dollar_guard && depth == 0) {
+                Self::walk(plus, levels, depth + 1, dollar_guard, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_broker::TopicTrie;
+    use digibox_net::EventWheel;
+
+    /// The frozen baselines must agree with the live implementations —
+    /// otherwise old-vs-new bench numbers compare different semantics.
+    #[test]
+    fn old_queue_agrees_with_event_wheel() {
+        let mut old = OldEventQueue::new();
+        let mut new = EventWheel::new();
+        let mut state = 0x5eed_cafe_u64;
+        let mut at = 0u64;
+        for seq in 0..5000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            at += state >> 40; // mixes same-tick, near, and far delays
+            old.push(at, seq, seq);
+            new.push(at, seq, seq);
+        }
+        while let Some(expect) = old.pop() {
+            assert_eq!(new.pop(), Some(expect));
+        }
+        assert!(new.is_empty());
+    }
+
+    #[test]
+    fn old_trie_agrees_with_interned_trie() {
+        let filters = ["a/+/c", "a/#", "a/b/c", "+/b/+", "#", "$SYS/#", "x/y"];
+        let topics = ["a/b/c", "a/x/c", "a/b", "x/y", "$SYS/stats", "q"];
+        let mut old = OldTopicTrie::new();
+        let mut new = TopicTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            old.insert(f, i);
+            new.insert(f, i);
+        }
+        for t in topics {
+            let mut a: Vec<usize> = old.lookup(t).into_iter().copied().collect();
+            let mut b: Vec<usize> = new.lookup(t).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "route mismatch for {t}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Headless bench smoke: old-vs-new substrate microbenchmarks plus a
+//! reduced E1/E6 sweep, written to `BENCH_substrate.json`.
+//!
+//! Unlike the criterion benches this runs in seconds and needs no
+//! harness, so CI can execute it report-only:
+//!
+//! ```text
+//! cargo run --release -p digibox-bench --bin bench_smoke [out.json]
+//! ```
+//!
+//! Timings use `std::time::Instant` (criterion is a dev-dependency and
+//! unavailable to bin targets); each microbench is repeated and the best
+//! of N kept, which is noisy next to criterion but stable enough for the
+//! ≥2×/≥3× speedup gates tracked in ISSUE/EXPERIMENTS.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use digibox_bench::baseline::{OldEventQueue, OldTopicTrie};
+use digibox_bench::{build_deployment, laptop, measure_gets, parallel_sweep, report};
+use digibox_broker::TopicTrie;
+use digibox_net::EventWheel;
+use serde_json::json;
+
+const TIMERS: u64 = 1024;
+const ROUNDS: u64 = 64;
+const PERIOD_NS: u64 = 10_000_000;
+const STANDING: u64 = 2048;
+const REPS: usize = 7;
+
+/// Best-of-N wall-clock seconds for `f`, with the result black-boxed by
+/// summing into a sink the caller asserts on.
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::MAX;
+    let mut sink = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        sink = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+fn periodic_old() -> u64 {
+    let mut q = OldEventQueue::new();
+    let mut seq = 0u64;
+    let horizon = PERIOD_NS * ROUNDS;
+    for s in 0..STANDING {
+        q.push(horizon + 1 + s * 1_000_000, seq, u64::MAX - s);
+        seq += 1;
+    }
+    for t in 0..TIMERS {
+        q.push(1 + t * (PERIOD_NS / TIMERS), seq, t);
+        seq += 1;
+    }
+    let mut fired = 0u64;
+    while let Some((at, _, t)) = q.pop() {
+        if at > horizon {
+            break;
+        }
+        fired += 1;
+        if at < horizon {
+            q.push(at + PERIOD_NS, seq, t);
+            seq += 1;
+        }
+    }
+    fired
+}
+
+fn periodic_new() -> u64 {
+    let mut q = EventWheel::new();
+    let mut seq = 0u64;
+    let horizon = PERIOD_NS * ROUNDS;
+    for s in 0..STANDING {
+        q.push(horizon + 1 + s * 1_000_000, seq, u64::MAX - s);
+        seq += 1;
+    }
+    for t in 0..TIMERS {
+        q.push(1 + t * (PERIOD_NS / TIMERS), seq, t);
+        seq += 1;
+    }
+    let mut fired = 0u64;
+    while let Some((at, _, t)) = q.pop() {
+        if at > horizon {
+            break;
+        }
+        fired += 1;
+        if at < horizon {
+            q.push(at + PERIOD_NS, seq, t);
+            seq += 1;
+        }
+    }
+    fired
+}
+
+fn filters(n: usize) -> Vec<String> {
+    let mut f: Vec<String> = (0..n).map(|i| format!("digibox/mock/O{i}/status")).collect();
+    f.push("digibox/mock/+/status".into());
+    f.push("digibox/#".into());
+    f
+}
+
+fn routing_old(trie: &OldTopicTrie<u32>, topics: &[String], publishes: usize) -> u64 {
+    let mut routed = 0u64;
+    for i in 0..publishes {
+        let mut routes: Vec<u32> = trie.lookup(&topics[i % topics.len()]).into_iter().copied().collect();
+        routes.sort_unstable();
+        routes.dedup();
+        routed += routes.len() as u64;
+    }
+    routed
+}
+
+fn routing_new(trie: &TopicTrie<u32>, topics: &[String], publishes: usize) -> u64 {
+    let mut cache: HashMap<String, Rc<[u32]>> = HashMap::new();
+    let mut routed = 0u64;
+    for i in 0..publishes {
+        let topic = &topics[i % topics.len()];
+        let routes = match cache.get(topic) {
+            Some(r) => Rc::clone(r),
+            None => {
+                let mut r: Vec<u32> = trie.lookup(topic).into_iter().copied().collect();
+                r.sort_unstable();
+                r.dedup();
+                let r: Rc<[u32]> = r.into();
+                cache.insert(topic.clone(), Rc::clone(&r));
+                r
+            }
+        };
+        routed += routes.len() as u64;
+    }
+    routed
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_substrate.json".into());
+
+    // ---- microbench 1: periodic timers, old heap vs timer wheel ----
+    let (heap_s, heap_fired) = best_of(periodic_old);
+    let (wheel_s, wheel_fired) = best_of(periodic_new);
+    assert_eq!(heap_fired, wheel_fired, "old and new queues disagree on fired count");
+    let timer_speedup = heap_s / wheel_s;
+    report(
+        "smoke",
+        &format!("periodic_timer  old={:.3}ms new={:.3}ms speedup={timer_speedup:.2}x", heap_s * 1e3, wheel_s * 1e3),
+    );
+
+    // ---- microbench 2: repeated-topic publish routing ----
+    let fs = filters(512);
+    let mut old_trie = OldTopicTrie::new();
+    let mut new_trie = TopicTrie::new();
+    for (i, f) in fs.iter().enumerate() {
+        old_trie.insert(f, i as u32);
+        new_trie.insert(f, i as u32);
+    }
+    let topics: Vec<String> = (0..8).map(|i| format!("digibox/mock/O{i}/status")).collect();
+    let (old_s, old_routed) = best_of(|| routing_old(&old_trie, &topics, 4096));
+    let (new_s, new_routed) = best_of(|| routing_new(&new_trie, &topics, 4096));
+    assert_eq!(old_routed, new_routed, "old and new routing disagree");
+    let routing_speedup = old_s / new_s;
+    report(
+        "smoke",
+        &format!("publish_routing old={:.3}ms new={:.3}ms speedup={routing_speedup:.2}x", old_s * 1e3, new_s * 1e3),
+    );
+
+    // ---- reduced E1: request latency on one laptop ----
+    let mut tb = laptop(1);
+    build_deployment(&mut tb, 50, 2, 0);
+    let app = measure_gets(&mut tb, 50, 200);
+    let app = app.borrow();
+    let h = app.latencies();
+    let e1 = json!({
+        "sensors": 50, "rooms": 2, "gets": 200,
+        "mean_ms": h.mean().as_millis_f64(),
+        "p50_ms": h.p50().as_millis_f64(),
+        "p99_ms": h.p99().as_millis_f64(),
+        "count": h.count(),
+    });
+    report("smoke", &format!("E1 reduced: mean={:.2}ms p99={:.2}ms", h.mean().as_millis_f64(), h.p99().as_millis_f64()));
+
+    // ---- reduced E6: latency across seeds (sharded sweep) ----
+    let seeds: Vec<u64> = (1..=4).collect();
+    let sweep = parallel_sweep(&seeds, |seed| {
+        let mut tb = laptop(seed);
+        build_deployment(&mut tb, 50, 5, 0);
+        let app = measure_gets(&mut tb, 50, 100);
+        let app = app.borrow();
+        app.latencies().mean().as_millis_f64()
+    });
+    let e6: Vec<_> = seeds.iter().zip(&sweep).map(|(s, m)| json!({"seed": s, "mean_ms": m})).collect();
+    report("smoke", &format!("E6 reduced: per-seed means {sweep:?}"));
+
+    let doc = json!({
+        "bench": "substrate_hotpath smoke",
+        "harness": "bench_smoke bin (std::time::Instant, best of 7)",
+        "micro": {
+            "periodic_timer": {
+                "timers": TIMERS, "rounds": ROUNDS, "period_ns": PERIOD_NS, "standing": STANDING,
+                "old_binary_heap_ms": heap_s * 1e3,
+                "new_timer_wheel_ms": wheel_s * 1e3,
+                "speedup": timer_speedup,
+            },
+            "publish_routing": {
+                "subscriptions": fs.len(), "hot_topics": topics.len(), "publishes": 4096,
+                "old_uncached_ms": old_s * 1e3,
+                "new_cached_interned_ms": new_s * 1e3,
+                "speedup": routing_speedup,
+            },
+        },
+        "e1_reduced": e1,
+        "e6_reduced": e6,
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap()).expect("write report");
+    report("smoke", &format!("wrote {out_path}"));
+}

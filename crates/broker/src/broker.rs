@@ -17,6 +17,11 @@ use crate::topic::{validate_filter, validate_topic, TopicTrie};
 /// than timer-driven so a quiesced testbed's event queue can drain).
 const SYS_EVERY_PUBLISHES: u64 = 64;
 
+/// Bound on distinct cached topics; IoT workloads publish to a small,
+/// stable set of topics, so hitting this means a pathological workload —
+/// just drop the whole cache rather than track per-entry age.
+const ROUTE_CACHE_CAP: usize = 4096;
+
 /// Broker counters (exposed for the scalability benchmarks).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BrokerStats {
@@ -27,6 +32,8 @@ pub struct BrokerStats {
     pub retained_served: u64,
     pub wills_fired: u64,
     pub malformed: u64,
+    pub route_cache_hits: u64,
+    pub route_cache_misses: u64,
 }
 
 #[derive(Debug)]
@@ -45,6 +52,12 @@ pub struct Broker {
     sessions: HashMap<Addr, Session>,
     /// filter → (subscriber address, granted qos)
     subs: TopicTrie<(Addr, QoS)>,
+    /// topic → fully resolved delivery list (deduped, best-qos, sorted).
+    /// Valid only while `route_epoch` equals the trie's epoch; any
+    /// subscribe/unsubscribe/session-end bumps the epoch and the next
+    /// publish drops the whole cache.
+    route_cache: HashMap<String, Rc<[(Addr, QoS)]>>,
+    route_epoch: u64,
     /// topic → retained (qos, payload)
     retained: BTreeMap<String, (QoS, Bytes)>,
     next_pid: u16,
@@ -58,6 +71,8 @@ impl Broker {
             ep: ReliableEndpoint::new(addr),
             sessions: HashMap::new(),
             subs: TopicTrie::new(),
+            route_cache: HashMap::new(),
+            route_epoch: 0,
             retained: BTreeMap::new(),
             next_pid: 1,
             stats: BrokerStats::default(),
@@ -192,19 +207,40 @@ impl Broker {
         }
     }
 
-    /// Route a publication to every matching subscriber.
-    fn route(&mut self, sim: &mut Sim, topic: &str, pub_qos: QoS, payload: Bytes, retain: bool) {
-        let targets: Vec<(Addr, QoS)> = self.subs.lookup(topic).into_iter().copied().collect();
+    /// Resolve `topic` to its delivery list, consulting the route cache.
+    /// Cache entries are immutable snapshots (`Rc<[...]>`), invalidated
+    /// wholesale whenever the subscription trie's epoch moves.
+    fn resolved_routes(&mut self, topic: &str) -> Rc<[(Addr, QoS)]> {
+        if self.route_epoch != self.subs.epoch() {
+            self.route_cache.clear();
+            self.route_epoch = self.subs.epoch();
+        }
+        if let Some(routes) = self.route_cache.get(topic) {
+            self.stats.route_cache_hits += 1;
+            return routes.clone();
+        }
+        self.stats.route_cache_misses += 1;
         // A session subscribed via several matching filters gets one copy at
         // the highest granted qos.
         let mut best: HashMap<Addr, QoS> = HashMap::new();
-        for (addr, q) in targets {
+        for &(addr, q) in self.subs.lookup(topic) {
             let e = best.entry(addr).or_insert(q);
             *e = (*e).max(q);
         }
         let mut sorted: Vec<(Addr, QoS)> = best.into_iter().collect();
         sorted.sort_unstable_by_key(|(a, _)| *a);
-        for (addr, sub_qos) in sorted {
+        let routes: Rc<[(Addr, QoS)]> = sorted.into();
+        if self.route_cache.len() >= ROUTE_CACHE_CAP {
+            self.route_cache.clear();
+        }
+        self.route_cache.insert(topic.to_string(), routes.clone());
+        routes
+    }
+
+    /// Route a publication to every matching subscriber.
+    fn route(&mut self, sim: &mut Sim, topic: &str, pub_qos: QoS, payload: Bytes, retain: bool) {
+        let routes = self.resolved_routes(topic);
+        for &(addr, sub_qos) in routes.iter() {
             let qos = pub_qos.min(sub_qos);
             self.deliver(sim, addr, topic, qos, payload.clone(), retain);
         }
@@ -599,5 +635,53 @@ mod tests {
         assert_eq!(b.stats().publishes_in, 10);
         assert_eq!(b.stats().publishes_out, 10);
         assert_eq!(b.stats().subscribes, 1);
+    }
+
+    #[test]
+    fn route_cache_hits_on_repeated_topic() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("hot/+", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        for _ in 0..20 {
+            publisher.borrow_mut().conn.publish(&mut rig.sim, "hot/topic", &b"m"[..], QoS::AtMostOnce, false);
+        }
+        rig.sim.run_to_completion();
+        assert_eq!(sub.borrow().messages().len(), 20);
+        let b = rig.broker.borrow();
+        assert!(
+            b.stats().route_cache_hits >= 19,
+            "repeated publishes must hit the cache (hits={})",
+            b.stats().route_cache_hits
+        );
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_unsubscribe_and_session_end() {
+        let mut rig = Rig::new();
+        let (sub1, _) = rig.client("sub1");
+        let (sub2, _) = rig.client("sub2");
+        let (publisher, _) = rig.client("pub");
+        sub1.borrow_mut().conn.subscribe(&mut rig.sim, &[("t/x", QoS::AtMostOnce)]);
+        sub2.borrow_mut().conn.subscribe(&mut rig.sim, &[("t/#", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "t/x", &b"1"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub1.borrow().messages().len(), 1);
+        assert_eq!(sub2.borrow().messages().len(), 1);
+        // unsubscribe must invalidate the cached route for "t/x"
+        sub1.borrow_mut().conn.unsubscribe(&mut rig.sim, &["t/x"]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "t/x", &b"2"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub1.borrow().messages().len(), 1, "stale cached route after unsubscribe");
+        assert_eq!(sub2.borrow().messages().len(), 2);
+        // session end (graceful disconnect) must invalidate too
+        sub2.borrow_mut().conn.disconnect(&mut rig.sim);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "t/x", &b"3"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub2.borrow().messages().len(), 2, "stale cached route after session end");
     }
 }

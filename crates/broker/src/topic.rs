@@ -3,8 +3,15 @@
 //! Semantics follow MQTT 3.1.1 §4.7: `/`-separated levels, `+` matches
 //! exactly one level, `#` matches any suffix (must be last), and wildcard
 //! filters do not match topics starting with `$`.
+//!
+//! The trie interns level strings into `u32` symbols: filters are split
+//! once at insert time, and `lookup` walks the topic with a borrowed
+//! `split('/')` iterator — no per-publish `Vec<&str>` allocation and no
+//! `String` comparisons, just hash probes on 4-byte keys. A topic level
+//! that was never interned cannot match any literal branch, so unknown
+//! levels short-circuit to the wildcard children only.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Is `topic` a valid topic *name* (publishable)? No wildcards allowed.
 pub fn validate_topic(topic: &str) -> bool {
@@ -60,6 +67,45 @@ pub fn matches(filter: &str, topic: &str) -> bool {
     }
 }
 
+/// Symbol reserved for the `+` wildcard level.
+const SYM_PLUS: u32 = 0;
+/// Symbol reserved for the `#` wildcard level.
+const SYM_HASH: u32 = 1;
+
+/// Level-string symbol table. Filters intern their levels on insert;
+/// lookups only *probe* (a level that was never part of any filter has no
+/// symbol, hence no literal branch to follow).
+#[derive(Debug, Clone)]
+struct Interner {
+    map: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        let mut it = Interner { map: HashMap::new(), names: Vec::new() };
+        assert_eq!(it.intern("+"), SYM_PLUS);
+        assert_eq!(it.intern("#"), SYM_HASH);
+        it
+    }
+
+    fn intern(&mut self, level: &str) -> u32 {
+        if let Some(&sym) = self.map.get(level) {
+            return sym;
+        }
+        let sym = self.names.len() as u32;
+        let boxed: Box<str> = level.into();
+        self.names.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Probe without interning — allocation-free.
+    fn get(&self, level: &str) -> Option<u32> {
+        self.map.get(level).copied()
+    }
+}
+
 /// A subscription trie: filters map to values; `lookup(topic)` collects the
 /// values of every matching filter in one pass. Used by the broker to route
 /// a publish to its subscribers without scanning all sessions.
@@ -67,18 +113,20 @@ pub fn matches(filter: &str, topic: &str) -> bool {
 pub struct TopicTrie<T> {
     root: Node<T>,
     len: usize,
+    interner: Interner,
+    epoch: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Node<T> {
-    children: BTreeMap<String, Node<T>>,
+    children: HashMap<u32, Node<T>>,
     /// Values registered on the exact filter ending at this node.
     values: Vec<T>,
 }
 
 impl<T> Default for Node<T> {
     fn default() -> Self {
-        Node { children: BTreeMap::new(), values: Vec::new() }
+        Node { children: HashMap::new(), values: Vec::new() }
     }
 }
 
@@ -90,7 +138,7 @@ impl<T> Default for TopicTrie<T> {
 
 impl<T> TopicTrie<T> {
     pub fn new() -> TopicTrie<T> {
-        TopicTrie { root: Node::default(), len: 0 }
+        TopicTrie { root: Node::default(), len: 0, interner: Interner::new(), epoch: 0 }
     }
 
     /// Number of stored values (not distinct filters).
@@ -102,14 +150,23 @@ impl<T> TopicTrie<T> {
         self.len == 0
     }
 
+    /// Generation counter, bumped by every mutation that can change a
+    /// lookup's result. Route caches above the trie compare epochs instead
+    /// of registering invalidation hooks.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Register `value` under `filter` (assumed pre-validated).
     pub fn insert(&mut self, filter: &str, value: T) {
         let mut node = &mut self.root;
         for level in filter.split('/') {
-            node = node.children.entry(level.to_string()).or_default();
+            let sym = self.interner.intern(level);
+            node = node.children.entry(sym).or_default();
         }
         node.values.push(value);
         self.len += 1;
+        self.epoch += 1;
     }
 
     /// Remove every value under `filter` for which `pred` returns true.
@@ -117,7 +174,10 @@ impl<T> TopicTrie<T> {
     pub fn remove_where(&mut self, filter: &str, mut pred: impl FnMut(&T) -> bool) -> usize {
         let mut node = &mut self.root;
         for level in filter.split('/') {
-            match node.children.get_mut(level) {
+            let Some(sym) = self.interner.get(level) else {
+                return 0;
+            };
+            match node.children.get_mut(&sym) {
                 Some(n) => node = n,
                 None => return 0,
             }
@@ -126,42 +186,49 @@ impl<T> TopicTrie<T> {
         node.values.retain(|v| !pred(v));
         let removed = before - node.values.len();
         self.len -= removed;
+        if removed > 0 {
+            self.epoch += 1;
+        }
         removed
     }
 
     /// Collect references to every value whose filter matches `topic`.
     pub fn lookup(&self, topic: &str) -> Vec<&T> {
-        let levels: Vec<&str> = topic.split('/').collect();
         let mut out = Vec::new();
-        let skip_wildcards_at_root = topic.starts_with('$');
-        Self::walk(&self.root, &levels, 0, skip_wildcards_at_root, &mut out);
+        let dollar_guard = topic.starts_with('$');
+        self.walk(&self.root, topic.split('/'), 0, dollar_guard, &mut out);
         out
     }
 
-    fn walk<'a>(
+    fn walk<'a, 't>(
+        &'a self,
         node: &'a Node<T>,
-        levels: &[&str],
+        mut rest: std::str::Split<'t, char>,
         depth: usize,
         dollar_guard: bool,
         out: &mut Vec<&'a T>,
     ) {
         // '#' at this level matches everything below (including the parent).
-        if let Some(hash) = node.children.get("#") {
+        if let Some(hash) = node.children.get(&SYM_HASH) {
             if !(dollar_guard && depth == 0) {
                 out.extend(hash.values.iter());
             }
         }
-        if depth == levels.len() {
-            out.extend(node.values.iter());
-            return;
-        }
-        let level = levels[depth];
-        if let Some(child) = node.children.get(level) {
-            Self::walk(child, levels, depth + 1, dollar_guard, out);
-        }
-        if let Some(plus) = node.children.get("+") {
-            if !(dollar_guard && depth == 0) {
-                Self::walk(plus, levels, depth + 1, dollar_guard, out);
+        match rest.next() {
+            None => out.extend(node.values.iter()),
+            Some(level) => {
+                // Unknown level ⇒ no filter ever used it literally; only
+                // the wildcard branches can still match.
+                if let Some(sym) = self.interner.get(level) {
+                    if let Some(child) = node.children.get(&sym) {
+                        self.walk(child, rest.clone(), depth + 1, dollar_guard, out);
+                    }
+                }
+                if let Some(plus) = node.children.get(&SYM_PLUS) {
+                    if !(dollar_guard && depth == 0) {
+                        self.walk(plus, rest, depth + 1, dollar_guard, out);
+                    }
+                }
             }
         }
     }
@@ -273,5 +340,30 @@ mod tests {
         assert_eq!(trie.lookup("a").len(), 1);
         assert_eq!(trie.lookup("a/b/c").len(), 1);
         assert_eq!(trie.lookup("b").len(), 0);
+    }
+
+    #[test]
+    fn epoch_tracks_effective_mutations() {
+        let mut trie = TopicTrie::new();
+        let e0 = trie.epoch();
+        trie.insert("a/b", 1);
+        let e1 = trie.epoch();
+        assert_ne!(e0, e1);
+        // removal that matches nothing must NOT invalidate caches
+        assert_eq!(trie.remove_where("a/b", |v| *v == 99), 0);
+        assert_eq!(trie.epoch(), e1);
+        assert_eq!(trie.remove_where("a/b", |v| *v == 1), 1);
+        assert_ne!(trie.epoch(), e1);
+    }
+
+    #[test]
+    fn lookup_with_unknown_levels_still_hits_wildcards() {
+        let mut trie = TopicTrie::new();
+        trie.insert("a/+/c", 1);
+        trie.insert("#", 2);
+        // "never-interned" only appears in the topic, not in any filter
+        let got: Vec<i32> = trie.lookup("a/never-interned/c").into_iter().copied().collect();
+        assert!(got.contains(&1) && got.contains(&2));
+        assert_eq!(trie.lookup("x/never-interned").into_iter().copied().collect::<Vec<i32>>(), vec![2]);
     }
 }

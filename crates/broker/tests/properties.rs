@@ -35,6 +35,33 @@ fn filter() -> impl Strategy<Value = String> {
     .prop_filter("filter must be non-empty", |f| !f.is_empty())
 }
 
+/// Strategy: a publishable topic that is sometimes a `$`-prefixed system
+/// topic, to exercise wildcard shielding in the interleaved property.
+fn sys_or_plain_topic() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => topic(),
+        1 => topic().prop_map(|t| format!("$SYS/{t}")),
+    ]
+}
+
+/// One step of an interleaved broker workload. `Unsubscribe` holds an
+/// index resolved against the live subscription list at execution time,
+/// so removals actually hit; a fresh random filter almost never would.
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(String),
+    Unsubscribe(usize),
+    Publish(String),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => filter().prop_map(Op::Subscribe),
+        1 => (0..64usize).prop_map(Op::Unsubscribe),
+        3 => sys_or_plain_topic().prop_map(Op::Publish),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -80,6 +107,62 @@ proptest! {
     fn hash_filter_matches_everything_not_dollar(t in topic()) {
         prop_assume!(!t.starts_with('$'));
         prop_assert!(matches("#", &t));
+    }
+
+    /// Interleaved subscribe/unsubscribe/publish agrees with the
+    /// reference matcher at every publish, including `$SYS`-style topics
+    /// (wildcard shielding), and the trie epoch moves exactly when the
+    /// subscription set effectively changes — the invariant the broker's
+    /// route cache depends on for invalidation.
+    #[test]
+    fn interleaved_ops_agree_with_reference(ops in prop::collection::vec(op(), 1..40)) {
+        let mut trie = TopicTrie::new();
+        let mut reference: Vec<(String, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for operation in ops {
+            let epoch_before = trie.epoch();
+            match operation {
+                Op::Subscribe(f) => {
+                    trie.insert(&f, next_id);
+                    reference.push((f, next_id));
+                    next_id += 1;
+                    prop_assert_ne!(trie.epoch(), epoch_before, "insert must bump the epoch");
+                }
+                Op::Unsubscribe(idx) => {
+                    // Resolve the index against the live subscription
+                    // list; when empty, exercise the no-op removal path.
+                    let f = if reference.is_empty() {
+                        "never/subscribed".to_string()
+                    } else {
+                        reference[idx % reference.len()].0.clone()
+                    };
+                    let removed = trie.remove_where(&f, |_| true);
+                    let before = reference.len();
+                    reference.retain(|(rf, _)| *rf != f);
+                    prop_assert_eq!(removed, before - reference.len());
+                    if removed > 0 {
+                        prop_assert_ne!(trie.epoch(), epoch_before,
+                            "effective removal must bump the epoch");
+                    } else {
+                        prop_assert_eq!(trie.epoch(), epoch_before,
+                            "no-op removal must not bump the epoch");
+                    }
+                }
+                Op::Publish(t) => {
+                    let mut expect: Vec<usize> = reference
+                        .iter()
+                        .filter(|(f, _)| matches(f, &t))
+                        .map(|(_, id)| *id)
+                        .collect();
+                    let mut got: Vec<usize> = trie.lookup(&t).into_iter().copied().collect();
+                    expect.sort_unstable();
+                    got.sort_unstable();
+                    prop_assert_eq!(got, expect, "routes diverge on topic {:?}", t);
+                    prop_assert_eq!(trie.epoch(), epoch_before, "lookup must not bump the epoch");
+                }
+            }
+            prop_assert_eq!(trie.len(), reference.len());
+        }
     }
 
     #[test]

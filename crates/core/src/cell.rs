@@ -74,6 +74,12 @@ impl DigiCell {
     ) -> DigiCell {
         let name = model.meta.name.clone();
         let fields = model.fields().clone();
+        // Warm the path-intern table with this program's declared fields so
+        // handler literals resolve to pre-parsed segments from the very
+        // first invocation (registration-time resolution).
+        for field in program.schema().fields.keys() {
+            let _ = Path::interned(field);
+        }
         DigiCell {
             name,
             model,
@@ -196,13 +202,21 @@ impl DigiCell {
         let Some(map) = value.as_map() else {
             return Vec::new();
         };
-        map.iter().filter_map(|(k, v)| Path::parse(k).ok().map(|p| (p, v.clone()))).collect()
+        // Intent keys are device field literals (a small closed set), so
+        // interning amortizes the split across every request.
+        map.iter().filter_map(|(k, v)| Path::interned(k).ok().map(|p| (p, v.clone()))).collect()
     }
 
     /// Apply intent updates (after any actuation delay handled by the host).
     pub fn apply_intents(&mut self, now: SimTime, updates: Vec<(Path, Value)>, out: &mut Outbox) {
         for (path, value) in updates {
-            let _ = self.model.set(&path.child("intent"), value);
+            // Single-segment field names hit the interned (base → intent)
+            // triple; deeper paths fall back to an explicit child join.
+            let intent_path = match path.segments() {
+                [field] => Path::interned_intent(field).unwrap_or_else(|_| path.child("intent")),
+                _ => path.child("intent"),
+            };
+            let _ = self.model.set(&intent_path, value);
             self.stats.intents_applied += 1;
         }
         self.process(now, out);

@@ -8,12 +8,18 @@
 //! > (FaaS) to run the simulator logic of mocks and scenes."
 //!
 //! A pool is the FaaS executor: it hosts N [`DigiCell`]s behind **one**
-//! network endpoint, **one** MQTT session and **one** timer wheel, invoking
-//! each cell's handlers only when its events are due or its messages
-//! arrive. Compared to one-microservice-per-mock this removes the per-digi
-//! broker session, per-digi loop timer and per-digi endpoint — the
-//! fixed-cost floor that dominates at thousands of mostly-idle mocks. The
-//! `e9_faas_pooling` bench quantifies the difference.
+//! network endpoint and **one** MQTT session, invoking each cell's handlers
+//! only when its events are due or its messages arrive. Compared to
+//! one-microservice-per-mock this removes the per-digi broker session and
+//! per-digi endpoint — the fixed-cost floor that dominates at thousands of
+//! mostly-idle mocks. The `e9_faas_pooling` bench quantifies the
+//! difference.
+//!
+//! Tick scheduling rides directly on the kernel's hierarchical timer wheel:
+//! each hosted cell gets a tagged per-cell kernel timer instead of the pool
+//! keeping its own due-time map and re-arming a single wakeup (double
+//! bookkeeping of the same schedule). Stale tokens — from evicted cells —
+//! are simply ignored when they fire.
 //!
 //! Semantics are unchanged: pooled digis publish/subscribe the same topics
 //! and serve the same REST API (routed as `/digi/<name>/...`), so
@@ -31,15 +37,19 @@ use digibox_broker::{ClientEvent, MqttConn, QoS};
 use digibox_model::Model;
 use digibox_net::httpx::{Request, Response};
 use digibox_net::transport::{ReliableEndpoint, TransportEvent};
-use digibox_net::{Addr, Datagram, Prng, Service, ServiceHandle, Sim, SimDuration, SimTime, TimerToken};
+use digibox_net::{Addr, Datagram, Prng, Service, ServiceHandle, Sim, SimDuration, TimerToken};
 use digibox_trace::TraceLog;
 
 use crate::cell::{DigiCell, Outbox};
 use crate::program::DigiProgram;
 use crate::topics;
 
-/// Timer token for the shared wheel.
-const TOKEN_WHEEL: TimerToken = 1;
+/// Tag bit for per-cell tick timers. Disjoint from the reliable-transport
+/// bit (1 << 63), the endpoint token spaces (bits 48..63) and the HTTP
+/// response tag (1 << 60).
+const TICK_TOKEN_TAG: TimerToken = 1 << 59;
+/// Tag bit for delayed HTTP responses.
+const RESPONSE_TOKEN_TAG: TimerToken = 1 << 60;
 /// Token space of the HTTP endpoint.
 const HTTP_TOKEN_SPACE: u16 = 2;
 
@@ -59,10 +69,11 @@ pub struct DigiPool {
     conn: MqttConn,
     http: ReliableEndpoint,
     cells: BTreeMap<String, DigiCell>,
-    /// Next tick due-time per cell (the timer wheel's entries).
-    next_tick: BTreeMap<String, SimTime>,
-    /// Due-time the armed wheel timer fires at (None = not armed).
-    armed_at: Option<SimTime>,
+    /// Live tick-timer token → cell name (kernel-wheel entries we own).
+    tick_tokens: HashMap<TimerToken, String>,
+    /// Reverse map, so eviction/rescheduling can invalidate the old token.
+    cell_tokens: HashMap<String, TimerToken>,
+    next_tick_token: u64,
     service_overhead: SimDuration,
     overhead_rng: Prng,
     pending_responses: HashMap<TimerToken, (Addr, Bytes)>,
@@ -77,8 +88,9 @@ impl DigiPool {
             http: ReliableEndpoint::new(addr).with_space(HTTP_TOKEN_SPACE),
             addr,
             cells: BTreeMap::new(),
-            next_tick: BTreeMap::new(),
-            armed_at: None,
+            tick_tokens: HashMap::new(),
+            cell_tokens: HashMap::new(),
+            next_tick_token: 0,
             service_overhead,
             overhead_rng: Prng::new(addr.port as u64 ^ 0xF445),
             pending_responses: HashMap::new(),
@@ -136,10 +148,9 @@ impl DigiPool {
         let mut out = Outbox::new();
         cell.start(sim.now(), &mut out);
         self.flush(sim, out);
-        let due = sim.now() + SimDuration::from_millis(cell.interval_ms());
-        self.next_tick.insert(name.clone(), due);
-        self.cells.insert(name, cell);
-        self.rearm(sim);
+        let interval = SimDuration::from_millis(cell.interval_ms());
+        self.cells.insert(name.clone(), cell);
+        self.schedule_tick(sim, &name, interval);
     }
 
     /// Remove a hosted digi.
@@ -147,7 +158,9 @@ impl DigiPool {
         let Some(cell) = self.cells.remove(name) else {
             return false;
         };
-        self.next_tick.remove(name);
+        if let Some(token) = self.cell_tokens.remove(name) {
+            self.tick_tokens.remove(&token);
+        }
         let [intent_topic, set_topic] = cell.command_topics();
         self.conn.unsubscribe(sim, &[&intent_topic, &set_topic]);
         true
@@ -170,44 +183,35 @@ impl DigiPool {
         }
     }
 
-    /// Arm (or re-arm) the single wheel timer for the earliest due tick.
-    fn rearm(&mut self, sim: &mut Sim) {
-        let Some(&earliest) = self.next_tick.values().min() else {
-            self.armed_at = None;
-            return;
-        };
-        if self.armed_at.is_some_and(|at| at <= earliest) {
-            return; // an earlier-or-equal wakeup is already scheduled
+    /// Arm a fresh per-cell tick timer on the kernel wheel, invalidating
+    /// any previous token the cell held.
+    fn schedule_tick(&mut self, sim: &mut Sim, name: &str, delay: SimDuration) {
+        let token = TICK_TOKEN_TAG | self.next_tick_token;
+        self.next_tick_token += 1;
+        if let Some(old) = self.cell_tokens.insert(name.to_string(), token) {
+            self.tick_tokens.remove(&old);
         }
-        self.armed_at = Some(earliest);
-        let delay = earliest.since(sim.now());
-        sim.set_timer(self.addr, delay, TOKEN_WHEEL);
+        self.tick_tokens.insert(token, name.to_string());
+        sim.set_timer(self.addr, delay, token);
     }
 
-    /// Run every cell whose tick is due; reschedule them.
-    fn run_wheel(&mut self, sim: &mut Sim) {
+    /// One cell's tick timer fired: run its loop handler and re-arm.
+    fn run_tick(&mut self, sim: &mut Sim, token: TimerToken) {
+        let Some(name) = self.tick_tokens.remove(&token) else {
+            return; // stale token from an evicted or rescheduled cell
+        };
+        self.cell_tokens.remove(&name);
         self.stats.wheel_wakeups += 1;
-        self.armed_at = None;
         let now = sim.now();
-        let due: Vec<String> = self
-            .next_tick
-            .iter()
-            .filter(|(_, at)| **at <= now)
-            .map(|(n, _)| n.clone())
-            .collect();
-        for name in due {
-            if let Some(cell) = self.cells.get_mut(&name) {
-                let mut out = Outbox::new();
-                cell.tick(now, &mut out);
-                self.stats.ticks_dispatched += 1;
-                let next = now + SimDuration::from_millis(
-                    self.cells.get(&name).expect("cell exists").interval_ms(),
-                );
-                self.next_tick.insert(name, next);
-                self.flush(sim, out);
-            }
-        }
-        self.rearm(sim);
+        let Some(cell) = self.cells.get_mut(&name) else {
+            return;
+        };
+        let mut out = Outbox::new();
+        cell.tick(now, &mut out);
+        self.stats.ticks_dispatched += 1;
+        let interval = SimDuration::from_millis(cell.interval_ms());
+        self.flush(sim, out);
+        self.schedule_tick(sim, &name, interval);
     }
 
     fn handle_mqtt_message(&mut self, sim: &mut Sim, topic: &str, payload: &[u8]) {
@@ -290,7 +294,7 @@ impl DigiPool {
             let delay = SimDuration::from_nanos(
                 (self.service_overhead.as_nanos() as f64 * factor) as u64,
             );
-            let token = (1 << 60) | self.next_response_token;
+            let token = RESPONSE_TOKEN_TAG | self.next_response_token;
             self.next_response_token += 1;
             self.pending_responses.insert(token, (peer, bytes));
             sim.set_timer(self.addr, delay, token);
@@ -337,12 +341,12 @@ impl Service for DigiPool {
             self.pump(sim);
             return;
         }
-        if token == TOKEN_WHEEL {
-            self.run_wheel(sim);
-        } else if token & (1 << 60) != 0 {
+        if token & RESPONSE_TOKEN_TAG != 0 {
             if let Some((peer, bytes)) = self.pending_responses.remove(&token) {
                 self.http.send(sim, peer, bytes);
             }
+        } else if token & TICK_TOKEN_TAG != 0 {
+            self.run_tick(sim, token);
         }
     }
 }

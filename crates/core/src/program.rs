@@ -106,14 +106,15 @@ impl SimCtx<'_> {
         self.emitted.push(data);
     }
 
-    /// Read `field.intent`.
+    /// Read `field.intent`. Field literals are interned: the dotted string
+    /// is split once per process, not once per handler invocation.
     pub fn intent(&self, field: &str) -> Option<&Value> {
-        Path::parse(field).ok()?.child("intent").lookup(self.model.fields())
+        Path::interned_intent(field).ok()?.lookup(self.model.fields())
     }
 
     /// Read `field.status`.
     pub fn status(&self, field: &str) -> Option<&Value> {
-        Path::parse(field).ok()?.child("status").lookup(self.model.fields())
+        Path::interned_status(field).ok()?.lookup(self.model.fields())
     }
 
     pub fn status_str(&self, field: &str) -> Option<String> {
@@ -143,15 +144,15 @@ impl SimCtx<'_> {
         if self.status(field) == Some(&value) {
             return;
         }
-        if let Ok(p) = Path::parse(field) {
-            let _ = self.model.set(&p.child("status"), value);
+        if let Ok(p) = Path::interned_status(field) {
+            let _ = self.model.set(&p, value);
         }
     }
 
     /// Write a plain (non-pair) field, also change-guarded.
     pub fn set_field(&mut self, path: &str, value: impl Into<Value>) {
         let value = value.into();
-        if let Ok(p) = Path::parse(path) {
+        if let Ok(p) = Path::interned(path) {
             if p.lookup(self.model.fields()) == Some(&value) {
                 return;
             }
@@ -161,7 +162,7 @@ impl SimCtx<'_> {
 
     /// Read a plain field.
     pub fn field(&self, path: &str) -> Option<&Value> {
-        Path::parse(path).ok()?.lookup(self.model.fields())
+        Path::interned(path).ok()?.lookup(self.model.fields())
     }
 
     pub fn field_bool(&self, path: &str) -> Option<bool> {

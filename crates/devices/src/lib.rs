@@ -118,6 +118,26 @@ mod tests {
     }
 
     #[test]
+    fn every_schema_field_is_an_internable_path() {
+        // Handler field access goes through the path-intern table
+        // (pre-parsed at cell registration); every declared field of every
+        // built-in type must therefore be a valid dotted-path literal.
+        let c = full_catalog();
+        for kind in c.kinds() {
+            let program = c.make(kind).unwrap();
+            for field in program.schema().fields.keys() {
+                let p = digibox_model::Path::interned(field)
+                    .unwrap_or_else(|e| panic!("{kind} field `{field}` not internable: {e}"));
+                assert_eq!(p, digibox_model::Path::interned(field).unwrap());
+                assert_eq!(
+                    digibox_model::Path::interned_status(field).unwrap(),
+                    p.child("status")
+                );
+            }
+        }
+    }
+
+    #[test]
     fn every_type_packages() {
         let c = full_catalog();
         for kind in c.kinds() {

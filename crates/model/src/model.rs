@@ -98,8 +98,11 @@ impl Model {
             expected: "map",
             found: "scalar",
         })?;
+        // Shallow merge targets root-level keys only, so insert directly
+        // into the root map instead of routing each key through Path::set.
+        let fields = self.fields.as_map_mut().expect("model fields are always a map");
         for (k, v) in map {
-            Path::from_segments([k.clone()]).set(&mut self.fields, v.clone())?;
+            fields.insert(k.clone(), v.clone());
         }
         self.revision += 1;
         Ok(())

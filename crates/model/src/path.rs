@@ -1,4 +1,7 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -9,16 +12,72 @@ use crate::{ModelError, Result, Value};
 /// Paths are the addressing scheme used by patches, schemas, scene
 /// properties and the `dbox edit` command. Segments may not be empty; the
 /// empty path (`Path::root()`) addresses the whole field tree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+///
+/// Segments are held behind an `Arc`, so `Clone` is a refcount bump and
+/// interned paths ([`Path::interned`]) share one allocation across every
+/// handler invocation instead of re-splitting the literal per read/write.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Path {
-    segments: Vec<String>,
+    segments: Arc<[String]>,
+}
+
+// Serialize exactly as the former `#[serde(transparent)] Vec<String>` did
+// (a plain JSON array), so traces and stored models keep their format.
+impl Serialize for Path {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        self.segments[..].serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Path {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Path, D::Error> {
+        let segments = Vec::<String>::deserialize(d)?;
+        Ok(Path { segments: segments.into() })
+    }
+}
+
+/// Interned `(base, base.intent, base.status)` triple for one field literal.
+#[derive(Clone)]
+struct InternedField {
+    base: Path,
+    intent: Path,
+    status: Path,
+}
+
+thread_local! {
+    /// Field-literal intern table. Keys come from device/scene programs and
+    /// schemas, a small closed set per process; the cap only guards against
+    /// a pathological caller interning unbounded untrusted input.
+    static FIELD_CACHE: RefCell<HashMap<Box<str>, InternedField>> =
+        RefCell::new(HashMap::new());
+}
+
+const FIELD_CACHE_CAP: usize = 4096;
+
+fn interned_field(s: &str) -> Result<InternedField> {
+    FIELD_CACHE.with(|c| {
+        if let Some(f) = c.borrow().get(s) {
+            return Ok(f.clone());
+        }
+        let base = Path::parse(s)?;
+        let f = InternedField {
+            intent: base.child("intent"),
+            status: base.child("status"),
+            base,
+        };
+        let mut cache = c.borrow_mut();
+        if cache.len() >= FIELD_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(s.into(), f.clone());
+        Ok(f)
+    })
 }
 
 impl Path {
     /// The root path (addresses the whole tree).
     pub fn root() -> Path {
-        Path { segments: Vec::new() }
+        Path { segments: Vec::new().into() }
     }
 
     /// Parse a dotted path literal. Rejects empty segments (`a..b`).
@@ -30,7 +89,23 @@ impl Path {
         if segments.iter().any(String::is_empty) {
             return Err(ModelError::BadPath(s.to_string()));
         }
-        Ok(Path { segments })
+        Ok(Path { segments: segments.into() })
+    }
+
+    /// Parse with interning: repeated calls with the same literal return
+    /// clones of one shared parse (the hot path for handler field access).
+    pub fn interned(s: &str) -> Result<Path> {
+        Ok(interned_field(s)?.base)
+    }
+
+    /// Interned `<field>.intent` — pre-resolved once per literal.
+    pub fn interned_intent(s: &str) -> Result<Path> {
+        Ok(interned_field(s)?.intent)
+    }
+
+    /// Interned `<field>.status` — pre-resolved once per literal.
+    pub fn interned_status(s: &str) -> Result<Path> {
+        Ok(interned_field(s)?.status)
     }
 
     /// Build a path from pre-split segments.
@@ -39,7 +114,7 @@ impl Path {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Path { segments: segs.into_iter().map(Into::into).collect() }
+        Path { segments: segs.into_iter().map(Into::into).collect::<Vec<_>>().into() }
     }
 
     pub fn segments(&self) -> &[String] {
@@ -60,15 +135,16 @@ impl Path {
 
     /// Append a segment, returning the extended path.
     pub fn child(&self, seg: &str) -> Path {
-        let mut segments = self.segments.clone();
+        let mut segments = Vec::with_capacity(self.segments.len() + 1);
+        segments.extend(self.segments.iter().cloned());
         segments.push(seg.to_string());
-        Path { segments }
+        Path { segments: segments.into() }
     }
 
     /// The parent path and final segment, or `None` at the root.
     pub fn split_last(&self) -> Option<(Path, &str)> {
         let (last, rest) = self.segments.split_last()?;
-        Some((Path { segments: rest.to_vec() }, last))
+        Some((Path { segments: rest.to_vec().into() }, last))
     }
 
     /// Whether `self` is a prefix of (or equal to) `other`.
@@ -212,6 +288,32 @@ mod tests {
         assert!(a.is_prefix_of(&b));
         assert!(!b.is_prefix_of(&a));
         assert!(Path::root().is_prefix_of(&a));
+    }
+
+    #[test]
+    fn interned_paths_share_one_parse() {
+        let a = Path::interned("power.status").unwrap();
+        let b = Path::interned("power.status").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.segments(), ["power", "status"]);
+        assert_eq!(
+            Path::interned_intent("power").unwrap(),
+            Path::from("power.intent")
+        );
+        assert_eq!(
+            Path::interned_status("power").unwrap(),
+            Path::from("power.status")
+        );
+        assert!(Path::interned("a..b").is_err());
+    }
+
+    #[test]
+    fn serde_format_is_a_plain_array() {
+        let p = Path::from("a.b.c");
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, r#"["a","b","c"]"#);
+        let back: Path = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub mod stats;
 mod time;
 mod topology;
 pub mod transport;
+pub mod wheel;
 
 pub use kernel::{Datagram, Service, ServiceHandle, Sim, SimConfig, TimerToken};
+pub use wheel::EventWheel;
 pub use prng::Prng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{Addr, LinkSpec, NodeId, NodeSpec, Topology};

@@ -1,0 +1,203 @@
+//! Standalone substrate hot-path measurement: compiles the live wheel and
+//! trie modules plus the frozen baselines directly with `rustc -O`, so the
+//! old-vs-new comparison runs even where cargo has no registry access
+//! (the fallback path of `scripts/bench_smoke.sh`).
+//!
+//! ```text
+//! rustc --edition 2021 -O scripts/standalone_hotpath.rs -o /tmp/shp
+//! /tmp/shp BENCH_substrate.json
+//! ```
+//!
+//! The included modules are std-only by design; this file is also a
+//! compile-time check that they stay that way.
+
+#[path = "../crates/net/src/wheel.rs"]
+mod wheel;
+#[path = "../crates/broker/src/topic.rs"]
+mod topic;
+#[path = "../crates/bench/src/baseline.rs"]
+mod baseline;
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use baseline::{OldEventQueue, OldTopicTrie};
+use topic::TopicTrie;
+use wheel::EventWheel;
+
+const TIMERS: u64 = 1024;
+const ROUNDS: u64 = 64;
+const PERIOD_NS: u64 = 10_000_000;
+const STANDING: u64 = 2048;
+const REPS: usize = 9;
+
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::MAX;
+    let mut sink = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        sink = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+fn periodic_old() -> u64 {
+    let mut q = OldEventQueue::new();
+    let mut seq = 0u64;
+    let horizon = PERIOD_NS * ROUNDS;
+    for s in 0..STANDING {
+        q.push(horizon + 1 + s * 1_000_000, seq, u64::MAX - s);
+        seq += 1;
+    }
+    for t in 0..TIMERS {
+        q.push(1 + t * (PERIOD_NS / TIMERS), seq, t);
+        seq += 1;
+    }
+    let mut fired = 0u64;
+    while let Some((at, _, t)) = q.pop() {
+        if at > horizon {
+            break;
+        }
+        fired += 1;
+        if at < horizon {
+            q.push(at + PERIOD_NS, seq, t);
+            seq += 1;
+        }
+    }
+    fired
+}
+
+fn periodic_new() -> u64 {
+    let mut q = EventWheel::new();
+    let mut seq = 0u64;
+    let horizon = PERIOD_NS * ROUNDS;
+    for s in 0..STANDING {
+        q.push(horizon + 1 + s * 1_000_000, seq, u64::MAX - s);
+        seq += 1;
+    }
+    for t in 0..TIMERS {
+        q.push(1 + t * (PERIOD_NS / TIMERS), seq, t);
+        seq += 1;
+    }
+    let mut fired = 0u64;
+    while let Some((at, _, t)) = q.pop() {
+        if at > horizon {
+            break;
+        }
+        fired += 1;
+        if at < horizon {
+            q.push(at + PERIOD_NS, seq, t);
+            seq += 1;
+        }
+    }
+    fired
+}
+
+fn filters(n: usize) -> Vec<String> {
+    let mut f: Vec<String> = (0..n).map(|i| format!("digibox/mock/O{i}/status")).collect();
+    f.push("digibox/mock/+/status".into());
+    f.push("digibox/#".into());
+    f
+}
+
+fn routing_old(trie: &OldTopicTrie<u32>, topics: &[String], publishes: usize) -> u64 {
+    let mut routed = 0u64;
+    for i in 0..publishes {
+        let mut routes: Vec<u32> =
+            trie.lookup(&topics[i % topics.len()]).into_iter().copied().collect();
+        routes.sort_unstable();
+        routes.dedup();
+        routed += routes.len() as u64;
+    }
+    routed
+}
+
+fn routing_new(trie: &TopicTrie<u32>, topics: &[String], publishes: usize) -> u64 {
+    let mut cache: HashMap<String, Rc<[u32]>> = HashMap::new();
+    let mut routed = 0u64;
+    for i in 0..publishes {
+        let topic = &topics[i % topics.len()];
+        let routes = match cache.get(topic) {
+            Some(r) => Rc::clone(r),
+            None => {
+                let mut r: Vec<u32> = trie.lookup(topic).into_iter().copied().collect();
+                r.sort_unstable();
+                r.dedup();
+                let r: Rc<[u32]> = r.into();
+                cache.insert(topic.clone(), Rc::clone(&r));
+                r
+            }
+        };
+        routed += routes.len() as u64;
+    }
+    routed
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_substrate.json".into());
+
+    let (heap_s, heap_fired) = best_of(periodic_old);
+    let (wheel_s, wheel_fired) = best_of(periodic_new);
+    assert_eq!(heap_fired, wheel_fired, "old and new queues disagree on fired count");
+    let timer_speedup = heap_s / wheel_s;
+    eprintln!(
+        "[standalone] periodic_timer  old={:.3}ms new={:.3}ms speedup={timer_speedup:.2}x",
+        heap_s * 1e3,
+        wheel_s * 1e3
+    );
+
+    let fs = filters(512);
+    let mut old_trie = OldTopicTrie::new();
+    let mut new_trie = TopicTrie::new();
+    for (i, f) in fs.iter().enumerate() {
+        old_trie.insert(f, i as u32);
+        new_trie.insert(f, i as u32);
+    }
+    let topics: Vec<String> = (0..8).map(|i| format!("digibox/mock/O{i}/status")).collect();
+    let (old_s, old_routed) = best_of(|| routing_old(&old_trie, &topics, 4096));
+    let (new_s, new_routed) = best_of(|| routing_new(&new_trie, &topics, 4096));
+    assert_eq!(old_routed, new_routed, "old and new routing disagree");
+    let routing_speedup = old_s / new_s;
+    eprintln!(
+        "[standalone] publish_routing old={:.3}ms new={:.3}ms speedup={routing_speedup:.2}x",
+        old_s * 1e3,
+        new_s * 1e3
+    );
+
+    let doc = format!(
+        r#"{{
+  "bench": "substrate_hotpath smoke",
+  "harness": "standalone rustc harness (std::time::Instant, best of {REPS}); e1/e6 rows require the cargo bench_smoke bin",
+  "micro": {{
+    "periodic_timer": {{
+      "timers": {TIMERS},
+      "rounds": {ROUNDS},
+      "period_ns": {PERIOD_NS},
+      "standing": {STANDING},
+      "old_binary_heap_ms": {heap_ms},
+      "new_timer_wheel_ms": {wheel_ms},
+      "speedup": {timer_speedup}
+    }},
+    "publish_routing": {{
+      "subscriptions": {subs},
+      "hot_topics": {hot},
+      "publishes": 4096,
+      "old_uncached_ms": {old_ms},
+      "new_cached_interned_ms": {new_ms},
+      "speedup": {routing_speedup}
+    }}
+  }}
+}}
+"#,
+        heap_ms = heap_s * 1e3,
+        wheel_ms = wheel_s * 1e3,
+        subs = fs.len(),
+        hot = topics.len(),
+        old_ms = old_s * 1e3,
+        new_ms = new_s * 1e3,
+    );
+    std::fs::write(&out_path, doc).expect("write report");
+    eprintln!("[standalone] wrote {out_path}");
+}
