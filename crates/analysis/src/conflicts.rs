@@ -1,0 +1,227 @@
+//! Write-write conflict detection (DL0001) and scene writes that miss the
+//! child's schema (DL0003, ensemble flavour).
+//!
+//! The runtime idiom (paper §3.2) is that a scene *manages* the mocks it
+//! coordinates: their own event generators are paused (`managed = true`)
+//! and the scene's simulation handler drives the correlated fields. An
+//! unmanaged child whose generator writes the same field the parent scene
+//! writes ping-pongs between the two writers — the scene sets the value,
+//! the next generator tick overwrites it, the scene sets it back. That is
+//! almost always a misconfiguration, and it is statically visible from the
+//! probed footprints.
+
+use std::collections::BTreeMap;
+
+use digibox_registry::SetupManifest;
+
+use crate::diag::{LintCode, Report, Span};
+use crate::footprints::{paths_overlap, schema_has_path, ProgramProfile};
+
+pub fn check(
+    manifest: &SetupManifest,
+    profiles: &BTreeMap<String, ProgramProfile>,
+    report: &mut Report,
+) {
+    let decls: BTreeMap<&str, &digibox_registry::InstanceDecl> =
+        manifest.instances.iter().map(|i| (i.name.as_str(), i)).collect();
+
+    for (child, parent) in &manifest.attachments {
+        let (Some(child_decl), Some(parent_decl)) =
+            (decls.get(child.as_str()), decls.get(parent.as_str()))
+        else {
+            continue; // dangling: DL0007 already reported
+        };
+        let (Some(child_profile), Some(parent_profile)) =
+            (profiles.get(&child_decl.kind), profiles.get(&parent_decl.kind))
+        else {
+            continue; // unknown kind: DL0005 already reported
+        };
+        if !parent_profile.is_scene {
+            continue; // DL0009 already reported
+        }
+        for (kind, path) in parent_profile.att_writes() {
+            if kind != child_decl.kind {
+                continue;
+            }
+            if !child_decl.managed {
+                if let Some(conflict) = child_profile
+                    .on_loop
+                    .writes
+                    .iter()
+                    .find(|w| paths_overlap(w, path))
+                {
+                    report.push(
+                        LintCode::WriteConflict,
+                        Span::at_digi(child).handler("on_loop").path(conflict),
+                        format!(
+                            "scene {parent:?} writes `{path}` on its {kind} children, but \
+                             {child:?} is unmanaged and its event generator also writes \
+                             `{conflict}`; the two writers will fight — run {child:?} with \
+                             managed=true or detach it"
+                        ),
+                    );
+                }
+            }
+            if !schema_has_path(&child_profile.schema, path) {
+                report.push(
+                    LintCode::WriteOutsideSchema,
+                    Span::at_digi(child).path(path),
+                    format!(
+                        "scene {parent:?} writes `{path}` on its {kind} children, but the \
+                         {kind} schema declares no such field"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::program::{DigiProgram, LoopCtx, SimCtx};
+    use digibox_core::Catalog;
+    use digibox_devices::full_catalog;
+    use digibox_model::{vmap, FieldKind, Schema};
+    use digibox_registry::InstanceDecl;
+
+    use crate::footprints::probe;
+
+    fn decl(name: &str, kind: &str, managed: bool) -> InstanceDecl {
+        InstanceDecl {
+            name: name.into(),
+            kind: kind.into(),
+            version: "v1".into(),
+            managed,
+            params: BTreeMap::new(),
+        }
+    }
+
+    fn lint(catalog: &Catalog, manifest: &SetupManifest) -> Report {
+        let mut profiles = BTreeMap::new();
+        for inst in &manifest.instances {
+            if !profiles.contains_key(&inst.kind) {
+                profiles.insert(inst.kind.clone(), probe(catalog, &inst.kind).unwrap());
+            }
+        }
+        let mut report = Report::new();
+        check(manifest, &profiles, &mut report);
+        report
+    }
+
+    /// The deliberately conflicting pair: a gauge mock whose generator
+    /// random-walks `reading`, and a driver scene that also writes
+    /// `reading` on every attached Gauge.
+    struct Gauge;
+    impl DigiProgram for Gauge {
+        fn kind(&self) -> &str {
+            "Gauge"
+        }
+        fn version(&self) -> &str {
+            "v1"
+        }
+        fn program_id(&self) -> &str {
+            "test/gauge"
+        }
+        fn schema(&self) -> Schema {
+            Schema::new("Gauge", "v1").field("reading", FieldKind::float())
+        }
+        fn on_loop(&mut self, ctx: &mut LoopCtx) {
+            let next = ctx.rng.range_f64(0.0, 10.0);
+            ctx.update(vmap! { "reading" => next });
+        }
+    }
+
+    struct Driver;
+    impl DigiProgram for Driver {
+        fn kind(&self) -> &str {
+            "Driver"
+        }
+        fn version(&self) -> &str {
+            "v1"
+        }
+        fn program_id(&self) -> &str {
+            "test/driver"
+        }
+        fn schema(&self) -> Schema {
+            Schema::new("Driver", "v1").field("target", FieldKind::float())
+        }
+        fn is_scene(&self) -> bool {
+            true
+        }
+        fn on_model(&mut self, ctx: &mut SimCtx) {
+            let target = ctx.field_f64("target").unwrap_or(0.0);
+            let gauges: Vec<String> =
+                ctx.atts.of_type("Gauge").into_iter().map(str::to_string).collect();
+            for g in gauges {
+                ctx.atts.set(&g, "reading", target);
+                ctx.atts.set(&g, "calibration", 1.0); // not in Gauge's schema
+            }
+        }
+    }
+
+    fn fixture_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(|| Box::new(Gauge)).unwrap();
+        c.register(|| Box::new(Driver)).unwrap();
+        c
+    }
+
+    #[test]
+    fn conflicting_two_handler_fixture_is_flagged() {
+        let catalog = fixture_catalog();
+        let mut m = SetupManifest::new("conflict", 1);
+        m.instances.push(decl("G1", "Gauge", false));
+        m.instances.push(decl("D1", "Driver", false));
+        m.attachments.push(("G1".into(), "D1".into()));
+        let report = lint(&catalog, &m);
+        let conflict = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::WriteConflict)
+            .expect("DL0001 expected");
+        assert_eq!(conflict.span.digi.as_deref(), Some("G1"));
+        assert_eq!(conflict.span.path.as_deref(), Some("reading"));
+        assert!(conflict.message.contains("managed=true"), "{}", conflict.message);
+        // the off-schema calibration write is flagged too
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == LintCode::WriteOutsideSchema
+                && d.span.path.as_deref() == Some("calibration")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn managing_the_child_resolves_the_conflict() {
+        let catalog = fixture_catalog();
+        let mut m = SetupManifest::new("managed", 1);
+        m.instances.push(decl("G1", "Gauge", true));
+        m.instances.push(decl("D1", "Driver", false));
+        m.attachments.push(("G1".into(), "D1".into()));
+        let report = lint(&catalog, &m);
+        assert!(!report.diagnostics.iter().any(|d| d.code == LintCode::WriteConflict));
+    }
+
+    #[test]
+    fn real_library_case_room_vs_unmanaged_temperature() {
+        // The Room scene drives temp_c on attached Temperature mocks; an
+        // unmanaged Temperature random-walks temp_c itself.
+        let catalog = full_catalog();
+        let mut m = SetupManifest::new("room", 1);
+        m.instances.push(decl("T1", "Temperature", false));
+        m.instances.push(decl("R1", "Room", false));
+        m.attachments.push(("T1".into(), "R1".into()));
+        let report = lint(&catalog, &m);
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == LintCode::WriteConflict
+                && d.span.digi.as_deref() == Some("T1")),
+            "{report:?}"
+        );
+        // managed (the walkthrough idiom) is clean
+        let mut m = SetupManifest::new("room", 1);
+        m.instances.push(decl("T1", "Temperature", true));
+        m.instances.push(decl("R1", "Room", false));
+        m.attachments.push(("T1".into(), "R1".into()));
+        assert!(lint(&catalog, &m).is_clean());
+    }
+}

@@ -1,0 +1,306 @@
+//! Handler footprint probing.
+//!
+//! The analyzer learns what each program's handlers read and write by
+//! *running them* — not a full simulation, just the handler functions
+//! against a default-instantiated model, wrapped in the core footprint
+//! recorder ([`digibox_core::footprint::record`]). Scenes get a synthetic
+//! attachment of every catalog kind (named `probe-<Kind>`), so their
+//! coordination writes surface no matter which kinds the real ensemble
+//! attaches.
+//!
+//! Two capture channels are merged per handler invocation:
+//!
+//! * the thread-local recorder, which sees every access routed through the
+//!   `SimCtx`/`LoopCtx`/`Atts` APIs (including change-guarded writes that
+//!   end up not mutating anything);
+//! * a model diff around the call, which catches direct `ctx.model.set`
+//!   writes that bypass the context (physical-fidelity handlers do this).
+//!
+//! Handlers are probed over several rounds with varied seeds and times and
+//! with state carried across rounds, so probabilistic branches get a
+//! chance to run. The result is still an *under*-approximation — a branch
+//! no probe round takes stays invisible — which is why footprint-based
+//! lints err toward warnings rather than errors.
+
+use std::collections::BTreeMap;
+
+use digibox_core::footprint::record;
+use digibox_core::program::{LoopCtx, SimCtx};
+use digibox_core::{Atts, Catalog, CatalogError, Footprint};
+use digibox_model::{diff, Schema};
+use digibox_net::{Prng, SimDuration, SimTime};
+
+/// How many (on_loop, on_model) rounds each program is probed for.
+const PROBE_ROUNDS: u64 = 4;
+
+/// What probing learned about one program kind.
+#[derive(Debug, Clone)]
+pub struct ProgramProfile {
+    pub kind: String,
+    pub is_scene: bool,
+    pub schema: Schema,
+    /// Event-generator footprint. For scenes, attachment accesses are
+    /// keyed by child *kind* (the synthetic probe names are mapped back).
+    pub on_loop: Footprint,
+    /// Simulation-handler footprint, same keying.
+    pub on_model: Footprint,
+}
+
+impl ProgramProfile {
+    /// Own-model paths written by either handler.
+    pub fn writes(&self) -> impl Iterator<Item = &str> {
+        self.on_loop.writes.iter().chain(self.on_model.writes.iter()).map(String::as_str)
+    }
+
+    /// (child kind, path) pairs either handler writes on attachments.
+    pub fn att_writes(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.on_loop
+            .att_writes
+            .iter()
+            .chain(self.on_model.att_writes.iter())
+            .map(|(k, p)| (k.as_str(), p.as_str()))
+    }
+
+    /// (child kind, path) pairs either handler reads on attachments.
+    pub fn att_reads(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.on_loop
+            .att_reads
+            .iter()
+            .chain(self.on_model.att_reads.iter())
+            .map(|(k, p)| (k.as_str(), p.as_str()))
+    }
+
+    /// Does either handler touch attachments of `kind` at all?
+    pub fn touches_kind(&self, kind: &str) -> bool {
+        self.att_reads().any(|(k, _)| k == kind) || self.att_writes().any(|(k, _)| k == kind)
+    }
+
+    pub fn emits_events(&self) -> bool {
+        self.on_loop.emits + self.on_model.emits > 0
+    }
+}
+
+/// Probe one program kind from the catalog.
+pub fn probe(catalog: &Catalog, kind: &str) -> Result<ProgramProfile, CatalogError> {
+    let mut program = catalog.make(kind)?;
+    let schema = program.schema();
+    let is_scene = program.is_scene();
+    let mut model = schema.instantiate("probe");
+    program.init(&mut model);
+
+    let mut atts = Atts::new();
+    if is_scene {
+        for k in catalog.kinds() {
+            let name = format!("probe-{k}");
+            let child = catalog.make(k).expect("kind listed by the catalog resolves");
+            let child_model = child.schema().instantiate(&name);
+            atts.attach(&name, k);
+            atts.observe(&name, k, child_model.fields().clone());
+        }
+    }
+
+    let mut on_loop = Footprint::default();
+    let mut on_model = Footprint::default();
+    let interval = model.meta.interval_ms().max(1);
+    for round in 0..PROBE_ROUNDS {
+        let now = SimTime::ZERO + SimDuration::from_millis(round * interval);
+        let mut rng = Prng::new(0xD1B0 ^ round);
+
+        let before = model.fields().clone();
+        let mut ctx = LoopCtx { model: &mut model, rng: &mut rng, now, emitted: Vec::new() };
+        let mut fp = record(|| program.on_loop(&mut ctx));
+        drop(ctx);
+        for op in diff(&before, model.fields()).ops {
+            fp.writes.insert(op.path().to_string());
+        }
+        on_loop.merge(fp);
+
+        let before = model.fields().clone();
+        let mut ctx = SimCtx {
+            model: &mut model,
+            atts: &mut atts,
+            rng: &mut rng,
+            now,
+            emitted: Vec::new(),
+        };
+        let mut fp = record(|| program.on_model(&mut ctx));
+        drop(ctx);
+        for op in diff(&before, model.fields()).ops {
+            fp.writes.insert(op.path().to_string());
+        }
+        on_model.merge(fp);
+        // flush staged attachment writes so later rounds see their own
+        // effects mirrored, like the real runtime echo
+        let _ = atts.take_patches();
+    }
+
+    Ok(ProgramProfile {
+        kind: kind.to_string(),
+        is_scene,
+        schema,
+        on_loop: rekey_by_kind(on_loop),
+        on_model: rekey_by_kind(on_model),
+    })
+}
+
+/// Probe every registered kind.
+pub fn profile_catalog(catalog: &Catalog) -> BTreeMap<String, ProgramProfile> {
+    catalog
+        .kinds()
+        .into_iter()
+        .map(|k| (k.to_string(), probe(catalog, k).expect("registered kind resolves")))
+        .collect()
+}
+
+/// Map attachment accesses from the synthetic probe names back to kinds:
+/// `("probe-Hvac", "room_temp_c")` → `("Hvac", "room_temp_c")`.
+fn rekey_by_kind(mut fp: Footprint) -> Footprint {
+    let rekey = |set: std::collections::BTreeSet<(String, String)>| {
+        set.into_iter()
+            .map(|(name, path)| match name.strip_prefix("probe-") {
+                Some(kind) => (kind.to_string(), path),
+                None => (name, path),
+            })
+            .collect()
+    };
+    fp.att_reads = rekey(fp.att_reads);
+    fp.att_writes = rekey(fp.att_writes);
+    fp
+}
+
+/// Do two dotted paths overlap (equal, or one a segment-prefix of the
+/// other)? `temp_c` overlaps `temp_c` and `power` overlaps
+/// `power.status`, but `temp` does not overlap `temp_c`.
+pub fn paths_overlap(a: &str, b: &str) -> bool {
+    if a == "*" || b == "*" {
+        return true;
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    long == short || long.strip_prefix(short).is_some_and(|rest| rest.starts_with('.'))
+}
+
+/// Does `path` resolve inside `schema`? Walks pair/list field kinds:
+/// `power.status` resolves when `power` is declared as a pair.
+pub fn schema_has_path(schema: &Schema, path: &str) -> bool {
+    let mut segs = path.split('.');
+    let Some(first) = segs.next() else {
+        return false;
+    };
+    let Some(spec) = schema.fields.get(first) else {
+        return false;
+    };
+    kind_has(&spec.kind, segs)
+}
+
+fn kind_has<'a>(kind: &digibox_model::FieldKind, mut segs: impl Iterator<Item = &'a str>) -> bool {
+    use digibox_model::FieldKind;
+    let Some(seg) = segs.next() else {
+        return true;
+    };
+    match kind {
+        FieldKind::Any => true,
+        FieldKind::Pair { inner } => {
+            (seg == "intent" || seg == "status") && kind_has(inner, segs)
+        }
+        FieldKind::List { inner } => seg.parse::<usize>().is_ok() && kind_has(inner, segs),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_devices::full_catalog;
+    use digibox_model::FieldKind;
+
+    #[test]
+    fn mock_footprints_capture_pair_writes() {
+        let catalog = full_catalog();
+        let profile = probe(&catalog, "Lamp").unwrap();
+        assert!(!profile.is_scene);
+        // the lamp's simulation handler drives intensity from power
+        assert!(profile.on_model.writes.contains("intensity.status"), "{profile:?}");
+        assert!(profile.on_model.reads.iter().any(|r| r.ends_with(".intent")), "{profile:?}");
+    }
+
+    #[test]
+    fn scene_footprints_are_keyed_by_child_kind() {
+        let catalog = full_catalog();
+        let profile = probe(&catalog, "Room").unwrap();
+        assert!(profile.is_scene);
+        // Fig. 5: the room correlates presence into its occupancy sensors
+        assert!(
+            profile.att_writes().any(|(k, p)| k == "Occupancy" && p == "triggered"),
+            "{:?}",
+            profile.on_model.att_writes
+        );
+        // and feeds room temperature into attached temperature mocks
+        assert!(profile.att_writes().any(|(k, p)| k == "Temperature" && p == "temp_c"));
+        assert!(profile.on_loop.writes.contains("human_presence"));
+        assert!(profile.emits_events());
+    }
+
+    #[test]
+    fn diff_channel_catches_direct_model_writes() {
+        // Greenhouse-style physical handlers write via ctx.model.set; the
+        // Room does so for temp_c under physical fidelity. Probe a Room
+        // with the param set and confirm the diff channel sees it.
+        let catalog = full_catalog();
+        let mut program = catalog.make("Room").unwrap();
+        let schema = program.schema();
+        let mut model = schema.instantiate("probe");
+        program.init(&mut model);
+        model.meta.params.insert("fidelity".into(), "physical".into());
+        // enough heating that one step moves temp_c past the 0.01 rounding
+        model.meta.params.insert("hvac_heat_c_per_s".into(), 2.0.into());
+        let mut rng = Prng::new(7);
+        let before = model.fields().clone();
+        let mut ctx = LoopCtx {
+            model: &mut model,
+            rng: &mut rng,
+            now: SimTime::ZERO,
+            emitted: Vec::new(),
+        };
+        let mut fp = record(|| program.on_loop(&mut ctx));
+        drop(ctx);
+        for op in diff(&before, model.fields()).ops {
+            fp.writes.insert(op.path().to_string());
+        }
+        assert!(fp.writes.contains("temp_c"), "{:?}", fp.writes);
+    }
+
+    #[test]
+    fn profile_catalog_covers_every_kind() {
+        let catalog = full_catalog();
+        let profiles = profile_catalog(&catalog);
+        assert_eq!(profiles.len(), catalog.len());
+        assert!(profiles.values().filter(|p| p.is_scene).count() >= 18);
+    }
+
+    #[test]
+    fn path_overlap_rules() {
+        assert!(paths_overlap("temp_c", "temp_c"));
+        assert!(paths_overlap("power", "power.status"));
+        assert!(paths_overlap("power.status", "power"));
+        assert!(!paths_overlap("temp", "temp_c"));
+        assert!(!paths_overlap("power.status", "power.intent"));
+        assert!(paths_overlap("*", "anything"));
+    }
+
+    #[test]
+    fn schema_path_resolution() {
+        let schema = Schema::new("T", "v1")
+            .field("power", FieldKind::pair(FieldKind::enumeration(["off", "on"])))
+            .field("temp_c", FieldKind::float())
+            .field("tags", FieldKind::list(FieldKind::Str));
+        assert!(schema_has_path(&schema, "temp_c"));
+        assert!(schema_has_path(&schema, "power"));
+        assert!(schema_has_path(&schema, "power.status"));
+        assert!(schema_has_path(&schema, "power.intent"));
+        assert!(!schema_has_path(&schema, "power.other"));
+        assert!(!schema_has_path(&schema, "temp_c.status"));
+        assert!(!schema_has_path(&schema, "missing"));
+        assert!(schema_has_path(&schema, "tags.0"));
+        assert!(!schema_has_path(&schema, "tags.x"));
+    }
+}

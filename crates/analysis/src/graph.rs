@@ -1,0 +1,223 @@
+//! Scene-graph checks: names, attachment shape, parent kinds.
+//!
+//! These overlap with `SetupManifest::validate`, deliberately: `validate`
+//! is a gate that stops at the first problem, while the lint pass walks
+//! the whole graph and reports *every* problem with a code and span.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use digibox_core::{topics, Catalog};
+use digibox_registry::SetupManifest;
+
+use crate::diag::{LintCode, Report, Span};
+
+pub fn check(manifest: &SetupManifest, catalog: &Catalog, report: &mut Report) {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for inst in &manifest.instances {
+        if !seen.insert(&inst.name) {
+            report.push(
+                LintCode::DuplicateName,
+                Span::at_digi(&inst.name),
+                format!("instance name {:?} is declared more than once", inst.name),
+            );
+        }
+        check_name(&inst.name, report);
+    }
+
+    let names: BTreeSet<&str> = manifest.instances.iter().map(|i| i.name.as_str()).collect();
+    let kind_of: BTreeMap<&str, &str> =
+        manifest.instances.iter().map(|i| (i.name.as_str(), i.kind.as_str())).collect();
+
+    let mut parent_of: BTreeMap<&str, &str> = BTreeMap::new();
+    for (child, parent) in &manifest.attachments {
+        let mut dangling = false;
+        for end in [child, parent] {
+            if !names.contains(end.as_str()) {
+                dangling = true;
+                report.push(
+                    LintCode::DanglingAttach,
+                    Span::at_digi(end),
+                    format!(
+                        "attachment ({child:?} -> {parent:?}) references undeclared instance {end:?}"
+                    ),
+                );
+            }
+        }
+        if child == parent {
+            report.push(
+                LintCode::AttachCycle,
+                Span::at_digi(child),
+                format!("{child:?} is attached to itself"),
+            );
+            continue;
+        }
+        if !dangling {
+            if let Some(first) = parent_of.get(child.as_str()) {
+                report.push(
+                    LintCode::MultipleParents,
+                    Span::at_digi(child),
+                    format!("{child:?} is attached to both {first:?} and {parent:?}"),
+                );
+                continue;
+            }
+            parent_of.insert(child.as_str(), parent.as_str());
+        }
+        // parents must be scenes (skip unknown kinds: DL0005 covers those)
+        if let Some(kind) = kind_of.get(parent.as_str()) {
+            if let Ok(program) = catalog.make(kind) {
+                if !program.is_scene() {
+                    report.push(
+                        LintCode::ParentNotScene,
+                        Span::at_digi(parent),
+                        format!("{parent:?} ({kind}) is a mock, not a scene; it cannot ensemble {child:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // cycle detection: follow parent chains (each child has one parent
+    // after the multi-parent filter, so chains either terminate or loop)
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for start in parent_of.keys() {
+        let mut cur: &str = start;
+        let mut trail = vec![cur];
+        while let Some(next) = parent_of.get(cur) {
+            cur = next;
+            if cur == *start {
+                // report each cycle once, from its lexicographically first
+                // member
+                if trail.iter().min() == Some(start) && reported.insert(start) {
+                    trail.push(cur);
+                    report.push(
+                        LintCode::AttachCycle,
+                        Span::at_digi(start),
+                        format!("attachment cycle: {}", trail.join(" -> ")),
+                    );
+                }
+                break;
+            }
+            if trail.len() > manifest.attachments.len() {
+                break;
+            }
+            trail.push(cur);
+        }
+    }
+}
+
+/// A digi name must round-trip through the topic conventions: its model
+/// topic has to be a valid, wildcard-free MQTT topic that parses back to
+/// the same name.
+fn check_name(name: &str, report: &mut Report) {
+    let topic = topics::model(name);
+    let ok = !name.is_empty()
+        && digibox_broker::validate_topic(&topic)
+        && topics::digi_of(&topic) == Some(name)
+        && topics::channel_of(&topic) == Some("model");
+    if !ok {
+        report.push(
+            LintCode::TopicUnsafeName,
+            Span::at_digi(name).topic(&topic),
+            format!(
+                "digi name {name:?} breaks the topic conventions (its model topic would be {topic:?})"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_devices::full_catalog;
+    use digibox_registry::InstanceDecl;
+
+    fn decl(name: &str, kind: &str) -> InstanceDecl {
+        InstanceDecl {
+            name: name.into(),
+            kind: kind.into(),
+            version: "v1".into(),
+            managed: false,
+            params: BTreeMap::new(),
+        }
+    }
+
+    fn lint(manifest: &SetupManifest) -> Report {
+        let mut report = Report::new();
+        check(manifest, &full_catalog(), &mut report);
+        report
+    }
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_graph_is_quiet() {
+        let mut m = SetupManifest::new("ok", 1);
+        m.instances.push(decl("O1", "Occupancy"));
+        m.instances.push(decl("R1", "Room"));
+        m.attachments.push(("O1".into(), "R1".into()));
+        assert!(lint(&m).is_clean());
+    }
+
+    #[test]
+    fn duplicate_names_flagged() {
+        let mut m = SetupManifest::new("dup", 1);
+        m.instances.push(decl("L1", "Lamp"));
+        m.instances.push(decl("L1", "Fan"));
+        assert_eq!(codes(&lint(&m)), ["DL0008"]);
+    }
+
+    #[test]
+    fn topic_unsafe_names_flagged() {
+        let mut m = SetupManifest::new("names", 1);
+        for bad in ["a/b", "a+b", "#", ""] {
+            m.instances.push(decl(bad, "Lamp"));
+        }
+        m.instances.push(decl("fine-name_0", "Lamp"));
+        let report = lint(&m);
+        assert_eq!(codes(&report), ["DL0004"; 4], "{report:?}");
+    }
+
+    #[test]
+    fn dangling_and_self_attach() {
+        let mut m = SetupManifest::new("bad", 1);
+        m.instances.push(decl("R1", "Room"));
+        m.attachments.push(("ghost".into(), "R1".into()));
+        m.attachments.push(("R1".into(), "R1".into()));
+        let report = lint(&m);
+        let mut c = codes(&report);
+        c.sort();
+        assert_eq!(c, ["DL0006", "DL0007"]);
+    }
+
+    #[test]
+    fn multi_parent_and_non_scene_parent() {
+        let mut m = SetupManifest::new("bad", 1);
+        m.instances.push(decl("O1", "Occupancy"));
+        m.instances.push(decl("R1", "Room"));
+        m.instances.push(decl("R2", "Room"));
+        m.instances.push(decl("L1", "Lamp"));
+        m.attachments.push(("O1".into(), "R1".into()));
+        m.attachments.push(("O1".into(), "R2".into()));
+        m.attachments.push(("R1".into(), "L1".into()));
+        let report = lint(&m);
+        let mut c = codes(&report);
+        c.sort();
+        assert_eq!(c, ["DL0009", "DL0010"], "{report:?}");
+    }
+
+    #[test]
+    fn cycles_reported_once() {
+        let mut m = SetupManifest::new("cycle", 1);
+        m.instances.push(decl("A", "Room"));
+        m.instances.push(decl("B", "Building"));
+        m.instances.push(decl("C", "Campus"));
+        m.attachments.push(("A".into(), "B".into()));
+        m.attachments.push(("B".into(), "C".into()));
+        m.attachments.push(("C".into(), "A".into()));
+        let report = lint(&m);
+        assert_eq!(codes(&report), ["DL0006"], "{report:?}");
+        assert!(report.diagnostics[0].message.contains("A -> B -> C -> A"));
+    }
+}

@@ -1,0 +1,296 @@
+//! `dbox lint`: static analysis for digi ensembles.
+//!
+//! Digibox setups are checked *before* the kernel runs: the analyzer
+//! instantiates each program from the catalog, probes its handlers against
+//! recording shims of the simulation contexts (see [`footprints`]), and
+//! cross-references the resulting read/write footprints with the setup
+//! manifest, the `core::topics` conventions, and the scene properties. Four
+//! passes:
+//!
+//! 1. **conflicts** — write-write conflicts between a scene's staged
+//!    attachment writes and an unmanaged child's own generator (DL0001),
+//!    plus scene writes that miss the child's schema (DL0003);
+//! 2. **wiring** — the static MQTT graph on the broker's topic trie: inert
+//!    attachments nobody reads or drives (DL0002), topic-unsafe digi names
+//!    (DL0004);
+//! 3. **graph** — nesting cycles, dangling attach references, duplicate
+//!    names, mock-as-parent, multiple parents (DL0006–DL0010);
+//! 4. **props** — property vacuity: unknown digis, paths outside schemas,
+//!    contradictory conjunctions, `leads_to` conclusions nothing can write
+//!    (DL0011–DL0014).
+//!
+//! Findings carry stable codes ([`LintCode`]), severities, and structured
+//! spans. Suppression is per-run (`--allow DL0002`) or per-digi via a
+//! `lint_allow` instance param.
+
+pub mod diag;
+pub mod footprints;
+
+mod conflicts;
+mod graph;
+mod props;
+mod wiring;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use digibox_core::{Catalog, SceneProperty};
+use digibox_model::Value;
+use digibox_registry::SetupManifest;
+
+pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
+pub use footprints::{paths_overlap, probe, profile_catalog, schema_has_path, ProgramProfile};
+
+/// Everything the analyzer looks at: a materialized setup plus its scene
+/// properties. Build one from a live testbed (`dbox lint`) or by hand from
+/// a manifest file (`dbox lint --file`).
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    pub manifest: SetupManifest,
+    pub properties: Vec<SceneProperty>,
+}
+
+impl Ensemble {
+    pub fn new(manifest: SetupManifest) -> Ensemble {
+        Ensemble { manifest, properties: Vec::new() }
+    }
+
+    pub fn with_properties(mut self, properties: Vec<SceneProperty>) -> Ensemble {
+        self.properties = properties;
+        self
+    }
+}
+
+/// Lint options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Codes suppressed for the whole run (`--allow DL0002,DL0012`).
+    pub allow: BTreeSet<String>,
+}
+
+impl Options {
+    /// Parse a comma-separated `--allow` argument.
+    pub fn allow_list(mut self, codes: &str) -> Options {
+        self.allow.extend(
+            codes.split(',').map(str::trim).filter(|c| !c.is_empty()).map(str::to_string),
+        );
+        self
+    }
+}
+
+/// Lint a full ensemble: all four passes over the manifest, the catalog
+/// programs it references, and the scene properties.
+pub fn lint_ensemble(catalog: &Catalog, ensemble: &Ensemble, opts: &Options) -> Report {
+    let mut report = Report::new();
+    graph::check(&ensemble.manifest, catalog, &mut report);
+
+    // probe each referenced kind once; unresolvable kinds become DL0005
+    let mut profiles: BTreeMap<String, ProgramProfile> = BTreeMap::new();
+    let mut failed: BTreeSet<&str> = BTreeSet::new();
+    for inst in &ensemble.manifest.instances {
+        if profiles.contains_key(&inst.kind) || failed.contains(inst.kind.as_str()) {
+            continue;
+        }
+        match probe(catalog, &inst.kind) {
+            Ok(profile) => {
+                profiles.insert(inst.kind.clone(), profile);
+            }
+            Err(err) => {
+                failed.insert(&inst.kind);
+                let hint = match err.suggestion() {
+                    Some(s) => format!(" (did you mean {s:?}?)"),
+                    None => String::new(),
+                };
+                report.push(
+                    LintCode::UnknownKind,
+                    Span::at_digi(&inst.name),
+                    format!("unknown program kind {:?}{hint}", inst.kind),
+                );
+            }
+        }
+    }
+
+    conflicts::check(&ensemble.manifest, &profiles, &mut report);
+    wiring::check(&ensemble.manifest, &profiles, &mut report);
+    props::check(&ensemble.manifest, &ensemble.properties, &profiles, &mut report);
+
+    report.finish(&opts.allow, &per_digi_allows(&ensemble.manifest));
+    report
+}
+
+/// Lint the catalog itself, ensemble-free: every program's own writes and
+/// staged attachment writes must resolve in the relevant schema (DL0003).
+/// This is what `dbox lint --library` runs over the built-in library.
+pub fn lint_catalog(catalog: &Catalog, opts: &Options) -> Report {
+    let mut report = Report::new();
+    let profiles = profile_catalog(catalog);
+    for (kind, profile) in &profiles {
+        for (handler, fp) in [("on_loop", &profile.on_loop), ("on_model", &profile.on_model)] {
+            for path in &fp.writes {
+                if !schema_has_path(&profile.schema, path) {
+                    report.push(
+                        LintCode::WriteOutsideSchema,
+                        Span::at_digi(kind).handler(handler).path(path),
+                        format!("{kind}::{handler} writes `{path}`, which its schema does not declare"),
+                    );
+                }
+            }
+            for (child_kind, path) in &fp.att_writes {
+                let Some(child) = profiles.get(child_kind) else {
+                    report.push(
+                        LintCode::UnknownKind,
+                        Span::at_digi(kind).handler(handler).path(path),
+                        format!("{kind}::{handler} stages writes for unregistered kind {child_kind:?}"),
+                    );
+                    continue;
+                };
+                if !schema_has_path(&child.schema, path) {
+                    report.push(
+                        LintCode::WriteOutsideSchema,
+                        Span::at_digi(kind).handler(handler).path(path),
+                        format!(
+                            "{kind}::{handler} writes `{path}` on {child_kind} attachments, \
+                             but the {child_kind} schema does not declare it"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    report.finish(&opts.allow, &BTreeMap::new());
+    report
+}
+
+/// Collect per-digi suppressions from `lint_allow` instance params: either
+/// a comma-separated string (`"DL0002,DL0012"`) or a list of strings.
+fn per_digi_allows(manifest: &SetupManifest) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for inst in &manifest.instances {
+        let Some(value) = inst.params.get("lint_allow") else {
+            continue;
+        };
+        let codes: BTreeSet<String> = match value {
+            Value::Str(s) => s
+                .split(',')
+                .map(str::trim)
+                .filter(|c| !c.is_empty())
+                .map(str::to_string)
+                .collect(),
+            Value::List(items) => {
+                items.iter().filter_map(Value::as_str).map(str::to_string).collect()
+            }
+            _ => continue,
+        };
+        if !codes.is_empty() {
+            out.insert(inst.name.clone(), codes);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_core::properties::DigiCondition;
+    use digibox_core::Condition;
+    use digibox_devices::full_catalog;
+    use digibox_registry::InstanceDecl;
+
+    fn decl(name: &str, kind: &str, managed: bool) -> InstanceDecl {
+        InstanceDecl {
+            name: name.into(),
+            kind: kind.into(),
+            version: "v1".into(),
+            managed,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's walkthrough shape: a meeting room ensembling two
+    /// occupancy sensors and an under-desk sensor (managed), plus a lamp
+    /// the application drives.
+    fn walkthrough() -> Ensemble {
+        let mut m = SetupManifest::new("meeting-room", 42);
+        m.instances.push(decl("O1", "Occupancy", true));
+        m.instances.push(decl("O2", "Occupancy", true));
+        m.instances.push(decl("D1", "Underdesk", true));
+        m.instances.push(decl("L1", "Lamp", false));
+        m.instances.push(decl("MeetingRoom", "Room", false));
+        for child in ["O1", "O2", "D1", "L1"] {
+            m.attachments.push((child.into(), "MeetingRoom".into()));
+        }
+        Ensemble::new(m).with_properties(vec![SceneProperty::never(
+            "lamp-off-when-empty",
+            vec![
+                DigiCondition::new("L1", Condition::eq("power.status", "on")),
+                DigiCondition::new("O1", Condition::eq("triggered", false)),
+            ],
+        )])
+    }
+
+    #[test]
+    fn walkthrough_lints_to_one_note() {
+        let report = lint_ensemble(&full_catalog(), &walkthrough(), &Options::default());
+        assert!(!report.has_errors(), "{}", report.render_pretty());
+        assert_eq!(report.warnings(), 0, "{}", report.render_pretty());
+        // the lamp attachment is app-driven, which lint can't see: DL0002
+        assert_eq!(report.infos(), 1, "{}", report.render_pretty());
+        assert_eq!(report.diagnostics[0].code, LintCode::InertAttachment);
+        assert_eq!(report.diagnostics[0].span.digi.as_deref(), Some("L1"));
+    }
+
+    #[test]
+    fn unknown_kind_reported_once_with_suggestion() {
+        let mut m = SetupManifest::new("typo", 1);
+        m.instances.push(decl("F1", "Fna", false));
+        m.instances.push(decl("F2", "Fna", false));
+        let report = lint_ensemble(&full_catalog(), &Ensemble::new(m), &Options::default());
+        let dl5: Vec<_> =
+            report.diagnostics.iter().filter(|d| d.code == LintCode::UnknownKind).collect();
+        assert_eq!(dl5.len(), 1, "one DL0005 per kind, not per instance: {report:?}");
+        assert!(dl5[0].message.contains("did you mean \"Fan\""), "{}", dl5[0].message);
+    }
+
+    #[test]
+    fn global_allow_suppresses() {
+        let report =
+            lint_ensemble(&full_catalog(), &walkthrough(), &Options::default().allow_list("DL0002"));
+        assert!(report.is_clean(), "{}", report.render_pretty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn per_digi_lint_allow_param_suppresses() {
+        let mut ensemble = walkthrough();
+        ensemble
+            .manifest
+            .instances
+            .iter_mut()
+            .find(|i| i.name == "L1")
+            .unwrap()
+            .params
+            .insert("lint_allow".into(), Value::Str("DL0002".into()));
+        let report = lint_ensemble(&full_catalog(), &ensemble, &Options::default());
+        assert!(report.is_clean(), "{}", report.render_pretty());
+        assert_eq!(report.suppressed, 1);
+
+        // a different digi's allowance does not mask it
+        let mut ensemble = walkthrough();
+        ensemble
+            .manifest
+            .instances
+            .iter_mut()
+            .find(|i| i.name == "O1")
+            .unwrap()
+            .params
+            .insert("lint_allow".into(), Value::List(vec![Value::Str("DL0002".into())]));
+        let report = lint_ensemble(&full_catalog(), &ensemble, &Options::default());
+        assert_eq!(report.infos(), 1);
+        assert_eq!(report.suppressed, 0);
+    }
+
+    #[test]
+    fn library_catalog_is_schema_clean() {
+        let report = lint_catalog(&full_catalog(), &Options::default());
+        assert!(report.is_clean(), "{}", report.render_pretty());
+    }
+}

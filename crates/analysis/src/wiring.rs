@@ -1,0 +1,195 @@
+//! Topic-wiring checks (DL0002): build the ensemble's static MQTT graph —
+//! who subscribes to what, who can publish what — on the broker's own
+//! interned trie, and flag subscriptions that no publisher can ever match.
+//!
+//! Statically derivable wiring, per the `core::topics` conventions:
+//!
+//! * every digi publishes `digibox/digi/<name>/model` (retained) and
+//!   subscribes to its own `intent` and `set` topics;
+//! * a digi publishes its `event` topic when a probed handler emits;
+//! * a parent scene subscribes to each attached child's `model` topic and
+//!   publishes to a child's `set` topic iff its handlers stage writes for
+//!   that child's kind;
+//! * `intent` publishes come from applications and `dbox edit`, which the
+//!   analyzer cannot see — intent subscriptions are therefore never
+//!   reported dead.
+//!
+//! What remains checkable is the attachment contract: a child is attached
+//! so the parent can read its model or drive its fields. If the parent's
+//! probed footprints do neither for that child's kind, the child's `set`
+//! subscription is dead *and* its model publishes go unread — the
+//! attachment is inert (DL0002, info: an application may still be the
+//! intended consumer, as with the walkthrough's lamp).
+
+use std::collections::BTreeMap;
+
+use digibox_broker::TopicTrie;
+use digibox_core::topics;
+use digibox_registry::SetupManifest;
+
+use crate::diag::{LintCode, Report, Span};
+use crate::footprints::ProgramProfile;
+
+/// A statically-known subscription: (subscriber, purpose).
+#[derive(Debug, Clone, PartialEq)]
+enum Sub {
+    OwnIntent(String),
+    OwnSet(String),
+    ParentModelMirror { parent: String, child: String },
+}
+
+pub fn check(
+    manifest: &SetupManifest,
+    profiles: &BTreeMap<String, ProgramProfile>,
+    report: &mut Report,
+) {
+    let decls: BTreeMap<&str, &digibox_registry::InstanceDecl> =
+        manifest.instances.iter().map(|i| (i.name.as_str(), i)).collect();
+
+    // subscription side of the graph, on the broker's trie
+    let mut subs: TopicTrie<Sub> = TopicTrie::new();
+    for inst in &manifest.instances {
+        subs.insert(&topics::intent(&inst.name), Sub::OwnIntent(inst.name.clone()));
+        subs.insert(&topics::set(&inst.name), Sub::OwnSet(inst.name.clone()));
+    }
+    for (child, parent) in &manifest.attachments {
+        if decls.contains_key(child.as_str()) && decls.contains_key(parent.as_str()) {
+            subs.insert(
+                &topics::model(child),
+                Sub::ParentModelMirror { parent: parent.clone(), child: child.clone() },
+            );
+        }
+    }
+
+    // publish side: model topics always, event topics when a probe emitted,
+    // set topics for children whose kind the parent stages writes for
+    let mut publishes: Vec<String> = Vec::new();
+    for inst in &manifest.instances {
+        publishes.push(topics::model(&inst.name));
+        if profiles.get(&inst.kind).is_some_and(|p| p.emits_events()) {
+            publishes.push(topics::event(&inst.name));
+        }
+    }
+    for (child, parent) in &manifest.attachments {
+        let (Some(child_decl), Some(parent_decl)) =
+            (decls.get(child.as_str()), decls.get(parent.as_str()))
+        else {
+            continue;
+        };
+        if profiles
+            .get(&parent_decl.kind)
+            .is_some_and(|p| p.att_writes().any(|(k, _)| k == child_decl.kind))
+        {
+            publishes.push(topics::set(child));
+        }
+    }
+
+    // match publishes against the subscription trie
+    let mut matched: Vec<&Sub> = Vec::new();
+    for topic in &publishes {
+        matched.extend(subs.lookup(topic));
+    }
+
+    // a child whose set subscription is never published to and whose model
+    // mirror the parent never reads has an inert attachment
+    for (child, parent) in &manifest.attachments {
+        let (Some(child_decl), Some(parent_decl)) =
+            (decls.get(child.as_str()), decls.get(parent.as_str()))
+        else {
+            continue;
+        };
+        let Some(parent_profile) = profiles.get(&parent_decl.kind) else {
+            continue;
+        };
+        if !parent_profile.is_scene {
+            continue; // DL0009 already reported
+        }
+        let set_reached = matched
+            .iter()
+            .any(|s| matches!(s, Sub::OwnSet(n) if n == child));
+        let mirror_read = parent_profile
+            .att_reads()
+            .any(|(k, _)| k == child_decl.kind);
+        if !set_reached && !mirror_read {
+            report.push(
+                LintCode::InertAttachment,
+                Span::at_digi(child).topic(&topics::set(child)),
+                format!(
+                    "{child:?} is attached to {parent:?}, but {} handlers neither read nor \
+                     write {} attachments; the attachment only matters if an application \
+                     consumes {child:?} directly",
+                    parent_decl.kind, child_decl.kind
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digibox_devices::full_catalog;
+    use digibox_registry::InstanceDecl;
+
+    use crate::footprints::probe;
+
+    fn decl(name: &str, kind: &str, managed: bool) -> InstanceDecl {
+        InstanceDecl {
+            name: name.into(),
+            kind: kind.into(),
+            version: "v1".into(),
+            managed,
+            params: BTreeMap::new(),
+        }
+    }
+
+    fn lint(manifest: &SetupManifest) -> Report {
+        let catalog = full_catalog();
+        let mut profiles = BTreeMap::new();
+        for inst in &manifest.instances {
+            if !profiles.contains_key(&inst.kind) {
+                profiles.insert(inst.kind.clone(), probe(&catalog, &inst.kind).unwrap());
+            }
+        }
+        let mut report = Report::new();
+        check(manifest, &profiles, &mut report);
+        report
+    }
+
+    #[test]
+    fn coordinated_attachment_is_quiet() {
+        let mut m = SetupManifest::new("ok", 1);
+        m.instances.push(decl("O1", "Occupancy", true));
+        m.instances.push(decl("R1", "Room", false));
+        m.attachments.push(("O1".into(), "R1".into()));
+        assert!(lint(&m).is_clean());
+    }
+
+    #[test]
+    fn ignored_attachment_is_inert() {
+        // The walkthrough shape: Room never touches Lamp attachments (the
+        // app drives the lamp), so the attachment is flagged as a note.
+        let mut m = SetupManifest::new("lamp", 1);
+        m.instances.push(decl("L1", "Lamp", false));
+        m.instances.push(decl("R1", "Room", false));
+        m.attachments.push(("L1".into(), "R1".into()));
+        let report = lint(&m);
+        assert_eq!(report.diagnostics.len(), 1, "{report:?}");
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, LintCode::InertAttachment);
+        assert_eq!(d.code.severity(), crate::diag::Severity::Info);
+        assert_eq!(d.span.digi.as_deref(), Some("L1"));
+        assert_eq!(d.span.topic.as_deref(), Some("digibox/digi/L1/set"));
+    }
+
+    #[test]
+    fn read_only_attachment_is_not_inert() {
+        // SupplyChainRoute reads GpsTracker progress (and writes moving);
+        // either alone keeps the attachment live.
+        let mut m = SetupManifest::new("route", 1);
+        m.instances.push(decl("G1", "GpsTracker", true));
+        m.instances.push(decl("SR", "SupplyChainRoute", false));
+        m.attachments.push(("G1".into(), "SR".into()));
+        assert!(lint(&m).is_clean());
+    }
+}

@@ -2,7 +2,7 @@
 //! messages, last-will handling.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // det-ok: hash maps for keyed lookup; iteration is sorted first
 use std::rc::Rc;
 
 use bytes::Bytes;

@@ -2,7 +2,7 @@
 //! and applications (they own the [`digibox_net::Service`] binding and
 //! forward datagrams/timers here).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque}; // det-ok: keyed lookup only, never iterated
 
 use bytes::Bytes;
 

@@ -33,6 +33,8 @@ use digibox_model::{dml, Value};
 use digibox_net::SimDuration;
 use digibox_registry::Repository;
 
+mod lint;
+
 /// One state-changing command in the journal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "cmd", rename_all = "snake_case")]
@@ -187,6 +189,11 @@ impl Outcome {
 
 /// Run one CLI invocation against the workspace at `dir`.
 pub fn invoke(dir: &Path, args: &[String]) -> Outcome {
+    // `lint` has its own exit-code contract (2 = findings at error
+    // severity), so it bypasses the Ok/Err mapping below.
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint::run(dir, &args[1..]);
+    }
     match invoke_inner(dir, args) {
         Ok(out) => Outcome::ok(out),
         Err(e) => Outcome::err(e),
@@ -210,6 +217,7 @@ usage:
   dbox commit <setup> [-m <msg>]                 commit setup to local repo
   dbox push <setup> --to <dir>                   push to a remote repo dir
   dbox pull <setup> --from <dir>                 pull + recreate a setup
+  dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
   dbox log [name]                                print trace (paper format)
   dbox log --summary                             per-digi activity table
   dbox ps                                        pods and nodes (runtime view)

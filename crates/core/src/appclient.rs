@@ -7,7 +7,7 @@
 //! the §4 microbenchmarks read their numbers from here.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque}; // det-ok: keyed lookup only, never iterated
 use std::rc::Rc;
 
 use bytes::Bytes;

@@ -13,6 +13,8 @@ use std::collections::BTreeMap;
 
 use digibox_model::{diff, Patch, Path, Value};
 
+use crate::footprint;
+
 /// Mirror entry for one attached digi.
 #[derive(Debug, Clone)]
 struct AttEntry {
@@ -80,11 +82,18 @@ impl Atts {
     /// Names of attached digis of one type, sorted (the paper's
     /// `atts.get("Occupancy")`).
     pub fn of_type(&self, kind: &str) -> Vec<&str> {
-        self.entries
+        let names: Vec<&str> = self
+            .entries
             .iter()
             .filter(|(_, e)| e.kind == kind)
             .map(|(n, _)| n.as_str())
-            .collect()
+            .collect();
+        if footprint::is_recording() {
+            for n in &names {
+                footprint::note_att_read(n, "*");
+            }
+        }
+        names
     }
 
     /// The type of an attached digi.
@@ -95,12 +104,14 @@ impl Atts {
     /// Read a field of an attached digi (staged view: reads see the scene's
     /// own writes within a pass).
     pub fn get(&self, name: &str, path: &str) -> Option<&Value> {
+        footprint::note_att_read(name, path);
         let entry = self.entries.get(name)?;
         Path::parse(path).ok()?.lookup(&entry.staged)
     }
 
     /// Read the whole (staged) field tree of an attached digi.
     pub fn fields(&self, name: &str) -> Option<&Value> {
+        footprint::note_att_read(name, "*");
         self.entries.get(name).map(|e| &e.staged)
     }
 
@@ -109,6 +120,7 @@ impl Atts {
     /// handler returns. Unknown names are ignored (the digi may have been
     /// detached concurrently).
     pub fn set(&mut self, name: &str, path: &str, value: impl Into<Value>) {
+        footprint::note_att_write(name, path);
         if let Some(entry) = self.entries.get_mut(name) {
             if let Ok(p) = Path::parse(path) {
                 let _ = p.set(&mut entry.staged, value.into());

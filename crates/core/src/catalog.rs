@@ -16,19 +16,49 @@ use crate::program::DigiProgram;
 
 type Factory = Box<dyn Fn() -> Box<dyn DigiProgram>>;
 
-/// Catalog errors.
+/// Catalog errors. Unknown-name variants carry the offending name and a
+/// nearest-match suggestion so callers (CLI errors, `dbox lint` DL0005)
+/// don't have to re-derive it from the catalog.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CatalogError {
-    UnknownKind(String),
-    UnknownProgram(String),
+    UnknownKind { kind: String, suggestion: Option<String> },
+    UnknownProgram { program: String, suggestion: Option<String> },
     DuplicateKind(String),
+}
+
+impl CatalogError {
+    /// The name that failed to resolve, when there is one.
+    pub fn unknown_name(&self) -> Option<&str> {
+        match self {
+            CatalogError::UnknownKind { kind, .. } => Some(kind),
+            CatalogError::UnknownProgram { program, .. } => Some(program),
+            CatalogError::DuplicateKind(_) => None,
+        }
+    }
+
+    /// The nearest registered name, when one is close enough.
+    pub fn suggestion(&self) -> Option<&str> {
+        match self {
+            CatalogError::UnknownKind { suggestion, .. }
+            | CatalogError::UnknownProgram { suggestion, .. } => suggestion.as_deref(),
+            CatalogError::DuplicateKind(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hint = |s: &Option<String>| match s {
+            Some(s) => format!(" (did you mean {s:?}?)"),
+            None => String::new(),
+        };
         match self {
-            CatalogError::UnknownKind(k) => write!(f, "no program registered for type {k:?}"),
-            CatalogError::UnknownProgram(p) => write!(f, "no program with id {p:?}"),
+            CatalogError::UnknownKind { kind, suggestion } => {
+                write!(f, "no program registered for type {kind:?}{}", hint(suggestion))
+            }
+            CatalogError::UnknownProgram { program, suggestion } => {
+                write!(f, "no program with id {program:?}{}", hint(suggestion))
+            }
             CatalogError::DuplicateKind(k) => write!(f, "type {k:?} already registered"),
         }
     }
@@ -69,18 +99,24 @@ impl Catalog {
 
     /// Instantiate a program for a type name.
     pub fn make(&self, kind: &str) -> Result<Box<dyn DigiProgram>, CatalogError> {
-        self.by_kind
-            .get(kind)
-            .map(|f| f())
-            .ok_or_else(|| CatalogError::UnknownKind(kind.to_string()))
+        self.by_kind.get(kind).map(|f| f()).ok_or_else(|| CatalogError::UnknownKind {
+            kind: kind.to_string(),
+            suggestion: crate::suggest::nearest(kind, self.by_kind.keys().map(String::as_str))
+                .map(str::to_string),
+        })
     }
 
     /// Instantiate by program id (used when recreating pulled setups).
     pub fn make_by_program(&self, program: &str) -> Result<Box<dyn DigiProgram>, CatalogError> {
-        let kind = self
-            .program_to_kind
-            .get(program)
-            .ok_or_else(|| CatalogError::UnknownProgram(program.to_string()))?;
+        let kind =
+            self.program_to_kind.get(program).ok_or_else(|| CatalogError::UnknownProgram {
+                program: program.to_string(),
+                suggestion: crate::suggest::nearest(
+                    program,
+                    self.program_to_kind.keys().map(String::as_str),
+                )
+                .map(str::to_string),
+            })?;
         self.make(kind)
     }
 
@@ -158,8 +194,32 @@ mod tests {
         let mut c = Catalog::new();
         c.register(|| Box::new(Dummy)).unwrap();
         assert!(matches!(c.register(|| Box::new(Dummy)), Err(CatalogError::DuplicateKind(_))));
-        assert!(matches!(c.make("Nope"), Err(CatalogError::UnknownKind(_))));
-        assert!(matches!(c.make_by_program("no/prog"), Err(CatalogError::UnknownProgram(_))));
+        assert!(matches!(c.make("Nope"), Err(CatalogError::UnknownKind { .. })));
+        assert!(matches!(c.make_by_program("no/prog"), Err(CatalogError::UnknownProgram { .. })));
+    }
+
+    fn expect_err(r: Result<Box<dyn DigiProgram>, CatalogError>) -> CatalogError {
+        match r {
+            Err(e) => e,
+            Ok(p) => panic!("expected an error, resolved {}", p.kind()),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_suggests_nearest() {
+        let mut c = Catalog::new();
+        c.register(|| Box::new(Dummy)).unwrap();
+        let err = expect_err(c.make("Dumny"));
+        assert_eq!(err.unknown_name(), Some("Dumny"));
+        assert_eq!(err.suggestion(), Some("Dummy"));
+        assert!(err.to_string().contains("did you mean \"Dummy\"?"), "{err}");
+        // far-off names get no suggestion
+        let err = expect_err(c.make("Telescope"));
+        assert_eq!(err.suggestion(), None);
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+        // program ids too
+        let err = expect_err(c.make_by_program("test/dumny"));
+        assert_eq!(err.suggestion(), Some("test/dummy"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! delays, load-dependent service overhead).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
 use std::rc::Rc;
 
 use bytes::Bytes;

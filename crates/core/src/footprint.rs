@@ -1,0 +1,223 @@
+//! Handler footprint recording for static analysis.
+//!
+//! `dbox lint` wants to know, for every program, which model paths each
+//! handler reads and writes — without running a full simulation. The
+//! recorder here is a thread-local tap on the [`crate::program::SimCtx`] /
+//! [`crate::program::LoopCtx`] accessors and on [`crate::atts::Atts`]: the
+//! analyzer wraps a probe invocation in [`record`], the handler runs
+//! normally against an ordinary model, and every field access routed
+//! through the context APIs lands in the returned [`Footprint`].
+//!
+//! The tap is off by default (a single thread-local `Cell<bool>` check on
+//! the hot path) and never enabled by the runtime, so simulation
+//! performance is unaffected.
+//!
+//! Writes that bypass the context (direct `ctx.model.set` calls, as some
+//! physical-fidelity handlers do) are invisible to the tap; the analyzer
+//! complements it by diffing model fields around the probe.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+
+/// Paths touched by one handler invocation (or several, when merged).
+///
+/// Own-model paths are dotted strings exactly as the handler addressed them
+/// (`"power.status"`, `"count"`); attachment accesses carry the attached
+/// digi's name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Own-model paths read.
+    pub reads: BTreeSet<String>,
+    /// Own-model paths written (recorded before change-guards, so a
+    /// same-value write still counts as write intent).
+    pub writes: BTreeSet<String>,
+    /// (attached digi name, path) pairs read.
+    pub att_reads: BTreeSet<(String, String)>,
+    /// (attached digi name, path) pairs written.
+    pub att_writes: BTreeSet<(String, String)>,
+    /// Number of events emitted.
+    pub emits: usize,
+}
+
+impl Footprint {
+    /// Fold another footprint into this one.
+    pub fn merge(&mut self, other: Footprint) {
+        self.reads.extend(other.reads);
+        self.writes.extend(other.writes);
+        self.att_reads.extend(other.att_reads);
+        self.att_writes.extend(other.att_writes);
+        self.emits += other.emits;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.writes.is_empty()
+            && self.att_reads.is_empty()
+            && self.att_writes.is_empty()
+            && self.emits == 0
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static CURRENT: RefCell<Footprint> = RefCell::new(Footprint::default());
+}
+
+#[inline]
+fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+#[inline]
+pub(crate) fn note_read(path: &str) {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().reads.insert(path.to_string());
+        });
+    }
+}
+
+/// `note_read` for a `field` + `.suffix` pair — the format happens only
+/// when the tap is on, keeping the disabled path allocation-free.
+#[inline]
+pub(crate) fn note_read_pair(field: &str, suffix: &str) {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().reads.insert(format!("{field}.{suffix}"));
+        });
+    }
+}
+
+#[inline]
+pub(crate) fn note_write_pair(field: &str, suffix: &str) {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().writes.insert(format!("{field}.{suffix}"));
+        });
+    }
+}
+
+/// Is the tap currently on? Lets callers skip work that only feeds it.
+#[inline]
+pub(crate) fn is_recording() -> bool {
+    enabled()
+}
+
+#[inline]
+pub(crate) fn note_write(path: &str) {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().writes.insert(path.to_string());
+        });
+    }
+}
+
+#[inline]
+pub(crate) fn note_att_read(name: &str, path: &str) {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().att_reads.insert((name.to_string(), path.to_string()));
+        });
+    }
+}
+
+#[inline]
+pub(crate) fn note_att_write(name: &str, path: &str) {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().att_writes.insert((name.to_string(), path.to_string()));
+        });
+    }
+}
+
+#[inline]
+pub(crate) fn note_emit() {
+    if enabled() {
+        CURRENT.with(|c| {
+            c.borrow_mut().emits += 1;
+        });
+    }
+}
+
+/// Record every context access made while `f` runs on this thread.
+///
+/// Recording is not re-entrant: a nested `record` call would fold into the
+/// outer capture. The analyzer only ever probes one handler at a time.
+pub fn record<F: FnOnce()>(f: F) -> Footprint {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ENABLED.with(|e| e.set(false));
+        }
+    }
+
+    CURRENT.with(|c| c.replace(Footprint::default()));
+    ENABLED.with(|e| e.set(true));
+    let guard = Guard;
+    f();
+    drop(guard);
+    CURRENT.with(|c| c.replace(Footprint::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        note_read("x");
+        note_write("y");
+        let fp = record(|| {});
+        assert!(fp.is_empty(), "accesses outside record() must not leak in");
+    }
+
+    #[test]
+    fn captures_and_resets() {
+        let fp = record(|| {
+            note_read("power.status");
+            note_write("intensity.status");
+            note_att_read("O1", "triggered");
+            note_att_write("L1", "power.status");
+            note_emit();
+            note_emit();
+        });
+        assert!(fp.reads.contains("power.status"));
+        assert!(fp.writes.contains("intensity.status"));
+        assert!(fp.att_reads.contains(&("O1".to_string(), "triggered".to_string())));
+        assert!(fp.att_writes.contains(&("L1".to_string(), "power.status".to_string())));
+        assert_eq!(fp.emits, 2);
+        // the tap is off again
+        note_read("leak");
+        assert!(record(|| {}).is_empty());
+    }
+
+    #[test]
+    fn recovers_after_panic() {
+        let result = std::panic::catch_unwind(|| {
+            record(|| {
+                note_read("before-panic");
+                panic!("handler blew up");
+            })
+        });
+        assert!(result.is_err());
+        // the drop guard disabled the tap
+        note_read("after-panic");
+        assert!(record(|| {}).is_empty());
+    }
+
+    #[test]
+    fn merge_folds() {
+        let mut a = record(|| {
+            note_read("x");
+            note_emit();
+        });
+        let b = record(|| {
+            note_read("y");
+            note_write("z");
+        });
+        a.merge(b);
+        assert!(a.reads.contains("x") && a.reads.contains("y"));
+        assert!(a.writes.contains("z"));
+        assert_eq!(a.emits, 1);
+    }
+}

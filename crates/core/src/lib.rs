@@ -36,9 +36,11 @@ mod catalog;
 pub mod cell;
 mod dbox;
 mod digi;
+pub mod footprint;
 pub mod pool;
 pub mod program;
 pub mod properties;
+pub mod suggest;
 mod testbed;
 pub mod topics;
 
@@ -48,6 +50,7 @@ pub use cell::{CellStats, DigiCell, Outbox};
 pub use catalog::{Catalog, CatalogError};
 pub use dbox::Dbox;
 pub use digi::{DigiService, DigiStats};
+pub use footprint::Footprint;
 pub use pool::{DigiPool, PoolStats};
 pub use program::{DigiProgram, LoopCtx, SimCtx};
 pub use properties::{Condition, PropertyChecker, SceneProperty, Temporal};

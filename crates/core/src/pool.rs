@@ -28,7 +28,7 @@
 //! fleets of mocks (the paper's 1000-sensor experiment).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // det-ok: hash maps for keyed lookup; iteration is sorted first
 use std::rc::Rc;
 
 use bytes::Bytes;

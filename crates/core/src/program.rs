@@ -51,6 +51,7 @@ use digibox_model::{Model, Path, Schema, Value};
 use digibox_net::{Prng, SimTime};
 
 use crate::atts::Atts;
+use crate::footprint;
 
 /// Context for event-generation handlers (`@dbox.loop`).
 pub struct LoopCtx<'a> {
@@ -69,12 +70,16 @@ impl LoopCtx<'_> {
     /// Record an event (it is logged and published on
     /// `digibox/digi/<name>/event`).
     pub fn emit(&mut self, data: Value) {
+        footprint::note_emit();
         self.emitted.push(data);
     }
 
     /// Shorthand for `model.update` + `emit` — the idiom of the paper's
     /// `gen_event` handlers (`dbox.model.update({"triggered": motion})`).
     pub fn update(&mut self, data: Value) {
+        if footprint::is_recording() {
+            note_leaf_writes("", &data);
+        }
         let _ = self.model.update(data.clone());
         self.emit(data);
     }
@@ -101,19 +106,41 @@ pub struct SimCtx<'a> {
     pub emitted: Vec<Value>,
 }
 
+/// Record the dotted path of every leaf in an update payload (tap feed for
+/// [`LoopCtx::update`]; only called while a lint probe is recording).
+fn note_leaf_writes(prefix: &str, v: &Value) {
+    match v.as_map() {
+        Some(m) if !m.is_empty() => {
+            for (k, child) in m {
+                let path =
+                    if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                note_leaf_writes(&path, child);
+            }
+        }
+        _ => {
+            if !prefix.is_empty() {
+                footprint::note_write(prefix);
+            }
+        }
+    }
+}
+
 impl SimCtx<'_> {
     pub fn emit(&mut self, data: Value) {
+        footprint::note_emit();
         self.emitted.push(data);
     }
 
     /// Read `field.intent`. Field literals are interned: the dotted string
     /// is split once per process, not once per handler invocation.
     pub fn intent(&self, field: &str) -> Option<&Value> {
+        footprint::note_read_pair(field, "intent");
         Path::interned_intent(field).ok()?.lookup(self.model.fields())
     }
 
     /// Read `field.status`.
     pub fn status(&self, field: &str) -> Option<&Value> {
+        footprint::note_read_pair(field, "status");
         Path::interned_status(field).ok()?.lookup(self.model.fields())
     }
 
@@ -140,6 +167,7 @@ impl SimCtx<'_> {
     /// Write `field.status` (no-op if unchanged, so handlers can be written
     /// declaratively without causing change storms).
     pub fn set_status(&mut self, field: &str, value: impl Into<Value>) {
+        footprint::note_write_pair(field, "status");
         let value = value.into();
         if self.status(field) == Some(&value) {
             return;
@@ -151,6 +179,7 @@ impl SimCtx<'_> {
 
     /// Write a plain (non-pair) field, also change-guarded.
     pub fn set_field(&mut self, path: &str, value: impl Into<Value>) {
+        footprint::note_write(path);
         let value = value.into();
         if let Ok(p) = Path::interned(path) {
             if p.lookup(self.model.fields()) == Some(&value) {
@@ -162,6 +191,7 @@ impl SimCtx<'_> {
 
     /// Read a plain field.
     pub fn field(&self, path: &str) -> Option<&Value> {
+        footprint::note_read(path);
         Path::interned(path).ok()?.lookup(self.model.fields())
     }
 

@@ -725,6 +725,15 @@ impl Testbed {
     /// `dbox commit` — snapshot the current setup as a manifest plus the
     /// type packages it needs.
     pub fn snapshot(&self, setup_name: &str) -> crate::Result<SetupManifest> {
+        let manifest = self.describe(setup_name);
+        manifest.validate().map_err(TestbedError::Setup)?;
+        Ok(manifest)
+    }
+
+    /// The current ensemble as a manifest, **without** validating it.
+    /// `dbox lint` uses this: a lint pass must see a broken ensemble as-is
+    /// and report every finding, not stop at the first validation error.
+    pub fn describe(&self, setup_name: &str) -> SetupManifest {
         let mut manifest = SetupManifest::new(setup_name, self.config.seed);
         for (name, entry) in &self.digis {
             manifest.instances.push(InstanceDecl {
@@ -739,8 +748,12 @@ impl Testbed {
             }
         }
         manifest.attachments.sort();
-        manifest.validate().map_err(TestbedError::Setup)?;
-        Ok(manifest)
+        manifest
+    }
+
+    /// Registered scene properties (for ensemble introspection / lint).
+    pub fn properties(&self) -> &[crate::SceneProperty] {
+        self.checker.properties()
     }
 
     /// `dbox commit <setup> <ref>` into a repository.

@@ -28,10 +28,11 @@ impl DigiProgram for Building {
     }
 
     fn on_model(&mut self, ctx: &mut SimCtx) {
-        let rooms: Vec<String> = room_like(ctx);
+        let rooms = room_like(ctx);
         if rooms.is_empty() {
             return;
         }
+        let names: Vec<String> = rooms.iter().map(|(n, _)| n.clone()).collect();
         let num = ctx.field_i64("num_human").unwrap_or(0) as usize;
         // paper Fig. 5: random.choices(names, k=num_human) — sampling with
         // replacement, then presence per room. The draw must be a pure
@@ -40,20 +41,34 @@ impl DigiProgram for Building {
         let mut det = super::det_rng(ctx.model, num as u64);
         let mut picked = std::collections::BTreeSet::new();
         for _ in 0..num {
-            if let Some(r) = det.choice(&rooms) {
+            if let Some(r) = det.choice(&names) {
                 picked.insert(r.clone());
             }
         }
-        for room in rooms {
+        for (room, kind) in rooms {
             let presence = picked.contains(&room);
-            ctx.atts.set(&room, "human_presence", presence);
-            // also divide headcount roughly evenly among occupied rooms
+            // divide headcount roughly evenly among occupied rooms
             let share = if presence {
                 (num as i64 / picked.len().max(1) as i64).max(1)
             } else {
                 0
             };
-            ctx.atts.set(&room, "num_occupants", share);
+            // each room-like kind models occupancy with its own vocabulary;
+            // write only fields the child's schema declares
+            match kind {
+                "Room" => {
+                    ctx.atts.set(&room, "human_presence", presence);
+                    ctx.atts.set(&room, "num_occupants", share);
+                }
+                "Kitchen" => ctx.atts.set(&room, "human_presence", presence),
+                "OpenOffice" => ctx.atts.set(&room, "population", share),
+                "Classroom" => {
+                    ctx.atts.set(&room, "in_session", presence);
+                    ctx.atts.set(&room, "students", share);
+                }
+                "Lobby" => ctx.atts.set(&room, "busy", presence),
+                _ => {}
+            }
         }
     }
 }
@@ -108,10 +123,10 @@ impl DigiProgram for Campus {
     }
 }
 
-fn room_like(ctx: &mut SimCtx) -> Vec<String> {
+fn room_like(ctx: &mut SimCtx) -> Vec<(String, &'static str)> {
     let mut out = Vec::new();
     for kind in ["Room", "Kitchen", "OpenOffice", "Classroom", "Lobby"] {
-        out.extend(ctx.atts.of_type(kind).into_iter().map(str::to_string));
+        out.extend(ctx.atts.of_type(kind).into_iter().map(|n| (n.to_string(), kind)));
     }
     out.sort();
     out

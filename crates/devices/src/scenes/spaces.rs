@@ -329,24 +329,32 @@ impl DigiProgram for Home {
 
     fn on_model(&mut self, ctx: &mut SimCtx) {
         let present = ctx.field_i64("residents_present").unwrap_or(0);
-        let rooms: Vec<String> = ["Room", "Kitchen", "Bedroom"]
+        let rooms: Vec<(String, &str)> = ["Room", "Kitchen", "Bedroom"]
             .iter()
-            .flat_map(|k| ctx.atts.of_type(k).into_iter().map(str::to_string).collect::<Vec<_>>())
+            .flat_map(|k| {
+                ctx.atts.of_type(k).into_iter().map(|n| (n.to_string(), *k)).collect::<Vec<_>>()
+            })
             .collect();
         if rooms.is_empty() {
             return;
         }
+        let names: Vec<String> = rooms.iter().map(|(n, _)| n.clone()).collect();
         // distribute residents over rooms (pure function of `present`)
         let mut det = super::det_rng(ctx.model, present as u64);
         let mut occupied = std::collections::BTreeSet::new();
         for _ in 0..present {
-            if let Some(r) = det.choice(&rooms) {
+            if let Some(r) = det.choice(&names) {
                 occupied.insert(r.clone());
             }
         }
-        for room in rooms {
+        for (room, kind) in rooms {
             let has_people = occupied.contains(&room);
-            ctx.atts.set(&room, "human_presence", has_people);
+            // bedrooms speak occupant_state, not human_presence
+            if kind == "Bedroom" {
+                ctx.atts.set(&room, "occupant_state", if has_people { "awake" } else { "away" });
+            } else {
+                ctx.atts.set(&room, "human_presence", has_people);
+            }
         }
         // locks: lock up when nobody is home
         let locks: Vec<String> =

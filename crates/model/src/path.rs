@@ -1,5 +1,5 @@
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
 use std::fmt;
 use std::sync::Arc;
 
@@ -150,7 +150,7 @@ impl Path {
     /// Whether `self` is a prefix of (or equal to) `other`.
     pub fn is_prefix_of(&self, other: &Path) -> bool {
         other.segments.len() >= self.segments.len()
-            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+            && self.segments.iter().zip(other.segments.iter()).all(|(a, b)| a == b)
     }
 
     /// Resolve this path against a value tree (read).
@@ -173,7 +173,7 @@ impl Path {
     /// missing step instead of an error).
     pub fn lookup<'v>(&self, root: &'v Value) -> Option<&'v Value> {
         let mut cur = root;
-        for seg in &self.segments {
+        for seg in self.segments.iter() {
             cur = cur.as_map()?.get(seg)?;
         }
         Some(cur)

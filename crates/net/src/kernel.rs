@@ -1,5 +1,5 @@
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
 use std::rc::Rc;
 
 use bytes::Bytes;

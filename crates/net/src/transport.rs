@@ -16,7 +16,7 @@
 //! ACK:  0x02 | cumulative_ack: u64        (highest in-order seq received)
 //! ```
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque}; // det-ok: keyed lookup only, never iterated
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn matches_heap_on_random_interleavings() {
         for seed in 0..20u64 {
-            let mut rng = Lcg(seed * 0x9E3779B97F4A7C15 + 1);
+            let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
             let mut wheel = EventWheel::new();
             let mut reference = RefQueue::default();
             let mut seq = 0u64;

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Determinism lint for the simulation crates.
+#
+# The simulation must be bit-reproducible from the seed (paper §3.5:
+# recreating a setup replays to identical state), so the crates that run
+# inside the virtual kernel must not consult wall-clock time, OS
+# randomness, or hash-order iteration:
+#
+#   * SystemTime::now / Instant::now / thread_rng / rand::random are
+#     banned outright — virtual time comes from the kernel, randomness
+#     from the seeded Prng;
+#   * HashMap/HashSet are allowed for keyed lookup only. A file opts in
+#     by annotating its `use std::collections::...` line with
+#     `// det-ok: <why>`; the clippy job's iter_over_hash_type lint
+#     catches actual iteration that grep cannot.
+#
+# Run from anywhere; exits non-zero with one line per offence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(crates/core crates/net crates/broker crates/model crates/devices)
+fail=0
+
+# absolute bans — no annotation makes these deterministic
+banned='SystemTime::now|Instant::now|thread_rng|rand::random'
+while IFS= read -r hit; do
+  echo "DETERMINISM: banned construct: $hit" >&2
+  fail=1
+done < <(grep -RnE "$banned" "${CRATES[@]}" --include='*.rs' | grep -v 'det-ok:' || true)
+
+# hash collections — the importing file must carry a det-ok justification
+while IFS= read -r file; do
+  if ! grep -qE 'Hash(Map|Set).*// det-ok:' "$file"; then
+    echo "DETERMINISM: Hash(Map|Set) without det-ok justification in $file" >&2
+    fail=1
+  fi
+done < <(grep -RlE 'Hash(Map|Set)' "${CRATES[@]}" --include='*.rs' || true)
+
+if [ "$fail" -ne 0 ]; then
+  echo "determinism lint FAILED" >&2
+  exit 1
+fi
+echo "determinism lint OK"

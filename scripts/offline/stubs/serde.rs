@@ -1,0 +1,407 @@
+//! Offline stand-in for `serde` (see serde_derive.rs for why).
+//!
+//! Traits carry the real method signatures so every workspace `impl` and
+//! bound typechecks. A hidden "fragment" back-channel makes the *manual*
+//! impls in the tree (`digibox_model::Path`) actually functional under the
+//! stub `serde_json`: serializers finish with a rendered JSON string,
+//! deserializers hand the raw JSON text to the impl.
+
+#![allow(dead_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+
+    /// Back-channel: compact JSON rendering, when this impl supports it.
+    #[doc(hidden)]
+    fn __fragment(&self) -> Option<String> {
+        None
+    }
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    /// Back-channel: accept a fully rendered JSON fragment.
+    #[doc(hidden)]
+    fn __finish_with(self, fragment: String) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+
+    /// Back-channel: build from raw JSON text, when this impl supports it.
+    #[doc(hidden)]
+    fn __from_text(_text: &str) -> Option<Self> {
+        None
+    }
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error;
+
+    /// Back-channel: surrender the raw JSON text being deserialized.
+    #[doc(hidden)]
+    fn __take_text(&mut self) -> Option<String> {
+        None
+    }
+
+    #[doc(hidden)]
+    fn __error(msg: String) -> Self::Error;
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        (**self).serialize(serializer)
+    }
+    fn __fragment(&self) -> Option<String> {
+        (**self).__fragment()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        (**self).serialize(serializer)
+    }
+    fn __fragment(&self) -> Option<String> {
+        (**self).__fragment()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        serializer.__finish_with(escape_json(self))
+    }
+    fn __fragment(&self) -> Option<String> {
+        Some(escape_json(self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        serializer.__finish_with(escape_json(self))
+    }
+    fn __fragment(&self) -> Option<String> {
+        Some(escape_json(self))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        match self.__fragment() {
+            Some(f) => serializer.__finish_with(f),
+            None => panic!("offline stub: slice element type lacks a JSON fragment"),
+        }
+    }
+    fn __fragment(&self) -> Option<String> {
+        let mut parts = Vec::with_capacity(self.len());
+        for item in self {
+            parts.push(item.__fragment()?);
+        }
+        Some(format!("[{}]", parts.join(",")))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        self.as_slice().serialize(serializer)
+    }
+    fn __fragment(&self) -> Option<String> {
+        self.as_slice().__fragment()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D>(mut deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let text = deserializer
+            .__take_text()
+            .ok_or_else(|| D::__error("offline stub: no JSON text".into()))?;
+        Self::__from_text(&text).ok_or_else(|| D::__error(format!("expected string: {text}")))
+    }
+    fn __from_text(text: &str) -> Option<Self> {
+        crate::__json::parse_string(text)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D>(mut deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let text = deserializer
+            .__take_text()
+            .ok_or_else(|| D::__error("offline stub: no JSON text".into()))?;
+        Self::__from_text(&text).ok_or_else(|| D::__error(format!("expected array: {text}")))
+    }
+    fn __from_text(text: &str) -> Option<Self> {
+        let items = crate::__json::split_array(text)?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(T::__from_text(&item)?);
+        }
+        Some(out)
+    }
+}
+
+macro_rules! display_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+            where
+                S: Serializer,
+            {
+                serializer.__finish_with(self.to_string())
+            }
+            fn __fragment(&self) -> Option<String> {
+                Some(self.to_string())
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D>(mut deserializer: D) -> Result<Self, D::Error>
+            where
+                D: Deserializer<'de>,
+            {
+                let text = deserializer
+                    .__take_text()
+                    .ok_or_else(|| D::__error("offline stub: no JSON text".into()))?;
+                Self::__from_text(&text)
+                    .ok_or_else(|| D::__error(format!("bad literal: {text}")))
+            }
+            fn __from_text(text: &str) -> Option<Self> {
+                text.trim().parse().ok()
+            }
+        }
+    )*};
+}
+
+display_serialize!(bool, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        match self.__fragment() {
+            Some(f) => serializer.__finish_with(f),
+            None => panic!("offline stub: Option inner type lacks a JSON fragment"),
+        }
+    }
+    fn __fragment(&self) -> Option<String> {
+        match self {
+            None => Some("null".to_string()),
+            Some(v) => v.__fragment(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D>(mut deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let text = deserializer
+            .__take_text()
+            .ok_or_else(|| D::__error("offline stub: no JSON text".into()))?;
+        Self::__from_text(&text).ok_or_else(|| D::__error(format!("bad option: {text}")))
+    }
+    fn __from_text(text: &str) -> Option<Self> {
+        if text.trim() == "null" {
+            Some(None)
+        } else {
+            T::__from_text(text).map(Some)
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        match self.__fragment() {
+            Some(f) => serializer.__finish_with(f),
+            None => panic!("offline stub: map entry types lack JSON fragments"),
+        }
+    }
+    fn __fragment(&self) -> Option<String> {
+        let mut parts = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            parts.push(format!("{}:{}", k.__fragment()?, v.__fragment()?));
+        }
+        Some(format!("{{{}}}", parts.join(",")))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D>(mut deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let text = deserializer
+            .__take_text()
+            .ok_or_else(|| D::__error("offline stub: no JSON text".into()))?;
+        Self::__from_text(&text).ok_or_else(|| D::__error(format!("bad map: {text}")))
+    }
+    fn __from_text(text: &str) -> Option<Self> {
+        let entries = crate::__json::split_object(text)?;
+        let mut out = std::collections::BTreeMap::new();
+        for (k, v) in entries {
+            out.insert(K::__from_text(&k)?, V::__from_text(&v)?);
+        }
+        Some(out)
+    }
+}
+
+/// Minimal JSON text utilities for the back-channel impls.
+#[doc(hidden)]
+pub mod __json {
+    /// Parse a JSON string literal into its value.
+    pub fn parse_string(text: &str) -> Option<String> {
+        let t = text.trim();
+        let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Split a JSON object's raw text into raw (key, value) texts.
+    pub fn split_object(text: &str) -> Option<Vec<(String, String)>> {
+        let t = text.trim();
+        let inner = t.strip_prefix('{')?.strip_suffix('}')?.trim();
+        // Reuse the array splitter on the comma level, then split each
+        // entry at its first top-level colon.
+        let entries = split_array(&format!("[{inner}]"))?;
+        if inner.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let mut in_str = false;
+            let mut esc = false;
+            let mut colon = None;
+            for (i, c) in entry.char_indices() {
+                if esc {
+                    esc = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_str => esc = true,
+                    '"' => in_str = !in_str,
+                    ':' if !in_str => {
+                        colon = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let colon = colon?;
+            out.push((
+                entry[..colon].trim().to_string(),
+                entry[colon + 1..].trim().to_string(),
+            ));
+        }
+        Some(out)
+    }
+
+    /// Split a JSON array's raw text into raw element texts.
+    pub fn split_array(text: &str) -> Option<Vec<String>> {
+        let t = text.trim();
+        let inner = t.strip_prefix('[')?.strip_suffix(']')?.trim();
+        if inner.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut items = Vec::new();
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut esc = false;
+        let mut start = 0usize;
+        for (i, c) in inner.char_indices() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '[' | '{' if !in_str => depth += 1,
+                ']' | '}' if !in_str => depth = depth.checked_sub(1)?,
+                ',' if !in_str && depth == 0 => {
+                    items.push(inner[start..i].trim().to_string());
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        items.push(inner[start..].trim().to_string());
+        Some(items)
+    }
+}

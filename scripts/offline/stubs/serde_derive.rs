@@ -1,0 +1,65 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build container has no cargo registry, so `scripts/check_offline.sh`
+//! compiles the workspace against these stubs with bare `rustc`. The derive
+//! emits trait impls whose bodies panic: enough to typecheck every
+//! `#[derive(Serialize, Deserialize)]` in the tree (attributes included),
+//! not enough to actually serialize derived types. Manual impls (e.g.
+//! `digibox_model::Path`) still work because the stub `serde`/`serde_json`
+//! carry a functional back-channel for JSON text.
+//!
+//! Never used by the real cargo build.
+
+extern crate proc_macro;
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Pull the type name out of a `struct`/`enum` item token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("offline serde_derive stub: could not find type name");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn serialize<S>(&self, _s: S) -> std::result::Result<S::Ok, S::Error>\n\
+            where S: serde::Serializer {{\n\
+                panic!(\"offline stub: derived Serialize for {name} is typecheck-only\")\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+            fn deserialize<D>(_d: D) -> std::result::Result<Self, D::Error>\n\
+            where D: serde::Deserializer<'de> {{\n\
+                panic!(\"offline stub: derived Deserialize for {name} is typecheck-only\")\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .unwrap()
+}
