@@ -8,7 +8,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use digibox_net::transport::{ReliableEndpoint, TransportEvent};
-use digibox_net::{Addr, Datagram, Service, ServiceHandle, Sim, TimerToken};
+use digibox_net::{Addr, Datagram, Service, ServiceHandle, Sim, SimDuration, SimTime, TimerToken};
 
 use crate::packet::{Packet, QoS};
 use crate::topic::{validate_filter, validate_topic, TopicTrie};
@@ -22,6 +22,11 @@ const SYS_EVERY_PUBLISHES: u64 = 64;
 /// just drop the whole cache rather than track per-entry age.
 const ROUTE_CACHE_CAP: usize = 4096;
 
+/// Timer token for the session keep-alive sweep. The reliable endpoint
+/// only claims tokens with `RELIABLE_TIMER_BIT` (bit 63) set, so a small
+/// constant is safely ours.
+const SESSION_SWEEP_TOKEN: TimerToken = 1;
+
 /// Broker counters (exposed for the scalability benchmarks).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BrokerStats {
@@ -34,6 +39,10 @@ pub struct BrokerStats {
     pub malformed: u64,
     pub route_cache_hits: u64,
     pub route_cache_misses: u64,
+    /// Keep-alive probes sent to idle sessions.
+    pub probes_sent: u64,
+    /// Sessions reaped because a keep-alive probe went unanswered.
+    pub sessions_expired: u64,
 }
 
 #[derive(Debug)]
@@ -43,6 +52,23 @@ struct Session {
     /// Filters this session holds (mirror of the trie, for cleanup).
     filters: Vec<String>,
     will: Option<(String, Bytes)>,
+    /// Last time any packet arrived from this client.
+    last_seen: SimTime,
+    /// When the last keep-alive probe went out (cleared on any traffic).
+    last_probe: Option<SimTime>,
+}
+
+impl Session {
+    /// When this session next needs a probe: `timeout` past the last sign
+    /// of life, where an outstanding probe also counts (so a session is
+    /// probed at most once per timeout period while the transport decides).
+    fn deadline(&self, timeout: SimDuration) -> SimTime {
+        let seen = match self.last_probe {
+            Some(p) if p > self.last_seen => p,
+            _ => self.last_seen,
+        };
+        seen + timeout
+    }
 }
 
 /// The MQTT broker, bound at one address of the simulated network.
@@ -62,6 +88,13 @@ pub struct Broker {
     retained: BTreeMap<String, (QoS, Bytes)>,
     next_pid: u16,
     stats: BrokerStats,
+    /// Idle-session expiry: when set, sessions quiet for this long get a
+    /// keep-alive probe over the reliable transport; a dead or partitioned
+    /// peer exhausts the transport's retries and is dropped (will fired).
+    /// `None` (the default) disables the sweep entirely, so a quiesced
+    /// testbed's event queue can still drain.
+    session_timeout: Option<SimDuration>,
+    sweep_armed: bool,
 }
 
 impl Broker {
@@ -76,7 +109,32 @@ impl Broker {
             retained: BTreeMap::new(),
             next_pid: 1,
             stats: BrokerStats::default(),
+            session_timeout: None,
+            sweep_armed: false,
         }))
+    }
+
+    /// Enable (or disable) idle-session expiry. The sweep timer arms on
+    /// the next client connect. NOTE: while any session exists the sweep
+    /// perpetually re-arms, so drive the sim with `run_for`/`run_until`
+    /// rather than `run_to_completion` when a timeout is set.
+    pub fn set_session_timeout(&mut self, timeout: Option<SimDuration>) {
+        self.session_timeout = timeout;
+    }
+
+    pub fn session_timeout(&self) -> Option<SimDuration> {
+        self.session_timeout
+    }
+
+    /// Datagram retransmissions performed by the broker's transport
+    /// (chaos scorecards read this as "messages redelivered").
+    pub fn transport_retransmits(&self) -> u64 {
+        self.ep.retransmits()
+    }
+
+    /// Duplicate datagrams the broker's transport suppressed.
+    pub fn transport_duplicates(&self) -> u64 {
+        self.ep.duplicates()
     }
 
     pub fn addr(&self) -> Addr {
@@ -113,10 +171,17 @@ impl Broker {
                 self.stats.connects += 1;
                 self.sessions.insert(
                     from,
-                    Session { client_id, filters: Vec::new(), will: flags.will },
+                    Session {
+                        client_id,
+                        filters: Vec::new(),
+                        will: flags.will,
+                        last_seen: sim.now(),
+                        last_probe: None,
+                    },
                 );
                 self.send_packet(sim, from, &Packet::ConnAck { session_present: false, code: 0 });
                 self.publish_sys(sim);
+                self.maybe_arm_sweep(sim);
             }
             Packet::Publish { qos, retain, topic, packet_id, payload, .. } => {
                 self.stats.publishes_in += 1;
@@ -197,6 +262,10 @@ impl Broker {
                 // guaranteed by the reliable transport; nothing to clean up.
             }
             Packet::PingReq => self.send_packet(sim, from, &Packet::PingResp),
+            Packet::PingResp => {
+                // Answer to one of our keep-alive probes; `last_seen` was
+                // already refreshed when the packet was delivered.
+            }
             Packet::Disconnect => {
                 // Graceful close: the will is discarded (spec §3.14).
                 self.drop_session(sim, from, false);
@@ -291,6 +360,51 @@ impl Broker {
         }
     }
 
+    /// Arm the sweep timer if expiry is on and it isn't already pending.
+    /// Called on connect (the broker has no `on_start`, so the first
+    /// session brings the sweep up lazily).
+    fn maybe_arm_sweep(&mut self, sim: &mut Sim) {
+        let Some(timeout) = self.session_timeout else { return };
+        if self.sweep_armed || self.sessions.is_empty() {
+            return;
+        }
+        self.sweep_armed = true;
+        sim.set_timer(self.addr, timeout, SESSION_SWEEP_TOKEN);
+    }
+
+    /// Probe every session that has been quiet past the timeout. A live
+    /// client answers (transport ACK plus a PingResp, refreshing
+    /// `last_seen`); a dead or partitioned one exhausts the transport's
+    /// retries, and the resulting `PeerFailed` drops the session *and* the
+    /// stale transport connection — that cleanup is what lets a client
+    /// reconnect with a fresh sequence space after a partition heals.
+    fn sweep_sessions(&mut self, sim: &mut Sim) {
+        self.sweep_armed = false;
+        let Some(timeout) = self.session_timeout else { return };
+        let now = sim.now();
+        let mut due: Vec<Addr> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.deadline(timeout) <= now)
+            .map(|(a, _)| *a)
+            .collect();
+        due.sort_unstable();
+        for addr in due {
+            if let Some(s) = self.sessions.get_mut(&addr) {
+                s.last_probe = Some(now);
+            }
+            self.stats.probes_sent += 1;
+            self.send_packet(sim, addr, &Packet::PingReq);
+        }
+        // Re-arm for the earliest upcoming deadline (min over the hash map
+        // is order-independent, so iteration order doesn't matter).
+        if let Some(next) = self.sessions.values().map(|s| s.deadline(timeout)).min() {
+            let delay = if next > now { next - now } else { timeout };
+            self.sweep_armed = true;
+            sim.set_timer(self.addr, delay, SESSION_SWEEP_TOKEN);
+        }
+    }
+
     fn drop_session(&mut self, sim: &mut Sim, addr: Addr, fire_will: bool) {
         let Some(session) = self.sessions.remove(&addr) else {
             return;
@@ -319,7 +433,11 @@ impl Service for Broker {
     }
 
     fn on_timer(&mut self, sim: &mut Sim, token: TimerToken) {
-        self.ep.on_timer(sim, token);
+        if token == SESSION_SWEEP_TOKEN {
+            self.sweep_sessions(sim);
+        } else {
+            self.ep.on_timer(sim, token);
+        }
         self.pump(sim);
     }
 }
@@ -328,14 +446,23 @@ impl Broker {
     fn pump(&mut self, sim: &mut Sim) {
         while let Some(ev) = self.ep.poll() {
             match ev {
-                TransportEvent::Delivered { peer, payload } => match Packet::decode(&payload) {
-                    Ok(pkt) => self.handle_packet(sim, peer, pkt),
-                    Err(_) => self.stats.malformed += 1,
-                },
+                TransportEvent::Delivered { peer, payload } => {
+                    if let Some(s) = self.sessions.get_mut(&peer) {
+                        s.last_seen = sim.now();
+                        s.last_probe = None;
+                    }
+                    match Packet::decode(&payload) {
+                        Ok(pkt) => self.handle_packet(sim, peer, pkt),
+                        Err(_) => self.stats.malformed += 1,
+                    }
+                }
                 TransportEvent::PeerFailed { peer } => {
                     // Ungraceful death: fire the last-will (paper §6 lists
                     // device faults as a fidelity dimension; this is how an
                     // app observes a mock dying).
+                    if self.sessions.get(&peer).is_some_and(|s| s.last_probe.is_some()) {
+                        self.stats.sessions_expired += 1;
+                    }
                     self.drop_session(sim, peer, true);
                 }
             }
@@ -683,5 +810,87 @@ mod tests {
         publisher.borrow_mut().conn.publish(&mut rig.sim, "t/x", &b"3"[..], QoS::AtMostOnce, false);
         rig.sim.run_to_completion();
         assert_eq!(sub2.borrow().messages().len(), 2, "stale cached route after session end");
+    }
+
+    /// Like `Rig::client` but driven by `run_for`: once a session timeout
+    /// is set the sweep timer perpetually re-arms, so `run_to_completion`
+    /// would never return.
+    fn client_run_for(rig: &mut Rig, port: u16, id: &str, will: Option<(String, Bytes)>) -> ServiceHandle<TestClient> {
+        let addr = Addr::new(rig.broker_addr.node, port);
+        let c = TestClient::new(addr, rig.broker_addr, id);
+        rig.sim.bind(addr, c.clone());
+        c.borrow_mut().conn.connect(&mut rig.sim, will);
+        rig.sim.run_for(SimDuration::from_millis(100));
+        assert!(c.borrow().conn.is_connected(), "client {id} failed to connect");
+        c
+    }
+
+    #[test]
+    fn idle_dead_session_expires_via_probe_and_fires_will() {
+        let mut rig = Rig::new();
+        rig.broker.borrow_mut().set_session_timeout(Some(SimDuration::from_secs(2)));
+        let watcher = client_run_for(&mut rig, 20_000, "watcher", None);
+        watcher.borrow_mut().conn.subscribe(&mut rig.sim, &[("lwt/#", QoS::AtMostOnce)]);
+        let mortal = client_run_for(
+            &mut rig,
+            20_001,
+            "mortal",
+            Some(("lwt/mortal".into(), Bytes::from_static(b"gone"))),
+        );
+        let _ = mortal;
+        assert_eq!(rig.broker.borrow().session_count(), 2);
+        // Silent death: the client vanishes without a Disconnect. The
+        // sweep probes it after ~2s idle; retry exhaustion takes another
+        // ~55×RTO, after which the will fires and the session is reaped.
+        rig.sim.unbind(Addr::new(rig.broker_addr.node, 20_001));
+        rig.sim.run_for(SimDuration::from_secs(8));
+        let b = rig.broker.borrow();
+        assert_eq!(b.session_count(), 1, "dead session reaped");
+        assert_eq!(b.stats().wills_fired, 1);
+        assert!(b.stats().probes_sent >= 1);
+        assert_eq!(b.stats().sessions_expired, 1);
+        drop(b);
+        assert_eq!(
+            watcher.borrow().messages(),
+            vec![("lwt/mortal".to_string(), b"gone".to_vec())]
+        );
+    }
+
+    #[test]
+    fn idle_live_session_survives_probes() {
+        let mut rig = Rig::new();
+        rig.broker.borrow_mut().set_session_timeout(Some(SimDuration::from_millis(500)));
+        let c = client_run_for(
+            &mut rig,
+            20_100,
+            "quiet",
+            Some(("lwt/quiet".into(), Bytes::from_static(b"gone"))),
+        );
+        // Five seconds of silence: the broker probes roughly once per
+        // timeout period, the client answers each time, nothing expires.
+        rig.sim.run_for(SimDuration::from_secs(5));
+        let b = rig.broker.borrow();
+        assert_eq!(b.session_count(), 1, "live client kept alive by probes");
+        assert_eq!(b.stats().wills_fired, 0);
+        assert_eq!(b.stats().sessions_expired, 0);
+        assert!(b.stats().probes_sent >= 5, "probes={}", b.stats().probes_sent);
+        assert_eq!(b.transport_retransmits(), 0);
+        drop(b);
+        assert!(c.borrow().conn.is_connected());
+    }
+
+    #[test]
+    fn busy_session_is_never_probed() {
+        let mut rig = Rig::new();
+        rig.broker.borrow_mut().set_session_timeout(Some(SimDuration::from_millis(500)));
+        let c = client_run_for(&mut rig, 20_200, "chatty", None);
+        // Publish every 200ms — always inside the idle window.
+        for _ in 0..20 {
+            c.borrow_mut().conn.publish(&mut rig.sim, "t", &b"x"[..], QoS::AtMostOnce, false);
+            rig.sim.run_for(SimDuration::from_millis(200));
+        }
+        let b = rig.broker.borrow();
+        assert_eq!(b.stats().probes_sent, 0, "traffic resets the idle clock");
+        assert_eq!(b.session_count(), 1);
     }
 }

@@ -220,6 +220,10 @@ impl MqttConn {
                 self.events.push_back(ClientEvent::SubAck { packet_id });
             }
             Packet::UnsubAck { .. } | Packet::PingResp => {}
+            // Broker-side keep-alive probe: answer so the session's idle
+            // clock resets (the transport ACK alone already proves
+            // liveness, but the response keeps probe traffic symmetric).
+            Packet::PingReq => self.send_packet(sim, &Packet::PingResp),
             // Packets only a client sends — ignore if a confused peer sends them.
             _ => {}
         }

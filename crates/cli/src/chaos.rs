@@ -1,0 +1,264 @@
+//! `dbox chaos` — execute a seeded fault campaign and print the
+//! degradation-aware scorecard (paper §6: faults/failures and network
+//! connectivity as prototyping dimensions).
+//!
+//! Like `dbox lint` this verb has its own exit-code contract and is
+//! intercepted in [`crate::invoke`]:
+//!
+//! * `0` — campaign ran and the scorecard is clean (no post-heal
+//!   violations; degradation *during* fault windows is tolerated);
+//! * `2` — at least one violation after the convergence deadline;
+//! * `1` — operational failure (bad flags, unreadable plan, broken
+//!   setup).
+
+use std::path::Path;
+
+use digibox_core::campaign::Campaign;
+use digibox_core::properties::DigiCondition;
+use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::chaos::{FaultKind, FaultPlan, FaultSpec};
+use digibox_net::SimDuration;
+
+use crate::Outcome;
+
+const CHAOS_USAGE: &str = "\
+usage:
+  dbox chaos                      run the built-in demo campaign
+  dbox chaos --plan <plan.json>   run a fault plan from a file
+options:
+  --seeds 1,2,3                   seeds to sweep (default 1,2,3)
+  --format json|pretty            scorecard output format (default pretty)
+  --out <file>                    also write the JSON scorecard to a file
+  --print-plan                    print the effective plan as JSON and exit
+exit codes: 0 clean, 2 post-heal violations, 1 operational error
+";
+
+pub fn run(_dir: &Path, args: &[String]) -> Outcome {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Outcome { stdout: CHAOS_USAGE.to_string(), code: 0 };
+    }
+    match run_inner(args) {
+        Ok(outcome) => outcome,
+        Err(e) => Outcome { stdout: format!("error: {e}\n"), code: 1 },
+    }
+}
+
+fn run_inner(args: &[String]) -> Result<Outcome, String> {
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut json = false;
+    let mut out_file: Option<String> = None;
+    let mut plan_file: Option<String> = None;
+    let mut print_plan = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--plan" => {
+                plan_file =
+                    Some(it.next().ok_or(format!("--plan needs a path\n{CHAOS_USAGE}"))?.clone());
+            }
+            "--seeds" => {
+                let list = it.next().ok_or(format!("--seeds needs a list\n{CHAOS_USAGE}"))?;
+                seeds = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad seed {s:?}")))
+                    .collect::<Result<_, _>>()?;
+                if seeds.is_empty() {
+                    return Err(format!("--seeds list is empty\n{CHAOS_USAGE}"));
+                }
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("pretty") => json = false,
+                other => return Err(format!("unknown --format {other:?}\n{CHAOS_USAGE}")),
+            },
+            "--out" => {
+                out_file =
+                    Some(it.next().ok_or(format!("--out needs a path\n{CHAOS_USAGE}"))?.clone());
+            }
+            "--print-plan" => print_plan = true,
+            other => return Err(format!("unknown argument {other:?}\n{CHAOS_USAGE}")),
+        }
+    }
+
+    let plan = match plan_file {
+        Some(path) => {
+            let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_slice::<FaultPlan>(&bytes).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => demo_plan(),
+    };
+    if print_plan {
+        let rendered = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
+        return Ok(Outcome { stdout: rendered + "\n", code: 0 });
+    }
+
+    let campaign = Campaign::new(plan)?;
+    let scorecard =
+        campaign.run(&seeds, |seed| demo_testbed(seed)).map_err(|e| e.to_string())?;
+    if let Some(path) = out_file {
+        std::fs::write(&path, scorecard.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let stdout = if json { scorecard.to_json() + "\n" } else { scorecard.render() };
+    let code = if scorecard.clean() { 0 } else { 2 };
+    Ok(Outcome { stdout, code })
+}
+
+/// The built-in demo plan: crash the lamp, partition the two nodes, then
+/// degrade every link — one window of each flavour, with start jitter so
+/// each seed explores a different timing.
+fn demo_plan() -> FaultPlan {
+    FaultPlan::new("demo", 60_000, 5_000)
+        .with(FaultSpec {
+            at_ms: 5_000,
+            duration_ms: 4_000,
+            jitter_ms: 2_000,
+            kind: FaultKind::CrashDigi { digi: "L1".into() },
+        })
+        .with(FaultSpec {
+            at_ms: 20_000,
+            duration_ms: 6_000,
+            jitter_ms: 1_000,
+            kind: FaultKind::Partition { left: vec![0], right: vec![1] },
+        })
+        .with(FaultSpec {
+            at_ms: 35_000,
+            duration_ms: 6_000,
+            jitter_ms: 3_000,
+            kind: FaultKind::Degrade { loss: 0.2, extra_delay_ms: 10, extra_jitter_ms: 5 },
+        })
+}
+
+/// The demo setup every plan runs against: a two-node cluster with a room
+/// scene driving an occupancy sensor and a lamp, plus the paper's
+/// lamp-follows-vacancy property. Broker keep-alive is on so partitioned
+/// sessions are reaped and can reconnect cleanly after the heal.
+fn demo_testbed(seed: u64) -> digibox_core::Result<Testbed> {
+    let config = TestbedConfig {
+        seed,
+        broker_session_timeout: Some(SimDuration::from_secs(2)),
+        ..Default::default()
+    };
+    let mut tb = Testbed::ec2(2, full_catalog(), config);
+    tb.run_with("Occupancy", "O1", Default::default(), true)?;
+    tb.run_with("Room", "R1", Default::default(), false)?;
+    tb.run_with("Lamp", "L1", Default::default(), false)?;
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("O1", "R1")?;
+    tb.attach("L1", "R1")?;
+    tb.add_property(SceneProperty::leads_to(
+        "lamp-follows-vacancy",
+        vec![DigiCondition::new("O1", Condition::eq("triggered", false))],
+        vec![DigiCondition::new("L1", Condition::eq("power.status", "off"))],
+        SimDuration::from_secs(5),
+    ));
+    tb.run_for(SimDuration::from_secs(2));
+    Ok(tb)
+}
+
+// Pure flag-handling tests (no simulation, no serde at runtime) — these
+// run under the offline harness too.
+#[cfg(test)]
+mod chaoscheck {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> Outcome {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(Path::new("."), &args)
+    }
+
+    #[test]
+    fn help_exits_zero() {
+        let out = run_args(&["--help"]);
+        assert_eq!(out.code, 0);
+        assert!(out.stdout.starts_with("usage:"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn bad_flags_exit_1() {
+        let out = run_args(&["--nope"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("usage:"), "{}", out.stdout);
+        let out = run_args(&["--seeds", "one,two"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("bad seed"), "{}", out.stdout);
+        let out = run_args(&["--seeds"]);
+        assert_eq!(out.code, 1);
+    }
+
+    #[test]
+    fn unreadable_plan_exits_1() {
+        let out = run_args(&["--plan", "/nonexistent/plan.json"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("error:"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn demo_plan_validates() {
+        assert!(demo_plan().validate().is_ok());
+        assert_eq!(demo_plan().faults.len(), 3);
+    }
+}
+
+// Campaign-executing tests (materialize a full testbed; skipped by the
+// offline harness alongside the other `tests::` CLI tests).
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbox-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_args(args: &[&str]) -> Outcome {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(Path::new("."), &args)
+    }
+
+    #[test]
+    fn print_plan_roundtrips() {
+        let out = run_args(&["--print-plan"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let back: FaultPlan = serde_json::from_str(&out.stdout).unwrap();
+        assert_eq!(back, demo_plan());
+    }
+
+    #[test]
+    fn demo_campaign_is_clean_and_writes_scorecard() {
+        let dir = tmpdir("demo");
+        let out_path = dir.join("scorecard.json");
+        let out = run_args(&[
+            "--seeds",
+            "1",
+            "--format",
+            "json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("\"clean\":true"), "{}", out.stdout);
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert_eq!(written.trim(), out.stdout.trim());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_file_overrides_demo() {
+        let dir = tmpdir("plan-file");
+        let path = dir.join("plan.json");
+        let plan = FaultPlan::new("tiny", 5_000, 1_000).with(FaultSpec {
+            at_ms: 1_000,
+            duration_ms: 500,
+            jitter_ms: 0,
+            kind: FaultKind::CrashDigi { digi: "L1".into() },
+        });
+        std::fs::write(&path, serde_json::to_vec(&plan).unwrap()).unwrap();
+        let out = run_args(&["--plan", path.to_str().unwrap(), "--seeds", "7"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("chaos plan \"tiny\""), "{}", out.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,6 +33,7 @@ use digibox_model::{dml, Value};
 use digibox_net::SimDuration;
 use digibox_registry::Repository;
 
+mod chaos;
 mod lint;
 
 /// One state-changing command in the journal.
@@ -189,10 +190,13 @@ impl Outcome {
 
 /// Run one CLI invocation against the workspace at `dir`.
 pub fn invoke(dir: &Path, args: &[String]) -> Outcome {
-    // `lint` has its own exit-code contract (2 = findings at error
-    // severity), so it bypasses the Ok/Err mapping below.
+    // `lint` and `chaos` have their own exit-code contracts (2 = findings
+    // / post-heal violations), so they bypass the Ok/Err mapping below.
     if args.first().map(String::as_str) == Some("lint") {
         return lint::run(dir, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return chaos::run(dir, &args[1..]);
     }
     match invoke_inner(dir, args) {
         Ok(out) => Outcome::ok(out),
@@ -218,6 +222,7 @@ usage:
   dbox push <setup> --to <dir>                   push to a remote repo dir
   dbox pull <setup> --from <dir>                 pull + recreate a setup
   dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
+  dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
   dbox log [name]                                print trace (paper format)
   dbox log --summary                             per-digi activity table
   dbox ps                                        pods and nodes (runtime view)

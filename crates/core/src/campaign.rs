@@ -1,0 +1,461 @@
+//! Chaos campaigns (paper §6 lists device faults/failures as a
+//! prototyping dimension): execute a seeded [`FaultPlan`] against a
+//! testbed, sweep it across seeds, and score each run with a
+//! degradation-aware verdict — violations *during* a fault window (plus a
+//! convergence grace period) are tolerated degradation; violations after
+//! the last fault heals are hard failures.
+//!
+//! The runner drives the testbed between fault transitions with
+//! [`Testbed::run_for`], so restarts and checkpoints interleave exactly as
+//! they would in a plain run, and the whole campaign is a pure function of
+//! (plan, seed, testbed builder): the scorecard digest is byte-identical
+//! across runs.
+
+use std::collections::BTreeMap;
+
+use digibox_net::chaos::{self, FaultKind, FaultPlan, FaultWindow};
+use digibox_net::{LinkState, NodeId, SimDuration, SimTime};
+use digibox_trace::RecordKind;
+
+use crate::testbed::Testbed;
+
+/// A fault plan bound to a seed sweep.
+pub struct Campaign {
+    plan: FaultPlan,
+}
+
+/// Per-seed observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedReport {
+    pub seed: u64,
+    /// Fraction of the run each digi was up (1.0 = never down). Digis
+    /// that never crashed report 1.0.
+    pub availability: BTreeMap<String, f64>,
+    /// Supervised restarts per digi.
+    pub restarts: BTreeMap<String, u64>,
+    /// Kernel datagrams dropped by lossy/blackholed links.
+    pub messages_lost: u64,
+    /// Broker-side transport retransmissions (reliable-delivery repair
+    /// work caused by the faults).
+    pub messages_redelivered: u64,
+    /// Sessions the broker reaped via keep-alive probing.
+    pub broker_sessions_expired: u64,
+    /// Checkpoint snapshots taken across all digis.
+    pub checkpoints_taken: u64,
+    /// Violations inside a fault window + convergence grace (tolerated).
+    pub violations_during_fault: u64,
+    /// Violations after the last heal + convergence deadline (failures).
+    pub violations_post_heal: u64,
+    /// Time from the last heal to the last *tolerated* violation — how
+    /// long the ensemble took to reconverge (0 = instantly clean).
+    pub time_to_reconverge_ms: u64,
+}
+
+/// The campaign verdict across all seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    pub plan: String,
+    pub convergence_ms: u64,
+    pub per_seed: Vec<SeedReport>,
+}
+
+impl Scorecard {
+    pub fn post_heal_violations(&self) -> u64 {
+        self.per_seed.iter().map(|s| s.violations_post_heal).sum()
+    }
+
+    /// Clean = no seed produced a violation after its convergence
+    /// deadline. Degradation during faults does not count against this.
+    pub fn clean(&self) -> bool {
+        self.post_heal_violations() == 0
+    }
+
+    /// Canonical JSON (hand-built, sorted keys, fixed float precision) so
+    /// the digest is stable across platforms and serde versions.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 256 * self.per_seed.len());
+        out.push_str(&format!(
+            "{{\"plan\":{},\"convergence_ms\":{},\"clean\":{},\"post_heal_violations\":{},\"per_seed\":[",
+            json_str(&self.plan),
+            self.convergence_ms,
+            self.clean(),
+            self.post_heal_violations()
+        ));
+        for (i, s) in self.per_seed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"seed\":{},\"availability\":{{", s.seed));
+            for (j, (name, a)) in s.availability.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{:.6}", json_str(name), a));
+            }
+            out.push_str("},\"restarts\":{");
+            for (j, (name, n)) in s.restarts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_str(name), n));
+            }
+            out.push_str(&format!(
+                "}},\"messages_lost\":{},\"messages_redelivered\":{},\
+                 \"broker_sessions_expired\":{},\"checkpoints_taken\":{},\
+                 \"violations_during_fault\":{},\"violations_post_heal\":{},\
+                 \"time_to_reconverge_ms\":{}}}",
+                s.messages_lost,
+                s.messages_redelivered,
+                s.broker_sessions_expired,
+                s.checkpoints_taken,
+                s.violations_during_fault,
+                s.violations_post_heal,
+                s.time_to_reconverge_ms
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Content digest of the canonical JSON — two runs of the same plan,
+    /// seeds and setup must produce the same digest.
+    pub fn digest(&self) -> String {
+        digibox_registry::sha256(self.to_json().as_bytes()).to_string()
+    }
+
+    /// Human-readable summary for the CLI's pretty format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos plan {:?}: {} seed(s), convergence {}ms — {}\n",
+            self.plan,
+            self.per_seed.len(),
+            self.convergence_ms,
+            if self.clean() { "CLEAN" } else { "POST-HEAL VIOLATIONS" }
+        ));
+        for s in &self.per_seed {
+            let worst = s
+                .availability
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("availability is finite"))
+                .map(|(n, a)| format!("{n} {:.1}%", a * 100.0))
+                .unwrap_or_else(|| "n/a".to_string());
+            out.push_str(&format!(
+                "  seed {:>3}: worst availability {worst}; restarts {}; lost {}; \
+                 redelivered {}; during-fault {}; post-heal {}; reconverge {}ms\n",
+                s.seed,
+                s.restarts.values().sum::<u64>(),
+                s.messages_lost,
+                s.messages_redelivered,
+                s.violations_during_fault,
+                s.violations_post_heal,
+                s.time_to_reconverge_ms
+            ));
+        }
+        out.push_str(&format!("scorecard digest {}\n", &self.digest()[..12]));
+        out
+    }
+}
+
+impl Campaign {
+    /// Validate the plan and wrap it for execution.
+    pub fn new(plan: FaultPlan) -> Result<Campaign, String> {
+        plan.validate()?;
+        Ok(Campaign { plan })
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Run the plan once per seed, building a fresh testbed each time via
+    /// `build` (which should configure digis, properties, and — for
+    /// partition plans — a broker session timeout so stale sessions clear).
+    pub fn run<F>(&self, seeds: &[u64], mut build: F) -> crate::Result<Scorecard>
+    where
+        F: FnMut(u64) -> crate::Result<Testbed>,
+    {
+        let mut per_seed = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut tb = build(seed)?;
+            per_seed.push(self.run_seed(seed, &mut tb));
+        }
+        Ok(Scorecard {
+            plan: self.plan.name.clone(),
+            convergence_ms: self.plan.convergence_ms,
+            per_seed,
+        })
+    }
+
+    /// Execute the plan's windows against one testbed. Fault times are
+    /// relative to the moment this is called (the builder may have run
+    /// settle time first).
+    fn run_seed(&self, seed: u64, tb: &mut Testbed) -> SeedReport {
+        let windows = self.plan.schedule(seed);
+        let t0 = tb.now();
+        let seq0 = tb.log().records().last().map(|r| r.seq);
+        let baseline = tb.sim().topology().save_links();
+
+        let mut marks: Vec<SimTime> = windows.iter().flat_map(|w| [w.start, w.end]).collect();
+        marks.sort_unstable();
+        marks.dedup();
+        let mut active = vec![false; windows.len()];
+
+        for mark in marks {
+            let abs = t0 + (mark - SimTime::ZERO);
+            if abs > tb.now() {
+                tb.run_for(abs - tb.now());
+            }
+            let mut topo_dirty = false;
+            for (i, w) in windows.iter().enumerate() {
+                if w.start != mark {
+                    continue;
+                }
+                active[i] = true;
+                tb.log().lifecycle(tb.now(), "chaos", "fault-begin", &w.kind.label());
+                match &w.kind {
+                    FaultKind::CrashDigi { digi } => {
+                        let _ = tb.kill(digi);
+                    }
+                    FaultKind::NodeDown { node } => {
+                        let _ = tb.fail_node(NodeId(*node));
+                    }
+                    FaultKind::Partition { .. } | FaultKind::Degrade { .. } => topo_dirty = true,
+                }
+            }
+            for (i, w) in windows.iter().enumerate() {
+                if w.end != mark || !active[i] {
+                    continue;
+                }
+                active[i] = false;
+                tb.log().lifecycle(tb.now(), "chaos", "fault-end", &w.kind.label());
+                match &w.kind {
+                    FaultKind::NodeDown { node } => tb.restore_node(NodeId(*node)),
+                    FaultKind::Partition { .. } | FaultKind::Degrade { .. } => topo_dirty = true,
+                    FaultKind::CrashDigi { .. } => {}
+                }
+            }
+            if topo_dirty {
+                reapply_topology(tb, &baseline, &windows, &active);
+            }
+        }
+
+        // Run out the plan, then the convergence grace period.
+        let end_abs = t0 + self.plan.duration() + self.plan.convergence();
+        if end_abs > tb.now() {
+            tb.run_for(end_abs - tb.now());
+        }
+        self.collect(seed, tb, t0, &windows, seq0)
+    }
+
+    fn collect(
+        &self,
+        seed: u64,
+        tb: &mut Testbed,
+        t0: SimTime,
+        windows: &[FaultWindow],
+        seq0: Option<u64>,
+    ) -> SeedReport {
+        let convergence = self.plan.convergence();
+        let records = tb.log().since(seq0);
+        let end = tb.now();
+        let total = end - t0;
+
+        // Downtime windows from the lifecycle stream: killed → restarted.
+        let mut down_since: BTreeMap<String, SimTime> = BTreeMap::new();
+        let mut downtime: BTreeMap<String, SimDuration> = BTreeMap::new();
+        let mut restarts: BTreeMap<String, u64> = BTreeMap::new();
+        for r in &records {
+            let RecordKind::Lifecycle { action, .. } = &r.kind else { continue };
+            match action.as_str() {
+                "killed" => {
+                    down_since.entry(r.source.clone()).or_insert(r.ts);
+                }
+                "restarted" => {
+                    *restarts.entry(r.source.clone()).or_insert(0) += 1;
+                    if let Some(t) = down_since.remove(&r.source) {
+                        let d = downtime.entry(r.source.clone()).or_insert(SimDuration::ZERO);
+                        *d = *d + (r.ts - t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (name, t) in down_since {
+            let d = downtime.entry(name).or_insert(SimDuration::ZERO);
+            *d = *d + (end - t);
+        }
+        let mut availability: BTreeMap<String, f64> = BTreeMap::new();
+        for name in tb.digi_names() {
+            availability.insert(name, 1.0);
+        }
+        for (name, d) in &downtime {
+            let frac = if total > SimDuration::ZERO {
+                1.0 - d.as_secs_f64() / total.as_secs_f64()
+            } else {
+                1.0
+            };
+            availability.insert(name.clone(), frac.clamp(0.0, 1.0));
+        }
+
+        // Degradation-aware violation classification, in plan time.
+        let last_heal = chaos::last_heal(windows);
+        let mut during_fault = 0u64;
+        let mut post_heal = 0u64;
+        let mut last_tolerated_after_heal: Option<SimTime> = None;
+        for r in &records {
+            if !matches!(r.kind, RecordKind::Violation { .. }) {
+                continue;
+            }
+            let rel = SimTime::ZERO + (r.ts - t0);
+            if chaos::tolerated(windows, convergence, rel) {
+                during_fault += 1;
+                if rel > last_heal {
+                    last_tolerated_after_heal =
+                        Some(last_tolerated_after_heal.map_or(rel, |t| t.max(rel)));
+                }
+            } else {
+                post_heal += 1;
+            }
+        }
+        let time_to_reconverge_ms =
+            last_tolerated_after_heal.map_or(0, |t| (t - last_heal).as_millis());
+
+        let checkpoints_taken = tb
+            .checkpoints()
+            .names()
+            .iter()
+            .filter_map(|n| tb.checkpoints().info(n))
+            .map(|i| i.taken)
+            .sum();
+        let (messages_redelivered, broker_sessions_expired) = {
+            let b = tb.broker().borrow();
+            (b.transport_retransmits(), b.stats().sessions_expired)
+        };
+        let messages_lost = tb.sim().stats().datagrams_lost;
+
+        SeedReport {
+            seed,
+            availability,
+            restarts,
+            messages_lost,
+            messages_redelivered,
+            broker_sessions_expired,
+            checkpoints_taken,
+            violations_during_fault: during_fault,
+            violations_post_heal: post_heal,
+            time_to_reconverge_ms,
+        }
+    }
+}
+
+/// Recompute link state from the baseline plus every active topology
+/// fault, in spec order. Recompute-from-baseline (rather than undoing
+/// individual faults) keeps overlapping partitions/degradations correct.
+fn reapply_topology(
+    tb: &mut Testbed,
+    baseline: &LinkState,
+    windows: &[FaultWindow],
+    active: &[bool],
+) {
+    let topo = tb.sim().topology_mut();
+    topo.restore_links(baseline.clone());
+    for (i, w) in windows.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        match &w.kind {
+            FaultKind::Partition { left, right } => {
+                let (l, r) = FaultPlan::partition_nodes(left, right);
+                topo.partition(&l, &r);
+            }
+            FaultKind::Degrade { loss, extra_delay_ms, extra_jitter_ms } => {
+                topo.degrade_all(
+                    *loss,
+                    SimDuration::from_millis(*extra_delay_ms),
+                    SimDuration::from_millis(*extra_jitter_ms),
+                );
+            }
+            FaultKind::CrashDigi { .. } | FaultKind::NodeDown { .. } => {}
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod campaign {
+    use super::*;
+
+    fn sample() -> Scorecard {
+        let mut availability = BTreeMap::new();
+        availability.insert("L1".to_string(), 0.9432);
+        availability.insert("R1".to_string(), 1.0);
+        let mut restarts = BTreeMap::new();
+        restarts.insert("L1".to_string(), 2u64);
+        Scorecard {
+            plan: "demo".to_string(),
+            convergence_ms: 2000,
+            per_seed: vec![SeedReport {
+                seed: 7,
+                availability,
+                restarts,
+                messages_lost: 14,
+                messages_redelivered: 9,
+                broker_sessions_expired: 1,
+                checkpoints_taken: 12,
+                violations_during_fault: 3,
+                violations_post_heal: 0,
+                time_to_reconverge_ms: 840,
+            }],
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_content_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest().len(), 64);
+        let mut c = sample();
+        c.per_seed[0].messages_lost += 1;
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn clean_tracks_post_heal_only() {
+        let mut s = sample();
+        assert!(s.clean(), "during-fault violations are tolerated");
+        s.per_seed[0].violations_post_heal = 1;
+        assert!(!s.clean());
+        assert_eq!(s.post_heal_violations(), 1);
+    }
+
+    #[test]
+    fn json_is_canonical() {
+        let s = sample();
+        let j = s.to_json();
+        assert!(j.starts_with("{\"plan\":\"demo\""), "{j}");
+        assert!(j.contains("\"availability\":{\"L1\":0.943200,\"R1\":1.000000}"), "{j}");
+        assert!(j.contains("\"clean\":true"));
+        assert_eq!(j, s.to_json());
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -316,6 +316,18 @@ impl DigiCell {
         out.publish(topics::model(&self.name), payload, true);
     }
 
+    /// Unconditionally publish the current model, bypassing the diff
+    /// gate — used after an MQTT session is re-established, when the
+    /// broker's retained copy may predate changes made while the session
+    /// was down.
+    pub fn republish_model(&mut self, _now: SimTime, out: &mut Outbox) {
+        self.last_published = self.model.fields().clone();
+        self.last_published_rev = self.model.revision();
+        self.stats.model_publishes += 1;
+        let payload = serde_json::to_vec(&self.model).expect("models serialize");
+        out.publish(topics::model(&self.name), payload, true);
+    }
+
     /// Force the field tree (replay).
     pub fn force_fields(&mut self, now: SimTime, fields: Value, out: &mut Outbox) {
         let _ = self.model.set_fields(fields);
@@ -392,7 +404,7 @@ mod tests {
     }
 
     fn cell() -> DigiCell {
-        let mut p = Toggle;
+        let p = Toggle;
         let model = p.schema().instantiate("T1");
         DigiCell::new(model, Box::new(p), Prng::new(1), TraceLog::new(), true)
     }

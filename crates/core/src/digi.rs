@@ -58,6 +58,11 @@ pub struct DigiService {
     pending_responses: HashMap<TimerToken, (Addr, Bytes)>,
     next_response_token: u64,
     rest_requests: u64,
+    /// Set when the MQTT session died (transport exhausted retries to the
+    /// broker, e.g. during a partition); the next loop tick re-connects
+    /// and re-subscribes, so coordination resumes after a heal.
+    reconnect_pending: bool,
+    broker_losses: u64,
 }
 
 impl DigiService {
@@ -88,6 +93,8 @@ impl DigiService {
             pending_responses: HashMap::new(),
             next_response_token: 0,
             rest_requests: 0,
+            reconnect_pending: false,
+            broker_losses: 0,
         }))
     }
 
@@ -119,6 +126,11 @@ impl DigiService {
 
     pub fn is_scene(&self) -> bool {
         self.cell.is_scene()
+    }
+
+    /// How many times this digi's broker session died and was re-created.
+    pub fn broker_losses(&self) -> u64 {
+        self.broker_losses
     }
 
     pub fn kind(&self) -> &str {
@@ -159,6 +171,25 @@ impl DigiService {
 
     fn interval(&self) -> SimDuration {
         SimDuration::from_millis(self.cell.interval_ms())
+    }
+
+    /// (Re-)establish the MQTT session: connect with the last-will,
+    /// subscribe the command topics, and re-subscribe every attached
+    /// child's model topic — the broker re-delivers retained child models
+    /// on subscribe, which re-mirrors the scene after a session loss.
+    fn connect_session(&mut self, sim: &mut Sim) {
+        let will = Some((topics::lwt(self.cell.name()), Bytes::from_static(b"offline")));
+        self.conn.connect(sim, will);
+        let [intent_topic, set_topic] = self.cell.command_topics();
+        self.conn.subscribe(
+            sim,
+            &[(&intent_topic, QoS::AtLeastOnce), (&set_topic, QoS::AtLeastOnce)],
+        );
+        let children = self.cell.model().meta.attach.clone();
+        for child in children {
+            let topic = topics::model(&child);
+            self.conn.subscribe(sim, &[(&topic, QoS::AtMostOnce)]);
+        }
     }
 
     fn flush(&mut self, sim: &mut Sim, out: Outbox) {
@@ -231,7 +262,11 @@ impl DigiService {
                 ClientEvent::Message { topic, payload, .. } => {
                     self.handle_mqtt_message(sim, &topic, &payload);
                 }
-                ClientEvent::Connected { .. } | ClientEvent::BrokerLost => {}
+                ClientEvent::BrokerLost => {
+                    self.broker_losses += 1;
+                    self.reconnect_pending = true;
+                }
+                ClientEvent::Connected { .. } => {}
                 ClientEvent::SubAck { .. } | ClientEvent::PubAck { .. } => {}
             }
         }
@@ -249,13 +284,7 @@ impl DigiService {
 impl Service for DigiService {
     fn on_start(&mut self, sim: &mut Sim) {
         // Session with last-will so watchers learn about crashes.
-        let will = Some((topics::lwt(self.cell.name()), Bytes::from_static(b"offline")));
-        self.conn.connect(sim, will);
-        let [intent_topic, set_topic] = self.cell.command_topics();
-        self.conn.subscribe(
-            sim,
-            &[(&intent_topic, QoS::AtLeastOnce), (&set_topic, QoS::AtLeastOnce)],
-        );
+        self.connect_session(sim);
         let mut out = Outbox::new();
         self.cell.start(sim.now(), &mut out);
         self.flush(sim, out);
@@ -281,6 +310,15 @@ impl Service for DigiService {
             return;
         }
         if token == TOKEN_LOOP {
+            if self.reconnect_pending {
+                self.reconnect_pending = false;
+                self.connect_session(sim);
+                // The broker's retained copy of our model may predate
+                // whatever happened while the session was down.
+                let mut out = Outbox::new();
+                self.cell.republish_model(sim.now(), &mut out);
+                self.flush(sim, out);
+            }
             let mut out = Outbox::new();
             self.cell.tick(sim.now(), &mut out);
             self.flush(sim, out);

@@ -32,8 +32,10 @@
 
 mod appclient;
 mod atts;
+pub mod campaign;
 mod catalog;
 pub mod cell;
+pub mod checkpoint;
 mod dbox;
 mod digi;
 pub mod footprint;
@@ -46,7 +48,9 @@ pub mod topics;
 
 pub use appclient::{AppClient, AppEvent};
 pub use atts::Atts;
+pub use campaign::{Campaign, Scorecard, SeedReport};
 pub use cell::{CellStats, DigiCell, Outbox};
+pub use checkpoint::{CheckpointInfo, CheckpointStore};
 pub use catalog::{Catalog, CatalogError};
 pub use dbox::Dbox;
 pub use digi::{DigiService, DigiStats};

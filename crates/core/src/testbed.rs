@@ -16,6 +16,7 @@ use digibox_trace::{ReplaySchedule, TraceLog};
 
 use crate::appclient::AppClient;
 use crate::catalog::{Catalog, CatalogError};
+use crate::checkpoint::CheckpointStore;
 use crate::digi::DigiService;
 use crate::properties::{PropertyChecker, SceneProperty};
 use crate::topics;
@@ -46,6 +47,17 @@ pub struct TestbedConfig {
     /// Kernel event-storm watchdog threshold (events per virtual
     /// millisecond; 0 disables). See `digibox_net::SimConfig`.
     pub storm_threshold: u64,
+    /// Snapshot every digi's model this often so a supervised restart can
+    /// resume from the last checkpoint instead of cold-starting. Snapshots
+    /// are pure reads (no sim events, no RNG draws), so they do not
+    /// perturb determinism. `None` disables checkpointing.
+    pub checkpoint_every: Option<SimDuration>,
+    /// Broker idle-session expiry (see `Broker::set_session_timeout`).
+    /// Required for partition recovery: probing a dead/unreachable client
+    /// clears the broker's stale session *and* transport state, letting
+    /// the client reconnect cleanly after the partition heals. `None`
+    /// (default) keeps the broker timer-free so quiesced testbeds drain.
+    pub broker_session_timeout: Option<SimDuration>,
 }
 
 impl Default for TestbedConfig {
@@ -55,6 +67,8 @@ impl Default for TestbedConfig {
             fidelity: FidelityMode::SceneCentric,
             logging: true,
             storm_threshold: digibox_net::SimConfig::default().storm_threshold,
+            checkpoint_every: Some(SimDuration::from_secs(5)),
+            broker_session_timeout: None,
         }
     }
 }
@@ -118,6 +132,25 @@ struct DigiEntry {
     params: BTreeMap<String, Value>,
 }
 
+/// A crashed digi awaiting its supervised restart.
+struct PendingRestart {
+    due: SimTime,
+    name: String,
+    kind: String,
+    params: BTreeMap<String, Value>,
+    managed: bool,
+    /// Children the digi had attached when it died.
+    attach: Vec<String>,
+    /// Last checkpointed field tree, restored after `Program::init`.
+    checkpoint: Option<Value>,
+    /// Failed placement attempts so far (node cordoned, cluster full…).
+    attempts: u32,
+}
+
+/// Give up re-placing a crashed digi after this many failed attempts;
+/// with per-attempt backoff this spans well past any realistic outage.
+const MAX_RESTART_ATTEMPTS: u32 = 120;
+
 /// The Digibox testbed.
 pub struct Testbed {
     sim: Sim,
@@ -134,9 +167,10 @@ pub struct Testbed {
     next_app_port: u16,
     /// The developer-console MQTT session used by `edit`/`replay`.
     operator: Option<ServiceHandle<AppClient>>,
-    /// Crashed digis awaiting restart: (due, name, kind, params, managed,
-    /// previous attach list).
-    pending_restarts: Vec<(SimTime, String, String, BTreeMap<String, Value>, bool, Vec<String>)>,
+    pending_restarts: Vec<PendingRestart>,
+    checkpoints: CheckpointStore,
+    /// Next periodic checkpoint pass (None when checkpointing is off).
+    next_checkpoint: Option<SimTime>,
     storm_logged: bool,
     config: TestbedConfig,
 }
@@ -166,8 +200,12 @@ impl Testbed {
         )));
         let broker_addr = Addr::new(broker_node, 1883);
         let broker = Broker::new(broker_addr);
+        if let Some(timeout) = config.broker_session_timeout {
+            broker.borrow_mut().set_session_timeout(Some(timeout));
+        }
         sim.bind(broker_addr, broker.clone());
         let log = if config.logging { TraceLog::new() } else { TraceLog::disabled() };
+        let next_checkpoint = config.checkpoint_every.map(|every| SimTime::ZERO + every);
         Testbed {
             sim,
             control,
@@ -182,6 +220,8 @@ impl Testbed {
             next_app_port: 50_000,
             operator: None,
             pending_restarts: Vec::new(),
+            checkpoints: CheckpointStore::new(),
+            next_checkpoint,
             storm_logged: false,
             config,
         }
@@ -268,10 +308,30 @@ impl Testbed {
         (pods, used, cap)
     }
 
-    /// Pod phase of a digi (orchestrator view).
+    /// Pod phase of a digi (orchestrator view). Works for crashed digis
+    /// too (their pod records persist through the backoff window).
     pub fn pod_phase(&self, name: &str) -> Option<PodPhase> {
-        let pod = self.digis.get(name)?.pod.clone();
+        let pod = match self.digis.get(name) {
+            Some(e) => e.pod.clone(),
+            None => format!("digi-{}", name.to_lowercase()),
+        };
         self.control.borrow().phase(&pod)
+    }
+
+    /// The checkpoint store (chaos scorecards and tests inspect it).
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// How many times a digi's MQTT session was lost (transport-level
+    /// broker failure observed by the digi), if it is running.
+    pub fn broker_losses(&self, name: &str) -> Option<u64> {
+        self.digis.get(name).map(|e| e.handle.borrow().broker_losses())
+    }
+
+    /// Crashed digis still waiting out their restart backoff.
+    pub fn pending_restart_count(&self) -> usize {
+        self.pending_restarts.len()
     }
 
     // ---- dbox run/stop ----
@@ -288,6 +348,23 @@ impl Testbed {
         name: &str,
         params: BTreeMap<String, Value>,
         managed: bool,
+    ) -> crate::Result<()> {
+        self.start_digi(kind, name, params, managed, None, false)
+    }
+
+    /// The shared start path. `checkpoint` (a restored field tree) is
+    /// applied after `Program::init`, so a supervised restart resumes from
+    /// the last snapshot instead of cold-starting. `pod_exists` requeues
+    /// the crashed pod through the control plane instead of creating a new
+    /// one, preserving its restart count (and thus its backoff history).
+    fn start_digi(
+        &mut self,
+        kind: &str,
+        name: &str,
+        params: BTreeMap<String, Value>,
+        managed: bool,
+        checkpoint: Option<Value>,
+        pod_exists: bool,
     ) -> crate::Result<()> {
         if self.digis.contains_key(name) {
             return Err(TestbedError::Setup(format!("digi {name:?} already running")));
@@ -314,15 +391,22 @@ impl Testbed {
             },
         };
         program.init(&mut model);
+        if let Some(fields) = checkpoint {
+            model.set_fields(fields)?;
+        }
 
         // Pod through the control plane.
         let pod_name = format!("digi-{}", name.to_lowercase());
-        let pod_spec = if program.is_scene() {
-            PodSpec::scene(&pod_name, program.program_id())
+        if pod_exists {
+            self.control.borrow_mut().requeue(&pod_name);
         } else {
-            PodSpec::mock(&pod_name, program.program_id())
-        };
-        self.control.borrow_mut().create_pod(pod_spec)?;
+            let pod_spec = if program.is_scene() {
+                PodSpec::scene(&pod_name, program.program_id())
+            } else {
+                PodSpec::mock(&pod_name, program.program_id())
+            };
+            self.control.borrow_mut().create_pod(pod_spec)?;
+        }
         let actions = self.control.borrow_mut().reconcile();
         let mut placed_node = None;
         let mut start_delay = SimDuration::ZERO;
@@ -392,6 +476,7 @@ impl Testbed {
             .ok_or_else(|| TestbedError::UnknownDigi(name.to_string()))?;
         self.control.borrow_mut().delete_pod(&entry.pod)?;
         self.sim.unbind(entry.addr);
+        self.checkpoints.forget(name);
         self.log.lifecycle(self.sim.now(), name, "stopped", "");
         // Detach from any scene that references it.
         let parents: Vec<String> = self
@@ -408,8 +493,10 @@ impl Testbed {
     }
 
     /// Kill a digi's process without deleting the pod (fault injection).
-    /// The control plane restarts it per its policy, with fresh state —
-    /// like a crashed container.
+    /// The control plane backs the pod off (exponentially, capped) and the
+    /// testbed restarts it from its last checkpoint — like a crashed
+    /// container whose volume survived. The pod record persists so
+    /// consecutive crashes accumulate restart counts (and backoff).
     pub fn kill(&mut self, name: &str) -> crate::Result<()> {
         let entry = self
             .digis
@@ -422,18 +509,51 @@ impl Testbed {
         let managed = entry.managed;
         self.sim.unbind(addr);
         self.log.lifecycle(self.sim.now(), name, "killed", "");
-        self.control.borrow_mut().report_exit(&pod);
-        let restart_delay = self.control.borrow().restart_delay();
-        // Remove and re-run after the restart delay (fresh container state).
         let attach: Vec<String> =
             self.digis[name].handle.borrow().model().meta.attach.clone();
         self.digis.remove(name);
-        self.control.borrow_mut().delete_pod(&pod)?;
-        let name = name.to_string();
+        self.control.borrow_mut().report_exit(&pod);
+        let restart_delay = self.control.borrow().restart_delay_for(&pod);
+        let checkpoint = self.checkpoints.restore(name);
         // Rebuild outside the event (deterministic order): schedule a
         // testbed-level restart marker the driver must apply.
-        self.pending_restarts.push((self.sim.now() + restart_delay, name, kind, params, managed, attach));
+        self.pending_restarts.push(PendingRestart {
+            due: self.sim.now() + restart_delay,
+            name: name.to_string(),
+            kind,
+            params,
+            managed,
+            attach,
+            checkpoint,
+            attempts: 0,
+        });
         Ok(())
+    }
+
+    /// Fail a whole node: cordon it so nothing reschedules onto it, then
+    /// kill every digi it hosts. Their pods back off and — once the
+    /// backoff elapses — reschedule onto surviving nodes, restoring from
+    /// their checkpoints. Restore capacity with [`Testbed::restore_node`].
+    pub fn fail_node(&mut self, node: NodeId) -> crate::Result<()> {
+        self.control.borrow_mut().set_cordon(node, true);
+        self.log.lifecycle(self.sim.now(), "testbed", "node-down", &format!("node {}", node.0));
+        let victims: Vec<String> = self
+            .digis
+            .iter()
+            .filter(|(_, e)| e.addr.node == node)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in victims {
+            self.kill(&name)?;
+        }
+        Ok(())
+    }
+
+    /// Uncordon a failed node; pending restarts that were unplaceable
+    /// retry on their backoff schedule and can land here again.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.control.borrow_mut().set_cordon(node, false);
+        self.log.lifecycle(self.sim.now(), "testbed", "node-up", &format!("node {}", node.0));
     }
 
     // ---- attach / edit / check ----
@@ -617,15 +737,20 @@ impl Testbed {
     // ---- time ----
 
     /// Advance virtual time, then feed new model changes to the property
-    /// checker and apply due restarts.
+    /// checker. Pauses at restart and checkpoint marks along the way.
     pub fn run_for(&mut self, span: SimDuration) {
         let deadline = self.sim.now() + span;
         loop {
-            let next_restart = self.pending_restarts.iter().map(|(t, ..)| *t).min();
-            match next_restart {
+            let next_restart = self.pending_restarts.iter().map(|r| r.due).min();
+            let next_mark = match (next_restart, self.next_checkpoint) {
+                (Some(r), Some(c)) => Some(r.min(c)),
+                (r, c) => r.or(c),
+            };
+            match next_mark {
                 Some(t) if t <= deadline => {
                     self.sim.run_until(t);
                     self.apply_due_restarts();
+                    self.take_due_checkpoints();
                 }
                 _ => {
                     self.sim.run_until(deadline);
@@ -637,14 +762,16 @@ impl Testbed {
         self.poll_properties();
     }
 
-    /// Drain the event queue completely.
+    /// Drain the event queue completely. NOTE: do not combine with
+    /// `broker_session_timeout` — an armed keep-alive sweep re-arms
+    /// forever, so the queue never drains; drive with `run_for` instead.
     pub fn run_to_quiescence(&mut self) {
         loop {
             self.sim.run_to_completion();
             if self.pending_restarts.is_empty() {
                 break;
             }
-            let t = self.pending_restarts.iter().map(|(t, ..)| *t).min().expect("nonempty");
+            let t = self.pending_restarts.iter().map(|r| r.due).min().expect("nonempty");
             self.sim.run_until(t);
             self.apply_due_restarts();
         }
@@ -654,20 +781,82 @@ impl Testbed {
 
     fn apply_due_restarts(&mut self) {
         let now = self.sim.now();
-        let due: Vec<_> = {
+        let due: Vec<PendingRestart> = {
             let (due, rest): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.pending_restarts).into_iter().partition(|(t, ..)| *t <= now);
+                std::mem::take(&mut self.pending_restarts).into_iter().partition(|r| r.due <= now);
             self.pending_restarts = rest;
             due
         };
-        for (_, name, kind, params, managed, attach) in due {
-            if self.run_with(&kind, &name, params, managed).is_ok() {
-                self.log.lifecycle(now, &name, "restarted", "");
-                for child in attach {
-                    let _ = self.attach(&child, &name);
+        for r in due {
+            match self.start_digi(&r.kind, &r.name, r.params.clone(), r.managed, r.checkpoint.clone(), true)
+            {
+                Ok(()) => {
+                    let detail =
+                        if r.checkpoint.is_some() { "from checkpoint" } else { "cold start" };
+                    self.log.lifecycle(now, &r.name, "restarted", detail);
+                    // Re-attach the digi's own children; their retained
+                    // models re-mirror the scene on subscribe.
+                    for child in &r.attach {
+                        let _ = self.attach(child, &r.name);
+                    }
+                    // Re-attach to any parent scene that still references
+                    // it (idempotent; refreshes the parent's mirror once
+                    // the restarted digi republishes its model).
+                    let parents: Vec<String> = self
+                        .digis
+                        .iter()
+                        .filter(|(n, e)| {
+                            n.as_str() != r.name
+                                && e.handle.borrow().model().meta.attach.iter().any(|c| *c == r.name)
+                        })
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    for parent in parents {
+                        let _ = self.attach(&r.name, &parent);
+                    }
+                }
+                Err(_) if r.attempts < MAX_RESTART_ATTEMPTS => {
+                    // Placement failed (node cordoned, cluster full…):
+                    // retry on the pod's backoff schedule.
+                    let pod = format!("digi-{}", r.name.to_lowercase());
+                    let delay = self.control.borrow().restart_delay_for(&pod);
+                    self.pending_restarts.push(PendingRestart {
+                        due: now + delay,
+                        attempts: r.attempts + 1,
+                        ..r
+                    });
+                }
+                Err(e) => {
+                    self.log.lifecycle(now, &r.name, "restart-abandoned", &e.to_string());
                 }
             }
         }
+    }
+
+    /// Snapshot every running digi's model into the checkpoint store now.
+    pub fn checkpoint_all(&mut self) {
+        let now = self.sim.now();
+        for (name, entry) in &self.digis {
+            let service = entry.handle.borrow();
+            let model = service.model();
+            self.checkpoints.save(name, model.fields(), model.revision(), now);
+        }
+    }
+
+    fn take_due_checkpoints(&mut self) {
+        let (Some(every), Some(due)) = (self.config.checkpoint_every, self.next_checkpoint) else {
+            return;
+        };
+        let now = self.sim.now();
+        if now < due {
+            return;
+        }
+        self.checkpoint_all();
+        let mut next = due;
+        while next <= now {
+            next = next + every;
+        }
+        self.next_checkpoint = Some(next);
     }
 
     // ---- properties ----

@@ -20,6 +20,7 @@
 //! lets a whole cluster-scale testbed execute — reproducibly — inside one
 //! laptop process (the paper's title, taken literally).
 
+pub mod chaos;
 pub mod httpx;
 mod kernel;
 mod prng;
@@ -29,8 +30,9 @@ mod topology;
 pub mod transport;
 pub mod wheel;
 
+pub use chaos::{FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use kernel::{Datagram, Service, ServiceHandle, Sim, SimConfig, TimerToken};
 pub use wheel::EventWheel;
 pub use prng::Prng;
 pub use time::{SimDuration, SimTime};
-pub use topology::{Addr, LinkSpec, NodeId, NodeSpec, Topology};
+pub use topology::{Addr, LinkSpec, LinkState, NodeId, NodeSpec, Topology};

@@ -73,6 +73,11 @@ pub struct ReliableEndpoint {
     timers: HashMap<TimerToken, (Addr, u64)>,
     next_token: u64,
     events: VecDeque<TransportEvent>,
+    /// DATA frames retransmitted after an RTO firing.
+    retransmits: u64,
+    /// Duplicate DATA frames received (already delivered or already
+    /// buffered) — each one is a message the network made us see twice.
+    duplicates: u64,
 }
 
 impl ReliableEndpoint {
@@ -90,6 +95,8 @@ impl ReliableEndpoint {
             timers: HashMap::new(),
             next_token: 0,
             events: VecDeque::new(),
+            retransmits: 0,
+            duplicates: 0,
         }
     }
 
@@ -108,6 +115,23 @@ impl ReliableEndpoint {
     /// Number of messages sent to `peer` that are not yet acknowledged.
     pub fn in_flight(&self, peer: Addr) -> usize {
         self.conns.get(&peer).map_or(0, |c| c.unacked.len())
+    }
+
+    /// Total DATA frames retransmitted after an RTO expiry.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total duplicate DATA frames received (redelivered by retransmission
+    /// or link races and suppressed before the application saw them).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Live retransmit timers (testing/diagnostics: must drop to zero for a
+    /// peer once that peer is declared failed).
+    pub fn pending_timers(&self) -> usize {
+        self.timers.len()
     }
 
     /// Send `payload` reliably to `peer`.
@@ -164,6 +188,9 @@ impl ReliableEndpoint {
     fn handle_data(&mut self, sim: &mut Sim, peer: Addr, seq: u64, payload: Bytes) {
         let conn = self.conns.entry(peer).or_default();
         let mut delivered = Vec::new();
+        if seq < conn.recv_cursor || conn.reorder.contains_key(&seq) {
+            self.duplicates += 1;
+        }
         if seq >= conn.recv_cursor {
             conn.reorder.entry(seq).or_insert(payload);
             // Drain the in-order prefix.
@@ -217,6 +244,7 @@ impl ReliableEndpoint {
         }
         let frame = encode_data(seq, payload);
         let retries = *retries;
+        self.retransmits += 1;
         sim.send(self.local, peer, frame);
         self.arm_timer(sim, peer, seq, retries);
         true
@@ -356,6 +384,47 @@ mod tests {
         sim.send(a, b, frame);
         sim.run_to_completion();
         assert_eq!(pb.borrow().delivered, vec![b"once".to_vec()]);
+        assert_eq!(pb.borrow().ep.duplicates(), 1, "redelivery counted");
+    }
+
+    #[test]
+    fn peer_failure_after_exactly_max_retries_with_capped_backoff() {
+        let (mut sim, pa, _pb, a, b) = lossy_pair(0.0);
+        // Black-hole everything a → b so every retransmit is futile.
+        sim.topology_mut().set_link(a.node, b.node, LinkSpec::lossy_wireless(1.0));
+        pa.borrow_mut().ep.send(&mut sim, b, Bytes::from_static(b"void"));
+        sim.run_to_completion();
+        let peer = pa.borrow();
+        assert_eq!(peer.failures, 1);
+        // Exactly DEFAULT_MAX_RETRIES retransmissions went out before the
+        // endpoint gave up.
+        assert_eq!(peer.ep.retransmits(), DEFAULT_MAX_RETRIES as u64);
+        // Backoff schedule with the 8×RTO cap: 1+2+4+8 doubling, then five
+        // more capped intervals of 8, so the failing timer lands at
+        // (1+2+4+8 + 5×8) × RTO = 55 × RTO. Without the cap it would be
+        // 2^9 - 1 = 511 × RTO.
+        let expect = DEFAULT_RTO.saturating_mul(55);
+        assert_eq!(sim.now().as_millis(), expect.as_millis());
+    }
+
+    #[test]
+    fn retransmit_state_cleared_on_peer_failure() {
+        let (mut sim, pa, _pb, a, b) = lossy_pair(0.0);
+        sim.topology_mut().set_link(a.node, b.node, LinkSpec::lossy_wireless(1.0));
+        {
+            let mut peer = pa.borrow_mut();
+            peer.ep.send(&mut sim, b, Bytes::from_static(b"one"));
+            peer.ep.send(&mut sim, b, Bytes::from_static(b"two"));
+            assert_eq!(peer.ep.in_flight(b), 2);
+            assert_eq!(peer.ep.pending_timers(), 2);
+        }
+        sim.run_to_completion();
+        let peer = pa.borrow();
+        // One failure event per peer, not per message: the first exhausted
+        // message resets the whole connection.
+        assert_eq!(peer.failures, 1);
+        assert_eq!(peer.ep.in_flight(b), 0, "unacked queue dropped");
+        assert_eq!(peer.ep.pending_timers(), 0, "no orphaned timers");
     }
 
     #[test]

@@ -23,8 +23,12 @@ pub struct ControlPlaneConfig {
     /// warm-image `docker run` (the paper's mocks are tiny Python images).
     pub startup_base: SimDuration,
     pub startup_jitter: SimDuration,
-    /// Delay before a crashed pod restarts (k8s backoff start point).
-    pub restart_delay: SimDuration,
+    /// First restart delay after a crash; doubles on every consecutive
+    /// crash (k8s-style exponential backoff).
+    pub restart_backoff_base: SimDuration,
+    /// Ceiling for the restart backoff. Once the doubling schedule hits
+    /// the cap the pod is considered crash-looping (`CrashLoopBackOff`).
+    pub restart_backoff_cap: SimDuration,
     /// RNG seed for startup jitter.
     pub seed: u64,
 }
@@ -34,7 +38,8 @@ impl Default for ControlPlaneConfig {
         ControlPlaneConfig {
             startup_base: SimDuration::from_millis(150),
             startup_jitter: SimDuration::from_millis(250),
-            restart_delay: SimDuration::from_millis(500),
+            restart_backoff_base: SimDuration::from_millis(500),
+            restart_backoff_cap: SimDuration::from_secs(10),
             seed: 0xC0_FFEE,
         }
     }
@@ -185,6 +190,8 @@ impl ControlPlane {
     /// The testbed reports the pod's process exited (crash or node fault).
     /// Returns follow-up actions (restart after delay, per policy).
     pub fn report_exit(&mut self, name: &str) -> Vec<PodAction> {
+        let base = self.config.restart_backoff_base;
+        let cap = self.config.restart_backoff_cap;
         let Some(record) = self.pods.get_mut(name) else {
             return Vec::new();
         };
@@ -192,23 +199,29 @@ impl ControlPlane {
             return Vec::new();
         };
         let spec = record.spec.clone();
-        self.scheduler.unplace(node, &spec);
-        match record.spec.restart {
+        let status = match record.spec.restart {
             RestartPolicy::Always => {
                 record.restarts += 1;
-                record.phase = PodPhase::Pending;
-                self.set_status_phase(name, "Pending (restarting)");
-                // Re-placement happens on the next reconcile; the caller
-                // should reconcile after `restart_delay`.
-                Vec::new()
+                let restarts = record.restarts;
+                let crash_loop = Self::backoff(base, cap, restarts) >= cap;
+                record.phase = PodPhase::BackOff { restarts, crash_loop };
+                if crash_loop {
+                    format!("CrashLoopBackOff (restarts: {restarts})")
+                } else {
+                    format!("BackOff (restarts: {restarts})")
+                }
             }
             RestartPolicy::Never => {
                 let restarts = record.restarts;
                 record.phase = PodPhase::Terminated { restarts };
-                self.set_status_phase(name, "Terminated");
-                Vec::new()
+                "Terminated".to_string()
             }
-        }
+        };
+        self.scheduler.unplace(node, &spec);
+        self.set_status_phase(name, &status);
+        // For `Always` pods the caller waits out `restart_delay_for(name)`,
+        // then calls `requeue` + `reconcile` to re-place the pod.
+        Vec::new()
     }
 
     /// Drain a failed node: every pod on it exits (and restarts elsewhere
@@ -232,8 +245,40 @@ impl ControlPlane {
         let _ = self.scheduler.cordon(node, false);
     }
 
-    pub fn restart_delay(&self) -> SimDuration {
-        self.config.restart_delay
+    /// Cordon (or uncordon) a node without evicting anything — used when
+    /// the caller wants to drain pods itself before marking the node
+    /// unavailable.
+    pub fn set_cordon(&mut self, node: NodeId, cordoned: bool) {
+        let _ = self.scheduler.cordon(node, cordoned);
+    }
+
+    /// The backoff delay for the given consecutive-crash count:
+    /// `base × 2^(restarts-1)`, capped.
+    fn backoff(base: SimDuration, cap: SimDuration, restarts: u32) -> SimDuration {
+        let exp = restarts.saturating_sub(1).min(32);
+        base.saturating_mul(1u64 << exp).min(cap)
+    }
+
+    fn backoff_for(&self, restarts: u32) -> SimDuration {
+        Self::backoff(self.config.restart_backoff_base, self.config.restart_backoff_cap, restarts)
+    }
+
+    /// How long the caller should wait before `requeue`ing this pod.
+    pub fn restart_delay_for(&self, name: &str) -> SimDuration {
+        let restarts = self.pods.get(name).map_or(0, |p| p.restarts);
+        self.backoff_for(restarts.max(1))
+    }
+
+    /// Move a `BackOff` (or `Unschedulable`) pod back to `Pending` so the
+    /// next `reconcile` re-places it. Called by the testbed once the
+    /// restart backoff has elapsed, or after cluster capacity returns.
+    pub fn requeue(&mut self, name: &str) {
+        if let Some(record) = self.pods.get_mut(name) {
+            if matches!(record.phase, PodPhase::BackOff { .. } | PodPhase::Unschedulable) {
+                record.phase = PodPhase::Pending;
+                self.set_status_phase(name, "Pending (restarting)");
+            }
+        }
     }
 
     fn set_status_phase(&mut self, pod: &str, phase: &str) {
@@ -321,9 +366,60 @@ mod tests {
         cp.reconcile();
         cp.mark_running("a");
         cp.report_exit("a");
+        // A crashed pod waits out its backoff: reconcile must not pick it
+        // up until the testbed requeues it.
+        assert_eq!(cp.phase("a"), Some(PodPhase::BackOff { restarts: 1, crash_loop: false }));
+        assert!(cp.reconcile().is_empty());
+        cp.requeue("a");
         assert_eq!(cp.phase("a"), Some(PodPhase::Pending));
         let actions = cp.reconcile();
         assert!(matches!(actions[0], PodAction::Start { .. }));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_to_cap() {
+        let mut cp = plane(1);
+        cp.create_pod(PodSpec::mock("a", "img")).unwrap();
+        // base 500ms, cap 10s: 500, 1000, 2000, 4000, 8000, 10000, 10000…
+        let expect_ms = [500u64, 1000, 2000, 4000, 8000, 10_000, 10_000];
+        for (i, &ms) in expect_ms.iter().enumerate() {
+            cp.reconcile();
+            let name = "a".to_string();
+            if let Some(PodPhase::Starting { .. }) = cp.phase(&name) {
+                cp.mark_running(&name);
+            }
+            cp.report_exit(&name);
+            let restarts = (i + 1) as u32;
+            assert_eq!(cp.restart_delay_for(&name), SimDuration::from_millis(ms));
+            // crash-loop flag flips exactly when the schedule hits the cap
+            let crash_loop = ms >= 10_000;
+            assert_eq!(
+                cp.phase(&name),
+                Some(PodPhase::BackOff { restarts, crash_loop }),
+                "after crash #{restarts}"
+            );
+            cp.requeue(&name);
+        }
+        // store status surfaces the crash loop
+        let status = &cp.store().get("Pod", "a").unwrap().status;
+        assert_eq!(status.get("phase").unwrap().as_str(), Some("Pending (restarting)"));
+    }
+
+    #[test]
+    fn backoff_boundary_restart_counts() {
+        let cp = plane(1);
+        // restarts=0 (never crashed) still quotes the base delay
+        assert_eq!(cp.restart_delay_for("ghost"), SimDuration::from_millis(500));
+        // the shift is clamped: a huge restart count must not overflow
+        let mut cp = plane(1);
+        cp.create_pod(PodSpec::mock("a", "img")).unwrap();
+        for _ in 0..70 {
+            cp.reconcile();
+            cp.mark_running("a");
+            cp.report_exit("a");
+            cp.requeue("a");
+        }
+        assert_eq!(cp.restart_delay_for("a"), SimDuration::from_secs(10));
     }
 
     #[test]
@@ -353,6 +449,11 @@ mod tests {
         let victim = NodeId(0);
         let affected = cp.fail_node(victim);
         assert_eq!(affected.len(), 5, "spread placement put half on each node");
+        // evicted pods wait out their backoff like any other crash
+        for name in &affected {
+            assert!(matches!(cp.phase(name), Some(PodPhase::BackOff { .. })));
+            cp.requeue(name);
+        }
         let actions = cp.reconcile();
         for a in &actions {
             if let PodAction::Start { node, .. } = a {

@@ -72,6 +72,11 @@ pub enum PodPhase {
     Starting { node: NodeId },
     /// Live and serving.
     Running { node: NodeId },
+    /// Crashed; waiting out its restart backoff before becoming Pending
+    /// again. `crash_loop` is set once the pod has crashed enough times in
+    /// a row that the backoff delay has hit its cap (k8s would show
+    /// `CrashLoopBackOff`).
+    BackOff { restarts: u32, crash_loop: bool },
     /// Stopped; `restarts` counts how many times it was restarted before.
     Terminated { restarts: u32 },
     /// Could not be placed (insufficient capacity).
@@ -88,6 +93,20 @@ impl PodPhase {
 
     pub fn is_running(&self) -> bool {
         matches!(self, PodPhase::Running { .. })
+    }
+
+    /// Restart count surfaced by the phase, if it carries one.
+    pub fn restarts(&self) -> Option<u32> {
+        match self {
+            PodPhase::BackOff { restarts, .. } | PodPhase::Terminated { restarts } => {
+                Some(*restarts)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn is_crash_loop(&self) -> bool {
+        matches!(self, PodPhase::BackOff { crash_loop: true, .. })
     }
 }
 
@@ -113,6 +132,12 @@ mod tests {
         assert!(!PodPhase::Pending.is_running());
         assert_eq!(PodPhase::Starting { node: NodeId(2) }.node(), Some(NodeId(2)));
         assert_eq!(PodPhase::Unschedulable.node(), None);
+        let b = PodPhase::BackOff { restarts: 3, crash_loop: false };
+        assert_eq!(b.restarts(), Some(3));
+        assert!(!b.is_crash_loop());
+        assert!(PodPhase::BackOff { restarts: 9, crash_loop: true }.is_crash_loop());
+        assert_eq!(PodPhase::Terminated { restarts: 1 }.restarts(), Some(1));
+        assert_eq!(PodPhase::Running { node: NodeId(0) }.restarts(), None);
     }
 
     #[test]

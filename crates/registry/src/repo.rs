@@ -1,7 +1,7 @@
 //! The repository: content-addressed objects + refs + commits, with
 //! push/pull and optional directory persistence.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // det-ok: content-addressed object store; the only iteration writes digest-named files, so order never reaches an observable artifact
 use std::fmt;
 use std::path::{Path, PathBuf};
 

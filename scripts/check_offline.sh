@@ -26,6 +26,7 @@ EDITION=2021
 declare -A RUN_SKIPS=(
   [digibox_model]="--skip serde_roundtrip"
   [digibox_net]=""
+  [digibox_broker]=""
   [digibox_trace]="--skip archive --skip share --skip serde_roundtrip"
   [digibox_orchestrator]="--skip control:: --skip serde_roundtrip"
   [digibox_registry]="--skip dml --skip package --skip manifest --skip repo --skip serde"
@@ -84,6 +85,7 @@ build serde "$STUBS/serde.rs" serde_derive
 build serde_json "$STUBS/serde_json.rs" serde
 build bytes "$STUBS/bytes.rs"
 build parking_lot "$STUBS/parking_lot.rs"
+build proptest "$STUBS/proptest.rs"
 
 echo "== workspace libs + unit tests"
 build digibox_model crates/model/src/lib.rs serde serde_json
@@ -93,7 +95,8 @@ build digibox_net crates/net/src/lib.rs serde bytes
 buildtest digibox_net crates/net/src/lib.rs serde bytes
 
 build digibox_broker crates/broker/src/lib.rs bytes digibox_net
-# broker unit tests need proptest (out of stub scope): typecheck only.
+# the proptest stub compiles property tests out; plain broker unit tests run.
+buildtest digibox_broker crates/broker/src/lib.rs bytes digibox_net proptest
 
 build digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model
 buildtest digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model

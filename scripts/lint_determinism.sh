@@ -18,7 +18,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CRATES=(crates/core crates/net crates/broker crates/model crates/devices)
+CRATES=(crates/core crates/net crates/broker crates/model crates/devices
+  crates/orchestrator crates/registry)
 fail=0
 
 # absolute bans — no annotation makes these deterministic

@@ -13,7 +13,17 @@ use digibox_net::{LinkSpec, SimDuration};
 
 #[test]
 fn crashed_mock_fires_last_will_and_restarts() {
-    let mut tb = laptop(1);
+    // broker keep-alive replaces the old busy-loop (edit 12 times until
+    // the dead endpoint exhausts transport retries): with a session
+    // timeout set, the broker probes the silent session on its own.
+    let mut tb = Testbed::laptop(
+        full_catalog(),
+        TestbedConfig {
+            seed: 1,
+            broker_session_timeout: Some(SimDuration::from_secs(2)),
+            ..Default::default()
+        },
+    );
     tb.run("Lamp", "L1").unwrap();
     tb.run_for(SimDuration::from_secs(1));
 
@@ -24,14 +34,8 @@ fn crashed_mock_fires_last_will_and_restarts() {
     tb.run_for(SimDuration::from_millis(100));
 
     tb.kill("L1").unwrap();
-    // keep traffic flowing so the broker notices the dead session: the
-    // operator keeps editing (messages to L1's intent topic hit the dead
-    // endpoint and exhaust transport retries)
-    for _ in 0..12 {
-        let _ = tb.edit("L1", digibox_model::vmap! { "power" => "on" });
-        tb.run_for(SimDuration::from_millis(500));
-    }
-    tb.run_for(SimDuration::from_secs(10));
+    // timeout (2 s) + the probe's retransmits exhausting (~55×RTO) + margin
+    tb.run_for(SimDuration::from_secs(8));
 
     let events = watcher.borrow_mut().poll_all();
     let lwt_seen = events.iter().any(|e| match e {
@@ -39,6 +43,10 @@ fn crashed_mock_fires_last_will_and_restarts() {
         _ => false,
     });
     assert!(lwt_seen, "broker should publish the last-will of the crashed digi");
+    assert!(
+        tb.broker().borrow().stats().sessions_expired >= 1,
+        "keep-alive should have reaped the dead session"
+    );
 
     // and the control plane restarted it (restart policy Always)
     assert!(tb.check("L1").is_ok(), "digi restarted after crash");
@@ -63,10 +71,13 @@ fn scene_reconverges_after_child_restart() {
 
     tb.kill("O1").unwrap();
     tb.run_for(SimDuration::from_secs(5));
-    // O1 is back (fresh state) — reattach it as the operator would and
-    // verify the room re-drives it
+    // O1 is back, and the supervisor re-attached it to R1 on its own —
+    // no operator intervention needed
     assert!(tb.check("O1").is_ok());
-    tb.attach("O1", "R1").unwrap();
+    assert!(
+        tb.check("R1").unwrap().meta.attach.contains(&"O1".to_string()),
+        "restarted child should be re-attached to its scene automatically"
+    );
     tb.run_for(SimDuration::from_secs(10));
     let presence = tb
         .check("R1")
