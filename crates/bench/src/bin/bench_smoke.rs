@@ -1,11 +1,13 @@
 //! Headless bench smoke: old-vs-new substrate microbenchmarks plus a
-//! reduced E1/E6 sweep, written to `BENCH_substrate.json`.
+//! reduced E1/E6 sweep, written to `BENCH_substrate.json`, and the E11
+//! sweep-scaling row (jobs=1 vs jobs=all on a 16-seed chaos campaign),
+//! written to `BENCH_sweep.json`.
 //!
 //! Unlike the criterion benches this runs in seconds and needs no
 //! harness, so CI can execute it report-only:
 //!
 //! ```text
-//! cargo run --release -p digibox-bench --bin bench_smoke [out.json]
+//! cargo run --release -p digibox-bench --bin bench_smoke [out.json] [sweep.json]
 //! ```
 //!
 //! Timings use `std::time::Instant` (criterion is a dev-dependency and
@@ -20,7 +22,12 @@ use std::time::Instant;
 use digibox_bench::baseline::{OldEventQueue, OldTopicTrie};
 use digibox_bench::{build_deployment, laptop, measure_gets, parallel_sweep, report};
 use digibox_broker::TopicTrie;
-use digibox_net::EventWheel;
+use digibox_core::campaign::Campaign;
+use digibox_core::properties::DigiCondition;
+use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::chaos::{FaultKind, FaultPlan, FaultSpec};
+use digibox_net::{EventWheel, SimDuration};
 use serde_json::json;
 
 const TIMERS: u64 = 1024;
@@ -133,8 +140,41 @@ fn routing_new(trie: &TopicTrie<u32>, topics: &[String], publishes: usize) -> u6
     routed
 }
 
+/// The E11 fixture: a short chaos campaign (one crash window over a 10s
+/// run) on the room/lamp/occupancy scene. One call = one seed's full
+/// simulated campaign — heavy enough that thread-level parallelism is what
+/// the wall-clock measures, not startup.
+fn sweep_plan() -> FaultPlan {
+    FaultPlan::new("e11", 10_000, 1_000).with(FaultSpec {
+        at_ms: 2_000,
+        duration_ms: 2_000,
+        jitter_ms: 1_000,
+        kind: FaultKind::CrashDigi { digi: "L1".into() },
+    })
+}
+
+fn sweep_testbed(seed: u64) -> digibox_core::Result<Testbed> {
+    let config = TestbedConfig { seed, logging: false, ..Default::default() };
+    let mut tb = Testbed::ec2(2, full_catalog(), config);
+    tb.run_with("Occupancy", "O1", Default::default(), true)?;
+    tb.run_with("Room", "R1", Default::default(), false)?;
+    tb.run_with("Lamp", "L1", Default::default(), false)?;
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("O1", "R1")?;
+    tb.attach("L1", "R1")?;
+    tb.add_property(SceneProperty::leads_to(
+        "lamp-follows-vacancy",
+        vec![DigiCondition::new("O1", Condition::eq("triggered", false))],
+        vec![DigiCondition::new("L1", Condition::eq("power.status", "off"))],
+        SimDuration::from_secs(5),
+    ));
+    tb.run_for(SimDuration::from_secs(1));
+    Ok(tb)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_substrate.json".into());
+    let sweep_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_sweep.json".into());
 
     // ---- microbench 1: periodic timers, old heap vs timer wheel ----
     let (heap_s, heap_fired) = best_of(periodic_old);
@@ -213,4 +253,44 @@ fn main() {
     });
     std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap()).expect("write report");
     report("smoke", &format!("wrote {out_path}"));
+
+    // ---- E11: sweep scaling — same 16-seed campaign at jobs=1 vs jobs=all ----
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let seeds: Vec<u64> = (1..=16).collect();
+    let campaign = Campaign::new(sweep_plan()).expect("e11 plan validates");
+
+    let t = Instant::now();
+    let serial = campaign.run_jobs(&seeds, 1, sweep_testbed).expect("jobs=1 sweep");
+    let serial_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let parallel = campaign.run_jobs(&seeds, 0, sweep_testbed).expect("jobs=all sweep");
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    let digest_match = serial.digest() == parallel.digest();
+    assert!(digest_match, "jobs=1 and jobs={cores} scorecards diverged");
+    assert!(serial.errors.is_empty(), "e11 sweep had seed failures");
+    let speedup = serial_s / parallel_s;
+    report(
+        "smoke",
+        &format!(
+            "E11 sweep scaling: cores={cores} jobs1={serial_s:.2}s jobsN={parallel_s:.2}s \
+             speedup={speedup:.2}x digest_match={digest_match}"
+        ),
+    );
+
+    let sweep_doc = json!({
+        "bench": "sweep scaling (E11)",
+        "harness": "bench_smoke bin (std::time::Instant)",
+        "cores": cores,
+        "seeds": seeds.len(),
+        "campaign": { "plan": "e11", "duration_ms": 10_000, "convergence_ms": 1_000 },
+        "jobs1": { "jobs": 1, "wall_clock_s": serial_s, "digest": serial.digest() },
+        "jobsN": { "jobs": cores, "wall_clock_s": parallel_s, "digest": parallel.digest() },
+        "speedup": speedup,
+        "digest_match": digest_match,
+    });
+    std::fs::write(&sweep_path, serde_json::to_string_pretty(&sweep_doc).unwrap())
+        .expect("write sweep report");
+    report("smoke", &format!("wrote {sweep_path}"));
 }

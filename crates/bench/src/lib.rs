@@ -83,37 +83,10 @@ pub fn with_fidelity(fidelity: FidelityMode, seed: u64) -> Testbed {
     Testbed::laptop(full_catalog(), TestbedConfig { seed, fidelity, ..Default::default() })
 }
 
-/// Run one testbed experiment per seed and collect the results in seed
-/// order. Testbeds are fully independent (each owns its kernel), so
-/// multi-seed sweeps parallelize trivially — this is the sharded driver
-/// DESIGN.md §4 describes.
-///
-/// The seed list is split into `available_parallelism()` contiguous
-/// chunks, one OS thread each, so a 256-seed sweep runs on (say) 8 threads
-/// instead of spawning 256.
-pub fn parallel_sweep<R, F>(seeds: &[u64], f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(u64) -> R + Sync + Send,
-{
-    if seeds.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = seeds.len().div_ceil(workers.min(seeds.len()));
-    let f = &f;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .chunks(chunk)
-            .map(|chunk| scope.spawn(move |_| chunk.iter().map(|&s| f(s)).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
-}
+// Multi-seed sweeps now run on the work-stealing engine in `core::sweep`
+// (DESIGN.md §10); the chunked crossbeam driver that used to live here is
+// gone. Re-exported so existing benches keep their import path.
+pub use digibox_core::sweep::parallel_sweep;
 
 /// Paper-style one-line report, printed by each bench before measuring.
 pub fn report(experiment: &str, row: &str) {

@@ -78,14 +78,19 @@ pub struct Broker {
     sessions: HashMap<Addr, Session>,
     /// filter → (subscriber address, granted qos)
     subs: TopicTrie<(Addr, QoS)>,
-    /// topic → fully resolved delivery list (deduped, best-qos, sorted).
-    /// Valid only while `route_epoch` equals the trie's epoch; any
+    /// interned topic id → fully resolved delivery list (deduped,
+    /// best-qos, sorted) behind a refcounted slice, so a cache hit is two
+    /// hash probes (topic → id, id → routes) and a refcount bump — no
+    /// `String` key allocation on misses either. Valid only while
+    /// `route_epoch` equals the trie's epoch; any
     /// subscribe/unsubscribe/session-end bumps the epoch and the next
-    /// publish drops the whole cache.
-    route_cache: HashMap<String, Rc<[(Addr, QoS)]>>,
+    /// publish drops the whole cache (ids stay stable across epochs).
+    route_cache: HashMap<u32, Rc<[(Addr, QoS)]>>,
     route_epoch: u64,
-    /// topic → retained (qos, payload)
-    retained: BTreeMap<String, (QoS, Bytes)>,
+    /// topic → retained (qos, payload). Topic keys are shared `Rc<str>`
+    /// and payloads shared `Bytes`, so replaying retained state to a new
+    /// subscriber clones refcounts, not bytes.
+    retained: BTreeMap<Rc<str>, (QoS, Bytes)>,
     next_pid: u16,
     stats: BrokerStats,
     /// Idle-session expiry: when set, sessions quiet for this long get a
@@ -196,9 +201,9 @@ impl Broker {
                 }
                 if retain {
                     if payload.is_empty() {
-                        self.retained.remove(&topic); // empty retained payload clears
+                        self.retained.remove(topic.as_str()); // empty retained payload clears
                     } else {
-                        self.retained.insert(topic.clone(), (qos, payload.clone()));
+                        self.retained.insert(Rc::from(topic.as_str()), (qos, payload.clone()));
                     }
                 }
                 self.route(sim, &topic, qos, payload, false);
@@ -228,13 +233,15 @@ impl Broker {
                 self.send_packet(sim, from, &Packet::SubAck { packet_id, codes });
                 self.publish_sys(sim);
                 // Deliver matching retained messages (retain flag set).
-                let matching: Vec<(String, QoS, Bytes)> = self
+                // Topic and payload clones here are refcount bumps on
+                // `Rc<str>`/`Bytes` — replay copies no message data.
+                let matching: Vec<(Rc<str>, QoS, Bytes)> = self
                     .retained
                     .iter()
                     .filter(|(topic, _)| {
                         granted.iter().any(|(f, _)| crate::topic::matches(f, topic))
                     })
-                    .map(|(t, (q, p))| (t.clone(), *q, p.clone()))
+                    .map(|(t, (q, p))| (Rc::clone(t), *q, p.clone()))
                     .collect();
                 for (topic, pub_qos, payload) in matching {
                     let sub_qos = granted
@@ -277,14 +284,24 @@ impl Broker {
     }
 
     /// Resolve `topic` to its delivery list, consulting the route cache.
-    /// Cache entries are immutable snapshots (`Rc<[...]>`), invalidated
-    /// wholesale whenever the subscription trie's epoch moves.
+    /// The cache is keyed by the trie's interned topic id (4 bytes, no
+    /// `String` allocation per miss); entries are immutable snapshots
+    /// (`Rc<[...]>`, a hit is a refcount bump), invalidated wholesale
+    /// whenever the subscription trie's epoch moves.
     fn resolved_routes(&mut self, topic: &str) -> Rc<[(Addr, QoS)]> {
         if self.route_epoch != self.subs.epoch() {
             self.route_cache.clear();
             self.route_epoch = self.subs.epoch();
         }
-        if let Some(routes) = self.route_cache.get(topic) {
+        // The interner bounds the cache: ids are cache keys, so dropping
+        // both together keeps them consistent when a pathological workload
+        // floods distinct topics.
+        if self.subs.topic_id_count() >= ROUTE_CACHE_CAP {
+            self.subs.reset_topic_ids();
+            self.route_cache.clear();
+        }
+        let id = self.subs.topic_id(topic);
+        if let Some(routes) = self.route_cache.get(&id) {
             self.stats.route_cache_hits += 1;
             return routes.clone();
         }
@@ -299,10 +316,7 @@ impl Broker {
         let mut sorted: Vec<(Addr, QoS)> = best.into_iter().collect();
         sorted.sort_unstable_by_key(|(a, _)| *a);
         let routes: Rc<[(Addr, QoS)]> = sorted.into();
-        if self.route_cache.len() >= ROUTE_CACHE_CAP {
-            self.route_cache.clear();
-        }
-        self.route_cache.insert(topic.to_string(), routes.clone());
+        self.route_cache.insert(id, routes.clone());
         routes
     }
 
@@ -355,7 +369,7 @@ impl Broker {
         ];
         for (topic, value) in entries {
             let payload = Bytes::from(value.to_string());
-            self.retained.insert(topic.to_string(), (QoS::AtMostOnce, payload.clone()));
+            self.retained.insert(Rc::from(topic), (QoS::AtMostOnce, payload.clone()));
             self.route(sim, topic, QoS::AtMostOnce, payload, true);
         }
     }

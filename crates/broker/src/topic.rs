@@ -114,6 +114,12 @@ pub struct TopicTrie<T> {
     root: Node<T>,
     len: usize,
     interner: Interner,
+    /// Whole-topic interner for caches layered above the trie: maps a
+    /// published topic to a stable `u32` id so a route cache can key on
+    /// 4 bytes instead of an owned `String`. Ids survive subscription
+    /// churn (epoch bumps) — an invalidated cache re-resolves under the
+    /// same id without re-allocating the key.
+    topic_ids: HashMap<Box<str>, u32>,
     epoch: u64,
 }
 
@@ -138,7 +144,36 @@ impl<T> Default for TopicTrie<T> {
 
 impl<T> TopicTrie<T> {
     pub fn new() -> TopicTrie<T> {
-        TopicTrie { root: Node::default(), len: 0, interner: Interner::new(), epoch: 0 }
+        TopicTrie {
+            root: Node::default(),
+            len: 0,
+            interner: Interner::new(),
+            topic_ids: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Intern `topic` to a stable id. The first sighting allocates the key
+    /// once; every later publish to the same topic is a hash probe
+    /// returning the same 4-byte id.
+    pub fn topic_id(&mut self, topic: &str) -> u32 {
+        if let Some(&id) = self.topic_ids.get(topic) {
+            return id;
+        }
+        let id = self.topic_ids.len() as u32;
+        self.topic_ids.insert(topic.into(), id);
+        id
+    }
+
+    /// Distinct topics interned so far (cache-cap bookkeeping).
+    pub fn topic_id_count(&self) -> usize {
+        self.topic_ids.len()
+    }
+
+    /// Forget all interned topic ids. Ids are reassigned from zero, so any
+    /// cache keyed by old ids must be dropped in the same breath.
+    pub fn reset_topic_ids(&mut self) {
+        self.topic_ids.clear();
     }
 
     /// Number of stored values (not distinct filters).
@@ -354,6 +389,22 @@ mod tests {
         assert_eq!(trie.epoch(), e1);
         assert_eq!(trie.remove_where("a/b", |v| *v == 1), 1);
         assert_ne!(trie.epoch(), e1);
+    }
+
+    #[test]
+    fn topic_ids_are_stable_until_reset() {
+        let mut trie: TopicTrie<u32> = TopicTrie::new();
+        let a = trie.topic_id("a/b");
+        let b = trie.topic_id("a/c");
+        assert_ne!(a, b);
+        assert_eq!(trie.topic_id("a/b"), a, "re-interning returns the same id");
+        assert_eq!(trie.topic_id_count(), 2);
+        // ids survive subscription churn (epoch bumps)
+        trie.insert("a/#", 1);
+        assert_eq!(trie.topic_id("a/b"), a);
+        trie.reset_topic_ids();
+        assert_eq!(trie.topic_id_count(), 0);
+        assert_eq!(trie.topic_id("a/c"), 0, "ids restart from zero after reset");
     }
 
     #[test]

@@ -28,6 +28,8 @@ usage:
   dbox chaos --plan <plan.json>   run a fault plan from a file
 options:
   --seeds 1,2,3                   seeds to sweep (default 1,2,3)
+  --jobs N                        worker threads (0 = all cores, default 1);
+                                  the scorecard digest is identical for any N
   --format json|pretty            scorecard output format (default pretty)
   --out <file>                    also write the JSON scorecard to a file
   --print-plan                    print the effective plan as JSON and exit
@@ -46,6 +48,7 @@ pub fn run(_dir: &Path, args: &[String]) -> Outcome {
 
 fn run_inner(args: &[String]) -> Result<Outcome, String> {
     let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut jobs: usize = 1;
     let mut json = false;
     let mut out_file: Option<String> = None;
     let mut plan_file: Option<String> = None;
@@ -66,6 +69,10 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
                 if seeds.is_empty() {
                     return Err(format!("--seeds list is empty\n{CHAOS_USAGE}"));
                 }
+            }
+            "--jobs" => {
+                let n = it.next().ok_or(format!("--jobs needs a number\n{CHAOS_USAGE}"))?;
+                jobs = n.trim().parse::<usize>().map_err(|_| format!("bad --jobs {n:?}"))?;
             }
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => json = true,
@@ -95,12 +102,20 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
 
     let campaign = Campaign::new(plan)?;
     let scorecard =
-        campaign.run(&seeds, |seed| demo_testbed(seed)).map_err(|e| e.to_string())?;
+        campaign.run_jobs(&seeds, jobs, demo_testbed).map_err(|e| e.to_string())?;
     if let Some(path) = out_file {
         std::fs::write(&path, scorecard.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
     let stdout = if json { scorecard.to_json() + "\n" } else { scorecard.render() };
-    let code = if scorecard.clean() { 0 } else { 2 };
+    // Seeds that failed to even run are an operational error (1), which
+    // outranks the property verdict (2/0).
+    let code = if !scorecard.errors.is_empty() {
+        1
+    } else if scorecard.clean() {
+        0
+    } else {
+        2
+    };
     Ok(Outcome { stdout, code })
 }
 
@@ -184,6 +199,11 @@ mod chaoscheck {
         assert!(out.stdout.contains("bad seed"), "{}", out.stdout);
         let out = run_args(&["--seeds"]);
         assert_eq!(out.code, 1);
+        let out = run_args(&["--jobs", "many"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("bad --jobs"), "{}", out.stdout);
+        let out = run_args(&["--jobs"]);
+        assert_eq!(out.code, 1);
     }
 
     #[test]
@@ -243,6 +263,14 @@ mod tests {
         let written = std::fs::read_to_string(&out_path).unwrap();
         assert_eq!(written.trim(), out.stdout.trim());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_the_scorecard() {
+        let a = run_args(&["--seeds", "1,2", "--jobs", "1", "--format", "json"]);
+        let b = run_args(&["--seeds", "1,2", "--jobs", "4", "--format", "json"]);
+        assert_eq!(a.code, 0, "{}", a.stdout);
+        assert_eq!(a.stdout, b.stdout, "parallel scorecard must be byte-identical");
     }
 
     #[test]

@@ -35,6 +35,7 @@ use digibox_registry::Repository;
 
 mod chaos;
 mod lint;
+mod sweep;
 
 /// One state-changing command in the journal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -190,13 +191,16 @@ impl Outcome {
 
 /// Run one CLI invocation against the workspace at `dir`.
 pub fn invoke(dir: &Path, args: &[String]) -> Outcome {
-    // `lint` and `chaos` have their own exit-code contracts (2 = findings
-    // / post-heal violations), so they bypass the Ok/Err mapping below.
+    // `lint`, `chaos`, and `sweep` have their own exit-code contracts
+    // (2 = findings / violations), so they bypass the Ok/Err mapping below.
     if args.first().map(String::as_str) == Some("lint") {
         return lint::run(dir, &args[1..]);
     }
     if args.first().map(String::as_str) == Some("chaos") {
         return chaos::run(dir, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return sweep::run(dir, &args[1..]);
     }
     match invoke_inner(dir, args) {
         Ok(out) => Outcome::ok(out),
@@ -223,6 +227,7 @@ usage:
   dbox pull <setup> --from <dir>                 pull + recreate a setup
   dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
   dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
+  dbox sweep [--seeds 1..16] [--jobs N]          parallel seed sweep + report
   dbox log [name]                                print trace (paper format)
   dbox log --summary                             per-digi activity table
   dbox ps                                        pods and nodes (runtime view)

@@ -17,11 +17,21 @@ use digibox_net::chaos::{self, FaultKind, FaultPlan, FaultWindow};
 use digibox_net::{LinkState, NodeId, SimDuration, SimTime};
 use digibox_trace::RecordKind;
 
+use crate::sweep;
 use crate::testbed::Testbed;
 
 /// A fault plan bound to a seed sweep.
 pub struct Campaign {
     plan: FaultPlan,
+}
+
+/// A seed that produced no report: its builder failed or the run panicked.
+/// Captured per seed by the sweep engine instead of poisoning the whole
+/// campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedFailure {
+    pub seed: u64,
+    pub error: String,
 }
 
 /// Per-seed observations.
@@ -57,6 +67,9 @@ pub struct Scorecard {
     pub plan: String,
     pub convergence_ms: u64,
     pub per_seed: Vec<SeedReport>,
+    /// Seeds that never produced a report (builder error or panic), in
+    /// canonical seed order. Part of the canonical JSON and digest.
+    pub errors: Vec<SeedFailure>,
 }
 
 impl Scorecard {
@@ -113,6 +126,17 @@ impl Scorecard {
                 s.time_to_reconverge_ms
             ));
         }
+        out.push_str("],\"errors\":[");
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seed\":{},\"error\":{}}}",
+                e.seed,
+                json_str(&e.error)
+            ));
+        }
         out.push_str("]}");
         out
     }
@@ -152,6 +176,9 @@ impl Scorecard {
                 s.time_to_reconverge_ms
             ));
         }
+        for e in &self.errors {
+            out.push_str(&format!("  seed {:>3}: FAILED — {}\n", e.seed, e.error));
+        }
         out.push_str(&format!("scorecard digest {}\n", &self.digest()[..12]));
         out
     }
@@ -168,22 +195,45 @@ impl Campaign {
         &self.plan
     }
 
-    /// Run the plan once per seed, building a fresh testbed each time via
-    /// `build` (which should configure digis, properties, and — for
-    /// partition plans — a broker session timeout so stale sessions clear).
-    pub fn run<F>(&self, seeds: &[u64], mut build: F) -> crate::Result<Scorecard>
+    /// Run the plan once per seed on one core, building a fresh testbed
+    /// each time via `build` (which should configure digis, properties,
+    /// and — for partition plans — a broker session timeout so stale
+    /// sessions clear). Equivalent to [`Campaign::run_jobs`] with
+    /// `jobs = 1`; the scorecard is byte-identical either way.
+    pub fn run<F>(&self, seeds: &[u64], build: F) -> crate::Result<Scorecard>
     where
-        F: FnMut(u64) -> crate::Result<Testbed>,
+        F: Fn(u64) -> crate::Result<Testbed> + Sync,
     {
-        let mut per_seed = Vec::with_capacity(seeds.len());
-        for &seed in seeds {
-            let mut tb = build(seed)?;
-            per_seed.push(self.run_seed(seed, &mut tb));
+        self.run_jobs(seeds, 1, build)
+    }
+
+    /// Run the plan once per seed across `jobs` worker threads (`0` = one
+    /// per core) on the [`sweep`] engine. Every worker builds its own
+    /// isolated testbed/kernel and reports are merged in canonical seed
+    /// order, so the scorecard — and its digest — is byte-identical for
+    /// any `jobs` value. A seed whose builder fails or whose run panics
+    /// becomes a [`SeedFailure`] entry instead of aborting the sweep.
+    pub fn run_jobs<F>(&self, seeds: &[u64], jobs: usize, build: F) -> crate::Result<Scorecard>
+    where
+        F: Fn(u64) -> crate::Result<Testbed> + Sync,
+    {
+        let outcome = sweep::sweep(seeds, jobs, |seed| {
+            let mut tb = build(seed).map_err(|e| e.to_string())?;
+            Ok(self.run_seed(seed, &mut tb))
+        });
+        let mut per_seed = Vec::with_capacity(outcome.runs.len());
+        let mut errors = Vec::new();
+        for run in outcome.runs {
+            match run.result {
+                Ok(report) => per_seed.push(report),
+                Err(e) => errors.push(SeedFailure { seed: run.seed, error: e.to_string() }),
+            }
         }
         Ok(Scorecard {
             plan: self.plan.name.clone(),
             convergence_ms: self.plan.convergence_ms,
             per_seed,
+            errors,
         })
     }
 
@@ -425,6 +475,7 @@ mod campaign {
                 violations_post_heal: 0,
                 time_to_reconverge_ms: 840,
             }],
+            errors: Vec::new(),
         }
     }
 
@@ -456,6 +507,24 @@ mod campaign {
         assert!(j.contains("\"availability\":{\"L1\":0.943200,\"R1\":1.000000}"), "{j}");
         assert!(j.contains("\"clean\":true"));
         assert_eq!(j, s.to_json());
+        assert!(j.ends_with("\"errors\":[]}"), "{j}");
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn seed_failures_are_canonical_and_digest_sensitive() {
+        let clean = sample();
+        let mut failed = sample();
+        failed.errors.push(SeedFailure { seed: 13, error: "panicked: boom".into() });
+        assert_ne!(clean.digest(), failed.digest());
+        assert!(
+            failed.to_json().contains("\"errors\":[{\"seed\":13,\"error\":\"panicked: boom\"}]"),
+            "{}",
+            failed.to_json()
+        );
+        assert!(failed.render().contains("seed  13: FAILED — panicked: boom"), "{}", failed.render());
+        // failures don't count as post-heal violations — clean() is about
+        // property verdicts; callers surface errors separately (exit 1).
+        assert!(failed.clean());
     }
 }

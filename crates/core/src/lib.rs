@@ -29,6 +29,9 @@
 //! * [`AppClient`] — the application side: a REST/MQTT client endpoint
 //!   with latency accounting, used by example apps and the §4
 //!   microbenchmarks.
+//! * [`sweep`] — the deterministic multi-core sweep engine: seed-sharded
+//!   work-stealing execution with canonical-order merge, so campaigns and
+//!   benches scale across cores without changing a single digest.
 
 mod appclient;
 mod atts;
@@ -43,6 +46,7 @@ pub mod pool;
 pub mod program;
 pub mod properties;
 pub mod suggest;
+pub mod sweep;
 mod testbed;
 pub mod topics;
 
@@ -58,6 +62,7 @@ pub use footprint::Footprint;
 pub use pool::{DigiPool, PoolStats};
 pub use program::{DigiProgram, LoopCtx, SimCtx};
 pub use properties::{Condition, PropertyChecker, SceneProperty, Temporal};
+pub use sweep::{parallel_sweep, SeedError, SeedRun, SweepOutcome};
 pub use testbed::{FidelityMode, Testbed, TestbedConfig, TestbedError};
 
 /// Crate-wide result type.

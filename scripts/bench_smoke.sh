@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Reduced substrate bench: old-vs-new microbenchmarks plus a small E1/E6
-# sweep, written to BENCH_substrate.json at the repo root.
+# sweep, written to BENCH_substrate.json at the repo root, and the E11
+# sweep-scaling row (jobs=1 vs jobs=all), written to BENCH_sweep.json.
 #
-# Usage: scripts/bench_smoke.sh [out.json]
+# Usage: scripts/bench_smoke.sh [out.json] [sweep_out.json]
 #
 # If cargo cannot build the workspace (e.g. an offline container without
-# a registry mirror), fall back to the standalone harness, which compiles
-# the std-only hot-path modules directly with rustc and measures the same
-# micro comparisons (no E1/E6 rows in that mode).
+# a registry mirror), fall back to the standalone harnesses, which compile
+# the std-only hot-path + sweep modules directly with rustc and measure
+# the same comparisons (no simulated E1/E6/campaign rows in that mode).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_substrate.json}"
+SWEEP_OUT="${2:-BENCH_sweep.json}"
 
 if cargo build --release -p digibox-bench --bin bench_smoke 2>/dev/null; then
-    exec cargo run --release -p digibox-bench --bin bench_smoke -- "$OUT"
+    exec cargo run --release -p digibox-bench --bin bench_smoke -- "$OUT" "$SWEEP_OUT"
 fi
 
 echo "[bench_smoke] cargo build unavailable; using standalone rustc harness" >&2
@@ -22,3 +24,5 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 rustc --edition 2021 -O scripts/standalone_hotpath.rs -o "$TMP/standalone_hotpath"
 "$TMP/standalone_hotpath" "$OUT"
+rustc --edition 2021 -O scripts/standalone_sweep.rs -o "$TMP/standalone_sweep"
+"$TMP/standalone_sweep" "$SWEEP_OUT"

@@ -168,4 +168,12 @@ for t in tests/*.rs; do
   esac
 done
 
+echo "== standalone sweep engine (std-only check + jobs determinism)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+rustc --edition "$EDITION" -O scripts/standalone_sweep.rs -o "$TMP/standalone_sweep"
+"$TMP/standalone_sweep" "$TMP/BENCH_sweep.json" >/dev/null 2>&1 \
+  || { echo "standalone sweep determinism check failed" >&2; exit 1; }
+echo "  run  standalone_sweep (jobs=1 vs jobs=all digests match)"
+
 echo "offline check OK"

@@ -1,0 +1,98 @@
+//! Standalone sweep-engine measurement: compiles `core::sweep` directly
+//! with `rustc -O` and times a 32-seed CPU-bound sweep at jobs=1 vs
+//! jobs=all, so the scaling row exists even where cargo has no registry
+//! access (the fallback path of `scripts/bench_smoke.sh`).
+//!
+//! ```text
+//! rustc --edition 2021 -O scripts/standalone_sweep.rs -o /tmp/ssw
+//! /tmp/ssw BENCH_sweep.json
+//! ```
+//!
+//! The engine is std-only by design; this file is also a compile-time
+//! check that it stays that way. The per-seed workload is a deterministic
+//! xorshift mix (no simulation — that needs the cargo bench_smoke bin),
+//! so the merged run vector and its digest must be identical for any
+//! jobs count.
+
+#[allow(dead_code)]
+#[path = "../crates/core/src/sweep.rs"]
+mod sweep;
+
+use std::time::Instant;
+
+const SEEDS: u64 = 32;
+const ITERS: u64 = 6_000_000;
+
+/// Deterministic per-seed workload: xorshift64* mixed down to one value.
+fn workload(seed: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut acc = 0u64;
+    for _ in 0..ITERS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    }
+    acc
+}
+
+/// FNV-1a over the merged (seed, value) stream — the determinism witness.
+fn digest(runs: &[(u64, u64)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (seed, value) in runs {
+        for b in seed.to_le_bytes().iter().chain(value.to_le_bytes().iter()) {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn run_at(seeds: &[u64], jobs: usize) -> (Vec<(u64, u64)>, f64, usize, u64) {
+    let t = Instant::now();
+    let outcome = sweep::sweep(seeds, jobs, |seed| Ok(workload(seed)));
+    let wall = t.elapsed().as_secs_f64();
+    let runs: Vec<(u64, u64)> = outcome
+        .runs
+        .iter()
+        .map(|r| (r.seed, *r.result.as_ref().expect("workload is infallible")))
+        .collect();
+    (runs, wall, outcome.jobs, outcome.steals)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".into());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let seeds: Vec<u64> = (1..=SEEDS).collect();
+
+    let (serial, serial_s, _, _) = run_at(&seeds, 1);
+    let (parallel, parallel_s, jobs_n, steals) = run_at(&seeds, 0);
+
+    assert_eq!(serial, parallel, "jobs=1 and jobs={jobs_n} merged runs diverged");
+    let d1 = digest(&serial);
+    let dn = digest(&parallel);
+    let digest_match = d1 == dn;
+    assert!(digest_match);
+    let speedup = serial_s / parallel_s;
+    eprintln!(
+        "[standalone] sweep scaling: cores={cores} jobs1={serial_s:.2}s \
+         jobsN={parallel_s:.2}s speedup={speedup:.2}x steals={steals} digest_match={digest_match}"
+    );
+
+    let doc = format!(
+        r#"{{
+  "bench": "sweep scaling (E11)",
+  "harness": "standalone rustc harness (std::time::Instant); simulated-campaign rows require the cargo bench_smoke bin",
+  "cores": {cores},
+  "seeds": {SEEDS},
+  "workload": {{ "kind": "xorshift64* mix", "iters_per_seed": {ITERS} }},
+  "jobs1": {{ "jobs": 1, "wall_clock_s": {serial_s}, "digest": "{d1:016x}" }},
+  "jobsN": {{ "jobs": {jobs_n}, "wall_clock_s": {parallel_s}, "digest": "{dn:016x}", "steals": {steals} }},
+  "speedup": {speedup},
+  "digest_match": {digest_match}
+}}
+"#,
+    );
+    std::fs::write(&out_path, doc).expect("write report");
+    eprintln!("[standalone] wrote {out_path}");
+}

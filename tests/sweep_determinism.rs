@@ -1,0 +1,96 @@
+//! The parallel sweep engine end-to-end: the same campaign run at
+//! `--jobs 1`, `--jobs 2`, and `--jobs all` must produce a byte-identical
+//! scorecard (per-worker kernels keep each seed's event order exactly as
+//! the single-threaded run; merging is in canonical seed order), and a
+//! seed whose build panics must surface as a per-seed error without
+//! aborting the rest of the sweep.
+
+use digibox_core::campaign::Campaign;
+use digibox_core::properties::DigiCondition;
+use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_net::chaos::{FaultKind, FaultPlan, FaultSpec};
+use digibox_net::SimDuration;
+
+/// A two-node room ensemble with the paper's lamp-follows-vacancy
+/// property (same shape as tests/chaos.rs, shorter plan below).
+fn room_testbed(seed: u64) -> digibox_core::Result<Testbed> {
+    let config = TestbedConfig {
+        seed,
+        broker_session_timeout: Some(SimDuration::from_secs(2)),
+        ..Default::default()
+    };
+    let mut tb = Testbed::ec2(2, full_catalog(), config);
+    tb.run_with("Occupancy", "O1", Default::default(), true)?;
+    tb.run_with("Room", "R1", Default::default(), false)?;
+    tb.run_with("Lamp", "L1", Default::default(), false)?;
+    tb.run_for(SimDuration::from_secs(1));
+    tb.attach("O1", "R1")?;
+    tb.attach("L1", "R1")?;
+    tb.add_property(SceneProperty::leads_to(
+        "lamp-follows-vacancy",
+        vec![DigiCondition::new("O1", Condition::eq("triggered", false))],
+        vec![DigiCondition::new("L1", Condition::eq("power.status", "off"))],
+        SimDuration::from_secs(5),
+    ));
+    tb.run_for(SimDuration::from_secs(2));
+    Ok(tb)
+}
+
+fn short_plan() -> FaultPlan {
+    FaultPlan::new("sweep-det", 12_000, 2_000).with(FaultSpec {
+        at_ms: 3_000,
+        duration_ms: 2_000,
+        jitter_ms: 1_000,
+        kind: FaultKind::CrashDigi { digi: "L1".into() },
+    })
+}
+
+#[test]
+fn scorecard_is_byte_identical_across_jobs_counts() {
+    let campaign = Campaign::new(short_plan()).unwrap();
+    let seeds: Vec<u64> = (1..=6).collect();
+
+    let serial = campaign.run_jobs(&seeds, 1, room_testbed).unwrap();
+    let two = campaign.run_jobs(&seeds, 2, room_testbed).unwrap();
+    let all = campaign.run_jobs(&seeds, 0, room_testbed).unwrap();
+
+    assert!(serial.errors.is_empty(), "{:?}", serial.errors);
+    assert_eq!(serial.per_seed.len(), seeds.len());
+    assert_eq!(serial.to_json(), two.to_json(), "jobs=2 scorecard diverged");
+    assert_eq!(serial.to_json(), all.to_json(), "jobs=all scorecard diverged");
+    assert_eq!(serial.digest(), two.digest());
+    assert_eq!(serial.digest(), all.digest());
+}
+
+#[test]
+fn panicking_seed_is_reported_without_aborting_the_sweep() {
+    let campaign = Campaign::new(short_plan()).unwrap();
+    let seeds = [1, 13, 2];
+    let build = |seed: u64| {
+        if seed == 13 {
+            panic!("boom at seed 13");
+        }
+        room_testbed(seed)
+    };
+
+    let serial = campaign.run_jobs(&seeds, 1, build).unwrap();
+    let parallel = campaign.run_jobs(&seeds, 2, build).unwrap();
+
+    // the healthy seeds completed, in canonical order
+    let ran: Vec<u64> = serial.per_seed.iter().map(|s| s.seed).collect();
+    assert_eq!(ran, vec![1, 2]);
+
+    // the panic became a per-seed error, not an abort
+    assert_eq!(serial.errors.len(), 1);
+    assert_eq!(serial.errors[0].seed, 13);
+    assert!(
+        serial.errors[0].error.contains("boom at seed 13"),
+        "panic payload should be preserved: {:?}",
+        serial.errors[0].error
+    );
+
+    // and the failure report is itself deterministic across jobs counts
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.digest(), parallel.digest());
+}
