@@ -172,9 +172,26 @@ fn sweep_testbed(seed: u64) -> digibox_core::Result<Testbed> {
     Ok(tb)
 }
 
+/// The E12 fixture: build a 50-sensor deployment with the obs layer on or
+/// off and run it for 20 virtual seconds. Returns (wall-clock seconds,
+/// kernel events recorded) — the event count is 0 when metrics are off
+/// and identical across runs when on (the layer is deterministic).
+fn obs_run(seed: u64, metrics: bool) -> (f64, u64) {
+    let t = Instant::now();
+    let mut tb = Testbed::laptop(
+        full_catalog(),
+        TestbedConfig { seed, logging: false, metrics, ..Default::default() },
+    );
+    build_deployment(&mut tb, 50, 2, 0);
+    tb.run_for(SimDuration::from_secs(20));
+    let wall = t.elapsed().as_secs_f64();
+    (wall, tb.obs_snapshot().counter("kernel.events"))
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_substrate.json".into());
     let sweep_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_sweep.json".into());
+    let obs_path = std::env::args().nth(3).unwrap_or_else(|| "BENCH_obs.json".into());
 
     // ---- microbench 1: periodic timers, old heap vs timer wheel ----
     let (heap_s, heap_fired) = best_of(periodic_old);
@@ -293,4 +310,40 @@ fn main() {
     std::fs::write(&sweep_path, serde_json::to_string_pretty(&sweep_doc).unwrap())
         .expect("write sweep report");
     report("smoke", &format!("wrote {sweep_path}"));
+
+    // ---- E12: observability overhead — same scene, metrics on vs off ----
+    let mut on_best = f64::MAX;
+    let mut off_best = f64::MAX;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let (on_s, on_events) = obs_run(1, true);
+        let (off_s, off_events) = obs_run(1, false);
+        assert!(on_events > 0, "metrics-on run recorded no kernel events");
+        assert_eq!(off_events, 0, "metrics-off run must record nothing");
+        events = on_events;
+        on_best = on_best.min(on_s);
+        off_best = off_best.min(off_s);
+    }
+    let overhead_pct = (on_best / off_best - 1.0) * 100.0;
+    report(
+        "smoke",
+        &format!(
+            "E12 obs overhead: enabled={:.3}s disabled={:.3}s overhead={overhead_pct:.1}% \
+             ({events} kernel events recorded)",
+            on_best, off_best
+        ),
+    );
+    let obs_doc = json!({
+        "bench": "observability overhead (E12)",
+        "harness": "bench_smoke bin (std::time::Instant, best of 3)",
+        "scene": { "sensors": 50, "rooms": 2, "virtual_secs": 20 },
+        "enabled_s": on_best,
+        "disabled_s": off_best,
+        "overhead_pct": overhead_pct,
+        "kernel_events_recorded": events,
+        "gate": "overhead_pct < 5",
+    });
+    std::fs::write(&obs_path, serde_json::to_string_pretty(&obs_doc).unwrap())
+        .expect("write obs report");
+    report("smoke", &format!("wrote {obs_path}"));
 }

@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, HashMap}; // det-ok: hash maps for keyed lookup
 use std::rc::Rc;
 
 use bytes::Bytes;
+use digibox_obs as obs;
 
 use digibox_net::transport::{ReliableEndpoint, TransportEvent};
 use digibox_net::{Addr, Datagram, Service, ServiceHandle, Sim, SimDuration, SimTime, TimerToken};
@@ -30,19 +31,57 @@ const SESSION_SWEEP_TOKEN: TimerToken = 1;
 /// Broker counters (exposed for the scalability benchmarks).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BrokerStats {
+    /// Successful CONNECTs.
     pub connects: u64,
+    /// PUBLISH packets received from clients.
     pub publishes_in: u64,
+    /// PUBLISH packets fanned out to subscribers.
     pub publishes_out: u64,
+    /// Topic filters subscribed (one per filter, not per packet).
     pub subscribes: u64,
+    /// Retained messages delivered to new subscribers.
     pub retained_served: u64,
+    /// Last-will messages published for dead sessions.
     pub wills_fired: u64,
+    /// Packets dropped as undecodable.
     pub malformed: u64,
+    /// Publishes routed via the cached subscriber set.
     pub route_cache_hits: u64,
+    /// Publishes that had to walk the topic trie.
     pub route_cache_misses: u64,
     /// Keep-alive probes sent to idle sessions.
     pub probes_sent: u64,
     /// Sessions reaped because a keep-alive probe went unanswered.
     pub sessions_expired: u64,
+}
+
+/// Pre-interned observability handles for the broker's hot paths (see
+/// `digibox_obs`): publish/route/retain counters and the span frames
+/// nested under the kernel's dispatch spans.
+struct ObsKeys {
+    publish: obs::CounterId,
+    route_hit: obs::CounterId,
+    route_miss: obs::CounterId,
+    retained_served: obs::CounterId,
+    fanout: obs::HistogramId,
+    f_publish: obs::FrameId,
+    f_subscribe: obs::FrameId,
+    f_retain: obs::FrameId,
+}
+
+impl ObsKeys {
+    fn new() -> ObsKeys {
+        ObsKeys {
+            publish: obs::counter("broker.publishes"),
+            route_hit: obs::counter("broker.route_cache_hits"),
+            route_miss: obs::counter("broker.route_cache_misses"),
+            retained_served: obs::counter("broker.retained_served"),
+            fanout: obs::histogram("broker.route_fanout"),
+            f_publish: obs::frame("broker.publish"),
+            f_subscribe: obs::frame("broker.subscribe"),
+            f_retain: obs::frame("broker.retain"),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -100,9 +139,11 @@ pub struct Broker {
     /// testbed's event queue can still drain.
     session_timeout: Option<SimDuration>,
     sweep_armed: bool,
+    obs: ObsKeys,
 }
 
 impl Broker {
+    /// A broker bound (by the caller) at `addr`, with empty state.
     pub fn new(addr: Addr) -> ServiceHandle<Broker> {
         Rc::new(RefCell::new(Broker {
             addr,
@@ -116,6 +157,7 @@ impl Broker {
             stats: BrokerStats::default(),
             session_timeout: None,
             sweep_armed: false,
+            obs: ObsKeys::new(),
         }))
     }
 
@@ -127,6 +169,7 @@ impl Broker {
         self.session_timeout = timeout;
     }
 
+    /// The configured idle-session expiry, if any.
     pub fn session_timeout(&self) -> Option<SimDuration> {
         self.session_timeout
     }
@@ -142,14 +185,17 @@ impl Broker {
         self.ep.duplicates()
     }
 
+    /// The broker's own address.
     pub fn addr(&self) -> Addr {
         self.addr
     }
 
+    /// Counters accumulated since construction.
     pub fn stats(&self) -> &BrokerStats {
         &self.stats
     }
 
+    /// Live client sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
     }
@@ -190,6 +236,8 @@ impl Broker {
             }
             Packet::Publish { qos, retain, topic, packet_id, payload, .. } => {
                 self.stats.publishes_in += 1;
+                obs::inc(self.obs.publish);
+                let _span = obs::enter(self.obs.f_publish);
                 if !validate_topic(&topic) {
                     self.stats.malformed += 1;
                     return;
@@ -200,6 +248,7 @@ impl Broker {
                     }
                 }
                 if retain {
+                    let _span = obs::enter(self.obs.f_retain);
                     if payload.is_empty() {
                         self.retained.remove(topic.as_str()); // empty retained payload clears
                     } else {
@@ -213,6 +262,7 @@ impl Broker {
             }
             Packet::Subscribe { packet_id, filters } => {
                 self.stats.subscribes += 1;
+                let _span = obs::enter(self.obs.f_subscribe);
                 let mut codes = Vec::with_capacity(filters.len());
                 let mut granted: Vec<(String, QoS)> = Vec::new();
                 for (filter, qos) in filters {
@@ -252,6 +302,7 @@ impl Broker {
                         .unwrap_or(QoS::AtMostOnce);
                     let qos = pub_qos.min(sub_qos);
                     self.stats.retained_served += 1;
+                    obs::inc(self.obs.retained_served);
                     self.deliver(sim, from, &topic, qos, payload, true);
                 }
             }
@@ -303,9 +354,11 @@ impl Broker {
         let id = self.subs.topic_id(topic);
         if let Some(routes) = self.route_cache.get(&id) {
             self.stats.route_cache_hits += 1;
+            obs::inc(self.obs.route_hit);
             return routes.clone();
         }
         self.stats.route_cache_misses += 1;
+        obs::inc(self.obs.route_miss);
         // A session subscribed via several matching filters gets one copy at
         // the highest granted qos.
         let mut best: HashMap<Addr, QoS> = HashMap::new();
@@ -323,6 +376,7 @@ impl Broker {
     /// Route a publication to every matching subscriber.
     fn route(&mut self, sim: &mut Sim, topic: &str, pub_qos: QoS, payload: Bytes, retain: bool) {
         let routes = self.resolved_routes(topic);
+        obs::observe(self.obs.fanout, routes.len() as u64);
         for &(addr, sub_qos) in routes.iter() {
             let qos = pub_qos.min(sub_qos);
             self.deliver(sim, addr, topic, qos, payload.clone(), retain);

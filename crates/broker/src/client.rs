@@ -15,13 +15,29 @@ use crate::packet::{ConnectFlags, Packet, QoS};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientEvent {
     /// CONNACK received; the session is live.
-    Connected { session_present: bool },
+    Connected {
+        /// Whether the broker resumed prior session state.
+        session_present: bool,
+    },
     /// An application message arrived on a subscribed topic.
-    Message { topic: String, payload: Bytes, retain: bool },
+    Message {
+        /// Topic the message was published to.
+        topic: String,
+        /// Message bytes.
+        payload: Bytes,
+        /// Whether this was a retained message served on subscribe.
+        retain: bool,
+    },
     /// The broker acknowledged a subscribe request.
-    SubAck { packet_id: u16 },
+    SubAck {
+        /// Id of the subscribe being acknowledged.
+        packet_id: u16,
+    },
     /// The broker acknowledged a QoS-1 publish.
-    PubAck { packet_id: u16 },
+    PubAck {
+        /// Id of the publish being acknowledged.
+        packet_id: u16,
+    },
     /// The link to the broker failed (retries exhausted).
     BrokerLost,
 }
@@ -46,6 +62,7 @@ pub struct MqttConn {
 }
 
 impl MqttConn {
+    /// An idle connection from `local` toward `broker` (no packets sent yet).
     pub fn new(local: Addr, broker: Addr, client_id: &str) -> MqttConn {
         MqttConn {
             broker,
@@ -58,6 +75,7 @@ impl MqttConn {
         }
     }
 
+    /// This session's client identifier.
     pub fn client_id(&self) -> &str {
         &self.client_id
     }
@@ -67,6 +85,7 @@ impl MqttConn {
         self.broker
     }
 
+    /// Whether a CONNACK has been received.
     pub fn is_connected(&self) -> bool {
         self.state == State::Connected
     }
@@ -109,6 +128,7 @@ impl MqttConn {
         pid
     }
 
+    /// Remove topic filters; returns the UNSUBSCRIBE packet id.
     pub fn unsubscribe(&mut self, sim: &mut Sim, filters: &[&str]) -> u16 {
         let pid = self.next_pid();
         let pkt = Packet::Unsubscribe {
@@ -147,6 +167,7 @@ impl MqttConn {
         packet_id
     }
 
+    /// Send a keep-alive probe.
     pub fn ping(&mut self, sim: &mut Sim) {
         self.send_packet(sim, &Packet::PingReq);
     }

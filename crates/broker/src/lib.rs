@@ -13,6 +13,8 @@
 //! Not supported (out of scope for the testbed): QoS 2, persistent session
 //! resumption, auth.
 
+#![warn(missing_docs)]
+
 mod broker;
 mod client;
 pub mod packet;

@@ -18,6 +18,7 @@ pub enum QoS {
 }
 
 impl QoS {
+    /// Decode the 2-bit wire encoding; `None` for QoS 2+ (unsupported).
     pub fn from_bits(bits: u8) -> Option<QoS> {
         match bits {
             0 => Some(QoS::AtMostOnce),
@@ -30,40 +31,110 @@ impl QoS {
 /// CONNECT options.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConnectFlags {
+    /// Discard any previous session state for this client id.
     pub clean_session: bool,
     /// Last-will: published by the broker when the session dies unexpectedly.
     pub will: Option<(String, Bytes)>,
+    /// Keep-alive interval in seconds (0 = disabled).
     pub keep_alive_secs: u16,
 }
 
 /// The MQTT packets Digibox speaks.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
-    Connect { client_id: String, flags: ConnectFlags },
-    ConnAck { session_present: bool, code: u8 },
-    Publish { dup: bool, qos: QoS, retain: bool, topic: String, packet_id: Option<u16>, payload: Bytes },
-    PubAck { packet_id: u16 },
-    Subscribe { packet_id: u16, filters: Vec<(String, QoS)> },
-    SubAck { packet_id: u16, codes: Vec<u8> },
-    Unsubscribe { packet_id: u16, filters: Vec<String> },
-    UnsubAck { packet_id: u16 },
+    /// Client session open.
+    Connect {
+        /// Unique client identifier.
+        client_id: String,
+        /// Session options (clean-session, will, keep-alive).
+        flags: ConnectFlags,
+    },
+    /// Broker's reply to CONNECT.
+    ConnAck {
+        /// Whether prior session state was resumed.
+        session_present: bool,
+        /// Return code (0 = accepted).
+        code: u8,
+    },
+    /// An application message.
+    Publish {
+        /// Redelivery flag (QoS 1 retransmits).
+        dup: bool,
+        /// Delivery guarantee for this message.
+        qos: QoS,
+        /// Store as the topic's retained message.
+        retain: bool,
+        /// Destination topic.
+        topic: String,
+        /// Acknowledgement id; present iff QoS > 0.
+        packet_id: Option<u16>,
+        /// Message bytes.
+        payload: Bytes,
+    },
+    /// QoS 1 publish acknowledgement.
+    PubAck {
+        /// Id of the publish being acknowledged.
+        packet_id: u16,
+    },
+    /// Subscription request.
+    Subscribe {
+        /// Acknowledgement id.
+        packet_id: u16,
+        /// `(topic filter, requested QoS)` pairs.
+        filters: Vec<(String, QoS)>,
+    },
+    /// Broker's reply to SUBSCRIBE.
+    SubAck {
+        /// Id of the subscribe being acknowledged.
+        packet_id: u16,
+        /// Granted QoS per filter, in request order.
+        codes: Vec<u8>,
+    },
+    /// Unsubscription request.
+    Unsubscribe {
+        /// Acknowledgement id.
+        packet_id: u16,
+        /// Topic filters to remove.
+        filters: Vec<String>,
+    },
+    /// Broker's reply to UNSUBSCRIBE.
+    UnsubAck {
+        /// Id of the unsubscribe being acknowledged.
+        packet_id: u16,
+    },
+    /// Keep-alive probe.
     PingReq,
+    /// Keep-alive reply.
     PingResp,
+    /// Graceful session close (suppresses the will).
     Disconnect,
 }
 
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PacketError {
+    /// Buffer ended before the packet did.
     Truncated,
+    /// Unknown packet type nibble.
     BadPacketType(u8),
-    BadFlags { packet_type: u8, flags: u8 },
+    /// Fixed-header flags invalid for the packet type.
+    BadFlags {
+        /// The packet type nibble.
+        packet_type: u8,
+        /// The offending flag bits.
+        flags: u8,
+    },
+    /// Remaining-length varint over 4 bytes.
     BadRemainingLength,
+    /// A string field was not valid UTF-8.
     BadUtf8,
+    /// QoS bits outside the supported 0/1 range.
     BadQoS(u8),
+    /// Protocol name/level other than `MQTT` 3.1.1.
     BadProtocol,
     /// A QoS>0 publish without a packet id (or vice versa).
     MissingPacketId,
+    /// Bytes left over after the declared packet length.
     TrailingBytes(usize),
 }
 

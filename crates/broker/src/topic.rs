@@ -143,6 +143,7 @@ impl<T> Default for TopicTrie<T> {
 }
 
 impl<T> TopicTrie<T> {
+    /// An empty trie.
     pub fn new() -> TopicTrie<T> {
         TopicTrie {
             root: Node::default(),
@@ -181,6 +182,7 @@ impl<T> TopicTrie<T> {
         self.len
     }
 
+    /// Whether no values are stored.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

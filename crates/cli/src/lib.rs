@@ -35,6 +35,8 @@ use digibox_registry::Repository;
 
 mod chaos;
 mod lint;
+mod profile;
+mod stats;
 mod sweep;
 
 /// One state-changing command in the journal.
@@ -189,6 +191,13 @@ impl Outcome {
     }
 }
 
+/// The `dbox --help` text, exported so documentation can be checked
+/// against it (see `tests/cli_docs.rs`: every verb and flag in this text
+/// must be covered by `docs/CLI.md`).
+pub fn usage() -> &'static str {
+    USAGE
+}
+
 /// Run one CLI invocation against the workspace at `dir`.
 pub fn invoke(dir: &Path, args: &[String]) -> Outcome {
     // `lint`, `chaos`, and `sweep` have their own exit-code contracts
@@ -228,6 +237,8 @@ usage:
   dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
   dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
   dbox sweep [--seeds 1..16] [--jobs N]          parallel seed sweep + report
+  dbox stats [--format json|pretty]              deterministic metrics snapshot
+  dbox profile                                   folded-stack span profile
   dbox log [name]                                print trace (paper format)
   dbox log --summary                             per-digi activity table
   dbox ps                                        pods and nodes (runtime view)
@@ -242,6 +253,8 @@ fn invoke_inner(dir: &Path, args: &[String]) -> Result<String, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "stats" => stats::run(&session, &args[1..]),
+        "profile" => profile::run(&session, &args[1..]),
         "run" => {
             let kind = args.get(1).ok_or("usage: dbox run <Type> <name>")?.clone();
             let name = args.get(2).ok_or("usage: dbox run <Type> <name>")?.clone();

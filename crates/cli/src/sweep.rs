@@ -57,6 +57,10 @@ struct SeedRow {
     records: u64,
     publishes_in: u64,
     publishes_out: u64,
+    /// Kernel events dispatched (`kernel.events` in the obs registry).
+    kernel_events: u64,
+    /// Digi handler executions (`digi.on_loop` + `digi.on_model`).
+    handler_runs: u64,
 }
 
 /// The merged sweep report: canonical JSON + sha256 digest, mirroring the
@@ -87,8 +91,15 @@ impl SweepCard {
             }
             out.push_str(&format!(
                 "{{\"seed\":{},\"violations\":{},\"records\":{},\
-                 \"publishes_in\":{},\"publishes_out\":{}}}",
-                r.seed, r.violations, r.records, r.publishes_in, r.publishes_out
+                 \"publishes_in\":{},\"publishes_out\":{},\
+                 \"kernel_events\":{},\"handler_runs\":{}}}",
+                r.seed,
+                r.violations,
+                r.records,
+                r.publishes_in,
+                r.publishes_out,
+                r.kernel_events,
+                r.handler_runs
             ));
         }
         out.push_str("],\"errors\":[");
@@ -122,8 +133,15 @@ impl SweepCard {
         );
         for r in &self.per_seed {
             out.push_str(&format!(
-                "  seed {:>3}: violations {}; records {}; publishes {}/{}\n",
-                r.seed, r.violations, r.records, r.publishes_in, r.publishes_out
+                "  seed {:>3}: violations {}; records {}; publishes {}/{}; \
+                 kernel events {}; handlers {}\n",
+                r.seed,
+                r.violations,
+                r.records,
+                r.publishes_in,
+                r.publishes_out,
+                r.kernel_events,
+                r.handler_runs
             ));
         }
         for (seed, err) in &self.errors {
@@ -213,7 +231,18 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
             let b = tb.broker().borrow();
             (b.stats().publishes_in, b.stats().publishes_out)
         };
-        Ok(SeedRow { seed, violations, records, publishes_in, publishes_out })
+        let snap = tb.obs_snapshot();
+        let kernel_events = snap.counter("kernel.events");
+        let handler_runs = snap.counter("digi.on_loop") + snap.counter("digi.on_model");
+        Ok(SeedRow {
+            seed,
+            violations,
+            records,
+            publishes_in,
+            publishes_out,
+            kernel_events,
+            handler_runs,
+        })
     });
 
     let mut per_seed = Vec::new();
@@ -409,6 +438,8 @@ mod sweepcheck {
                 records: 42,
                 publishes_in: 7,
                 publishes_out: 9,
+                kernel_events: 120,
+                handler_runs: 33,
             }],
             errors: vec![(13, "panicked: boom".into())],
         };
@@ -417,7 +448,8 @@ mod sweepcheck {
             j,
             "{\"ensemble\":\"demo\",\"secs\":30,\"violations\":0,\"per_seed\":[\
              {\"seed\":1,\"violations\":0,\"records\":42,\"publishes_in\":7,\
-             \"publishes_out\":9}],\"errors\":[{\"seed\":13,\"error\":\"panicked: boom\"}]}"
+             \"publishes_out\":9,\"kernel_events\":120,\"handler_runs\":33}],\
+             \"errors\":[{\"seed\":13,\"error\":\"panicked: boom\"}]}"
         );
         assert_eq!(card.digest(), card.digest());
         assert_eq!(card.digest().len(), 64);

@@ -24,11 +24,28 @@ const HTTP_TOKEN_SPACE: u16 = 2;
 #[derive(Debug, Clone, PartialEq)]
 pub enum AppEvent {
     /// A REST response arrived.
-    Response { request_id: u64, status: u16, body: Bytes, latency: SimDuration },
+    Response {
+        /// Id returned when the request was issued.
+        request_id: u64,
+        /// HTTP status code.
+        status: u16,
+        /// Response body bytes.
+        body: Bytes,
+        /// Request→response round-trip in virtual time.
+        latency: SimDuration,
+    },
     /// A REST request failed at the transport level.
-    RequestFailed { request_id: u64 },
+    RequestFailed {
+        /// Id returned when the request was issued.
+        request_id: u64,
+    },
     /// An MQTT message arrived on a subscribed topic.
-    Message { topic: String, payload: Bytes },
+    Message {
+        /// Topic the message was published to.
+        topic: String,
+        /// Message bytes.
+        payload: Bytes,
+    },
     /// The MQTT session is live.
     MqttConnected,
 }
@@ -80,6 +97,7 @@ impl AppClient {
         client
     }
 
+    /// The client's own address.
     pub fn addr(&self) -> Addr {
         self.addr
     }
@@ -89,10 +107,12 @@ impl AppClient {
         &self.latencies
     }
 
+    /// Discard accumulated latency samples (benchmark warm-up).
     pub fn reset_latencies(&mut self) {
         self.latencies = LatencyHistogram::new();
     }
 
+    /// REST requests awaiting a response.
     pub fn in_flight(&self) -> usize {
         self.pending.values().map(VecDeque::len).sum()
     }

@@ -32,6 +32,7 @@ pub struct Atts {
 }
 
 impl Atts {
+    /// An empty attachment view.
     pub fn new() -> Atts {
         Atts::default()
     }
@@ -45,18 +46,22 @@ impl Atts {
         );
     }
 
+    /// Remove an attachment (runtime-internal).
     pub fn detach(&mut self, name: &str) {
         self.entries.remove(name);
     }
 
+    /// Whether a digi named `name` is attached.
     pub fn contains(&self, name: &str) -> bool {
         self.entries.contains_key(name)
     }
 
+    /// Number of attached digis.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether nothing is attached.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -30,13 +30,16 @@ pub struct Campaign {
 /// campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeedFailure {
+    /// The seed that failed.
     pub seed: u64,
+    /// The builder error or panic message.
     pub error: String,
 }
 
 /// Per-seed observations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeedReport {
+    /// The seed this report belongs to.
     pub seed: u64,
     /// Fraction of the run each digi was up (1.0 = never down). Digis
     /// that never crashed report 1.0.
@@ -59,13 +62,22 @@ pub struct SeedReport {
     /// Time from the last heal to the last *tolerated* violation — how
     /// long the ensemble took to reconverge (0 = instantly clean).
     pub time_to_reconverge_ms: u64,
+    /// Observability counters for the seed's run (`digibox_obs` registry:
+    /// kernel dispatch, broker routing, digi handlers, restarts,
+    /// checkpoints). Empty when the testbed was built with
+    /// `TestbedConfig::metrics` off. Keys are sorted, so the map is part
+    /// of the canonical JSON and digest.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 /// The campaign verdict across all seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scorecard {
+    /// Name of the fault plan that ran.
     pub plan: String,
+    /// Convergence deadline used for violation classification.
     pub convergence_ms: u64,
+    /// One report per seed, in canonical seed order.
     pub per_seed: Vec<SeedReport>,
     /// Seeds that never produced a report (builder error or panic), in
     /// canonical seed order. Part of the canonical JSON and digest.
@@ -73,6 +85,7 @@ pub struct Scorecard {
 }
 
 impl Scorecard {
+    /// Hard failures summed across all seeds.
     pub fn post_heal_violations(&self) -> u64 {
         self.per_seed.iter().map(|s| s.violations_post_heal).sum()
     }
@@ -116,7 +129,7 @@ impl Scorecard {
                 "}},\"messages_lost\":{},\"messages_redelivered\":{},\
                  \"broker_sessions_expired\":{},\"checkpoints_taken\":{},\
                  \"violations_during_fault\":{},\"violations_post_heal\":{},\
-                 \"time_to_reconverge_ms\":{}}}",
+                 \"time_to_reconverge_ms\":{},\"metrics\":{{",
                 s.messages_lost,
                 s.messages_redelivered,
                 s.broker_sessions_expired,
@@ -125,6 +138,13 @@ impl Scorecard {
                 s.violations_post_heal,
                 s.time_to_reconverge_ms
             ));
+            for (j, (name, v)) in s.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_str(name), v));
+            }
+            out.push_str("}}");
         }
         out.push_str("],\"errors\":[");
         for (i, e) in self.errors.iter().enumerate() {
@@ -175,6 +195,14 @@ impl Scorecard {
                 s.violations_post_heal,
                 s.time_to_reconverge_ms
             ));
+            if let Some(events) = s.metrics.get("kernel.events") {
+                out.push_str(&format!(
+                    "           kernel events {events}; broker publishes {}; digi handlers {}\n",
+                    s.metrics.get("broker.publishes").copied().unwrap_or(0),
+                    s.metrics.get("digi.on_loop").copied().unwrap_or(0)
+                        + s.metrics.get("digi.on_model").copied().unwrap_or(0)
+                ));
+            }
         }
         for e in &self.errors {
             out.push_str(&format!("  seed {:>3}: FAILED — {}\n", e.seed, e.error));
@@ -191,6 +219,7 @@ impl Campaign {
         Ok(Campaign { plan })
     }
 
+    /// The validated fault plan.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
@@ -383,6 +412,8 @@ impl Campaign {
             (b.transport_retransmits(), b.stats().sessions_expired)
         };
         let messages_lost = tb.sim().stats().datagrams_lost;
+        let metrics: BTreeMap<String, u64> =
+            tb.obs_snapshot().counters.into_iter().collect();
 
         SeedReport {
             seed,
@@ -395,6 +426,7 @@ impl Campaign {
             violations_during_fault: during_fault,
             violations_post_heal: post_heal,
             time_to_reconverge_ms,
+            metrics,
         }
     }
 }
@@ -460,6 +492,9 @@ mod campaign {
         availability.insert("R1".to_string(), 1.0);
         let mut restarts = BTreeMap::new();
         restarts.insert("L1".to_string(), 2u64);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("kernel.events".to_string(), 400u64);
+        metrics.insert("broker.publishes".to_string(), 25u64);
         Scorecard {
             plan: "demo".to_string(),
             convergence_ms: 2000,
@@ -474,6 +509,7 @@ mod campaign {
                 violations_during_fault: 3,
                 violations_post_heal: 0,
                 time_to_reconverge_ms: 840,
+                metrics,
             }],
             errors: Vec::new(),
         }
@@ -506,6 +542,10 @@ mod campaign {
         assert!(j.starts_with("{\"plan\":\"demo\""), "{j}");
         assert!(j.contains("\"availability\":{\"L1\":0.943200,\"R1\":1.000000}"), "{j}");
         assert!(j.contains("\"clean\":true"));
+        assert!(
+            j.contains("\"metrics\":{\"broker.publishes\":25,\"kernel.events\":400}"),
+            "{j}"
+        );
         assert_eq!(j, s.to_json());
         assert!(j.ends_with("\"errors\":[]}"), "{j}");
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");

@@ -21,8 +21,21 @@ type Factory = Box<dyn Fn() -> Box<dyn DigiProgram>>;
 /// don't have to re-derive it from the catalog.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CatalogError {
-    UnknownKind { kind: String, suggestion: Option<String> },
-    UnknownProgram { program: String, suggestion: Option<String> },
+    /// No registered type with this kind name.
+    UnknownKind {
+        /// The name that failed to resolve.
+        kind: String,
+        /// Closest registered name, if any is plausibly close.
+        suggestion: Option<String>,
+    },
+    /// No registered type with this program id.
+    UnknownProgram {
+        /// The id that failed to resolve.
+        program: String,
+        /// Closest registered id, if any is plausibly close.
+        suggestion: Option<String>,
+    },
+    /// A type with this kind name is already registered.
     DuplicateKind(String),
 }
 
@@ -75,6 +88,7 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// An empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
     }
@@ -120,6 +134,7 @@ impl Catalog {
         self.make(kind)
     }
 
+    /// Whether a type with this kind name is registered.
     pub fn contains_kind(&self, kind: &str) -> bool {
         self.by_kind.contains_key(kind)
     }
@@ -129,10 +144,12 @@ impl Catalog {
         self.by_kind.keys().map(String::as_str).collect()
     }
 
+    /// Number of registered types.
     pub fn len(&self) -> usize {
         self.by_kind.len()
     }
 
+    /// Whether the catalog has no types.
     pub fn is_empty(&self) -> bool {
         self.by_kind.is_empty()
     }

@@ -13,6 +13,7 @@
 use digibox_model::{diff, Model, Patch, Path, Value};
 use digibox_net::httpx::{Method, Request, Response};
 use digibox_net::{Prng, SimTime};
+use digibox_obs as obs;
 use digibox_trace::{Direction, TraceLog};
 
 use crate::atts::Atts;
@@ -27,6 +28,7 @@ pub struct Outbox {
 }
 
 impl Outbox {
+    /// An empty outbox.
     pub fn new() -> Outbox {
         Outbox::default()
     }
@@ -39,13 +41,44 @@ impl Outbox {
 /// Per-cell counters (a subset of the service-level stats).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellStats {
+    /// `on_loop` invocations.
     pub loops_run: u64,
+    /// One-shot events emitted on the event channel.
     pub events_emitted: u64,
+    /// Model publications (only changed models publish).
     pub model_publishes: u64,
+    /// Intents applied to the model.
     pub intents_applied: u64,
+    /// Set-channel patches applied to this digi.
     pub set_patches_applied: u64,
+    /// Set-channel patches this digi sent to attachments.
     pub set_patches_sent: u64,
+    /// Scene simulation handler (`on_model`) invocations.
     pub sim_handler_runs: u64,
+}
+
+/// Pre-interned observability handles for one cell's handlers: the shared
+/// `digi.on_loop`/`digi.on_model` frames plus a per-digi identity frame
+/// (`Kind:name`), so folded stacks aggregate by handler kind first and
+/// fan out per digi below it.
+struct CellObs {
+    on_loop: obs::CounterId,
+    on_model: obs::CounterId,
+    f_on_loop: obs::FrameId,
+    f_on_model: obs::FrameId,
+    f_self: obs::FrameId,
+}
+
+impl CellObs {
+    fn new(kind: &str, name: &str) -> CellObs {
+        CellObs {
+            on_loop: obs::counter("digi.on_loop"),
+            on_model: obs::counter("digi.on_model"),
+            f_on_loop: obs::frame("digi.on_loop"),
+            f_on_model: obs::frame("digi.on_model"),
+            f_self: obs::frame(&format!("{kind}:{name}")),
+        }
+    }
 }
 
 /// The core state machine of one digi.
@@ -61,10 +94,12 @@ pub struct DigiCell {
     scene_logic_enabled: bool,
     generation_enabled: bool,
     stats: CellStats,
+    obs: CellObs,
     started: bool,
 }
 
 impl DigiCell {
+    /// Wrap a program and its model into a runnable cell.
     pub fn new(
         model: Model,
         program: Box<dyn DigiProgram>,
@@ -80,6 +115,7 @@ impl DigiCell {
         for field in program.schema().fields.keys() {
             let _ = Path::interned(field);
         }
+        let cell_obs = CellObs::new(program.kind(), &name);
         DigiCell {
             name,
             model,
@@ -92,34 +128,42 @@ impl DigiCell {
             scene_logic_enabled,
             generation_enabled: true,
             stats: CellStats::default(),
+            obs: cell_obs,
             started: false,
         }
     }
 
+    /// The digi's instance name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// The digi's type name.
     pub fn kind(&self) -> &str {
         self.program.kind()
     }
 
+    /// Whether the program declares itself a scene.
     pub fn is_scene(&self) -> bool {
         self.program.is_scene()
     }
 
+    /// The current model.
     pub fn model(&self) -> &Model {
         &self.model
     }
 
+    /// Counters accumulated since construction.
     pub fn stats(&self) -> &CellStats {
         &self.stats
     }
 
+    /// Enable/disable random event generation (ticks become no-ops).
     pub fn set_generation_enabled(&mut self, enabled: bool) {
         self.generation_enabled = enabled;
     }
 
+    /// Flip the model's managed-mode flag.
     pub fn set_managed(&mut self, managed: bool) {
         self.model.meta.managed = managed;
     }
@@ -167,6 +211,7 @@ impl DigiCell {
         topics::model(child)
     }
 
+    /// Whether `child` is currently attached.
     pub fn has_child(&self, child: &str) -> bool {
         self.atts.contains(child)
     }
@@ -177,8 +222,13 @@ impl DigiCell {
             return;
         }
         self.stats.loops_run += 1;
+        obs::inc(self.obs.on_loop);
         let mut ctx = LoopCtx { model: &mut self.model, rng: &mut self.rng, now, emitted: Vec::new() };
-        self.program.on_loop(&mut ctx);
+        {
+            let _handler = obs::enter(self.obs.f_on_loop);
+            let _digi = obs::enter(self.obs.f_self);
+            self.program.on_loop(&mut ctx);
+        }
         let emitted = ctx.emitted;
         for data in emitted {
             self.publish_event(now, data, out);
@@ -266,6 +316,7 @@ impl DigiCell {
             for _ in 0..4 {
                 let before = self.model.revision();
                 self.stats.sim_handler_runs += 1;
+                obs::inc(self.obs.on_model);
                 let mut ctx = SimCtx {
                     model: &mut self.model,
                     atts: &mut self.atts,
@@ -273,7 +324,11 @@ impl DigiCell {
                     now,
                     emitted: Vec::new(),
                 };
-                self.program.on_model(&mut ctx);
+                {
+                    let _handler = obs::enter(self.obs.f_on_model);
+                    let _digi = obs::enter(self.obs.f_self);
+                    self.program.on_model(&mut ctx);
+                }
                 let emitted = ctx.emitted;
                 for data in emitted {
                     self.publish_event(now, data, out);

@@ -18,7 +18,9 @@ use digibox_registry::{Digest, Repository};
 /// Per-digi bookkeeping for the latest checkpoint.
 #[derive(Debug, Clone)]
 pub struct CheckpointInfo {
+    /// Content digest of the snapshotted field tree.
     pub digest: Digest,
+    /// Virtual time of the snapshot.
     pub at: SimTime,
     /// Model revision at snapshot time.
     pub revision: u64,
@@ -39,6 +41,7 @@ impl Default for CheckpointStore {
 }
 
 impl CheckpointStore {
+    /// An empty store.
     pub fn new() -> CheckpointStore {
         CheckpointStore { repo: Repository::new(), latest: BTreeMap::new() }
     }
@@ -62,6 +65,7 @@ impl CheckpointStore {
         Some(Value::from_json(&json))
     }
 
+    /// Bookkeeping for `name`'s latest checkpoint, if any.
     pub fn info(&self, name: &str) -> Option<&CheckpointInfo> {
         self.latest.get(name)
     }

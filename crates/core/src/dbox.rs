@@ -33,22 +33,27 @@ pub struct Dbox {
 }
 
 impl Dbox {
+    /// Wrap a testbed with a fresh, empty type repository.
     pub fn new(testbed: Testbed) -> Dbox {
         Dbox { testbed, repo: Repository::new() }
     }
 
+    /// Wrap a testbed with an existing repository (pull/push flows).
     pub fn with_repo(testbed: Testbed, repo: Repository) -> Dbox {
         Dbox { testbed, repo }
     }
 
+    /// The underlying testbed.
     pub fn testbed(&mut self) -> &mut Testbed {
         &mut self.testbed
     }
 
+    /// The type repository used by push/pull.
     pub fn repo(&mut self) -> &mut Repository {
         &mut self.repo
     }
 
+    /// Unwrap into the testbed and repository.
     pub fn into_parts(self) -> (Testbed, Repository) {
         (self.testbed, self.repo)
     }
@@ -95,12 +100,14 @@ impl Dbox {
     }
 
     /// `dbox attach <child> <parent>` (and `-d` via [`Dbox::detach`]).
+    /// `dbox attach <child> <parent>` (runs briefly so the mirror warms).
     pub fn attach(&mut self, child: &str, parent: &str) -> crate::Result<()> {
         self.testbed.attach(child, parent)?;
         self.testbed.run_for(SimDuration::from_millis(200));
         Ok(())
     }
 
+    /// `dbox detach <child> <parent>`.
     pub fn detach(&mut self, child: &str, parent: &str) -> crate::Result<()> {
         self.testbed.detach(child, parent)
     }

@@ -33,13 +33,21 @@ const HTTP_TOKEN_SPACE: u16 = 2;
 /// Per-digi counters (cell counters + service-level REST count).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DigiStats {
+    /// `on_loop` invocations.
     pub loops_run: u64,
+    /// One-shot events emitted.
     pub events_emitted: u64,
+    /// Model publications.
     pub model_publishes: u64,
+    /// Intents applied to the model.
     pub intents_applied: u64,
+    /// Set-channel patches applied to this digi.
     pub set_patches_applied: u64,
+    /// Set-channel patches sent to attachments.
     pub set_patches_sent: u64,
+    /// REST requests served.
     pub rest_requests: u64,
+    /// Scene simulation handler invocations.
     pub sim_handler_runs: u64,
 }
 
@@ -98,18 +106,22 @@ impl DigiService {
         }))
     }
 
+    /// The digi's instance name.
     pub fn name(&self) -> &str {
         self.cell.name()
     }
 
+    /// The service's bound address.
     pub fn addr(&self) -> Addr {
         self.addr
     }
 
+    /// The current model.
     pub fn model(&self) -> &Model {
         self.cell.model()
     }
 
+    /// Combined cell + service counters.
     pub fn stats(&self) -> DigiStats {
         let c = self.cell.stats();
         DigiStats {
@@ -124,6 +136,7 @@ impl DigiService {
         }
     }
 
+    /// Whether the hosted program is a scene.
     pub fn is_scene(&self) -> bool {
         self.cell.is_scene()
     }
@@ -133,6 +146,7 @@ impl DigiService {
         self.broker_losses
     }
 
+    /// The digi's type name.
     pub fn kind(&self) -> &str {
         self.cell.kind()
     }

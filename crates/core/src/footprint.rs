@@ -49,6 +49,7 @@ impl Footprint {
         self.emits += other.emits;
     }
 
+    /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.reads.is_empty()
             && self.writes.is_empty()

@@ -33,6 +33,8 @@
 //!   work-stealing execution with canonical-order merge, so campaigns and
 //!   benches scale across cores without changing a single digest.
 
+#![warn(missing_docs)]
+
 mod appclient;
 mod atts;
 pub mod campaign;

@@ -56,10 +56,15 @@ const HTTP_TOKEN_SPACE: u16 = 2;
 /// Pool-level counters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PoolStats {
+    /// Digis currently hosted.
     pub cells: usize,
+    /// Event-generation ticks dispatched to cells.
     pub ticks_dispatched: u64,
+    /// Kernel timer wakeups taken by the pool.
     pub wheel_wakeups: u64,
+    /// REST requests served across all hosted digis.
     pub rest_requests: u64,
+    /// MQTT messages routed into hosted cells.
     pub messages_in: u64,
 }
 
@@ -82,6 +87,8 @@ pub struct DigiPool {
 }
 
 impl DigiPool {
+    /// A pool at `addr` speaking MQTT to `broker`, with per-message
+    /// service overhead applied to REST responses.
     pub fn new(addr: Addr, broker: Addr, service_overhead: SimDuration) -> ServiceHandle<DigiPool> {
         Rc::new(RefCell::new(DigiPool {
             conn: MqttConn::new(addr, broker, &format!("pool/{addr}")),
@@ -99,30 +106,37 @@ impl DigiPool {
         }))
     }
 
+    /// The pool's bound address.
     pub fn addr(&self) -> Addr {
         self.addr
     }
 
+    /// Digis currently hosted.
     pub fn len(&self) -> usize {
         self.cells.len()
     }
 
+    /// Whether the pool hosts no digis.
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
 
+    /// Counters, with the live cell count filled in.
     pub fn stats(&self) -> PoolStats {
         PoolStats { cells: self.cells.len(), ..self.stats.clone() }
     }
 
+    /// Hosted digi names, sorted.
     pub fn names(&self) -> Vec<&str> {
         self.cells.keys().map(String::as_str).collect()
     }
 
+    /// A hosted digi's current model, if hosted here.
     pub fn model(&self, name: &str) -> Option<&Model> {
         self.cells.get(name).map(DigiCell::model)
     }
 
+    /// A hosted digi's cell, if hosted here.
     pub fn cell(&self, name: &str) -> Option<&DigiCell> {
         self.cells.get(name)
     }

@@ -89,6 +89,7 @@ impl LoopCtx<'_> {
         self.model.meta.param_float(key).unwrap_or(default)
     }
 
+    /// Read an integer meta parameter.
     pub fn param_i64(&self, key: &str, default: i64) -> i64 {
         self.model.meta.param_int(key).unwrap_or(default)
     }
@@ -100,7 +101,9 @@ pub struct SimCtx<'a> {
     pub model: &'a mut Model,
     /// Attached digis (scenes; empty for mocks).
     pub atts: &'a mut Atts,
+    /// The digi's own deterministic random stream.
     pub rng: &'a mut Prng,
+    /// Current virtual time.
     pub now: SimTime,
     /// Messages to publish on the digi's event topic.
     pub emitted: Vec<Value>,
@@ -126,6 +129,7 @@ fn note_leaf_writes(prefix: &str, v: &Value) {
 }
 
 impl SimCtx<'_> {
+    /// Queue a one-shot event for the digi's event topic.
     pub fn emit(&mut self, data: Value) {
         footprint::note_emit();
         self.emitted.push(data);
@@ -144,22 +148,27 @@ impl SimCtx<'_> {
         Path::interned_status(field).ok()?.lookup(self.model.fields())
     }
 
+    /// Read `field.status` as a string.
     pub fn status_str(&self, field: &str) -> Option<String> {
         self.status(field)?.as_str().map(str::to_string)
     }
 
+    /// Read `field.status` as a float.
     pub fn status_f64(&self, field: &str) -> Option<f64> {
         self.status(field)?.as_float()
     }
 
+    /// Read `field.status` as a bool.
     pub fn status_bool(&self, field: &str) -> Option<bool> {
         self.status(field)?.as_bool()
     }
 
+    /// Read `field.intent` as a string.
     pub fn intent_str(&self, field: &str) -> Option<String> {
         self.intent(field)?.as_str().map(str::to_string)
     }
 
+    /// Read `field.intent` as a float.
     pub fn intent_f64(&self, field: &str) -> Option<f64> {
         self.intent(field)?.as_float()
     }
@@ -190,31 +199,38 @@ impl SimCtx<'_> {
     }
 
     /// Read a plain field.
+    /// Read any dotted field path.
     pub fn field(&self, path: &str) -> Option<&Value> {
         footprint::note_read(path);
         Path::interned(path).ok()?.lookup(self.model.fields())
     }
 
+    /// Read a field as a bool.
     pub fn field_bool(&self, path: &str) -> Option<bool> {
         self.field(path)?.as_bool()
     }
 
+    /// Read a field as an integer.
     pub fn field_i64(&self, path: &str) -> Option<i64> {
         self.field(path)?.as_int()
     }
 
+    /// Read a field as a float.
     pub fn field_f64(&self, path: &str) -> Option<f64> {
         self.field(path)?.as_float()
     }
 
+    /// Read a field as a string.
     pub fn field_str(&self, path: &str) -> Option<String> {
         self.field(path)?.as_str().map(str::to_string)
     }
 
+    /// Read a float meta parameter.
     pub fn param_f64(&self, key: &str, default: f64) -> f64 {
         self.model.meta.param_float(key).unwrap_or(default)
     }
 
+    /// Read an integer meta parameter.
     pub fn param_i64(&self, key: &str, default: i64) -> i64 {
         self.model.meta.param_int(key).unwrap_or(default)
     }

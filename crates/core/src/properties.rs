@@ -29,34 +29,47 @@ use digibox_net::{SimDuration, SimTime};
 pub struct Condition {
     /// Dotted path into the digi's fields, e.g. `power.status`.
     pub path: String,
+    /// Comparison operator.
     pub op: Op,
+    /// The value to compare against.
     pub value: Value,
 }
 
+/// Comparison operators for [`Condition`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Op {
+    /// Equal.
     Eq,
+    /// Not equal.
     Ne,
+    /// Numerically less than.
     Lt,
+    /// Numerically less than or equal.
     Le,
+    /// Numerically greater than.
     Gt,
+    /// Numerically greater than or equal.
     Ge,
 }
 
 impl Condition {
+    /// `path == value`.
     pub fn eq(path: &str, value: impl Into<Value>) -> Condition {
         Condition { path: path.to_string(), op: Op::Eq, value: value.into() }
     }
 
+    /// `path != value`.
     pub fn ne(path: &str, value: impl Into<Value>) -> Condition {
         Condition { path: path.to_string(), op: Op::Ne, value: value.into() }
     }
 
+    /// `path > value`.
     pub fn gt(path: &str, value: impl Into<Value>) -> Condition {
         Condition { path: path.to_string(), op: Op::Gt, value: value.into() }
     }
 
+    /// `path < value`.
     pub fn lt(path: &str, value: impl Into<Value>) -> Condition {
         Condition { path: path.to_string(), op: Op::Lt, value: value.into() }
     }
@@ -92,12 +105,15 @@ impl Condition {
 /// A condition over a *named* digi's fields.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DigiCondition {
+    /// The digi whose fields are inspected.
     pub digi: String,
+    /// The field comparison.
     #[serde(flatten)]
     pub cond: Condition,
 }
 
 impl DigiCondition {
+    /// A condition on the named digi.
     pub fn new(digi: &str, cond: Condition) -> DigiCondition {
         DigiCondition { digi: digi.to_string(), cond }
     }
@@ -117,8 +133,11 @@ pub enum Temporal {
     /// Whenever all premises hold, all conclusions must hold within the
     /// window (checked at the end of the window).
     LeadsTo {
+        /// Conditions that arm the obligation when all hold.
         premise: Vec<DigiCondition>,
+        /// Conditions that must hold to discharge it.
         conclusion: Vec<DigiCondition>,
+        /// Deadline after the premise first holds.
         within: SimDuration,
     },
 }
@@ -126,7 +145,9 @@ pub enum Temporal {
 /// A named property over the testbed state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SceneProperty {
+    /// Property name (appears in violations and scorecards).
     pub name: String,
+    /// The temporal shape and its conditions.
     pub temporal: Temporal,
 }
 
@@ -138,10 +159,12 @@ impl SceneProperty {
         SceneProperty { name: name.to_string(), temporal: Temporal::Never(conds) }
     }
 
+    /// An invariant: all conditions must hold at every update.
     pub fn always(name: &str, conds: Vec<DigiCondition>) -> SceneProperty {
         SceneProperty { name: name.to_string(), temporal: Temporal::Always(conds) }
     }
 
+    /// A response property: premise → conclusion within a deadline.
     pub fn leads_to(
         name: &str,
         premise: Vec<DigiCondition>,
@@ -155,8 +178,11 @@ impl SceneProperty {
 /// A detected violation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
+    /// Name of the violated property.
     pub property: String,
+    /// Virtual time of detection.
     pub at: SimTime,
+    /// Human-readable account of what held (or didn't).
     pub detail: String,
 }
 
@@ -185,23 +211,28 @@ pub struct PropertyChecker {
 }
 
 impl PropertyChecker {
+    /// A checker with no properties registered.
     pub fn new() -> PropertyChecker {
         PropertyChecker::default()
     }
 
+    /// Register a property to check on every update.
     pub fn add(&mut self, property: SceneProperty) {
         self.properties.push(property);
         self.premise_was_true.push(false);
     }
 
+    /// The registered properties.
     pub fn properties(&self) -> &[SceneProperty] {
         &self.properties
     }
 
+    /// Violations detected so far.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
 
+    /// Drain and return the detected violations.
     pub fn take_violations(&mut self) -> Vec<Violation> {
         std::mem::take(&mut self.violations)
     }

@@ -61,7 +61,9 @@ impl fmt::Display for SeedError {
 /// The outcome of one seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeedRun<T> {
+    /// The seed that ran.
     pub seed: u64,
+    /// The run's value, or why it failed.
     pub result: Result<T, SeedError>,
 }
 

@@ -10,6 +10,7 @@ use std::rc::Rc;
 use digibox_broker::Broker;
 use digibox_model::{Meta, Model, Value};
 use digibox_net::{Addr, NodeId, ServiceHandle, Sim, SimConfig, SimDuration, SimTime, Topology};
+use digibox_obs as obs;
 use digibox_orchestrator::{ControlPlane, ControlPlaneConfig, PodAction, PodPhase, PodSpec};
 use digibox_registry::{InstanceDecl, Repository, SetupManifest};
 use digibox_trace::{ReplaySchedule, TraceLog};
@@ -41,6 +42,7 @@ pub struct TestbedConfig {
     /// Master seed: RNG streams for links, control plane and every digi
     /// split from it.
     pub seed: u64,
+    /// Mock-centric vs scene-centric simulation (paper §5).
     pub fidelity: FidelityMode,
     /// Whether the trace log records (disable only in overhead benches).
     pub logging: bool,
@@ -58,6 +60,13 @@ pub struct TestbedConfig {
     /// the client reconnect cleanly after the partition heals. `None`
     /// (default) keeps the broker timer-free so quiesced testbeds drain.
     pub broker_session_timeout: Option<SimDuration>,
+    /// Whether the deterministic observability layer (`digibox_obs`)
+    /// records metrics and spans for this testbed. Metrics never perturb
+    /// the simulation — disabling them changes no event order, RNG draw or
+    /// digest — so the default is on; turn off only to measure recording
+    /// overhead. Enabling resets the thread's collector, so each testbed
+    /// starts from a zeroed registry.
+    pub metrics: bool,
 }
 
 impl Default for TestbedConfig {
@@ -69,6 +78,7 @@ impl Default for TestbedConfig {
             storm_threshold: digibox_net::SimConfig::default().storm_threshold,
             checkpoint_every: Some(SimDuration::from_secs(5)),
             broker_session_timeout: None,
+            metrics: true,
         }
     }
 }
@@ -76,12 +86,19 @@ impl Default for TestbedConfig {
 /// Testbed errors.
 #[derive(Debug)]
 pub enum TestbedError {
+    /// A type name or program id failed to resolve.
     Catalog(CatalogError),
+    /// No digi with this name is running.
     UnknownDigi(String),
+    /// The digi exists but its program is not a scene.
     NotAScene(String),
+    /// The orchestrator's store rejected an operation.
     Orchestrator(digibox_orchestrator::StoreError),
+    /// The type registry rejected an operation.
     Registry(digibox_registry::RegistryError),
+    /// A model operation failed.
     Model(digibox_model::ModelError),
+    /// Anything else that prevented setup.
     Setup(String),
 }
 
@@ -151,6 +168,36 @@ struct PendingRestart {
 /// with per-attempt backoff this spans well past any realistic outage.
 const MAX_RESTART_ATTEMPTS: u32 = 120;
 
+/// Pre-interned observability handles for the control-plane and
+/// checkpoint paths the testbed itself drives.
+struct TestbedObs {
+    restarts: obs::CounterId,
+    restart_retries: obs::CounterId,
+    restart_abandoned: obs::CounterId,
+    checkpoint_passes: obs::CounterId,
+    checkpoint_snapshots: obs::CounterId,
+    digis: obs::GaugeId,
+    pending_restarts: obs::GaugeId,
+    f_restart: obs::FrameId,
+    f_checkpoint: obs::FrameId,
+}
+
+impl TestbedObs {
+    fn new() -> TestbedObs {
+        TestbedObs {
+            restarts: obs::counter("control.restarts"),
+            restart_retries: obs::counter("control.restart_retries"),
+            restart_abandoned: obs::counter("control.restart_abandoned"),
+            checkpoint_passes: obs::counter("checkpoint.passes"),
+            checkpoint_snapshots: obs::counter("checkpoint.snapshots"),
+            digis: obs::gauge("testbed.digis"),
+            pending_restarts: obs::gauge("testbed.pending_restarts"),
+            f_restart: obs::frame("control.restart"),
+            f_checkpoint: obs::frame("checkpoint.write"),
+        }
+    }
+}
+
 /// The Digibox testbed.
 pub struct Testbed {
     sim: Sim,
@@ -172,6 +219,7 @@ pub struct Testbed {
     /// Next periodic checkpoint pass (None when checkpointing is off).
     next_checkpoint: Option<SimTime>,
     storm_logged: bool,
+    obs: TestbedObs,
     config: TestbedConfig,
 }
 
@@ -180,6 +228,11 @@ impl Testbed {
     /// first node (port 1883, like EMQX).
     pub fn new(topology: Topology, catalog: Catalog, config: TestbedConfig) -> Testbed {
         assert!(!topology.is_empty(), "testbed needs at least one node");
+        // Enable/disable recording before anything interns keys, and zero
+        // the thread's collector so metrics never leak across testbeds
+        // (sweep workers reuse threads for many seeds).
+        obs::set_enabled(config.metrics);
+        obs::reset();
         let nodes: Vec<(NodeId, _)> = topology
             .node_ids()
             .into_iter()
@@ -223,6 +276,7 @@ impl Testbed {
             checkpoints: CheckpointStore::new(),
             next_checkpoint,
             storm_logged: false,
+            obs: TestbedObs::new(),
             config,
         }
     }
@@ -239,38 +293,47 @@ impl Testbed {
 
     // ---- accessors ----
 
+    /// The underlying simulation kernel.
     pub fn sim(&mut self) -> &mut Sim {
         &mut self.sim
     }
 
+    /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
     }
 
+    /// The shared trace log.
     pub fn log(&self) -> &TraceLog {
         &self.log
     }
 
+    /// Where the broker is bound.
     pub fn broker_addr(&self) -> Addr {
         self.broker_addr
     }
 
+    /// The broker service handle.
     pub fn broker(&self) -> &ServiceHandle<Broker> {
         &self.broker
     }
 
+    /// The type catalog this testbed instantiates from.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
+    /// The configuration the testbed was built with.
     pub fn config(&self) -> &TestbedConfig {
         &self.config
     }
 
+    /// Names of all running digis, sorted.
     pub fn digi_names(&self) -> Vec<String> {
         self.digis.keys().cloned().collect()
     }
 
+    /// Number of running digis.
     pub fn digi_count(&self) -> usize {
         self.digis.len()
     }
@@ -332,6 +395,20 @@ impl Testbed {
     /// Crashed digis still waiting out their restart backoff.
     pub fn pending_restart_count(&self) -> usize {
         self.pending_restarts.len()
+    }
+
+    /// Snapshot the observability registry for this testbed (`dbox stats`,
+    /// `dbox profile`, chaos scorecards). Late-bound gauges — values that
+    /// only make sense at observation time, like population counts — are
+    /// mirrored in before the freeze so the snapshot is self-contained.
+    /// Returns an empty snapshot when `TestbedConfig::metrics` is off.
+    pub fn obs_snapshot(&mut self) -> obs::Snapshot {
+        if obs::enabled() {
+            obs::set(self.obs.digis, self.digis.len() as i64);
+            obs::set(self.obs.pending_restarts, self.pending_restarts.len() as i64);
+            obs::clock(self.sim.now().as_nanos());
+        }
+        obs::snapshot()
     }
 
     // ---- dbox run/stop ----
@@ -788,9 +865,11 @@ impl Testbed {
             due
         };
         for r in due {
+            let _span = obs::enter(self.obs.f_restart);
             match self.start_digi(&r.kind, &r.name, r.params.clone(), r.managed, r.checkpoint.clone(), true)
             {
                 Ok(()) => {
+                    obs::inc(self.obs.restarts);
                     let detail =
                         if r.checkpoint.is_some() { "from checkpoint" } else { "cold start" };
                     self.log.lifecycle(now, &r.name, "restarted", detail);
@@ -818,6 +897,7 @@ impl Testbed {
                 Err(_) if r.attempts < MAX_RESTART_ATTEMPTS => {
                     // Placement failed (node cordoned, cluster full…):
                     // retry on the pod's backoff schedule.
+                    obs::inc(self.obs.restart_retries);
                     let pod = format!("digi-{}", r.name.to_lowercase());
                     let delay = self.control.borrow().restart_delay_for(&pod);
                     self.pending_restarts.push(PendingRestart {
@@ -827,6 +907,7 @@ impl Testbed {
                     });
                 }
                 Err(e) => {
+                    obs::inc(self.obs.restart_abandoned);
                     self.log.lifecycle(now, &r.name, "restart-abandoned", &e.to_string());
                 }
             }
@@ -835,11 +916,14 @@ impl Testbed {
 
     /// Snapshot every running digi's model into the checkpoint store now.
     pub fn checkpoint_all(&mut self) {
+        let _span = obs::enter(self.obs.f_checkpoint);
+        obs::inc(self.obs.checkpoint_passes);
         let now = self.sim.now();
         for (name, entry) in &self.digis {
             let service = entry.handle.borrow();
             let model = service.model();
             self.checkpoints.save(name, model.fields(), model.revision(), now);
+            obs::inc(self.obs.checkpoint_snapshots);
         }
     }
 

@@ -16,22 +16,27 @@
 //! * `digibox/lwt/<name>` — last-will: fired by the broker when the digi
 //!   dies unexpectedly.
 
+/// Model channel: the digi's published state.
 pub fn model(name: &str) -> String {
     format!("digibox/digi/{name}/model")
 }
 
+/// Intent channel: requested state changes.
 pub fn intent(name: &str) -> String {
     format!("digibox/digi/{name}/intent")
 }
 
+/// Set channel: direct field writes from scenes/tools.
 pub fn set(name: &str) -> String {
     format!("digibox/digi/{name}/set")
 }
 
+/// Event channel: one-shot notifications.
 pub fn event(name: &str) -> String {
     format!("digibox/digi/{name}/event")
 }
 
+/// Last-will topic, fired by the broker when the digi dies unexpectedly.
 pub fn lwt(name: &str) -> String {
     format!("digibox/lwt/{name}")
 }

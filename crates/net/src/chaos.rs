@@ -28,6 +28,7 @@ pub struct FaultPlan {
     /// hard failure, anything inside a window (+ deadline) is tolerated
     /// degradation.
     pub convergence_ms: u64,
+    /// The fault windows, in declaration order.
     pub faults: Vec<FaultSpec>,
 }
 
@@ -44,6 +45,7 @@ pub struct FaultSpec {
     /// single plan a family of distinct-but-reproducible runs.
     #[serde(default)]
     pub jitter_ms: u64,
+    /// What breaks (see [`FaultKind`]).
     pub kind: FaultKind,
 }
 
@@ -52,16 +54,34 @@ pub struct FaultSpec {
 pub enum FaultKind {
     /// Kill a named digi; the supervisor restarts it from its last
     /// checkpoint after backoff.
-    CrashDigi { digi: String },
+    CrashDigi {
+        /// Name of the digi to kill.
+        digi: String,
+    },
     /// Take a whole node down (cordon + evict every digi on it), then
     /// restore it at window end.
-    NodeDown { node: u32 },
+    NodeDown {
+        /// Raw [`NodeId`] of the node to fail.
+        node: u32,
+    },
     /// Blackhole every link between the two node groups, both
     /// directions, then heal at window end.
-    Partition { left: Vec<u32>, right: Vec<u32> },
+    Partition {
+        /// Raw node ids on one side of the cut.
+        left: Vec<u32>,
+        /// Raw node ids on the other side.
+        right: Vec<u32>,
+    },
     /// Degrade every link in the cluster for the window: extra loss
     /// composes with existing loss, delay/jitter are additive.
-    Degrade { loss: f64, extra_delay_ms: u64, extra_jitter_ms: u64 },
+    Degrade {
+        /// Extra loss probability in `[0, 1]`, composed with link loss.
+        loss: f64,
+        /// Added one-way delay, milliseconds.
+        extra_delay_ms: u64,
+        /// Added uniform jitter bound, milliseconds.
+        extra_jitter_ms: u64,
+    },
 }
 
 impl FaultKind {
@@ -83,20 +103,27 @@ impl FaultKind {
 pub struct FaultWindow {
     /// Index of the originating [`FaultSpec`] in the plan.
     pub index: usize,
+    /// Jitter-resolved fault onset.
     pub start: SimTime,
+    /// When the fault heals.
     pub end: SimTime,
+    /// What breaks (copied from the spec).
     pub kind: FaultKind,
 }
 
 impl FaultPlan {
+    /// An empty plan with the given name, length and convergence deadline
+    /// (both in sim milliseconds).
     pub fn new(name: impl Into<String>, duration_ms: u64, convergence_ms: u64) -> FaultPlan {
         FaultPlan { name: name.into(), duration_ms, convergence_ms, faults: Vec::new() }
     }
 
+    /// Total campaign length as a [`SimDuration`].
     pub fn duration(&self) -> SimDuration {
         SimDuration::from_millis(self.duration_ms)
     }
 
+    /// Convergence deadline as a [`SimDuration`].
     pub fn convergence(&self) -> SimDuration {
         SimDuration::from_millis(self.convergence_ms)
     }

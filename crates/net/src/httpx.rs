@@ -15,13 +15,18 @@ use bytes::{BufMut, Bytes, BytesMut};
 /// HTTP request methods used by the device API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
+    /// `GET` — read a resource.
     Get,
+    /// `PUT` — replace a resource.
     Put,
+    /// `POST` — act on a resource (intents).
     Post,
+    /// `DELETE` — remove a resource.
     Delete,
 }
 
 impl Method {
+    /// The method's wire spelling (`"GET"`, ...).
     pub fn as_str(self) -> &'static str {
         match self {
             Method::Get => "GET",
@@ -31,6 +36,7 @@ impl Method {
         }
     }
 
+    /// Parse a wire spelling; `None` for unknown methods.
     pub fn parse(s: &str) -> Option<Method> {
         match s {
             "GET" => Some(Method::Get),
@@ -51,8 +57,15 @@ impl fmt::Display for Method {
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HttpError {
+    /// The message head could not be parsed; the payload says what part.
     Malformed(&'static str),
-    BodyLengthMismatch { declared: usize, actual: usize },
+    /// `content-length` disagreed with the actual body size.
+    BodyLengthMismatch {
+        /// Bytes promised by the `content-length` header.
+        declared: usize,
+        /// Bytes actually present after the head.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for HttpError {
@@ -71,23 +84,30 @@ impl std::error::Error for HttpError {}
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
+    /// Request method.
     pub method: Method,
+    /// Request target, e.g. `/model/L1`.
     pub path: String,
+    /// Headers, lower-cased keys; `content-length` is derived on encode.
     pub headers: BTreeMap<String, String>,
+    /// Request body (may be empty).
     pub body: Bytes,
 }
 
 impl Request {
+    /// A bodyless request.
     pub fn new(method: Method, path: &str) -> Request {
         Request { method, path: path.to_string(), headers: BTreeMap::new(), body: Bytes::new() }
     }
 
+    /// Attach a body and its `content-type` (builder-style).
     pub fn with_body(mut self, content_type: &str, body: impl Into<Bytes>) -> Request {
         self.headers.insert("content-type".into(), content_type.into());
         self.body = body.into();
         self
     }
 
+    /// Set a header (builder-style); keys are lower-cased.
     pub fn header(mut self, key: &str, value: &str) -> Request {
         self.headers.insert(key.to_ascii_lowercase(), value.to_string());
         self
@@ -98,6 +118,7 @@ impl Request {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
     }
 
+    /// Serialize to wire bytes (`content-length` is always emitted).
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64 + self.body.len());
         b.put_slice(self.method.as_str().as_bytes());
@@ -109,6 +130,7 @@ impl Request {
         b.freeze()
     }
 
+    /// Parse wire bytes produced by [`Request::encode`] (or compatible).
     pub fn decode(buf: &[u8]) -> Result<Request, HttpError> {
         let (head, body) = split_head(buf)?;
         let mut lines = head.split("\r\n");
@@ -133,42 +155,53 @@ impl Request {
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
+    /// Status code (200, 404, ...).
     pub status: u16,
+    /// Headers, lower-cased keys; `content-length` is derived on encode.
     pub headers: BTreeMap<String, String>,
+    /// Response body (may be empty).
     pub body: Bytes,
 }
 
 impl Response {
+    /// A bodyless response with the given status code.
     pub fn new(status: u16) -> Response {
         Response { status, headers: BTreeMap::new(), body: Bytes::new() }
     }
 
+    /// `200 OK` with a JSON body.
     pub fn ok_json(body: impl Into<Bytes>) -> Response {
         Response::new(200).with_body("application/json", body)
     }
 
+    /// `404 Not Found` with a plain-text message.
     pub fn not_found(msg: &str) -> Response {
         Response::new(404).with_body("text/plain", msg.as_bytes().to_vec())
     }
 
+    /// `400 Bad Request` with a plain-text message.
     pub fn bad_request(msg: &str) -> Response {
         Response::new(400).with_body("text/plain", msg.as_bytes().to_vec())
     }
 
+    /// `500 Internal Server Error` with a plain-text message.
     pub fn error(msg: &str) -> Response {
         Response::new(500).with_body("text/plain", msg.as_bytes().to_vec())
     }
 
+    /// Attach a body and its `content-type` (builder-style).
     pub fn with_body(mut self, content_type: &str, body: impl Into<Bytes>) -> Response {
         self.headers.insert("content-type".into(), content_type.into());
         self.body = body.into();
         self
     }
 
+    /// Whether the status is 2xx.
     pub fn is_success(&self) -> bool {
         (200..300).contains(&self.status)
     }
 
+    /// Canonical reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
@@ -183,6 +216,7 @@ impl Response {
         }
     }
 
+    /// Serialize to wire bytes (`content-length` is always emitted).
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64 + self.body.len());
         b.put_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).as_bytes());
@@ -191,6 +225,7 @@ impl Response {
         b.freeze()
     }
 
+    /// Parse wire bytes produced by [`Response::encode`] (or compatible).
     pub fn decode(buf: &[u8]) -> Result<Response, HttpError> {
         let (head, body) = split_head(buf)?;
         let mut lines = head.split("\r\n");

@@ -1,8 +1,15 @@
+//! The discrete-event simulation kernel: [`Sim`] owns the virtual clock,
+//! the event queue, the topology, and every bound [`Service`]. Services
+//! interact only through datagrams and timers, so one seed fixes the whole
+//! execution — the property everything else (traces, sweeps, chaos
+//! scorecards, the observability layer) is built on.
+
 use std::cell::RefCell;
 use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
 use std::rc::Rc;
 
 use bytes::Bytes;
+use digibox_obs as obs;
 
 use crate::stats::NetStats;
 use crate::wheel::EventWheel;
@@ -11,8 +18,11 @@ use crate::{Addr, Prng, SimDuration, SimTime, Topology};
 /// A message in flight between two service endpoints.
 #[derive(Debug, Clone)]
 pub struct Datagram {
+    /// Sender endpoint.
     pub src: Addr,
+    /// Destination endpoint.
     pub dst: Addr,
+    /// Opaque message bytes.
     pub payload: Bytes,
 }
 
@@ -67,6 +77,38 @@ enum EventKind {
     Call(Box<dyn FnOnce(&mut Sim)>),
 }
 
+/// Pre-interned observability handles for the dispatch hot path — interned
+/// once at kernel construction so the per-event cost when metrics are on
+/// is an index bump, and a single thread-local flag check when they are
+/// off.
+struct ObsKeys {
+    events: obs::CounterId,
+    deliver: obs::CounterId,
+    timer: obs::CounterId,
+    call: obs::CounterId,
+    unreachable: obs::CounterId,
+    queue_depth: obs::HistogramId,
+    f_deliver: obs::FrameId,
+    f_timer: obs::FrameId,
+    f_call: obs::FrameId,
+}
+
+impl ObsKeys {
+    fn new() -> ObsKeys {
+        ObsKeys {
+            events: obs::counter("kernel.events"),
+            deliver: obs::counter("kernel.deliver"),
+            timer: obs::counter("kernel.timer"),
+            call: obs::counter("kernel.call"),
+            unreachable: obs::counter("kernel.unreachable"),
+            queue_depth: obs::histogram("kernel.queue_depth"),
+            f_deliver: obs::frame("kernel.deliver"),
+            f_timer: obs::frame("kernel.timer"),
+            f_call: obs::frame("kernel.call"),
+        }
+    }
+}
+
 /// The discrete-event kernel: virtual clock, event queue, topology, bound
 /// services, and network statistics.
 ///
@@ -90,10 +132,12 @@ pub struct Sim {
     storm_bucket_ms: u64,
     storm_count: u64,
     storm_detected: bool,
+    obs: ObsKeys,
     config: SimConfig,
 }
 
 impl Sim {
+    /// A kernel over the given topology, clock at zero, nothing bound.
     pub fn new(topology: Topology, config: SimConfig) -> Sim {
         let root = Prng::new(config.seed);
         Sim {
@@ -110,6 +154,7 @@ impl Sim {
             storm_bucket_ms: 0,
             storm_count: 0,
             storm_detected: false,
+            obs: ObsKeys::new(),
             config,
         }
     }
@@ -120,22 +165,27 @@ impl Sim {
         self.storm_detected
     }
 
+    /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    /// The network topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
     }
 
+    /// Mutable topology access (chaos campaigns edit links/nodes live).
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topology
     }
 
+    /// Datagram counters accumulated so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
     }
 
+    /// Events dispatched since construction.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
@@ -172,6 +222,7 @@ impl Sim {
         self.services_per_node.get(&node).copied().unwrap_or(0)
     }
 
+    /// Whether any service is bound at `addr`.
     pub fn is_bound(&self, addr: Addr) -> bool {
         self.services.contains_key(&addr)
     }
@@ -229,6 +280,11 @@ impl Sim {
         debug_assert!(at >= self.now, "time must be monotonic");
         self.now = at;
         self.events_processed += 1;
+        if obs::enabled() {
+            obs::clock(at.as_nanos());
+            obs::inc(self.obs.events);
+            obs::observe(self.obs.queue_depth, self.queue.len() as u64);
+        }
         if self.config.storm_threshold > 0 {
             let bucket = self.now.as_millis();
             if bucket == self.storm_bucket_ms {
@@ -243,21 +299,32 @@ impl Sim {
         }
         match kind {
             EventKind::Deliver(dg) => {
+                obs::inc(self.obs.deliver);
+                let _span = obs::enter(self.obs.f_deliver);
                 let service = self.services.get(&dg.dst).cloned();
                 match service {
                     Some(s) => {
                         self.stats.delivered(dg.payload.len());
                         s.borrow_mut().on_datagram(self, dg);
                     }
-                    None => self.stats.unreachable(dg.payload.len()),
+                    None => {
+                        self.stats.unreachable(dg.payload.len());
+                        obs::inc(self.obs.unreachable);
+                    }
                 }
             }
             EventKind::Timer { addr, token } => {
+                obs::inc(self.obs.timer);
+                let _span = obs::enter(self.obs.f_timer);
                 if let Some(s) = self.services.get(&addr).cloned() {
                     s.borrow_mut().on_timer(self, token);
                 }
             }
-            EventKind::Call(f) => f(self),
+            EventKind::Call(f) => {
+                obs::inc(self.obs.call);
+                let _span = obs::enter(self.obs.f_call);
+                f(self);
+            }
         }
         true
     }

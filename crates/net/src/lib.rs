@@ -20,6 +20,8 @@
 //! lets a whole cluster-scale testbed execute — reproducibly — inside one
 //! laptop process (the paper's title, taken literally).
 
+#![warn(missing_docs)]
+
 pub mod chaos;
 pub mod httpx;
 mod kernel;

@@ -45,6 +45,7 @@ impl Prng {
         self.split(h)
     }
 
+    /// The next raw 64-bit output of the generator.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -70,11 +71,13 @@ impl Prng {
         lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
     }
 
+    /// Uniform integer in `[lo, hi)` (`lo < hi`), signed variant.
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo < hi, "range_i64 requires lo < hi");
         lo.wrapping_add(self.range_u64(0, (hi - lo) as u64) as i64)
     }
 
+    /// Uniform index in `[lo, hi)` (`lo < hi`).
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
         self.range_u64(lo as u64, hi as u64) as usize
     }

@@ -8,11 +8,17 @@ use crate::SimDuration;
 /// Kernel-level datagram counters.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetStats {
+    /// Datagrams handed to the kernel for delivery.
     pub datagrams_sent: u64,
+    /// Datagrams that reached a bound service.
     pub datagrams_delivered: u64,
+    /// Datagrams dropped by lossy or blackholed links.
     pub datagrams_lost: u64,
+    /// Datagrams addressed to ports nothing is bound on.
     pub datagrams_unreachable: u64,
+    /// Payload bytes handed to the kernel.
     pub bytes_sent: u64,
+    /// Payload bytes that reached a bound service.
     pub bytes_delivered: u64,
 }
 
@@ -69,6 +75,7 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// An empty histogram.
     pub fn new() -> LatencyHistogram {
         // 64 exponents × 16 sub-buckets is enough to never saturate u64.
         LatencyHistogram {
@@ -101,6 +108,7 @@ impl LatencyHistogram {
         (SUB_BUCKETS + sub) << (exp - SUB_BITS as u64)
     }
 
+    /// Record one latency sample.
     pub fn record(&mut self, d: SimDuration) {
         let n = d.as_nanos();
         self.counts[Self::index(n)] += 1;
@@ -110,6 +118,7 @@ impl LatencyHistogram {
         self.max_nanos = self.max_nanos.max(n);
     }
 
+    /// Fold another histogram's samples into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -120,14 +129,17 @@ impl LatencyHistogram {
         self.max_nanos = self.max_nanos.max(other.max_nanos);
     }
 
+    /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.total
     }
 
+    /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
 
+    /// Arithmetic mean of all samples (zero when empty).
     pub fn mean(&self) -> SimDuration {
         if self.total == 0 {
             SimDuration::ZERO
@@ -136,6 +148,7 @@ impl LatencyHistogram {
         }
     }
 
+    /// Smallest sample (exact, zero when empty).
     pub fn min(&self) -> SimDuration {
         if self.total == 0 {
             SimDuration::ZERO
@@ -144,6 +157,7 @@ impl LatencyHistogram {
         }
     }
 
+    /// Largest sample (exact, zero when empty).
     pub fn max(&self) -> SimDuration {
         SimDuration::from_nanos(self.max_nanos)
     }
@@ -166,10 +180,12 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// Median latency (see [`LatencyHistogram::quantile`]).
     pub fn p50(&self) -> SimDuration {
         self.quantile(0.50)
     }
 
+    /// 99th-percentile latency (see [`LatencyHistogram::quantile`]).
     pub fn p99(&self) -> SimDuration {
         self.quantile(0.99)
     }

@@ -1,3 +1,7 @@
+//! Virtual time: [`SimTime`] instants and [`SimDuration`] spans, both
+//! nanosecond-precision `u64` newtypes. There is no wall clock anywhere in
+//! the simulation — time advances only when the kernel dequeues events.
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -14,24 +18,30 @@ pub struct SimTime(u64);
 pub struct SimDuration(u64);
 
 impl SimTime {
+    /// Testbed start (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The instant `n` nanoseconds after testbed start.
     pub const fn from_nanos(n: u64) -> SimTime {
         SimTime(n)
     }
 
+    /// Nanoseconds since testbed start.
     pub fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// Microseconds since testbed start (truncating).
     pub fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
+    /// Milliseconds since testbed start (truncating).
     pub fn as_millis(self) -> u64 {
         self.0 / 1_000_000
     }
 
+    /// Seconds since testbed start, as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
@@ -43,48 +53,60 @@ impl SimTime {
 }
 
 impl SimDuration {
+    /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// A span of `n` nanoseconds.
     pub const fn from_nanos(n: u64) -> SimDuration {
         SimDuration(n)
     }
 
+    /// A span of `us` microseconds.
     pub const fn from_micros(us: u64) -> SimDuration {
         SimDuration(us * 1_000)
     }
 
+    /// A span of `ms` milliseconds.
     pub const fn from_millis(ms: u64) -> SimDuration {
         SimDuration(ms * 1_000_000)
     }
 
+    /// A span of `s` seconds.
     pub const fn from_secs(s: u64) -> SimDuration {
         SimDuration(s * 1_000_000_000)
     }
 
+    /// A span of `s` seconds, truncated to nanoseconds (negative → zero).
     pub fn from_secs_f64(s: f64) -> SimDuration {
         SimDuration((s.max(0.0) * 1e9) as u64)
     }
 
+    /// The span in nanoseconds.
     pub fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// The span in microseconds (truncating).
     pub fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
+    /// The span in milliseconds (truncating).
     pub fn as_millis(self) -> u64 {
         self.0 / 1_000_000
     }
 
+    /// The span in milliseconds, as a float.
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
+    /// The span in seconds, as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
+    /// `self × k`, saturating at the u64 horizon instead of overflowing.
     pub fn saturating_mul(self, k: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(k))
     }

@@ -19,11 +19,14 @@ impl fmt::Display for NodeId {
 /// services (mocks, scenes, brokers, API servers, apps) are bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Addr {
+    /// Machine the endpoint lives on.
     pub node: NodeId,
+    /// Port within that machine.
     pub port: u16,
 }
 
 impl Addr {
+    /// The endpoint `node:port`.
     pub fn new(node: NodeId, port: u16) -> Addr {
         Addr { node, port }
     }
@@ -197,6 +200,7 @@ impl Default for Topology {
 }
 
 impl Topology {
+    /// An empty topology (no nodes, no links).
     pub fn new() -> Topology {
         Topology {
             nodes: BTreeMap::new(),
@@ -231,18 +235,22 @@ impl Topology {
         id
     }
 
+    /// Spec of a node, if it exists.
     pub fn node(&self, id: NodeId) -> Option<&NodeSpec> {
         self.nodes.get(&id)
     }
 
+    /// All node ids, ascending.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.nodes.keys().copied().collect()
     }
 
+    /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Whether the topology has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }

@@ -44,10 +44,18 @@ pub const DEFAULT_MAX_RETRIES: u32 = 8;
 #[derive(Debug, Clone, PartialEq)]
 pub enum TransportEvent {
     /// An in-order application payload from `peer`.
-    Delivered { peer: Addr, payload: Bytes },
+    Delivered {
+        /// Remote endpoint the payload came from.
+        peer: Addr,
+        /// The application bytes, in send order.
+        payload: Bytes,
+    },
     /// Retries exhausted on a message to `peer`; the connection state has
     /// been reset.
-    PeerFailed { peer: Addr },
+    PeerFailed {
+        /// Remote endpoint the connection was reset for.
+        peer: Addr,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -81,10 +89,12 @@ pub struct ReliableEndpoint {
 }
 
 impl ReliableEndpoint {
+    /// An endpoint at `local` with default retransmit settings.
     pub fn new(local: Addr) -> ReliableEndpoint {
         ReliableEndpoint::with_config(local, DEFAULT_RTO, DEFAULT_MAX_RETRIES)
     }
 
+    /// An endpoint with explicit retransmit timeout and retry budget.
     pub fn with_config(local: Addr, rto: SimDuration, max_retries: u32) -> ReliableEndpoint {
         ReliableEndpoint {
             local,
@@ -108,6 +118,7 @@ impl ReliableEndpoint {
         self
     }
 
+    /// The endpoint's own address.
     pub fn local(&self) -> Addr {
         self.local
     }

@@ -97,6 +97,7 @@ impl<T> Default for EventWheel<T> {
 }
 
 impl<T> EventWheel<T> {
+    /// An empty wheel with the cursor at virtual time zero.
     pub fn new() -> EventWheel<T> {
         EventWheel {
             base: 0,
@@ -110,10 +111,12 @@ impl<T> EventWheel<T> {
         }
     }
 
+    /// Events currently queued.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether no events are queued.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

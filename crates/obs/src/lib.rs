@@ -1,0 +1,713 @@
+//! # digibox-obs
+//!
+//! Deterministic, virtual-time observability for Digibox testbeds: an
+//! interned-key metrics registry (counters, gauges, fixed-bucket
+//! histograms) plus hierarchical spans over the simulation hot paths.
+//!
+//! ## Determinism by construction
+//!
+//! Nothing in this crate reads a wall clock, draws randomness, or touches
+//! the simulation: every value is an event count, a queue depth, or a
+//! virtual-time reading handed in by the kernel ([`clock`]). Recording is
+//! purely observational — it schedules no events and advances no RNG — so
+//! enabling or disabling metrics cannot change a single simulated byte,
+//! and a [`Snapshot`] of the same seeded run is byte-identical every time.
+//!
+//! ## Why thread-local
+//!
+//! Instrumented code (the kernel's dispatch loop, the broker's routing,
+//! a digi's handlers) has no registry handle to thread through dozens of
+//! call sites, so the collector lives in a thread-local — the same tap
+//! pattern `core::footprint` uses. This is also exactly what makes sweeps
+//! deterministic across `--jobs` counts: a `Testbed` is `!Send`, each
+//! sweep seed builds its testbed inside one worker thread (resetting that
+//! thread's collector), and only the extracted [`Snapshot`] crosses
+//! threads — so per-seed metrics are independent of scheduling, just like
+//! the sweep results themselves.
+//!
+//! ## Span weights in a virtual-time world
+//!
+//! Handlers execute in zero virtual time, so span "duration" is not a
+//! meaningful sample value. Folded stacks therefore weigh each stack by
+//! its *entry count* — a deterministic work proxy — which standard
+//! flamegraph tooling renders just as happily as nanoseconds.
+//!
+//! The crate is std-only with no dependencies: it sits below `net` and
+//! `broker` in the workspace graph, and `scripts/standalone_obs.rs`
+//! compiles it with bare `rustc` for registry-less environments.
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap; // det-ok: keyed lookup only; snapshots sort by name
+
+/// Number of power-of-two histogram buckets (values up to 2^31 land in
+/// their log2 bucket; larger ones saturate into the last).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Interned handle to a counter (monotonically increasing `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Interned handle to a gauge (last-write-wins `i64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Interned handle to a fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// Interned handle to a span frame name (one level of a folded stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameId(u32);
+
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct HistogramCell {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramCell {
+    fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// One node of the span tree: a frame plus its children, each child keyed
+/// by frame id. Children are kept sorted by frame id so lookups are a
+/// binary search and traversal order is reproducible.
+struct SpanNode {
+    frame: u32,
+    count: u64,
+    children: Vec<(u32, u32)>, // (frame id, node index), sorted by frame id
+}
+
+struct Collector {
+    counters: Interner,
+    counter_values: Vec<u64>,
+    gauges: Interner,
+    gauge_values: Vec<Option<i64>>,
+    histograms: Interner,
+    histogram_values: Vec<HistogramCell>,
+    frames: Interner,
+    /// Span tree nodes; index 0 is the virtual root.
+    nodes: Vec<SpanNode>,
+    /// Indices into `nodes` for the currently open span stack.
+    stack: Vec<u32>,
+    /// Latest virtual-time reading (nanoseconds) reported via [`clock`].
+    clock_ns: u64,
+}
+
+impl Collector {
+    fn new() -> Collector {
+        Collector {
+            counters: Interner::default(),
+            counter_values: Vec::new(),
+            gauges: Interner::default(),
+            gauge_values: Vec::new(),
+            histograms: Interner::default(),
+            histogram_values: Vec::new(),
+            frames: Interner::default(),
+            nodes: vec![SpanNode { frame: u32::MAX, count: 0, children: Vec::new() }],
+            stack: Vec::new(),
+            clock_ns: 0,
+        }
+    }
+
+    /// Zero every value and drop the span tree, but keep the intern
+    /// tables: handles cached in long-lived structs (a kernel, a broker)
+    /// stay valid across testbeds built on the same thread.
+    fn reset(&mut self) {
+        self.counter_values.iter_mut().for_each(|v| *v = 0);
+        self.gauge_values.iter_mut().for_each(|v| *v = None);
+        self.histogram_values.iter_mut().for_each(|v| *v = HistogramCell::default());
+        self.nodes.truncate(1);
+        self.nodes[0].children.clear();
+        self.nodes[0].count = 0;
+        self.stack.clear();
+        self.clock_ns = 0;
+    }
+
+    fn enter(&mut self, frame: FrameId) -> u32 {
+        let parent = self.stack.last().copied().unwrap_or(0);
+        let child = match self.nodes[parent as usize]
+            .children
+            .binary_search_by_key(&frame.0, |&(f, _)| f)
+        {
+            Ok(i) => self.nodes[parent as usize].children[i].1,
+            Err(i) => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(SpanNode { frame: frame.0, count: 0, children: Vec::new() });
+                self.nodes[parent as usize].children.insert(i, (frame.0, idx));
+                idx
+            }
+        };
+        self.nodes[child as usize].count += 1;
+        self.stack.push(child);
+        child
+    }
+
+    /// Collect folded stacks: `(path, count)` for every node, DFS from the
+    /// root. Paths join frame names with `;` (flamegraph folded format).
+    fn folded_into(&self, node: u32, prefix: &str, out: &mut Vec<(String, u64)>) {
+        let n = &self.nodes[node as usize];
+        let path = if node == 0 {
+            String::new()
+        } else if prefix.is_empty() {
+            self.frames.names[n.frame as usize].clone()
+        } else {
+            format!("{prefix};{}", self.frames.names[n.frame as usize])
+        };
+        if node != 0 {
+            out.push((path.clone(), n.count));
+        }
+        for &(_, child) in &n.children {
+            self.folded_into(child, &path, out);
+        }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+}
+
+/// Whether this thread's collector is currently recording.
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Turn recording on or off for this thread. Disabling leaves recorded
+/// data in place (a later [`snapshot`] still sees it); use [`reset`] to
+/// clear.
+pub fn set_enabled(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+/// Zero all metric values and drop the span tree on this thread. Interned
+/// handles stay valid (the name tables survive), so instruments that
+/// cached ids keep working across resets.
+pub fn reset() {
+    COLLECTOR.with(|c| c.borrow_mut().reset());
+}
+
+/// Intern (or look up) a counter by name.
+pub fn counter(name: &str) -> CounterId {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let id = c.counters.intern(name);
+        if c.counter_values.len() <= id as usize {
+            c.counter_values.resize(id as usize + 1, 0);
+        }
+        CounterId(id)
+    })
+}
+
+/// Intern (or look up) a gauge by name.
+pub fn gauge(name: &str) -> GaugeId {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let id = c.gauges.intern(name);
+        if c.gauge_values.len() <= id as usize {
+            c.gauge_values.resize(id as usize + 1, None);
+        }
+        GaugeId(id)
+    })
+}
+
+/// Intern (or look up) a histogram by name.
+pub fn histogram(name: &str) -> HistogramId {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let id = c.histograms.intern(name);
+        if c.histogram_values.len() <= id as usize {
+            c.histogram_values.resize(id as usize + 1, HistogramCell::default());
+        }
+        HistogramId(id)
+    })
+}
+
+/// Intern (or look up) a span frame name.
+pub fn frame(name: &str) -> FrameId {
+    COLLECTOR.with(|c| FrameId(c.borrow_mut().frames.intern(name)))
+}
+
+/// Add `delta` to a counter (no-op while disabled).
+#[inline]
+pub fn add(counter: CounterId, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().counter_values[counter.0 as usize] += delta);
+}
+
+/// Increment a counter by one (no-op while disabled).
+#[inline]
+pub fn inc(counter: CounterId) {
+    add(counter, 1);
+}
+
+/// Set a gauge to `value` (no-op while disabled).
+#[inline]
+pub fn set(gauge: GaugeId, value: i64) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().gauge_values[gauge.0 as usize] = Some(value));
+}
+
+/// Record `value` into a histogram (no-op while disabled).
+#[inline]
+pub fn observe(histogram: HistogramId, value: u64) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().histogram_values[histogram.0 as usize].record(value));
+}
+
+/// Report the kernel's virtual clock (nanoseconds). Snapshots carry the
+/// latest reading — the only "timestamp" this crate ever emits.
+#[inline]
+pub fn clock(now_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.clock_ns = c.clock_ns.max(now_ns);
+    });
+}
+
+/// Open a span under the current one; the returned guard closes it on
+/// drop. Inert (records nothing) while disabled.
+#[inline]
+pub fn enter(frame: FrameId) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { pushed: false };
+    }
+    COLLECTOR.with(|c| c.borrow_mut().enter(frame));
+    SpanGuard { pushed: true }
+}
+
+/// RAII guard for an open span (see [`enter`]).
+pub struct SpanGuard {
+    pushed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            COLLECTOR.with(|c| {
+                c.borrow_mut().stack.pop();
+            });
+        }
+    }
+}
+
+/// A histogram as captured in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty power-of-two bucket;
+    /// bucket `i` covers values in `[2^(i-1), 2^i)` (bucket 0 is zero).
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// An immutable, canonically ordered capture of this thread's collector.
+///
+/// Everything is sorted by name (metrics) or folded path (spans), so two
+/// snapshots of identical runs render byte-identical JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Latest virtual-time reading (ns) reported via [`clock`].
+    pub clock_ns: u64,
+    /// `(name, value)` for every counter that was ever registered, sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge that was *set*, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, histogram)` for every histogram with recordings, sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(folded path, entry count)` per span stack, lexicographic order.
+    pub spans: Vec<(String, u64)>,
+}
+
+/// Capture this thread's collector as a canonical [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    COLLECTOR.with(|c| {
+        let c = c.borrow();
+        let mut counters: Vec<(String, u64)> = c
+            .counters
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), c.counter_values[i]))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = c
+            .gauges
+            .names
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| c.gauge_values[i].map(|v| (n.clone(), v)))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = c
+            .histograms
+            .names
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| c.histogram_values[i].count > 0)
+            .map(|(i, n)| {
+                let h = &c.histogram_values[i];
+                (
+                    n.clone(),
+                    HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        max: h.max,
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &n)| n > 0)
+                            .map(|(i, &n)| (i, n))
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut spans = Vec::new();
+        c.folded_into(0, "", &mut spans);
+        spans.sort();
+        Snapshot { clock_ns: c.clock_ns, counters, gauges, histograms, spans }
+    })
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Snapshot {
+    /// The value of a counter by name (0 if absent) — the lookup the
+    /// chaos/sweep per-seed summaries use.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Canonical JSON (hand-built, sorted keys, integers only) — the same
+    /// digest-stable convention the chaos scorecard uses.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 48 * self.counters.len());
+        out.push_str(&format!("{{\"clock_ns\":{},\"counters\":{{", self.clock_ns));
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_str(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_str(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                json_str(name),
+                h.count,
+                h.sum,
+                h.max
+            ));
+            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bucket},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"spans\":[");
+        for (i, (path, count)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{count}]", json_str(path)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Folded-stack lines (`path;to;frame count`), one per span stack —
+    /// directly consumable by `flamegraph.pl` / `inferno-flamegraph`.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, count) in &self.spans {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable table for `dbox stats` pretty output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "metrics @ virtual t={}.{:03}s\n",
+            self.clock_ns / 1_000_000_000,
+            (self.clock_ns % 1_000_000_000) / 1_000_000
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let mean = if h.count > 0 { h.sum / h.count } else { 0 };
+                out.push_str(&format!(
+                    "  {name:<40} count={} mean={} max={}\n",
+                    h.count, mean, h.max
+                ));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (entry counts):\n");
+            for (path, count) in &self.spans {
+                let depth = path.matches(';').count();
+                let leaf = path.rsplit(';').next().unwrap_or(path);
+                out.push_str(&format!(
+                    "  {:indent$}{leaf:<width$} {count:>12}\n",
+                    "",
+                    indent = depth * 2,
+                    width = 40usize.saturating_sub(depth * 2)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_fresh<R>(f: impl FnOnce() -> R) -> R {
+        // Tests share one thread-local collector per test thread; reset and
+        // enable around each body so they are order-independent.
+        reset();
+        set_enabled(true);
+        let r = f();
+        set_enabled(false);
+        reset();
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_survive_reset_handles() {
+        with_fresh(|| {
+            let c = counter("kernel.events");
+            add(c, 3);
+            inc(c);
+            assert_eq!(snapshot().counter("kernel.events"), 4);
+            reset();
+            // The handle stays valid across reset; values restart at zero.
+            inc(c);
+            assert_eq!(snapshot().counter("kernel.events"), 1);
+        });
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        with_fresh(|| {
+            let c = counter("quiet");
+            let h = histogram("quiet.h");
+            let f = frame("quiet.f");
+            set_enabled(false);
+            add(c, 10);
+            observe(h, 5);
+            clock(99);
+            drop(enter(f));
+            set_enabled(true);
+            let s = snapshot();
+            assert_eq!(s.counter("quiet"), 0);
+            assert!(s.histograms.is_empty());
+            assert!(s.spans.is_empty());
+            assert_eq!(s.clock_ns, 0);
+        });
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_only_set_ones_appear() {
+        with_fresh(|| {
+            let g = gauge("queue.depth");
+            let _unset = gauge("never.set");
+            set(g, 7);
+            set(g, -2);
+            let s = snapshot();
+            assert_eq!(s.gauges, vec![("queue.depth".to_string(), -2)]);
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        with_fresh(|| {
+            let h = histogram("sizes");
+            for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+                observe(h, v);
+            }
+            let s = snapshot();
+            let (_, hs) = &s.histograms[0];
+            assert_eq!(hs.count, 7);
+            assert_eq!(hs.max, u64::MAX);
+            // 0→b0, 1→b1, 2..3→b2, 4→b3, 1024→b11, MAX→b31
+            let buckets: Vec<(usize, u64)> =
+                vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1), (31, 1)];
+            assert_eq!(hs.buckets, buckets);
+        });
+    }
+
+    #[test]
+    fn spans_fold_hierarchically() {
+        with_fresh(|| {
+            let step = frame("kernel.step");
+            let deliver = frame("deliver");
+            let timer = frame("timer");
+            for _ in 0..3 {
+                let _s = enter(step);
+                let _d = enter(deliver);
+            }
+            {
+                let _s = enter(step);
+                let _t = enter(timer);
+            }
+            let s = snapshot();
+            assert_eq!(
+                s.spans,
+                vec![
+                    ("kernel.step".to_string(), 4),
+                    ("kernel.step;deliver".to_string(), 3),
+                    ("kernel.step;timer".to_string(), 1),
+                ]
+            );
+            let folded = s.folded();
+            assert!(folded.contains("kernel.step;deliver 3\n"), "{folded}");
+        });
+    }
+
+    #[test]
+    fn snapshot_json_is_canonical_and_deterministic() {
+        let build = || {
+            with_fresh(|| {
+                // Register in one order, bump in another: output sorts.
+                let b = counter("b.second");
+                let a = counter("a.first");
+                add(a, 1);
+                add(b, 2);
+                set(gauge("g"), 5);
+                observe(histogram("h"), 3);
+                let _s = enter(frame("root"));
+                clock(1_500_000_000);
+                snapshot().to_json()
+            })
+        };
+        let j = build();
+        assert_eq!(j, build());
+        assert!(j.starts_with("{\"clock_ns\":1500000000,\"counters\":{\"a.first\":1,\"b.second\":2}"), "{j}");
+        assert!(j.contains("\"gauges\":{\"g\":5}"), "{j}");
+        assert!(j.contains("\"h\":{\"count\":1,\"sum\":3,\"max\":3,\"buckets\":[[2,1]]}"), "{j}");
+        assert!(j.ends_with("\"spans\":[[\"root\",1]]}"), "{j}");
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        with_fresh(|| {
+            inc(counter("c"));
+            set(gauge("g"), 1);
+            observe(histogram("h"), 2);
+            let _s = enter(frame("f"));
+            let table = snapshot().render();
+            for needle in ["counters:", "gauges:", "histograms:", "spans"] {
+                assert!(table.contains(needle), "missing {needle} in:\n{table}");
+            }
+        });
+    }
+
+    #[test]
+    fn clock_keeps_the_latest_reading() {
+        with_fresh(|| {
+            clock(5);
+            clock(100);
+            clock(7); // stale reading (never happens in-kernel, but safe)
+            assert_eq!(snapshot().clock_ns, 100);
+        });
+    }
+}

@@ -61,6 +61,22 @@ build() {
     -L "$OUT" "${externs[@]}" --out-dir "$OUT"
 }
 
+# build_docs <crate_name> <src> [deps...] — like build, but a public item
+# without rustdoc is a hard error. Used for the crates that declare
+# #![warn(missing_docs)] so doc coverage cannot silently regress.
+build_docs() {
+  local name=$1 src=$2
+  shift 2
+  local externs=()
+  local dep
+  for dep in "$@"; do
+    externs+=(--extern "$dep=$(lib_of "$dep")")
+  done
+  echo "  lib  $name (docs enforced)"
+  rustc --edition "$EDITION" --crate-type rlib --crate-name "$name" "$src" \
+    -L "$OUT" "${externs[@]}" -D missing-docs --out-dir "$OUT"
+}
+
 # buildtest <crate_name> <src> [deps...] — compile unit tests, then run them.
 buildtest() {
   local name=$1 src=$2
@@ -91,12 +107,15 @@ echo "== workspace libs + unit tests"
 build digibox_model crates/model/src/lib.rs serde serde_json
 buildtest digibox_model crates/model/src/lib.rs serde serde_json
 
-build digibox_net crates/net/src/lib.rs serde bytes
-buildtest digibox_net crates/net/src/lib.rs serde bytes
+build digibox_obs crates/obs/src/lib.rs
+buildtest digibox_obs crates/obs/src/lib.rs
 
-build digibox_broker crates/broker/src/lib.rs bytes digibox_net
+build_docs digibox_net crates/net/src/lib.rs serde bytes digibox_obs
+buildtest digibox_net crates/net/src/lib.rs serde bytes digibox_obs
+
+build_docs digibox_broker crates/broker/src/lib.rs bytes digibox_net digibox_obs
 # the proptest stub compiles property tests out; plain broker unit tests run.
-buildtest digibox_broker crates/broker/src/lib.rs bytes digibox_net proptest
+buildtest digibox_broker crates/broker/src/lib.rs bytes digibox_net digibox_obs proptest
 
 build digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model
 buildtest digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model
@@ -108,8 +127,8 @@ build digibox_registry crates/registry/src/lib.rs serde serde_json digibox_model
 buildtest digibox_registry crates/registry/src/lib.rs serde serde_json digibox_model
 
 CORE_DEPS=(serde serde_json bytes digibox_model digibox_net digibox_broker
-  digibox_trace digibox_orchestrator digibox_registry)
-build digibox_core crates/core/src/lib.rs "${CORE_DEPS[@]}"
+  digibox_trace digibox_orchestrator digibox_registry digibox_obs)
+build_docs digibox_core crates/core/src/lib.rs "${CORE_DEPS[@]}"
 
 build digibox_devices crates/devices/src/lib.rs serde_json digibox_model digibox_net digibox_core
 buildtest digibox_devices crates/devices/src/lib.rs serde_json digibox_model digibox_net digibox_core
@@ -130,7 +149,7 @@ build digibox_apps crates/apps/src/lib.rs "${APPS_DEPS[@]}"
 buildtest digibox_apps crates/apps/src/lib.rs "${APPS_DEPS[@]}"
 
 CLI_DEPS=(serde serde_json digibox_model digibox_net digibox_core digibox_devices
-  digibox_registry digibox_trace)
+  digibox_registry digibox_trace digibox_obs)
 if [ -d crates/analysis ]; then
   CLI_DEPS+=(digibox_analysis)
 fi
@@ -138,7 +157,7 @@ build digibox_cli crates/cli/src/lib.rs "${CLI_DEPS[@]}"
 buildtest digibox_cli crates/cli/src/lib.rs "${CLI_DEPS[@]}"
 
 INTEG_DEPS=(serde_json digibox_model digibox_net digibox_broker digibox_core
-  digibox_devices digibox_apps digibox_trace digibox_registry digibox_cli)
+  digibox_devices digibox_apps digibox_trace digibox_registry digibox_cli digibox_obs)
 build digibox_integration crates/integration/src/lib.rs "${INTEG_DEPS[@]}"
 
 echo "== integration tests (compile all; run the serde-free ones)"
@@ -159,7 +178,7 @@ done
 # which the stubs cannot execute — so integration tests are compile-only
 # offline, except the ones on this allowlist (pure static analysis, no
 # cells). CI runs the full suite with the real crates.
-RUN_ALLOW="lint_library"
+RUN_ALLOW="lint_library cli_docs"
 for t in tests/*.rs; do
   name=$(basename "$t" .rs)
   case " $RUN_ALLOW " in
@@ -175,5 +194,11 @@ rustc --edition "$EDITION" -O scripts/standalone_sweep.rs -o "$TMP/standalone_sw
 "$TMP/standalone_sweep" "$TMP/BENCH_sweep.json" >/dev/null 2>&1 \
   || { echo "standalone sweep determinism check failed" >&2; exit 1; }
 echo "  run  standalone_sweep (jobs=1 vs jobs=all digests match)"
+
+echo "== standalone obs layer (dep-free check + snapshot determinism)"
+rustc --edition "$EDITION" -O scripts/standalone_obs.rs -o "$TMP/standalone_obs"
+"$TMP/standalone_obs" "$TMP/BENCH_obs.json" >/dev/null 2>&1 \
+  || { echo "standalone obs determinism check failed" >&2; exit 1; }
+echo "  run  standalone_obs (identical runs snapshot identically)"
 
 echo "offline check OK"

@@ -1,0 +1,105 @@
+//! Standalone observability-layer measurement: compiles `digibox_obs`
+//! directly with `rustc -O` (the crate is dependency-free by design, and
+//! this file is a compile-time check that it stays that way) and measures
+//! the recording hot path — counter increments, histogram observations
+//! and span enter/exit — with the layer enabled vs disabled, plus a
+//! determinism check: two identical recording sequences must snapshot to
+//! byte-identical canonical JSON and folded stacks.
+//!
+//! ```text
+//! rustc --edition 2021 -O scripts/standalone_obs.rs -o /tmp/sobs
+//! /tmp/sobs BENCH_obs.json
+//! ```
+//!
+//! Exits non-zero if the determinism check fails; the fallback path of
+//! `scripts/bench_smoke.sh` and `scripts/check_offline.sh` rely on that.
+
+#[path = "../crates/obs/src/lib.rs"]
+mod obs;
+
+use std::time::Instant;
+
+const OPS: u64 = 1_000_000;
+const REPS: usize = 5;
+
+/// One recording workload: the mix a kernel step produces — a counter
+/// bump, a queue-depth observation, and a two-frame span.
+fn workload() -> u64 {
+    let events = obs::counter("kernel.events");
+    let depth = obs::histogram("kernel.queue_depth");
+    let f_timer = obs::frame("kernel.timer");
+    let f_loop = obs::frame("digi.on_loop");
+    let mut sink = 0u64;
+    for i in 0..OPS {
+        obs::inc(events);
+        obs::observe(depth, i % 64);
+        obs::clock(i);
+        let _outer = obs::enter(f_timer);
+        let _inner = obs::enter(f_loop);
+        sink = sink.wrapping_add(i);
+    }
+    sink
+}
+
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::MAX;
+    let mut sink = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        sink = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".into());
+
+    // Determinism: identical sequences snapshot to identical bytes.
+    let digis = obs::gauge("testbed.digis");
+    obs::set_enabled(true);
+    obs::reset();
+    obs::set(digis, 42);
+    workload();
+    let snap_a = obs::snapshot();
+    obs::reset();
+    obs::set(digis, 42);
+    workload();
+    let snap_b = obs::snapshot();
+    let deterministic = snap_a.to_json() == snap_b.to_json()
+        && snap_a.folded() == snap_b.folded()
+        && snap_a.render() == snap_b.render();
+    if !deterministic {
+        eprintln!("[standalone_obs] FAIL: identical runs produced different snapshots");
+        std::process::exit(1);
+    }
+    if snap_a.counter("kernel.events") != OPS {
+        eprintln!("[standalone_obs] FAIL: counter lost increments");
+        std::process::exit(1);
+    }
+
+    // Hot-path cost, enabled vs disabled.
+    obs::set_enabled(true);
+    obs::reset();
+    let (on_s, on_sink) = best_of(workload);
+    obs::set_enabled(false);
+    let (off_s, off_sink) = best_of(workload);
+    assert_eq!(on_sink, off_sink);
+    let on_ns = on_s * 1e9 / OPS as f64;
+    let off_ns = off_s * 1e9 / OPS as f64;
+    eprintln!(
+        "[standalone_obs] record path: enabled={on_ns:.1}ns/op disabled={off_ns:.1}ns/op \
+         deterministic={deterministic}"
+    );
+
+    let doc = format!(
+        "{{\n  \"bench\": \"observability record path (standalone)\",\n  \
+         \"harness\": \"scripts/standalone_obs.rs (rustc -O, best of {REPS})\",\n  \
+         \"ops\": {OPS},\n  \
+         \"enabled_ns_per_op\": {on_ns:.3},\n  \
+         \"disabled_ns_per_op\": {off_ns:.3},\n  \
+         \"deterministic\": {deterministic}\n}}\n"
+    );
+    std::fs::write(&out, doc).expect("write report");
+    eprintln!("[standalone_obs] wrote {out}");
+}
