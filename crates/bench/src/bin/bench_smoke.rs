@@ -1,13 +1,16 @@
 //! Headless bench smoke: old-vs-new substrate microbenchmarks plus a
-//! reduced E1/E6 sweep, written to `BENCH_substrate.json`, and the E11
+//! reduced E1/E6 sweep, written to `BENCH_substrate.json`, the E11
 //! sweep-scaling row (jobs=1 vs jobs=all on a 16-seed chaos campaign),
-//! written to `BENCH_sweep.json`.
+//! written to `BENCH_sweep.json`, and the E13 `max_digis_per_sec` scaling
+//! row (pooled arena testbeds at 10k/100k digis vs a per-digi-timer
+//! baseline), written to `BENCH_scale.json`. Set `DIGIBOX_E13_FULL=1` to
+//! add the million-digi row (minutes, not CI-smoke material).
 //!
 //! Unlike the criterion benches this runs in seconds and needs no
 //! harness, so CI can execute it report-only:
 //!
 //! ```text
-//! cargo run --release -p digibox-bench --bin bench_smoke [out.json] [sweep.json]
+//! cargo run --release -p digibox-bench --bin bench_smoke [out.json] [sweep.json] [obs.json] [scale.json]
 //! ```
 //!
 //! Timings use `std::time::Instant` (criterion is a dev-dependency and
@@ -15,7 +18,7 @@
 //! of N kept, which is noisy next to criterion but stable enough for the
 //! ≥2×/≥3× speedup gates tracked in ISSUE/EXPERIMENTS.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -188,10 +191,74 @@ fn obs_run(seed: u64, metrics: bool) -> (f64, u64) {
     (wall, tb.obs_snapshot().counter("kernel.events"))
 }
 
+/// One E13 measurement: `digis` pooled into 10k-digi arena pods across an
+/// EC2 cluster, advanced `virtual_secs`. Returns (wall seconds, kernel
+/// events, total pool ticks, batched deliveries, queue-depth histogram).
+fn scale_pooled(digis: usize, virtual_secs: u64) -> (f64, u64, u64, u64, serde_json::Value) {
+    const PER_POOL: usize = 10_000;
+    // one 10k pool pod (~2510 cpu millis) fits an m5.xlarge (4000); give
+    // the cluster one node per pool plus slack for broker + control.
+    let nodes = (digis.div_ceil(PER_POOL) + 2) as u32;
+    let mut tb = Testbed::ec2(
+        nodes,
+        full_catalog(),
+        TestbedConfig { seed: 13, logging: false, metrics: true, ..Default::default() },
+    );
+    let mut pools = Vec::new();
+    let mut start = 0;
+    while start < digis {
+        let end = (start + PER_POOL).min(digis);
+        let names: Vec<String> = (start..end).map(|i| format!("S{i}")).collect();
+        let (pool, _) = tb.run_pool("Occupancy", &names, BTreeMap::new(), false).expect("pool runs");
+        pools.push(pool);
+        start = end;
+    }
+    tb.run_for(SimDuration::from_secs(2)); // warm-up: pods start, sessions connect
+    let events_before = tb.sim().events_processed();
+    let t = Instant::now();
+    tb.run_for(SimDuration::from_secs(virtual_secs));
+    let wall = t.elapsed().as_secs_f64();
+    let events = tb.sim().events_processed() - events_before;
+    let (ticks, batched) = pools.iter().fold((0u64, 0u64), |(t, b), p| {
+        let s = p.borrow().stats();
+        (t + s.ticks_dispatched, b + s.batched_deliveries)
+    });
+    let snap = tb.obs_snapshot();
+    let depth = snap
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "kernel.queue_depth")
+        .map(|(_, h)| json!({"count": h.count, "max": h.max, "mean": h.sum as f64 / h.count.max(1) as f64}))
+        .unwrap_or_else(|| json!(null));
+    (wall, events, ticks, batched, depth)
+}
+
+/// The E13 baseline: the same digi kind, one microservice (and one kernel
+/// timer) per digi — the pre-arena execution mode.
+fn scale_per_digi(digis: usize, virtual_secs: u64) -> (f64, u64) {
+    // dedicated mock pods are 5 cpu millis each on 4000-milli nodes
+    let nodes = (digis / 512 + 2) as u32;
+    let mut tb = Testbed::ec2(
+        nodes,
+        full_catalog(),
+        TestbedConfig { seed: 13, logging: false, metrics: true, ..Default::default() },
+    );
+    for i in 0..digis {
+        tb.run_with("Occupancy", &format!("S{i}"), BTreeMap::new(), false).expect("digi runs");
+    }
+    tb.run_for(SimDuration::from_secs(2));
+    let events_before = tb.sim().events_processed();
+    let t = Instant::now();
+    tb.run_for(SimDuration::from_secs(virtual_secs));
+    let wall = t.elapsed().as_secs_f64();
+    (wall, tb.sim().events_processed() - events_before)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_substrate.json".into());
     let sweep_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_sweep.json".into());
     let obs_path = std::env::args().nth(3).unwrap_or_else(|| "BENCH_obs.json".into());
+    let scale_path = std::env::args().nth(4).unwrap_or_else(|| "BENCH_scale.json".into());
 
     // ---- microbench 1: periodic timers, old heap vs timer wheel ----
     let (heap_s, heap_fired) = best_of(periodic_old);
@@ -346,4 +413,59 @@ fn main() {
     std::fs::write(&obs_path, serde_json::to_string_pretty(&obs_doc).unwrap())
         .expect("write obs report");
     report("smoke", &format!("wrote {obs_path}"));
+
+    // ---- E13: max_digis_per_sec — pooled arena testbeds vs per-digi timers ----
+    const VIRTUAL_SECS: u64 = 5;
+    let (base_wall, base_events) = scale_per_digi(10_000, VIRTUAL_SECS);
+    let base_eps = base_events as f64 / base_wall;
+    report(
+        "smoke",
+        &format!("E13 baseline: 10000 per-digi timers wall={base_wall:.2}s events/s={base_eps:.0}"),
+    );
+    let mut scales = vec![10_000usize, 100_000];
+    if std::env::var("DIGIBOX_E13_FULL").is_ok_and(|v| v == "1") {
+        scales.push(1_000_000);
+    }
+    let mut rows = Vec::new();
+    let mut eps_100k = 0f64;
+    for &digis in &scales {
+        let (wall, events, ticks, batched, depth) = scale_pooled(digis, VIRTUAL_SECS);
+        let eps = events as f64 / wall;
+        // "max digis sustainable at real time": simulated digi-seconds per
+        // wall second (each digi advances VIRTUAL_SECS in `wall` seconds)
+        let max_digis = digis as f64 * VIRTUAL_SECS as f64 / wall;
+        if digis == 100_000 {
+            eps_100k = eps;
+        }
+        report(
+            "smoke",
+            &format!(
+                "E13 pooled: digis={digis} wall={wall:.2}s events/s={eps:.0} \
+                 max_digis_per_sec={max_digis:.0} ticks={ticks} batched={batched}"
+            ),
+        );
+        rows.push(json!({
+            "digis": digis, "virtual_secs": VIRTUAL_SECS,
+            "wall_clock_s": wall, "kernel_events": events,
+            "events_per_sec": eps, "max_digis_per_sec": max_digis,
+            "pool_ticks": ticks, "batched_deliveries": batched,
+            "queue_depth": depth,
+        }));
+    }
+    let scale_ratio = eps_100k / base_eps;
+    report("smoke", &format!("E13 gate: arena@100k / per-digi@10k = {scale_ratio:.2}x (need >= 5)"));
+    let scale_doc = json!({
+        "bench": "max_digis_per_sec scaling (E13)",
+        "harness": "bench_smoke bin (std::time::Instant)",
+        "baseline": {
+            "digis": 10_000, "mode": "one microservice + one kernel timer per digi",
+            "wall_clock_s": base_wall, "kernel_events": base_events, "events_per_sec": base_eps,
+        },
+        "rows": rows,
+        "speedup_100k_vs_baseline_10k": scale_ratio,
+        "gate": "speedup_100k_vs_baseline_10k >= 5",
+    });
+    std::fs::write(&scale_path, serde_json::to_string_pretty(&scale_doc).unwrap())
+        .expect("write scale report");
+    report("smoke", &format!("wrote {scale_path}"));
 }

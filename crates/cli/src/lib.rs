@@ -236,7 +236,7 @@ usage:
   dbox pull <setup> --from <dir>                 pull + recreate a setup
   dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
   dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
-  dbox sweep [--seeds 1..16] [--jobs N]          parallel seed sweep + report
+  dbox sweep [--seeds 1..16] [--jobs N] [--pool T:P:N]  parallel seed sweep + report
   dbox stats [--format json|pretty]              deterministic metrics snapshot
   dbox profile                                   folded-stack span profile
   dbox log [name]                                print trace (paper format)

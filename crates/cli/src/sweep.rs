@@ -36,6 +36,9 @@ options:
   --run Type:Name[:managed]           add a digi (repeatable; default demo
                                       ensemble: Occupancy O1 + Room R1 + Lamp L1
                                       with the lamp-follows-vacancy property)
+  --pool Type:Prefix:N                add N digis named Prefix0..Prefix<N-1>
+                                      hosted in one arena pool (repeatable;
+                                      the million-digi scaling path)
   --attach child:parent               attach after startup (repeatable)
   --format json|pretty                output format (default pretty)
   --out <file>                        also write the JSON report to a file
@@ -50,6 +53,14 @@ struct RunSpec {
     managed: bool,
 }
 
+/// One arena pool to start: `Type:Prefix:N` hosts `Prefix0..Prefix<N-1>`.
+#[derive(Debug, Clone, PartialEq)]
+struct PoolSpec {
+    kind: String,
+    prefix: String,
+    count: usize,
+}
+
 /// Per-seed observations, all taken from the seed's own isolated testbed.
 struct SeedRow {
     seed: u64,
@@ -61,6 +72,9 @@ struct SeedRow {
     kernel_events: u64,
     /// Digi handler executions (`digi.on_loop` + `digi.on_model`).
     handler_runs: u64,
+    /// Same-instant deliveries the kernel coalesced into batches
+    /// (`kernel.batched_deliveries`) — nonzero whenever pools run.
+    batched_deliveries: u64,
 }
 
 /// The merged sweep report: canonical JSON + sha256 digest, mirroring the
@@ -92,14 +106,16 @@ impl SweepCard {
             out.push_str(&format!(
                 "{{\"seed\":{},\"violations\":{},\"records\":{},\
                  \"publishes_in\":{},\"publishes_out\":{},\
-                 \"kernel_events\":{},\"handler_runs\":{}}}",
+                 \"kernel_events\":{},\"handler_runs\":{},\
+                 \"batched_deliveries\":{}}}",
                 r.seed,
                 r.violations,
                 r.records,
                 r.publishes_in,
                 r.publishes_out,
                 r.kernel_events,
-                r.handler_runs
+                r.handler_runs,
+                r.batched_deliveries
             ));
         }
         out.push_str("],\"errors\":[");
@@ -134,14 +150,15 @@ impl SweepCard {
         for r in &self.per_seed {
             out.push_str(&format!(
                 "  seed {:>3}: violations {}; records {}; publishes {}/{}; \
-                 kernel events {}; handlers {}\n",
+                 kernel events {}; handlers {}; batched {}\n",
                 r.seed,
                 r.violations,
                 r.records,
                 r.publishes_in,
                 r.publishes_out,
                 r.kernel_events,
-                r.handler_runs
+                r.handler_runs,
+                r.batched_deliveries
             ));
         }
         for (seed, err) in &self.errors {
@@ -167,6 +184,7 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
     let mut jobs: usize = 0;
     let mut secs: u64 = 30;
     let mut runs: Vec<RunSpec> = Vec::new();
+    let mut pools: Vec<PoolSpec> = Vec::new();
     let mut attaches: Vec<(String, String)> = Vec::new();
     let mut json = false;
     let mut out_file: Option<String> = None;
@@ -189,6 +207,10 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
                 let spec = it.next().ok_or(format!("--run needs Type:Name\n{SWEEP_USAGE}"))?;
                 runs.push(parse_run_spec(spec)?);
             }
+            "--pool" => {
+                let spec = it.next().ok_or(format!("--pool needs Type:Prefix:N\n{SWEEP_USAGE}"))?;
+                pools.push(parse_pool_spec(spec)?);
+            }
             "--attach" => {
                 let spec =
                     it.next().ok_or(format!("--attach needs child:parent\n{SWEEP_USAGE}"))?;
@@ -210,7 +232,7 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
         }
     }
 
-    let demo = runs.is_empty();
+    let demo = runs.is_empty() && pools.is_empty();
     if demo {
         runs = demo_ensemble();
         if attaches.is_empty() {
@@ -223,7 +245,8 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
     // shared specs; merge order is canonical, so the digest is stable
     // across --jobs values.
     let outcome = sweep(&seeds, jobs, |seed| {
-        let mut tb = build_testbed(seed, &runs, &attaches, demo).map_err(|e| e.to_string())?;
+        let mut tb =
+            build_testbed(seed, &runs, &pools, &attaches, demo).map_err(|e| e.to_string())?;
         tb.run_for(SimDuration::from_secs(secs));
         let violations = tb.violations().len() as u64;
         let records = tb.log().records().len() as u64;
@@ -234,6 +257,7 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
         let snap = tb.obs_snapshot();
         let kernel_events = snap.counter("kernel.events");
         let handler_runs = snap.counter("digi.on_loop") + snap.counter("digi.on_model");
+        let batched_deliveries = snap.counter("kernel.batched_deliveries");
         Ok(SeedRow {
             seed,
             violations,
@@ -242,6 +266,7 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
             publishes_out,
             kernel_events,
             handler_runs,
+            batched_deliveries,
         })
     });
 
@@ -290,6 +315,22 @@ fn parse_seeds(list: &str) -> Result<Vec<u64>, String> {
     Ok(seeds)
 }
 
+fn parse_pool_spec(spec: &str) -> Result<PoolSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [kind, prefix, count] = parts.as_slice() else {
+        return Err(format!("bad --pool {spec:?} (want Type:Prefix:N)"));
+    };
+    if kind.is_empty() || prefix.is_empty() {
+        return Err(format!("bad --pool {spec:?} (want Type:Prefix:N)"));
+    }
+    let count: usize =
+        count.trim().parse().map_err(|_| format!("bad --pool count {count:?}"))?;
+    if count == 0 {
+        return Err(format!("bad --pool {spec:?} (N must be >= 1)"));
+    }
+    Ok(PoolSpec { kind: kind.to_string(), prefix: prefix.to_string(), count })
+}
+
 fn parse_run_spec(spec: &str) -> Result<RunSpec, String> {
     let mut parts = spec.split(':');
     let kind = parts.next().unwrap_or_default();
@@ -322,6 +363,7 @@ fn demo_ensemble() -> Vec<RunSpec> {
 fn build_testbed(
     seed: u64,
     runs: &[RunSpec],
+    pools: &[PoolSpec],
     attaches: &[(String, String)],
     demo: bool,
 ) -> digibox_core::Result<Testbed> {
@@ -329,6 +371,11 @@ fn build_testbed(
         Testbed::laptop(full_catalog(), TestbedConfig { seed, ..Default::default() });
     for spec in runs {
         tb.run_with(&spec.kind, &spec.name, Default::default(), spec.managed)?;
+    }
+    for spec in pools {
+        let names: Vec<String> =
+            (0..spec.count).map(|i| format!("{}{i}", spec.prefix)).collect();
+        tb.run_pool(&spec.kind, &names, Default::default(), false)?;
     }
     tb.run_for(SimDuration::from_secs(1));
     for (child, parent) in attaches {
@@ -394,6 +441,9 @@ mod sweepcheck {
             vec!["--secs", "soon"],
             vec!["--run", "NoName"],
             vec!["--run", "Lamp:L1:bogus"],
+            vec!["--pool", "NoPrefix"],
+            vec!["--pool", "Occupancy:P:zero"],
+            vec!["--pool", "Occupancy:P:0"],
             vec!["--attach", "orphan"],
             vec!["--format", "xml"],
         ] {
@@ -428,6 +478,19 @@ mod sweepcheck {
     }
 
     #[test]
+    fn pool_spec_parsing() {
+        assert_eq!(
+            parse_pool_spec("Occupancy:P:100").unwrap(),
+            PoolSpec { kind: "Occupancy".into(), prefix: "P".into(), count: 100 }
+        );
+        assert!(parse_pool_spec("Occupancy:P").is_err());
+        assert!(parse_pool_spec("Occupancy:P:100:extra").is_err());
+        assert!(parse_pool_spec(":P:100").is_err());
+        assert!(parse_pool_spec("Occupancy::100").is_err());
+        assert!(parse_pool_spec("Occupancy:P:0").is_err());
+    }
+
+    #[test]
     fn card_json_is_canonical() {
         let card = SweepCard {
             ensemble: "demo".into(),
@@ -440,6 +503,7 @@ mod sweepcheck {
                 publishes_out: 9,
                 kernel_events: 120,
                 handler_runs: 33,
+                batched_deliveries: 5,
             }],
             errors: vec![(13, "panicked: boom".into())],
         };
@@ -448,7 +512,8 @@ mod sweepcheck {
             j,
             "{\"ensemble\":\"demo\",\"secs\":30,\"violations\":0,\"per_seed\":[\
              {\"seed\":1,\"violations\":0,\"records\":42,\"publishes_in\":7,\
-             \"publishes_out\":9,\"kernel_events\":120,\"handler_runs\":33}],\
+             \"publishes_out\":9,\"kernel_events\":120,\"handler_runs\":33,\
+             \"batched_deliveries\":5}],\
              \"errors\":[{\"seed\":13,\"error\":\"panicked: boom\"}]}"
         );
         assert_eq!(card.digest(), card.digest());
@@ -497,6 +562,29 @@ mod tests {
         ]);
         assert_eq!(out.code, 0, "{}", out.stdout);
         assert!(out.stdout.contains("\"ensemble\":\"custom\""), "{}", out.stdout);
+    }
+
+    #[test]
+    fn pooled_ensemble_sweeps_with_jobs_invariant_digest() {
+        let base = [
+            "--seeds", "1,2",
+            "--secs", "5",
+            "--pool", "Occupancy:P:50",
+            "--format", "json",
+        ];
+        let one = {
+            let mut a = base.to_vec();
+            a.extend(["--jobs", "1"]);
+            run_args(&a)
+        };
+        let many = {
+            let mut a = base.to_vec();
+            a.extend(["--jobs", "2"]);
+            run_args(&a)
+        };
+        assert_eq!(one.code, 0, "{}", one.stdout);
+        assert!(one.stdout.contains("\"ensemble\":\"custom\""), "{}", one.stdout);
+        assert_eq!(one.stdout, many.stdout, "--jobs must not change the pooled report");
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use catalog::{Catalog, CatalogError};
 pub use dbox::Dbox;
 pub use digi::{DigiService, DigiStats};
 pub use footprint::Footprint;
-pub use pool::{DigiPool, PoolStats};
+pub use pool::{Arena, DigiArena, DigiId, DigiPool, PoolStats};
 pub use program::{DigiProgram, LoopCtx, SimCtx};
 pub use properties::{Condition, PropertyChecker, SceneProperty, Temporal};
 pub use sweep::{parallel_sweep, SeedError, SeedRun, SweepOutcome};

@@ -214,6 +214,9 @@ pub struct Testbed {
     next_app_port: u16,
     /// The developer-console MQTT session used by `edit`/`replay`.
     operator: Option<ServiceHandle<AppClient>>,
+    /// Pools created via [`Testbed::run_pool`]; checkpoint passes snapshot
+    /// their members from the pools' dense model columns.
+    pools: Vec<ServiceHandle<crate::DigiPool>>,
     pending_restarts: Vec<PendingRestart>,
     checkpoints: CheckpointStore,
     /// Next periodic checkpoint pass (None when checkpointing is off).
@@ -272,6 +275,7 @@ impl Testbed {
             next_digi_port: 10_000,
             next_app_port: 50_000,
             operator: None,
+            pools: Vec::new(),
             pending_restarts: Vec::new(),
             checkpoints: CheckpointStore::new(),
             next_checkpoint,
@@ -788,6 +792,7 @@ impl Testbed {
             }
             control.borrow_mut().mark_running(&pod_name);
         });
+        self.pools.push(pool.clone());
         Ok((pool, addr))
     }
 
@@ -915,6 +920,10 @@ impl Testbed {
     }
 
     /// Snapshot every running digi's model into the checkpoint store now.
+    ///
+    /// Dedicated digis are read through their service handles; pooled
+    /// digis are read from their pool's dense model columns (a columnar
+    /// scan, not a walk of N separate field trees).
     pub fn checkpoint_all(&mut self) {
         let _span = obs::enter(self.obs.f_checkpoint);
         obs::inc(self.obs.checkpoint_passes);
@@ -925,6 +934,35 @@ impl Testbed {
             self.checkpoints.save(name, model.fields(), model.revision(), now);
             obs::inc(self.obs.checkpoint_snapshots);
         }
+        let pools = self.pools.clone();
+        for pool in &pools {
+            let p = pool.borrow();
+            for name in p.names() {
+                let (Some(fields), Some(model)) = (p.snapshot_fields(name), p.model(name))
+                else {
+                    continue;
+                };
+                self.checkpoints.save(name, &fields, model.revision(), now);
+                obs::inc(self.obs.checkpoint_snapshots);
+            }
+        }
+    }
+
+    /// Restore a pooled digi's fields from its last checkpoint (taken by
+    /// [`Testbed::checkpoint_all`] out of the pool's model columns). The
+    /// cell keeps its slab slot and tick group. Returns `false` when the
+    /// digi has no checkpoint or is not hosted in any pool.
+    pub fn restore_pooled(&mut self, name: &str) -> bool {
+        let Some(fields) = self.checkpoints.restore(name) else {
+            return false;
+        };
+        let pools = self.pools.clone();
+        for pool in &pools {
+            if pool.borrow().id_of(name).is_some() {
+                return pool.borrow_mut().restore_fields(&mut self.sim, name, fields);
+            }
+        }
+        false
     }
 
     fn take_due_checkpoints(&mut self) {

@@ -131,6 +131,46 @@ fn pool_uses_one_broker_session_for_all_cells() {
 }
 
 #[test]
+fn pooled_checkpoints_snapshot_columns_and_restore_in_place() {
+    let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
+    let (pool, _) = tb.run_pool("Counter", &names(5), BTreeMap::new(), false).unwrap();
+    tb.run_for(SimDuration::from_secs(3));
+    let n_at_ckpt = pool
+        .borrow()
+        .model("C3")
+        .unwrap()
+        .lookup(&"n".into())
+        .and_then(Value::as_int)
+        .unwrap();
+    assert!(n_at_ckpt >= 2);
+    tb.checkpoint_all();
+    // every pooled member got a snapshot, read out of the model columns
+    for name in ["C0", "C1", "C2", "C3", "C4"] {
+        let info = tb.checkpoints().info(name).unwrap();
+        assert!(info.revision > 0, "{name} checkpointed at revision 0");
+    }
+    // let the counter advance past the checkpoint, then roll C3 back
+    tb.run_for(SimDuration::from_secs(3));
+    let n_later = pool
+        .borrow()
+        .model("C3")
+        .unwrap()
+        .lookup(&"n".into())
+        .and_then(Value::as_int)
+        .unwrap();
+    assert!(n_later > n_at_ckpt, "counter should advance between checkpoints");
+    assert!(tb.restore_pooled("C3"));
+    let p = pool.borrow();
+    let n_restored = p.model("C3").unwrap().lookup(&"n".into()).and_then(Value::as_int).unwrap();
+    assert_eq!(n_restored, n_at_ckpt, "restore must rewind to the checkpointed value");
+    // the cell kept its slab slot: same arena id before and after
+    assert!(p.id_of("C3").is_some());
+    // unknown / un-pooled names restore nothing
+    drop(p);
+    assert!(!tb.restore_pooled("ghost"));
+}
+
+#[test]
 fn evicted_cell_stops_ticking() {
     let mut tb = Testbed::laptop(catalog(), TestbedConfig::default());
     let (pool, _) = tb.run_pool("Counter", &names(2), BTreeMap::new(), false).unwrap();

@@ -1,0 +1,476 @@
+//! Struct-of-arrays column storage for digi model fields.
+//!
+//! A [`ColumnStore`] holds the scalar leaves of many digi models in dense
+//! typed columns: one `Vec` per attribute literal, indexed by a [`RowId`]
+//! per digi. Columns are keyed by [`ColumnId`] — the dense thread-local id
+//! that [`crate::Path::column_id`] assigns to each interned attribute
+//! literal — so a model read or write is two array indexes instead of a
+//! pointer chase through a nested `BTreeMap` tree.
+//!
+//! Determinism note: column ids are assigned in first-intern order and are
+//! therefore *thread-local* bookkeeping, never observable state. Everything
+//! this module exposes to digests — [`ColumnStore::snapshot_row`] output —
+//! is keyed by the attribute *literal* and lands in `Value::Map`
+//! (`BTreeMap`) trees whose ordering is literal-sorted by construction, so
+//! two threads that interned attributes in different orders still snapshot
+//! byte-identical trees.
+
+use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
+
+use crate::{ModelError, Path, Result, Value};
+
+/// Dense handle for one attribute column. Wraps the thread-local interned
+/// id from [`Path::column_id`]; obtain one with [`ColumnId::of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(u32);
+
+impl ColumnId {
+    /// Intern `literal` (a dotted leaf path such as `power.status`) and
+    /// return its column handle. Repeated calls with one literal return the
+    /// same id for the life of the thread.
+    pub fn of(literal: &str) -> Result<ColumnId> {
+        Ok(ColumnId(Path::column_id(literal)?))
+    }
+
+    /// The attribute literal this column was interned for.
+    pub fn literal(self) -> String {
+        Path::column_literal(self.0).expect("ColumnId constructed without interning")
+    }
+
+    /// The raw dense id (an index into per-thread column tables).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Dense handle for one digi's row across every column of a store.
+///
+/// Row ids are plain indexes: they are only meaningful against the store
+/// that allocated them and may be recycled after [`ColumnStore::free_row`].
+/// Generation-checked identity lives one layer up (the digi arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The raw row index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One typed column. Starts as the type of its first write and promotes
+/// itself to `Mixed` if a later write disagrees (heterogeneous fleets).
+enum ColumnData {
+    Bool(Vec<Option<bool>>),
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Str(Vec<Option<String>>),
+    Mixed(Vec<Option<Value>>),
+}
+
+impl ColumnData {
+    fn new_for(v: &Value, rows: usize) -> ColumnData {
+        match v {
+            Value::Bool(_) => ColumnData::Bool(vec![None; rows]),
+            Value::Int(_) => ColumnData::Int(vec![None; rows]),
+            Value::Float(_) => ColumnData::Float(vec![None; rows]),
+            Value::Str(_) => ColumnData::Str(vec![None; rows]),
+            _ => ColumnData::Mixed(vec![None; rows]),
+        }
+    }
+
+    fn grow(&mut self, rows: usize) {
+        match self {
+            ColumnData::Bool(v) => v.resize(rows, None),
+            ColumnData::Int(v) => v.resize(rows, None),
+            ColumnData::Float(v) => v.resize(rows, None),
+            ColumnData::Str(v) => v.resize_with(rows, || None),
+            ColumnData::Mixed(v) => v.resize_with(rows, || None),
+        }
+    }
+
+    fn clear_at(&mut self, i: usize) {
+        match self {
+            ColumnData::Bool(v) => v[i] = None,
+            ColumnData::Int(v) => v[i] = None,
+            ColumnData::Float(v) => v[i] = None,
+            ColumnData::Str(v) => v[i] = None,
+            ColumnData::Mixed(v) => v[i] = None,
+        }
+    }
+
+    fn get_at(&self, i: usize) -> Option<Value> {
+        match self {
+            ColumnData::Bool(v) => v[i].map(Value::Bool),
+            ColumnData::Int(v) => v[i].map(Value::Int),
+            ColumnData::Float(v) => v[i].map(Value::Float),
+            ColumnData::Str(v) => v[i].clone().map(Value::Str),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Store `value` at row `i` if the column's type admits it; `false`
+    /// means the caller must promote to `Mixed` first.
+    fn try_set_at(&mut self, i: usize, value: &Value) -> bool {
+        match (self, value) {
+            (ColumnData::Bool(v), Value::Bool(b)) => v[i] = Some(*b),
+            (ColumnData::Int(v), Value::Int(n)) => v[i] = Some(*n),
+            (ColumnData::Float(v), Value::Float(f)) => v[i] = Some(*f),
+            (ColumnData::Str(v), Value::Str(s)) => v[i] = Some(s.clone()),
+            (ColumnData::Mixed(v), any) => v[i] = Some(any.clone()),
+            _ => return false,
+        }
+        true
+    }
+
+    fn to_mixed(&self) -> ColumnData {
+        let rows = match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        };
+        let mut out = Vec::with_capacity(rows);
+        for i in 0..rows {
+            out.push(self.get_at(i));
+        }
+        ColumnData::Mixed(out)
+    }
+}
+
+struct Column {
+    id: ColumnId,
+    data: ColumnData,
+}
+
+/// Struct-of-arrays store: the scalar leaves of many digi models held in
+/// dense per-attribute columns.
+///
+/// Rows are allocated/freed with a LIFO free list so a killed digi's slot
+/// is reused by the next spawn (the arena layer adds generation tags on
+/// top). A leaf value of `Value::Null` is not stored — absent and null are
+/// the same cell state, matching how model trees omit unset fields.
+#[derive(Default)]
+pub struct ColumnStore {
+    columns: Vec<Column>,
+    /// ColumnId.raw() → index into `columns`.
+    index: HashMap<u32, usize>,
+    /// Allocated row capacity; every column vec is kept at this length.
+    rows: usize,
+    free: Vec<u32>,
+    live: Vec<bool>,
+}
+
+impl ColumnStore {
+    /// An empty store.
+    pub fn new() -> ColumnStore {
+        ColumnStore::default()
+    }
+
+    /// Allocate a row, reusing the most recently freed slot if any.
+    pub fn alloc_row(&mut self) -> RowId {
+        if let Some(i) = self.free.pop() {
+            self.live[i as usize] = true;
+            return RowId(i);
+        }
+        let i = self.rows;
+        self.rows += 1;
+        self.live.push(true);
+        for c in &mut self.columns {
+            c.data.grow(self.rows);
+        }
+        RowId(i as u32)
+    }
+
+    /// Clear a row across every column and return its slot to the free
+    /// list. Freeing a dead row is a no-op.
+    pub fn free_row(&mut self, row: RowId) {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return;
+        }
+        self.clear_row(row);
+        self.live[i] = false;
+        self.free.push(row.0);
+    }
+
+    /// Whether `row` is currently allocated.
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.live.get(row.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of live rows.
+    pub fn rows_live(&self) -> usize {
+        self.rows - self.free.len()
+    }
+
+    /// Total row capacity (live + free slots).
+    pub fn capacity(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of distinct attribute columns materialized so far.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Write one cell. `Value::Null` clears the cell. Creates the column on
+    /// first touch, typed after this value; a later type mismatch promotes
+    /// the column to `Mixed` in place.
+    pub fn set(&mut self, row: RowId, col: ColumnId, value: &Value) -> Result<()> {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return Err(ModelError::MissingField(format!("dead row {}", row.0)));
+        }
+        if matches!(value, Value::Null) {
+            if let Some(&ci) = self.index.get(&col.raw()) {
+                self.columns[ci].data.clear_at(i);
+            }
+            return Ok(());
+        }
+        let ci = match self.index.get(&col.raw()) {
+            Some(&ci) => ci,
+            None => {
+                let ci = self.columns.len();
+                self.columns.push(Column { id: col, data: ColumnData::new_for(value, self.rows) });
+                self.index.insert(col.raw(), ci);
+                ci
+            }
+        };
+        let data = &mut self.columns[ci].data;
+        if !data.try_set_at(i, value) {
+            *data = data.to_mixed();
+            let ok = data.try_set_at(i, value);
+            debug_assert!(ok, "Mixed column admits every value");
+        }
+        Ok(())
+    }
+
+    /// Read one cell, reconstructing the `Value`. `None` when the cell is
+    /// clear, the column doesn't exist, or the row is dead.
+    pub fn get(&self, row: RowId, col: ColumnId) -> Option<Value> {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return None;
+        }
+        let &ci = self.index.get(&col.raw())?;
+        self.columns[ci].data.get_at(i)
+    }
+
+    /// Fast typed read: the cell as `i64` without allocating, or `None` if
+    /// clear or not an integer.
+    pub fn get_int(&self, row: RowId, col: ColumnId) -> Option<i64> {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return None;
+        }
+        let &ci = self.index.get(&col.raw())?;
+        match &self.columns[ci].data {
+            ColumnData::Int(v) => v[i],
+            ColumnData::Mixed(v) => match v[i] {
+                Some(Value::Int(n)) => Some(n),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Fast typed read: the cell as `f64` (`Int` widens), or `None`.
+    pub fn get_f64(&self, row: RowId, col: ColumnId) -> Option<f64> {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return None;
+        }
+        let &ci = self.index.get(&col.raw())?;
+        match &self.columns[ci].data {
+            ColumnData::Float(v) => v[i],
+            ColumnData::Int(v) => v[i].map(|n| n as f64),
+            ColumnData::Mixed(v) => match v[i] {
+                Some(Value::Float(f)) => Some(f),
+                Some(Value::Int(n)) => Some(n as f64),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Clear every cell of a row without freeing the slot.
+    pub fn clear_row(&mut self, row: RowId) {
+        let i = row.index();
+        if i >= self.rows {
+            return;
+        }
+        for c in &mut self.columns {
+            c.data.clear_at(i);
+        }
+    }
+
+    /// Load a model field tree into a row: clears the row, then stores each
+    /// leaf (any non-map value, so lists land whole in `Mixed` columns)
+    /// under its dotted literal.
+    pub fn load_row(&mut self, row: RowId, fields: &Value) -> Result<()> {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return Err(ModelError::MissingField(format!("dead row {}", row.0)));
+        }
+        self.clear_row(row);
+        let mut stack: Vec<(String, &Value)> = vec![(String::new(), fields)];
+        while let Some((prefix, v)) = stack.pop() {
+            match v {
+                Value::Map(m) => {
+                    for (k, child) in m {
+                        let lit = if prefix.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{prefix}.{k}")
+                        };
+                        stack.push((lit, child));
+                    }
+                }
+                Value::Null => {}
+                leaf => {
+                    let col = ColumnId::of(&prefix)?;
+                    self.set(row, col, leaf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a row's nested field tree from its columns. The output is a
+    /// `Value::Map` tree whose key order is literal-sorted by `BTreeMap`
+    /// construction, independent of column creation order — safe to digest.
+    pub fn snapshot_row(&self, row: RowId) -> Result<Value> {
+        let i = row.index();
+        if i >= self.rows || !self.live[i] {
+            return Err(ModelError::MissingField(format!("dead row {}", row.0)));
+        }
+        let mut root = Value::map();
+        // Sort by literal so a parent/child literal conflict (e.g. both
+        // `a` and `a.b` set via raw `set`) errors deterministically.
+        let mut cells: Vec<(String, Value)> = Vec::new();
+        for c in &self.columns {
+            if let Some(v) = c.data.get_at(i) {
+                cells.push((c.id.literal(), v));
+            }
+        }
+        cells.sort_by(|(a, _), (b, _)| a.cmp(b));
+        for (lit, v) in cells {
+            Path::interned(&lit)?.set(&mut root, v)?;
+        }
+        Ok(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmap;
+
+    #[test]
+    fn alloc_free_reuses_lifo() {
+        let mut s = ColumnStore::new();
+        let a = s.alloc_row();
+        let b = s.alloc_row();
+        assert_eq!((a.0, b.0), (0, 1));
+        s.free_row(a);
+        s.free_row(b);
+        // LIFO: most recently freed comes back first.
+        assert_eq!(s.alloc_row(), b);
+        assert_eq!(s.alloc_row(), a);
+        assert_eq!(s.capacity(), 2);
+        assert_eq!(s.rows_live(), 2);
+    }
+
+    #[test]
+    fn set_get_typed_roundtrip() {
+        let mut s = ColumnStore::new();
+        let r = s.alloc_row();
+        let temp = ColumnId::of("cols.temp").unwrap();
+        let on = ColumnId::of("cols.power.status").unwrap();
+        s.set(r, temp, &Value::Float(21.5)).unwrap();
+        s.set(r, on, &Value::Str("on".into())).unwrap();
+        assert_eq!(s.get(r, temp), Some(Value::Float(21.5)));
+        assert_eq!(s.get_f64(r, temp), Some(21.5));
+        assert_eq!(s.get(r, on).unwrap().as_str(), Some("on"));
+        assert_eq!(s.column_count(), 2);
+    }
+
+    #[test]
+    fn type_conflict_promotes_to_mixed() {
+        let mut s = ColumnStore::new();
+        let a = s.alloc_row();
+        let b = s.alloc_row();
+        let col = ColumnId::of("cols.mode").unwrap();
+        s.set(a, col, &Value::Int(3)).unwrap();
+        s.set(b, col, &Value::Str("auto".into())).unwrap();
+        // Both survive the promotion.
+        assert_eq!(s.get(a, col), Some(Value::Int(3)));
+        assert_eq!(s.get_int(a, col), Some(3));
+        assert_eq!(s.get(b, col).unwrap().as_str(), Some("auto"));
+    }
+
+    #[test]
+    fn null_clears_and_free_scrubs() {
+        let mut s = ColumnStore::new();
+        let r = s.alloc_row();
+        let col = ColumnId::of("cols.batt").unwrap();
+        s.set(r, col, &Value::Int(99)).unwrap();
+        s.set(r, col, &Value::Null).unwrap();
+        assert_eq!(s.get(r, col), None);
+        s.set(r, col, &Value::Int(7)).unwrap();
+        s.free_row(r);
+        assert!(!s.is_live(r));
+        assert!(s.get(r, col).is_none());
+        assert!(s.set(r, col, &Value::Int(1)).is_err());
+        // The recycled slot starts clean.
+        let r2 = s.alloc_row();
+        assert_eq!(r2, r);
+        assert_eq!(s.get(r2, col), None);
+    }
+
+    #[test]
+    fn load_snapshot_roundtrips_nested_trees() {
+        let mut s = ColumnStore::new();
+        let r = s.alloc_row();
+        let tree = vmap! {
+            "power" => vmap! { "status" => "on", "draw_w" => 12 },
+            "temp" => 21.5,
+            "tags" => Value::List(vec![Value::Int(1), Value::Int(2)]),
+            "ok" => true
+        };
+        s.load_row(r, &tree).unwrap();
+        assert_eq!(s.snapshot_row(r).unwrap(), tree);
+        // Reload replaces, not merges.
+        let tree2 = vmap! { "temp" => 18 };
+        s.load_row(r, &tree2).unwrap();
+        assert_eq!(s.snapshot_row(r).unwrap(), tree2);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut s = ColumnStore::new();
+        let a = s.alloc_row();
+        let b = s.alloc_row();
+        let col = ColumnId::of("cols.n").unwrap();
+        s.set(a, col, &Value::Int(1)).unwrap();
+        s.set(b, col, &Value::Int(2)).unwrap();
+        assert_eq!(s.get_int(a, col), Some(1));
+        assert_eq!(s.get_int(b, col), Some(2));
+        s.free_row(a);
+        assert_eq!(s.get_int(b, col), Some(2));
+    }
+
+    #[test]
+    fn column_grows_with_later_rows() {
+        let mut s = ColumnStore::new();
+        let a = s.alloc_row();
+        let col = ColumnId::of("cols.grow").unwrap();
+        s.set(a, col, &Value::Bool(true)).unwrap();
+        let b = s.alloc_row();
+        assert_eq!(s.get(b, col), None);
+        s.set(b, col, &Value::Bool(false)).unwrap();
+        assert_eq!(s.get(b, col), Some(Value::Bool(false)));
+    }
+}

@@ -20,7 +20,11 @@
 //!   authors can declare which fields a model carries (paper §3.2).
 //! * [`dml`] — the *Digibox Model Language*: the YAML-like subset used for
 //!   shareable model/config files, with a hand-written parser and printer.
+//! * [`columns`] — struct-of-arrays column storage ([`ColumnStore`]) that
+//!   holds the scalar leaves of many digi models in dense typed columns,
+//!   keyed by interned attribute ids ([`ColumnId`]) for million-digi pools.
 
+pub mod columns;
 pub mod dml;
 mod error;
 mod infer;
@@ -31,6 +35,7 @@ mod path;
 mod schema;
 mod value;
 
+pub use columns::{ColumnId, ColumnStore, RowId};
 pub use error::ModelError;
 pub use infer::infer_schema;
 pub use meta::Meta;

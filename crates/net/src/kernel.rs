@@ -5,7 +5,6 @@
 //! scorecards, the observability layer) is built on.
 
 use std::cell::RefCell;
-use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -41,6 +40,19 @@ pub trait Service {
     fn on_start(&mut self, _sim: &mut Sim) {}
     /// A datagram addressed to this service arrived.
     fn on_datagram(&mut self, sim: &mut Sim, dg: Datagram);
+    /// A batch of same-instant datagrams addressed to this service.
+    ///
+    /// The kernel coalesces the maximal *consecutive* run of deliveries
+    /// that share `(at, dst)` — exactly a prefix of the global `(at, seq)`
+    /// order, so coalescing can never reorder observable events. The
+    /// default forwards each datagram to [`Service::on_datagram`] in queue
+    /// order; overriding is purely an optimization (a pool walks its arena
+    /// once per batch instead of once per datagram).
+    fn on_datagram_batch(&mut self, sim: &mut Sim, batch: &[Datagram]) {
+        for dg in batch {
+            self.on_datagram(sim, dg.clone());
+        }
+    }
     /// A timer set via [`Sim::set_timer`] fired.
     fn on_timer(&mut self, _sim: &mut Sim, _token: TimerToken) {}
 }
@@ -87,8 +99,11 @@ struct ObsKeys {
     timer: obs::CounterId,
     call: obs::CounterId,
     unreachable: obs::CounterId,
+    batched: obs::CounterId,
     queue_depth: obs::HistogramId,
+    batch_size: obs::HistogramId,
     f_deliver: obs::FrameId,
+    f_deliver_batch: obs::FrameId,
     f_timer: obs::FrameId,
     f_call: obs::FrameId,
 }
@@ -101,8 +116,11 @@ impl ObsKeys {
             timer: obs::counter("kernel.timer"),
             call: obs::counter("kernel.call"),
             unreachable: obs::counter("kernel.unreachable"),
+            batched: obs::counter("kernel.batched_deliveries"),
             queue_depth: obs::histogram("kernel.queue_depth"),
+            batch_size: obs::histogram("kernel.batch_size"),
             f_deliver: obs::frame("kernel.deliver"),
+            f_deliver_batch: obs::frame("kernel.deliver_batch"),
             f_timer: obs::frame("kernel.timer"),
             f_call: obs::frame("kernel.call"),
         }
@@ -124,8 +142,15 @@ pub struct Sim {
     events_processed: u64,
     queue: EventWheel<EventKind>,
     topology: Topology,
-    services: HashMap<Addr, Rc<RefCell<dyn Service>>>,
-    services_per_node: HashMap<crate::NodeId, usize>,
+    /// Dense service table: `ports[node][port]` is `slot + 1` into `slots`
+    /// (0 = unbound), so the dispatch hot path is two array indexes with no
+    /// hashing. Slots are arena-assigned and recycled through `free_slots`.
+    ports: Vec<Vec<u32>>,
+    slots: Vec<Option<Rc<RefCell<dyn Service>>>>,
+    free_slots: Vec<u32>,
+    node_load: Vec<usize>,
+    /// Reusable buffer for coalesced same-instant deliveries.
+    batch_buf: Vec<Datagram>,
     link_rng: Prng,
     root_rng: Prng,
     stats: NetStats,
@@ -146,8 +171,11 @@ impl Sim {
             events_processed: 0,
             queue: EventWheel::new(),
             topology,
-            services: HashMap::new(),
-            services_per_node: HashMap::new(),
+            ports: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            node_load: Vec::new(),
+            batch_buf: Vec::new(),
             link_rng: root.split_str("links"),
             root_rng: root,
             stats: NetStats::default(),
@@ -198,20 +226,51 @@ impl Sim {
     /// Bind a service at `addr`. Replaces any previous binding (the old
     /// service stops receiving). Runs the service's `on_start` hook.
     pub fn bind<T: Service + 'static>(&mut self, addr: Addr, service: ServiceHandle<T>) {
-        if self.services.insert(addr, service.clone()).is_none() {
-            *self.services_per_node.entry(addr.node).or_insert(0) += 1;
+        let node = addr.node.0 as usize;
+        if self.ports.len() <= node {
+            self.ports.resize_with(node + 1, Vec::new);
+            self.node_load.resize(node + 1, 0);
+        }
+        let table = &mut self.ports[node];
+        let port = addr.port as usize;
+        if table.len() <= port {
+            table.resize(port + 1, 0);
+        }
+        let dyn_svc: Rc<RefCell<dyn Service>> = service.clone();
+        if table[port] == 0 {
+            let slot = match self.free_slots.pop() {
+                Some(s) => {
+                    self.slots[s as usize] = Some(dyn_svc);
+                    s
+                }
+                None => {
+                    self.slots.push(Some(dyn_svc));
+                    (self.slots.len() - 1) as u32
+                }
+            };
+            table[port] = slot + 1;
+            self.node_load[node] += 1;
+        } else {
+            self.slots[(table[port] - 1) as usize] = Some(dyn_svc);
         }
         service.borrow_mut().on_start(self);
     }
 
     /// Remove the binding at `addr`; in-flight datagrams to it are dropped
-    /// on delivery (counted as unreachable).
+    /// on delivery (counted as unreachable). The slot returns to the arena
+    /// free list for the next bind.
     pub fn unbind(&mut self, addr: Addr) {
-        if self.services.remove(&addr).is_some() {
-            if let Some(n) = self.services_per_node.get_mut(&addr.node) {
-                *n = n.saturating_sub(1);
-            }
+        let node = addr.node.0 as usize;
+        let Some(table) = self.ports.get_mut(node) else { return };
+        let Some(entry) = table.get_mut(addr.port as usize) else { return };
+        let e = *entry;
+        if e == 0 {
+            return;
         }
+        *entry = 0;
+        self.slots[(e - 1) as usize] = None;
+        self.free_slots.push(e - 1);
+        self.node_load[node] = self.node_load[node].saturating_sub(1);
     }
 
     /// Number of services currently bound on `node` — the load proxy used
@@ -219,12 +278,22 @@ impl Sim {
     /// containers serves each request more slowly, which is what makes the
     /// paper's 1000-mock deployment slower than the 50-mock one).
     pub fn node_load(&self, node: crate::NodeId) -> usize {
-        self.services_per_node.get(&node).copied().unwrap_or(0)
+        self.node_load.get(node.0 as usize).copied().unwrap_or(0)
     }
 
     /// Whether any service is bound at `addr`.
     pub fn is_bound(&self, addr: Addr) -> bool {
-        self.services.contains_key(&addr)
+        self.service_at(addr).is_some()
+    }
+
+    /// Hot-path lookup: two dense array indexes, no hashing.
+    #[inline]
+    fn service_at(&self, addr: Addr) -> Option<Rc<RefCell<dyn Service>>> {
+        let entry = *self.ports.get(addr.node.0 as usize)?.get(addr.port as usize)?;
+        if entry == 0 {
+            return None;
+        }
+        self.slots[(entry - 1) as usize].clone()
     }
 
     /// Send a datagram. Delay and loss come from the topology's link model;
@@ -267,7 +336,78 @@ impl Sim {
         self.queue.push(at.as_nanos(), seq, kind);
     }
 
-    /// Process one event. Returns `false` when the queue is empty or the
+    /// Per-event accounting shared by `step`'s initial pop and the batch
+    /// extension loop: event counter, obs hot-path metrics, storm watchdog.
+    fn account_event(&mut self, at: SimTime) {
+        self.events_processed += 1;
+        if obs::enabled() {
+            obs::clock(at.as_nanos());
+            obs::inc(self.obs.events);
+            obs::observe(self.obs.queue_depth, self.queue.len() as u64);
+        }
+        if self.config.storm_threshold > 0 {
+            let bucket = at.as_millis();
+            if bucket == self.storm_bucket_ms {
+                self.storm_count += 1;
+                if self.storm_count > self.config.storm_threshold {
+                    self.storm_detected = true;
+                }
+            } else {
+                self.storm_bucket_ms = bucket;
+                self.storm_count = 1;
+            }
+        }
+    }
+
+    /// Deliver `dg` plus the maximal consecutive run of queued events that
+    /// share its `(at, dst)`, as one batch. Because the run is exactly a
+    /// prefix of the global `(at, seq)` order (any interleaved event to
+    /// another destination has an intermediate `seq` and ends the run, and
+    /// events pushed *during* handling always carry a later `seq`), the
+    /// sequence of handler invocations is identical to the unbatched
+    /// kernel's — batching is invisible to traces and digests.
+    fn dispatch_deliveries(&mut self, at: SimTime, dg: Datagram) {
+        obs::inc(self.obs.deliver);
+        let dst = dg.dst;
+        let Some(s) = self.service_at(dst) else {
+            self.stats.unreachable(dg.payload.len());
+            obs::inc(self.obs.unreachable);
+            return;
+        };
+        self.stats.delivered(dg.payload.len());
+        let at_ns = at.as_nanos();
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        batch.clear();
+        batch.push(dg);
+        loop {
+            if self.config.max_events > 0 && self.events_processed >= self.config.max_events {
+                break;
+            }
+            let next = self.queue.pop_if(|eat, _seq, kind| {
+                eat == at_ns && matches!(kind, EventKind::Deliver(d) if d.dst == dst)
+            });
+            let Some((_, _, EventKind::Deliver(d))) = next else { break };
+            self.account_event(at);
+            obs::inc(self.obs.deliver);
+            self.stats.delivered(d.payload.len());
+            batch.push(d);
+        }
+        if batch.len() == 1 {
+            let _span = obs::enter(self.obs.f_deliver);
+            let dg = batch.pop().expect("batch holds the popped event");
+            s.borrow_mut().on_datagram(self, dg);
+        } else {
+            obs::inc(self.obs.batched);
+            obs::observe(self.obs.batch_size, batch.len() as u64);
+            let _span = obs::enter(self.obs.f_deliver_batch);
+            s.borrow_mut().on_datagram_batch(self, &batch);
+        }
+        batch.clear();
+        self.batch_buf = batch;
+    }
+
+    /// Process one event (a coalesced delivery run counts as one step but
+    /// several events). Returns `false` when the queue is empty or the
     /// event budget is exhausted.
     pub fn step(&mut self) -> bool {
         if self.config.max_events > 0 && self.events_processed >= self.config.max_events {
@@ -279,44 +419,13 @@ impl Sim {
         let at = SimTime::from_nanos(at);
         debug_assert!(at >= self.now, "time must be monotonic");
         self.now = at;
-        self.events_processed += 1;
-        if obs::enabled() {
-            obs::clock(at.as_nanos());
-            obs::inc(self.obs.events);
-            obs::observe(self.obs.queue_depth, self.queue.len() as u64);
-        }
-        if self.config.storm_threshold > 0 {
-            let bucket = self.now.as_millis();
-            if bucket == self.storm_bucket_ms {
-                self.storm_count += 1;
-                if self.storm_count > self.config.storm_threshold {
-                    self.storm_detected = true;
-                }
-            } else {
-                self.storm_bucket_ms = bucket;
-                self.storm_count = 1;
-            }
-        }
+        self.account_event(at);
         match kind {
-            EventKind::Deliver(dg) => {
-                obs::inc(self.obs.deliver);
-                let _span = obs::enter(self.obs.f_deliver);
-                let service = self.services.get(&dg.dst).cloned();
-                match service {
-                    Some(s) => {
-                        self.stats.delivered(dg.payload.len());
-                        s.borrow_mut().on_datagram(self, dg);
-                    }
-                    None => {
-                        self.stats.unreachable(dg.payload.len());
-                        obs::inc(self.obs.unreachable);
-                    }
-                }
-            }
+            EventKind::Deliver(dg) => self.dispatch_deliveries(at, dg),
             EventKind::Timer { addr, token } => {
                 obs::inc(self.obs.timer);
                 let _span = obs::enter(self.obs.f_timer);
-                if let Some(s) = self.services.get(&addr).cloned() {
+                if let Some(s) = self.service_at(addr) {
                     s.borrow_mut().on_timer(self, token);
                 }
             }
@@ -601,6 +710,114 @@ mod tests {
                 assert_eq!(token, i as u64, "FIFO order broken in round {round}");
             }
         }
+    }
+
+    #[test]
+    fn same_instant_deliveries_coalesce_in_order() {
+        struct Collect {
+            singles: u32,
+            batches: Vec<usize>,
+            order: Vec<u8>,
+        }
+        impl Service for Collect {
+            fn on_datagram(&mut self, _sim: &mut Sim, dg: Datagram) {
+                self.singles += 1;
+                self.order.push(dg.payload[0]);
+            }
+            fn on_datagram_batch(&mut self, _sim: &mut Sim, batch: &[Datagram]) {
+                self.batches.push(batch.len());
+                for dg in batch {
+                    self.order.push(dg.payload[0]);
+                }
+            }
+        }
+        let mut topo = Topology::new();
+        let n = topo.add_node(NodeSpec::laptop());
+        topo.set_loopback(LinkSpec {
+            base_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            bandwidth_bps: 0,
+        });
+        let mut sim = Sim::new(topo, SimConfig::default());
+        let addr = Addr::new(n, 1);
+        let svc = Rc::new(RefCell::new(Collect {
+            singles: 0,
+            batches: Vec::new(),
+            order: Vec::new(),
+        }));
+        sim.bind(addr, svc.clone());
+        for i in 0..8u8 {
+            sim.send(addr, addr, Bytes::copy_from_slice(&[i]));
+        }
+        sim.run_to_completion();
+        let svc = svc.borrow();
+        // All eight arrive at the same instant for one destination: one
+        // batch, send order preserved, each event still accounted.
+        assert_eq!(svc.order, (0..8).collect::<Vec<_>>());
+        assert_eq!(svc.batches, vec![8]);
+        assert_eq!(svc.singles, 0);
+        assert_eq!(sim.events_processed(), 8);
+        assert_eq!(sim.stats().datagrams_delivered, 8);
+    }
+
+    #[test]
+    fn coalescing_stops_at_destination_change() {
+        struct Log {
+            tag: u8,
+            events: Rc<RefCell<Vec<(u8, usize)>>>, // (service tag, run length)
+        }
+        impl Service for Log {
+            fn on_datagram(&mut self, _sim: &mut Sim, _dg: Datagram) {
+                self.events.borrow_mut().push((self.tag, 1));
+            }
+            fn on_datagram_batch(&mut self, _sim: &mut Sim, batch: &[Datagram]) {
+                self.events.borrow_mut().push((self.tag, batch.len()));
+            }
+        }
+        let mut topo = Topology::new();
+        let n = topo.add_node(NodeSpec::laptop());
+        topo.set_loopback(LinkSpec {
+            base_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            bandwidth_bps: 0,
+        });
+        let mut sim = Sim::new(topo, SimConfig::default());
+        let (a, b) = (Addr::new(n, 1), Addr::new(n, 2));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.bind(a, Rc::new(RefCell::new(Log { tag: 1, events: log.clone() })));
+        sim.bind(b, Rc::new(RefCell::new(Log { tag: 2, events: log.clone() })));
+        // a, a, b, a at one instant: the run to `a` ends at the first `b`.
+        for dst in [a, a, b, a] {
+            sim.send(a, dst, Bytes::from_static(b"x"));
+        }
+        sim.run_to_completion();
+        assert_eq!(*log.borrow(), vec![(1, 2), (2, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn unbind_recycles_slots_and_tracks_load() {
+        let (mut sim, _a, b) = two_node_sim();
+        let p1 = Addr::new(b.node, 10);
+        let p2 = Addr::new(b.node, 11);
+        sim.bind(p1, Echo::new(p1));
+        sim.bind(p2, Echo::new(p2));
+        assert_eq!(sim.node_load(b.node), 2);
+        assert!(sim.is_bound(p1));
+        sim.unbind(p1);
+        assert!(!sim.is_bound(p1));
+        assert_eq!(sim.node_load(b.node), 1);
+        // A fresh bind on a new port reuses the freed arena slot; the old
+        // address stays unreachable.
+        let p3 = Addr::new(b.node, 12);
+        sim.bind(p3, Echo::new(p3));
+        assert_eq!(sim.node_load(b.node), 2);
+        assert!(sim.is_bound(p3));
+        assert!(!sim.is_bound(p1));
+        // Rebinding an occupied port replaces in place, not a second slot.
+        sim.bind(p2, Echo::new(p2));
+        assert_eq!(sim.node_load(b.node), 2);
     }
 
     #[test]

@@ -158,6 +158,31 @@ impl<T> EventWheel<T> {
         Some((e.at, e.seq, e.value))
     }
 
+    /// Remove and return the earliest entry only if `pred` accepts it.
+    ///
+    /// This is the kernel's batching primitive: after popping one delivery
+    /// it keeps popping *only* while the next-due entry shares the same
+    /// instant and destination, so coalescing can never reorder events —
+    /// the run it collects is exactly a prefix of the `(at, seq)` order.
+    ///
+    /// Deliberately looks only at the bucket the last `pop` opened (events
+    /// at one instant always share a bucket, so no same-instant run is ever
+    /// missed): advancing the cursor here could move it past the caller's
+    /// current instant, which would break the monotonic-push invariant for
+    /// handlers that schedule work at `now` mid-batch.
+    pub fn pop_if(
+        &mut self,
+        pred: impl FnOnce(u64, u64, &T) -> bool,
+    ) -> Option<(u64, u64, T)> {
+        let e = self.current.front()?;
+        if !pred(e.at, e.seq, &e.value) {
+            return None;
+        }
+        let e = self.current.pop_front().expect("front checked above");
+        self.len -= 1;
+        Some((e.at, e.seq, e.value))
+    }
+
     /// Route an entry to the current bucket, a wheel slot, or the overflow,
     /// based on which tick prefix it shares with the cursor.
     fn file(&mut self, e: Entry<T>) {
@@ -341,6 +366,37 @@ mod tests {
                 seq += 1;
             }
         }
+    }
+
+    #[test]
+    fn pop_if_takes_only_matching_front() {
+        let mut wheel = EventWheel::new();
+        wheel.push(100, 0, 7);
+        wheel.push(100, 1, 8);
+        wheel.push(200, 2, 9);
+        // Predicate rejects: nothing removed.
+        assert!(wheel.pop_if(|_, _, &v| v == 8).is_none());
+        assert_eq!(wheel.len(), 3);
+        // Predicate accepts the front only.
+        assert_eq!(wheel.pop_if(|at, _, _| at == 100), Some((100, 0, 7)));
+        assert_eq!(wheel.pop_if(|at, _, _| at == 100), Some((100, 1, 8)));
+        // Next entry is at 200: the same-instant run is over.
+        assert!(wheel.pop_if(|at, _, _| at == 100).is_none());
+        assert_eq!(wheel.pop(), Some((200, 2, 9)));
+        assert!(wheel.pop_if(|_, _, _| true).is_none());
+    }
+
+    #[test]
+    fn pop_if_never_advances_the_cursor() {
+        let mut wheel = EventWheel::new();
+        // The entry sits in a future slot, not the open bucket: pop_if must
+        // not pull the cursor forward to reach it (that would forbid
+        // pushing at earlier instants), so it declines even on `true`.
+        wheel.push(1 << 20, 0, 1);
+        assert!(wheel.pop_if(|_, _, _| true).is_none());
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.pop(), Some((1 << 20, 0, 1)));
+        assert!(wheel.is_empty());
     }
 
     #[test]

@@ -133,8 +133,9 @@ build_docs digibox_core crates/core/src/lib.rs "${CORE_DEPS[@]}"
 build digibox_devices crates/devices/src/lib.rs serde_json digibox_model digibox_net digibox_core
 buildtest digibox_devices crates/devices/src/lib.rs serde_json digibox_model digibox_net digibox_core
 
-# core's unit tests use digibox_devices (dev-dependency), so they come after.
-buildtest digibox_core crates/core/src/lib.rs "${CORE_DEPS[@]}" digibox_devices
+# core's unit tests use digibox_devices and proptest (dev-dependencies),
+# so they come after. The proptest stub compiles property tests out.
+buildtest digibox_core crates/core/src/lib.rs "${CORE_DEPS[@]}" digibox_devices proptest
 
 if [ -d crates/analysis ]; then
   ANALYSIS_DEPS=(serde serde_json digibox_model digibox_net digibox_broker
@@ -200,5 +201,11 @@ rustc --edition "$EDITION" -O scripts/standalone_obs.rs -o "$TMP/standalone_obs"
 "$TMP/standalone_obs" "$TMP/BENCH_obs.json" >/dev/null 2>&1 \
   || { echo "standalone obs determinism check failed" >&2; exit 1; }
 echo "  run  standalone_obs (identical runs snapshot identically)"
+
+echo "== standalone scale harness (E13 checksum parity + arena determinism)"
+rustc --edition "$EDITION" -O scripts/standalone_scale.rs -o "$TMP/standalone_scale"
+"$TMP/standalone_scale" "$TMP/BENCH_scale.json" --quick >/dev/null 2>&1 \
+  || { echo "standalone scale parity check failed" >&2; exit 1; }
+echo "  run  standalone_scale (baseline and arena substrates agree at 10k digis)"
 
 echo "offline check OK"
