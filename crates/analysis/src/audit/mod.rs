@@ -1,0 +1,168 @@
+//! `dbox audit`: a determinism/concurrency static analyzer for the
+//! simulation sources themselves.
+//!
+//! Where `dbox lint` checks *ensembles* (manifests, footprints, wiring),
+//! `dbox audit` checks the *Rust sources* of the simulation crates for
+//! hazards that would break the kernel's bit-reproducibility contract:
+//! wall-clock reads, OS entropy, hash-order iteration, stray threads, and
+//! pointer-identity leaks. It replaces the old `scripts/lint_determinism.sh`
+//! grep, which could not see the difference between code and a doc comment
+//! and whose `// det-ok:` waivers were never checked against anything.
+//!
+//! The pipeline, per file: [`lexer::lex`] → [`rules::scan`] →
+//! [`suppress::apply`]. The lexer understands comments, strings, raw
+//! strings, and char literals, so rule passes only ever see real code
+//! tokens; the suppression pass enforces the `// det-ok(DHxxxx): reason`
+//! grammar *both ways* (unexcused hazards fail, and so do stale or
+//! malformed excuses). Findings carry stable `DH` codes and render through
+//! the same pretty/canonical-JSON conventions as the `DL` lint report.
+//!
+//! Everything is dependency-free and filesystem-order-independent: files
+//! are walked in sorted order and findings are sorted by
+//! [`report::AuditReport::finish`], so two runs over the same tree produce
+//! byte-identical reports on any platform.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::{AuditFinding, AuditReport, HazardCode};
+pub use rules::RuleConfig;
+
+/// The simulation crates `dbox audit` covers by default (the same set the
+/// retired grep lint walked). Deliberately excludes `cli`, `obs`, `bench`,
+/// `analysis`, and `integration`: those run outside the kernel's
+/// deterministic envelope.
+pub const DEFAULT_CRATES: [&str; 7] = [
+    "crates/core",
+    "crates/net",
+    "crates/broker",
+    "crates/model",
+    "crates/devices",
+    "crates/orchestrator",
+    "crates/registry",
+];
+
+/// Audit options.
+#[derive(Debug, Clone, Default)]
+pub struct AuditOptions {
+    /// Hazard codes suppressed for the whole run (`--allow DH0005`).
+    pub allow: BTreeSet<String>,
+}
+
+/// Audit one file's source text. Returns the surviving findings and the
+/// number suppressed by `// det-ok` annotations. This is the unit the
+/// per-code fixtures exercise directly.
+pub fn audit_source(file: &str, src: &str) -> (Vec<AuditFinding>, usize) {
+    let cfg = config_for(file);
+    let tokens = lexer::lex(src);
+    let findings = rules::scan(file, &tokens, &cfg);
+    let set = suppress::collect(file, &tokens);
+    suppress::apply(file, findings, &set)
+}
+
+/// The per-file rule configuration: the `core::sweep` worker engine is the
+/// one place `std::thread` is legal.
+fn config_for(file: &str) -> RuleConfig {
+    let normalized = file.replace('\\', "/");
+    RuleConfig { threads_allowed: normalized.ends_with("core/src/sweep.rs") }
+}
+
+/// Audit a set of paths (files or directories; directories are walked
+/// recursively for `.rs` files in sorted order). Paths are recorded in the
+/// report exactly as derived from the arguments, so repo-relative inputs
+/// yield repo-relative findings.
+pub fn audit_paths<P: AsRef<Path>>(paths: &[P], opts: &AuditOptions) -> io::Result<AuditReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        collect_rs_files(p.as_ref(), &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = AuditReport::new();
+    report.files = files.len();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let name = path.to_string_lossy().replace('\\', "/");
+        let (findings, suppressed) = audit_source(&name, &src);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+    }
+    report.finish(&opts.allow);
+    Ok(report)
+}
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let meta = fs::metadata(path).map_err(|e| {
+        io::Error::new(e.kind(), format!("audit path {}: {e}", path.display()))
+    })?;
+    if meta.is_file() {
+        if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    // deterministic walk: sort directory entries by name
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(path)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            // skip build output if anyone points the audit at a crate root
+            if entry.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|ext| ext == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_source_pipeline_end_to_end() {
+        let src = "let t = SystemTime::now();\n\
+                   let u = Instant::now(); // det-ok(DH0001): fixture exercises suppression\n";
+        let (findings, suppressed) = audit_source("fixture.rs", src);
+        assert_eq!(suppressed, 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, HazardCode::BannedTimeOrEntropy);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn stale_annotations_surface_through_the_pipeline() {
+        let (findings, suppressed) =
+            audit_source("fixture.rs", "// det-ok(DH0003): no thread here anymore\nlet x = 1;\n");
+        assert_eq!(suppressed, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, HazardCode::StaleSuppression);
+    }
+
+    #[test]
+    fn sweep_engine_gets_thread_exemption() {
+        assert!(config_for("crates/core/src/sweep.rs").threads_allowed);
+        assert!(config_for("/abs/path/crates/core/src/sweep.rs").threads_allowed);
+        assert!(!config_for("crates/net/src/transport.rs").threads_allowed);
+        assert!(!config_for("crates/core/src/pool.rs").threads_allowed);
+    }
+
+    #[test]
+    fn default_crates_match_the_retired_grep_lint() {
+        assert_eq!(DEFAULT_CRATES.len(), 7);
+        assert!(DEFAULT_CRATES.contains(&"crates/orchestrator"));
+        assert!(!DEFAULT_CRATES.contains(&"crates/cli"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The structured suppression grammar, and its enforcement.
+//!
+//! A finding is excused by a line comment of the form
+//!
+//! ```text
+//! // det-ok(DH0002): reason the hazard is not real here
+//! ```
+//!
+//! either trailing the offending line or standing alone on the line
+//! directly above it. Several codes may share one annotation:
+//! `// det-ok(DH0002,DH0005): …`. Unlike the legacy grep lint, the
+//! contract is *checked* both ways:
+//!
+//! * a suppression that matches no finding is itself a finding (DH0090,
+//!   stale) — annotations cannot rot in place once the hazard is fixed;
+//! * a bare legacy `// det-ok: reason`, an unknown code, or a missing
+//!   reason is malformed (DH0091) — suppressions must say *what* they
+//!   excuse and *why*.
+
+use super::lexer::{Token, TokenKind};
+use super::report::{AuditFinding, HazardCode};
+
+/// One parsed `// det-ok(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Codes this annotation excuses.
+    pub codes: Vec<HazardCode>,
+    /// The justification after the colon.
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+}
+
+/// Everything suppression-shaped found in one file's comments.
+#[derive(Debug, Default)]
+pub struct SuppressionSet {
+    pub suppressions: Vec<Suppression>,
+    /// DH0091 findings for malformed/legacy annotations.
+    pub malformed: Vec<AuditFinding>,
+}
+
+/// Scan a file's comment tokens for `det-ok` annotations.
+pub fn collect(file: &str, tokens: &[Token]) -> SuppressionSet {
+    let mut set = SuppressionSet::default();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("det-ok") else {
+            continue;
+        };
+        let malformed = |msg: String| {
+            AuditFinding::new(HazardCode::MalformedSuppression, file, tok.line, tok.col, msg)
+        };
+        let rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('(') {
+            let Some((codes_str, tail)) = after.split_once(')') else {
+                set.malformed.push(malformed("unclosed `det-ok(` annotation".into()));
+                continue;
+            };
+            let mut codes = Vec::new();
+            let mut bad = None;
+            for c in codes_str.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+                match HazardCode::parse(c) {
+                    Some(code) => codes.push(code),
+                    None => bad = Some(c.to_string()),
+                }
+            }
+            if let Some(bad) = bad {
+                let hint = digibox_core::suggest::nearest(
+                    &bad,
+                    HazardCode::all().iter().map(|c| c.as_str()),
+                )
+                .map(|s| format!(" (did you mean {s}?)"))
+                .unwrap_or_default();
+                set.malformed
+                    .push(malformed(format!("det-ok names unknown hazard code {bad:?}{hint}")));
+                continue;
+            }
+            if codes.is_empty() {
+                set.malformed.push(malformed("det-ok() names no hazard code".into()));
+                continue;
+            }
+            let reason = tail.trim_start().strip_prefix(':').map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                set.malformed.push(malformed(
+                    "det-ok suppression has no reason (expected `// det-ok(DHxxxx): why`)".into(),
+                ));
+                continue;
+            }
+            set.suppressions.push(Suppression {
+                codes,
+                reason: reason.to_string(),
+                line: tok.line,
+                col: tok.col,
+            });
+        } else {
+            // legacy `// det-ok: reason` or stray `det-ok` marker
+            set.malformed.push(malformed(
+                "legacy bare `det-ok:` annotation — migrate to `// det-ok(DHxxxx): reason`"
+                    .into(),
+            ));
+        }
+    }
+    set
+}
+
+/// Apply suppressions to a file's findings. Returns the findings that
+/// survive (with DH0090 staleness findings appended for annotations that
+/// matched nothing) plus the count of findings suppressed.
+///
+/// An annotation on line `L` covers findings on `L` (trailing form) and
+/// `L + 1` (line-above form).
+pub fn apply(file: &str, findings: Vec<AuditFinding>, set: &SuppressionSet) -> (Vec<AuditFinding>, usize) {
+    let mut used = vec![false; set.suppressions.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in findings {
+        let hit = set.suppressions.iter().enumerate().find(|(_, s)| {
+            s.codes.contains(&finding.code)
+                && (s.line == finding.line || s.line + 1 == finding.line)
+        });
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(finding),
+        }
+    }
+    for (i, s) in set.suppressions.iter().enumerate() {
+        if !used[i] {
+            let codes: Vec<&str> = s.codes.iter().map(|c| c.as_str()).collect();
+            kept.push(AuditFinding::new(
+                HazardCode::StaleSuppression,
+                file,
+                s.line,
+                s.col,
+                format!(
+                    "det-ok({}) suppresses nothing — the hazard it excused is gone; remove the annotation",
+                    codes.join(",")
+                ),
+            ));
+        }
+    }
+    kept.extend(set.malformed.iter().cloned());
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::lexer::lex;
+
+    fn finding(code: HazardCode, line: u32) -> AuditFinding {
+        AuditFinding::new(code, "f.rs", line, 1, "x".into())
+    }
+
+    #[test]
+    fn parses_structured_annotations() {
+        let toks = lex("// det-ok(DH0002): min over values is order-independent\n");
+        let set = collect("f.rs", &toks);
+        assert!(set.malformed.is_empty(), "{:?}", set.malformed);
+        assert_eq!(set.suppressions.len(), 1);
+        assert_eq!(set.suppressions[0].codes, vec![HazardCode::HashOrderIteration]);
+        assert!(set.suppressions[0].reason.contains("order-independent"));
+    }
+
+    #[test]
+    fn multi_code_annotations() {
+        let toks = lex("// det-ok(DH0002, DH0005): digest accumulation is commutative\n");
+        let set = collect("f.rs", &toks);
+        assert_eq!(set.suppressions[0].codes.len(), 2);
+    }
+
+    #[test]
+    fn legacy_bare_form_is_malformed() {
+        let toks = lex("use std::collections::HashMap; // det-ok: keyed lookup only\n");
+        let set = collect("f.rs", &toks);
+        assert!(set.suppressions.is_empty());
+        assert_eq!(set.malformed.len(), 1);
+        assert_eq!(set.malformed[0].code, HazardCode::MalformedSuppression);
+        assert!(set.malformed[0].message.contains("legacy"), "{}", set.malformed[0].message);
+    }
+
+    #[test]
+    fn unknown_code_and_missing_reason_are_malformed() {
+        let toks = lex("// det-ok(DH9999): no such code\n// det-ok(DH0002):\n// det-ok(DH0020): typo\n");
+        let set = collect("f.rs", &toks);
+        assert!(set.suppressions.is_empty());
+        assert_eq!(set.malformed.len(), 3);
+        assert!(set.malformed[0].message.contains("DH9999"));
+        assert!(set.malformed[1].message.contains("no reason"));
+        // OSA suggestion on near-miss codes
+        assert!(set.malformed[2].message.contains("did you mean DH0002?"), "{}", set.malformed[2].message);
+    }
+
+    #[test]
+    fn det_ok_inside_string_is_not_an_annotation() {
+        let toks = lex("let s = \"// det-ok: in a string\";\n");
+        let set = collect("f.rs", &toks);
+        assert!(set.suppressions.is_empty());
+        assert!(set.malformed.is_empty());
+    }
+
+    #[test]
+    fn trailing_and_line_above_forms_suppress() {
+        let toks = lex("// det-ok(DH0002): covers next line\nx;\ny; // det-ok(DH0001): covers this line\n");
+        let set = collect("f.rs", &toks);
+        let findings = vec![
+            finding(HazardCode::HashOrderIteration, 2),
+            finding(HazardCode::BannedTimeOrEntropy, 3),
+        ];
+        let (kept, suppressed) = apply("f.rs", findings, &set);
+        assert_eq!(suppressed, 2);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn wrong_code_or_line_does_not_suppress() {
+        let toks = lex("x; // det-ok(DH0001): wrong code for this finding\n");
+        let set = collect("f.rs", &toks);
+        let (kept, suppressed) = apply("f.rs", vec![finding(HazardCode::HashOrderIteration, 1)], &set);
+        assert_eq!(suppressed, 0);
+        // the original finding survives AND the annotation is stale
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|f| f.code == HazardCode::HashOrderIteration));
+        assert!(kept.iter().any(|f| f.code == HazardCode::StaleSuppression));
+    }
+
+    #[test]
+    fn stale_suppression_becomes_dh0090() {
+        let toks = lex("// det-ok(DH0002): nothing here anymore\nclean_code();\n");
+        let set = collect("f.rs", &toks);
+        let (kept, suppressed) = apply("f.rs", Vec::new(), &set);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].code, HazardCode::StaleSuppression);
+        assert_eq!(kept[0].line, 1);
+        assert!(kept[0].message.contains("det-ok(DH0002)"), "{}", kept[0].message);
+    }
+}

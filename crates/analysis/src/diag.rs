@@ -228,6 +228,24 @@ impl Span {
     }
 }
 
+/// Minimal JSON string escaping, shared by the lint and audit reports
+/// (hand-rolled so both stay usable in serde-less harnesses).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -338,24 +356,10 @@ impl Report {
     /// `{"findings": [...], "errors": N, "warnings": N, "infos": N,
     /// "suppressed": N}`.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
+        let esc = json_escape;
         fn opt(v: &Option<String>) -> String {
             match v {
-                Some(s) => format!("\"{}\"", esc(s)),
+                Some(s) => format!("\"{}\"", json_escape(s)),
                 None => "null".into(),
             }
         }

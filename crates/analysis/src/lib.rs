@@ -22,7 +22,12 @@
 //! Findings carry stable codes ([`LintCode`]), severities, and structured
 //! spans. Suppression is per-run (`--allow DL0002`) or per-digi via a
 //! `lint_allow` instance param.
+//!
+//! The crate also houses `dbox audit` (see [`audit`]): a determinism/
+//! concurrency analyzer over the simulation crates' own Rust sources,
+//! with its own stable `DH` hazard codes.
 
+pub mod audit;
 pub mod diag;
 pub mod footprints;
 
@@ -37,8 +42,32 @@ use digibox_core::{Catalog, SceneProperty};
 use digibox_model::Value;
 use digibox_registry::SetupManifest;
 
+pub use audit::{audit_paths, audit_source, AuditOptions, AuditReport, HazardCode};
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
 pub use footprints::{paths_overlap, probe, profile_catalog, schema_has_path, ProgramProfile};
+
+/// Parse and validate a comma-separated `--allow` argument against a known
+/// code set. An unknown code is an operational error (the caller exits 2)
+/// with a "did you mean" hint — silently ignoring a typoed `--allow` would
+/// leave the user believing a finding is waived when it is not.
+pub fn parse_allow_codes<'a, I>(arg: &str, known: I) -> Result<BTreeSet<String>, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let known: Vec<&str> = known.into_iter().collect();
+    let mut out = BTreeSet::new();
+    for code in arg.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        if known.contains(&code) {
+            out.insert(code.to_string());
+        } else {
+            let hint = digibox_core::suggest::nearest(code, known.iter().copied())
+                .map(|s| format!(" (did you mean {s}?)"))
+                .unwrap_or_default();
+            return Err(format!("--allow names unknown code {code:?}{hint}"));
+        }
+    }
+    Ok(out)
+}
 
 /// Everything the analyzer looks at: a materialized setup plus its scene
 /// properties. Build one from a live testbed (`dbox lint`) or by hand from
@@ -292,5 +321,25 @@ mod tests {
     fn library_catalog_is_schema_clean() {
         let report = lint_catalog(&full_catalog(), &Options::default());
         assert!(report.is_clean(), "{}", report.render_pretty());
+    }
+
+    #[test]
+    fn parse_allow_codes_accepts_known_and_rejects_unknown() {
+        let known = || LintCode::all().map(LintCode::as_str);
+        let set = parse_allow_codes("DL0002, DL0012,", known()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("DL0002"));
+
+        let err = parse_allow_codes("DL0002,DL0099", known()).unwrap_err();
+        assert!(err.contains("DL0099"), "{err}");
+
+        // near-miss gets an OSA suggestion
+        let err = parse_allow_codes("DL002", known()).unwrap_err();
+        assert!(err.contains("did you mean DL0002?"), "{err}");
+
+        // hazard codes validate the same way (ties break to the lowest code)
+        let err =
+            parse_allow_codes("DH0006", HazardCode::all().map(HazardCode::as_str)).unwrap_err();
+        assert!(err.contains("did you mean DH0001?"), "{err}");
     }
 }

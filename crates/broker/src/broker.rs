@@ -2,7 +2,7 @@
 //! messages, last-will handling.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap}; // det-ok: hash maps for keyed lookup; iteration is sorted first
+use std::collections::{BTreeMap, HashMap}; // hash maps for keyed lookup; `dbox audit` (DH0002) checks every iteration site
 use std::rc::Rc;
 
 use bytes::Bytes;

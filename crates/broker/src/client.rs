@@ -2,7 +2,7 @@
 //! and applications (they own the [`digibox_net::Service`] binding and
 //! forward datagrams/timers here).
 
-use std::collections::{HashMap, VecDeque}; // det-ok: keyed lookup only, never iterated
+use std::collections::{HashMap, VecDeque}; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 
 use bytes::Bytes;
 

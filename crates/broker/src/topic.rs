@@ -11,7 +11,7 @@
 //! that was never interned cannot match any literal branch, so unknown
 //! levels short-circuit to the wildcard children only.
 
-use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
+use std::collections::HashMap; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 
 /// Is `topic` a valid topic *name* (publishable)? No wildcards allowed.
 pub fn validate_topic(topic: &str) -> bool {

@@ -33,6 +33,7 @@ use digibox_model::{dml, Value};
 use digibox_net::SimDuration;
 use digibox_registry::Repository;
 
+mod audit;
 mod chaos;
 mod lint;
 mod profile;
@@ -200,10 +201,14 @@ pub fn usage() -> &'static str {
 
 /// Run one CLI invocation against the workspace at `dir`.
 pub fn invoke(dir: &Path, args: &[String]) -> Outcome {
-    // `lint`, `chaos`, and `sweep` have their own exit-code contracts
-    // (2 = findings / violations), so they bypass the Ok/Err mapping below.
+    // `lint`, `audit`, `chaos`, and `sweep` have their own exit-code
+    // contracts (2 = findings / violations), so they bypass the Ok/Err
+    // mapping below.
     if args.first().map(String::as_str) == Some("lint") {
         return lint::run(dir, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("audit") {
+        return audit::run(dir, &args[1..]);
     }
     if args.first().map(String::as_str) == Some("chaos") {
         return chaos::run(dir, &args[1..]);
@@ -235,6 +240,7 @@ usage:
   dbox push <setup> --to <dir>                   push to a remote repo dir
   dbox pull <setup> --from <dir>                 pull + recreate a setup
   dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
+  dbox audit [--format json] [--allow CODE] [paths...]  determinism audit of the simulation sources
   dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
   dbox sweep [--seeds 1..16] [--jobs N] [--pool T:P:N]  parallel seed sweep + report
   dbox stats [--format json|pretty]              deterministic metrics snapshot

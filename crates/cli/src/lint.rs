@@ -6,13 +6,14 @@
 //! `invoke_inner`:
 //!
 //! * `0` — clean, or only warnings/notes;
-//! * `2` — at least one error-severity finding;
+//! * `2` — at least one error-severity finding, or a rejected `--allow`
+//!   code (a typoed allow must not silently un-waive anything);
 //! * `1` — operational failure (bad flags, unreadable file, broken
 //!   session).
 
 use std::path::Path;
 
-use digibox_analysis::{lint_ensemble, lint_catalog, Ensemble, Options, Report};
+use digibox_analysis::{lint_ensemble, lint_catalog, parse_allow_codes, Ensemble, LintCode, Options, Report};
 use digibox_devices::full_catalog;
 use digibox_registry::SetupManifest;
 
@@ -38,11 +39,14 @@ pub fn run(dir: &Path, args: &[String]) -> Outcome {
             let code = if report.has_errors() { 2 } else { 0 };
             Outcome { stdout, code }
         }
-        Err(e) => Outcome { stdout: format!("error: {e}\n"), code: 1 },
+        Err((code, e)) => Outcome { stdout: format!("error: {e}\n"), code },
     }
 }
 
-fn run_inner(dir: &Path, args: &[String]) -> Result<(Report, bool), String> {
+/// Errors carry their exit code: `1` for operational failures, `2` for a
+/// rejected `--allow` code.
+fn run_inner(dir: &Path, args: &[String]) -> Result<(Report, bool), (i32, String)> {
+    let fail = |msg: String| (1, msg);
     let mut json = false;
     let mut opts = Options::default();
     let mut library = false;
@@ -53,17 +57,25 @@ fn run_inner(dir: &Path, args: &[String]) -> Result<(Report, bool), String> {
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => json = true,
                 Some("pretty") => json = false,
-                other => return Err(format!("unknown --format {other:?}\n{LINT_USAGE}")),
+                other => return Err(fail(format!("unknown --format {other:?}\n{LINT_USAGE}"))),
             },
             "--allow" => {
-                let codes = it.next().ok_or(format!("--allow needs codes\n{LINT_USAGE}"))?;
-                opts = opts.allow_list(codes);
+                let codes =
+                    it.next().ok_or_else(|| fail(format!("--allow needs codes\n{LINT_USAGE}")))?;
+                // validated: a typoed code used to be silently ignored,
+                // leaving its findings live while the user believed them
+                // waived
+                let set = parse_allow_codes(codes, LintCode::all().map(LintCode::as_str))
+                    .map_err(|e| (2, e))?;
+                opts.allow.extend(set);
             }
             "--library" => library = true,
             "--file" => {
-                file = Some(it.next().ok_or(format!("--file needs a path\n{LINT_USAGE}"))?.clone());
+                file = Some(
+                    it.next().ok_or_else(|| fail(format!("--file needs a path\n{LINT_USAGE}")))?.clone(),
+                );
             }
-            other => return Err(format!("unknown argument {other:?}\n{LINT_USAGE}")),
+            other => return Err(fail(format!("unknown argument {other:?}\n{LINT_USAGE}"))),
         }
     }
 
@@ -71,13 +83,13 @@ fn run_inner(dir: &Path, args: &[String]) -> Result<(Report, bool), String> {
     let report = if library {
         lint_catalog(&catalog, &opts)
     } else if let Some(path) = file {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-        let manifest = SetupManifest::from_dml(&text)?;
+        let text = std::fs::read_to_string(&path).map_err(|e| fail(format!("{path}: {e}")))?;
+        let manifest = SetupManifest::from_dml(&text).map_err(fail)?;
         lint_ensemble(&catalog, &Ensemble::new(manifest), &opts)
     } else {
         // lint whatever the session journal materializes to
-        let session = Session::load(dir)?;
-        let mut dbox = session.materialize()?;
+        let session = Session::load(dir).map_err(fail)?;
+        let mut dbox = session.materialize().map_err(fail)?;
         let manifest = dbox.testbed().describe("session");
         let properties = dbox.testbed().properties().to_vec();
         lint_ensemble(&catalog, &Ensemble::new(manifest).with_properties(properties), &opts)
@@ -157,6 +169,16 @@ mod lintcheck {
         let out = run(&dir, &["--help".to_string()]);
         assert_eq!(out.code, 0, "{}", out.stdout);
         assert!(out.stdout.starts_with("usage:"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn unknown_allow_code_is_rejected_with_exit_2() {
+        let dir = tmpdir("allow-reject");
+        let args: Vec<String> =
+            ["--library", "--allow", "DL0202"].iter().map(|s| s.to_string()).collect();
+        let out = run(&dir, &args);
+        assert_eq!(out.code, 2, "{}", out.stdout);
+        assert!(out.stdout.contains("did you mean DL0002?"), "{}", out.stdout);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the §4 microbenchmarks read their numbers from here.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque}; // det-ok: keyed lookup only, never iterated
+use std::collections::{HashMap, VecDeque}; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 use std::rc::Rc;
 
 use bytes::Bytes;

@@ -5,7 +5,7 @@
 //! delays, load-dependent service overhead).
 
 use std::cell::RefCell;
-use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
+use std::collections::HashMap; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 use std::rc::Rc;
 
 use bytes::Bytes;

@@ -45,7 +45,7 @@
 //! fleets of mocks (the paper's 1000-sensor experiment).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap}; // det-ok: hash maps for keyed lookup; iteration is sorted first
+use std::collections::{BTreeMap, HashMap}; // hash maps for keyed lookup; `dbox audit` (DH0002) checks every iteration site
 use std::rc::Rc;
 
 use bytes::Bytes;

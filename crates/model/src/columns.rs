@@ -15,7 +15,7 @@
 //! two threads that interned attributes in different orders still snapshot
 //! byte-identical trees.
 
-use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
+use std::collections::HashMap; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 
 use crate::{ModelError, Path, Result, Value};
 

@@ -1,5 +1,5 @@
 use std::cell::RefCell;
-use std::collections::HashMap; // det-ok: keyed lookup only, never iterated
+use std::collections::HashMap; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 use std::fmt;
 use std::sync::Arc;
 

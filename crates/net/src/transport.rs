@@ -16,7 +16,7 @@
 //! ACK:  0x02 | cumulative_ack: u64        (highest in-order seq received)
 //! ```
 
-use std::collections::{BTreeMap, HashMap, VecDeque}; // det-ok: keyed lookup only, never iterated
+use std::collections::{BTreeMap, HashMap, VecDeque}; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

@@ -39,7 +39,7 @@
 #![warn(missing_docs)]
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap; // det-ok: keyed lookup only; snapshots sort by name
+use std::collections::HashMap; // keyed lookup only; snapshots sort by name (`dbox audit` DH0002 convention)
 
 /// Number of power-of-two histogram buckets (values up to 2^31 land in
 /// their log2 bucket; larger ones saturate into the last).

@@ -1,7 +1,7 @@
 //! The repository: content-addressed objects + refs + commits, with
 //! push/pull and optional directory persistence.
 
-use std::collections::{BTreeMap, HashMap}; // det-ok: content-addressed object store; the only iteration writes digest-named files, so order never reaches an observable artifact
+use std::collections::{BTreeMap, HashMap}; // content-addressed object store; the one hash-order iteration carries a det-ok(DH0002) at the site
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -188,6 +188,7 @@ impl Repository {
     pub fn save_to_dir(&self, dir: &Path) -> Result<(), RegistryError> {
         let objects = dir.join("objects");
         std::fs::create_dir_all(&objects).map_err(io_err)?;
+        // det-ok(DH0002): each object lands in its own digest-named file, so visit order never reaches the artifact
         for (digest, bytes) in &self.objects {
             let path = objects.join(digest.to_string());
             if !path.exists() {

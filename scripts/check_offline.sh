@@ -141,7 +141,8 @@ if [ -d crates/analysis ]; then
   ANALYSIS_DEPS=(serde serde_json digibox_model digibox_net digibox_broker
     digibox_core digibox_registry)
   build digibox_analysis crates/analysis/src/lib.rs "${ANALYSIS_DEPS[@]}"
-  buildtest digibox_analysis crates/analysis/src/lib.rs "${ANALYSIS_DEPS[@]}" digibox_devices
+  # the audit lexer has a property test; the proptest stub compiles it out
+  buildtest digibox_analysis crates/analysis/src/lib.rs "${ANALYSIS_DEPS[@]}" digibox_devices proptest
 fi
 
 APPS_DEPS=(serde_json bytes digibox_model digibox_net digibox_broker digibox_core
@@ -156,6 +157,19 @@ if [ -d crates/analysis ]; then
 fi
 build digibox_cli crates/cli/src/lib.rs "${CLI_DEPS[@]}"
 buildtest digibox_cli crates/cli/src/lib.rs "${CLI_DEPS[@]}"
+
+echo "== dbox binary + determinism self-audit"
+CLI_EXTERNS=(--extern digibox_cli="$OUT/libdigibox_cli.rlib")
+for dep in "${CLI_DEPS[@]}"; do
+  CLI_EXTERNS+=(--extern "$dep=$(lib_of "$dep")")
+done
+rustc --edition "$EDITION" --crate-name dbox crates/cli/src/main.rs \
+  -L "$OUT" "${CLI_EXTERNS[@]}" -o "$OUT/dbox"
+echo "  bin  dbox"
+if [ -d crates/analysis ]; then
+  "$OUT/dbox" audit
+  echo "  run  dbox audit (simulation crates are determinism-clean)"
+fi
 
 INTEG_DEPS=(serde_json digibox_model digibox_net digibox_broker digibox_core
   digibox_devices digibox_apps digibox_trace digibox_registry digibox_cli digibox_obs)
@@ -179,7 +193,7 @@ done
 # which the stubs cannot execute — so integration tests are compile-only
 # offline, except the ones on this allowlist (pure static analysis, no
 # cells). CI runs the full suite with the real crates.
-RUN_ALLOW="lint_library cli_docs"
+RUN_ALLOW="lint_library cli_docs audit_clean"
 for t in tests/*.rs; do
   name=$(basename "$t" .rs)
   case " $RUN_ALLOW " in
