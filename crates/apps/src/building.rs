@@ -112,7 +112,10 @@ impl SmartBuildingApp {
                         }
                     }
                 }
-                AppEvent::MqttConnected | AppEvent::Response { .. } | AppEvent::RequestFailed { .. } => {}
+                AppEvent::MqttConnected
+                | AppEvent::MqttBrokerLost
+                | AppEvent::Response { .. }
+                | AppEvent::RequestFailed { .. } => {}
             }
         }
         dirty_rooms.sort();

@@ -2,7 +2,7 @@
 //! messages, last-will handling.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap}; // hash maps for keyed lookup; `dbox audit` (DH0002) checks every iteration site
+use std::collections::{BTreeMap, BTreeSet, HashMap}; // hash maps for keyed lookup; `dbox audit` (DH0002) checks every iteration site
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -12,7 +12,7 @@ use digibox_net::transport::{ReliableEndpoint, TransportEvent};
 use digibox_net::{Addr, Datagram, Service, ServiceHandle, Sim, SimDuration, SimTime, TimerToken};
 
 use crate::packet::{Packet, QoS};
-use crate::topic::{validate_filter, validate_topic, TopicTrie};
+use crate::topic::{parse_share, validate_filter, validate_topic, TopicTrie};
 
 /// Application publishes between `$SYS` refreshes (change-driven rather
 /// than timer-driven so a quiesced testbed's event queue can drain).
@@ -53,6 +53,18 @@ pub struct BrokerStats {
     pub probes_sent: u64,
     /// Sessions reaped because a keep-alive probe went unanswered.
     pub sessions_expired: u64,
+    /// QoS 2 PUBLISH packets received (first receipts and DUPs alike).
+    pub qos2_publishes_in: u64,
+    /// QoS 2 broker→client deliveries whose PUBCOMP arrived.
+    pub qos2_completed: u64,
+    /// Re-received QoS 2 publishes suppressed by packet-id dedup.
+    pub qos2_dup_dropped: u64,
+    /// Persistent sessions resumed (CONNACK with `session_present`).
+    pub session_resumes: u64,
+    /// Live sessions displaced by a reconnect under the same client id.
+    pub session_takeovers: u64,
+    /// Messages handed to a `$share` group member (one per group per publish).
+    pub shared_deliveries: u64,
 }
 
 /// Pre-interned observability handles for the broker's hot paths (see
@@ -63,6 +75,10 @@ struct ObsKeys {
     route_hit: obs::CounterId,
     route_miss: obs::CounterId,
     retained_served: obs::CounterId,
+    qos2_complete: obs::CounterId,
+    qos2_dup: obs::CounterId,
+    session_resume: obs::CounterId,
+    shared_delivery: obs::CounterId,
     fanout: obs::HistogramId,
     f_publish: obs::FrameId,
     f_subscribe: obs::FrameId,
@@ -76,6 +92,10 @@ impl ObsKeys {
             route_hit: obs::counter("broker.route_cache_hits"),
             route_miss: obs::counter("broker.route_cache_misses"),
             retained_served: obs::counter("broker.retained_served"),
+            qos2_complete: obs::counter("broker.qos2_completed"),
+            qos2_dup: obs::counter("broker.qos2_dups_dropped"),
+            session_resume: obs::counter("broker.session_resumes"),
+            shared_delivery: obs::counter("broker.shared_deliveries"),
             fanout: obs::histogram("broker.route_fanout"),
             f_publish: obs::frame("broker.publish"),
             f_subscribe: obs::frame("broker.subscribe"),
@@ -84,17 +104,100 @@ impl ObsKeys {
     }
 }
 
+/// One subscription entry in the trie: who gets the message, at what QoS,
+/// and (for `$share/<group>/...` filters) which consumer group it belongs
+/// to — shared entries compete round-robin instead of all receiving a copy.
+#[derive(Debug, Clone, PartialEq)]
+struct SubEntry {
+    addr: Addr,
+    qos: QoS,
+    group: Option<Rc<str>>,
+}
+
+/// Where a broker→client QoS 1/2 delivery sits in its handshake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OutState {
+    /// QoS 1: waiting for PUBACK.
+    AwaitPubAck,
+    /// QoS 2: waiting for PUBREC.
+    AwaitPubRec,
+    /// QoS 2: PUBREL sent, waiting for PUBCOMP.
+    AwaitPubComp,
+}
+
+/// An in-flight broker→client publish, kept until the handshake completes
+/// so a resumed session can be caught up with DUP retransmits.
+#[derive(Debug, Clone)]
+struct OutboundPub {
+    topic: String,
+    payload: Bytes,
+    qos: QoS,
+    retain: bool,
+    state: OutState,
+}
+
+/// Durable state of one persistent (non-clean) session, as stashed across
+/// disconnects and exported/imported around a broker restart
+/// ([`Broker::export_sessions`] / [`Broker::import_sessions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Client identifier — the durable session key.
+    pub client_id: String,
+    /// Granted subscriptions as `(filter, qos)`, in subscribe order.
+    /// `$share/...` filters keep their full spelling.
+    pub subscriptions: Vec<(String, QoS)>,
+    /// Last-will message, if any.
+    pub will: Option<(String, Bytes)>,
+    /// Keep-alive interval from CONNECT, in seconds.
+    pub keep_alive_secs: u16,
+    /// Inbound QoS 2 packet ids received but not yet released (the
+    /// receiver-side dedup set), sorted.
+    pub inbound_rec: Vec<u16>,
+    /// In-flight broker→client publishes, sorted by packet id.
+    pub outbound: Vec<OutboundSnapshot>,
+}
+
+/// One in-flight broker→client publish inside a [`SessionSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutboundSnapshot {
+    /// Packet id of the delivery.
+    pub packet_id: u16,
+    /// Destination topic.
+    pub topic: String,
+    /// Message bytes.
+    pub payload: Bytes,
+    /// Delivery QoS (1 or 2; QoS 0 deliveries are never tracked).
+    pub qos: QoS,
+    /// Retain flag as delivered.
+    pub retain: bool,
+    /// True when PUBREL went out and PUBCOMP is pending; false while the
+    /// publish itself still awaits PUBACK/PUBREC.
+    pub released: bool,
+}
+
 #[derive(Debug)]
 struct Session {
-    #[allow(dead_code)] // kept for debugging/$SYS-style introspection
     client_id: String,
-    /// Filters this session holds (mirror of the trie, for cleanup).
-    filters: Vec<String>,
+    /// CONNECT's clean-session flag; when false the session is stashed
+    /// (not destroyed) on disconnect and survives broker restarts.
+    clean_session: bool,
+    /// Keep-alive interval from CONNECT (persisted; the broker's own
+    /// sweep uses the global `session_timeout`).
+    keep_alive_secs: u16,
+    /// Filters this session holds with their granted QoS (mirror of the
+    /// trie, for cleanup and persistence).
+    filters: Vec<(String, QoS)>,
     will: Option<(String, Bytes)>,
     /// Last time any packet arrived from this client.
     last_seen: SimTime,
     /// When the last keep-alive probe went out (cleared on any traffic).
     last_probe: Option<SimTime>,
+    /// Inbound QoS 2 pids received but not released — publishes whose pid
+    /// is already here are PUBREC'd again but not re-routed.
+    inbound_rec: BTreeSet<u16>,
+    /// In-flight broker→client QoS 1/2 deliveries, in pid order so
+    /// resumption retransmits deterministically.
+    outbound: BTreeMap<u16, OutboundPub>,
 }
 
 impl Session {
@@ -110,22 +213,71 @@ impl Session {
     }
 }
 
+/// Freeze a live session's durable state (BTree order keeps the
+/// snapshot's vectors sorted, hence byte-stable when serialized).
+fn snapshot_of(s: &Session) -> SessionSnapshot {
+    SessionSnapshot {
+        client_id: s.client_id.clone(),
+        subscriptions: s.filters.clone(),
+        will: s.will.clone(),
+        keep_alive_secs: s.keep_alive_secs,
+        inbound_rec: s.inbound_rec.iter().copied().collect(),
+        outbound: s
+            .outbound
+            .iter()
+            .map(|(&pid, ob)| OutboundSnapshot {
+                packet_id: pid,
+                topic: ob.topic.clone(),
+                payload: ob.payload.clone(),
+                qos: ob.qos,
+                retain: ob.retain,
+                released: ob.state == OutState::AwaitPubComp,
+            })
+            .collect(),
+    }
+}
+
+/// A topic's fully resolved delivery lists: direct subscribers (each gets
+/// a copy) and `$share` groups (each group gets exactly one copy,
+/// round-robin). Cached immutably per interned topic id; the rotation
+/// counters live outside the cache on the broker itself.
+#[derive(Debug)]
+struct RouteSet {
+    /// Deduped best-QoS direct subscribers, sorted by address.
+    direct: Vec<(Addr, QoS)>,
+    /// Share groups sorted by name; members deduped best-QoS, sorted by
+    /// address.
+    shared: Vec<(Rc<str>, Vec<(Addr, QoS)>)>,
+}
+
 /// The MQTT broker, bound at one address of the simulated network.
 pub struct Broker {
     addr: Addr,
     ep: ReliableEndpoint,
     sessions: HashMap<Addr, Session>,
-    /// filter → (subscriber address, granted qos)
-    subs: TopicTrie<(Addr, QoS)>,
-    /// interned topic id → fully resolved delivery list (deduped,
-    /// best-qos, sorted) behind a refcounted slice, so a cache hit is two
-    /// hash probes (topic → id, id → routes) and a refcount bump — no
+    /// client id → live session address, for takeover detection without
+    /// scanning the session map.
+    client_index: BTreeMap<String, Addr>,
+    /// Persistent sessions currently disconnected, keyed by client id.
+    /// A non-clean CONNECT under the key resumes the entry; a clean one
+    /// destroys it.
+    stashed: BTreeMap<String, SessionSnapshot>,
+    /// filter → subscription entries (address, granted qos, share group)
+    subs: TopicTrie<SubEntry>,
+    /// interned topic id → fully resolved delivery lists (deduped,
+    /// best-qos, sorted) behind a refcounted snapshot, so a cache hit is
+    /// two hash probes (topic → id, id → routes) and a refcount bump — no
     /// `String` key allocation on misses either. Valid only while
     /// `route_epoch` equals the trie's epoch; any
     /// subscribe/unsubscribe/session-end bumps the epoch and the next
     /// publish drops the whole cache (ids stay stable across epochs).
-    route_cache: HashMap<u32, Rc<[(Addr, QoS)]>>,
+    route_cache: HashMap<u32, Rc<RouteSet>>,
     route_epoch: u64,
+    /// `$share` round-robin rotation counters, keyed by group name. Kept
+    /// outside the immutable route cache: the counter advances per
+    /// matching publish in arrival order, which is what makes shared
+    /// fanout deterministic under a deterministic kernel.
+    share_rr: BTreeMap<String, u64>,
     /// topic → retained (qos, payload). Topic keys are shared `Rc<str>`
     /// and payloads shared `Bytes`, so replaying retained state to a new
     /// subscriber clones refcounts, not bytes.
@@ -149,9 +301,12 @@ impl Broker {
             addr,
             ep: ReliableEndpoint::new(addr),
             sessions: HashMap::new(),
+            client_index: BTreeMap::new(),
+            stashed: BTreeMap::new(),
             subs: TopicTrie::new(),
             route_cache: HashMap::new(),
             route_epoch: 0,
+            share_rr: BTreeMap::new(),
             retained: BTreeMap::new(),
             next_pid: 1,
             stats: BrokerStats::default(),
@@ -200,6 +355,42 @@ impl Broker {
         self.sessions.len()
     }
 
+    /// Persistent sessions currently disconnected but retained.
+    pub fn stashed_count(&self) -> usize {
+        self.stashed.len()
+    }
+
+    /// Export every persistent session — live and stashed — for
+    /// checkpointing, sorted by client id. Clean sessions are connection-
+    /// scoped and are not exported.
+    pub fn export_sessions(&self) -> Vec<SessionSnapshot> {
+        let mut out: Vec<SessionSnapshot> = self
+            .sessions
+            .values()
+            .filter(|s| !s.clean_session)
+            .map(snapshot_of)
+            .collect();
+        out.extend(self.stashed.values().cloned());
+        out.sort_by(|a, b| a.client_id.cmp(&b.client_id));
+        out
+    }
+
+    /// Import persistent sessions (from a checkpoint taken by
+    /// [`Broker::export_sessions`]) into the stash. They resume when their
+    /// client reconnects with `clean_session = false`. The pid allocator
+    /// is advanced past every imported in-flight id so new deliveries
+    /// cannot collide with a half-finished handshake.
+    pub fn import_sessions(&mut self, snapshots: Vec<SessionSnapshot>) {
+        for snap in snapshots {
+            for ob in &snap.outbound {
+                if ob.packet_id >= self.next_pid {
+                    self.next_pid = ob.packet_id.checked_add(1).unwrap_or(1);
+                }
+            }
+            self.stashed.insert(snap.client_id.clone(), snap);
+        }
+    }
+
     /// Application-level retained messages (excludes the broker's own
     /// `$SYS` entries).
     pub fn retained_count(&self) -> usize {
@@ -220,17 +411,75 @@ impl Broker {
         match pkt {
             Packet::Connect { client_id, flags } => {
                 self.stats.connects += 1;
-                self.sessions.insert(
-                    from,
-                    Session {
-                        client_id,
-                        filters: Vec::new(),
-                        will: flags.will,
-                        last_seen: sim.now(),
-                        last_probe: None,
-                    },
-                );
-                self.send_packet(sim, from, &Packet::ConnAck { session_present: false, code: 0 });
+                // Takeover: the same client id live at another address —
+                // the old connection is dropped (its will fires, spec
+                // §3.1.4) and, for a persistent session, its state lands
+                // in the stash where the new connection can resume it.
+                if let Some(&old) = self.client_index.get(&client_id) {
+                    if old != from {
+                        self.stats.session_takeovers += 1;
+                        self.drop_session(sim, old, true);
+                    }
+                }
+                // A re-CONNECT over the same endpoint replaces the old
+                // session (stashing it first when persistent, so a
+                // non-clean reconnect resumes its own state).
+                if self.sessions.contains_key(&from) {
+                    self.drop_session(sim, from, false);
+                }
+                if flags.clean_session {
+                    self.stashed.remove(&client_id);
+                }
+                let resumed = !flags.clean_session && self.stashed.contains_key(&client_id);
+                let mut session = Session {
+                    client_id: client_id.clone(),
+                    clean_session: flags.clean_session,
+                    keep_alive_secs: flags.keep_alive_secs,
+                    filters: Vec::new(),
+                    will: flags.will,
+                    last_seen: sim.now(),
+                    last_probe: None,
+                    inbound_rec: BTreeSet::new(),
+                    outbound: BTreeMap::new(),
+                };
+                if resumed {
+                    let snap = self.stashed.remove(&client_id).expect("checked above");
+                    session.filters = snap.subscriptions.clone();
+                    session.inbound_rec = snap.inbound_rec.iter().copied().collect();
+                    session.outbound = snap
+                        .outbound
+                        .into_iter()
+                        .map(|ob| {
+                            (
+                                ob.packet_id,
+                                OutboundPub {
+                                    topic: ob.topic,
+                                    payload: ob.payload,
+                                    qos: ob.qos,
+                                    retain: ob.retain,
+                                    state: if ob.released {
+                                        OutState::AwaitPubComp
+                                    } else if ob.qos == QoS::AtLeastOnce {
+                                        OutState::AwaitPubAck
+                                    } else {
+                                        OutState::AwaitPubRec
+                                    },
+                                },
+                            )
+                        })
+                        .collect();
+                    for (filter, qos) in &snap.subscriptions {
+                        self.insert_sub(from, filter, *qos);
+                    }
+                    self.stats.session_resumes += 1;
+                    obs::inc(self.obs.session_resume);
+                }
+                self.client_index.insert(client_id, from);
+                self.sessions.insert(from, session);
+                self.send_packet(sim, from, &Packet::ConnAck { session_present: resumed, code: 0 });
+                if resumed {
+                    self.retransmit_session(sim, from);
+                }
                 self.publish_sys(sim);
                 self.maybe_arm_sweep(sim);
             }
@@ -242,9 +491,33 @@ impl Broker {
                     self.stats.malformed += 1;
                     return;
                 }
-                if qos == QoS::AtLeastOnce {
-                    if let Some(pid) = packet_id {
-                        self.send_packet(sim, from, &Packet::PubAck { packet_id: pid });
+                match qos {
+                    QoS::AtMostOnce => {}
+                    QoS::AtLeastOnce => {
+                        if let Some(pid) = packet_id {
+                            self.send_packet(sim, from, &Packet::PubAck { packet_id: pid });
+                        }
+                    }
+                    QoS::ExactlyOnce => {
+                        // Exactly-once ingress: route on *first* receipt
+                        // of a pid only; every receipt (DUP retransmits
+                        // included) is answered with PUBREC, and the pid
+                        // stays in the dedup set until PUBREL clears it.
+                        let Some(pid) = packet_id else {
+                            self.stats.malformed += 1;
+                            return;
+                        };
+                        self.stats.qos2_publishes_in += 1;
+                        let first = self
+                            .sessions
+                            .get_mut(&from)
+                            .map_or(true, |s| s.inbound_rec.insert(pid));
+                        self.send_packet(sim, from, &Packet::PubRec { packet_id: pid });
+                        if !first {
+                            self.stats.qos2_dup_dropped += 1;
+                            obs::inc(self.obs.qos2_dup);
+                            return;
+                        }
                     }
                 }
                 if retain {
@@ -274,27 +547,38 @@ impl Broker {
                     }
                 }
                 // Register before SUBACK so routing is live immediately.
+                // A filter the session already holds replaces its granted
+                // QoS (spec §3.8.4) — both in the trie and the mirror.
                 for (filter, qos) in &granted {
-                    self.subs.insert(filter, (from, *qos));
+                    self.insert_sub(from, filter, *qos);
                     if let Some(s) = self.sessions.get_mut(&from) {
-                        s.filters.push(filter.clone());
+                        match s.filters.iter_mut().find(|(f, _)| f == filter) {
+                            Some(held) => held.1 = *qos,
+                            None => s.filters.push((filter.clone(), *qos)),
+                        }
                     }
                 }
                 self.send_packet(sim, from, &Packet::SubAck { packet_id, codes });
                 self.publish_sys(sim);
                 // Deliver matching retained messages (retain flag set).
+                // `$share` filters are skipped: retained replay to exactly
+                // one group member is undefined under round-robin, so
+                // shared subscriptions receive live traffic only (the
+                // MQTT 5 rule, adopted here for 3.1.1).
                 // Topic and payload clones here are refcount bumps on
                 // `Rc<str>`/`Bytes` — replay copies no message data.
+                let plain: Vec<&(String, QoS)> =
+                    granted.iter().filter(|(f, _)| parse_share(f).is_none()).collect();
                 let matching: Vec<(Rc<str>, QoS, Bytes)> = self
                     .retained
                     .iter()
                     .filter(|(topic, _)| {
-                        granted.iter().any(|(f, _)| crate::topic::matches(f, topic))
+                        plain.iter().any(|(f, _)| crate::topic::matches(f, topic))
                     })
                     .map(|(t, (q, p))| (Rc::clone(t), *q, p.clone()))
                     .collect();
                 for (topic, pub_qos, payload) in matching {
-                    let sub_qos = granted
+                    let sub_qos = plain
                         .iter()
                         .filter(|(f, _)| crate::topic::matches(f, &topic))
                         .map(|(_, q)| *q)
@@ -308,16 +592,45 @@ impl Broker {
             }
             Packet::Unsubscribe { packet_id, filters } => {
                 for filter in &filters {
-                    self.subs.remove_where(filter, |(addr, _)| *addr == from);
+                    self.remove_sub(from, filter);
                     if let Some(s) = self.sessions.get_mut(&from) {
-                        s.filters.retain(|f| f != filter);
+                        s.filters.retain(|(f, _)| f != filter);
                     }
                 }
                 self.send_packet(sim, from, &Packet::UnsubAck { packet_id });
             }
-            Packet::PubAck { .. } => {
-                // QoS-1 broker→client delivery confirmed. Delivery itself is
-                // guaranteed by the reliable transport; nothing to clean up.
+            Packet::PubAck { packet_id } => {
+                // QoS-1 broker→client delivery confirmed; forget the
+                // in-flight copy kept for session resumption.
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.outbound.remove(&packet_id);
+                }
+            }
+            Packet::PubRec { packet_id } => {
+                // Client stored our QoS 2 delivery; release it. The
+                // in-flight copy survives (as "released") until PUBCOMP.
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    if let Some(ob) = s.outbound.get_mut(&packet_id) {
+                        ob.state = OutState::AwaitPubComp;
+                    }
+                }
+                self.send_packet(sim, from, &Packet::PubRel { packet_id });
+            }
+            Packet::PubRel { packet_id } => {
+                // Publisher released an inbound pid: clear the dedup
+                // entry and complete the handshake.
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.inbound_rec.remove(&packet_id);
+                }
+                self.send_packet(sim, from, &Packet::PubComp { packet_id });
+            }
+            Packet::PubComp { packet_id } => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    if s.outbound.remove(&packet_id).is_some() {
+                        self.stats.qos2_completed += 1;
+                        obs::inc(self.obs.qos2_complete);
+                    }
+                }
             }
             Packet::PingReq => self.send_packet(sim, from, &Packet::PingResp),
             Packet::PingResp => {
@@ -334,12 +647,36 @@ impl Broker {
         }
     }
 
-    /// Resolve `topic` to its delivery list, consulting the route cache.
+    /// Register `filter` for `addr` in the trie, replacing any previous
+    /// grant the same subscriber holds under it (spec §3.8.4 — a blind
+    /// push here is exactly the double-delivery bug). `$share/<group>/<f>`
+    /// registers under the inner filter `<f>` with the group recorded on
+    /// the entry.
+    fn insert_sub(&mut self, addr: Addr, filter: &str, qos: QoS) {
+        let (group, inner) = match parse_share(filter) {
+            Some((g, inner)) => (Some(Rc::<str>::from(g)), inner),
+            None => (None, filter),
+        };
+        let entry = SubEntry { addr, qos, group: group.clone() };
+        self.subs.replace_where(inner, entry, |e| e.addr == addr && e.group == group);
+    }
+
+    /// Remove `addr`'s subscription entry for `filter` (share-aware).
+    fn remove_sub(&mut self, addr: Addr, filter: &str) {
+        let (group, inner) = match parse_share(filter) {
+            Some((g, inner)) => (Some(g), inner),
+            None => (None, filter),
+        };
+        self.subs
+            .remove_where(inner, |e| e.addr == addr && e.group.as_deref() == group);
+    }
+
+    /// Resolve `topic` to its delivery lists, consulting the route cache.
     /// The cache is keyed by the trie's interned topic id (4 bytes, no
     /// `String` allocation per miss); entries are immutable snapshots
-    /// (`Rc<[...]>`, a hit is a refcount bump), invalidated wholesale
+    /// (`Rc<RouteSet>`, a hit is a refcount bump), invalidated wholesale
     /// whenever the subscription trie's epoch moves.
-    fn resolved_routes(&mut self, topic: &str) -> Rc<[(Addr, QoS)]> {
+    fn resolved_routes(&mut self, topic: &str) -> Rc<RouteSet> {
         if self.route_epoch != self.subs.epoch() {
             self.route_cache.clear();
             self.route_epoch = self.subs.epoch();
@@ -359,27 +696,93 @@ impl Broker {
         }
         self.stats.route_cache_misses += 1;
         obs::inc(self.obs.route_miss);
-        // A session subscribed via several matching filters gets one copy at
-        // the highest granted qos.
+        // A session subscribed via several matching filters gets one copy
+        // at the highest granted qos; share-group members are collected
+        // per group the same way.
         let mut best: HashMap<Addr, QoS> = HashMap::new();
-        for &(addr, q) in self.subs.lookup(topic) {
-            let e = best.entry(addr).or_insert(q);
-            *e = (*e).max(q);
+        let mut groups: BTreeMap<Rc<str>, HashMap<Addr, QoS>> = BTreeMap::new();
+        for entry in self.subs.lookup(topic) {
+            let bucket = match &entry.group {
+                None => &mut best,
+                Some(g) => groups.entry(Rc::clone(g)).or_default(),
+            };
+            let e = bucket.entry(entry.addr).or_insert(entry.qos);
+            *e = (*e).max(entry.qos);
         }
-        let mut sorted: Vec<(Addr, QoS)> = best.into_iter().collect();
-        sorted.sort_unstable_by_key(|(a, _)| *a);
-        let routes: Rc<[(Addr, QoS)]> = sorted.into();
+        let mut direct: Vec<(Addr, QoS)> = best.into_iter().collect();
+        direct.sort_unstable_by_key(|(a, _)| *a);
+        let shared: Vec<(Rc<str>, Vec<(Addr, QoS)>)> = groups
+            .into_iter()
+            .map(|(g, members)| {
+                let mut m: Vec<(Addr, QoS)> = members.into_iter().collect();
+                m.sort_unstable_by_key(|(a, _)| *a);
+                (g, m)
+            })
+            .collect();
+        let routes = Rc::new(RouteSet { direct, shared });
         self.route_cache.insert(id, routes.clone());
         routes
     }
 
-    /// Route a publication to every matching subscriber.
+    /// Route a publication: every direct subscriber gets a copy; every
+    /// `$share` group gets exactly one copy, round-robin over its members
+    /// in publish-arrival order.
     fn route(&mut self, sim: &mut Sim, topic: &str, pub_qos: QoS, payload: Bytes, retain: bool) {
+        // Offline queueing: a disconnected persistent session still
+        // accumulates QoS 1/2 messages matching its plain filters; they sit
+        // in the stash as in-flight deliveries and go out when the session
+        // resumes. QoS 0 messages are not queued and `$share` filters get
+        // live traffic only (both per spec).
+        if pub_qos != QoS::AtMostOnce && !self.stashed.is_empty() {
+            let queued: Vec<(String, QoS)> = self
+                .stashed
+                .iter()
+                .filter_map(|(cid, snap)| {
+                    snap.subscriptions
+                        .iter()
+                        .filter(|(f, _)| {
+                            parse_share(f).is_none() && crate::topic::matches(f, topic)
+                        })
+                        .map(|(_, q)| *q)
+                        .max()
+                        .map(|sub_qos| (cid.clone(), pub_qos.min(sub_qos)))
+                })
+                .filter(|(_, qos)| *qos != QoS::AtMostOnce)
+                .collect();
+            for (cid, qos) in queued {
+                let pid = self.next_pid();
+                if let Some(snap) = self.stashed.get_mut(&cid) {
+                    snap.outbound.push(OutboundSnapshot {
+                        packet_id: pid,
+                        topic: topic.to_string(),
+                        payload: payload.clone(),
+                        qos,
+                        retain,
+                        released: false,
+                    });
+                }
+            }
+        }
         let routes = self.resolved_routes(topic);
-        obs::observe(self.obs.fanout, routes.len() as u64);
-        for &(addr, sub_qos) in routes.iter() {
+        obs::observe(self.obs.fanout, (routes.direct.len() + routes.shared.len()) as u64);
+        for &(addr, sub_qos) in &routes.direct {
             let qos = pub_qos.min(sub_qos);
             self.deliver(sim, addr, topic, qos, payload.clone(), retain);
+        }
+        for (group, members) in &routes.shared {
+            if members.is_empty() {
+                continue;
+            }
+            let idx = {
+                let ctr = self.share_rr.entry(group.to_string()).or_insert(0);
+                let i = (*ctr % members.len() as u64) as usize;
+                *ctr += 1;
+                i
+            };
+            let (addr, sub_qos) = members[idx];
+            self.stats.shared_deliveries += 1;
+            obs::inc(self.obs.shared_delivery);
+            self.deliver(sim, addr, topic, pub_qos.min(sub_qos), payload.clone(), retain);
         }
     }
 
@@ -394,8 +797,28 @@ impl Broker {
     ) {
         let packet_id = match qos {
             QoS::AtMostOnce => None,
-            QoS::AtLeastOnce => Some(self.next_pid()),
+            QoS::AtLeastOnce | QoS::ExactlyOnce => Some(self.next_pid()),
         };
+        if let Some(pid) = packet_id {
+            // Track the in-flight delivery so a resumed session can be
+            // caught up with a DUP retransmit.
+            if let Some(s) = self.sessions.get_mut(&to) {
+                s.outbound.insert(
+                    pid,
+                    OutboundPub {
+                        topic: topic.to_string(),
+                        payload: payload.clone(),
+                        qos,
+                        retain,
+                        state: if qos == QoS::AtLeastOnce {
+                            OutState::AwaitPubAck
+                        } else {
+                            OutState::AwaitPubRec
+                        },
+                    },
+                );
+            }
+        }
         self.stats.publishes_out += 1;
         let pkt = Packet::Publish {
             dup: false,
@@ -406,6 +829,34 @@ impl Broker {
             payload,
         };
         self.send_packet(sim, to, &pkt);
+    }
+
+    /// Catch a freshly resumed session up on its in-flight deliveries:
+    /// unfinished publishes go out again with DUP set, half-released QoS 2
+    /// pids re-send PUBREL. Pid order keeps the schedule deterministic.
+    fn retransmit_session(&mut self, sim: &mut Sim, to: Addr) {
+        let Some(s) = self.sessions.get(&to) else { return };
+        let resend: Vec<(u16, OutboundPub)> =
+            s.outbound.iter().map(|(&pid, ob)| (pid, ob.clone())).collect();
+        for (pid, ob) in resend {
+            match ob.state {
+                OutState::AwaitPubAck | OutState::AwaitPubRec => {
+                    self.stats.publishes_out += 1;
+                    let pkt = Packet::Publish {
+                        dup: true,
+                        qos: ob.qos,
+                        retain: ob.retain,
+                        topic: ob.topic,
+                        packet_id: Some(pid),
+                        payload: ob.payload,
+                    };
+                    self.send_packet(sim, to, &pkt);
+                }
+                OutState::AwaitPubComp => {
+                    self.send_packet(sim, to, &Packet::PubRel { packet_id: pid });
+                }
+            }
+        }
     }
 
     /// Publish broker statistics on retained `$SYS/broker/...` topics
@@ -473,18 +924,27 @@ impl Broker {
         }
     }
 
+    /// End the live session at `addr`. A clean session is destroyed; a
+    /// persistent one moves to the stash (subscriptions, dedup set and
+    /// in-flight deliveries intact) until its client reconnects.
     fn drop_session(&mut self, sim: &mut Sim, addr: Addr, fire_will: bool) {
         let Some(session) = self.sessions.remove(&addr) else {
             return;
         };
-        for filter in &session.filters {
-            self.subs.remove_where(filter, |(a, _)| *a == addr);
+        for (filter, _) in &session.filters {
+            self.remove_sub(addr, filter);
+        }
+        if self.client_index.get(&session.client_id) == Some(&addr) {
+            self.client_index.remove(&session.client_id);
         }
         if fire_will {
-            if let Some((topic, payload)) = session.will {
+            if let Some((topic, payload)) = session.will.clone() {
                 self.stats.wills_fired += 1;
                 self.route(sim, &topic, QoS::AtMostOnce, payload, false);
             }
+        }
+        if !session.clean_session {
+            self.stashed.insert(session.client_id.clone(), snapshot_of(&session));
         }
     }
 }
@@ -945,6 +1405,319 @@ mod tests {
         assert_eq!(b.transport_retransmits(), 0);
         drop(b);
         assert!(c.borrow().conn.is_connected());
+    }
+
+    #[test]
+    fn resubscribe_replaces_instead_of_duplicating() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("dup/t", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        // Same filter again at a different QoS: spec §3.8.4 says the new
+        // grant *replaces* the old one — it must not add a second trie
+        // entry that double-delivers.
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("dup/t", QoS::AtLeastOnce)]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "dup/t", &b"m"[..], QoS::AtLeastOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub.borrow().messages().len(), 1, "re-subscribe must not double-deliver");
+        // And the replacement upgraded the granted QoS in place.
+        let b = rig.broker.borrow();
+        let entries: Vec<_> = b.subs.lookup("dup/t");
+        assert_eq!(entries.len(), 1, "one trie entry after re-subscribe");
+        assert_eq!(entries[0].qos, QoS::AtLeastOnce);
+    }
+
+    #[test]
+    fn qos2_publish_exactly_once_end_to_end() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, _) = rig.client("pub");
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("q2/t", QoS::ExactlyOnce)]);
+        rig.sim.run_to_completion();
+        let pid = publisher
+            .borrow_mut()
+            .conn
+            .publish(&mut rig.sim, "q2/t", &b"m"[..], QoS::ExactlyOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(sub.borrow().messages(), vec![("q2/t".to_string(), b"m".to_vec())]);
+        let p = publisher.borrow();
+        assert_eq!(p.conn.unacked_publishes(), 0, "four-way handshake completed");
+        assert!(p.events.iter().any(|e| *e == ClientEvent::PubComp { packet_id: pid.unwrap() }));
+        drop(p);
+        let b = rig.broker.borrow();
+        assert_eq!(b.stats().qos2_publishes_in, 1);
+        assert_eq!(b.stats().qos2_completed, 1, "broker→subscriber leg completed");
+        assert_eq!(b.stats().qos2_dup_dropped, 0);
+    }
+
+    #[test]
+    fn qos2_duplicate_publish_suppressed_by_pid_dedup() {
+        let mut rig = Rig::new();
+        let (sub, _) = rig.client("sub");
+        let (publisher, pub_addr) = rig.client("pub");
+        let _ = publisher;
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("q2/t", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        // Hand the broker the same QoS 2 publish twice (as a retransmit
+        // with DUP would, before any PUBREL releases the pid): it must
+        // PUBREC both but route only the first.
+        for dup in [false, true] {
+            let pkt = Packet::Publish {
+                dup,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: "q2/t".into(),
+                packet_id: Some(42),
+                payload: Bytes::from_static(b"m"),
+            };
+            rig.broker.borrow_mut().handle_packet(&mut rig.sim, pub_addr, pkt);
+        }
+        rig.sim.run_to_completion();
+        assert_eq!(sub.borrow().messages().len(), 1, "duplicate QoS 2 publish leaked");
+        let b = rig.broker.borrow();
+        assert_eq!(b.stats().qos2_publishes_in, 2);
+        assert_eq!(b.stats().qos2_dup_dropped, 1);
+    }
+
+    #[test]
+    fn persistent_session_resumes_with_session_present() {
+        let mut rig = Rig::new();
+        let node = rig.broker_addr.node;
+        let addr = Addr::new(node, 21_000);
+        let c = TestClient::new(addr, rig.broker_addr, "keeper");
+        rig.sim.bind(addr, c.clone());
+        c.borrow_mut().conn.connect_persistent(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        assert!(c
+            .borrow()
+            .events
+            .iter()
+            .any(|e| *e == ClientEvent::Connected { session_present: false }));
+        c.borrow_mut().conn.subscribe(&mut rig.sim, &[("keep/t", QoS::AtLeastOnce)]);
+        rig.sim.run_to_completion();
+        c.borrow_mut().conn.disconnect(&mut rig.sim);
+        rig.sim.run_to_completion();
+        assert_eq!(rig.broker.borrow().session_count(), 0);
+        assert_eq!(rig.broker.borrow().stashed_count(), 1, "persistent session stashed");
+        // While disconnected, a matching QoS 1 publish is queued.
+        let (publisher, _) = rig.client("pub");
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "keep/t", &b"wb"[..], QoS::AtLeastOnce, false);
+        rig.sim.run_to_completion();
+        // Reconnect (the conn stays persistent): session_present comes back
+        // true, the subscription still routes, and the queued message lands.
+        c.borrow_mut().conn.connect(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        assert!(c
+            .borrow()
+            .events
+            .iter()
+            .any(|e| *e == ClientEvent::Connected { session_present: true }));
+        assert_eq!(c.borrow().messages(), vec![("keep/t".to_string(), b"wb".to_vec())]);
+        assert_eq!(rig.broker.borrow().stats().session_resumes, 1);
+        // Live again: a fresh publish arrives exactly once.
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "keep/t", &b"live"[..], QoS::AtLeastOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(c.borrow().messages().len(), 2);
+    }
+
+    #[test]
+    fn clean_connect_destroys_stashed_session() {
+        let mut rig = Rig::new();
+        let node = rig.broker_addr.node;
+        let addr = Addr::new(node, 21_100);
+        let c = TestClient::new(addr, rig.broker_addr, "wiper");
+        rig.sim.bind(addr, c.clone());
+        c.borrow_mut().conn.connect_persistent(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        c.borrow_mut().conn.subscribe(&mut rig.sim, &[("w/t", QoS::AtLeastOnce)]);
+        rig.sim.run_to_completion();
+        c.borrow_mut().conn.disconnect(&mut rig.sim);
+        rig.sim.run_to_completion();
+        assert_eq!(rig.broker.borrow().stashed_count(), 1);
+        // A clean-session CONNECT under the same id wipes the stash entry.
+        let c2 = TestClient::new(Addr::new(node, 21_101), rig.broker_addr, "wiper");
+        rig.sim.bind(Addr::new(node, 21_101), c2.clone());
+        c2.borrow_mut().conn.connect(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        assert!(c2
+            .borrow()
+            .events
+            .iter()
+            .any(|e| *e == ClientEvent::Connected { session_present: false }));
+        assert_eq!(rig.broker.borrow().stashed_count(), 0, "clean CONNECT destroys the stash");
+        // The old subscription is gone with it.
+        let (publisher, _) = rig.client("pub");
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "w/t", &b"m"[..], QoS::AtLeastOnce, false);
+        rig.sim.run_to_completion();
+        assert!(c2.borrow().messages().is_empty());
+    }
+
+    #[test]
+    fn session_takeover_moves_state_to_new_connection() {
+        let mut rig = Rig::new();
+        let node = rig.broker_addr.node;
+        let a1 = Addr::new(node, 22_000);
+        let c1 = TestClient::new(a1, rig.broker_addr, "roamer");
+        rig.sim.bind(a1, c1.clone());
+        c1.borrow_mut().conn.connect_persistent(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        c1.borrow_mut().conn.subscribe(&mut rig.sim, &[("roam/t", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        // The same client id connects from a different address: the old
+        // connection is displaced and its state follows the client.
+        let a2 = Addr::new(node, 22_001);
+        let c2 = TestClient::new(a2, rig.broker_addr, "roamer");
+        rig.sim.bind(a2, c2.clone());
+        c2.borrow_mut().conn.connect_persistent(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        assert!(c2
+            .borrow()
+            .events
+            .iter()
+            .any(|e| *e == ClientEvent::Connected { session_present: true }));
+        assert_eq!(rig.broker.borrow().session_count(), 1, "old connection displaced");
+        assert_eq!(rig.broker.borrow().stats().session_takeovers, 1);
+        let (publisher, _) = rig.client("pub");
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "roam/t", &b"m"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(c2.borrow().messages().len(), 1, "subscription follows the takeover");
+        assert!(c1.borrow().messages().is_empty());
+    }
+
+    #[test]
+    fn broker_restart_preserves_sessions_and_inflight_qos2() {
+        let mut rig = Rig::new();
+        let node = rig.broker_addr.node;
+        let sub_addr = Addr::new(node, 23_000);
+        let sub = TestClient::new(sub_addr, rig.broker_addr, "sub-durable");
+        rig.sim.bind(sub_addr, sub.clone());
+        sub.borrow_mut().conn.connect_persistent(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+        sub.borrow_mut().conn.subscribe(&mut rig.sim, &[("d/t", QoS::ExactlyOnce)]);
+        rig.sim.run_to_completion();
+        let pub_addr = Addr::new(node, 23_001);
+        let publisher = TestClient::new(pub_addr, rig.broker_addr, "pub-durable");
+        rig.sim.bind(pub_addr, publisher.clone());
+        publisher.borrow_mut().conn.connect_persistent(&mut rig.sim, None);
+        rig.sim.run_to_completion();
+
+        // Crash the broker, then publish into the outage: the QoS 2
+        // publish sits in the publisher's in-flight set while its
+        // transport retries against the dead endpoint.
+        let snaps = rig.broker.borrow().export_sessions();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].client_id, "pub-durable");
+        assert_eq!(snaps[1].subscriptions, vec![("d/t".to_string(), QoS::ExactlyOnce)]);
+        rig.sim.unbind(rig.broker_addr);
+        publisher
+            .borrow_mut()
+            .conn
+            .publish(&mut rig.sim, "d/t", &b"survivor"[..], QoS::ExactlyOnce, false);
+        rig.sim.run_for(SimDuration::from_millis(200));
+
+        // Restart: a fresh broker instance at the same address, seeded
+        // with the exported sessions.
+        let broker2 = Broker::new(rig.broker_addr);
+        broker2.borrow_mut().import_sessions(snaps);
+        rig.sim.bind(rig.broker_addr, broker2.clone());
+        rig.broker = broker2;
+        assert_eq!(rig.broker.borrow().stashed_count(), 2);
+
+        // The publisher's retries exhaust (~55×RTO), it sees BrokerLost,
+        // and redials; the resumed session retransmits the publish (DUP).
+        rig.sim.run_for(SimDuration::from_secs(4));
+        assert!(publisher.borrow().events.contains(&ClientEvent::BrokerLost));
+        publisher.borrow_mut().conn.connect(&mut rig.sim, None);
+        rig.sim.run_for(SimDuration::from_secs(2));
+        assert!(publisher.borrow().conn.is_connected());
+
+        // The subscriber was idle through the crash, so its first redial
+        // still rides the stale transport stream — the restarted broker
+        // ignores it until those retries exhaust too, then the second
+        // redial lands and the queued message is delivered.
+        sub.borrow_mut().conn.connect(&mut rig.sim, None);
+        rig.sim.run_for(SimDuration::from_secs(4));
+        if !sub.borrow().conn.is_connected() {
+            sub.borrow_mut().conn.connect(&mut rig.sim, None);
+            rig.sim.run_for(SimDuration::from_secs(2));
+        }
+        assert!(sub.borrow().conn.is_connected());
+        assert!(sub
+            .borrow()
+            .events
+            .iter()
+            .any(|e| *e == ClientEvent::Connected { session_present: true }));
+
+        rig.sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(
+            sub.borrow().messages(),
+            vec![("d/t".to_string(), b"survivor".to_vec())],
+            "exactly one delivery across the restart"
+        );
+        assert_eq!(publisher.borrow().conn.unacked_publishes(), 0, "handshake completed");
+        let b = rig.broker.borrow();
+        assert_eq!(b.stats().session_resumes, 2);
+        assert_eq!(b.stashed_count(), 0);
+    }
+
+    #[test]
+    fn shared_subscription_round_robins_across_group() {
+        let mut rig = Rig::new();
+        let (m1, _) = rig.client("m1");
+        let (m2, _) = rig.client("m2");
+        let (m3, _) = rig.client("m3");
+        let (direct, _) = rig.client("direct");
+        let (publisher, _) = rig.client("pub");
+        for m in [&m1, &m2, &m3] {
+            m.borrow_mut().conn.subscribe(&mut rig.sim, &[("$share/g/work/t", QoS::AtMostOnce)]);
+        }
+        direct.borrow_mut().conn.subscribe(&mut rig.sim, &[("work/t", QoS::AtMostOnce)]);
+        rig.sim.run_to_completion();
+        for i in 0..6 {
+            let payload = Bytes::from(format!("m{i}"));
+            publisher
+                .borrow_mut()
+                .conn
+                .publish(&mut rig.sim, "work/t", payload, QoS::AtMostOnce, false);
+            rig.sim.run_to_completion();
+        }
+        // Each group member gets exactly 2 of the 6 (round-robin in
+        // member-address order); the direct subscriber gets all 6.
+        assert_eq!(m1.borrow().messages().len(), 2);
+        assert_eq!(m2.borrow().messages().len(), 2);
+        assert_eq!(m3.borrow().messages().len(), 2);
+        assert_eq!(direct.borrow().messages().len(), 6);
+        let b = rig.broker.borrow();
+        assert_eq!(b.stats().shared_deliveries, 6);
+        // Round-robin in address order: member 1 saw publishes 0 and 3.
+        assert_eq!(
+            m1.borrow().messages(),
+            vec![("work/t".to_string(), b"m0".to_vec()), ("work/t".to_string(), b"m3".to_vec())]
+        );
+    }
+
+    #[test]
+    fn shared_and_plain_subscription_same_session_coexist() {
+        let mut rig = Rig::new();
+        let (c, _) = rig.client("both");
+        let (publisher, _) = rig.client("pub");
+        c.borrow_mut().conn.subscribe(
+            &mut rig.sim,
+            &[("$share/g/x/t", QoS::AtMostOnce), ("x/t", QoS::AtMostOnce)],
+        );
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "x/t", &b"m"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        // One copy as the sole group member, one as a direct subscriber.
+        assert_eq!(c.borrow().messages().len(), 2);
+        // Unsubscribing the shared filter leaves the plain one intact.
+        c.borrow_mut().conn.unsubscribe(&mut rig.sim, &["$share/g/x/t"]);
+        rig.sim.run_to_completion();
+        publisher.borrow_mut().conn.publish(&mut rig.sim, "x/t", &b"m2"[..], QoS::AtMostOnce, false);
+        rig.sim.run_to_completion();
+        assert_eq!(c.borrow().messages().len(), 3);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and applications (they own the [`digibox_net::Service`] binding and
 //! forward datagrams/timers here).
 
-use std::collections::{HashMap, VecDeque}; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 
@@ -38,6 +38,11 @@ pub enum ClientEvent {
         /// Id of the publish being acknowledged.
         packet_id: u16,
     },
+    /// A QoS-2 publish completed its four-way handshake (PUBCOMP received).
+    PubComp {
+        /// Id of the publish whose handshake completed.
+        packet_id: u16,
+    },
     /// The link to the broker failed (retries exhausted).
     BrokerLost,
 }
@@ -49,15 +54,42 @@ enum State {
     Connected,
 }
 
+/// Where an outbound QoS 1/2 publish sits in its acknowledgement handshake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OutboundState {
+    /// QoS 1: waiting for PUBACK.
+    AwaitPubAck,
+    /// QoS 2: waiting for PUBREC (the publish itself may need a DUP resend).
+    AwaitPubRec,
+    /// QoS 2: PUBREL sent, waiting for PUBCOMP.
+    AwaitPubComp,
+}
+
+/// An in-flight outbound publish, kept until its handshake completes so
+/// it can be retransmitted with DUP after a session resumption.
+#[derive(Debug, Clone)]
+struct OutboundPublish {
+    topic: String,
+    payload: Bytes,
+    qos: QoS,
+    retain: bool,
+    state: OutboundState,
+}
+
 /// An MQTT client connection to one broker.
 pub struct MqttConn {
     broker: Addr,
     client_id: String,
     ep: ReliableEndpoint,
     state: State,
+    clean_session: bool,
     next_pid: u16,
-    /// QoS-1 publishes awaiting PUBACK: pid → packet (for observability).
-    unacked: HashMap<u16, String>,
+    /// QoS 1/2 publishes whose handshake is incomplete, in pid order so
+    /// resumption retransmits deterministically.
+    outbound: BTreeMap<u16, OutboundPublish>,
+    /// Packet ids of inbound QoS-2 publishes received but not yet
+    /// released (PUBREL pending) — the receiver-side dedup set.
+    inbound_rec: BTreeSet<u16>,
     events: VecDeque<ClientEvent>,
 }
 
@@ -69,8 +101,10 @@ impl MqttConn {
             client_id: client_id.to_string(),
             ep: ReliableEndpoint::new(local).with_space(1),
             state: State::Idle,
+            clean_session: true,
             next_pid: 1,
-            unacked: HashMap::new(),
+            outbound: BTreeMap::new(),
+            inbound_rec: BTreeSet::new(),
             events: VecDeque::new(),
         }
     }
@@ -90,9 +124,9 @@ impl MqttConn {
         self.state == State::Connected
     }
 
-    /// Number of QoS-1 publishes not yet acknowledged.
+    /// Number of QoS 1/2 publishes whose handshake is not yet complete.
     pub fn unacked_publishes(&self) -> usize {
-        self.unacked.len()
+        self.outbound.len()
     }
 
     fn next_pid(&mut self) -> u16 {
@@ -106,14 +140,30 @@ impl MqttConn {
         self.ep.send(sim, broker, pkt.encode());
     }
 
-    /// Open the session (CONNECT). `will` is the optional last-will message.
+    /// Open the session (CONNECT). `will` is the optional last-will
+    /// message. The session is clean unless [`MqttConn::connect_persistent`]
+    /// was used for this connection.
     pub fn connect(&mut self, sim: &mut Sim, will: Option<(String, Bytes)>) {
         self.state = State::Connecting;
         let pkt = Packet::Connect {
             client_id: self.client_id.clone(),
-            flags: ConnectFlags { clean_session: true, will, keep_alive_secs: 60 },
+            flags: ConnectFlags {
+                clean_session: self.clean_session,
+                will,
+                keep_alive_secs: 60,
+            },
         };
         self.send_packet(sim, &pkt);
+    }
+
+    /// Open a *persistent* session (CONNECT with `clean_session = false`):
+    /// the broker retains subscriptions and in-flight QoS 1/2 state across
+    /// disconnects, and CONNACK reports `session_present = true` on
+    /// resumption. All later `connect` calls on this connection stay
+    /// persistent.
+    pub fn connect_persistent(&mut self, sim: &mut Sim, will: Option<(String, Bytes)>) {
+        self.clean_session = false;
+        self.connect(sim, will);
     }
 
     /// Subscribe to topic filters; returns the packet id to correlate the
@@ -139,7 +189,7 @@ impl MqttConn {
         pid
     }
 
-    /// Publish. Returns the packet id for QoS-1 publishes.
+    /// Publish. Returns the packet id for QoS 1/2 publishes.
     pub fn publish(
         &mut self,
         sim: &mut Sim,
@@ -148,12 +198,26 @@ impl MqttConn {
         qos: QoS,
         retain: bool,
     ) -> Option<u16> {
+        let payload = payload.into();
         let packet_id = match qos {
             QoS::AtMostOnce => None,
-            QoS::AtLeastOnce => Some(self.next_pid()),
+            QoS::AtLeastOnce | QoS::ExactlyOnce => Some(self.next_pid()),
         };
         if let Some(pid) = packet_id {
-            self.unacked.insert(pid, topic.to_string());
+            self.outbound.insert(
+                pid,
+                OutboundPublish {
+                    topic: topic.to_string(),
+                    payload: payload.clone(),
+                    qos,
+                    retain,
+                    state: if qos == QoS::AtLeastOnce {
+                        OutboundState::AwaitPubAck
+                    } else {
+                        OutboundState::AwaitPubRec
+                    },
+                },
+            );
         }
         let pkt = Packet::Publish {
             dup: false,
@@ -161,7 +225,7 @@ impl MqttConn {
             retain,
             topic: topic.to_string(),
             packet_id,
-            payload: payload.into(),
+            payload,
         };
         self.send_packet(sim, &pkt);
         packet_id
@@ -214,10 +278,45 @@ impl MqttConn {
         }
     }
 
+    /// Retransmit in-flight QoS 1/2 state after the broker resumed our
+    /// session: unacknowledged publishes go out again with DUP set, and
+    /// half-released QoS 2 pids re-send their PUBREL. Pid order (BTreeMap)
+    /// keeps the retransmit schedule deterministic.
+    fn retransmit_inflight(&mut self, sim: &mut Sim) {
+        let pids: Vec<u16> = self.outbound.keys().copied().collect();
+        for pid in pids {
+            let ob = self.outbound[&pid].clone();
+            match ob.state {
+                OutboundState::AwaitPubAck | OutboundState::AwaitPubRec => {
+                    let pkt = Packet::Publish {
+                        dup: true,
+                        qos: ob.qos,
+                        retain: ob.retain,
+                        topic: ob.topic,
+                        packet_id: Some(pid),
+                        payload: ob.payload,
+                    };
+                    self.send_packet(sim, &pkt);
+                }
+                OutboundState::AwaitPubComp => {
+                    self.send_packet(sim, &Packet::PubRel { packet_id: pid });
+                }
+            }
+        }
+    }
+
     fn handle_packet(&mut self, sim: &mut Sim, pkt: Packet) {
         match pkt {
             Packet::ConnAck { session_present, code: 0 } => {
                 self.state = State::Connected;
+                if session_present {
+                    self.retransmit_inflight(sim);
+                } else {
+                    // The broker kept nothing; our half of the old
+                    // session dies with it (spec §3.1.2-6).
+                    self.outbound.clear();
+                    self.inbound_rec.clear();
+                }
                 self.events.push_back(ClientEvent::Connected { session_present });
             }
             Packet::ConnAck { .. } => {
@@ -225,17 +324,47 @@ impl MqttConn {
                 self.events.push_back(ClientEvent::BrokerLost);
             }
             Packet::Publish { topic, payload, retain, qos, packet_id, .. } => {
-                // QoS-1 inbound: acknowledge before surfacing.
-                if qos == QoS::AtLeastOnce {
-                    if let Some(pid) = packet_id {
-                        self.send_packet(sim, &Packet::PubAck { packet_id: pid });
+                match qos {
+                    QoS::AtMostOnce => {
+                        self.events.push_back(ClientEvent::Message { topic, payload, retain });
+                    }
+                    // QoS-1 inbound: acknowledge before surfacing.
+                    QoS::AtLeastOnce => {
+                        if let Some(pid) = packet_id {
+                            self.send_packet(sim, &Packet::PubAck { packet_id: pid });
+                        }
+                        self.events.push_back(ClientEvent::Message { topic, payload, retain });
+                    }
+                    // QoS-2 inbound: surface on *first* receipt only; a
+                    // re-received pid (DUP after resumption) is answered
+                    // with PUBREC again but never re-surfaced.
+                    QoS::ExactlyOnce => {
+                        let Some(pid) = packet_id else { return };
+                        if self.inbound_rec.insert(pid) {
+                            self.events.push_back(ClientEvent::Message { topic, payload, retain });
+                        }
+                        self.send_packet(sim, &Packet::PubRec { packet_id: pid });
                     }
                 }
-                self.events.push_back(ClientEvent::Message { topic, payload, retain });
             }
             Packet::PubAck { packet_id } => {
-                self.unacked.remove(&packet_id);
+                self.outbound.remove(&packet_id);
                 self.events.push_back(ClientEvent::PubAck { packet_id });
+            }
+            Packet::PubRec { packet_id } => {
+                if let Some(ob) = self.outbound.get_mut(&packet_id) {
+                    ob.state = OutboundState::AwaitPubComp;
+                }
+                self.send_packet(sim, &Packet::PubRel { packet_id });
+            }
+            Packet::PubRel { packet_id } => {
+                self.inbound_rec.remove(&packet_id);
+                self.send_packet(sim, &Packet::PubComp { packet_id });
+            }
+            Packet::PubComp { packet_id } => {
+                if self.outbound.remove(&packet_id).is_some() {
+                    self.events.push_back(ClientEvent::PubComp { packet_id });
+                }
             }
             Packet::SubAck { packet_id, .. } => {
                 self.events.push_back(ClientEvent::SubAck { packet_id });

@@ -15,15 +15,18 @@ pub enum QoS {
     AtMostOnce = 0,
     /// Acknowledged via PUBACK; may be redelivered with DUP.
     AtLeastOnce = 1,
+    /// Exactly-once via the PUBREC/PUBREL/PUBCOMP four-way handshake.
+    ExactlyOnce = 2,
 }
 
 impl QoS {
-    /// Decode the 2-bit wire encoding; `None` for QoS 2+ (unsupported).
+    /// Decode the 2-bit wire encoding; `None` for the reserved value 3.
     pub fn from_bits(bits: u8) -> Option<QoS> {
         match bits {
             0 => Some(QoS::AtMostOnce),
             1 => Some(QoS::AtLeastOnce),
-            _ => None, // QoS 2 unsupported
+            2 => Some(QoS::ExactlyOnce),
+            _ => None, // 3 is reserved by the spec
         }
     }
 }
@@ -58,7 +61,7 @@ pub enum Packet {
     },
     /// An application message.
     Publish {
-        /// Redelivery flag (QoS 1 retransmits).
+        /// Redelivery flag (QoS 1/2 retransmits).
         dup: bool,
         /// Delivery guarantee for this message.
         qos: QoS,
@@ -74,6 +77,21 @@ pub enum Packet {
     /// QoS 1 publish acknowledgement.
     PubAck {
         /// Id of the publish being acknowledged.
+        packet_id: u16,
+    },
+    /// QoS 2 step 1: receiver has stored the publish (assured receipt).
+    PubRec {
+        /// Id of the publish being acknowledged.
+        packet_id: u16,
+    },
+    /// QoS 2 step 2: sender releases the packet id for delivery.
+    PubRel {
+        /// Id of the publish being released.
+        packet_id: u16,
+    },
+    /// QoS 2 step 3: receiver has finished with the packet id.
+    PubComp {
+        /// Id of the publish whose handshake is complete.
         packet_id: u16,
     },
     /// Subscription request.
@@ -128,7 +146,7 @@ pub enum PacketError {
     BadRemainingLength,
     /// A string field was not valid UTF-8.
     BadUtf8,
-    /// QoS bits outside the supported 0/1 range.
+    /// QoS bits set to the reserved value 3.
     BadQoS(u8),
     /// Protocol name/level other than `MQTT` 3.1.1.
     BadProtocol,
@@ -162,6 +180,9 @@ const TYPE_CONNECT: u8 = 1;
 const TYPE_CONNACK: u8 = 2;
 const TYPE_PUBLISH: u8 = 3;
 const TYPE_PUBACK: u8 = 4;
+const TYPE_PUBREC: u8 = 5;
+const TYPE_PUBREL: u8 = 6;
+const TYPE_PUBCOMP: u8 = 7;
 const TYPE_SUBSCRIBE: u8 = 8;
 const TYPE_SUBACK: u8 = 9;
 const TYPE_UNSUBSCRIBE: u8 = 10;
@@ -201,6 +222,9 @@ impl Packet {
                 (TYPE_PUBLISH, f)
             }
             Packet::PubAck { .. } => (TYPE_PUBACK, 0),
+            Packet::PubRec { .. } => (TYPE_PUBREC, 0),
+            Packet::PubRel { .. } => (TYPE_PUBREL, 0b0010),
+            Packet::PubComp { .. } => (TYPE_PUBCOMP, 0),
             Packet::Subscribe { .. } => (TYPE_SUBSCRIBE, 0b0010),
             Packet::SubAck { .. } => (TYPE_SUBACK, 0),
             Packet::Unsubscribe { .. } => (TYPE_UNSUBSCRIBE, 0b0010),
@@ -244,7 +268,11 @@ impl Packet {
                 }
                 b.put_slice(payload);
             }
-            Packet::PubAck { packet_id } | Packet::UnsubAck { packet_id } => {
+            Packet::PubAck { packet_id }
+            | Packet::PubRec { packet_id }
+            | Packet::PubRel { packet_id }
+            | Packet::PubComp { packet_id }
+            | Packet::UnsubAck { packet_id } => {
                 b.put_u16(*packet_id);
             }
             Packet::Subscribe { packet_id, filters } => {
@@ -345,6 +373,19 @@ impl Packet {
             TYPE_PUBACK => {
                 expect_flags(ptype, flags, 0)?;
                 Packet::PubAck { packet_id: get_u16(&mut body)? }
+            }
+            TYPE_PUBREC => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::PubRec { packet_id: get_u16(&mut body)? }
+            }
+            TYPE_PUBREL => {
+                // the spec reserves flags 0b0010 for PUBREL, like SUBSCRIBE
+                expect_flags(ptype, flags, 0b0010)?;
+                Packet::PubRel { packet_id: get_u16(&mut body)? }
+            }
+            TYPE_PUBCOMP => {
+                expect_flags(ptype, flags, 0)?;
+                Packet::PubComp { packet_id: get_u16(&mut body)? }
             }
             TYPE_SUBSCRIBE => {
                 expect_flags(ptype, flags, 0b0010)?;
@@ -511,6 +552,35 @@ mod tests {
             packet_id: Some(77),
             payload: Bytes::from_static(b"x"),
         });
+    }
+
+    #[test]
+    fn publish_roundtrip_qos2() {
+        roundtrip(Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: "digibox/meter/M1/reading".into(),
+            packet_id: Some(9),
+            payload: Bytes::from_static(b"{\"kwh\":41}"),
+        });
+        roundtrip(Packet::PubRec { packet_id: 9 });
+        roundtrip(Packet::PubRel { packet_id: 9 });
+        roundtrip(Packet::PubComp { packet_id: 9 });
+    }
+
+    #[test]
+    fn pubrel_requires_reserved_flags() {
+        // PUBREL must carry fixed-header flags 0b0010; the encoder sets
+        // them and the decoder rejects anything else.
+        let enc = Packet::PubRel { packet_id: 5 }.encode();
+        assert_eq!(enc[0], (TYPE_PUBREL << 4) | 0b0010);
+        let mut bad = enc.to_vec();
+        bad[0] = TYPE_PUBREL << 4; // flags 0
+        assert!(matches!(
+            Packet::decode(&bad),
+            Err(PacketError::BadFlags { packet_type: TYPE_PUBREL, flags: 0 })
+        ));
     }
 
     #[test]

@@ -21,11 +21,41 @@ pub fn validate_topic(topic: &str) -> bool {
         && !topic.contains('\0')
 }
 
+/// The level prefix marking a shared subscription: `$share/<group>/<filter>`.
+pub const SHARE_PREFIX: &str = "$share/";
+
+/// Split a shared-subscription filter into `(group, inner filter)`.
+///
+/// Returns `None` unless `filter` has the exact shape
+/// `$share/<group>/<rest>` with a non-empty, wildcard-free group level
+/// and a non-empty inner filter (the inner filter is *not* validated
+/// here; pass it to [`validate_filter`]).
+pub fn parse_share(filter: &str) -> Option<(&str, &str)> {
+    let rest = filter.strip_prefix(SHARE_PREFIX)?;
+    let (group, inner) = rest.split_once('/')?;
+    if group.is_empty() || group.contains(['+', '#']) || inner.is_empty() {
+        return None;
+    }
+    Some((group, inner))
+}
+
 /// Is `filter` a valid topic *filter* (subscribable)?
+///
+/// A shared subscription `$share/<group>/<inner>` is valid iff the group
+/// level is well-formed and `<inner>` is itself a valid filter; anything
+/// else starting with the reserved `$share` level is rejected.
 pub fn validate_filter(filter: &str) -> bool {
     if filter.is_empty() || filter.len() > 65_535 || filter.contains('\0') {
         return false;
     }
+    let filter = if filter == "$share" || filter.starts_with(SHARE_PREFIX) {
+        match parse_share(filter) {
+            Some((_, inner)) => inner,
+            None => return false,
+        }
+    } else {
+        filter
+    };
     let levels: Vec<&str> = filter.split('/').collect();
     for (i, level) in levels.iter().enumerate() {
         match *level {
@@ -206,6 +236,17 @@ impl<T> TopicTrie<T> {
         self.epoch += 1;
     }
 
+    /// Replace every value under `filter` for which `pred` returns true
+    /// with `value` — or insert `value` fresh if nothing matched.
+    ///
+    /// Collapsing to a single entry is MQTT 3.1.1 §3.8.4: re-SUBSCRIBE on
+    /// a filter the session already holds replaces the granted QoS rather
+    /// than adding a second route (which would double-deliver).
+    pub fn replace_where(&mut self, filter: &str, value: T, pred: impl FnMut(&T) -> bool) {
+        self.remove_where(filter, pred);
+        self.insert(filter, value);
+    }
+
     /// Remove every value under `filter` for which `pred` returns true.
     /// Returns how many were removed.
     pub fn remove_where(&mut self, filter: &str, mut pred: impl FnMut(&T) -> bool) -> usize {
@@ -295,6 +336,41 @@ mod tests {
         assert!(!validate_filter("a/#/c")); // '#' not last
         assert!(!validate_filter("a/b+")); // wildcard not alone
         assert!(!validate_filter("a/#b"));
+    }
+
+    #[test]
+    fn share_filter_parsing_and_validation() {
+        assert_eq!(parse_share("$share/g/a/b"), Some(("g", "a/b")));
+        assert_eq!(parse_share("$share/workers/digibox/+/status"), Some(("workers", "digibox/+/status")));
+        assert_eq!(parse_share("a/b"), None);
+        assert_eq!(parse_share("$share"), None);
+        assert_eq!(parse_share("$share/g"), None); // no inner filter
+        assert_eq!(parse_share("$share//a"), None); // empty group
+        assert_eq!(parse_share("$share/+/a"), None); // wildcard group
+
+        assert!(validate_filter("$share/g/a/b"));
+        assert!(validate_filter("$share/g/#"));
+        assert!(validate_filter("$share/g/+/status"));
+        assert!(!validate_filter("$share"));
+        assert!(!validate_filter("$share/g"));
+        assert!(!validate_filter("$share//a"));
+        assert!(!validate_filter("$share/+/a"));
+        assert!(!validate_filter("$share/g/a/#/b")); // inner filter invalid
+    }
+
+    #[test]
+    fn replace_where_collapses_duplicate_subscriptions() {
+        // regression: re-SUBSCRIBE used to push a second value under the
+        // same filter, so one publish matched the session twice.
+        let mut trie = TopicTrie::new();
+        trie.replace_where("a/+", ("c1", 0u8), |(c, _)| *c == "c1");
+        trie.replace_where("a/+", ("c1", 1u8), |(c, _)| *c == "c1");
+        assert_eq!(trie.len(), 1, "re-subscribe must not duplicate the route");
+        let got: Vec<_> = trie.lookup("a/b").into_iter().collect();
+        assert_eq!(got, vec![&("c1", 1u8)], "granted QoS is replaced");
+        // a different session's entry under the same filter is untouched
+        trie.replace_where("a/+", ("c2", 0u8), |(c, _)| *c == "c2");
+        assert_eq!(trie.len(), 2);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use digibox_registry::Repository;
 
 mod audit;
 mod chaos;
+mod fuzz;
 mod lint;
 mod profile;
 mod stats;
@@ -243,6 +244,7 @@ usage:
   dbox audit [--format json] [--allow CODE] [paths...]  determinism audit of the simulation sources
   dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
   dbox sweep [--seeds 1..16] [--jobs N] [--pool T:P:N]  parallel seed sweep + report
+  dbox fuzz [--seeds 1,2,3] [--iters N]          seeded MQTT codec fuzzer
   dbox stats [--format json|pretty]              deterministic metrics snapshot
   dbox profile                                   folded-stack span profile
   dbox log [name]                                print trace (paper format)
@@ -259,6 +261,7 @@ fn invoke_inner(dir: &Path, args: &[String]) -> Result<String, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "fuzz" => fuzz::run(&args[1..]),
         "stats" => stats::run(&session, &args[1..]),
         "profile" => profile::run(&session, &args[1..]),
         "run" => {

@@ -48,6 +48,10 @@ pub enum AppEvent {
     },
     /// The MQTT session is live.
     MqttConnected,
+    /// The MQTT transport gave up on the broker (crash or partition).
+    /// Persistent clients ([`AppClient::with_persistent_mqtt`]) redial
+    /// automatically; clean-session clients surface the event and stop.
+    MqttBrokerLost,
 }
 
 struct PendingRequest {
@@ -61,6 +65,9 @@ pub struct AppClient {
     addr: Addr,
     conn: Option<MqttConn>,
     broker: Option<Addr>,
+    /// Durable (clean_session = false) MQTT session: survives broker
+    /// restarts and redials on `BrokerLost` until the broker answers.
+    persistent: bool,
     http: ReliableEndpoint,
     /// In-flight REST requests per server, FIFO (responses are ordered by
     /// the reliable channel).
@@ -77,6 +84,7 @@ impl AppClient {
             addr,
             conn: None,
             broker: None,
+            persistent: false,
             http: ReliableEndpoint::new(addr).with_space(HTTP_TOKEN_SPACE),
             pending: HashMap::new(),
             next_request_id: 0,
@@ -95,6 +103,26 @@ impl AppClient {
             c.broker = Some(broker);
         }
         client
+    }
+
+    /// Like [`AppClient::with_mqtt`] but with a *durable* session
+    /// (`clean_session = false`): the broker stashes subscriptions and
+    /// in-flight QoS 1/2 state across disconnects and its own restarts,
+    /// and the client redials automatically whenever the transport
+    /// reports `BrokerLost`, resuming the session where it left off.
+    pub fn with_persistent_mqtt(
+        addr: Addr,
+        broker: Addr,
+        client_id: &str,
+    ) -> ServiceHandle<AppClient> {
+        let client = AppClient::with_mqtt(addr, broker, client_id);
+        client.borrow_mut().persistent = true;
+        client
+    }
+
+    /// In-flight QoS 1/2 publishes awaiting their handshake.
+    pub fn unacked_publishes(&self) -> usize {
+        self.conn.as_ref().map_or(0, MqttConn::unacked_publishes)
     }
 
     /// The client's own address.
@@ -206,6 +234,15 @@ impl AppClient {
                         self.events.push_back(AppEvent::Message { topic, payload });
                     }
                     ClientEvent::Connected { .. } => self.events.push_back(AppEvent::MqttConnected),
+                    ClientEvent::BrokerLost => {
+                        self.events.push_back(AppEvent::MqttBrokerLost);
+                        if self.persistent {
+                            // Redial on the spot: if the broker is still
+                            // down the CONNECT's own retries exhaust into
+                            // another BrokerLost and we land here again.
+                            conn.connect_persistent(sim, None);
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -216,7 +253,11 @@ impl AppClient {
 impl Service for AppClient {
     fn on_start(&mut self, sim: &mut Sim) {
         if let Some(conn) = self.conn.as_mut() {
-            conn.connect(sim, None);
+            if self.persistent {
+                conn.connect_persistent(sim, None);
+            } else {
+                conn.connect(sim, None);
+            }
         }
     }
 

@@ -299,6 +299,12 @@ impl Campaign {
                     FaultKind::NodeDown { node } => {
                         let _ = tb.fail_node(NodeId(*node));
                     }
+                    FaultKind::CrashBroker => {
+                        // The restart is scheduled up front: the broker
+                        // stays dark for the whole window, then a fresh
+                        // instance imports the exported sessions.
+                        tb.kill_broker(w.end.since(w.start));
+                    }
                     FaultKind::Partition { .. } | FaultKind::Degrade { .. } => topo_dirty = true,
                 }
             }
@@ -311,7 +317,9 @@ impl Campaign {
                 match &w.kind {
                     FaultKind::NodeDown { node } => tb.restore_node(NodeId(*node)),
                     FaultKind::Partition { .. } | FaultKind::Degrade { .. } => topo_dirty = true,
-                    FaultKind::CrashDigi { .. } => {}
+                    // Broker rebind was scheduled by kill_broker at
+                    // window start; nothing to do at heal time.
+                    FaultKind::CrashDigi { .. } | FaultKind::CrashBroker => {}
                 }
             }
             if topo_dirty {
@@ -458,7 +466,7 @@ fn reapply_topology(
                     SimDuration::from_millis(*extra_jitter_ms),
                 );
             }
-            FaultKind::CrashDigi { .. } | FaultKind::NodeDown { .. } => {}
+            FaultKind::CrashDigi { .. } | FaultKind::NodeDown { .. } | FaultKind::CrashBroker => {}
         }
     }
 }

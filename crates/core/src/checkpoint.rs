@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use digibox_broker::{OutboundSnapshot, QoS, SessionSnapshot};
 use digibox_model::Value;
 use digibox_net::SimTime;
 use digibox_registry::{Digest, Repository};
@@ -32,6 +33,10 @@ pub struct CheckpointInfo {
 pub struct CheckpointStore {
     repo: Repository,
     latest: BTreeMap<String, CheckpointInfo>,
+    /// Client ids with a persisted broker session (`broker-session/<id>`
+    /// ref each), kept sorted so export → import round-trips in a
+    /// deterministic order.
+    broker_sessions: std::collections::BTreeSet<String>,
 }
 
 impl Default for CheckpointStore {
@@ -43,7 +48,11 @@ impl Default for CheckpointStore {
 impl CheckpointStore {
     /// An empty store.
     pub fn new() -> CheckpointStore {
-        CheckpointStore { repo: Repository::new(), latest: BTreeMap::new() }
+        CheckpointStore {
+            repo: Repository::new(),
+            latest: BTreeMap::new(),
+            broker_sessions: std::collections::BTreeSet::new(),
+        }
     }
 
     /// Snapshot `fields` for `name`. Returns the digest (stable for equal
@@ -84,6 +93,166 @@ impl CheckpointStore {
     pub fn object_count(&self) -> usize {
         self.repo.object_count()
     }
+
+    // ---- broker sessions ------------------------------------------------
+
+    /// Persist the broker's durable sessions (from
+    /// [`Broker::export_sessions`](digibox_broker::Broker::export_sessions))
+    /// as one content-addressed object per client under the ref
+    /// `broker-session/<client_id>` — the broker-restart analogue of a
+    /// digi's model checkpoint. Replaces any previously persisted set.
+    pub fn save_broker_sessions(&mut self, snapshots: &[SessionSnapshot]) {
+        self.broker_sessions.clear();
+        for snap in snapshots {
+            let bytes = session_to_json(snap).to_string().into_bytes();
+            let digest = self.repo.put(bytes);
+            self.repo.set_ref(&format!("broker-session/{}", snap.client_id), digest);
+            self.broker_sessions.insert(snap.client_id.clone());
+        }
+    }
+
+    /// Restore every persisted broker session, sorted by client id, ready
+    /// for [`Broker::import_sessions`](digibox_broker::Broker::import_sessions).
+    /// Sessions that fail to parse (impossible unless the repository was
+    /// corrupted by hand) are skipped.
+    pub fn restore_broker_sessions(&self) -> Vec<SessionSnapshot> {
+        self.broker_sessions
+            .iter()
+            .filter_map(|id| {
+                let digest = self.repo.resolve(&format!("broker-session/{id}")).ok()?;
+                let bytes = self.repo.get(&digest).ok()?;
+                let json: serde_json::Value =
+                    serde_json::from_slice(bytes).ok()?;
+                session_from_json(&json)
+            })
+            .collect()
+    }
+
+    /// Number of broker sessions currently persisted.
+    pub fn broker_session_count(&self) -> usize {
+        self.broker_sessions.len()
+    }
+}
+
+/// Lowercase hex, the encoding for payload bytes inside a persisted
+/// session (payloads are arbitrary bytes; JSON strings must stay UTF-8).
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()).collect()
+}
+
+/// Hand-built JSON for a session snapshot. `digibox_broker` deliberately
+/// has no serde dependency, so the persistence encoding lives here with
+/// the store that owns it.
+fn session_to_json(s: &SessionSnapshot) -> serde_json::Value {
+    use serde_json::{Map, Number, Value as J};
+    let mut obj = Map::new();
+    obj.insert("client_id".into(), J::String(s.client_id.clone()));
+    obj.insert(
+        "subscriptions".into(),
+        J::Array(
+            s.subscriptions
+                .iter()
+                .map(|(f, q)| {
+                    J::Array(vec![
+                        J::String(f.clone()),
+                        J::Number(Number::from(*q as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    obj.insert(
+        "will".into(),
+        match &s.will {
+            Some((topic, payload)) => {
+                J::Array(vec![J::String(topic.clone()), J::String(hex(payload))])
+            }
+            None => J::Null,
+        },
+    );
+    obj.insert("keep_alive_secs".into(), J::Number(Number::from(u64::from(s.keep_alive_secs))));
+    obj.insert(
+        "inbound_rec".into(),
+        J::Array(s.inbound_rec.iter().map(|p| J::Number(Number::from(u64::from(*p)))).collect()),
+    );
+    obj.insert(
+        "outbound".into(),
+        J::Array(
+            s.outbound
+                .iter()
+                .map(|o| {
+                    let mut m = Map::new();
+                    m.insert("packet_id".into(), J::Number(Number::from(u64::from(o.packet_id))));
+                    m.insert("topic".into(), J::String(o.topic.clone()));
+                    m.insert("payload".into(), J::String(hex(&o.payload)));
+                    m.insert("qos".into(), J::Number(Number::from(o.qos as u64)));
+                    m.insert("retain".into(), J::Bool(o.retain));
+                    m.insert("released".into(), J::Bool(o.released));
+                    J::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    J::Object(obj)
+}
+
+fn session_from_json(j: &serde_json::Value) -> Option<SessionSnapshot> {
+    let subscriptions = j
+        .get("subscriptions")?
+        .as_array()?
+        .iter()
+        .map(|pair| {
+            let arr = pair.as_array()?;
+            let filter = arr.first()?.as_str()?.to_string();
+            let qos = QoS::from_bits(arr.get(1)?.as_u64()? as u8)?;
+            Some((filter, qos))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let will = match j.get("will")? {
+        serde_json::Value::Null => None,
+        w => {
+            let arr = w.as_array()?;
+            let topic = arr.first()?.as_str()?.to_string();
+            let payload = bytes::Bytes::from(unhex(arr.get(1)?.as_str()?)?);
+            Some((topic, payload))
+        }
+    };
+    let inbound_rec = j
+        .get("inbound_rec")?
+        .as_array()?
+        .iter()
+        .map(|p| Some(p.as_u64()? as u16))
+        .collect::<Option<Vec<_>>>()?;
+    let outbound = j
+        .get("outbound")?
+        .as_array()?
+        .iter()
+        .map(|o| {
+            Some(OutboundSnapshot {
+                packet_id: o.get("packet_id")?.as_u64()? as u16,
+                topic: o.get("topic")?.as_str()?.to_string(),
+                payload: bytes::Bytes::from(unhex(o.get("payload")?.as_str()?)?),
+                qos: QoS::from_bits(o.get("qos")?.as_u64()? as u8)?,
+                retain: o.get("retain")?.as_bool()?,
+                released: o.get("released")?.as_bool()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(SessionSnapshot {
+        client_id: j.get("client_id")?.as_str()?.to_string(),
+        subscriptions,
+        will,
+        keep_alive_secs: j.get("keep_alive_secs")?.as_u64()? as u16,
+        inbound_rec,
+        outbound,
+    })
 }
 
 #[cfg(test)]
@@ -123,5 +292,48 @@ mod checkpoint {
         assert!(store.info("M").is_none());
         // the ref still resolves (objects are immutable), by design
         assert!(store.restore("M").is_some());
+    }
+
+    #[test]
+    fn broker_sessions_roundtrip_including_binary_payloads() {
+        let mut store = CheckpointStore::new();
+        let snaps = vec![
+            SessionSnapshot {
+                client_id: "app-1".into(),
+                subscriptions: vec![
+                    ("digi/+/status".into(), QoS::ExactlyOnce),
+                    ("$share/workers/jobs/#".into(), QoS::AtLeastOnce),
+                ],
+                will: Some(("digi/app-1/will".into(), bytes::Bytes::from(vec![0u8, 255, 10]))),
+                keep_alive_secs: 30,
+                inbound_rec: vec![3, 9],
+                outbound: vec![OutboundSnapshot {
+                    packet_id: 7,
+                    topic: "digi/l1/status".into(),
+                    payload: bytes::Bytes::from(vec![1u8, 2, 0, 254]),
+                    qos: QoS::ExactlyOnce,
+                    retain: false,
+                    released: true,
+                }],
+            },
+            SessionSnapshot {
+                client_id: "app-2".into(),
+                subscriptions: Vec::new(),
+                will: None,
+                keep_alive_secs: 0,
+                inbound_rec: Vec::new(),
+                outbound: Vec::new(),
+            },
+        ];
+        store.save_broker_sessions(&snaps);
+        assert_eq!(store.broker_session_count(), 2);
+        assert_eq!(store.restore_broker_sessions(), snaps);
+        // a fresh export replaces the persisted set
+        store.save_broker_sessions(&snaps[1..]);
+        assert_eq!(store.broker_session_count(), 1);
+        assert_eq!(store.restore_broker_sessions(), snaps[1..]);
+        assert_eq!(hex(&[0x0f, 0xa0]), "0fa0");
+        assert_eq!(unhex("0fa0").unwrap(), vec![0x0f, 0xa0]);
+        assert!(unhex("xy").is_none() && unhex("abc").is_none());
     }
 }

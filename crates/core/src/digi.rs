@@ -281,7 +281,9 @@ impl DigiService {
                     self.reconnect_pending = true;
                 }
                 ClientEvent::Connected { .. } => {}
-                ClientEvent::SubAck { .. } | ClientEvent::PubAck { .. } => {}
+                ClientEvent::SubAck { .. }
+                | ClientEvent::PubAck { .. }
+                | ClientEvent::PubComp { .. } => {}
             }
         }
         while let Some(ev) = self.http.poll() {

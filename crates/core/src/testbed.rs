@@ -174,6 +174,7 @@ struct TestbedObs {
     restarts: obs::CounterId,
     restart_retries: obs::CounterId,
     restart_abandoned: obs::CounterId,
+    broker_restarts: obs::CounterId,
     checkpoint_passes: obs::CounterId,
     checkpoint_snapshots: obs::CounterId,
     digis: obs::GaugeId,
@@ -188,6 +189,7 @@ impl TestbedObs {
             restarts: obs::counter("control.restarts"),
             restart_retries: obs::counter("control.restart_retries"),
             restart_abandoned: obs::counter("control.restart_abandoned"),
+            broker_restarts: obs::counter("control.broker_restarts"),
             checkpoint_passes: obs::counter("checkpoint.passes"),
             checkpoint_snapshots: obs::counter("checkpoint.snapshots"),
             digis: obs::gauge("testbed.digis"),
@@ -218,6 +220,8 @@ pub struct Testbed {
     /// their members from the pools' dense model columns.
     pools: Vec<ServiceHandle<crate::DigiPool>>,
     pending_restarts: Vec<PendingRestart>,
+    /// When a killed broker's replacement rebinds (None = broker is up).
+    pending_broker_restart: Option<SimTime>,
     checkpoints: CheckpointStore,
     /// Next periodic checkpoint pass (None when checkpointing is off).
     next_checkpoint: Option<SimTime>,
@@ -277,6 +281,7 @@ impl Testbed {
             operator: None,
             pools: Vec::new(),
             pending_restarts: Vec::new(),
+            pending_broker_restart: None,
             checkpoints: CheckpointStore::new(),
             next_checkpoint,
             storm_logged: false,
@@ -637,6 +642,61 @@ impl Testbed {
         self.log.lifecycle(self.sim.now(), "testbed", "node-up", &format!("node {}", node.0));
     }
 
+    /// Kill the broker pod (fault injection): durable sessions are
+    /// exported into the checkpoint store (`broker-session/<client>`
+    /// refs), the endpoint unbinds, and after `outage` a fresh broker
+    /// imports them and rebinds on the same address. Clients ride out the
+    /// outage on their transport retries: once those exhaust they observe
+    /// `BrokerLost` and redial, and because their sessions are persistent
+    /// the resumed broker replays in-flight QoS 1/2 handshakes — no
+    /// message is lost or duplicated across the crash. Calling this while
+    /// a restart is already pending only extends the outage.
+    pub fn kill_broker(&mut self, outage: SimDuration) {
+        let now = self.sim.now();
+        if self.pending_broker_restart.is_none() {
+            let snaps = self.broker.borrow().export_sessions();
+            self.checkpoints.save_broker_sessions(&snaps);
+            self.sim.unbind(self.broker_addr);
+            self.log.lifecycle(
+                now,
+                "broker",
+                "killed",
+                &format!("{} session(s) exported", snaps.len()),
+            );
+        }
+        let due = now + outage;
+        self.pending_broker_restart =
+            Some(self.pending_broker_restart.map_or(due, |d| d.max(due)));
+    }
+
+    /// Whether the broker is currently down (killed, replacement not yet
+    /// bound).
+    pub fn broker_down(&self) -> bool {
+        self.pending_broker_restart.is_some()
+    }
+
+    fn apply_broker_restart(&mut self) {
+        let Some(due) = self.pending_broker_restart else {
+            return;
+        };
+        let now = self.sim.now();
+        if now < due {
+            return;
+        }
+        self.pending_broker_restart = None;
+        let broker = Broker::new(self.broker_addr);
+        if let Some(timeout) = self.config.broker_session_timeout {
+            broker.borrow_mut().set_session_timeout(Some(timeout));
+        }
+        let snaps = self.checkpoints.restore_broker_sessions();
+        let n = snaps.len();
+        broker.borrow_mut().import_sessions(snaps);
+        self.sim.bind(self.broker_addr, broker.clone());
+        self.broker = broker;
+        obs::inc(self.obs.broker_restarts);
+        self.log.lifecycle(now, "broker", "restarted", &format!("{n} session(s) imported"));
+    }
+
     // ---- attach / edit / check ----
 
     /// `dbox attach <child> <parent>` — attach a digi to a scene.
@@ -816,6 +876,21 @@ impl Testbed {
         client
     }
 
+    /// Create an application endpoint with a durable MQTT session
+    /// (`clean_session = false`): it survives broker restarts and redials
+    /// automatically on `BrokerLost`.
+    pub fn app_with_persistent_mqtt(
+        &mut self,
+        node: NodeId,
+        client_id: &str,
+    ) -> ServiceHandle<AppClient> {
+        let addr = Addr::new(node, self.next_app_port);
+        self.next_app_port = self.next_app_port.checked_add(1).expect("app port space exhausted");
+        let client = AppClient::with_persistent_mqtt(addr, self.broker_addr, client_id);
+        self.sim.bind(addr, client.clone());
+        client
+    }
+
     // ---- time ----
 
     /// Advance virtual time, then feed new model changes to the property
@@ -824,13 +899,14 @@ impl Testbed {
         let deadline = self.sim.now() + span;
         loop {
             let next_restart = self.pending_restarts.iter().map(|r| r.due).min();
-            let next_mark = match (next_restart, self.next_checkpoint) {
-                (Some(r), Some(c)) => Some(r.min(c)),
-                (r, c) => r.or(c),
-            };
+            let next_mark = [next_restart, self.next_checkpoint, self.pending_broker_restart]
+                .into_iter()
+                .flatten()
+                .min();
             match next_mark {
                 Some(t) if t <= deadline => {
                     self.sim.run_until(t);
+                    self.apply_broker_restart();
                     self.apply_due_restarts();
                     self.take_due_checkpoints();
                 }
@@ -850,11 +926,18 @@ impl Testbed {
     pub fn run_to_quiescence(&mut self) {
         loop {
             self.sim.run_to_completion();
-            if self.pending_restarts.is_empty() {
+            if self.pending_restarts.is_empty() && self.pending_broker_restart.is_none() {
                 break;
             }
-            let t = self.pending_restarts.iter().map(|r| r.due).min().expect("nonempty");
+            let t = self
+                .pending_restarts
+                .iter()
+                .map(|r| r.due)
+                .chain(self.pending_broker_restart)
+                .min()
+                .expect("nonempty");
             self.sim.run_until(t);
+            self.apply_broker_restart();
             self.apply_due_restarts();
         }
         self.poll_storm();

@@ -72,6 +72,12 @@ pub enum FaultKind {
         /// Raw node ids on the other side.
         right: Vec<u32>,
     },
+    /// Kill the MQTT broker pod: its sessions are exported to the
+    /// checkpoint store, the endpoint unbinds, and at window end a fresh
+    /// broker imports the sessions and rebinds on the same address.
+    /// Exercises the exactly-once path: in-flight QoS 1/2 handshakes must
+    /// survive the restart without loss or duplication.
+    CrashBroker,
     /// Degrade every link in the cluster for the window: extra loss
     /// composes with existing loss, delay/jitter are additive.
     Degrade {
@@ -93,6 +99,7 @@ impl FaultKind {
             FaultKind::Partition { left, right } => {
                 format!("partition:{left:?}|{right:?}")
             }
+            FaultKind::CrashBroker => "crash-broker".to_string(),
             FaultKind::Degrade { loss, .. } => format!("degrade:loss={loss}"),
         }
     }

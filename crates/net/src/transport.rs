@@ -12,9 +12,19 @@
 //! Frame wire format (big-endian):
 //!
 //! ```text
-//! DATA: 0x01 | seq: u64 | payload...
-//! ACK:  0x02 | cumulative_ack: u64        (highest in-order seq received)
+//! DATA: 0x01 | inc: u64 | seq: u64 | payload...
+//! ACK:  0x02 | inc: u64 | cumulative_ack: u64   (highest in-order seq received)
 //! ```
+//!
+//! `inc` is the sender's connection *incarnation* — assigned when the
+//! connection record is created (from the deterministic sim clock, so
+//! replays stay identical). It is what makes restarts safe: a receiver
+//! seeing a higher incarnation from a peer discards its stale receive
+//! state for that peer (the peer reset and restarted its sequence space),
+//! a lower one is a ghost from a dead connection and is dropped, and an
+//! ACK is honored only if it echoes the current incarnation — so a
+//! restarted service can never have its fresh frames silently "acked" by
+//! a peer that was actually talking to the previous incarnation.
 
 use std::collections::{BTreeMap, HashMap, VecDeque}; // keyed lookup only; `dbox audit` (DH0002) checks every iteration site
 
@@ -60,10 +70,19 @@ pub enum TransportEvent {
 
 #[derive(Debug, Default)]
 struct ConnState {
+    /// This side's connection incarnation, stamped on every outgoing DATA
+    /// frame. Assigned (non-zero) on the first send; a connection reset
+    /// re-assigns it from the then-current sim clock, so the peer can tell
+    /// a fresh sequence space from a replay of the old one.
+    send_inc: u64,
     /// Next sequence number to assign on send.
     next_send_seq: u64,
     /// Sent but not yet cumulatively acked: seq → (payload, retries).
     unacked: BTreeMap<u64, (Bytes, u32)>,
+    /// The peer's incarnation the receive state belongs to (0 = none seen
+    /// yet). Frames from an older incarnation are ghosts and dropped; a
+    /// newer one resets `recv_cursor`/`reorder`.
+    peer_inc: u64,
     /// Highest in-order seq delivered from the peer.
     recv_cursor: u64,
     /// Out-of-order arrivals waiting for the gap to fill.
@@ -148,10 +167,17 @@ impl ReliableEndpoint {
     /// Send `payload` reliably to `peer`.
     pub fn send(&mut self, sim: &mut Sim, peer: Addr, payload: Bytes) {
         let conn = self.conns.entry(peer).or_default();
+        if conn.send_inc == 0 {
+            // First send on this connection record: stamp its incarnation
+            // from the sim clock (+1 keeps it non-zero at t=0). A record
+            // created after a reset necessarily gets a later, larger stamp.
+            conn.send_inc = sim.now().as_nanos() + 1;
+        }
+        let inc = conn.send_inc;
         let seq = conn.next_send_seq;
         conn.next_send_seq += 1;
         conn.unacked.insert(seq, (payload.clone(), 0));
-        let frame = encode_data(seq, &payload);
+        let frame = encode_data(inc, seq, &payload);
         sim.send(self.local, peer, frame);
         self.arm_timer(sim, peer, seq, 0);
     }
@@ -176,28 +202,45 @@ impl ReliableEndpoint {
         }
         match buf.get_u8() {
             FRAME_DATA => {
-                if buf.remaining() < 8 {
+                if buf.remaining() < 16 {
                     return false;
                 }
+                let inc = buf.get_u64();
                 let seq = buf.get_u64();
                 let payload = buf.copy_to_bytes(buf.remaining());
-                self.handle_data(sim, peer, seq, payload);
+                self.handle_data(sim, peer, inc, seq, payload);
                 true
             }
             FRAME_ACK => {
-                if buf.remaining() < 8 {
+                if buf.remaining() < 16 {
                     return false;
                 }
+                let inc = buf.get_u64();
                 let ack = buf.get_u64();
-                self.handle_ack(peer, ack);
+                self.handle_ack(peer, inc, ack);
                 true
             }
             _ => false,
         }
     }
 
-    fn handle_data(&mut self, sim: &mut Sim, peer: Addr, seq: u64, payload: Bytes) {
+    fn handle_data(&mut self, sim: &mut Sim, peer: Addr, inc: u64, seq: u64, payload: Bytes) {
         let conn = self.conns.entry(peer).or_default();
+        if inc < conn.peer_inc {
+            // Ghost frame from a connection the peer has since reset
+            // (e.g. a retransmit racing the reset). Ignoring it — no
+            // buffering, no ack — is what keeps the old sequence space
+            // from poisoning the new one.
+            return;
+        }
+        if inc > conn.peer_inc {
+            // The peer restarted its sequence space (endpoint restart or
+            // post-failure reset): discard receive state tied to the old
+            // incarnation and adopt the new one.
+            conn.peer_inc = inc;
+            conn.recv_cursor = 0;
+            conn.reorder.clear();
+        }
         let mut delivered = Vec::new();
         if seq < conn.recv_cursor || conn.reorder.contains_key(&seq) {
             self.duplicates += 1;
@@ -215,15 +258,20 @@ impl ReliableEndpoint {
             delivered.into_iter().map(|p| TransportEvent::Delivered { peer, payload: p }),
         );
         // Cumulative ack: highest in-order seq received (cursor - 1); also
-        // acks duplicates so the sender stops retransmitting.
+        // acks duplicates so the sender stops retransmitting. Echoes the
+        // peer's incarnation so it can reject acks meant for a dead stream.
         if cursor > 0 {
-            sim.send(self.local, peer, encode_ack(cursor - 1));
+            sim.send(self.local, peer, encode_ack(inc, cursor - 1));
         }
     }
 
-    fn handle_ack(&mut self, peer: Addr, ack: u64) {
+    fn handle_ack(&mut self, peer: Addr, inc: u64, ack: u64) {
         if let Some(conn) = self.conns.get_mut(&peer) {
-            conn.unacked.retain(|&seq, _| seq > ack);
+            // Only the current incarnation's acks count; a stale one could
+            // otherwise "acknowledge" fresh frames the peer never saw.
+            if conn.send_inc == inc {
+                conn.unacked.retain(|&seq, _| seq > ack);
+            }
         }
     }
 
@@ -242,6 +290,7 @@ impl ReliableEndpoint {
         let Some(conn) = self.conns.get_mut(&peer) else {
             return true;
         };
+        let inc = conn.send_inc;
         let Some((payload, retries)) = conn.unacked.get_mut(&seq) else {
             return true; // acked in the meantime
         };
@@ -253,7 +302,7 @@ impl ReliableEndpoint {
             self.events.push_back(TransportEvent::PeerFailed { peer });
             return true;
         }
-        let frame = encode_data(seq, payload);
+        let frame = encode_data(inc, seq, payload);
         let retries = *retries;
         self.retransmits += 1;
         sim.send(self.local, peer, frame);
@@ -267,17 +316,19 @@ impl ReliableEndpoint {
     }
 }
 
-fn encode_data(seq: u64, payload: &Bytes) -> Bytes {
-    let mut b = BytesMut::with_capacity(9 + payload.len());
+fn encode_data(inc: u64, seq: u64, payload: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(17 + payload.len());
     b.put_u8(FRAME_DATA);
+    b.put_u64(inc);
     b.put_u64(seq);
     b.extend_from_slice(payload);
     b.freeze()
 }
 
-fn encode_ack(ack: u64) -> Bytes {
-    let mut b = BytesMut::with_capacity(9);
+fn encode_ack(inc: u64, ack: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(17);
     b.put_u8(FRAME_ACK);
+    b.put_u64(inc);
     b.put_u64(ack);
     b.freeze()
 }
@@ -390,12 +441,101 @@ mod tests {
     fn duplicate_data_is_suppressed() {
         let (mut sim, _pa, pb, a, b) = lossy_pair(0.0);
         // Hand-craft the same DATA frame twice (simulates a retransmit race).
-        let frame = encode_data(0, &Bytes::from_static(b"once"));
+        let frame = encode_data(1, 0, &Bytes::from_static(b"once"));
         sim.send(a, b, frame.clone());
         sim.send(a, b, frame);
         sim.run_to_completion();
         assert_eq!(pb.borrow().delivered, vec![b"once".to_vec()]);
         assert_eq!(pb.borrow().ep.duplicates(), 1, "redelivery counted");
+    }
+
+    #[test]
+    fn newer_incarnation_resets_receive_state() {
+        let (mut sim, _pa, pb, a, b) = lossy_pair(0.0);
+        // Old incarnation delivered seq 0..1, and left a stale out-of-order
+        // frame at seq 5 in the reorder buffer.
+        sim.send(a, b, encode_data(1, 0, &Bytes::from_static(b"old0")));
+        sim.send(a, b, encode_data(1, 1, &Bytes::from_static(b"old1")));
+        sim.send(a, b, encode_data(1, 5, &Bytes::from_static(b"stale")));
+        sim.run_to_completion();
+        assert_eq!(pb.borrow().delivered, vec![b"old0".to_vec(), b"old1".to_vec()]);
+        // The peer resets (incarnation 2) and reuses the same seq numbers:
+        // the receiver must start a fresh stream, not treat them as dups —
+        // and the stale seq-5 frame must never surface.
+        for (seq, pl) in [(0, "new0"), (1, "new1"), (2, "new2"), (3, "new3"), (4, "new4"), (5, "new5")] {
+            sim.send(a, b, encode_data(2, seq, &Bytes::copy_from_slice(pl.as_bytes())));
+        }
+        sim.run_to_completion();
+        let got: Vec<Vec<u8>> = pb.borrow().delivered.clone();
+        assert_eq!(
+            got,
+            vec![
+                b"old0".to_vec(),
+                b"old1".to_vec(),
+                b"new0".to_vec(),
+                b"new1".to_vec(),
+                b"new2".to_vec(),
+                b"new3".to_vec(),
+                b"new4".to_vec(),
+                b"new5".to_vec(),
+            ],
+            "reused sequence numbers deliver fresh payloads, stale buffer discarded"
+        );
+    }
+
+    #[test]
+    fn ghost_frames_from_old_incarnation_dropped() {
+        let (mut sim, _pa, pb, a, b) = lossy_pair(0.0);
+        sim.send(a, b, encode_data(2, 0, &Bytes::from_static(b"current")));
+        sim.run_to_completion();
+        // A straggling retransmit from the pre-reset connection: same seq
+        // space, older incarnation. Must be ignored entirely.
+        sim.send(a, b, encode_data(1, 1, &Bytes::from_static(b"ghost")));
+        sim.run_to_completion();
+        assert_eq!(pb.borrow().delivered, vec![b"current".to_vec()]);
+    }
+
+    #[test]
+    fn stale_ack_does_not_clear_new_incarnation_frames() {
+        let (mut sim, pa, _pb, a, b) = lossy_pair(0.0);
+        // Black-hole a → b so the frame stays in flight.
+        sim.topology_mut().set_link(a.node, b.node, LinkSpec::lossy_wireless(1.0));
+        pa.borrow_mut().ep.send(&mut sim, b, Bytes::from_static(b"pending"));
+        assert_eq!(pa.borrow().ep.in_flight(b), 1);
+        // An ack for the same seq but a *different* incarnation (a ghost
+        // from a previous life of the peer) must not clear it.
+        sim.send(b, a, encode_ack(999, 0));
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(pa.borrow().ep.in_flight(b), 1, "ghost ack cleared live frame");
+    }
+
+    #[test]
+    fn restarted_receiver_recovers_without_manual_cleanup() {
+        // A talks to B, then B's service is replaced by a fresh endpoint at
+        // the same address (a "pod restart"). A's next message stalls (its
+        // seq/incarnation ride the old stream), retries exhaust, and the
+        // post-failure reset gets a NEW incarnation — which the restarted B
+        // accepts as a fresh stream. No sweep or manual reset needed.
+        let (mut sim, pa, pb, _a, b) = lossy_pair(0.0);
+        pa.borrow_mut().ep.send(&mut sim, b, Bytes::from_static(b"before"));
+        sim.run_to_completion();
+        assert_eq!(pb.borrow().delivered, vec![b"before".to_vec()]);
+        // Restart B: unbind, rebind a brand-new endpoint.
+        sim.unbind(b);
+        let pb2 = Peer::new(b);
+        sim.bind(b, pb2.clone());
+        // A's send rides the stale connection state; the fresh B ignores
+        // the mid-stream frames, A's retries exhaust (~55×RTO), and the
+        // failure resets A's connection.
+        pa.borrow_mut().ep.send(&mut sim, b, Bytes::from_static(b"lost"));
+        sim.run_for(SimDuration::from_secs(4));
+        assert_eq!(pa.borrow().failures, 1);
+        assert!(pb2.borrow().delivered.is_empty());
+        // Post-reset, A reaches the restarted B first try.
+        pa.borrow_mut().ep.send(&mut sim, b, Bytes::from_static(b"after"));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(pb2.borrow().delivered, vec![b"after".to_vec()]);
+        assert_eq!(pa.borrow().ep.in_flight(b), 0);
     }
 
     #[test]

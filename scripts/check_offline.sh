@@ -150,8 +150,8 @@ APPS_DEPS=(serde_json bytes digibox_model digibox_net digibox_broker digibox_cor
 build digibox_apps crates/apps/src/lib.rs "${APPS_DEPS[@]}"
 buildtest digibox_apps crates/apps/src/lib.rs "${APPS_DEPS[@]}"
 
-CLI_DEPS=(serde serde_json digibox_model digibox_net digibox_core digibox_devices
-  digibox_registry digibox_trace digibox_obs)
+CLI_DEPS=(serde serde_json digibox_model digibox_net digibox_broker digibox_core
+  digibox_devices digibox_registry digibox_trace digibox_obs)
 if [ -d crates/analysis ]; then
   CLI_DEPS+=(digibox_analysis)
 fi
@@ -170,6 +170,10 @@ if [ -d crates/analysis ]; then
   "$OUT/dbox" audit
   echo "  run  dbox audit (simulation crates are determinism-clean)"
 fi
+# fuzz-smoke: the codec fuzzer over fixed seeds — must complete without a
+# decode panic, and being seeded its output is the same on every run.
+"$OUT/dbox" fuzz --seeds 1,2,3,4,5 --iters 10000 >/dev/null
+echo "  run  dbox fuzz (5 seeds x 10k iterations, codec panic-free)"
 
 INTEG_DEPS=(serde_json digibox_model digibox_net digibox_broker digibox_core
   digibox_devices digibox_apps digibox_trace digibox_registry digibox_cli digibox_obs)

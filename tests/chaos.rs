@@ -2,9 +2,12 @@
 //! ensemble, checkpointed recovery, and the degradation-aware scorecard
 //! (paper §6 — faults/failures and network connectivity on a laptop).
 
+use std::collections::BTreeMap;
+
+use digibox_broker::QoS;
 use digibox_core::campaign::Campaign;
 use digibox_core::properties::DigiCondition;
-use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
+use digibox_core::{AppEvent, Condition, SceneProperty, Testbed, TestbedConfig};
 use digibox_devices::full_catalog;
 use digibox_model::Value;
 use digibox_net::chaos::{FaultKind, FaultPlan, FaultSpec};
@@ -105,6 +108,137 @@ fn restart_restores_checkpointed_model() {
         Some("on"),
         "restarted lamp must resume from its checkpointed state"
     );
+}
+
+#[test]
+fn broker_crash_mid_qos2_handshake_is_exactly_once() {
+    let mut tb = Testbed::ec2(
+        2,
+        full_catalog(),
+        TestbedConfig { seed: 11, ..Default::default() },
+    );
+    let node = tb.broker_addr().node;
+    let sub = tb.app_with_persistent_mqtt(node, "sub");
+    let publisher = tb.app_with_persistent_mqtt(node, "pub");
+    tb.run_for(SimDuration::from_millis(200));
+    sub.borrow_mut().subscribe(tb.sim(), &[("chaos/t", QoS::ExactlyOnce)]);
+    tb.run_for(SimDuration::from_millis(200));
+
+    // three messages delivered while the broker is healthy...
+    for i in 0..3 {
+        let payload = format!("m{i}").into_bytes();
+        publisher.borrow_mut().publish(tb.sim(), "chaos/t", payload, QoS::ExactlyOnce);
+    }
+    tb.run_for(SimDuration::from_secs(2));
+
+    // ...then two more whose four-way handshakes the crash interrupts:
+    // 10 ms is enough for the PUBLISH legs to land but not for the
+    // handshakes to finish, so the broker dies holding half-open state.
+    for i in 3..5 {
+        let payload = format!("m{i}").into_bytes();
+        publisher.borrow_mut().publish(tb.sim(), "chaos/t", payload, QoS::ExactlyOnce);
+    }
+    tb.run_for(SimDuration::from_millis(10));
+    tb.kill_broker(SimDuration::from_secs(3));
+    assert!(tb.broker_down());
+
+    // The subscriber is otherwise idle and would never notice the dead
+    // broker; a heartbeat publish gives its transport traffic to time out
+    // on, which triggers the persistent client's redial loop.
+    sub.borrow_mut().publish(tb.sim(), "hb/sub", &b"ping"[..], QoS::AtLeastOnce);
+
+    // Outage (3 s) + two retry-exhaustion cycles per client (~2.75 s
+    // each: the first redial rides the stale transport stream) + the
+    // resumed retransmits. 20 s is a comfortable envelope.
+    tb.run_for(SimDuration::from_secs(20));
+    assert!(!tb.broker_down(), "broker restarted by the scheduled rebind");
+
+    let killed = tb.log().records().iter().any(|r| {
+        r.source == "broker"
+            && matches!(&r.kind, RecordKind::Lifecycle { action, .. } if action == "killed")
+    });
+    let restarted = tb.log().records().iter().any(|r| {
+        r.source == "broker"
+            && matches!(&r.kind, RecordKind::Lifecycle { action, .. } if action == "restarted")
+    });
+    assert!(killed, "broker kill should be logged");
+    assert!(restarted, "broker restart should be logged");
+
+    // Exactly once: every payload arrives, none twice — the interrupted
+    // handshakes finish via DUP retransmit + packet-id dedup on the
+    // sessions the fresh broker imported from the checkpoint store.
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for ev in sub.borrow_mut().poll_all() {
+        if let AppEvent::Message { topic, payload } = ev {
+            if topic == "chaos/t" {
+                *counts.entry(String::from_utf8_lossy(&payload).into_owned()).or_default() += 1;
+            }
+        }
+    }
+    for i in 0..5 {
+        let p = format!("m{i}");
+        assert_eq!(
+            counts.get(&p),
+            Some(&1),
+            "payload {p} must be delivered exactly once: {counts:?}"
+        );
+    }
+    assert_eq!(counts.len(), 5, "no stray deliveries: {counts:?}");
+
+    // both durable sessions resumed on the post-restart broker
+    let broker = tb.broker();
+    let stats = broker.borrow().stats().clone();
+    assert!(
+        stats.session_resumes >= 2,
+        "both persistent clients should resume their sessions: {stats:?}"
+    );
+    assert_eq!(publisher.borrow().unacked_publishes(), 0, "all handshakes completed");
+}
+
+/// A campaign whose only fault is a broker-pod crash. Generous
+/// convergence: after the rebind each client needs two retry-exhaustion
+/// cycles (~5.5 s) before its redial lands, then the 5 s property
+/// deadline on top.
+fn broker_crash_plan() -> FaultPlan {
+    FaultPlan::new("broker-crash", 45_000, 15_000).with(FaultSpec {
+        at_ms: 5_000,
+        duration_ms: 4_000,
+        jitter_ms: 1_000,
+        kind: FaultKind::CrashBroker,
+    })
+}
+
+#[test]
+fn broker_crash_campaign_is_clean_and_jobs_invariant() {
+    let campaign = Campaign::new(broker_crash_plan()).unwrap();
+    let a = campaign.run_jobs(&[1, 2], 1, room_testbed).unwrap();
+    let b = campaign.run_jobs(&[1, 2], 2, room_testbed).unwrap();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "scorecard must be byte-identical across --jobs"
+    );
+    assert_eq!(a.digest(), b.digest());
+
+    assert!(a.errors.is_empty(), "no seed may fail: {a:?}");
+    for s in &a.per_seed {
+        assert!(
+            s.metrics.get("control.broker_restarts").copied().unwrap_or(0) >= 1,
+            "the broker crash must actually happen (seed {}): {:?}",
+            s.seed,
+            s.metrics
+        );
+    }
+
+    // exactly-once under chaos: once the broker is back and the ensemble
+    // has had its convergence grace, the scene satisfies its properties
+    assert_eq!(
+        a.post_heal_violations(),
+        0,
+        "post-heal violations:\n{}",
+        a.render()
+    );
+    assert!(a.clean());
 }
 
 #[test]
