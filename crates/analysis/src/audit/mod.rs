@@ -67,11 +67,16 @@ pub fn audit_source(file: &str, src: &str) -> (Vec<AuditFinding>, usize) {
     suppress::apply(file, findings, &set)
 }
 
-/// The per-file rule configuration: the `core::sweep` worker engine is the
-/// one place `std::thread` is legal.
+/// The per-file rule configuration: the `core::sweep` worker engine and the
+/// `core::islands` space-parallel engine are the only places `std::thread`
+/// is legal — both quarantine OS parallelism behind deterministic barriers,
+/// so everything they run stays replayable.
 fn config_for(file: &str) -> RuleConfig {
     let normalized = file.replace('\\', "/");
-    RuleConfig { threads_allowed: normalized.ends_with("core/src/sweep.rs") }
+    RuleConfig {
+        threads_allowed: normalized.ends_with("core/src/sweep.rs")
+            || normalized.ends_with("core/src/islands.rs"),
+    }
 }
 
 /// Audit a set of paths (files or directories; directories are walked
@@ -157,6 +162,33 @@ mod tests {
         assert!(config_for("/abs/path/crates/core/src/sweep.rs").threads_allowed);
         assert!(!config_for("crates/net/src/transport.rs").threads_allowed);
         assert!(!config_for("crates/core/src/pool.rs").threads_allowed);
+    }
+
+    #[test]
+    fn island_engine_gets_thread_exemption() {
+        assert!(config_for("crates/core/src/islands.rs").threads_allowed);
+        assert!(config_for("/abs/path/crates/core/src/islands.rs").threads_allowed);
+        // A look-alike module elsewhere does NOT inherit the sanction.
+        assert!(!config_for("crates/net/src/islands.rs").threads_allowed);
+        assert!(!config_for("crates/core/src/testbed.rs").threads_allowed);
+    }
+
+    #[test]
+    fn unsanctioned_thread_spawn_still_fires_dh0003() {
+        // The island exemption is path-scoped: the identical source in any
+        // other file keeps producing a DH0003 error.
+        let src = "pub fn run() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let (findings, suppressed) = audit_source("crates/core/src/testbed.rs", src);
+        assert_eq!(suppressed, 0);
+        assert!(
+            findings.iter().any(|f| f.code == HazardCode::ThreadOutsideSweep),
+            "{findings:?}"
+        );
+        let (findings, _) = audit_source("crates/core/src/islands.rs", src);
+        assert!(
+            findings.iter().all(|f| f.code != HazardCode::ThreadOutsideSweep),
+            "{findings:?}"
+        );
     }
 
     #[test]

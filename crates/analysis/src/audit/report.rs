@@ -21,7 +21,8 @@ pub enum HazardCode {
     /// no trailing sort, BTree re-collection, or order-independent
     /// reduction.
     HashOrderIteration,
-    /// DH0003 — `std::thread` use outside the `core::sweep` worker engine.
+    /// DH0003 — `std::thread` use outside the sanctioned parallel engines
+    /// (`core::sweep` workers, `core::islands` space-parallel engine).
     ThreadOutsideSweep,
     /// DH0004 — pointer identity leaking into observable output (`{:p}`
     /// format specifier, `as *const … as usize` casts).
@@ -65,7 +66,7 @@ impl HazardCode {
         match self {
             HazardCode::BannedTimeOrEntropy => "banned time/entropy API",
             HazardCode::HashOrderIteration => "hash-order iteration",
-            HazardCode::ThreadOutsideSweep => "thread spawn outside core::sweep",
+            HazardCode::ThreadOutsideSweep => "thread spawn outside sanctioned engines",
             HazardCode::PointerIdentityLeak => "pointer identity leak",
             HazardCode::FloatAccumulation => "float accumulation over hash order",
             HazardCode::StaleSuppression => "stale det-ok suppression",

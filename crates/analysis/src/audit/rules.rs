@@ -162,8 +162,8 @@ fn threads(file: &str, code: &[&Token], findings: &mut Vec<AuditFinding>) {
                 file,
                 code[i].line,
                 code[i].col,
-                "std::thread outside core::sweep — simulation parallelism must go through the \
-                 deterministic sweep engine"
+                "std::thread outside core::sweep/core::islands — simulation parallelism must \
+                 go through a deterministic engine"
                     .to_string(),
             ));
             // skip the whole `a :: b` just matched so `std::thread::spawn`
@@ -726,6 +726,17 @@ mod tests {
         let tokens = lex("let h = std::thread::spawn(|| {});");
         let f = scan("core/src/sweep.rs", &tokens, &RuleConfig { threads_allowed: true });
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dh0003_exempts_the_island_engine() {
+        // thread::scope is the island engine's idiom; the exemption covers it.
+        let tokens = lex("std::thread::scope(|s| { s.spawn(|| {}); });");
+        let f = scan("core/src/islands.rs", &tokens, &RuleConfig { threads_allowed: true });
+        assert!(f.is_empty(), "{f:?}");
+        let f = scan("core/src/testbed.rs", &tokens, &RuleConfig::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, HazardCode::ThreadOutsideSweep);
     }
 
     // ---- DH0004 -------------------------------------------------------

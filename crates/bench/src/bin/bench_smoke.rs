@@ -3,14 +3,17 @@
 //! sweep-scaling row (jobs=1 vs jobs=all on a 16-seed chaos campaign),
 //! written to `BENCH_sweep.json`, and the E13 `max_digis_per_sec` scaling
 //! row (pooled arena testbeds at 10k/100k digis vs a per-digi-timer
-//! baseline), written to `BENCH_scale.json`. Set `DIGIBOX_E13_FULL=1` to
-//! add the million-digi row (minutes, not CI-smoke material).
+//! baseline), written to `BENCH_scale.json`, and the E14 `islands_speedup`
+//! row (one 2k-digi sim space-partitioned across island kernels at 1
+//! worker vs one per core), written to `BENCH_islands.json`. Set
+//! `DIGIBOX_E13_FULL=1` to add the million-digi row (minutes, not
+//! CI-smoke material).
 //!
 //! Unlike the criterion benches this runs in seconds and needs no
 //! harness, so CI can execute it report-only:
 //!
 //! ```text
-//! cargo run --release -p digibox-bench --bin bench_smoke [out.json] [sweep.json] [obs.json] [scale.json]
+//! cargo run --release -p digibox-bench --bin bench_smoke [out.json] [sweep.json] [obs.json] [scale.json] [islands.json]
 //! ```
 //!
 //! Timings use `std::time::Instant` (criterion is a dev-dependency and
@@ -26,6 +29,7 @@ use digibox_bench::baseline::{OldEventQueue, OldTopicTrie};
 use digibox_bench::{build_deployment, laptop, measure_gets, parallel_sweep, report};
 use digibox_broker::TopicTrie;
 use digibox_core::campaign::Campaign;
+use digibox_core::islands::{self, IslandEnv, IslandSpec, IslandsConfig};
 use digibox_core::properties::DigiCondition;
 use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
 use digibox_devices::full_catalog;
@@ -254,11 +258,61 @@ fn scale_per_digi(digis: usize, virtual_secs: u64) -> (f64, u64) {
     (wall, tb.sim().events_processed() - events_before)
 }
 
+/// The E14 fixture: four islands, each pooling `digis_per_island`
+/// occupancy digis into one arena pod — one logical testbed split across
+/// island kernels for the space-parallel scaling row.
+fn island_specs(digis_per_island: usize) -> Vec<IslandSpec> {
+    (0..4)
+        .map(|i| {
+            IslandSpec::new(format!("pool-{i}"), move |env: &IslandEnv| {
+                let mut tb = Testbed::new(
+                    env.topology.clone(),
+                    full_catalog(),
+                    TestbedConfig {
+                        seed: env.seed,
+                        home_node: Some(env.island as u32),
+                        ..Default::default()
+                    },
+                );
+                let names: Vec<String> =
+                    (0..digis_per_island).map(|d| format!("P{i}x{d}")).collect();
+                tb.run_pool("Occupancy", &names, Default::default(), false)?;
+                tb.run_for(SimDuration::from_secs(1));
+                Ok(tb)
+            })
+        })
+        .collect()
+}
+
+/// One E14 run: the island campaign at the given worker count, reduced
+/// to per-island digest strings plus wall-clock, epochs and cross count.
+fn islands_run_at(workers: usize) -> (Vec<String>, f64, u64, u64) {
+    let t = Instant::now();
+    let run = islands::run(
+        7,
+        island_specs(500),
+        &IslandsConfig { workers, ..IslandsConfig::default() },
+        SimDuration::from_secs(5),
+        &[],
+        |island, tb, _t0| {
+            format!(
+                "island={island} now={} digis={} stats={}",
+                tb.now().as_nanos(),
+                tb.digi_count(),
+                tb.obs_snapshot().to_json()
+            )
+        },
+    )
+    .expect("e14 island run");
+    (run.results, t.elapsed().as_secs_f64(), run.epochs, run.cross_datagrams)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_substrate.json".into());
     let sweep_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_sweep.json".into());
     let obs_path = std::env::args().nth(3).unwrap_or_else(|| "BENCH_obs.json".into());
     let scale_path = std::env::args().nth(4).unwrap_or_else(|| "BENCH_scale.json".into());
+    let islands_path = std::env::args().nth(5).unwrap_or_else(|| "BENCH_islands.json".into());
 
     // ---- microbench 1: periodic timers, old heap vs timer wheel ----
     let (heap_s, heap_fired) = best_of(periodic_old);
@@ -468,4 +522,41 @@ fn main() {
     std::fs::write(&scale_path, serde_json::to_string_pretty(&scale_doc).unwrap())
         .expect("write scale report");
     report("smoke", &format!("wrote {scale_path}"));
+
+    // ---- E14: islands_speedup — one 2k-digi sim space-partitioned onto
+    // 1 worker vs one per core; the digest match is the gate, the speedup
+    // is honest wall-clock (≈1x on single-core runners) ----
+    let (serial, w1_s, epochs1, cross1) = islands_run_at(1);
+    let (parallel, wn_s, epochs_n, cross_n) = islands_run_at(0);
+    let workers_n = cores.min(4);
+    let islands_digest_match = serial == parallel;
+    assert!(islands_digest_match, "workers=1 and workers={workers_n} island digests diverged");
+    assert_eq!((epochs1, cross1), (epochs_n, cross_n), "island barrier protocol diverged");
+    assert!(cross1 > 0, "e14 ran without cross-island traffic");
+    let islands_speedup = w1_s / wn_s;
+    report(
+        "smoke",
+        &format!(
+            "E14 islands scaling: cores={cores} islands=4 digis=2000 epochs={epochs1} \
+             cross={cross1} w1={w1_s:.2}s wN={wn_s:.2}s speedup={islands_speedup:.2}x \
+             digest_match={islands_digest_match}"
+        ),
+    );
+    let islands_doc = json!({
+        "bench": "islands_speedup (E14)",
+        "harness": "bench_smoke bin (std::time::Instant)",
+        "cores": cores,
+        "islands": 4,
+        "digis": 2_000,
+        "virtual_secs": 5,
+        "epochs": epochs1,
+        "cross_datagrams": cross1,
+        "workers1": { "workers": 1, "wall_clock_s": w1_s },
+        "workersN": { "workers": workers_n, "wall_clock_s": wn_s },
+        "speedup": islands_speedup,
+        "digest_match": islands_digest_match,
+    });
+    std::fs::write(&islands_path, serde_json::to_string_pretty(&islands_doc).unwrap())
+        .expect("write islands report");
+    report("smoke", &format!("wrote {islands_path}"));
 }

@@ -25,7 +25,7 @@ options:
   --allow DH0005                suppress codes for this run (validated)
 
 hazard codes: DH0001 banned time/entropy API, DH0002 hash-order
-iteration, DH0003 thread outside core::sweep, DH0004 pointer identity
+iteration, DH0003 thread outside core::sweep/islands, DH0004 pointer identity
 leak, DH0005 float accumulation (warning), DH0090 stale det-ok
 suppression, DH0091 malformed det-ok annotation.
 ";

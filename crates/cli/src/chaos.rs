@@ -14,6 +14,7 @@
 use std::path::Path;
 
 use digibox_core::campaign::Campaign;
+use digibox_core::islands::{IslandEnv, IslandSpec};
 use digibox_core::properties::DigiCondition;
 use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
 use digibox_devices::full_catalog;
@@ -30,6 +31,11 @@ options:
   --seeds 1,2,3                   seeds to sweep (default 1,2,3)
   --jobs N                        worker threads (0 = all cores, default 1);
                                   the scorecard digest is identical for any N
+  --islands N                     space-parallel mode (DESIGN.md §15): run the
+                                  demo as two island scenes (O1/R1/L1 and
+                                  O2/R2/L2) on N island worker threads (0 =
+                                  all cores); fault windows land on barrier
+                                  fences and the digest is identical for any N
   --format json|pretty            scorecard output format (default pretty)
   --out <file>                    also write the JSON scorecard to a file
   --print-plan                    print the effective plan as JSON and exit
@@ -49,6 +55,7 @@ pub fn run(_dir: &Path, args: &[String]) -> Outcome {
 fn run_inner(args: &[String]) -> Result<Outcome, String> {
     let mut seeds: Vec<u64> = vec![1, 2, 3];
     let mut jobs: usize = 1;
+    let mut islands: Option<usize> = None;
     let mut json = false;
     let mut out_file: Option<String> = None;
     let mut plan_file: Option<String> = None;
@@ -73,6 +80,11 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
             "--jobs" => {
                 let n = it.next().ok_or(format!("--jobs needs a number\n{CHAOS_USAGE}"))?;
                 jobs = n.trim().parse::<usize>().map_err(|_| format!("bad --jobs {n:?}"))?;
+            }
+            "--islands" => {
+                let n = it.next().ok_or(format!("--islands needs a number\n{CHAOS_USAGE}"))?;
+                islands =
+                    Some(n.trim().parse::<usize>().map_err(|_| format!("bad --islands {n:?}"))?);
             }
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => json = true,
@@ -101,8 +113,11 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
     }
 
     let campaign = Campaign::new(plan)?;
-    let scorecard =
-        campaign.run_jobs(&seeds, jobs, demo_testbed).map_err(|e| e.to_string())?;
+    let scorecard = match islands {
+        Some(workers) => campaign.run_islands(&seeds, jobs, workers, demo_islands_specs),
+        None => campaign.run_jobs(&seeds, jobs, demo_testbed),
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(path) = out_file {
         std::fs::write(&path, scorecard.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
@@ -171,6 +186,45 @@ fn demo_testbed(seed: u64) -> digibox_core::Result<Testbed> {
     Ok(tb)
 }
 
+/// The space-parallel demo: the same room scene twice, one complete copy
+/// per island (an MQTT scene cannot span islands — each island runs its
+/// own broker replica), so the demo plan's faults exercise every flavour:
+/// `CrashDigi L1` hits island 0's lamp, `Partition [0]|[1]` cuts the
+/// cross-island beacons, and `Degrade` shapes every link on both islands.
+/// Digi names are globally unique (`O1/R1/L1` vs `O2/R2/L2`) so the
+/// merged scorecard maps stay collision-free.
+fn demo_islands_specs(_seed: u64) -> Vec<IslandSpec> {
+    (0..2u32)
+        .map(|i| {
+            IslandSpec::new(format!("scene-{i}"), move |env: &IslandEnv| {
+                let config = TestbedConfig {
+                    seed: env.seed,
+                    broker_session_timeout: Some(SimDuration::from_secs(2)),
+                    home_node: Some(env.island as u32),
+                    ..Default::default()
+                };
+                let mut tb = Testbed::new(env.topology.clone(), full_catalog(), config);
+                let n = env.island + 1;
+                let (o, r, l) = (format!("O{n}"), format!("R{n}"), format!("L{n}"));
+                tb.run_with("Occupancy", &o, Default::default(), true)?;
+                tb.run_with("Room", &r, Default::default(), false)?;
+                tb.run_with("Lamp", &l, Default::default(), false)?;
+                tb.run_for(SimDuration::from_secs(1));
+                tb.attach(&o, &r)?;
+                tb.attach(&l, &r)?;
+                tb.add_property(SceneProperty::leads_to(
+                    &format!("lamp-follows-vacancy-{n}"),
+                    vec![DigiCondition::new(&o, Condition::eq("triggered", false))],
+                    vec![DigiCondition::new(&l, Condition::eq("power.status", "off"))],
+                    SimDuration::from_secs(5),
+                ));
+                tb.run_for(SimDuration::from_secs(2));
+                Ok(tb)
+            })
+        })
+        .collect()
+}
+
 // Pure flag-handling tests (no simulation, no serde at runtime) — these
 // run under the offline harness too.
 #[cfg(test)]
@@ -203,6 +257,11 @@ mod chaoscheck {
         assert_eq!(out.code, 1);
         assert!(out.stdout.contains("bad --jobs"), "{}", out.stdout);
         let out = run_args(&["--jobs"]);
+        assert_eq!(out.code, 1);
+        let out = run_args(&["--islands", "lots"]);
+        assert_eq!(out.code, 1);
+        assert!(out.stdout.contains("bad --islands"), "{}", out.stdout);
+        let out = run_args(&["--islands"]);
         assert_eq!(out.code, 1);
     }
 
@@ -271,6 +330,16 @@ mod tests {
         let b = run_args(&["--seeds", "1,2", "--jobs", "4", "--format", "json"]);
         assert_eq!(a.code, 0, "{}", a.stdout);
         assert_eq!(a.stdout, b.stdout, "parallel scorecard must be byte-identical");
+    }
+
+    #[test]
+    fn islands_flag_does_not_change_the_scorecard() {
+        let a = run_args(&["--seeds", "1,2", "--islands", "1", "--format", "json"]);
+        let b = run_args(&["--seeds", "1,2", "--islands", "4", "--format", "json"]);
+        assert_eq!(a.code, 0, "{}", a.stdout);
+        assert_eq!(a.stdout, b.stdout, "island scorecard must be byte-identical");
+        // Both scenes' digis are present in the merged report.
+        assert!(a.stdout.contains("\"O1\"") && a.stdout.contains("\"O2\""), "{}", a.stdout);
     }
 
     #[test]

@@ -242,8 +242,8 @@ usage:
   dbox pull <setup> --from <dir>                 pull + recreate a setup
   dbox lint [--library|--file <setup.dml>]       static-analyze the ensemble
   dbox audit [--format json] [--allow CODE] [paths...]  determinism audit of the simulation sources
-  dbox chaos [--plan <plan.json>] [--seeds 1,2]  fault campaign + scorecard
-  dbox sweep [--seeds 1..16] [--jobs N] [--pool T:P:N]  parallel seed sweep + report
+  dbox chaos [--plan <plan.json>] [--seeds 1,2] [--islands N]  fault campaign + scorecard
+  dbox sweep [--seeds 1..16] [--jobs N] [--pool T:P:N] [--islands N]  parallel seed sweep + report
   dbox fuzz [--seeds 1,2,3] [--iters N]          seeded MQTT codec fuzzer
   dbox stats [--format json|pretty]              deterministic metrics snapshot
   dbox profile                                   folded-stack span profile

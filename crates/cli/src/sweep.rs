@@ -16,6 +16,7 @@
 
 use std::path::Path;
 
+use digibox_core::islands::{self, IslandEnv, IslandSpec, IslandsConfig};
 use digibox_core::properties::DigiCondition;
 use digibox_core::sweep::sweep;
 use digibox_core::{Condition, SceneProperty, Testbed, TestbedConfig};
@@ -40,6 +41,11 @@ options:
                                       hosted in one arena pool (repeatable;
                                       the million-digi scaling path)
   --attach child:parent               attach after startup (repeatable)
+  --islands N                         space-parallel mode (DESIGN.md §15): run
+                                      the scene and every --pool as its own
+                                      island kernel on N worker threads (0 =
+                                      all cores); the report digest is
+                                      identical for any N
   --format json|pretty                output format (default pretty)
   --out <file>                        also write the JSON report to a file
 exit codes: 0 clean, 2 violations, 1 operational error
@@ -186,6 +192,7 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
     let mut runs: Vec<RunSpec> = Vec::new();
     let mut pools: Vec<PoolSpec> = Vec::new();
     let mut attaches: Vec<(String, String)> = Vec::new();
+    let mut islands: Option<usize> = None;
     let mut json = false;
     let mut out_file: Option<String> = None;
     let mut it = args.iter();
@@ -219,6 +226,11 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
                     .ok_or_else(|| format!("bad --attach {spec:?} (want child:parent)"))?;
                 attaches.push((c.to_string(), p.to_string()));
             }
+            "--islands" => {
+                let n = it.next().ok_or(format!("--islands needs a number\n{SWEEP_USAGE}"))?;
+                islands =
+                    Some(n.trim().parse::<usize>().map_err(|_| format!("bad --islands {n:?}"))?);
+            }
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => json = true,
                 Some("pretty") => json = false,
@@ -239,12 +251,18 @@ fn run_inner(args: &[String]) -> Result<Outcome, String> {
             attaches = vec![("O1".into(), "R1".into()), ("L1".into(), "R1".into())];
         }
     }
-    let ensemble = if demo { "demo".to_string() } else { "custom".to_string() };
+    let base = if demo { "demo" } else { "custom" };
+    let ensemble =
+        if islands.is_some() { format!("{base}+islands") } else { base.to_string() };
 
     // The whole sweep: every worker builds its own testbed/kernel from the
     // shared specs; merge order is canonical, so the digest is stable
-    // across --jobs values.
+    // across --jobs values. With --islands each seed additionally splits
+    // into space-parallel island kernels — worker-count invariant too.
     let outcome = sweep(&seeds, jobs, |seed| {
+        if let Some(workers) = islands {
+            return island_sweep_row(seed, workers, secs, &runs, &pools, &attaches, demo);
+        }
         let mut tb =
             build_testbed(seed, &runs, &pools, &attaches, demo).map_err(|e| e.to_string())?;
         tb.run_for(SimDuration::from_secs(secs));
@@ -360,6 +378,120 @@ fn demo_ensemble() -> Vec<RunSpec> {
     ]
 }
 
+/// An island-scoped testbed on the shared cluster: owns node
+/// `env.island`, every foreign node cordoned (see `core::islands`).
+fn island_testbed(env: &IslandEnv) -> digibox_core::Result<Testbed> {
+    Ok(Testbed::new(
+        env.topology.clone(),
+        full_catalog(),
+        TestbedConfig {
+            seed: env.seed,
+            home_node: Some(env.island as u32),
+            ..Default::default()
+        },
+    ))
+}
+
+/// One seed in space-parallel mode: island 0 hosts the scene (`--run`
+/// digis, attaches, demo property), every `--pool` gets its own island
+/// kernel, and the per-island rows are summed. The worker count changes
+/// wall-clock only — cross-island traffic is merged canonically, so the
+/// row (and the sweep digest) is byte-identical for any `--islands N`.
+fn island_sweep_row(
+    seed: u64,
+    workers: usize,
+    secs: u64,
+    runs: &[RunSpec],
+    pools: &[PoolSpec],
+    attaches: &[(String, String)],
+    demo: bool,
+) -> Result<SeedRow, String> {
+    let mut specs: Vec<IslandSpec> = Vec::new();
+    {
+        let runs = runs.to_vec();
+        let attaches = attaches.to_vec();
+        specs.push(IslandSpec::new("scene", move |env: &IslandEnv| {
+            let mut tb = island_testbed(env)?;
+            for spec in &runs {
+                tb.run_with(&spec.kind, &spec.name, Default::default(), spec.managed)?;
+            }
+            tb.run_for(SimDuration::from_secs(1));
+            for (child, parent) in &attaches {
+                tb.attach(child, parent)?;
+            }
+            if demo {
+                tb.add_property(SceneProperty::leads_to(
+                    "lamp-follows-vacancy",
+                    vec![DigiCondition::new("O1", Condition::eq("triggered", false))],
+                    vec![DigiCondition::new("L1", Condition::eq("power.status", "off"))],
+                    SimDuration::from_secs(5),
+                ));
+            }
+            tb.run_for(SimDuration::from_secs(1));
+            Ok(tb)
+        }));
+    }
+    for pool in pools {
+        let pool = pool.clone();
+        specs.push(IslandSpec::new(format!("pool-{}", pool.prefix), move |env: &IslandEnv| {
+            let mut tb = island_testbed(env)?;
+            let names: Vec<String> =
+                (0..pool.count).map(|i| format!("{}{i}", pool.prefix)).collect();
+            tb.run_pool(&pool.kind, &names, Default::default(), false)?;
+            // Same settle cadence as the single-kernel path.
+            tb.run_for(SimDuration::from_secs(1));
+            tb.run_for(SimDuration::from_secs(1));
+            Ok(tb)
+        }));
+    }
+    let config = IslandsConfig { workers, ..IslandsConfig::default() };
+    let run = islands::run(
+        seed,
+        specs,
+        &config,
+        SimDuration::from_secs(secs),
+        &[],
+        |_, tb, _t0| {
+            let violations = tb.violations().len() as u64;
+            let records = tb.log().records().len() as u64;
+            let (publishes_in, publishes_out) = {
+                let b = tb.broker().borrow();
+                (b.stats().publishes_in, b.stats().publishes_out)
+            };
+            let snap = tb.obs_snapshot();
+            [
+                violations,
+                records,
+                publishes_in,
+                publishes_out,
+                snap.counter("kernel.events"),
+                snap.counter("digi.on_loop") + snap.counter("digi.on_model"),
+                snap.counter("kernel.batched_deliveries"),
+            ]
+        },
+    )?;
+    let mut row = SeedRow {
+        seed,
+        violations: 0,
+        records: 0,
+        publishes_in: 0,
+        publishes_out: 0,
+        kernel_events: 0,
+        handler_runs: 0,
+        batched_deliveries: 0,
+    };
+    for [v, r, pi, po, ke, hr, bd] in run.results {
+        row.violations += v;
+        row.records += r;
+        row.publishes_in += pi;
+        row.publishes_out += po;
+        row.kernel_events += ke;
+        row.handler_runs += hr;
+        row.batched_deliveries += bd;
+    }
+    Ok(row)
+}
+
 fn build_testbed(
     seed: u64,
     runs: &[RunSpec],
@@ -445,6 +577,7 @@ mod sweepcheck {
             vec!["--pool", "Occupancy:P:zero"],
             vec!["--pool", "Occupancy:P:0"],
             vec!["--attach", "orphan"],
+            vec!["--islands", "lots"],
             vec!["--format", "xml"],
         ] {
             let out = run_args(&bad);
@@ -585,6 +718,29 @@ mod tests {
         assert_eq!(one.code, 0, "{}", one.stdout);
         assert!(one.stdout.contains("\"ensemble\":\"custom\""), "{}", one.stdout);
         assert_eq!(one.stdout, many.stdout, "--jobs must not change the pooled report");
+    }
+
+    #[test]
+    fn island_sweep_digest_is_worker_invariant() {
+        let base = [
+            "--seeds", "1,2",
+            "--secs", "5",
+            "--pool", "Occupancy:P:20",
+            "--format", "json",
+        ];
+        let one = {
+            let mut a = base.to_vec();
+            a.extend(["--islands", "1"]);
+            run_args(&a)
+        };
+        let many = {
+            let mut a = base.to_vec();
+            a.extend(["--islands", "4"]);
+            run_args(&a)
+        };
+        assert!(one.code == 0 || one.code == 2, "{}", one.stdout);
+        assert!(one.stdout.contains("\"ensemble\":\"custom+islands\""), "{}", one.stdout);
+        assert_eq!(one.stdout, many.stdout, "--islands must not change the report");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use digibox_net::chaos::{self, FaultKind, FaultPlan, FaultWindow};
 use digibox_net::{LinkState, NodeId, SimDuration, SimTime};
 use digibox_trace::RecordKind;
 
+use crate::islands::{self, IslandSpec, IslandsConfig};
 use crate::sweep;
 use crate::testbed::Testbed;
 
@@ -266,6 +267,69 @@ impl Campaign {
         })
     }
 
+    /// Run the plan once per seed with each run executed space-parallel
+    /// on the island engine (`core::islands`, DESIGN.md §15): `specs_for`
+    /// partitions the scene into islands for a seed, the engine drives
+    /// them through conservative-lookahead epochs with the plan's fault
+    /// windows resolved at barrier fences, and the per-island reports are
+    /// merged into one [`SeedReport`] (digi maps union — island scenes
+    /// must use globally unique digi names — numeric fields sum,
+    /// reconvergence takes the worst island). `workers` is the island
+    /// worker-thread count per run (`0` = one per core) and never changes
+    /// the scorecard digest; `jobs` shards seeds exactly like
+    /// [`Campaign::run_jobs`].
+    pub fn run_islands<F>(
+        &self,
+        seeds: &[u64],
+        jobs: usize,
+        workers: usize,
+        specs_for: F,
+    ) -> crate::Result<Scorecard>
+    where
+        F: Fn(u64) -> Vec<IslandSpec> + Sync,
+    {
+        let span = self.plan.duration() + self.plan.convergence();
+        let config = IslandsConfig { workers, ..IslandsConfig::default() };
+        let outcome = sweep::sweep(seeds, jobs, |seed| {
+            let windows = self.plan.schedule(seed);
+            let run = islands::run(
+                seed,
+                specs_for(seed),
+                &config,
+                span,
+                &windows,
+                |_, tb, t0| {
+                    // Records up to the aligned start are settle noise;
+                    // epoch events are strictly after t0 (events at t0 are
+                    // processed during clock alignment).
+                    let seq0 = tb
+                        .log()
+                        .records()
+                        .iter()
+                        .take_while(|r| r.ts <= t0)
+                        .last()
+                        .map(|r| r.seq);
+                    self.collect(seed, tb, t0, &windows, seq0)
+                },
+            )?;
+            Ok(merge_island_reports(seed, run.results))
+        });
+        let mut per_seed = Vec::with_capacity(outcome.runs.len());
+        let mut errors = Vec::new();
+        for run in outcome.runs {
+            match run.result {
+                Ok(report) => per_seed.push(report),
+                Err(e) => errors.push(SeedFailure { seed: run.seed, error: e.to_string() }),
+            }
+        }
+        Ok(Scorecard {
+            plan: self.plan.name.clone(),
+            convergence_ms: self.plan.convergence_ms,
+            per_seed,
+            errors,
+        })
+    }
+
     /// Execute the plan's windows against one testbed. Fault times are
     /// relative to the moment this is called (the builder may have run
     /// settle time first).
@@ -437,6 +501,40 @@ impl Campaign {
             metrics,
         }
     }
+}
+
+/// Merge per-island seed reports into one: digi-keyed maps union (island
+/// scenes use globally unique digi names), numeric totals sum, and
+/// reconvergence time takes the slowest island.
+fn merge_island_reports(seed: u64, reports: Vec<SeedReport>) -> SeedReport {
+    let mut merged = SeedReport {
+        seed,
+        availability: BTreeMap::new(),
+        restarts: BTreeMap::new(),
+        messages_lost: 0,
+        messages_redelivered: 0,
+        broker_sessions_expired: 0,
+        checkpoints_taken: 0,
+        violations_during_fault: 0,
+        violations_post_heal: 0,
+        time_to_reconverge_ms: 0,
+        metrics: BTreeMap::new(),
+    };
+    for r in reports {
+        merged.availability.extend(r.availability);
+        merged.restarts.extend(r.restarts);
+        merged.messages_lost += r.messages_lost;
+        merged.messages_redelivered += r.messages_redelivered;
+        merged.broker_sessions_expired += r.broker_sessions_expired;
+        merged.checkpoints_taken += r.checkpoints_taken;
+        merged.violations_during_fault += r.violations_during_fault;
+        merged.violations_post_heal += r.violations_post_heal;
+        merged.time_to_reconverge_ms = merged.time_to_reconverge_ms.max(r.time_to_reconverge_ms);
+        for (k, v) in r.metrics {
+            *merged.metrics.entry(k).or_insert(0) += v;
+        }
+    }
+    merged
 }
 
 /// Recompute link state from the baseline plus every active topology

@@ -32,6 +32,10 @@
 //! * [`sweep`] — the deterministic multi-core sweep engine: seed-sharded
 //!   work-stealing execution with canonical-order merge, so campaigns and
 //!   benches scale across cores without changing a single digest.
+//! * [`islands`] — deterministic space-parallel execution *inside* one
+//!   run: one event kernel per scene island, synchronized at conservative
+//!   lookahead barriers, with cross-island datagrams merged in canonical
+//!   order so every digest is worker-count independent.
 
 #![warn(missing_docs)]
 
@@ -44,6 +48,7 @@ pub mod checkpoint;
 mod dbox;
 mod digi;
 pub mod footprint;
+pub mod islands;
 pub mod pool;
 pub mod program;
 pub mod properties;
@@ -61,6 +66,7 @@ pub use catalog::{Catalog, CatalogError};
 pub use dbox::Dbox;
 pub use digi::{DigiService, DigiStats};
 pub use footprint::Footprint;
+pub use islands::{IslandEnv, IslandSpec, IslandsConfig, IslandsRun};
 pub use pool::{Arena, DigiArena, DigiId, DigiPool, PoolStats};
 pub use program::{DigiProgram, LoopCtx, SimCtx};
 pub use properties::{Condition, PropertyChecker, SceneProperty, Temporal};

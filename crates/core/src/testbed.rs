@@ -67,6 +67,13 @@ pub struct TestbedConfig {
     /// overhead. Enabling resets the thread's collector, so each testbed
     /// starts from a zeroed registry.
     pub metrics: bool,
+    /// Island-scoped placement (`core::islands`, DESIGN.md §15): when set,
+    /// this testbed owns exactly one node of a shared multi-node topology.
+    /// The broker binds at `(home, 1883)` instead of the first node, and
+    /// every *other* node is cordoned at construction so the control plane
+    /// never schedules a pod onto a foreign island's machine. `None`
+    /// (default) keeps the classic whole-cluster behaviour.
+    pub home_node: Option<u32>,
 }
 
 impl Default for TestbedConfig {
@@ -79,6 +86,7 @@ impl Default for TestbedConfig {
             checkpoint_every: Some(SimDuration::from_secs(5)),
             broker_session_timeout: None,
             metrics: true,
+            home_node: None,
         }
     }
 }
@@ -245,7 +253,17 @@ impl Testbed {
             .into_iter()
             .map(|id| (id, topology.node(id).expect("listed node exists").clone()))
             .collect();
-        let broker_node = nodes[0].0;
+        let broker_node = match config.home_node {
+            Some(home) => {
+                let id = NodeId(home);
+                assert!(
+                    nodes.iter().any(|(n, _)| *n == id),
+                    "home_node {home} is not in the topology"
+                );
+                id
+            }
+            None => nodes[0].0,
+        };
         let mut sim = Sim::new(
             topology,
             SimConfig {
@@ -258,6 +276,14 @@ impl Testbed {
             &nodes,
             ControlPlaneConfig { seed: config.seed ^ 0x5EED, ..Default::default() },
         )));
+        if config.home_node.is_some() {
+            let mut cp = control.borrow_mut();
+            for (id, _) in &nodes {
+                if *id != broker_node {
+                    cp.set_cordon(*id, true);
+                }
+            }
+        }
         let broker_addr = Addr::new(broker_node, 1883);
         let broker = Broker::new(broker_addr);
         if let Some(timeout) = config.broker_session_timeout {
@@ -393,6 +419,20 @@ impl Testbed {
     /// The checkpoint store (chaos scorecards and tests inspect it).
     pub fn checkpoints(&self) -> &CheckpointStore {
         &self.checkpoints
+    }
+
+    /// `(digi name, checkpoint digest hex)` for every checkpointed digi,
+    /// sorted by name — the byte-comparable checkpoint witness used by the
+    /// determinism tests (serial vs island runs must agree exactly).
+    pub fn checkpoint_digests(&self) -> Vec<(String, String)> {
+        self.checkpoints
+            .names()
+            .into_iter()
+            .filter_map(|n| {
+                let d = self.checkpoints.info(&n)?.digest.to_string();
+                Some((n, d))
+            })
+            .collect()
     }
 
     /// How many times a digi's MQTT session was lost (transport-level

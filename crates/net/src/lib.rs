@@ -33,7 +33,7 @@ pub mod transport;
 pub mod wheel;
 
 pub use chaos::{FaultKind, FaultPlan, FaultSpec, FaultWindow};
-pub use kernel::{Datagram, Service, ServiceHandle, Sim, SimConfig, TimerToken};
+pub use kernel::{Datagram, RemoteDatagram, Service, ServiceHandle, Sim, SimConfig, TimerToken};
 pub use wheel::EventWheel;
 pub use prng::Prng;
 pub use time::{SimDuration, SimTime};

@@ -219,6 +219,54 @@ pub fn reset() {
     COLLECTOR.with(|c| c.borrow_mut().reset());
 }
 
+/// An owned, detached collector (intern tables, values, span tree, enabled
+/// flag) — the unit of swapping for code that multiplexes several
+/// independent recording contexts on one thread.
+///
+/// The space-parallel island engine (`core::islands`) pins several island
+/// kernels to one worker thread and interleaves them epoch by epoch; each
+/// island keeps its own `CollectorState` and installs it around every
+/// slice of island execution, so per-island metrics are exactly what a
+/// dedicated thread would have recorded — independent of how many workers
+/// the islands were packed onto. Interned handles (`CounterId`, ...) are
+/// indices into the state they were created under, so a handle must only
+/// be used while its own state is installed — which island pinning
+/// guarantees by construction.
+///
+/// Deliberately `!Send` (it is only meaningful on the thread that fills
+/// it); detached states are plain values, so dropping one discards its
+/// recordings.
+pub struct CollectorState {
+    enabled: bool,
+    collector: Collector,
+    /// Keeps the type `!Send`/`!Sync`: handles inside reference
+    /// thread-local intern order.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// A fresh, empty, disabled [`CollectorState`] — the starting point for
+/// each multiplexed context.
+pub fn fresh_state() -> CollectorState {
+    CollectorState {
+        enabled: false,
+        collector: Collector::new(),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Install `state` as this thread's collector and return the previously
+/// installed one. The returned state can be re-installed later to resume
+/// recording exactly where it left off.
+pub fn swap_state(mut state: CollectorState) -> CollectorState {
+    ENABLED.with(|e| {
+        let prev = e.get();
+        e.set(state.enabled);
+        state.enabled = prev;
+    });
+    COLLECTOR.with(|c| std::mem::swap(&mut *c.borrow_mut(), &mut state.collector));
+    state
+}
+
 /// Intern (or look up) a counter by name.
 pub fn counter(name: &str) -> CounterId {
     COLLECTOR.with(|c| {
@@ -495,6 +543,62 @@ impl Snapshot {
         out
     }
 
+    /// Merge independently captured snapshots into one, order-independently:
+    /// counters, gauges, span counts and histogram buckets are summed per
+    /// name, `clock_ns` takes the latest reading, and every output section
+    /// is re-sorted — so any permutation of `parts` yields byte-identical
+    /// JSON. This is how the space-parallel island engine folds per-island
+    /// collectors into the single testbed-wide snapshot the digests use.
+    ///
+    /// Gauges are summed rather than last-write-wins because across
+    /// *disjoint* recording contexts there is no meaningful "last": the
+    /// testbed gauges (digi counts, pending restarts) are all additive
+    /// partitions of a whole.
+    pub fn merged(parts: &[Snapshot]) -> Snapshot {
+        use std::collections::BTreeMap;
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&str, i64> = BTreeMap::new();
+        let mut histograms: BTreeMap<&str, HistogramSnapshot> = BTreeMap::new();
+        let mut spans: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut clock_ns = 0;
+        for part in parts {
+            clock_ns = clock_ns.max(part.clock_ns);
+            for (name, v) in &part.counters {
+                *counters.entry(name).or_insert(0) += v;
+            }
+            for (name, v) in &part.gauges {
+                *gauges.entry(name).or_insert(0) += v;
+            }
+            for (name, h) in &part.histograms {
+                let merged = histograms.entry(name).or_insert_with(|| HistogramSnapshot {
+                    count: 0,
+                    sum: 0,
+                    max: 0,
+                    buckets: Vec::new(),
+                });
+                merged.count += h.count;
+                merged.sum = merged.sum.saturating_add(h.sum);
+                merged.max = merged.max.max(h.max);
+                let mut buckets: BTreeMap<usize, u64> =
+                    merged.buckets.iter().copied().collect();
+                for &(bucket, n) in &h.buckets {
+                    *buckets.entry(bucket).or_insert(0) += n;
+                }
+                merged.buckets = buckets.into_iter().collect();
+            }
+            for (path, count) in &part.spans {
+                *spans.entry(path).or_insert(0) += count;
+            }
+        }
+        Snapshot {
+            clock_ns,
+            counters: counters.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            gauges: gauges.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            histograms: histograms.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            spans: spans.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        }
+    }
+
     /// Folded-stack lines (`path;to;frame count`), one per span stack —
     /// directly consumable by `flamegraph.pl` / `inferno-flamegraph`.
     pub fn folded(&self) -> String {
@@ -699,6 +803,79 @@ mod tests {
                 assert!(table.contains(needle), "missing {needle} in:\n{table}");
             }
         });
+    }
+
+    #[test]
+    fn swap_state_multiplexes_independent_contexts() {
+        with_fresh(|| {
+            // Fill the "outer" context a little.
+            inc(counter("outer.events"));
+
+            // Context A records under its own state.
+            let mut a = fresh_state();
+            a.enabled = true;
+            let outer = swap_state(a);
+            let ca = counter("ctx.events");
+            add(ca, 2);
+            let mut a = swap_state(outer);
+
+            // Context B uses the same metric name; its state is disjoint.
+            let mut b = fresh_state();
+            b.enabled = true;
+            let outer = swap_state(b);
+            let cb = counter("ctx.events");
+            add(cb, 5);
+            let b = swap_state(outer);
+
+            // Resume A: its handle and its tally survived the detach.
+            let outer = swap_state(a);
+            add(ca, 1);
+            let snap_a = snapshot();
+            a = swap_state(outer);
+
+            let outer = swap_state(b);
+            let snap_b = snapshot();
+            let _b = swap_state(outer);
+            drop(a);
+
+            assert_eq!(snap_a.counter("ctx.events"), 3);
+            assert_eq!(snap_b.counter("ctx.events"), 5);
+            // The outer context never saw the multiplexed counters.
+            let outer_snap = snapshot();
+            assert_eq!(outer_snap.counter("ctx.events"), 0);
+            assert_eq!(outer_snap.counter("outer.events"), 1);
+        });
+    }
+
+    #[test]
+    fn merged_snapshots_are_order_independent_sums() {
+        let capture = |c1: u64, g: i64, h: u64, span_n: u64| {
+            with_fresh(|| {
+                add(counter("c"), c1);
+                set(gauge("g"), g);
+                observe(histogram("h"), h);
+                let f = frame("f");
+                for _ in 0..span_n {
+                    drop(enter(f));
+                }
+                clock(h * 10);
+                snapshot()
+            })
+        };
+        let a = capture(1, 2, 4, 1);
+        let b = capture(10, 20, 1024, 3);
+        let ab = Snapshot::merged(&[a.clone(), b.clone()]);
+        let ba = Snapshot::merged(&[b, a]);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.counter("c"), 11);
+        assert_eq!(ab.gauges, vec![("g".to_string(), 22)]);
+        assert_eq!(ab.clock_ns, 10_240);
+        let (_, h) = &ab.histograms[0];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1028);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets, vec![(3, 1), (11, 1)]);
+        assert_eq!(ab.spans, vec![("f".to_string(), 4)]);
     }
 
     #[test]

@@ -30,7 +30,9 @@ declare -A RUN_SKIPS=(
   [digibox_trace]="--skip archive --skip share --skip serde_roundtrip"
   [digibox_orchestrator]="--skip control:: --skip serde_roundtrip"
   [digibox_registry]="--skip dml --skip package --skip manifest --skip repo --skip serde"
-  [digibox_core]="--skip package --skip cell:: --skip serde_roundtrip"
+  # islands::tests::engine materializes testbeds (control plane stores
+  # node specs via derived serde) — compile-only offline, CI runs them.
+  [digibox_core]="--skip package --skip cell:: --skip serde_roundtrip --skip islands::tests::engine"
   [digibox_devices]="--skip package"
   [digibox_analysis]=""
   [digibox_apps]=""
@@ -225,5 +227,11 @@ rustc --edition "$EDITION" -O scripts/standalone_scale.rs -o "$TMP/standalone_sc
 "$TMP/standalone_scale" "$TMP/BENCH_scale.json" --quick >/dev/null 2>&1 \
   || { echo "standalone scale parity check failed" >&2; exit 1; }
 echo "  run  standalone_scale (baseline and arena substrates agree at 10k digis)"
+
+echo "== standalone island engine (E14 barrier protocol + worker determinism)"
+rustc --edition "$EDITION" -O scripts/standalone_islands.rs -o "$TMP/standalone_islands"
+"$TMP/standalone_islands" "$TMP/BENCH_islands.json" --quick >/dev/null 2>&1 \
+  || { echo "standalone islands determinism check failed" >&2; exit 1; }
+echo "  run  standalone_islands (workers=1 vs workers=all digests match)"
 
 echo "offline check OK"

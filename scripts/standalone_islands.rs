@@ -1,0 +1,312 @@
+//! Standalone island-engine measurement: a dependency-free miniature of
+//! `core::islands` (same conservative-lookahead barrier protocol, same
+//! canonical cross-island merge) compiled with plain `rustc -O`, so the
+//! E14 space-parallel scaling row exists even where cargo has no
+//! registry access (the fallback path of `scripts/bench_smoke.sh`).
+//!
+//! ```text
+//! rustc --edition 2021 -O scripts/standalone_islands.rs -o /tmp/sis
+//! /tmp/sis BENCH_islands.json [--quick]
+//! ```
+//!
+//! Eight islands each run a CPU-bound toy event kernel (binary-heap
+//! wheel ordered by `(time, seq)`, xorshift workload per event) and
+//! exchange datagrams whose delivery latency is at least the lookahead
+//! floor. Workers advance islands epoch-by-epoch to a shared horizon
+//! `min(t + lookahead, end)`; at each barrier the coordinator merges
+//! every outbox in canonical `(arrival, src_island, src_seq)` order and
+//! routes the arrivals. The per-island FNV digest over the processed
+//! event stream must therefore be byte-identical at 1 worker and at one
+//! worker per core — that digest match is the pass/fail criterion; the
+//! speedup is honest wall-clock (≈1x on a single-core container).
+
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
+
+const ISLANDS: usize = 8;
+/// Minimum cross-island delivery latency — the conservative lookahead.
+const LOOKAHEAD: u64 = 5;
+const SPAN: u64 = 1_500;
+const WORK_ITERS: u64 = 12_000;
+
+/// One pending event in an island's wheel. Ordered min-first by
+/// `(time, seq)` (the `Ord` impl is inverted for `BinaryHeap`).
+#[derive(PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    payload: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A datagram crossing islands at a barrier.
+#[derive(Clone)]
+struct Datagram {
+    at: u64,
+    dst: usize,
+    src_island: usize,
+    src_seq: u64,
+    payload: u64,
+}
+
+struct Island {
+    index: usize,
+    wheel: BinaryHeap<Event>,
+    next_seq: u64,
+    rng: u64,
+    digest: u64,
+    events: u64,
+}
+
+fn fnv(h: &mut u64, words: &[u64]) {
+    for w in words {
+        for b in w.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+impl Island {
+    fn new(index: usize, seed: u64) -> Island {
+        let mut island = Island {
+            index,
+            wheel: BinaryHeap::new(),
+            next_seq: 0,
+            rng: seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            digest: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+        };
+        island.push(0, seed ^ index as u64);
+        island
+    }
+
+    fn push(&mut self, time: u64, payload: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.wheel.push(Event { time, seq, payload });
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+
+    /// Run every event with `time <= horizon`; cross-island sends land in
+    /// the returned outbox for the coordinator to merge at the barrier.
+    fn run_to(&mut self, horizon: u64, work_iters: u64, outbox: &mut Vec<Datagram>) {
+        while self.wheel.peek().map(|e| e.time <= horizon).unwrap_or(false) {
+            let ev = self.wheel.pop().expect("peeked");
+            // CPU-bound handler: the part worker threads parallelize
+            let mut x = ev.payload | 1;
+            let mut acc = 0u64;
+            for _ in 0..work_iters {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc = acc.wrapping_add(x.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            }
+            self.events += 1;
+            fnv(&mut self.digest, &[self.index as u64, ev.time, ev.payload, acc]);
+            // locally-sourced events keep the island busy and every 4th
+            // one crosses to a deterministic peer; injected arrivals
+            // (odd payloads, below) terminate so traffic stays bounded
+            if ev.payload & 1 == 0 {
+                let step = 1 + self.rand() % 3;
+                self.push(ev.time + step, acc & !1);
+                if self.events % 4 == 0 {
+                    let dst = (self.index + 1 + (acc as usize % (ISLANDS - 1))) % ISLANDS;
+                    let jitter = self.rand() % 3;
+                    outbox.push(Datagram {
+                        at: ev.time + LOOKAHEAD + 1 + jitter,
+                        dst,
+                        src_island: self.index,
+                        src_seq: ev.seq,
+                        payload: acc | 1,
+                    });
+                }
+            }
+        }
+    }
+}
+
+enum Cmd {
+    /// Advance owned islands to the horizon, delivering the arrivals
+    /// routed to each (position-matched with the worker's island list).
+    Epoch { horizon: u64, arrivals: Vec<Vec<Datagram>> },
+    Finish,
+}
+
+enum Report {
+    EpochDone { outboxes: Vec<(usize, Vec<Datagram>)> },
+    Finished { digests: Vec<(usize, u64, u64)> },
+}
+
+fn worker_main(mut islands: Vec<Island>, rx: Receiver<Cmd>, tx: Sender<Report>, work_iters: u64) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Epoch { horizon, arrivals } => {
+                let mut outboxes = Vec::with_capacity(islands.len());
+                for (island, incoming) in islands.iter_mut().zip(arrivals) {
+                    for dg in incoming {
+                        island.push(dg.at, dg.payload);
+                    }
+                    let mut outbox = Vec::new();
+                    island.run_to(horizon, work_iters, &mut outbox);
+                    outboxes.push((island.index, outbox));
+                }
+                if tx.send(Report::EpochDone { outboxes }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Finish => {
+                let digests =
+                    islands.iter().map(|i| (i.index, i.digest, i.events)).collect();
+                let _ = tx.send(Report::Finished { digests });
+                return;
+            }
+        }
+    }
+}
+
+/// One full run at the given worker count. Returns the per-island
+/// `(digest, events)` list in island order, the wall-clock seconds, the
+/// epoch count, and the cross-datagram total.
+fn run_at(workers: usize, work_iters: u64) -> (Vec<(u64, u64)>, f64, u64, u64) {
+    let t = Instant::now();
+    // round-robin assignment, exactly like core::islands
+    let mut assignment: Vec<Vec<Island>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut owned: Vec<Vec<usize>> = (0..workers).map(|_| Vec::new()).collect();
+    for i in 0..ISLANDS {
+        assignment[i % workers].push(Island::new(i, 42));
+        owned[i % workers].push(i);
+    }
+
+    let (digests, epochs, cross) = std::thread::scope(|scope| {
+        let (res_tx, res_rx) = channel::<Report>();
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(workers);
+        for islands in assignment {
+            let (tx, rx) = channel::<Cmd>();
+            cmd_txs.push(tx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move || worker_main(islands, rx, res_tx, work_iters));
+        }
+        drop(res_tx);
+
+        let mut clock = 0u64;
+        let mut epochs = 0u64;
+        let mut cross = 0u64;
+        let mut pending: Vec<Datagram> = Vec::new();
+        while clock < SPAN {
+            let horizon = (clock + LOOKAHEAD).min(SPAN);
+            // canonical merge: every worker-count interleaving collapses
+            // to one order before anything is routed
+            pending.sort_by_key(|d| (d.at, d.src_island, d.src_seq));
+            let mut routed: Vec<Vec<Datagram>> = (0..ISLANDS).map(|_| Vec::new()).collect();
+            for dg in pending.drain(..) {
+                cross += 1;
+                routed[dg.dst].push(dg);
+            }
+            for (w, tx) in cmd_txs.iter().enumerate() {
+                let arrivals =
+                    owned[w].iter().map(|&i| std::mem::take(&mut routed[i])).collect();
+                tx.send(Cmd::Epoch { horizon, arrivals }).expect("worker alive");
+            }
+            for _ in 0..workers {
+                match res_rx.recv().expect("worker alive") {
+                    Report::EpochDone { outboxes } => {
+                        for (_, outbox) in outboxes {
+                            pending.extend(outbox);
+                        }
+                    }
+                    Report::Finished { .. } => unreachable!("finish before epochs done"),
+                }
+            }
+            clock = horizon;
+            epochs += 1;
+        }
+        for tx in &cmd_txs {
+            tx.send(Cmd::Finish).expect("worker alive");
+        }
+        let mut digests: Vec<(usize, u64, u64)> = Vec::with_capacity(ISLANDS);
+        for _ in 0..workers {
+            match res_rx.recv().expect("worker alive") {
+                Report::Finished { digests: d } => digests.extend(d),
+                Report::EpochDone { .. } => unreachable!("epoch after finish"),
+            }
+        }
+        digests.sort_by_key(|d| d.0);
+        (digests, epochs, cross)
+    });
+
+    let wall = t.elapsed().as_secs_f64();
+    (digests.into_iter().map(|(_, digest, events)| (digest, events)).collect(), wall, epochs, cross)
+}
+
+fn main() {
+    let mut out_path = "BENCH_islands.json".to_string();
+    let mut work_iters = WORK_ITERS;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            work_iters = 200;
+        } else {
+            out_path = arg;
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers_n = cores.min(ISLANDS);
+
+    let (serial, serial_s, epochs1, cross1) = run_at(1, work_iters);
+    let (parallel, parallel_s, epochs_n, cross_n) = run_at(workers_n, work_iters);
+
+    assert_eq!(serial, parallel, "workers=1 and workers={workers_n} island digests diverged");
+    assert_eq!((epochs1, cross1), (epochs_n, cross_n), "barrier protocol diverged");
+    assert!(cross1 > 0, "no cross-island traffic — the merge path went unexercised");
+    let digest_match = serial == parallel;
+    let mut combined = 0xcbf2_9ce4_8422_2325u64;
+    for (digest, events) in &serial {
+        fnv(&mut combined, &[*digest, *events]);
+    }
+    let events: u64 = serial.iter().map(|(_, e)| e).sum();
+    let speedup = serial_s / parallel_s;
+    eprintln!(
+        "[standalone] islands scaling: cores={cores} islands={ISLANDS} epochs={epochs1} \
+         events={events} cross={cross1} w1={serial_s:.2}s wN={parallel_s:.2}s \
+         speedup={speedup:.2}x digest_match={digest_match}"
+    );
+
+    let doc = format!(
+        r#"{{
+  "bench": "islands_speedup (E14)",
+  "harness": "standalone rustc harness (std::time::Instant); simulated-testbed rows require the cargo bench_smoke bin",
+  "cores": {cores},
+  "islands": {ISLANDS},
+  "lookahead": {LOOKAHEAD},
+  "span": {SPAN},
+  "epochs": {epochs1},
+  "events": {events},
+  "cross_datagrams": {cross1},
+  "workload": {{ "kind": "xorshift64* event handlers", "iters_per_event": {work_iters} }},
+  "workers1": {{ "workers": 1, "wall_clock_s": {serial_s}, "digest": "{combined:016x}" }},
+  "workersN": {{ "workers": {workers_n}, "wall_clock_s": {parallel_s}, "digest": "{combined:016x}" }},
+  "speedup": {speedup},
+  "digest_match": {digest_match}
+}}
+"#,
+    );
+    std::fs::write(&out_path, doc).expect("write report");
+    eprintln!("[standalone] wrote {out_path}");
+}
