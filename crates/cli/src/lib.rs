@@ -38,6 +38,8 @@ mod chaos;
 mod fuzz;
 mod lint;
 mod profile;
+mod record;
+mod replay;
 mod stats;
 mod sweep;
 
@@ -217,6 +219,10 @@ pub fn invoke(dir: &Path, args: &[String]) -> Outcome {
     if args.first().map(String::as_str) == Some("sweep") {
         return sweep::run(dir, &args[1..]);
     }
+    // `replay` exits 2 when a replay or `--diff` detects divergence.
+    if args.first().map(String::as_str) == Some("replay") {
+        return replay::run(dir, &args[1..]);
+    }
     match invoke_inner(dir, args) {
         Ok(out) => Outcome::ok(out),
         Err(e) => Outcome::err(e),
@@ -253,7 +259,10 @@ usage:
   dbox violations                                property violations so far
   dbox infer <name>                              infer a schema from the trace
   dbox export-trace <file>                       write trace archive
-  dbox replay <file>                             replay a trace archive
+  dbox record [<name>]                           record the run as trace/<name> (no arg: list)
+  dbox replay <ref|file> [--until <secs>] [--speed <x>] [--from-checkpoint] [--stats-out <file>]
+                                                 re-execute and verify a recorded trace
+  dbox replay --diff <a> <b>                     first diverging record between two traces
 ";
 
 fn invoke_inner(dir: &Path, args: &[String]) -> Result<String, String> {
@@ -523,24 +532,7 @@ fn invoke_inner(dir: &Path, args: &[String]) -> Result<String, String> {
             std::fs::write(file, &bytes).map_err(|e| e.to_string())?;
             Ok(format!("wrote {} bytes to {file}\n", bytes.len()))
         }
-        "replay" => {
-            let file = args.get(1).ok_or("usage: dbox replay <file>")?;
-            let bytes = std::fs::read(file).map_err(|e| e.to_string())?;
-            let mut dbox = session.materialize()?;
-            let schedule = dbox.replay(&bytes).map_err(|e| e.to_string())?;
-            let span_ms = schedule.duration().as_millis() + 100;
-            dbox.testbed().run_for(SimDuration::from_millis(span_ms));
-            let mut out = format!(
-                "replayed {} steps over {} digis\n",
-                schedule.len(),
-                schedule.sources().len()
-            );
-            for (name, fields) in schedule.final_states() {
-                out.push_str(&format!("  {name}: {fields}\n"));
-            }
-            // NOTE: replay is exploratory — it does not append to the journal
-            Ok(out)
-        }
+        "record" => record::run(dir, &args[1..]),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
 }
@@ -685,6 +677,87 @@ mod tests {
         let out = run(&dir, &["frobnicate"]);
         assert_eq!(out.code, 1);
         assert!(out.stdout.contains("usage"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_then_replay_ref_verifies() {
+        let dir = tmpdir("record-replay");
+        run(&dir, &["run", "Occupancy", "O1", "--managed"]);
+        run(&dir, &["run", "Lamp", "L1"]);
+        run(&dir, &["sim", "10"]);
+        let out = run(&dir, &["record", "smoke"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("recorded trace/smoke"), "{}", out.stdout);
+        // listing shows it
+        let out = run(&dir, &["record"]);
+        assert!(out.stdout.contains("trace/smoke"), "{}", out.stdout);
+        // verified re-execution reproduces the trace and the stats digest
+        let out = run(&dir, &["replay", "smoke"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("matches recorded"), "{}", out.stdout);
+        // the `trace/<name>` spelling resolves too
+        let out = run(&dir, &["replay", "trace/smoke"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recording_has_no_observable_effect() {
+        let dir = tmpdir("record-pure");
+        run(&dir, &["run", "Occupancy", "O1"]);
+        run(&dir, &["sim", "5"]);
+        let before = run(&dir, &["stats", "--format", "json"]).stdout;
+        let out = run(&dir, &["record", "pure"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        let after = run(&dir, &["stats", "--format", "json"]).stdout;
+        assert_eq!(before, after, "recording must not perturb the session");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_diff_modes() {
+        let dir = tmpdir("replay-diff");
+        run(&dir, &["run", "Occupancy", "O1", "--managed"]);
+        run(&dir, &["sim", "10"]);
+        run(&dir, &["record", "a"]);
+        run(&dir, &["sim", "5"]);
+        run(&dir, &["record", "b"]);
+        // identical: exit 0
+        let out = run(&dir, &["replay", "--diff", "a", "a"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("identical"), "{}", out.stdout);
+        // a is a strict prefix of b: exit 2 with a rendered divergence
+        let out = run(&dir, &["replay", "--diff", "a", "b"]);
+        assert_eq!(out.code, 2, "{}", out.stdout);
+        assert!(out.stdout.contains("diverge"), "{}", out.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_playback_with_speed_and_checkpoint() {
+        let dir = tmpdir("replay-playback");
+        run(&dir, &["run", "Occupancy", "O1", "--managed"]);
+        run(&dir, &["sim", "12"]);
+        run(&dir, &["record", "pb"]);
+        let out = run(&dir, &["replay", "pb", "--speed", "2"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("played back trace/pb"), "{}", out.stdout);
+        let out = run(&dir, &["replay", "pb", "--from-checkpoint"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("resumed"), "{}", out.stdout);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_until_truncates() {
+        let dir = tmpdir("replay-until");
+        run(&dir, &["run", "Occupancy", "O1", "--managed"]);
+        run(&dir, &["sim", "10"]);
+        run(&dir, &["record", "cut"]);
+        let out = run(&dir, &["replay", "cut", "--until", "3"]);
+        assert_eq!(out.code, 0, "{}", out.stdout);
+        assert!(out.stdout.contains("until"), "{}", out.stdout);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,95 @@
+//! `dbox record` — capture the session's run as a named, content-addressed
+//! trace in the local registry.
+//!
+//! Recording is a *pure read*: the session is materialized (the same
+//! deterministic replay every other read-only verb does), its trace and
+//! stats are captured, and the objects land in `.dbox/registry` under the
+//! ref `trace/<name>`. The session journal is untouched, so recording has
+//! no observable effect on any later command — `dbox stats` prints the
+//! same digest before and after.
+//!
+//! Alongside the chunked records, the trace manifest carries the *recipe*
+//! needed for verified replay in its extras:
+//!
+//! * `session` — the full event-sourced session (seed + journal), so
+//!   `dbox replay <name>` can re-execute the run from scratch anywhere;
+//! * `setup` — the `SetupManifest` of the running digis, so state
+//!   playback (`--speed`, `--from-checkpoint`) can recreate the testbed;
+//! * `stats` / `stats_digest` — the run's canonical stats snapshot, the
+//!   byte-for-byte target a verified replay must reproduce.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use digibox_registry::{sha256, Repository};
+use digibox_trace::store;
+
+use crate::Session;
+
+/// Execute `dbox record [<name>]` against the workspace at `dir`.
+/// With a name: record. Without: list recorded traces.
+pub fn run(dir: &Path, args: &[String]) -> Result<String, String> {
+    let session = Session::load(dir)?;
+    let repo_dir = dir.join(".dbox").join("registry");
+    let mut repo = if repo_dir.join("refs.json").exists() {
+        Repository::load_from_dir(&repo_dir).map_err(|e| e.to_string())?
+    } else {
+        Repository::new()
+    };
+
+    let Some(name) = args.first() else {
+        let names = store::list(&repo);
+        if names.is_empty() {
+            return Ok("no recorded traces (try `dbox record <name>`)\n".into());
+        }
+        let mut out = String::new();
+        for n in names {
+            let m = store::manifest(&repo, &n).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "trace/{:<20} {:>8} records  {:>4} chunks  span {}\n",
+                m.name,
+                m.records,
+                m.chunks.len(),
+                digibox_net::SimDuration::from_nanos(m.span_nanos),
+            ));
+        }
+        return Ok(out);
+    };
+    if name.starts_with('-') {
+        return Err(format!("unknown flag {name:?} (usage: dbox record [<name>])"));
+    }
+
+    let mut dbox = session.materialize()?;
+    let records = dbox.testbed().log().records();
+    let stats_json = dbox.testbed().obs_snapshot().to_json();
+    let setup = dbox
+        .testbed()
+        .snapshot(name)
+        .map_err(|e| e.to_string())?;
+
+    let mut extras = BTreeMap::new();
+    extras.insert(
+        "session".to_string(),
+        serde_json::to_string(&session).map_err(|e| e.to_string())?,
+    );
+    extras.insert(
+        "setup".to_string(),
+        String::from_utf8(setup.to_bytes()).map_err(|e| e.to_string())?,
+    );
+    extras.insert("stats_digest".to_string(), sha256(stats_json.as_bytes()).to_string());
+    extras.insert("stats".to_string(), stats_json);
+
+    let before = repo.object_count();
+    store::save(&mut repo, name, &records, extras).map_err(|e| e.to_string())?;
+    let new_objects = repo.object_count() - before;
+    let manifest = store::manifest(&repo, name).map_err(|e| e.to_string())?;
+    repo.save_to_dir(&repo_dir).map_err(|e| e.to_string())?;
+
+    Ok(format!(
+        "recorded trace/{name}: {} records over {}, {} chunks ({new_objects} new objects), stats digest {}\n",
+        manifest.records,
+        digibox_net::SimDuration::from_nanos(manifest.span_nanos),
+        manifest.chunks.len(),
+        &manifest.extras["stats_digest"][..12],
+    ))
+}

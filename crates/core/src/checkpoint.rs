@@ -94,6 +94,42 @@ impl CheckpointStore {
         self.repo.object_count()
     }
 
+    /// The virtual instant of the periodic checkpoint nearest at or before
+    /// `t`: the largest multiple of `every` that is `<= t`. This is where
+    /// `dbox replay --from-checkpoint` resumes. Returns `SimTime::ZERO`
+    /// when `every` is zero.
+    pub fn aligned(t: SimTime, every: digibox_net::SimDuration) -> SimTime {
+        let period = every.as_nanos();
+        if period == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_nanos(t.as_nanos() / period * period)
+    }
+
+    /// Rebuild per-digi checkpoints from a recorded trace: for every
+    /// source, save the last model-change snapshot at or before `upto` —
+    /// exactly the state the periodic checkpointer would have stored had
+    /// it run at that instant. This is how a replay resumes from a trace
+    /// alone, without the original run's checkpoint store. Returns the
+    /// number of digis checkpointed.
+    pub fn ingest_trace(&mut self, records: &[digibox_trace::TraceRecord], upto: SimTime) -> usize {
+        let mut last: BTreeMap<&str, (SimTime, &Value)> = BTreeMap::new();
+        for r in records {
+            if r.ts > upto {
+                continue;
+            }
+            if let digibox_trace::RecordKind::ModelChange { fields, .. } = &r.kind {
+                last.insert(r.source.as_str(), (r.ts, fields));
+            }
+        }
+        let count = last.len();
+        for (name, (at, fields)) in last {
+            // revision is unknowable from the trace; 0 marks "synthesized"
+            self.save(name, fields, 0, at);
+        }
+        count
+    }
+
     // ---- broker sessions ------------------------------------------------
 
     /// Persist the broker's durable sessions (from
@@ -292,6 +328,48 @@ mod checkpoint {
         assert!(store.info("M").is_none());
         // the ref still resolves (objects are immutable), by design
         assert!(store.restore("M").is_some());
+    }
+
+    #[test]
+    fn aligned_floors_to_checkpoint_boundary() {
+        use digibox_net::SimDuration;
+        let every = SimDuration::from_secs(5);
+        let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        assert_eq!(CheckpointStore::aligned(at(12), every), at(10));
+        assert_eq!(CheckpointStore::aligned(at(10), every), at(10));
+        assert_eq!(CheckpointStore::aligned(at(4), every), at(0));
+        assert_eq!(CheckpointStore::aligned(at(9), SimDuration::ZERO), SimTime::ZERO);
+        // sub-second remainders floor too
+        let t = SimTime::from_nanos(17_300_000_001);
+        assert_eq!(CheckpointStore::aligned(t, every), at(15));
+    }
+
+    #[test]
+    fn ingest_trace_synthesizes_last_state_per_source() {
+        use digibox_net::SimDuration;
+        use digibox_trace::{RecordKind, TraceRecord};
+        let at = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        let change = |seq: u64, ms: u64, source: &str, fields: Value| TraceRecord {
+            seq,
+            ts: at(ms),
+            source: source.into(),
+            kind: RecordKind::ModelChange { patch: digibox_model::Patch::new(), fields },
+        };
+        let records = vec![
+            change(0, 1_000, "O1", vmap! { "t" => true }),
+            change(1, 4_000, "O1", vmap! { "t" => false }),
+            change(2, 6_000, "O1", vmap! { "t" => true }),
+            change(3, 2_000, "L1", vmap! { "on" => true }),
+        ];
+        let mut store = CheckpointStore::new();
+        // checkpoint instant at 5s: O1's 4s state wins, the 6s one is after
+        assert_eq!(store.ingest_trace(&records, at(5_000)), 2);
+        assert_eq!(store.restore("O1").unwrap(), vmap! { "t" => false });
+        assert_eq!(store.restore("L1").unwrap(), vmap! { "on" => true });
+        assert_eq!(store.info("O1").unwrap().at, at(4_000));
+        // the bound is inclusive: a record exactly at the instant counts
+        store.ingest_trace(&records, at(6_000));
+        assert_eq!(store.restore("O1").unwrap(), vmap! { "t" => true });
     }
 
     #[test]

@@ -185,6 +185,9 @@ struct TestbedObs {
     broker_restarts: obs::CounterId,
     checkpoint_passes: obs::CounterId,
     checkpoint_snapshots: obs::CounterId,
+    replay_schedules: obs::CounterId,
+    replay_steps: obs::CounterId,
+    replay_resumed: obs::CounterId,
     digis: obs::GaugeId,
     pending_restarts: obs::GaugeId,
     f_restart: obs::FrameId,
@@ -200,6 +203,9 @@ impl TestbedObs {
             broker_restarts: obs::counter("control.broker_restarts"),
             checkpoint_passes: obs::counter("checkpoint.passes"),
             checkpoint_snapshots: obs::counter("checkpoint.snapshots"),
+            replay_schedules: obs::counter("replay.schedules"),
+            replay_steps: obs::counter("replay.steps"),
+            replay_resumed: obs::counter("replay.resumed_states"),
             digis: obs::gauge("testbed.digis"),
             pending_restarts: obs::gauge("testbed.pending_restarts"),
             f_restart: obs::frame("control.restart"),
@@ -1228,19 +1234,50 @@ impl Testbed {
 
     /// `dbox replay` — pause generation on the digis the schedule drives
     /// and force their recorded model states at the recorded (shifted)
-    /// times.
+    /// times. Equivalent to [`Testbed::replay_from`] with no resume
+    /// states.
     pub fn replay(&mut self, schedule: &ReplaySchedule) -> crate::Result<()> {
+        self.replay_from(&BTreeMap::new(), schedule)
+    }
+
+    /// Start a replay mid-trace: force every snapshot in `states` *now*
+    /// (typically the nearest 5 s checkpoint's states, reconstructed with
+    /// [`CheckpointStore::ingest_trace`] or
+    /// [`ReplaySchedule::states_at`](digibox_trace::ReplaySchedule::states_at)),
+    /// then schedule the remaining steps at their recorded offsets from
+    /// the current virtual time. Generation is paused on every digi either
+    /// argument drives, so live mocks cannot fight the recorded timeline.
+    ///
+    /// The caller still owns the clock: advance it past
+    /// `schedule.duration()` (exact nanoseconds — millisecond truncation
+    /// of the end bound is the classic way to lose final-instant steps)
+    /// with [`Testbed::run_for`] to let every step apply and propagate.
+    pub fn replay_from(
+        &mut self,
+        states: &BTreeMap<String, Value>,
+        schedule: &ReplaySchedule,
+    ) -> crate::Result<()> {
+        obs::inc(self.obs.replay_schedules);
         let base = self.sim.now();
         for source in schedule.sources() {
-            let handle = self.digi(&source)?;
-            handle.borrow_mut().set_generation_enabled(false);
+            self.digi(&source)?.borrow_mut().set_generation_enabled(false);
         }
+        for name in states.keys() {
+            self.digi(name)?.borrow_mut().set_generation_enabled(false);
+        }
+        for (name, fields) in states {
+            let handle = self.digi(name)?;
+            handle.borrow_mut().force_fields(&mut self.sim, fields.clone());
+            obs::inc(self.obs.replay_resumed);
+        }
+        let steps_counter = self.obs.replay_steps;
         for step in schedule.steps() {
             let handle = self.digi(&step.source)?;
             let fields = step.fields.clone();
             let at = base + SimDuration::from_nanos(step.ts.as_nanos());
             self.sim.call_at(at, move |sim| {
                 handle.borrow_mut().force_fields(sim, fields);
+                obs::inc(steps_counter);
             });
         }
         Ok(())

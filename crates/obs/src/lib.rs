@@ -13,6 +13,13 @@
 //! enabling or disabling metrics cannot change a single simulated byte,
 //! and a [`Snapshot`] of the same seeded run is byte-identical every time.
 //!
+//! That byte-identity is what `dbox record`/`dbox replay` build on: the
+//! canonical JSON of a snapshot is the run's stats digest, and a verified
+//! replay must reproduce it exactly. Replays surface their own activity
+//! through the `replay.schedules` / `replay.steps` /
+//! `replay.resumed_states` counters the testbed registers — replay is
+//! observable here without being allowed to change anything else.
+//!
 //! ## Why thread-local
 //!
 //! Instrumented code (the kernel's dispatch loop, the broker's routing,

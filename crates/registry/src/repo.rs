@@ -97,6 +97,17 @@ impl Repository {
         self.refs.insert(name.to_string(), digest);
     }
 
+    /// Refs whose name starts with `prefix`, sorted — the namespace
+    /// listing behind `dbox record` with no arguments (`trace/`), and
+    /// usable for any other ref family (`checkpoint/`, `broker-session/`).
+    pub fn refs_with_prefix(&self, prefix: &str) -> Vec<(String, Digest)> {
+        self.refs
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(name, digest)| (name.clone(), *digest))
+            .collect()
+    }
+
     pub fn resolve(&self, name: &str) -> Result<Digest, RegistryError> {
         self.refs.get(name).copied().ok_or_else(|| RegistryError::RefMissing(name.to_string()))
     }
@@ -320,6 +331,22 @@ mod tests {
         let b = repo.put(b"same".to_vec());
         assert_eq!(a, b);
         assert_eq!(repo.object_count(), 1);
+    }
+
+    #[test]
+    fn refs_with_prefix_selects_a_namespace() {
+        let mut repo = Repository::new();
+        let d = repo.put(b"x".to_vec());
+        repo.set_ref("trace/alpha", d);
+        repo.set_ref("trace/beta", d);
+        repo.set_ref("traces-unrelated", d);
+        repo.set_ref("checkpoint/L1", d);
+        let traces = repo.refs_with_prefix("trace/");
+        assert_eq!(
+            traces.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["trace/alpha", "trace/beta"]
+        );
+        assert!(repo.refs_with_prefix("nope/").is_empty());
     }
 
     #[test]

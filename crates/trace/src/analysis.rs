@@ -11,17 +11,26 @@ use crate::record::{Direction, RecordKind, TraceRecord};
 /// Per-digi activity counts.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SourceSummary {
+    /// Generator events fired.
     pub events: u64,
+    /// Model-change records.
     pub model_changes: u64,
+    /// Messages the source sent.
     pub messages_sent: u64,
+    /// Messages the source received.
     pub messages_received: u64,
+    /// Lifecycle transitions.
     pub lifecycle: u64,
+    /// Property violations attributed to the source.
     pub violations: u64,
+    /// Timestamp of the source's first record.
     pub first: Option<SimTime>,
+    /// Timestamp of the source's last record.
     pub last: Option<SimTime>,
 }
 
 impl SourceSummary {
+    /// Total records across all categories.
     pub fn total(&self) -> u64 {
         self.events + self.model_changes + self.messages_sent + self.messages_received
             + self.lifecycle
@@ -41,8 +50,11 @@ impl SourceSummary {
 /// Whole-trace analysis.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
+    /// Total record count.
     pub records: u64,
+    /// Virtual-time span from first to last record.
     pub span: SimDuration,
+    /// Per-source activity, keyed by digi name.
     pub sources: BTreeMap<String, SourceSummary>,
 }
 

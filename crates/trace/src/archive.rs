@@ -23,10 +23,20 @@ const VERSION: u16 = 1;
 /// Archive errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArchiveError {
+    /// The bytes don't start with the `DBXT` magic.
     BadMagic,
+    /// The archive was written by an unknown format version.
     UnsupportedVersion(u16),
+    /// The bytes end mid-header or mid-record.
     Truncated,
-    CrcMismatch { expected: u32, actual: u32 },
+    /// The stored CRC doesn't match the content.
+    CrcMismatch {
+        /// CRC stored in the archive trailer.
+        expected: u32,
+        /// CRC computed over the body.
+        actual: u32,
+    },
+    /// A record failed JSON decoding (or trailing bytes followed the last).
     BadRecord(String),
 }
 

@@ -9,17 +9,27 @@
 //! * inspected and filtered (debugging, `dbox watch`-style views);
 //! * serialized into a single-file [`archive`] (the paper shares traces as
 //!   zip files; we use a CRC-checked length-prefixed container) and shared;
+//! * stored content-addressed in a registry under `trace/<name>`
+//!   ([`store`]) so identical prefixes deduplicate and diffs can bisect by
+//!   chunk digest (`dbox record` / `dbox replay --diff`);
 //! * turned into a [`ReplaySchedule`] that re-drives mocks and scenes so a
-//!   recipient reproduces the exact run (`dbox replay`);
+//!   recipient reproduces the exact run (`dbox replay`), including
+//!   time-travel truncation, speed scaling, and checkpoint resume;
 //! * diffed against another trace to validate that a replay or a
-//!   re-execution matches ([`diff_traces`]).
+//!   re-execution matches ([`diff_traces`], [`diff_report`]).
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod archive;
 mod log;
 mod record;
 mod replay;
+pub mod store;
 
 pub use log::{TraceLog, TraceView};
 pub use record::{Direction, RecordKind, TraceRecord};
-pub use replay::{diff_traces, ReplaySchedule, ReplayStep, TraceDivergence};
+pub use replay::{
+    diff_report, diff_traces, first_field_divergence, DivergenceReport, ReplaySchedule,
+    ReplayStep, TraceDivergence,
+};

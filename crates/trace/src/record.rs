@@ -7,7 +7,9 @@ use digibox_net::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Direction {
+    /// The source digi sent the message.
     Sent,
+    /// The source digi received the message.
     Received,
 }
 
@@ -17,16 +19,40 @@ pub enum Direction {
 pub enum RecordKind {
     /// An event generator fired and produced `data` (paper: "generates
     /// events").
-    Event { data: Value },
-    /// The digi's model changed; `patch` transforms the previous field tree
-    /// into the new one, `fields` snapshots the result for replay seeks.
-    ModelChange { patch: Patch, fields: Value },
+    Event {
+        /// The generated event payload.
+        data: Value,
+    },
+    /// The digi's model changed.
+    ModelChange {
+        /// Transforms the previous field tree into the new one.
+        patch: Patch,
+        /// Full snapshot of the resulting field tree, for replay seeks.
+        fields: Value,
+    },
     /// An MQTT/REST message was sent or received.
-    Message { direction: Direction, topic: String, payload: Value },
+    Message {
+        /// Sent or received, from the source digi's perspective.
+        direction: Direction,
+        /// MQTT topic (or REST path) the message travelled on.
+        topic: String,
+        /// Decoded message body.
+        payload: Value,
+    },
     /// Lifecycle transition: created, started, stopped, attached, detached...
-    Lifecycle { action: String, detail: String },
+    Lifecycle {
+        /// The transition (e.g. `run`, `stop`, `attach`).
+        action: String,
+        /// Free-form context (e.g. the peer digi's name).
+        detail: String,
+    },
     /// A scene property (invariant) was violated.
-    Violation { property: String, detail: String },
+    Violation {
+        /// Name of the violated property.
+        property: String,
+        /// What the checker observed.
+        detail: String,
+    },
 }
 
 impl RecordKind {
@@ -51,6 +77,7 @@ pub struct TraceRecord {
     pub ts: SimTime,
     /// Which digi (mock or scene) produced the record.
     pub source: String,
+    /// What happened (flattened into the record's JSON object).
     #[serde(flatten)]
     pub kind: RecordKind,
 }

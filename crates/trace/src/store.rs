@@ -1,0 +1,342 @@
+//! Content-addressed trace storage on a [`digibox_registry::Repository`].
+//!
+//! `dbox record <name>` stores a trace under the ref `trace/<name>` as a
+//! two-level object graph:
+//!
+//! ```text
+//! refs: trace/<name> ──► TraceManifest (canonical JSON object)
+//!                          ├─ chunk 0 ──► archive bytes (records 0..256)
+//!                          ├─ chunk 1 ──► archive bytes (records 256..512)
+//!                          └─ ...
+//! ```
+//!
+//! Records are split into fixed-size chunks of [`CHUNK_RECORDS`], each
+//! serialized with the [`crate::archive`] container and stored as one
+//! content-addressed object. Because chunk boundaries are positional and
+//! the archive encoding is canonical (`Value` maps are BTreeMaps), two
+//! traces that share a record prefix share the prefix's chunk *objects* —
+//! storing a longer re-recording of the same run costs only the new tail,
+//! and [`first_divergent_chunk`] can skip the shared prefix without even
+//! decoding it, which is what makes `dbox replay --diff` a bisection
+//! rather than a linear scan for long traces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use digibox_registry::{Digest, Repository};
+
+use crate::archive;
+use crate::record::TraceRecord;
+use crate::replay::{diff_report, DivergenceReport};
+
+/// Records per stored chunk. Fixed so equal record prefixes produce equal
+/// chunk objects (the dedup and bisection invariant).
+pub const CHUNK_RECORDS: usize = 256;
+
+/// Manifest version written by this crate.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// The registry ref under which a named trace is stored.
+pub fn trace_ref(name: &str) -> String {
+    if name.starts_with("trace/") {
+        name.to_string()
+    } else {
+        format!("trace/{name}")
+    }
+}
+
+/// Errors from trace storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The named trace ref does not exist in the repository.
+    TraceMissing(String),
+    /// A referenced chunk or manifest object is missing or unreadable.
+    Registry(String),
+    /// A chunk failed archive decoding or CRC verification.
+    Archive(String),
+    /// The manifest is malformed or its counts disagree with its chunks.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TraceMissing(name) => write!(f, "no recorded trace {:?}", trace_ref(name)),
+            StoreError::Registry(e) => write!(f, "registry error: {e}"),
+            StoreError::Archive(e) => write!(f, "trace chunk corrupt: {e}"),
+            StoreError::Corrupt(e) => write!(f, "trace manifest corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The root object of a stored trace: counts, span, the ordered chunk
+/// digests, and free-form `extras` the recorder wants carried along (the
+/// CLI stores the session recipe and the run's stats digest there).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceManifest {
+    /// Manifest format version ([`MANIFEST_VERSION`]).
+    pub version: u16,
+    /// The trace's name (the `<name>` in `trace/<name>`).
+    pub name: String,
+    /// Total record count across all chunks.
+    pub records: u64,
+    /// Virtual-time span of the trace in nanoseconds (last record's ts).
+    pub span_nanos: u64,
+    /// Records per chunk used when the trace was written.
+    pub chunk_records: u32,
+    /// Content digests of the chunk objects, in record order.
+    pub chunks: Vec<Digest>,
+    /// Recorder-defined metadata (canonical: BTreeMap ⇒ stable JSON).
+    pub extras: BTreeMap<String, String>,
+}
+
+impl TraceManifest {
+    /// Canonical manifest bytes (what gets content-addressed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("trace manifests always serialize")
+    }
+
+    /// Parse manifest bytes written by [`TraceManifest::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<TraceManifest, StoreError> {
+        serde_json::from_slice(bytes).map_err(|e| StoreError::Corrupt(e.to_string()))
+    }
+}
+
+/// Store `records` as `trace/<name>`, chunked and content-addressed.
+/// Overwrites the ref if the name is already taken (like `git push -f` to
+/// the same branch). Returns the manifest digest.
+pub fn save(
+    repo: &mut Repository,
+    name: &str,
+    records: &[TraceRecord],
+    extras: BTreeMap<String, String>,
+) -> Result<Digest, StoreError> {
+    let mut chunks = Vec::with_capacity(records.len() / CHUNK_RECORDS + 1);
+    for chunk in records.chunks(CHUNK_RECORDS) {
+        chunks.push(repo.put(archive::write(chunk)));
+    }
+    let manifest = TraceManifest {
+        version: MANIFEST_VERSION,
+        name: name.trim_start_matches("trace/").to_string(),
+        records: records.len() as u64,
+        span_nanos: records.last().map(|r| r.ts.as_nanos()).unwrap_or(0),
+        chunk_records: CHUNK_RECORDS as u32,
+        chunks,
+        extras,
+    };
+    let digest = repo.put(manifest.to_bytes());
+    repo.set_ref(&trace_ref(name), digest);
+    Ok(digest)
+}
+
+/// Load the manifest of `trace/<name>` without decoding any chunks.
+pub fn manifest(repo: &Repository, name: &str) -> Result<TraceManifest, StoreError> {
+    let digest = repo
+        .resolve(&trace_ref(name))
+        .map_err(|_| StoreError::TraceMissing(name.to_string()))?;
+    let bytes = repo.get(&digest).map_err(|e| StoreError::Registry(e.to_string()))?;
+    TraceManifest::from_bytes(bytes)
+}
+
+/// Load the full record sequence of `trace/<name>`, verifying every
+/// chunk's CRC and the manifest's record count.
+pub fn load(repo: &Repository, name: &str) -> Result<(TraceManifest, Vec<TraceRecord>), StoreError> {
+    let m = manifest(repo, name)?;
+    let mut records = Vec::with_capacity(m.records as usize);
+    for digest in &m.chunks {
+        let bytes = repo.get(digest).map_err(|e| StoreError::Registry(e.to_string()))?;
+        records.extend(archive::read(bytes).map_err(|e| StoreError::Archive(e.to_string()))?);
+    }
+    if records.len() as u64 != m.records {
+        return Err(StoreError::Corrupt(format!(
+            "manifest says {} records, chunks hold {}",
+            m.records,
+            records.len()
+        )));
+    }
+    Ok((m, records))
+}
+
+/// Names of all stored traces (refs under `trace/`), sorted.
+pub fn list(repo: &Repository) -> Vec<String> {
+    repo.refs_with_prefix("trace/")
+        .into_iter()
+        .filter_map(|(r, _)| r.strip_prefix("trace/").map(str::to_string))
+        .collect()
+}
+
+/// The index of the first chunk whose digest differs between two
+/// manifests — the bisection shortcut: chunks before it are byte-identical
+/// objects and need no decoding. `None` when the chunk lists are equal.
+pub fn first_divergent_chunk(a: &TraceManifest, b: &TraceManifest) -> Option<usize> {
+    let shared = a.chunks.len().min(b.chunks.len());
+    for i in 0..shared {
+        if a.chunks[i] != b.chunks[i] {
+            return Some(i);
+        }
+    }
+    if a.chunks.len() != b.chunks.len() {
+        return Some(shared);
+    }
+    None
+}
+
+/// Bisect two *stored* traces to their first diverging record: skip the
+/// shared chunk prefix by digest, decode only from the first divergent
+/// chunk on, and run [`diff_report`] on the tails (indices reported
+/// relative to the whole trace). `None` when the traces are identical.
+pub fn diff_stored(
+    repo: &Repository,
+    a_name: &str,
+    b_name: &str,
+) -> Result<Option<DivergenceReport>, StoreError> {
+    let ma = manifest(repo, a_name)?;
+    let mb = manifest(repo, b_name)?;
+    if ma.chunk_records != mb.chunk_records {
+        // different chunking ⇒ positional digests don't line up; fall back
+        // to a full decode + linear diff.
+        let (_, ra) = load(repo, a_name)?;
+        let (_, rb) = load(repo, b_name)?;
+        return Ok(diff_report(&ra, &rb));
+    }
+    let Some(chunk) = first_divergent_chunk(&ma, &mb) else {
+        // identical chunk lists mean identical bytes — content addressing
+        // makes the "equal" answer free.
+        return Ok(None);
+    };
+    let decode_tail = |m: &TraceManifest| -> Result<Vec<TraceRecord>, StoreError> {
+        let mut out = Vec::new();
+        for digest in m.chunks.iter().skip(chunk) {
+            let bytes = repo.get(digest).map_err(|e| StoreError::Registry(e.to_string()))?;
+            out.extend(archive::read(bytes).map_err(|e| StoreError::Archive(e.to_string()))?);
+        }
+        Ok(out)
+    };
+    let ta = decode_tail(&ma)?;
+    let tb = decode_tail(&mb)?;
+    let offset = chunk * ma.chunk_records.max(1) as usize;
+    Ok(diff_report(&ta, &tb).map(|mut report| {
+        report.index += offset;
+        // a one-sided report means one tail ended: restate the explanation
+        // with whole-trace record counts instead of tail-relative ones.
+        if report.left.is_none() || report.right.is_none() {
+            report.what = if ma.records < mb.records {
+                format!("left trace ends after {} records, right has {}", ma.records, mb.records)
+            } else {
+                format!("right trace ends after {} records, left has {}", mb.records, ma.records)
+            };
+        }
+        report
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use digibox_model::{vmap, Patch};
+    use digibox_net::{SimDuration, SimTime};
+
+    fn change(seq: u64, ms: u64, source: &str, on: bool) -> TraceRecord {
+        TraceRecord {
+            seq,
+            ts: SimTime::ZERO + SimDuration::from_millis(ms),
+            source: source.into(),
+            kind: RecordKind::ModelChange {
+                patch: Patch::new().set("power.status", if on { "on" } else { "off" }),
+                fields: vmap! { "power" => vmap! { "status" => if on { "on" } else { "off" } } },
+            },
+        }
+    }
+
+    fn sample(n: u64) -> Vec<TraceRecord> {
+        (0..n).map(|i| change(i, i * 10, "L1", i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn store_roundtrip_preserves_records_and_extras() {
+        let mut repo = Repository::new();
+        let records = sample(600); // 3 chunks
+        let mut extras = BTreeMap::new();
+        extras.insert("seed".to_string(), "7".to_string());
+        save(&mut repo, "run-a", &records, extras.clone()).unwrap();
+
+        let (m, back) = load(&repo, "run-a").unwrap();
+        assert_eq!(back, records);
+        assert_eq!(m.records, 600);
+        assert_eq!(m.chunks.len(), 3);
+        assert_eq!(m.extras, extras);
+        assert_eq!(m.span_nanos, records.last().unwrap().ts.as_nanos());
+        assert_eq!(list(&repo), vec!["run-a".to_string()]);
+        // name and ref forms are interchangeable
+        assert!(load(&repo, "trace/run-a").is_ok());
+        assert!(matches!(load(&repo, "nope"), Err(StoreError::TraceMissing(_))));
+    }
+
+    #[test]
+    fn shared_prefixes_dedup_chunk_objects() {
+        let mut repo = Repository::new();
+        let short = sample(512); // exactly 2 chunks
+        let mut long = sample(512);
+        long.extend((512..700).map(|i| change(i, i * 10, "L1", i % 2 == 0)));
+
+        save(&mut repo, "short", &short, BTreeMap::new()).unwrap();
+        let before = repo.object_count();
+        save(&mut repo, "long", &long, BTreeMap::new()).unwrap();
+        // the long trace reuses both prefix chunks: only its third chunk
+        // and its manifest are new objects.
+        assert_eq!(repo.object_count(), before + 2);
+
+        let ma = manifest(&repo, "short").unwrap();
+        let mb = manifest(&repo, "long").unwrap();
+        assert_eq!(ma.chunks[..2], mb.chunks[..2]);
+        assert_eq!(first_divergent_chunk(&ma, &mb), Some(2));
+        assert_eq!(first_divergent_chunk(&ma, &ma), None);
+    }
+
+    #[test]
+    fn diff_stored_bisects_past_identical_chunks() {
+        let mut repo = Repository::new();
+        let a = sample(600);
+        let mut b = a.clone();
+        // mutate one field deep in the third chunk
+        let victim = 570;
+        b[victim].kind = RecordKind::ModelChange {
+            patch: Patch::new(),
+            fields: vmap! { "power" => vmap! { "status" => "mutated" } },
+        };
+        save(&mut repo, "a", &a, BTreeMap::new()).unwrap();
+        save(&mut repo, "b", &b, BTreeMap::new()).unwrap();
+
+        let report = diff_stored(&repo, "a", "b").unwrap().unwrap();
+        assert_eq!(report.index, victim, "index is absolute, not tail-relative");
+        assert_eq!(report.what, "model field power.status");
+        assert_eq!(diff_stored(&repo, "a", "a").unwrap(), None);
+    }
+
+    #[test]
+    fn diff_stored_reports_prefix_extension() {
+        let mut repo = Repository::new();
+        let short = sample(300);
+        let long = sample(450);
+        save(&mut repo, "short", &short, BTreeMap::new()).unwrap();
+        save(&mut repo, "long", &long, BTreeMap::new()).unwrap();
+        let report = diff_stored(&repo, "short", "long").unwrap().unwrap();
+        assert_eq!(report.index, 300);
+        assert!(report.what.contains("ends after 300"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let mut repo = Repository::new();
+        save(&mut repo, "empty", &[], BTreeMap::new()).unwrap();
+        let (m, records) = load(&repo, "empty").unwrap();
+        assert!(records.is_empty());
+        assert_eq!(m.chunks.len(), 0);
+        assert_eq!(m.span_nanos, 0);
+    }
+}

@@ -27,7 +27,8 @@ declare -A RUN_SKIPS=(
   [digibox_model]="--skip serde_roundtrip"
   [digibox_net]=""
   [digibox_broker]=""
-  [digibox_trace]="--skip archive --skip share --skip serde_roundtrip"
+  # store tests persist archives through derived-serde manifests
+  [digibox_trace]="--skip archive --skip share --skip serde_roundtrip --skip store"
   [digibox_orchestrator]="--skip control:: --skip serde_roundtrip"
   [digibox_registry]="--skip dml --skip package --skip manifest --skip repo --skip serde"
   # islands::tests::engine materializes testbeds (control plane stores
@@ -119,14 +120,16 @@ build_docs digibox_broker crates/broker/src/lib.rs bytes digibox_net digibox_obs
 # the proptest stub compiles property tests out; plain broker unit tests run.
 buildtest digibox_broker crates/broker/src/lib.rs bytes digibox_net digibox_obs proptest
 
-build digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model
-buildtest digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model
+# registry builds before trace: the trace store (chunked trace/<name>
+# refs) persists through the registry's content-addressed repository.
+build digibox_registry crates/registry/src/lib.rs serde serde_json digibox_model
+buildtest digibox_registry crates/registry/src/lib.rs serde serde_json digibox_model
+
+build_docs digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model digibox_registry
+buildtest digibox_trace crates/trace/src/lib.rs serde serde_json parking_lot digibox_net digibox_model digibox_registry
 
 build digibox_orchestrator crates/orchestrator/src/lib.rs serde serde_json digibox_model digibox_net
 buildtest digibox_orchestrator crates/orchestrator/src/lib.rs serde serde_json digibox_model digibox_net
-
-build digibox_registry crates/registry/src/lib.rs serde serde_json digibox_model
-buildtest digibox_registry crates/registry/src/lib.rs serde serde_json digibox_model
 
 CORE_DEPS=(serde serde_json bytes digibox_model digibox_net digibox_broker
   digibox_trace digibox_orchestrator digibox_registry digibox_obs)
@@ -233,5 +236,15 @@ rustc --edition "$EDITION" -O scripts/standalone_islands.rs -o "$TMP/standalone_
 "$TMP/standalone_islands" "$TMP/BENCH_islands.json" --quick >/dev/null 2>&1 \
   || { echo "standalone islands determinism check failed" >&2; exit 1; }
 echo "  run  standalone_islands (workers=1 vs workers=all digests match)"
+
+echo "== standalone record/replay (chunk dedup + bisect + inclusive bound)"
+# CI's replay-smoke job drives `dbox record`/`dbox replay` end-to-end;
+# offline the stub serde cannot run a testbed, so the same sequence —
+# record, replay, compare digests, diff a mutated fixture — runs against
+# the dependency-free miniature instead.
+rustc --edition "$EDITION" -O scripts/standalone_replay.rs -o "$TMP/standalone_replay"
+"$TMP/standalone_replay" "$TMP/BENCH_replay.json" >/dev/null 2>&1 \
+  || { echo "standalone replay determinism check failed" >&2; exit 1; }
+echo "  run  standalone_replay (record/replay digests match, mutation bisected)"
 
 echo "offline check OK"

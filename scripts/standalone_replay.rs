@@ -1,0 +1,272 @@
+//! Standalone record/replay check: a dependency-free miniature of the
+//! trace store + replay subsystem (DESIGN.md §16), runnable with bare
+//! `rustc -O` in registry-less environments.
+//!
+//! The real CI `replay-smoke` job drives `dbox record`/`dbox replay`
+//! end-to-end; offline, the dbox binary cannot materialize testbeds
+//! (the serde stub is typecheck-only), so this script re-runs the same
+//! sequence — record, replay, compare digests, diff a mutated fixture —
+//! against a miniature that shares the subsystem's load-bearing
+//! invariants:
+//!
+//! 1. **Chunk dedup**: positional 256-record chunks with canonical
+//!    encoding — extending a recorded trace stores only the new tail.
+//! 2. **Bisection**: a one-field mutation is found at its exact record
+//!    index by comparing chunk digests first, decoding only the first
+//!    differing chunk.
+//! 3. **Replay determinism**: replaying a recorded trace on the
+//!    miniature event kernel reproduces the original state digest
+//!    byte-for-byte, twice.
+//! 4. **Inclusive end bound**: a record at the final virtual instant
+//!    (sub-millisecond nanos) is executed by the exact-nanos inclusive
+//!    bound and dropped by the old millisecond-truncated one — the
+//!    `export-trace` → `replay` round-trip off-by-one, pinned.
+//!
+//! ```text
+//! rustc --edition 2021 -O scripts/standalone_replay.rs -o /tmp/sreplay
+//! /tmp/sreplay BENCH_replay.json
+//! ```
+//!
+//! Exits non-zero if any invariant fails; `scripts/check_offline.sh`
+//! relies on that.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const CHUNK_RECORDS: usize = 256;
+
+/// One trace record: (seq, ts_nanos, source, field -> value).
+#[derive(Clone, PartialEq)]
+struct Record {
+    seq: u64,
+    ts: u64,
+    source: String,
+    fields: BTreeMap<String, i64>,
+}
+
+impl Record {
+    /// Canonical encoding: BTreeMap iteration makes this byte-stable,
+    /// the same property the real `Value::Map` serialization has.
+    fn encode(&self) -> String {
+        let kv: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}|{}|{}|{}", self.seq, self.ts, self.source, kv.join(","))
+    }
+}
+
+/// FNV-1a 64 over a byte string — the miniature's content digest.
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Content-addressed store: digest -> chunk bytes (the miniature of the
+/// registry's object table).
+#[derive(Default)]
+struct Store {
+    objects: BTreeMap<u64, String>,
+    refs: BTreeMap<String, Vec<u64>>,
+}
+
+impl Store {
+    /// Chunk + store; returns how many objects were new (dedup metric).
+    fn record(&mut self, name: &str, records: &[Record]) -> usize {
+        let mut new_objects = 0;
+        let mut chunks = Vec::new();
+        for chunk in records.chunks(CHUNK_RECORDS) {
+            let body: Vec<String> = chunk.iter().map(Record::encode).collect();
+            let bytes = body.join("\n");
+            let d = digest(bytes.as_bytes());
+            if self.objects.insert(d, bytes).is_none() {
+                new_objects += 1;
+            }
+            chunks.push(d);
+        }
+        self.refs.insert(name.to_string(), chunks);
+        new_objects
+    }
+
+    fn load(&self, name: &str) -> Vec<Record> {
+        let mut out = Vec::new();
+        for d in &self.refs[name] {
+            for line in self.objects[d].lines() {
+                let mut parts = line.splitn(4, '|');
+                let seq = parts.next().unwrap().parse().unwrap();
+                let ts = parts.next().unwrap().parse().unwrap();
+                let source = parts.next().unwrap().to_string();
+                let fields = parts
+                    .next()
+                    .unwrap()
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap();
+                        (k.to_string(), v.parse().unwrap())
+                    })
+                    .collect();
+                out.push(Record { seq, ts, source, fields });
+            }
+        }
+        out
+    }
+
+    /// Bisect: first divergent chunk via digests, then the exact record
+    /// inside it — without decoding the shared prefix.
+    fn diff(&self, a: &str, b: &str) -> Option<usize> {
+        let (ca, cb) = (&self.refs[a], &self.refs[b]);
+        let chunk = (0..ca.len().max(cb.len()))
+            .find(|&i| ca.get(i) != cb.get(i))?;
+        let decode = |chunks: &[u64], i: usize| -> Vec<String> {
+            chunks
+                .get(i)
+                .map(|d| self.objects[d].lines().map(String::from).collect())
+                .unwrap_or_default()
+        };
+        let (la, lb) = (decode(ca, chunk), decode(cb, chunk));
+        let within = (0..la.len().max(lb.len()))
+            .find(|&i| la.get(i) != lb.get(i))
+            .unwrap_or(la.len().min(lb.len()));
+        Some(chunk * CHUNK_RECORDS + within)
+    }
+}
+
+/// Miniature deterministic kernel: sorted (ts, seq) steps, executed up
+/// to a deadline. `inclusive` models the kernel's real `run_until`
+/// contract; `false` models the off-by-one bound.
+fn replay(records: &[Record], deadline: u64, inclusive: bool) -> u64 {
+    let mut state: BTreeMap<String, BTreeMap<String, i64>> = BTreeMap::new();
+    for r in records {
+        let in_window = if inclusive { r.ts <= deadline } else { r.ts < deadline };
+        if in_window {
+            state.insert(r.source.clone(), r.fields.clone());
+        }
+    }
+    let mut encoded = String::new();
+    for (source, fields) in &state {
+        encoded.push_str(source);
+        for (k, v) in fields {
+            encoded.push_str(&format!("{k}={v};"));
+        }
+    }
+    digest(encoded.as_bytes())
+}
+
+/// A deterministic seeded run: the miniature of a managed-digi session.
+fn generate(seed: u64, n: usize) -> Vec<Record> {
+    let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    (0..n)
+        .map(|i| {
+            let mut fields = BTreeMap::new();
+            fields.insert("level".to_string(), (next() % 100) as i64);
+            fields.insert("count".to_string(), i as i64);
+            Record {
+                seq: i as u64,
+                // ~10ms cadence with sub-millisecond jitter, so the
+                // final instant has non-zero sub-ms nanos.
+                ts: (i as u64) * 10_000_000 + next() % 1_000_000,
+                source: format!("digi{}", i % 7),
+                fields,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_replay.json".into());
+    let t0 = Instant::now();
+    let mut failures = Vec::new();
+
+    // 1. Chunk dedup: a 5-chunk run, then the same run extended.
+    let mut store = Store::default();
+    let run = generate(42, 5 * CHUNK_RECORDS);
+    let base_objects = store.record("smoke", &run);
+    let mut longer = run.clone();
+    longer.extend(generate(43, CHUNK_RECORDS).into_iter().enumerate().map(
+        |(i, mut r)| {
+            r.seq = (run.len() + i) as u64;
+            r.ts = run.last().unwrap().ts + 10_000_000 * (i as u64 + 1);
+            r
+        },
+    ));
+    let tail_objects = store.record("longer", &longer);
+    if base_objects != 5 || tail_objects != 1 {
+        failures.push(format!(
+            "dedup: expected 5 base + 1 tail objects, got {base_objects} + {tail_objects}"
+        ));
+    }
+
+    // 2. Bisection pinpoints a single-field mutation.
+    let victim = 3 * CHUNK_RECORDS + 17;
+    let mut tampered = run.clone();
+    tampered[victim].fields.insert("level".to_string(), -1);
+    store.record("tampered", &tampered);
+    match store.diff("smoke", "tampered") {
+        Some(idx) if idx == victim => {}
+        other => failures.push(format!("bisect: expected Some({victim}), got {other:?}")),
+    }
+    if store.diff("smoke", "smoke").is_some() {
+        failures.push("bisect: identical traces must not diverge".into());
+    }
+    match store.diff("smoke", "longer") {
+        Some(idx) if idx == run.len() => {}
+        other => failures.push(format!(
+            "bisect: prefix extension should diverge at {}, got {other:?}",
+            run.len()
+        )),
+    }
+
+    // 3. Replay determinism: record -> load -> replay twice, byte-equal.
+    let loaded = store.load("smoke");
+    if loaded != run {
+        failures.push("store: load must round-trip the recorded records".into());
+    }
+    let span = run.last().unwrap().ts;
+    let a = replay(&loaded, span, true);
+    let b = replay(&store.load("smoke"), span, true);
+    if a != b {
+        failures.push(format!("replay: digests differ across runs ({a:#x} vs {b:#x})"));
+    }
+
+    // 4. Inclusive end bound: the final record has sub-ms nanos; the
+    // exact inclusive bound keeps it, the truncated one drops it.
+    let exact = replay(&loaded, span, true);
+    let truncated_deadline = span / 1_000_000 * 1_000_000; // floor to ms
+    let truncated = replay(&loaded, truncated_deadline, true);
+    let exclusive = replay(&loaded, span, false);
+    if exact == truncated {
+        failures.push("bound: ms-truncated deadline must visibly drop the final record".into());
+    }
+    if exact == exclusive {
+        failures.push("bound: exclusive deadline must visibly drop the final record".into());
+    }
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let report = format!(
+        "{{\"check\":\"standalone_replay\",\"records\":{},\"chunks\":{},\"victim\":{},\"digest\":\"{:#x}\",\"elapsed_s\":{:.4},\"failures\":{}}}\n",
+        run.len(),
+        store.refs["smoke"].len(),
+        victim,
+        a,
+        elapsed,
+        failures.len()
+    );
+    let _ = std::fs::write(&out_path, &report);
+    print!("{report}");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Record/replay determinism contract (DESIGN.md §16).
+//!
+//! * A recorded run re-executes to a **byte-identical** stats snapshot —
+//!   the determinism claim of paper §3.5 as an executable check.
+//! * A single mutated field in a stored trace is pinpointed by
+//!   `dbox replay --diff` at its exact record index and field path.
+//! * Resuming a playback from the nearest 5 s checkpoint ends in the
+//!   same final states as playing back from t=0.
+//! * The replay end bound is inclusive and exact to the nanosecond: a
+//!   step at the final virtual instant executes (the round-trip
+//!   off-by-one regression).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use digibox_cli::invoke;
+use digibox_core::{Testbed, TestbedConfig};
+use digibox_devices::full_catalog;
+use digibox_model::Value;
+use digibox_net::{SimDuration, SimTime};
+use digibox_registry::Repository;
+use digibox_trace::store;
+use digibox_trace::{RecordKind, ReplaySchedule, TraceRecord};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("dbox-replay-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(dir: &Path, args: &[&str]) -> digibox_cli::Outcome {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    invoke(dir, &args)
+}
+
+/// Build a session busy enough to produce a 10k+ record trace.
+fn build_big_session(dir: &Path) {
+    for name in ["O1", "O2", "O3", "O4"] {
+        assert_eq!(run(dir, &["run", "Occupancy", name, "--managed"]).code, 0);
+    }
+    assert_eq!(run(dir, &["run", "Lamp", "L1"]).code, 0);
+    assert_eq!(run(dir, &["run", "Room", "R1"]).code, 0);
+    assert_eq!(run(dir, &["attach", "O1", "R1"]).code, 0);
+    assert_eq!(run(dir, &["attach", "L1", "R1"]).code, 0);
+    assert_eq!(run(dir, &["sim", "600"]).code, 0);
+}
+
+#[test]
+fn ten_k_record_run_replays_to_identical_stats_digest() {
+    let dir = tmpdir("10k");
+    build_big_session(&dir);
+
+    let out = run(&dir, &["record", "big"]);
+    assert_eq!(out.code, 0, "{}", out.stdout);
+
+    // The run is genuinely large: 10k+ records in the stored trace.
+    let repo = Repository::load_from_dir(&dir.join(".dbox").join("registry")).unwrap();
+    let manifest = store::manifest(&repo, "big").unwrap();
+    assert!(
+        manifest.records >= 10_000,
+        "expected a 10k+ record trace, got {}",
+        manifest.records
+    );
+    assert!(manifest.chunks.len() >= 40, "chunked storage: {}", manifest.chunks.len());
+
+    // Verified re-execution: trace matches record-by-record AND the
+    // stats snapshot is byte-for-byte the recorded one.
+    let stats_out = dir.join("replayed_stats.json");
+    let out = run(&dir, &["replay", "big", "--stats-out", stats_out.to_str().unwrap()]);
+    assert_eq!(out.code, 0, "{}", out.stdout);
+    assert!(out.stdout.contains("matches recorded"), "{}", out.stdout);
+
+    // The --stats-out file equals `dbox stats --format json` exactly, so
+    // CI can `cmp` the two (the recorded extras hold the same bytes).
+    let replayed = std::fs::read_to_string(&stats_out).unwrap();
+    let live = run(&dir, &["stats", "--format", "json"]).stdout;
+    assert_eq!(replayed, live, "replayed stats must be byte-identical");
+    assert_eq!(
+        replayed.trim_end(),
+        manifest.extras["stats"],
+        "stored stats must match too"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_field_mutation_is_pinpointed_by_diff() {
+    let dir = tmpdir("mutate");
+    build_big_session(&dir);
+    assert_eq!(run(&dir, &["record", "big"]).code, 0);
+
+    let repo_dir = dir.join(".dbox").join("registry");
+    let mut repo = Repository::load_from_dir(&repo_dir).unwrap();
+    let (manifest, mut records) = store::load(&repo, "big").unwrap();
+
+    // Mutate one field of one model_change record deep in the trace.
+    let victim = records
+        .iter()
+        .position(|r| {
+            r.seq > manifest.records / 2
+                && matches!(&r.kind, RecordKind::ModelChange { fields: Value::Map(m), .. } if !m.is_empty())
+        })
+        .expect("a model_change record past the midpoint");
+    let expected_path;
+    match &mut records[victim].kind {
+        RecordKind::ModelChange { fields: Value::Map(m), .. } => {
+            let key = m.keys().next().unwrap().clone();
+            expected_path = key.clone();
+            m.insert(key, Value::Str("tampered".into()));
+        }
+        _ => unreachable!(),
+    }
+    store::save(&mut repo, "tampered", &records, BTreeMap::new()).unwrap();
+    repo.save_to_dir(&repo_dir).unwrap();
+
+    // Library level: the stored diff bisects to the exact record.
+    let report = store::diff_stored(&repo, "big", "tampered").unwrap().expect("diverges");
+    assert_eq!(report.index, victim, "diff must pinpoint the mutated record");
+    assert!(
+        report.what.starts_with("model field"),
+        "diff names the field: {}",
+        report.what
+    );
+    assert!(
+        report.what.contains(expected_path.split('.').next().unwrap()),
+        "diff names the mutated path {expected_path:?}: {}",
+        report.what
+    );
+
+    // CLI level: `--diff` renders the same divergence and exits 2.
+    let out = run(&dir, &["replay", "--diff", "big", "tampered"]);
+    assert_eq!(out.code, 2, "{}", out.stdout);
+    assert!(
+        out.stdout.contains(&format!("diverge at record {victim}")),
+        "{}",
+        out.stdout
+    );
+    assert!(out.stdout.contains("model field"), "{}", out.stdout);
+
+    // Identical refs still exit 0.
+    let out = run(&dir, &["replay", "--diff", "big", "big"]);
+    assert_eq!(out.code, 0, "{}", out.stdout);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Extract the `  <name>: <fields>` lines a playback prints.
+fn state_lines(stdout: &str) -> Vec<&str> {
+    stdout.lines().filter(|l| l.starts_with("  ")).collect()
+}
+
+#[test]
+fn replay_from_checkpoint_equals_replay_from_zero() {
+    let dir = tmpdir("checkpoint");
+    build_big_session(&dir);
+    assert_eq!(run(&dir, &["record", "big"]).code, 0);
+
+    // `--speed 1` selects state playback from t=0; `--from-checkpoint`
+    // resumes from the nearest 5 s boundary. Same recorded timeline, so
+    // the final per-digi states must agree exactly.
+    let from_zero = run(&dir, &["replay", "big", "--speed", "1"]);
+    assert_eq!(from_zero.code, 0, "{}", from_zero.stdout);
+    let resumed = run(&dir, &["replay", "big", "--from-checkpoint"]);
+    assert_eq!(resumed.code, 0, "{}", resumed.stdout);
+    assert!(resumed.stdout.contains("resumed"), "{}", resumed.stdout);
+
+    assert_eq!(
+        state_lines(&from_zero.stdout),
+        state_lines(&resumed.stdout),
+        "checkpoint resume must end in the same states as replay from zero\nzero:\n{}\nresumed:\n{}",
+        from_zero.stdout,
+        resumed.stdout
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_end_bound_is_inclusive_to_the_nanosecond() {
+    // The regression: the CLI used to run the replay clock to a
+    // millisecond-truncated span, so a step at the final virtual instant
+    // (with sub-millisecond nanos) was scheduled but never executed.
+    let mut testbed = Testbed::laptop(
+        full_catalog(),
+        TestbedConfig { seed: 7, ..Default::default() },
+    );
+    testbed.run_with("Lamp", "L1", BTreeMap::new(), false).unwrap();
+    testbed.run_for(SimDuration::from_millis(500));
+
+    let final_instant = SimTime::from_nanos(2_000_000_001); // 2s + 1ns
+    let mut on = BTreeMap::new();
+    on.insert("power".to_string(), Value::Str("replayed".into()));
+    let mk = |seq: u64, ts: SimTime, fields: Value| TraceRecord {
+        seq,
+        ts,
+        source: "L1".into(),
+        kind: RecordKind::ModelChange { patch: digibox_model::Patch::new(), fields },
+    };
+    let records = vec![
+        mk(0, SimTime::from_nanos(1_000_000_000), Value::Map(BTreeMap::new())),
+        mk(1, final_instant, Value::Map(on.clone())),
+    ];
+    let schedule = ReplaySchedule::from_records(&records);
+    assert_eq!(schedule.duration(), final_instant);
+    // `until` at exactly the final instant keeps the final step.
+    assert_eq!(schedule.until(final_instant).len(), 2);
+
+    testbed.replay(&schedule).unwrap();
+    // Exact-nanos span: the step at 2.000000001s is AT the deadline and
+    // the kernel's run_until is inclusive, so it must fire. Truncating
+    // the span to milliseconds (the old bound) stops at 2.000000000s
+    // and silently drops it.
+    testbed.run_for(SimDuration::from_nanos(final_instant.as_nanos()));
+    let model = testbed.check("L1").unwrap();
+    assert_eq!(
+        model.fields().get("power").cloned(),
+        Some(Value::Str("replayed".into())),
+        "final-instant replay step must execute"
+    );
+}
